@@ -1,0 +1,73 @@
+// Command epabench runs the reproduction experiments (T1/T2/F1/F2 exhibits
+// and validation experiments E1–E20 from DESIGN.md) and prints each
+// result table.
+//
+// Usage:
+//
+//	epabench [-seed N] [-only E4,E7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"epajsrm/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			want[id] = true
+		}
+	}
+
+	type maker struct {
+		id string
+		fn func() experiments.Result
+	}
+	makers := []maker{
+		{"T1", func() experiments.Result { return experiments.T1TableI() }},
+		{"T2", func() experiments.Result { return experiments.T2TableII() }},
+		{"F1", func() experiments.Result { return experiments.F1ComponentDiagram() }},
+		{"F2", func() experiments.Result { return experiments.F2WorldMap() }},
+		{"E1", func() experiments.Result { return experiments.E1StaticCap(*seed) }},
+		{"E2", func() experiments.Result { return experiments.E2IdleShutdown(*seed) }},
+		{"E3", func() experiments.Result { return experiments.E3DVFS() }},
+		{"E4", func() experiments.Result { return experiments.E4PowerSharing(*seed) }},
+		{"E5", func() experiments.Result { return experiments.E5Overprovision(*seed) }},
+		{"E6", func() experiments.Result { return experiments.E6Emergency(*seed) }},
+		{"E7", func() experiments.Result { return experiments.E7EnergyTag(*seed) }},
+		{"E8", func() experiments.Result { return experiments.E8Prediction(*seed) }},
+		{"E9", func() experiments.Result { return experiments.E9InterSystem(*seed) }},
+		{"E10", func() experiments.Result { return experiments.E10Layout(*seed) }},
+		{"E11", func() experiments.Result { return experiments.E11MS3(*seed) }},
+		{"E12", func() experiments.Result { return experiments.E12Backfill(*seed) }},
+		{"E13", func() experiments.Result { return experiments.E13GridAware(*seed) }},
+		{"E14", func() experiments.Result { return experiments.E14RuntimeBalance(*seed) }},
+		{"E15", func() experiments.Result { return experiments.E15Topology(*seed) }},
+		{"E16", func() experiments.Result { return experiments.E16CapabilityWindow(*seed) }},
+		{"E17", func() experiments.Result { return experiments.E17RampLimit(*seed) }},
+		{"E18", func() experiments.Result { return experiments.E18CoolingAware(*seed) }},
+		{"E19", func() experiments.Result { return experiments.E19Monitoring(*seed) }},
+		{"E20", func() experiments.Result { return experiments.E20FairShare(*seed) }},
+	}
+	ran := 0
+	for _, mk := range makers {
+		if len(want) > 0 && !want[mk.id] {
+			continue
+		}
+		fmt.Println(mk.fn().Render())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched %q\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,142 @@
+// Command epasim runs one surveyed site's simulation profile and prints a
+// run report: workload statistics in the survey's Q3 terms, power and
+// energy figures, policy counters, and (optionally) a trace of the
+// generated workload.
+//
+// Usage:
+//
+//	epasim -site kaust [-jobs 200] [-days 7] [-seed 42] [-writetrace file]
+//	epasim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"epajsrm/internal/report"
+	"epajsrm/internal/simulator"
+	"epajsrm/internal/site"
+	"epajsrm/internal/workload"
+)
+
+func main() {
+	name := flag.String("site", "", "site profile to run (see -list)")
+	list := flag.Bool("list", false, "list available site profiles")
+	jobs := flag.Int("jobs", 200, "number of jobs to generate")
+	days := flag.Int("days", 7, "simulated days")
+	seed := flag.Uint64("seed", 42, "deterministic seed")
+	traceOut := flag.String("writetrace", "", "write the generated workload as a trace file")
+	traceIn := flag.String("readtrace", "", "replay a trace file instead of generating a workload")
+	flag.Parse()
+
+	if *list {
+		for _, p := range site.All() {
+			fmt.Printf("%-10s %s\n", p.Name, p.Desc)
+		}
+		return
+	}
+	p, ok := site.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown site %q; use -list\n", *name)
+		os.Exit(2)
+	}
+
+	nGen := *jobs
+	if *traceIn != "" {
+		nGen = 0 // the trace supplies the workload
+	}
+	m, js, err := p.Build(*seed, nGen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		js, err = workload.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, j := range js {
+			if err := m.Submit(j, j.Submit); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("replaying %d jobs from %s\n", len(js), *traceIn)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := workload.WriteTrace(f, js); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d jobs to %s\n", len(js), *traceOut)
+	}
+
+	horizon := simulator.Time(*days) * simulator.Day
+	end := m.Run(horizon)
+
+	fmt.Printf("site %s — %s\n\n", p.Name, p.Desc)
+	fmt.Println(report.ComponentDiagram(report.Components{
+		SystemName:  m.Cl.Cfg.Name,
+		Scheduler:   m.Sched.Name(),
+		Policies:    m.PolicyNames(),
+		Nodes:       m.Cl.Size(),
+		HasFacility: m.Fac != nil,
+		Telemetry:   m.Tel.Period.String(),
+	}))
+
+	size, wall := workload.Stats(js)
+	peak, peakAt := m.Pw.PeakPower()
+	tbl := report.Table{
+		Title:  "Run report",
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"simulated time", end.String()},
+			{"jobs submitted/completed/killed/cancelled", fmt.Sprintf("%d / %d / %d / %d",
+				m.Metrics.Submitted, m.Metrics.Completed, m.Metrics.Killed, m.Metrics.Cancelled)},
+			{"job size quantiles (Q3e)", size.String()},
+			{"walltime quantiles (Q3e, s)", wall.String()},
+			{"utilization", fmt.Sprintf("%.1f%%", 100*m.Metrics.Utilization(m.Cl.Size()))},
+			{"median wait", simulator.Time(m.Metrics.Waits.Median()).String()},
+			{"throughput", fmt.Sprintf("%.0f node-h/day, %.1f jobs/day",
+				m.Metrics.ThroughputNodeHoursPerDay(), m.Metrics.JobsPerDay())},
+			{"IT energy", fmt.Sprintf("%.1f MWh", m.Pw.TotalEnergy()/3.6e9)},
+			{"peak IT power", fmt.Sprintf("%.1f kW at %s", peak/1000, peakAt)},
+			{"mean IT power (telemetry)", fmt.Sprintf("%.1f kW over %d samples",
+				m.Tel.ITStats.Mean()/1000, m.Tel.ITStats.N())},
+		},
+	}
+	fmt.Println(tbl.Render())
+
+	// Power profile over the run, from the telemetry series.
+	if len(m.Tel.Series) > 1 {
+		xs := make([]float64, len(m.Tel.Series))
+		ys := make([]float64, len(m.Tel.Series))
+		for i, r := range m.Tel.Series {
+			xs[i] = float64(r.At) / float64(simulator.Hour)
+			ys[i] = r.ITW / 1000
+		}
+		fmt.Println(report.LineChart{
+			Title:  "IT power over the run",
+			YLabel: "kW (x in hours)",
+			Xs:     xs,
+			Ys:     ys,
+		}.Render())
+	}
+}

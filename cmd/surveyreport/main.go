@@ -1,0 +1,99 @@
+// Command surveyreport regenerates the paper's exhibits: Table I, Table
+// II, Figure 1 (component diagram), Figure 2 (world map), the Q1–Q8
+// questionnaire, and the initial capability analysis.
+//
+// Usage:
+//
+//	surveyreport [-csv] [-exhibit T1|T2|F1|F2|Q|A]
+//
+// With no flags, everything is printed in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"epajsrm/internal/experiments"
+	"epajsrm/internal/survey"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit tables as CSV instead of text")
+	exhibit := flag.String("exhibit", "", "print a single exhibit: T1, T2, F1, F2, Q (questionnaire), A (analysis)")
+	flag.Parse()
+
+	show := func(id string) bool {
+		return *exhibit == "" || strings.EqualFold(*exhibit, id)
+	}
+
+	if show("T1") {
+		t := survey.ActivityTable(1)
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+	if show("T2") {
+		t := survey.ActivityTable(2)
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+	if show("F1") {
+		fmt.Println(experiments.F1ComponentDiagram().Table.Title)
+	}
+	if show("F2") {
+		fmt.Println(experiments.F2WorldMap().Table.Title)
+	}
+	if show("Q") {
+		fmt.Println("Survey questionnaire (paper §IV):")
+		for _, q := range survey.Questionnaire() {
+			fmt.Printf("\n%s: %s\n", q.ID, q.Text)
+			for i, s := range q.Subparts {
+				fmt.Printf("   (%c) %s\n", 'a'+i, s)
+			}
+			fmt.Printf("   rationale: %s\n", q.Rationale)
+		}
+		fmt.Println()
+	}
+	if show("A") {
+		t := survey.AnalysisTable()
+		if *csv {
+			fmt.Print(t.CSV())
+			fmt.Print(survey.RegionTable().CSV())
+		} else {
+			fmt.Println(t.Render())
+			fmt.Println(survey.RegionTable().Render())
+		}
+		fmt.Println("Common themes (capabilities at >= 5 of 9 sites):")
+		for _, c := range survey.CommonThemes(5) {
+			fmt.Printf("  - %s\n", c)
+		}
+		fmt.Println()
+		fmt.Println(survey.Narrative())
+	}
+	if show("W") && *exhibit != "" {
+		// Whitepaper mode: the whole generated "initial analysis" document
+		// in paper order — what the EE HPC WG's follow-up document would
+		// contain, synthesized from the data model.
+		fmt.Println("ENERGY AND POWER AWARE JOB SCHEDULING AND RESOURCE MANAGEMENT")
+		fmt.Println("Global Survey — Initial Analysis (generated reproduction)")
+		fmt.Println()
+		fmt.Println(survey.Narrative())
+		fmt.Println(survey.ActivityTable(1).Render())
+		fmt.Println(survey.ActivityTable(2).Render())
+		fmt.Println(experiments.F1ComponentDiagram().Table.Title)
+		fmt.Println(experiments.F2WorldMap().Table.Title)
+		fmt.Println(survey.AnalysisTable().Render())
+		fmt.Println(survey.RegionTable().Render())
+	}
+	if *exhibit != "" && !strings.ContainsAny(strings.ToUpper(*exhibit), "TFQAW") {
+		fmt.Fprintf(os.Stderr, "unknown exhibit %q\n", *exhibit)
+		os.Exit(2)
+	}
+}

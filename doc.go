@@ -1,0 +1,13 @@
+// Package epajsrm reproduces "Energy and Power Aware Job Scheduling and
+// Resource Management: Global Survey — Initial Analysis" (Maiterth et al.,
+// IPDPSW 2018) as an executable system: a discrete-event HPC cluster and
+// power simulator, an EPA JSRM manager in the shape of the paper's
+// Figure 1, one policy module per surveyed capability, the nine surveyed
+// centers as runnable profiles, and a survey data model that regenerates
+// the paper's tables and figures.
+//
+// See README.md for the tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmark harness in bench_test.go regenerates every exhibit
+// (Tables I/II, Figures 1/2) and validation experiment (E1–E20).
+package epajsrm

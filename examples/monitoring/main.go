@@ -1,0 +1,79 @@
+// Monitoring: an STFC/CINECA-style observability tour. A collector
+// samples the power hierarchy (node → rack → PDU → system) while a
+// workload runs; the example then queries the multi-resolution archive,
+// lists the most power-hungry nodes (KAUST's "detecting most power hungry
+// applications"), and shows threshold alerts firing on a PDU.
+package main
+
+import (
+	"fmt"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/core"
+	"epajsrm/internal/monitor"
+	"epajsrm/internal/sched"
+	"epajsrm/internal/simulator"
+	"epajsrm/internal/workload"
+)
+
+func main() {
+	m := core.NewManager(core.Options{
+		Cluster:   cluster.DefaultConfig(),
+		Scheduler: sched.EASY{},
+		Seed:      9,
+		VarSigma:  0.06,
+	})
+	col := monitor.NewCollector(m.Cl, m.Pw, monitor.Options{
+		Period:       30 * simulator.Second,
+		RawKeep:      512,
+		CoarsePeriod: 5 * simulator.Minute,
+		LongPeriod:   simulator.Hour,
+	}).Start(m.Eng)
+
+	alerts := 0
+	var firstAlert monitor.Alert
+	col.Subscribe(monitor.LevelPDU, -1, 9000, func(a monitor.Alert) {
+		if alerts == 0 {
+			firstAlert = a
+		}
+		alerts++
+	})
+
+	spec := workload.DefaultSpec()
+	spec.ArrivalMeanSec = 180
+	for _, j := range workload.NewGenerator(spec, 21).Generate(400) {
+		if err := m.Submit(j, j.Submit); err != nil {
+			panic(err)
+		}
+	}
+	end := m.Run(2 * simulator.Day)
+
+	sys := col.Channel(monitor.LevelSystem, 0)
+	fmt.Printf("monitored %s: %d system samples, mean %.1f kW, max %.1f kW\n",
+		end, sys.Stats.N(), sys.Stats.Mean()/1000, sys.Stats.Max()/1000)
+
+	// Recent high-resolution window vs a day-old coarse window.
+	recent := sys.Range(end-10*simulator.Minute, end)
+	old := sys.Range(simulator.Hour, 3*simulator.Hour)
+	fmt.Printf("archive: last 10 min -> %d raw samples; hours 1-3 -> %d coarse samples\n",
+		len(recent), len(old))
+
+	fmt.Println("\nper-PDU mean draw:")
+	for i := 0; i < m.Cl.PDUs; i++ {
+		ch := col.Channel(monitor.LevelPDU, i)
+		fmt.Printf("  pdu%02d  %.1f kW mean, %.1f kW max\n", i, ch.Stats.Mean()/1000, ch.Stats.Max()/1000)
+	}
+
+	fmt.Println("\nfive most power-hungry nodes (mean draw):")
+	for _, id := range col.HottestNodes(5) {
+		ch := col.Channel(monitor.LevelNode, id)
+		fmt.Printf("  %s  %.0f W mean (variability factor %.3f)\n",
+			m.Cl.Nodes[id].Name, ch.Stats.Mean(), m.Pw.VarFactor(id))
+	}
+
+	fmt.Printf("\nPDU >9 kW alerts: %d", alerts)
+	if alerts > 0 {
+		fmt.Printf(" (first: pdu%d at %s drawing %.1f kW)", firstAlert.Index, firstAlert.At, firstAlert.W/1000)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,69 @@
+// Powercap: a KAUST-style scenario. The same workload runs three ways —
+// uncapped, with static CAPMC-style node caps (70 % of nodes at 270 W),
+// and with SDPM-style dynamic power sharing at the same total budget —
+// and the example prints the peak-power/throughput trade each makes.
+package main
+
+import (
+	"fmt"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/core"
+	"epajsrm/internal/policy"
+	"epajsrm/internal/report"
+	"epajsrm/internal/sched"
+	"epajsrm/internal/simulator"
+	"epajsrm/internal/workload"
+)
+
+func run(name string, attach func(m *core.Manager)) []string {
+	m := core.NewManager(core.Options{
+		Cluster:   cluster.DefaultConfig(),
+		Scheduler: sched.EASY{},
+		Seed:      3,
+		VarSigma:  0.05,
+	})
+	if attach != nil {
+		attach(m)
+	}
+	spec := workload.DefaultSpec()
+	spec.ArrivalMeanSec = 120 // saturating pressure so the budget binds
+	for _, j := range workload.NewGenerator(spec, 11).Generate(800) {
+		if err := m.Submit(j, j.Submit); err != nil {
+			panic(err)
+		}
+	}
+	peak := 0.0
+	m.Eng.Every(30*simulator.Second, "probe", func(simulator.Time) {
+		if p := m.Pw.TotalPower(); p > peak {
+			peak = p
+		}
+	})
+	m.Run(3 * simulator.Day)
+	return []string{
+		name,
+		fmt.Sprintf("%.1f", peak/1000),
+		fmt.Sprintf("%.0f", m.Metrics.ThroughputNodeHoursPerDay()),
+		fmt.Sprintf("%d", m.Metrics.Completed),
+		simulator.Time(m.Metrics.Waits.Median()).String(),
+	}
+}
+
+func main() {
+	budget := 64 * 215.0 // what the static config's envelope works out to
+
+	tbl := report.Table{
+		Title:  "KAUST-style power capping, one workload, three control styles",
+		Header: []string{"configuration", "peak (kW)", "node-h/day", "completed", "median wait"},
+	}
+	tbl.Rows = append(tbl.Rows, run("uncapped", nil))
+	tbl.Rows = append(tbl.Rows, run("static 270 W caps on 70 %", func(m *core.Manager) {
+		m.Use(&policy.StaticCap{CapW: 270, UncappedFrac: 0.30, RouteHungry: true})
+	}))
+	tbl.Rows = append(tbl.Rows, run(fmt.Sprintf("dynamic sharing @ %.1f kW", budget/1000), func(m *core.Manager) {
+		m.Use(&policy.DynamicPowerSharing{BudgetW: budget})
+	}))
+	fmt.Println(tbl.Render())
+	fmt.Println("shape to expect: capping trims the peak; dynamic sharing holds a hard")
+	fmt.Println("budget while losing less throughput than a uniform static split would.")
+}

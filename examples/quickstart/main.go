@@ -1,0 +1,51 @@
+// Quickstart: build a small cluster, attach one EPA policy, submit a
+// synthetic workload, and read the results — the minimal end-to-end tour
+// of the library's public surface.
+package main
+
+import (
+	"fmt"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/core"
+	"epajsrm/internal/policy"
+	"epajsrm/internal/sched"
+	"epajsrm/internal/simulator"
+	"epajsrm/internal/workload"
+)
+
+func main() {
+	// 1. Assemble a system: 64 nodes, EASY backfilling, default power model.
+	m := core.NewManager(core.Options{
+		Cluster:   cluster.DefaultConfig(),
+		Scheduler: sched.EASY{},
+		Seed:      1,
+	})
+
+	// 2. Attach an energy/power-aware policy — here, post-job energy
+	// reports with efficiency marks (Tokyo Tech / JCAHPC style).
+	reports := &policy.EnergyReport{}
+	m.Use(reports)
+
+	// 3. Generate and submit a workload.
+	gen := workload.NewGenerator(workload.DefaultSpec(), 7)
+	for _, j := range gen.Generate(100) {
+		if err := m.Submit(j, j.Submit); err != nil {
+			panic(err)
+		}
+	}
+
+	// 4. Run to completion and inspect.
+	end := m.Run(-1)
+	fmt.Printf("simulated %s: %s\n", end, m.Metrics.Summary(m.Cl.Size()))
+	fmt.Printf("total IT energy: %.2f MWh, peak power: %.1f kW\n",
+		m.Pw.TotalEnergy()/3.6e9, func() float64 { p, _ := m.Pw.PeakPower(); return p }()/1000)
+
+	fmt.Println("\nfirst five post-job energy reports:")
+	for _, r := range reports.Reports[:5] {
+		fmt.Println("  ", r)
+	}
+	top := reports.UserSummary()
+	fmt.Printf("\nbiggest consumer: %s with %.2f kWh\n", top[0].User, top[0].KWh)
+	_ = simulator.Time(0)
+}

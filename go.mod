@@ -1,0 +1,3 @@
+module epajsrm
+
+go 1.22

@@ -1,0 +1,314 @@
+package cluster
+
+import (
+	"fmt"
+
+	"epajsrm/internal/simulator"
+)
+
+// Config describes a homogeneous system partition. Heterogeneous sites
+// (KAUST's BG/P + Cray XC40 + clusters) are modelled as multiple Cluster
+// values sharing one facility budget (see policy/intersystem).
+type Config struct {
+	Name           string
+	Nodes          int
+	NodesPerRack   int
+	RacksPerPDU    int
+	PDUsPerChiller int
+	Sockets        int
+	CoresPerSocket int
+	MemGB          int
+	Arch           string
+
+	// BootDelay and ShutdownDelay are how long a node takes to power on/off.
+	// Tokyo Tech's production solution must fold these into its ~30-minute
+	// enforcement window.
+	BootDelay     simulator.Time
+	ShutdownDelay simulator.Time
+}
+
+// DefaultConfig returns a small but structurally complete system used by
+// tests and examples: 64 nodes, 16 per rack, 2 racks per PDU, 2 PDUs per
+// chiller.
+func DefaultConfig() Config {
+	return Config{
+		Name:           "testsys",
+		Nodes:          64,
+		NodesPerRack:   16,
+		RacksPerPDU:    2,
+		PDUsPerChiller: 2,
+		Sockets:        2,
+		CoresPerSocket: 16,
+		MemGB:          128,
+		Arch:           "x86_64",
+		BootDelay:      3 * simulator.Minute,
+		ShutdownDelay:  1 * simulator.Minute,
+	}
+}
+
+// Cluster is a set of nodes plus the infrastructure graph above them.
+type Cluster struct {
+	Cfg      Config
+	Nodes    []*Node
+	Racks    int
+	PDUs     int
+	Chillers int
+
+	// pduMaint / chillerMaint mark infrastructure under maintenance; the
+	// layout-aware policy (CEA's SLURM "layout logic") refuses to place
+	// jobs on dependent nodes.
+	pduMaint     map[int]bool
+	chillerMaint map[int]bool
+
+	byJob map[int64][]*Node
+}
+
+// New builds a cluster from cfg. Rack/PDU/chiller assignment is positional:
+// node i sits in rack i/NodesPerRack, and so on up the tree.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes <= 0 {
+		panic("cluster: config with no nodes")
+	}
+	if cfg.NodesPerRack <= 0 {
+		cfg.NodesPerRack = cfg.Nodes
+	}
+	if cfg.RacksPerPDU <= 0 {
+		cfg.RacksPerPDU = 1
+	}
+	if cfg.PDUsPerChiller <= 0 {
+		cfg.PDUsPerChiller = 1
+	}
+	c := &Cluster{
+		Cfg:          cfg,
+		pduMaint:     make(map[int]bool),
+		chillerMaint: make(map[int]bool),
+		byJob:        make(map[int64][]*Node),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		rack := i / cfg.NodesPerRack
+		pdu := rack / cfg.RacksPerPDU
+		chiller := pdu / cfg.PDUsPerChiller
+		n := &Node{
+			ID:             i,
+			Name:           fmt.Sprintf("%s-n%04d", cfg.Name, i),
+			Rack:           rack,
+			PDU:            pdu,
+			Chiller:        chiller,
+			Sockets:        cfg.Sockets,
+			CoresPerSocket: cfg.CoresPerSocket,
+			MemGB:          cfg.MemGB,
+			Arch:           cfg.Arch,
+			State:          StateIdle,
+		}
+		c.Nodes = append(c.Nodes, n)
+		if rack+1 > c.Racks {
+			c.Racks = rack + 1
+		}
+		if pdu+1 > c.PDUs {
+			c.PDUs = pdu + 1
+		}
+		if chiller+1 > c.Chillers {
+			c.Chillers = chiller + 1
+		}
+	}
+	return c
+}
+
+// Size returns the total node count.
+func (c *Cluster) Size() int { return len(c.Nodes) }
+
+// TotalCores returns the total core count across all nodes.
+func (c *Cluster) TotalCores() int {
+	t := 0
+	for _, n := range c.Nodes {
+		t += n.Cores()
+	}
+	return t
+}
+
+// CountState returns how many nodes are in state s.
+func (c *Cluster) CountState(s NodeState) int {
+	k := 0
+	for _, n := range c.Nodes {
+		if n.State == s {
+			k++
+		}
+	}
+	return k
+}
+
+// AvailableNodes returns the nodes that can accept a job now, subject to
+// the optional eligibility filter (used by policies: layout-aware
+// maintenance avoidance, static-cap pools, ...).
+func (c *Cluster) AvailableNodes(eligible func(*Node) bool) []*Node {
+	var out []*Node
+	for _, n := range c.Nodes {
+		if !n.Available() {
+			continue
+		}
+		if c.InfraMaintenance(n) {
+			continue
+		}
+		if eligible != nil && !eligible(n) {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// AvailableCount is AvailableNodes with only the count materialized.
+func (c *Cluster) AvailableCount(eligible func(*Node) bool) int {
+	k := 0
+	for _, n := range c.Nodes {
+		if !n.Available() || c.InfraMaintenance(n) {
+			continue
+		}
+		if eligible != nil && !eligible(n) {
+			continue
+		}
+		k++
+	}
+	return k
+}
+
+// InfraMaintenance reports whether the node's PDU or chiller is under
+// maintenance.
+func (c *Cluster) InfraMaintenance(n *Node) bool {
+	return c.pduMaint[n.PDU] || c.chillerMaint[n.Chiller]
+}
+
+// SetPDUMaintenance marks a PDU (and hence all dependent nodes) in or out
+// of maintenance.
+func (c *Cluster) SetPDUMaintenance(pdu int, on bool) {
+	if on {
+		c.pduMaint[pdu] = true
+	} else {
+		delete(c.pduMaint, pdu)
+	}
+}
+
+// SetChillerMaintenance marks a chiller in or out of maintenance.
+func (c *Cluster) SetChillerMaintenance(ch int, on bool) {
+	if on {
+		c.chillerMaint[ch] = true
+	} else {
+		delete(c.chillerMaint, ch)
+	}
+}
+
+// NodesOnPDU returns all nodes that depend on the given PDU.
+func (c *Cluster) NodesOnPDU(pdu int) []*Node {
+	var out []*Node
+	for _, n := range c.Nodes {
+		if n.PDU == pdu {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Allocate places job jobID on count available nodes with the default
+// compact strategy (fill racks densely, minimizing placement span) and
+// returns the chosen nodes. It returns nil if not enough eligible nodes
+// are available. Use AllocateWith to choose another placement strategy.
+func (c *Cluster) Allocate(jobID int64, count int, now simulator.Time, eligible func(*Node) bool) []*Node {
+	return c.AllocateWith(jobID, count, now, eligible, PlaceCompact)
+}
+
+// JobNodes returns the nodes currently allocated to jobID, or nil.
+func (c *Cluster) JobNodes(jobID int64) []*Node { return c.byJob[jobID] }
+
+// Release frees the nodes held by jobID and returns them. Draining nodes
+// move to shutting-down instead of idle.
+func (c *Cluster) Release(jobID int64, now simulator.Time) []*Node {
+	nodes := c.byJob[jobID]
+	delete(c.byJob, jobID)
+	for _, n := range nodes {
+		n.JobID = 0
+		if n.State == StateDraining {
+			n.setState(StateShuttingDown, now)
+		} else {
+			n.setState(StateIdle, now)
+		}
+	}
+	return nodes
+}
+
+// BeginBoot moves an off node to booting; the caller schedules FinishBoot
+// after Cfg.BootDelay.
+func (c *Cluster) BeginBoot(n *Node, now simulator.Time) bool {
+	if n.State != StateOff {
+		return false
+	}
+	n.setState(StateBooting, now)
+	return true
+}
+
+// FinishBoot completes a boot, making the node idle.
+func (c *Cluster) FinishBoot(n *Node, now simulator.Time) {
+	if n.State == StateBooting {
+		n.setState(StateIdle, now)
+	}
+}
+
+// BeginShutdown moves an idle node into its shutdown sequence; busy nodes
+// are set draining so they shut down when the job completes.
+func (c *Cluster) BeginShutdown(n *Node, now simulator.Time) bool {
+	switch n.State {
+	case StateIdle:
+		n.setState(StateShuttingDown, now)
+		return true
+	case StateBusy:
+		n.setState(StateDraining, now)
+		return false
+	default:
+		return false
+	}
+}
+
+// FinishShutdown completes a shutdown, powering the node off.
+func (c *Cluster) FinishShutdown(n *Node, now simulator.Time) {
+	if n.State == StateShuttingDown {
+		n.setState(StateOff, now)
+	}
+}
+
+// SetDown marks a node failed; any job mapping is left to the caller, which
+// must kill the affected job.
+func (c *Cluster) SetDown(n *Node, now simulator.Time) {
+	n.setState(StateDown, now)
+}
+
+// Distance returns a simple hierarchical hop distance between two nodes:
+// 0 same node, 1 same rack, 2 same PDU group, 3 same chiller group,
+// 4 otherwise. Topology-aware allocation (survey Q6) minimizes the maximum
+// pairwise distance of a placement.
+func Distance(a, b *Node) int {
+	switch {
+	case a.ID == b.ID:
+		return 0
+	case a.Rack == b.Rack:
+		return 1
+	case a.PDU == b.PDU:
+		return 2
+	case a.Chiller == b.Chiller:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// PlacementSpan returns the maximum pairwise Distance within a placement;
+// lower is more compact.
+func PlacementSpan(nodes []*Node) int {
+	worst := 0
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if d := Distance(nodes[i], nodes[j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,270 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"epajsrm/internal/simulator"
+)
+
+func TestNewAssignsTopology(t *testing.T) {
+	c := New(DefaultConfig()) // 64 nodes, 16/rack, 2 racks/PDU, 2 PDUs/chiller
+	if c.Size() != 64 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	if c.Racks != 4 || c.PDUs != 2 || c.Chillers != 1 {
+		t.Fatalf("racks=%d pdus=%d chillers=%d, want 4/2/1", c.Racks, c.PDUs, c.Chillers)
+	}
+	// Node 0 and node 15 share a rack; node 16 is in the next rack.
+	if c.Nodes[0].Rack != c.Nodes[15].Rack {
+		t.Error("0 and 15 should share rack")
+	}
+	if c.Nodes[15].Rack == c.Nodes[16].Rack {
+		t.Error("15 and 16 should not share rack")
+	}
+	if c.TotalCores() != 64*2*16 {
+		t.Fatalf("cores = %d", c.TotalCores())
+	}
+}
+
+func TestAllocateReleaseRoundTrip(t *testing.T) {
+	c := New(DefaultConfig())
+	nodes := c.Allocate(1, 10, 0, nil)
+	if len(nodes) != 10 {
+		t.Fatalf("allocated %d", len(nodes))
+	}
+	for _, n := range nodes {
+		if n.State != StateBusy || n.JobID != 1 {
+			t.Fatalf("node %d state=%v job=%d", n.ID, n.State, n.JobID)
+		}
+	}
+	if c.AvailableCount(nil) != 54 {
+		t.Fatalf("available = %d", c.AvailableCount(nil))
+	}
+	got := c.JobNodes(1)
+	if len(got) != 10 {
+		t.Fatalf("JobNodes = %d", len(got))
+	}
+	rel := c.Release(1, 5)
+	if len(rel) != 10 {
+		t.Fatalf("released %d", len(rel))
+	}
+	if c.AvailableCount(nil) != 64 {
+		t.Fatalf("available after release = %d", c.AvailableCount(nil))
+	}
+	if c.JobNodes(1) != nil {
+		t.Fatal("job mapping should be gone")
+	}
+}
+
+func TestAllocateInsufficientNodes(t *testing.T) {
+	c := New(DefaultConfig())
+	if got := c.Allocate(1, 65, 0, nil); got != nil {
+		t.Fatal("allocation beyond capacity should fail")
+	}
+	c.Allocate(2, 60, 0, nil)
+	if got := c.Allocate(3, 5, 0, nil); got != nil {
+		t.Fatal("allocation beyond remaining capacity should fail")
+	}
+}
+
+func TestAllocatePrefersCompactPlacement(t *testing.T) {
+	c := New(DefaultConfig())
+	nodes := c.Allocate(1, 16, 0, nil)
+	if span := PlacementSpan(nodes); span > 1 {
+		t.Fatalf("16 nodes on an empty machine should fit one rack, span=%d", span)
+	}
+}
+
+func TestAllocateWithFilter(t *testing.T) {
+	c := New(DefaultConfig())
+	onlyRack0 := func(n *Node) bool { return n.Rack == 0 }
+	nodes := c.Allocate(1, 16, 0, onlyRack0)
+	if len(nodes) != 16 {
+		t.Fatalf("got %d", len(nodes))
+	}
+	for _, n := range nodes {
+		if n.Rack != 0 {
+			t.Fatalf("node %d in rack %d", n.ID, n.Rack)
+		}
+	}
+	if got := c.Allocate(2, 1, 0, onlyRack0); got != nil {
+		t.Fatal("rack 0 exhausted; filtered allocation should fail")
+	}
+}
+
+func TestLifecycleTransitions(t *testing.T) {
+	c := New(DefaultConfig())
+	n := c.Nodes[0]
+
+	if c.BeginBoot(n, 0) {
+		t.Fatal("booting an idle node should fail")
+	}
+	if !c.BeginShutdown(n, 0) {
+		t.Fatal("shutting down idle node should begin")
+	}
+	if n.State != StateShuttingDown {
+		t.Fatalf("state = %v", n.State)
+	}
+	c.FinishShutdown(n, 10)
+	if n.State != StateOff {
+		t.Fatalf("state = %v", n.State)
+	}
+	if !c.BeginBoot(n, 20) {
+		t.Fatal("boot from off should begin")
+	}
+	c.FinishBoot(n, 30)
+	if n.State != StateIdle || n.StateSince != 30 {
+		t.Fatalf("state=%v since=%d", n.State, n.StateSince)
+	}
+}
+
+func TestDrainingNodeShutsDownOnRelease(t *testing.T) {
+	c := New(DefaultConfig())
+	nodes := c.Allocate(7, 2, 0, nil)
+	// Request shutdown of a busy node: it drains.
+	if c.BeginShutdown(nodes[0], 1) {
+		t.Fatal("busy node should not shut down immediately")
+	}
+	if nodes[0].State != StateDraining {
+		t.Fatalf("state = %v", nodes[0].State)
+	}
+	c.Release(7, 2)
+	if nodes[0].State != StateShuttingDown {
+		t.Fatalf("drained node state after release = %v", nodes[0].State)
+	}
+	if nodes[1].State != StateIdle {
+		t.Fatalf("normal node state after release = %v", nodes[1].State)
+	}
+}
+
+func TestMaintenanceExcludesDependentNodes(t *testing.T) {
+	c := New(DefaultConfig())
+	c.SetPDUMaintenance(0, true)
+	onPDU0 := len(c.NodesOnPDU(0))
+	if onPDU0 != 32 {
+		t.Fatalf("nodes on PDU 0 = %d", onPDU0)
+	}
+	if got := c.AvailableCount(nil); got != 32 {
+		t.Fatalf("available during PDU maintenance = %d, want 32", got)
+	}
+	c.SetPDUMaintenance(0, false)
+	if got := c.AvailableCount(nil); got != 64 {
+		t.Fatalf("available after maintenance = %d", got)
+	}
+	c.SetChillerMaintenance(0, true)
+	if got := c.AvailableCount(nil); got != 0 {
+		t.Fatalf("available during chiller maintenance = %d (single chiller)", got)
+	}
+}
+
+func TestDistanceHierarchy(t *testing.T) {
+	c := New(DefaultConfig())
+	if Distance(c.Nodes[0], c.Nodes[0]) != 0 {
+		t.Error("self distance")
+	}
+	if Distance(c.Nodes[0], c.Nodes[1]) != 1 {
+		t.Error("same rack")
+	}
+	if Distance(c.Nodes[0], c.Nodes[16]) != 2 {
+		t.Error("same PDU, different rack")
+	}
+	if Distance(c.Nodes[0], c.Nodes[33]) != 3 {
+		t.Error("same chiller, different PDU")
+	}
+}
+
+func TestCountState(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Allocate(1, 5, 0, nil)
+	if c.CountState(StateBusy) != 5 || c.CountState(StateIdle) != 59 {
+		t.Fatalf("busy=%d idle=%d", c.CountState(StateBusy), c.CountState(StateIdle))
+	}
+}
+
+func TestAllocationNeverDoubleBooks(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		c := New(DefaultConfig())
+		owner := map[int]int64{}
+		var jid int64
+		for _, s := range sizes {
+			want := int(s%16) + 1
+			jid++
+			nodes := c.Allocate(jid, want, simulator.Time(jid), nil)
+			for _, n := range nodes {
+				if _, taken := owner[n.ID]; taken {
+					return false
+				}
+				owner[n.ID] = jid
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlaceScatterSpreadsAcrossPDUs(t *testing.T) {
+	c := New(DefaultConfig()) // 2 PDUs
+	nodes := c.AllocateWith(1, 8, 0, nil, PlaceScatter)
+	perPDU := map[int]int{}
+	for _, n := range nodes {
+		perPDU[n.PDU]++
+	}
+	if perPDU[0] != 4 || perPDU[1] != 4 {
+		t.Fatalf("scatter split = %v, want 4/4", perPDU)
+	}
+}
+
+func TestPlaceFirstFitTakesLowestIDs(t *testing.T) {
+	c := New(DefaultConfig())
+	// Occupy node 0 so first-fit starts at 1.
+	c.AllocateWith(9, 1, 0, nil, PlaceFirstFit)
+	nodes := c.AllocateWith(1, 3, 0, nil, PlaceFirstFit)
+	for i, n := range nodes {
+		if n.ID != i+1 {
+			t.Fatalf("first-fit order = %v", nodes)
+		}
+	}
+}
+
+func TestPlacementStrategiesNeverOverlap(t *testing.T) {
+	f := func(strategyRaw, countRaw uint8) bool {
+		c := New(DefaultConfig())
+		s := Strategy(strategyRaw % 3)
+		seen := map[int]bool{}
+		var jid int64
+		for {
+			jid++
+			count := int(countRaw%8) + 1
+			nodes := c.AllocateWith(jid, count, 0, nil, s)
+			if nodes == nil {
+				return true
+			}
+			for _, n := range nodes {
+				if seen[n.ID] {
+					return false
+				}
+				seen[n.ID] = true
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPDUPower(t *testing.T) {
+	c := New(DefaultConfig())
+	per, max := c.PDUPower(func(id int) float64 { return 1 })
+	if len(per) != 2 || per[0] != 32 || per[1] != 32 || max != 32 {
+		t.Fatalf("pdu sums = %v max %f", per, max)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if PlaceCompact.String() != "compact" || PlaceScatter.String() != "scatter" || PlaceFirstFit.String() != "first-fit" {
+		t.Fatal("strategy names wrong")
+	}
+}

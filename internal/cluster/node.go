@@ -1,0 +1,97 @@
+// Package cluster models the hardware a supercomputing center schedules:
+// nodes with sockets, cores and memory, grouped into racks that hang off
+// PDUs and chillers. The model is deliberately architecture-neutral — the
+// surveyed sites run Cray XC, Fujitsu, NEC and Lenovo systems, but every
+// EPA JSRM mechanism in the paper reduces to the same node-level state
+// machine and infrastructure dependency graph implemented here.
+package cluster
+
+import (
+	"fmt"
+
+	"epajsrm/internal/simulator"
+)
+
+// NodeState is the lifecycle state of a compute node. Power-aware resource
+// managers (Tokyo Tech's NEC solution, CEA's manual shifts, Mämmelä's
+// energy-aware scheduler) move nodes between these states to shape power.
+type NodeState int
+
+const (
+	// StateOff means the node is powered down and draws only trickle power.
+	StateOff NodeState = iota
+	// StateBooting means the node is powering up and cannot run jobs yet.
+	StateBooting
+	// StateIdle means the node is up and available for work.
+	StateIdle
+	// StateBusy means the node is running a job.
+	StateBusy
+	// StateDraining means the node finishes its job and then goes to Off.
+	StateDraining
+	// StateShuttingDown means the node is in its shutdown sequence.
+	StateShuttingDown
+	// StateDown means the node failed or was administratively removed.
+	StateDown
+)
+
+var nodeStateNames = [...]string{"off", "booting", "idle", "busy", "draining", "shutting-down", "down"}
+
+func (s NodeState) String() string {
+	if int(s) < len(nodeStateNames) {
+		return nodeStateNames[s]
+	}
+	return fmt.Sprintf("NodeState(%d)", int(s))
+}
+
+// Node is one compute node. Power draw is computed by internal/power from
+// the node's utilization, frequency and cap; the cluster package only holds
+// placement and lifecycle state.
+type Node struct {
+	ID   int
+	Name string
+
+	// Physical position and infrastructure dependencies.
+	Rack    int
+	PDU     int
+	Chiller int
+
+	// Hardware shape.
+	Sockets        int
+	CoresPerSocket int
+	MemGB          int
+	Arch           string
+
+	// Lifecycle.
+	State      NodeState
+	JobID      int64 // 0 when no job is placed here
+	StateSince simulator.Time
+
+	// Power-management knobs owned by internal/power but stored on the node
+	// so out-of-band controllers (CAPMC-style) can see them per node.
+	PStateIdx int     // current P-state index into the site's DVFS table
+	CapW      float64 // node-level power cap in watts; 0 means uncapped
+
+	// Maintenance flag used by layout-aware scheduling (CEA): set when the
+	// node itself is under maintenance, independent of PDU/chiller state.
+	Maintenance bool
+
+	// VMHost marks a node that carries virtual machines. Tokyo Tech's
+	// production row notes that using VMs to split compute nodes
+	// "complicates physical node shutdown" — power-off policies must skip
+	// VM hosts even when they look idle to the batch system.
+	VMHost bool
+}
+
+// Cores returns the total core count of the node.
+func (n *Node) Cores() int { return n.Sockets * n.CoresPerSocket }
+
+// Available reports whether the node can accept a job right now.
+func (n *Node) Available() bool {
+	return n.State == StateIdle && !n.Maintenance
+}
+
+// setState transitions the node and records when.
+func (n *Node) setState(s NodeState, now simulator.Time) {
+	n.State = s
+	n.StateSince = now
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"sort"
+
+	"epajsrm/internal/simulator"
+)
+
+// Strategy orders the available nodes before a placement takes the prefix.
+// It lets topology-aware policies (survey Q6) choose between minimizing
+// communication span (compact) and spreading electrical load across PDUs
+// (scatter) — the two objectives pull in opposite directions.
+type Strategy int
+
+const (
+	// PlaceCompact packs racks densely, minimizing the placement span and
+	// hence communication slowdown. This is the default.
+	PlaceCompact Strategy = iota
+	// PlaceScatter round-robins across PDUs, minimizing the per-PDU power
+	// concentration at the cost of a wider communication span.
+	PlaceScatter
+	// PlaceFirstFit takes nodes in ID order with no topology preference —
+	// the power- and topology-oblivious baseline.
+	PlaceFirstFit
+)
+
+var strategyNames = [...]string{"compact", "scatter", "first-fit"}
+
+func (s Strategy) String() string {
+	if int(s) < len(strategyNames) {
+		return strategyNames[s]
+	}
+	return "Strategy(?)"
+}
+
+// orderForStrategy sorts avail in the strategy's preference order.
+func orderForStrategy(avail []*Node, s Strategy) {
+	switch s {
+	case PlaceCompact:
+		perRack := map[int]int{}
+		for _, n := range avail {
+			perRack[n.Rack]++
+		}
+		sort.Slice(avail, func(i, j int) bool {
+			a, b := avail[i], avail[j]
+			if perRack[a.Rack] != perRack[b.Rack] {
+				return perRack[a.Rack] > perRack[b.Rack]
+			}
+			if a.Rack != b.Rack {
+				return a.Rack < b.Rack
+			}
+			return a.ID < b.ID
+		})
+	case PlaceScatter:
+		// Round-robin over PDUs: sort by (index within PDU, PDU, ID) so the
+		// prefix takes one node from each PDU before doubling up.
+		idxInPDU := map[int]int{}
+		order := make(map[*Node]int, len(avail))
+		sort.Slice(avail, func(i, j int) bool { return avail[i].ID < avail[j].ID })
+		for _, n := range avail {
+			order[n] = idxInPDU[n.PDU]
+			idxInPDU[n.PDU]++
+		}
+		sort.Slice(avail, func(i, j int) bool {
+			a, b := avail[i], avail[j]
+			if order[a] != order[b] {
+				return order[a] < order[b]
+			}
+			if a.PDU != b.PDU {
+				return a.PDU < b.PDU
+			}
+			return a.ID < b.ID
+		})
+	case PlaceFirstFit:
+		sort.Slice(avail, func(i, j int) bool { return avail[i].ID < avail[j].ID })
+	}
+}
+
+// AllocateWith is Allocate with an explicit placement strategy.
+func (c *Cluster) AllocateWith(jobID int64, count int, now simulator.Time, eligible func(*Node) bool, s Strategy) []*Node {
+	avail := c.AvailableNodes(eligible)
+	if len(avail) < count {
+		return nil
+	}
+	orderForStrategy(avail, s)
+	chosen := avail[:count]
+	for _, n := range chosen {
+		n.setState(StateBusy, now)
+		n.JobID = jobID
+	}
+	cp := make([]*Node, count)
+	copy(cp, chosen)
+	c.byJob[jobID] = cp
+	return cp
+}
+
+// PDUPower sums a per-node value (typically instantaneous draw) across
+// each PDU and returns the maximum PDU total — the number a PDU breaker or
+// branch-circuit limit cares about.
+func (c *Cluster) PDUPower(nodeValue func(id int) float64) (perPDU []float64, maxPDU float64) {
+	perPDU = make([]float64, c.PDUs)
+	for _, n := range c.Nodes {
+		perPDU[n.PDU] += nodeValue(n.ID)
+	}
+	for _, v := range perPDU {
+		if v > maxPDU {
+			maxPDU = v
+		}
+	}
+	return perPDU, maxPDU
+}

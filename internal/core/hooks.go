@@ -1,0 +1,178 @@
+package core
+
+import (
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/simulator"
+)
+
+// Policy is one EPA JSRM capability. Attach is called once, before the
+// simulation starts; the policy registers the hooks it needs and may
+// schedule its own periodic events on m.Eng. This mirrors Figure 1 of the
+// paper: policies sit between the job scheduler / resource manager pair and
+// the energy/power monitoring + control planes.
+type Policy interface {
+	Name() string
+	Attach(m *Manager)
+}
+
+// AdmitFunc decides at submission whether a job enters the queue. Returning
+// (false, reason) cancels the job — RIKEN's pre-run power-estimate gate is
+// an AdmitFunc.
+type AdmitFunc func(m *Manager, j *jobs.Job) (ok bool, reason string)
+
+// StartGateFunc is consulted every scheduling pass for each candidate job;
+// returning false keeps the job waiting this pass (MS3's job-count limit,
+// the boot-window power headroom check).
+type StartGateFunc func(m *Manager, j *jobs.Job) bool
+
+// NodeFilterFunc restricts which nodes a job may run on (layout-aware
+// maintenance avoidance, capped/uncapped pools).
+type NodeFilterFunc func(m *Manager, j *jobs.Job, n *cluster.Node) bool
+
+// ShapeFunc may replace a job's shape (nodes, runtime) just before start —
+// the moldable-jobs mechanism from the over-provisioning literature.
+// Returning ok=false keeps the original shape.
+type ShapeFunc func(m *Manager, j *jobs.Job, freeNodes int) (cfg jobs.MoldConfig, ok bool)
+
+// FreqFunc proposes a frequency fraction for a job at start; the manager
+// takes the minimum across policies (a job never runs faster than any
+// policy allows).
+type FreqFunc func(m *Manager, j *jobs.Job) float64
+
+// PlaceFunc proposes a placement strategy for a job about to start
+// (topology-aware allocation, survey Q6). The first registered hook that
+// returns ok wins; the default is compact placement.
+type PlaceFunc func(m *Manager, j *jobs.Job) (cluster.Strategy, bool)
+
+// StartHook observes a job start (after nodes are allocated and power
+// registered).
+type StartHook func(m *Manager, j *jobs.Job, nodes []*cluster.Node)
+
+// EndHook observes a job end (completion or kill), after energy metering.
+type EndHook func(m *Manager, j *jobs.Job)
+
+// hooks collects everything policies registered.
+type hooks struct {
+	admit   []AdmitFunc
+	gates   []StartGateFunc
+	filters []NodeFilterFunc
+	shapers []ShapeFunc
+	freqs   []FreqFunc
+	placers []PlaceFunc
+	starts  []StartHook
+	ends    []EndHook
+}
+
+// OnAdmit registers an admission hook.
+func (m *Manager) OnAdmit(f AdmitFunc) { m.hooks.admit = append(m.hooks.admit, f) }
+
+// OnStartGate registers a start gate.
+func (m *Manager) OnStartGate(f StartGateFunc) { m.hooks.gates = append(m.hooks.gates, f) }
+
+// OnNodeFilter registers a node eligibility filter.
+func (m *Manager) OnNodeFilter(f NodeFilterFunc) { m.hooks.filters = append(m.hooks.filters, f) }
+
+// OnShape registers a moldable-job shaper.
+func (m *Manager) OnShape(f ShapeFunc) { m.hooks.shapers = append(m.hooks.shapers, f) }
+
+// OnFreq registers a frequency selector.
+func (m *Manager) OnFreq(f FreqFunc) { m.hooks.freqs = append(m.hooks.freqs, f) }
+
+// OnPlacement registers a placement-strategy selector.
+func (m *Manager) OnPlacement(f PlaceFunc) { m.hooks.placers = append(m.hooks.placers, f) }
+
+// OnJobStart registers a start observer.
+func (m *Manager) OnJobStart(f StartHook) { m.hooks.starts = append(m.hooks.starts, f) }
+
+// OnJobEnd registers an end observer.
+func (m *Manager) OnJobEnd(f EndHook) { m.hooks.ends = append(m.hooks.ends, f) }
+
+func (m *Manager) nodeEligible(j *jobs.Job, n *cluster.Node) bool {
+	for _, f := range m.hooks.filters {
+		if !f(m, j, n) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Manager) gateOpen(j *jobs.Job) bool {
+	for _, g := range m.hooks.gates {
+		if !g(m, j) {
+			return false
+		}
+	}
+	return true
+}
+
+// StartGatesOpen reports whether every registered start gate currently
+// admits job j. Policies that provision capacity (booting nodes for queued
+// demand) consult this so they do not act for jobs that another policy is
+// holding back — e.g. booting nodes for a job the boot-window power cap
+// will refuse to start anyway.
+func (m *Manager) StartGatesOpen(j *jobs.Job) bool { return m.gateOpen(j) }
+
+func (m *Manager) chooseFreq(j *jobs.Job) float64 {
+	frac := 1.0
+	for _, f := range m.hooks.freqs {
+		if v := f(m, j); v > 0 && v < frac {
+			frac = v
+		}
+	}
+	if frac < m.Pw.Model.MinFrac {
+		frac = m.Pw.Model.MinFrac
+	}
+	return frac
+}
+
+// choosePlacement picks the placement strategy for a job: the first
+// placement hook that expresses a preference wins, else compact.
+func (m *Manager) choosePlacement(j *jobs.Job) cluster.Strategy {
+	for _, f := range m.hooks.placers {
+		if s, ok := f(m, j); ok {
+			return s
+		}
+	}
+	return cluster.PlaceCompact
+}
+
+// commSlowdown computes the placement-dependent runtime multiplier for a
+// job's communication fraction from its placement span.
+func (m *Manager) commSlowdown(j *jobs.Job, nodes []*cluster.Node) float64 {
+	if j.CommFrac <= 0 || len(nodes) < 2 || m.TopoPenaltyPerHop <= 0 {
+		return 1
+	}
+	span := cluster.PlacementSpan(nodes)
+	if span <= 1 {
+		return 1
+	}
+	// Communication phases stretch per hop beyond one rack; the rest of
+	// the runtime is unaffected.
+	commStretch := 1 + m.TopoPenaltyPerHop*float64(span-1)
+	return (1 - j.CommFrac) + j.CommFrac*commStretch
+}
+
+// CommSlowdown exposes the multiplier applied to a running job, for
+// experiments and reports (1 if unknown or not running).
+func (m *Manager) CommSlowdown(id int64) float64 {
+	if r := m.runningJobs[id]; r != nil && r.commSlow > 0 {
+		return r.commSlow
+	}
+	return 1
+}
+
+// PolicyNames lists the attached policies in order, for Figure-1 style
+// component reports.
+func (m *Manager) PolicyNames() []string {
+	var out []string
+	for _, p := range m.policies {
+		out = append(out, p.Name())
+	}
+	return out
+}
+
+// ScheduleEvery forwards to the engine; convenience for policies.
+func (m *Manager) ScheduleEvery(period simulator.Time, name string, fn func(now simulator.Time)) func() {
+	return m.Eng.Every(period, name, fn)
+}

@@ -1,0 +1,526 @@
+// Package core implements the EPA JSRM manager — the synthesis of a job
+// scheduler and a resource manager with energy/power monitoring and control
+// that Figure 1 of the paper depicts. The Manager owns the batch queue,
+// drives the scheduling algorithm, performs node allocation and lifecycle
+// control, meters energy per job, and exposes the hook surface the EPA
+// policies (internal/policy) plug into.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/power"
+	"epajsrm/internal/sched"
+	"epajsrm/internal/simulator"
+)
+
+// running tracks one executing job.
+type running struct {
+	job      *jobs.Job
+	nodes    []*cluster.Node
+	finish   *simulator.Event
+	curFrac  float64 // effective frequency fraction the finish event assumed
+	commSlow float64 // placement-dependent communication slowdown (>= 1)
+	lastSync simulator.Time
+}
+
+// Manager is the EPA JSRM control point for one system.
+type Manager struct {
+	Eng   *simulator.Engine
+	Cl    *cluster.Cluster
+	Pw    *power.System
+	Ctrl  *power.Controller
+	Fac   *power.Facility
+	Tel   *power.Telemetry
+	Sched sched.Scheduler
+	Queue *jobs.Queue
+
+	// PowerEstimator predicts a job's per-node draw before it runs; the
+	// default is the oracle (the job's true draw). Sites replace it with a
+	// predictor from internal/predict — RIKEN estimates pre-run power from
+	// temperature, CINECA from models built on monitoring data.
+	PowerEstimator func(j *jobs.Job) float64
+
+	// EnforceWalltime kills jobs that exceed their requested walltime in
+	// wallclock terms — which DVFS slowdown can cause, one of the
+	// "unintended consequences" Q7 asks about.
+	EnforceWalltime bool
+
+	// TopoPenaltyPerHop is the relative runtime stretch per topology hop of
+	// placement span applied to a job's communication fraction: a job with
+	// CommFrac c placed with span s runs its communication phases
+	// (1 + TopoPenaltyPerHop*(s-1)) slower than on one rack. Survey Q6's
+	// topology-aware allocation exists to shrink this term.
+	TopoPenaltyPerHop float64
+
+	policies []Policy
+	hooks    hooks
+
+	runningJobs map[int64]*running
+	nextID      int64
+
+	Metrics Metrics
+}
+
+// Options configures a Manager.
+type Options struct {
+	Cluster   cluster.Config
+	NodeModel power.NodeModel
+	PStates   power.PStateTable
+	VarSigma  float64
+	Seed      uint64
+	Scheduler sched.Scheduler
+	Facility  *power.Facility
+	Telemetry simulator.Time // sampling period; 0 = 30 s
+	// Engine lets several managers share one virtual clock — required when
+	// two systems coordinate (Tokyo Tech's TSUBAME2/3 facility budget
+	// sharing). Nil creates a private engine.
+	Engine *simulator.Engine
+}
+
+// NewManager assembles a complete system: cluster, power substrate,
+// out-of-band controller, telemetry, scheduler, queue.
+func NewManager(opt Options) *Manager {
+	if opt.Scheduler == nil {
+		opt.Scheduler = sched.EASY{}
+	}
+	if opt.PStates == nil {
+		opt.PStates = power.DefaultPStates()
+	}
+	if opt.NodeModel == (power.NodeModel{}) {
+		opt.NodeModel = power.DefaultNodeModel()
+	}
+	eng := opt.Engine
+	if eng == nil {
+		eng = simulator.NewEngine()
+	}
+	cl := cluster.New(opt.Cluster)
+	rng := simulator.NewRNG(opt.Seed)
+	pw := power.NewSystem(cl, opt.NodeModel, opt.PStates, opt.VarSigma, rng)
+	m := &Manager{
+		Eng:         eng,
+		Cl:          cl,
+		Pw:          pw,
+		Ctrl:        power.NewController(eng, pw),
+		Fac:         opt.Facility,
+		Sched:       opt.Scheduler,
+		Queue:       jobs.NewQueue("batch"),
+		runningJobs: make(map[int64]*running),
+	}
+	m.PowerEstimator = func(j *jobs.Job) float64 { return j.PowerPerNodeW }
+	m.TopoPenaltyPerHop = 0.05
+	m.Tel = power.NewTelemetry(pw, opt.Facility, opt.Telemetry, 0).Start(eng)
+	m.Metrics.lastT = 0
+	return m
+}
+
+// Use attaches a policy. Policies must be attached before the run starts.
+func (m *Manager) Use(p Policy) *Manager {
+	m.policies = append(m.policies, p)
+	p.Attach(m)
+	return m
+}
+
+// NextJobID mints a fresh job ID.
+func (m *Manager) NextJobID() int64 {
+	m.nextID++
+	return m.nextID
+}
+
+// Submit schedules job j to arrive at time at. The job must validate.
+func (m *Manager) Submit(j *jobs.Job, at simulator.Time) error {
+	if j.ID == 0 {
+		j.ID = m.NextJobID()
+	} else if j.ID > m.nextID {
+		m.nextID = j.ID
+	}
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	if j.Nodes > m.Cl.Size() {
+		return fmt.Errorf("core: job %d wants %d nodes, system has %d", j.ID, j.Nodes, m.Cl.Size())
+	}
+	_, err := m.Eng.At(at, "job-arrival", func(now simulator.Time) {
+		m.arrive(j, now)
+	})
+	return err
+}
+
+func (m *Manager) arrive(j *jobs.Job, now simulator.Time) {
+	j.Submit = now
+	j.State = jobs.StateQueued
+	m.Metrics.Submitted++
+	for _, ad := range m.hooks.admit {
+		if ok, reason := ad(m, j); !ok {
+			j.State = jobs.StateCancelled
+			j.KillReason = reason
+			m.Metrics.Cancelled++
+			return
+		}
+	}
+	m.Queue.Push(j)
+	m.TrySchedule(now)
+}
+
+// TrySchedule runs one scheduling pass. Policies call this after they change
+// conditions (freeing budget, booting nodes, lifting maintenance).
+func (m *Manager) TrySchedule(now simulator.Time) {
+	for {
+		started := m.schedulePass(now)
+		if started == 0 {
+			return
+		}
+	}
+}
+
+func (m *Manager) schedulePass(now simulator.Time) int {
+	all := m.Queue.Jobs()
+	if len(all) == 0 {
+		return 0
+	}
+	// Candidates: jobs whose start gates are open this pass.
+	var cands []*jobs.Job
+	for _, j := range all {
+		if m.gateOpen(j) {
+			cands = append(cands, j)
+		}
+	}
+	if len(cands) == 0 {
+		return 0
+	}
+	v := sched.View{
+		Now:        now,
+		TotalNodes: m.eligibleCapacity(),
+		Queue:      cands,
+	}
+	// Free nodes is job-independent only if no per-job node filters exist;
+	// we expose the unfiltered pool size and re-validate per job at start.
+	v.Free = m.Cl.AvailableCount(nil)
+	for _, j := range m.Running() {
+		r := m.runningJobs[j.ID]
+		v.Running = append(v.Running, sched.RunningJob{
+			Job:         r.job,
+			Nodes:       len(r.nodes),
+			ExpectedEnd: m.expectedEnd(r),
+		})
+	}
+	picked := m.Sched.Pick(v)
+	started := 0
+	for _, j := range picked {
+		if m.startJob(j, now) {
+			started++
+		}
+	}
+	return started
+}
+
+// eligibleCapacity counts nodes that could ever host work (not down, not in
+// maintenance).
+func (m *Manager) eligibleCapacity() int {
+	k := 0
+	for _, n := range m.Cl.Nodes {
+		if n.State == cluster.StateDown || n.Maintenance || m.Cl.InfraMaintenance(n) {
+			continue
+		}
+		k++
+	}
+	return k
+}
+
+// expectedEnd is the scheduler-visible completion estimate: start +
+// walltime (never ground truth), scaled by the job's current frequency.
+func (m *Manager) expectedEnd(r *running) simulator.Time {
+	wall := float64(r.job.Walltime)
+	if r.curFrac > 0 && r.curFrac < 1 {
+		wall = wall / r.curFrac
+	}
+	e := r.job.Start + simulator.Time(wall)
+	if e <= m.Eng.Now() {
+		e = m.Eng.Now() + 1
+	}
+	return e
+}
+
+func (m *Manager) startJob(j *jobs.Job, now simulator.Time) bool {
+	// Re-check the start gates: earlier starts in the same pass may have
+	// consumed the power headroom the gate was measuring.
+	if !m.gateOpen(j) {
+		return false
+	}
+	// Moldable reshaping — but never for a resumed (checkpointed) job:
+	// its WorkDone is measured against the shape it started with, and a
+	// checkpoint image is tied to its process layout anyway.
+	if j.WorkDone == 0 {
+		free := m.Cl.AvailableCount(func(n *cluster.Node) bool { return m.nodeEligible(j, n) })
+		for _, sh := range m.hooks.shapers {
+			if cfg, ok := sh(m, j, free); ok {
+				j.Nodes = cfg.Nodes
+				j.TrueRuntime = cfg.Runtime
+			}
+		}
+	}
+	nodes := m.Cl.AllocateWith(j.ID, j.Nodes, now,
+		func(n *cluster.Node) bool { return m.nodeEligible(j, n) },
+		m.choosePlacement(j))
+	if nodes == nil {
+		return false
+	}
+	if !m.Queue.Remove(j.ID) {
+		// Job vanished from the queue (cancelled between pick and start).
+		m.Cl.Release(j.ID, now)
+		return false
+	}
+	j.State = jobs.StateRunning
+	j.Start = now
+	j.FreqFrac = m.chooseFreq(j)
+	// WorkDone is deliberately NOT reset: a preempted (checkpointed) job
+	// resumes from its accumulated progress.
+	j.LastProgress = now
+
+	m.Pw.StartJob(now, j.ID, nodes, j.PowerPerNodeW, j.MemFrac, j.FreqFrac)
+	r := &running{job: j, nodes: nodes, lastSync: now, commSlow: m.commSlowdown(j, nodes)}
+	m.runningJobs[j.ID] = r
+	m.Metrics.noteAlloc(now, len(nodes), m.Cl.Size())
+	m.scheduleFinish(r, now)
+
+	for _, h := range m.hooks.starts {
+		h(m, j, nodes)
+	}
+	return true
+}
+
+// scheduleFinish (re)arms the completion event based on remaining work and
+// the job's current effective frequency.
+func (m *Manager) scheduleFinish(r *running, now simulator.Time) {
+	if r.finish != nil {
+		r.finish.Cancel()
+	}
+	frac := m.Pw.JobFrac(r.job.ID)
+	r.curFrac = frac
+	r.lastSync = now
+	remainingWork := float64(r.job.TrueRuntime) - r.job.WorkDone
+	if remainingWork < 0 {
+		remainingWork = 0
+	}
+	slow := power.Slowdown(frac, r.job.MemFrac) * r.commSlow
+	dur := simulator.Time(remainingWork*slow + 0.5)
+	if dur < 1 && remainingWork > 0 {
+		dur = 1
+	}
+	end := now + dur
+	if m.EnforceWalltime {
+		wallEnd := r.job.Start + r.job.Walltime
+		if wallEnd < end {
+			r.finish = m.Eng.After(wallEnd-now, "walltime-kill", func(t simulator.Time) {
+				m.KillJob(r.job.ID, "walltime exceeded", t)
+			})
+			return
+		}
+	}
+	r.finish = m.Eng.After(end-now, "job-finish", func(t simulator.Time) {
+		m.finishJob(r.job.ID, t)
+	})
+}
+
+// syncProgress brings WorkDone up to now at the rate the job has been
+// running since lastSync.
+func (m *Manager) syncProgress(r *running, now simulator.Time) {
+	dt := float64(now - r.lastSync)
+	if dt <= 0 {
+		return
+	}
+	slow := power.Slowdown(r.curFrac, r.job.MemFrac) * r.commSlow
+	if slow <= 0 {
+		slow = 1
+	}
+	r.job.WorkDone += dt / slow
+	r.job.LastProgress = now
+	r.lastSync = now
+}
+
+// RetimeJob must be called after anything changes a running job's effective
+// frequency (cap changes, DVFS actuation, power sharing). It accounts
+// progress at the old rate and re-arms the finish event at the new rate.
+func (m *Manager) RetimeJob(id int64, now simulator.Time) {
+	r := m.runningJobs[id]
+	if r == nil {
+		return
+	}
+	m.syncProgress(r, now)
+	m.scheduleFinish(r, now)
+}
+
+// RetimeAll retimes every running job — used after bulk cap changes. The
+// order is deterministic (ID-sorted) because simultaneous finish events
+// fire in scheduling order.
+func (m *Manager) RetimeAll(now simulator.Time) {
+	ids := make([]int64, 0, len(m.runningJobs))
+	for id := range m.runningJobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		m.RetimeJob(id, now)
+	}
+}
+
+func (m *Manager) finishJob(id int64, now simulator.Time) {
+	r := m.runningJobs[id]
+	if r == nil {
+		return
+	}
+	m.syncProgress(r, now)
+	delete(m.runningJobs, id)
+	j := r.job
+	j.State = jobs.StateCompleted
+	j.End = now
+	m.Pw.EndJob(now, id, r.nodes)
+	j.EnergyJ = m.Pw.JobEnergy(id)
+	released := m.Cl.Release(id, now)
+	m.finishDrains(released, now)
+	m.Metrics.noteRelease(now, len(r.nodes), m.Cl.Size())
+	m.Metrics.noteCompletion(j)
+	for _, h := range m.hooks.ends {
+		h(m, j)
+	}
+	m.TrySchedule(now)
+}
+
+// KillJob terminates a running job (emergency power response, walltime
+// overrun). The job keeps its metered energy; its nodes free immediately.
+func (m *Manager) KillJob(id int64, reason string, now simulator.Time) bool {
+	r := m.runningJobs[id]
+	if r == nil {
+		return false
+	}
+	m.syncProgress(r, now)
+	if r.finish != nil {
+		r.finish.Cancel()
+	}
+	delete(m.runningJobs, id)
+	j := r.job
+	j.State = jobs.StateKilled
+	j.KillReason = reason
+	j.End = now
+	m.Pw.EndJob(now, id, r.nodes)
+	j.EnergyJ = m.Pw.JobEnergy(id)
+	released := m.Cl.Release(id, now)
+	m.finishDrains(released, now)
+	m.Metrics.noteRelease(now, len(r.nodes), m.Cl.Size())
+	m.Metrics.noteKill(j)
+	for _, h := range m.hooks.ends {
+		h(m, j)
+	}
+	m.TrySchedule(now)
+	return true
+}
+
+// PreemptJob checkpoints a running job and returns it to the queue: its
+// accumulated progress (WorkDone) survives, so only the work since the
+// last progress sync is at stake — unlike KillJob, which discards the job.
+// Emergency power response can use this as a gentler actuator than
+// RIKEN's automated killing where the software stack supports
+// checkpoint/restart. Returns false if the job is not running.
+func (m *Manager) PreemptJob(id int64, now simulator.Time) bool {
+	r := m.runningJobs[id]
+	if r == nil {
+		return false
+	}
+	m.syncProgress(r, now)
+	if r.finish != nil {
+		r.finish.Cancel()
+	}
+	delete(m.runningJobs, id)
+	j := r.job
+	j.State = jobs.StateQueued
+	m.Pw.EndJob(now, id, r.nodes)
+	released := m.Cl.Release(id, now)
+	m.finishDrains(released, now)
+	m.Metrics.noteRelease(now, len(r.nodes), m.Cl.Size())
+	m.Metrics.Preemptions++
+	// Requeue with progress preserved; remaining walltime shrinks by the
+	// fraction of work already done so the scheduler's estimate stays sane.
+	m.Queue.Push(j)
+	m.TrySchedule(now)
+	return true
+}
+
+// finishDrains completes the shutdown of nodes that were released in
+// draining state.
+func (m *Manager) finishDrains(nodes []*cluster.Node, now simulator.Time) {
+	for _, n := range nodes {
+		m.Pw.RefreshNode(now, n)
+		if n.State == cluster.StateShuttingDown {
+			nn := n
+			m.Eng.After(m.Cl.Cfg.ShutdownDelay, "drain-off", func(t simulator.Time) {
+				m.Cl.FinishShutdown(nn, t)
+				m.Pw.RefreshNode(t, nn)
+			})
+		}
+	}
+}
+
+// Running returns the currently executing jobs in ID order. The ordering
+// matters: runningJobs is a map, and any consumer that breaks ties by
+// encounter order (the EASY reservation sort, emergency victim selection)
+// must see a deterministic sequence or runs stop being reproducible.
+func (m *Manager) Running() []*jobs.Job {
+	out := make([]*jobs.Job, 0, len(m.runningJobs))
+	for _, r := range m.runningJobs {
+		out = append(out, r.job)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RunningCount returns how many jobs are executing.
+func (m *Manager) RunningCount() int { return len(m.runningJobs) }
+
+// JobNodes exposes a running job's placement.
+func (m *Manager) JobNodes(id int64) []*cluster.Node {
+	if r := m.runningJobs[id]; r != nil {
+		return r.nodes
+	}
+	return nil
+}
+
+// EstimatedStartPower predicts the additional draw starting job j would
+// cause, using the configured estimator and the idle draw its nodes stop
+// paying. If the job needs more nodes than are currently available — so a
+// node-on/off policy would have to boot powered-off nodes for it — the
+// off-to-idle (and boot-transient) delta for the shortfall is included,
+// otherwise power-cap gates systematically under-estimate starts on green
+// (partially powered-down) machines. Boot-window and emergency policies
+// gate on this.
+func (m *Manager) EstimatedStartPower(j *jobs.Job) float64 {
+	per := m.PowerEstimator(j)
+	if per < m.Pw.Model.IdleW {
+		per = m.Pw.Model.IdleW
+	}
+	add := float64(j.Nodes) * (per - m.Pw.Model.IdleW)
+	if short := j.Nodes - m.Cl.AvailableCount(func(n *cluster.Node) bool { return m.nodeEligible(j, n) }); short > 0 {
+		transient := m.Pw.Model.IdleW
+		if m.Pw.Model.BootW > transient {
+			transient = m.Pw.Model.BootW
+		}
+		add += float64(short) * (transient - m.Pw.Model.OffW)
+	}
+	return add
+}
+
+// Run drives the simulation to the horizon (every queued event at or before
+// horizon fires; horizon < 0 runs to quiescence) and closes the metrics
+// integration at the final time. Periodic policy loops are daemon events:
+// they do not keep an unbounded run alive, so when a policy gates queued
+// jobs on conditions only its own loop re-evaluates (temperature, window
+// averages), run with an explicit horizon.
+func (m *Manager) Run(horizon simulator.Time) simulator.Time {
+	end := m.Eng.RunUntil(horizon)
+	m.Pw.Advance(end)
+	m.Metrics.close(end, m.Cl.Size())
+	m.Tel.Stop()
+	return end
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/simulator"
+	"epajsrm/internal/stats"
+)
+
+// Metrics aggregates the outcome of a run in the terms the survey's Q3 and
+// Q7 use: throughput, job sizes and wait times, utilization, and the
+// energy/power figures the EPA policies exist to improve.
+type Metrics struct {
+	Submitted   int
+	Completed   int
+	Killed      int
+	Cancelled   int
+	Preemptions int
+
+	Waits      stats.Sample // seconds
+	Slowdowns  stats.Sample // bounded slowdown
+	RunSizes   stats.Sample // nodes, completed jobs
+	RunTimes   stats.Sample // seconds wallclock, completed jobs
+	JobEnergyJ stats.Sample // joules per completed job
+
+	// NodeSecondsDone counts completed useful work (nodes x true runtime),
+	// the throughput numerator under a power budget (Sarood et al.).
+	NodeSecondsDone float64
+
+	// Utilization integration.
+	busyNodes    int
+	lastT        simulator.Time
+	busyIntegral float64 // node-seconds occupied
+	horizon      simulator.Time
+	closed       bool
+}
+
+func (mt *Metrics) advance(now simulator.Time) {
+	if now > mt.lastT {
+		mt.busyIntegral += float64(mt.busyNodes) * float64(now-mt.lastT)
+		mt.lastT = now
+	}
+}
+
+func (mt *Metrics) noteAlloc(now simulator.Time, n, total int) {
+	mt.advance(now)
+	mt.busyNodes += n
+	if mt.busyNodes > total {
+		panic("core: busy nodes exceed cluster size")
+	}
+}
+
+func (mt *Metrics) noteRelease(now simulator.Time, n, total int) {
+	mt.advance(now)
+	mt.busyNodes -= n
+	if mt.busyNodes < 0 {
+		panic("core: negative busy node count")
+	}
+}
+
+func (mt *Metrics) noteCompletion(j *jobs.Job) {
+	mt.Completed++
+	mt.Waits.Add(float64(j.WaitTime()))
+	mt.Slowdowns.Add(j.BoundedSlowdown())
+	mt.RunSizes.AddInt(j.Nodes)
+	mt.RunTimes.Add(float64(j.End - j.Start))
+	mt.JobEnergyJ.Add(j.EnergyJ)
+	mt.NodeSecondsDone += j.NodeSeconds()
+}
+
+func (mt *Metrics) noteKill(j *jobs.Job) {
+	mt.Killed++
+	mt.Waits.Add(float64(j.WaitTime()))
+}
+
+func (mt *Metrics) close(end simulator.Time, totalNodes int) {
+	if mt.closed {
+		return
+	}
+	mt.advance(end)
+	mt.horizon = end
+	mt.closed = true
+}
+
+// Utilization returns occupied node-seconds over available node-seconds for
+// the whole run.
+func (mt *Metrics) Utilization(totalNodes int) float64 {
+	if mt.horizon == 0 || totalNodes == 0 {
+		return 0
+	}
+	return mt.busyIntegral / (float64(totalNodes) * float64(mt.horizon))
+}
+
+// ThroughputNodeHoursPerDay converts completed work into node-hours/day.
+func (mt *Metrics) ThroughputNodeHoursPerDay() float64 {
+	if mt.horizon == 0 {
+		return 0
+	}
+	days := float64(mt.horizon) / float64(simulator.Day)
+	return mt.NodeSecondsDone / 3600 / days
+}
+
+// JobsPerDay returns the completion rate — Q3(c) asks sites for jobs/month;
+// per-day is the simulator-scale equivalent.
+func (mt *Metrics) JobsPerDay() float64 {
+	if mt.horizon == 0 {
+		return 0
+	}
+	return float64(mt.Completed) / (float64(mt.horizon) / float64(simulator.Day))
+}
+
+// Summary renders a one-line digest.
+func (mt *Metrics) Summary(totalNodes int) string {
+	return fmt.Sprintf("completed=%d killed=%d cancelled=%d util=%.1f%% wait(med)=%s thr=%.0f node-h/day",
+		mt.Completed, mt.Killed, mt.Cancelled,
+		100*mt.Utilization(totalNodes),
+		simulator.Time(mt.Waits.Median()).String(),
+		mt.ThroughputNodeHoursPerDay())
+}

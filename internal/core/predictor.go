@@ -1,0 +1,27 @@
+package core
+
+import "epajsrm/internal/jobs"
+
+// PowerPredictor is satisfied by the predictors in internal/predict:
+// anything that can estimate per-node power pre-run and learn from
+// measured outcomes.
+type PowerPredictor interface {
+	Predict(j *jobs.Job) float64
+	Observe(j *jobs.Job, measuredPerNodeW float64)
+}
+
+// UsePredictor replaces the manager's oracle power estimator with a real
+// predictor and wires the post-job feedback loop: every completed job's
+// measured average per-node draw is fed back as a training observation —
+// the production pattern at RIKEN (temperature-adjusted pre-run estimates)
+// and CINECA (models regenerated from scalable monitoring data).
+func UsePredictor(m *Manager, p PowerPredictor) {
+	m.PowerEstimator = p.Predict
+	m.OnJobEnd(func(m *Manager, j *jobs.Job) {
+		dur := float64(j.End - j.Start)
+		if j.State != jobs.StateCompleted || dur <= 0 || j.Nodes == 0 {
+			return
+		}
+		p.Observe(j, j.EnergyJ/dur/float64(j.Nodes))
+	})
+}

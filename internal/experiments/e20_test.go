@@ -1,0 +1,19 @@
+package experiments
+
+import "testing"
+
+func TestE20FairShareShape(t *testing.T) {
+	r := E20FairShare(1)
+	// The light users' service quality must improve dramatically...
+	if r.Values["light_slow_fs"] >= r.Values["light_slow_base"]/2 {
+		t.Fatalf("fairshare barely helped light users: %v", r.Values)
+	}
+	// ...approaching dedicated-machine service (the mean is dragged by a
+	// few short jobs whose bounded slowdown punishes any wait at all).
+	if r.Values["light_slow_fs"] > 6 {
+		t.Fatalf("light users still queue badly: %v", r.Values["light_slow_fs"])
+	}
+	if r.Values["light_fs"] > r.Values["light_base"] {
+		t.Fatalf("fairshare raised light users' wait: %v", r.Values)
+	}
+}

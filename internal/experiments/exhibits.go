@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/core"
+	"epajsrm/internal/policy"
+	"epajsrm/internal/power"
+	"epajsrm/internal/report"
+	"epajsrm/internal/sched"
+	"epajsrm/internal/simulator"
+	"epajsrm/internal/survey"
+)
+
+// T1TableI regenerates the paper's Table I from the survey data model.
+func T1TableI() Result {
+	tbl := survey.ActivityTable(1)
+	return Result{
+		ID:    "T1",
+		Title: "Table I — summary of the answers from each center (part 1)",
+		Table: tbl,
+		Notes: []string{
+			"generated from the structured survey model in internal/survey, not transcribed",
+		},
+		Values: map[string]float64{"rows": float64(len(tbl.Rows))},
+	}
+}
+
+// T2TableII regenerates the paper's Table II.
+func T2TableII() Result {
+	tbl := survey.ActivityTable(2)
+	return Result{
+		ID:     "T2",
+		Title:  "Table II — summary of the answers from each center (part 2)",
+		Table:  tbl,
+		Values: map[string]float64{"rows": float64(len(tbl.Rows))},
+	}
+}
+
+// F1ComponentDiagram regenerates Figure 1 from a live EPA JSRM stack: a
+// manager assembled with one policy of each functional category, queried
+// for its actual component registry.
+func F1ComponentDiagram() Result {
+	m := core.NewManager(core.Options{
+		Cluster:   cluster.DefaultConfig(),
+		Scheduler: sched.EASY{},
+		Seed:      1,
+		Facility:  power.DefaultFacility(),
+	})
+	m.Use(&policy.StaticCap{CapW: 270, UncappedFrac: 0.3})
+	m.Use(&policy.IdleShutdown{IdleAfter: 15 * simulator.Minute})
+	m.Use(&policy.EnergyReport{})
+	diagram := report.ComponentDiagram(report.Components{
+		SystemName:  m.Cl.Cfg.Name,
+		Scheduler:   m.Sched.Name(),
+		Policies:    m.PolicyNames(),
+		Nodes:       m.Cl.Size(),
+		HasFacility: m.Fac != nil,
+		HasESP:      false,
+		Telemetry:   m.Tel.Period.String(),
+	})
+	return Result{
+		ID:    "F1",
+		Title: "Figure 1 — interactions among the components of an EPA JSRM solution",
+		Table: report.Table{Title: diagram},
+		Notes: []string{"diagram generated from the live component registry of a constructed core.Manager"},
+		Values: map[string]float64{
+			"policies": float64(len(m.PolicyNames())),
+		},
+	}
+}
+
+// F2WorldMap regenerates Figure 2: the geographic location of the nine
+// participating centers.
+func F2WorldMap() Result {
+	pts := survey.MapPoints()
+	mapStr := report.WorldMap(pts, 76, 22)
+	return Result{
+		ID:     "F2",
+		Title:  "Figure 2 — map of the geographic location of the participating centers",
+		Table:  report.Table{Title: mapStr},
+		Notes:  []string{"equirectangular schematic; markers 1-9 are the surveyed sites"},
+		Values: map[string]float64{"sites": float64(len(pts))},
+	}
+}

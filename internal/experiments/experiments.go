@@ -1,0 +1,135 @@
+// Package experiments implements the reproduction harness: one function
+// per exhibit of the paper (Tables I/II, Figures 1/2) and one per
+// validation experiment (E1–E20) from DESIGN.md's experiment index. Each
+// returns a Result whose table holds the rows a paper would print;
+// bench_test.go at the repository root wraps each in a testing.B target,
+// and cmd/epabench prints them all.
+package experiments
+
+import (
+	"fmt"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/core"
+	"epajsrm/internal/power"
+	"epajsrm/internal/report"
+	"epajsrm/internal/sched"
+	"epajsrm/internal/simulator"
+	"epajsrm/internal/workload"
+)
+
+// Result is one experiment's output.
+type Result struct {
+	ID    string
+	Title string
+	Table report.Table
+	// Notes carries the shape conclusions checked against the paper/cited
+	// literature.
+	Notes []string
+	// Key numbers for programmatic assertions in benches/tests.
+	Values map[string]float64
+}
+
+// Render prints the result as text.
+func (r Result) Render() string {
+	s := fmt.Sprintf("== %s: %s ==\n%s", r.ID, r.Title, r.Table.Render())
+	for _, n := range r.Notes {
+		s += "note: " + n + "\n"
+	}
+	return s
+}
+
+// fmtW formats watts as kW with sensible precision.
+func fmtW(w float64) string { return fmt.Sprintf("%.1f", w/1000) }
+
+// fmtPct formats a ratio as a percentage.
+func fmtPct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// stdMgr builds the standard 64-node experiment system.
+func stdMgr(seed uint64, varSigma float64, s sched.Scheduler, pols ...core.Policy) *core.Manager {
+	if s == nil {
+		s = sched.EASY{}
+	}
+	m := core.NewManager(core.Options{
+		Cluster:   cluster.DefaultConfig(),
+		Scheduler: s,
+		Seed:      seed,
+		VarSigma:  varSigma,
+		Facility:  power.DefaultFacility(),
+	})
+	for _, p := range pols {
+		m.Use(p)
+	}
+	return m
+}
+
+// stdMgrSized builds an experiment system with a custom node count,
+// keeping rack shape proportional.
+func stdMgrSized(seed uint64, nodes int, s sched.Scheduler, pols ...core.Policy) *core.Manager {
+	if s == nil {
+		s = sched.EASY{}
+	}
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = nodes
+	m := core.NewManager(core.Options{
+		Cluster:   cfg,
+		Scheduler: s,
+		Seed:      seed,
+		VarSigma:  0.05,
+		Facility:  power.DefaultFacility(),
+	})
+	for _, p := range pols {
+		m.Use(p)
+	}
+	return m
+}
+
+// feed submits n jobs of the given spec.
+func feed(m *core.Manager, spec workload.Spec, seed uint64, n int) {
+	for _, j := range workload.NewGenerator(spec, seed).Generate(n) {
+		if err := m.Submit(j, j.Submit); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// probePeak installs a 30-second peak-power probe and returns a getter.
+func probePeak(m *core.Manager) func() float64 {
+	maxP := 0.0
+	m.Eng.Every(30*simulator.Second, "peak-probe", func(simulator.Time) {
+		if p := m.Pw.TotalPower(); p > maxP {
+			maxP = p
+		}
+	})
+	return func() float64 { return maxP }
+}
+
+// All runs every exhibit and experiment in order.
+func All(seed uint64) []Result {
+	return []Result{
+		T1TableI(),
+		T2TableII(),
+		F1ComponentDiagram(),
+		F2WorldMap(),
+		E1StaticCap(seed),
+		E2IdleShutdown(seed),
+		E3DVFS(),
+		E4PowerSharing(seed),
+		E5Overprovision(seed),
+		E6Emergency(seed),
+		E7EnergyTag(seed),
+		E8Prediction(seed),
+		E9InterSystem(seed),
+		E10Layout(seed),
+		E11MS3(seed),
+		E12Backfill(seed),
+		E13GridAware(seed),
+		E14RuntimeBalance(seed),
+		E15Topology(seed),
+		E16CapabilityWindow(seed),
+		E17RampLimit(seed),
+		E18CoolingAware(seed),
+		E19Monitoring(seed),
+		E20FairShare(seed),
+	}
+}

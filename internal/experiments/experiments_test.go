@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests assert the *shape* claims from DESIGN.md's index —
+// who wins, roughly by how much, and hard invariants (zero kills, zero
+// maintenance violations) — not absolute numbers.
+
+func TestT1T2Exhibits(t *testing.T) {
+	t1 := T1TableI()
+	if v := t1.Values["rows"]; v != 5 {
+		t.Fatalf("Table I rows = %v, want 5", v)
+	}
+	t2 := T2TableII()
+	if v := t2.Values["rows"]; v != 4 {
+		t.Fatalf("Table II rows = %v, want 4", v)
+	}
+	if !strings.Contains(t1.Render(), "KAUST") || !strings.Contains(t2.Render(), "JCAHPC") {
+		t.Fatal("exhibit render missing centers")
+	}
+}
+
+func TestF1F2Exhibits(t *testing.T) {
+	f1 := F1ComponentDiagram()
+	if f1.Values["policies"] != 3 {
+		t.Fatalf("F1 policies = %v", f1.Values["policies"])
+	}
+	for _, want := range []string{"JOB SCHEDULER", "RESOURCE MANAGER", "MONITORING", "CONTROL PLANE"} {
+		if !strings.Contains(f1.Render(), want) {
+			t.Fatalf("F1 missing %q", want)
+		}
+	}
+	f2 := F2WorldMap()
+	if f2.Values["sites"] != 9 {
+		t.Fatalf("F2 sites = %v", f2.Values["sites"])
+	}
+	if !strings.Contains(f2.Render(), "RIKEN") {
+		t.Fatal("F2 legend missing RIKEN")
+	}
+}
+
+func TestE1StaticCapShape(t *testing.T) {
+	r := E1StaticCap(1)
+	if r.Values["cap_peak_w"] >= r.Values["base_peak_w"] {
+		t.Fatalf("capping did not reduce peak: %v vs %v", r.Values["cap_peak_w"], r.Values["base_peak_w"])
+	}
+	// Throughput cost bounded: capped config keeps >= 70 % of baseline.
+	if r.Values["cap_thr"] < 0.7*r.Values["base_thr"] {
+		t.Fatalf("throughput collapsed: %v vs %v", r.Values["cap_thr"], r.Values["base_thr"])
+	}
+}
+
+func TestE2IdleShutdownShape(t *testing.T) {
+	r := E2IdleShutdown(1)
+	// Savings grow as load falls.
+	if !(r.Values["saved_3600"] > r.Values["saved_400"]) {
+		t.Fatalf("savings did not grow with sparsity: %v", r.Values)
+	}
+	if r.Values["saved_3600"] < 0.3 {
+		t.Fatalf("sparse-load savings %v too small", r.Values["saved_3600"])
+	}
+	// No kills under boot-window capping.
+	for _, arr := range []string{"400", "1200", "3600"} {
+		if r.Values["kills_"+arr] != 0 {
+			t.Fatalf("kills at arrival %s: %v", arr, r.Values["kills_"+arr])
+		}
+	}
+}
+
+func TestE3DVFSShape(t *testing.T) {
+	r := E3DVFS()
+	// Energy-optimal frequency falls as memory-boundedness rises.
+	if !(r.Values["beststar_mem80"] <= r.Values["beststar_mem50"] &&
+		r.Values["beststar_mem50"] <= r.Values["beststar_mem0"]) {
+		t.Fatalf("optimal frequency not monotone in memory-boundedness: %v", r.Values)
+	}
+	// Memory-bound job at the lowest frequency saves energy vs nominal.
+	if r.Values["min_e_mem80"] >= 1 {
+		t.Fatalf("memory-bound deep downclock energy %v >= nominal", r.Values["min_e_mem80"])
+	}
+}
+
+func TestE4PowerSharingShape(t *testing.T) {
+	r := E4PowerSharing(1)
+	// Dynamic never loses at any budget, and wins clearly at the tightest.
+	for k, v := range r.Values {
+		if v < -0.02 {
+			t.Fatalf("dynamic sharing lost at %s: %v", k, v)
+		}
+	}
+	if r.Values["gain_9600"] <= 0 {
+		t.Fatalf("no gain at the tight budget: %v", r.Values)
+	}
+}
+
+func TestE5OverprovisionShape(t *testing.T) {
+	r := E5Overprovision(1)
+	if r.Values["over_thr"] <= r.Values["small_thr"] {
+		t.Fatalf("over-provisioning lost: %v", r.Values)
+	}
+}
+
+func TestE6EmergencyShape(t *testing.T) {
+	r := E6Emergency(1)
+	if r.Values["kills_nogate"] == 0 {
+		t.Fatal("ungated run should overcommit and kill")
+	}
+	if r.Values["kills_gate"] != 0 {
+		t.Fatalf("gated run still killed %v jobs", r.Values["kills_gate"])
+	}
+	if r.Values["gate_holds"] == 0 {
+		t.Fatal("gate never held")
+	}
+}
+
+func TestE7EnergyTagShape(t *testing.T) {
+	r := E7EnergyTag(1)
+	if r.Values["energy_job_kwh"] >= r.Values["perf_job_kwh"] {
+		t.Fatalf("energy goal did not save energy: %v", r.Values)
+	}
+	stretch := r.Values["energy_rt"] / r.Values["perf_rt"]
+	if stretch > 1.35 {
+		t.Fatalf("runtime stretch %v exceeds the 1.3 bound (+margin)", stretch)
+	}
+}
+
+func TestE8PredictionShape(t *testing.T) {
+	r := E8Prediction(1)
+	if r.Values["mape_tag-history"] >= r.Values["mape_naive-mean"] {
+		t.Fatalf("tag history no better than naive: %v", r.Values)
+	}
+	if r.Values["mape_regression"] >= r.Values["mape_naive-mean"] {
+		t.Fatalf("regression no better than naive: %v", r.Values)
+	}
+}
+
+func TestE9InterSystemShape(t *testing.T) {
+	r := E9InterSystem(1)
+	// Day 0: system 1 loaded -> bigger share. Day 1: load moved -> share fell.
+	if r.Values["share1_day0"] <= r.Values["budget"]/2 {
+		t.Fatalf("loaded system share %v not above half", r.Values["share1_day0"])
+	}
+	if r.Values["share1_day1"] >= r.Values["share1_day0"] {
+		t.Fatalf("share did not follow demand: %v", r.Values)
+	}
+	if r.Values["combined_peak"] > r.Values["budget"]*1.05 {
+		t.Fatalf("joint budget violated: %v", r.Values)
+	}
+	if r.Values["done1"] == 0 || r.Values["done2"] == 0 {
+		t.Fatalf("a system starved: %v", r.Values)
+	}
+}
+
+func TestE10LayoutShape(t *testing.T) {
+	r := E10Layout(1)
+	if r.Values["violations"] != 0 {
+		t.Fatalf("jobs ran on the serviced PDU: %v node-minutes", r.Values["violations"])
+	}
+	if r.Values["completed"] == 0 {
+		t.Fatal("nothing completed")
+	}
+}
+
+func TestE11MS3Shape(t *testing.T) {
+	r := E11MS3(1)
+	if r.Values["summer_busy"] >= r.Values["winter_busy"] {
+		t.Fatalf("summer concurrency %v not below winter %v", r.Values["summer_busy"], r.Values["winter_busy"])
+	}
+	if r.Values["deferrals"] == 0 {
+		t.Fatal("MS3 never deferred")
+	}
+}
+
+func TestE12BackfillShape(t *testing.T) {
+	r := E12Backfill(1)
+	if r.Values["util_easy"] < r.Values["util_fcfs"] {
+		t.Fatalf("EASY utilization below FCFS: %v", r.Values)
+	}
+	if r.Values["wait_easy"] > r.Values["wait_fcfs"] {
+		t.Fatalf("EASY median wait above FCFS: %v", r.Values)
+	}
+}
+
+func TestE13GridShape(t *testing.T) {
+	r := E13GridAware(1)
+	base := r.Values["cost_base"] / r.Values["done_base"]
+	shift := r.Values["cost_shift"] / r.Values["done_shift"]
+	if shift >= base {
+		t.Fatalf("peak shifting did not cut cost/job: %.4f vs %.4f", shift, base)
+	}
+	if r.Values["cost_turb"] >= r.Values["cost_shift"] {
+		t.Fatalf("turbine did not cut cost further: %v", r.Values)
+	}
+}
+
+func TestE14RuntimeBalanceShape(t *testing.T) {
+	r := E14RuntimeBalance(1)
+	if r.Values["speedup_10"] <= 0 {
+		t.Fatalf("no speedup at 10%% variability: %v", r.Values)
+	}
+	if r.Values["speedup_10"] <= r.Values["speedup_2"] {
+		t.Fatalf("speedup should grow with variability: %v", r.Values)
+	}
+}
+
+func TestAllRunsEveryExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in short mode")
+	}
+	rs := All(1)
+	if len(rs) != 24 {
+		t.Fatalf("results = %d, want 24", len(rs))
+	}
+	ids := map[string]bool{}
+	for _, r := range rs {
+		if ids[r.ID] {
+			t.Fatalf("duplicate id %s", r.ID)
+		}
+		ids[r.ID] = true
+		if r.Render() == "" {
+			t.Fatalf("%s renders empty", r.ID)
+		}
+	}
+}
+
+func TestE15TopologyShape(t *testing.T) {
+	r := E15Topology(1)
+	if r.Values["rt_compact"] >= r.Values["rt_oblivious"] {
+		t.Fatalf("compact placement did not cut mean runtime: %v", r.Values)
+	}
+	// Performance gains translate into energy gains (the Q6 mechanism).
+	if r.Values["e_compact"] >= r.Values["e_oblivious"] {
+		t.Fatalf("compact placement did not cut energy: %v", r.Values)
+	}
+	// Scattering the hungry job strictly lowers the worst PDU draw.
+	if r.Values["pdu_scatter"] >= r.Values["pdu_compact"] {
+		t.Fatalf("scatter did not lower the worst PDU draw: %v", r.Values)
+	}
+}
+
+func TestE16CapabilityWindowShape(t *testing.T) {
+	r := E16CapabilityWindow(1)
+	if r.Values["wide_in_window_frac"] < 0.95 {
+		t.Fatalf("wide work leaked outside the window: %v", r.Values["wide_in_window_frac"])
+	}
+	if r.Values["completed"] == 0 {
+		t.Fatal("nothing completed")
+	}
+}
+
+func TestE17RampLimitShape(t *testing.T) {
+	r := E17RampLimit(1)
+	if r.Values["ramp_limit"] >= r.Values["ramp_base"] {
+		t.Fatalf("ramp limiter did not reduce the worst ramp: %v", r.Values)
+	}
+	if r.Values["ramp_limit"] > 2000*1.2 {
+		t.Fatalf("worst ramp %v exceeds the budget by >20%%", r.Values["ramp_limit"])
+	}
+}
+
+func TestE18CoolingAwareShape(t *testing.T) {
+	r := E18CoolingAware(1)
+	if r.Values["site_cool"] >= r.Values["site_base"] {
+		t.Fatalf("cooling-aware deferral did not cut site energy: %v", r.Values)
+	}
+	// IT energy roughly unchanged: within 5 %.
+	ratio := r.Values["it_cool"] / r.Values["it_base"]
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("IT energy should be ~unchanged, ratio %v", ratio)
+	}
+}
+
+func TestE19MonitoringShape(t *testing.T) {
+	r := E19Monitoring(1)
+	if r.Values["samples"] < 1000 {
+		t.Fatalf("too few samples: %v", r.Values["samples"])
+	}
+	if r.Values["mean_w"] <= 0 {
+		t.Fatal("no power observed")
+	}
+}

@@ -1,0 +1,179 @@
+// Package jobs defines the batch-job model the scheduler and the EPA
+// policies operate on: rigid and moldable jobs, power characteristics,
+// lifecycle states, and queues. It follows the survey's vocabulary —
+// users submit jobs into queues (Q3), jobs carry walltime estimates, and
+// power-aware solutions attach per-application knowledge (tags,
+// characterization data, historical power) to jobs.
+package jobs
+
+import (
+	"fmt"
+
+	"epajsrm/internal/simulator"
+)
+
+// State is the lifecycle state of a job.
+type State int
+
+const (
+	// StateQueued means the job waits in a batch queue.
+	StateQueued State = iota
+	// StateRunning means the job holds nodes and is executing.
+	StateRunning
+	// StateCompleted means the job finished normally.
+	StateCompleted
+	// StateKilled means the job was terminated by the system (e.g. RIKEN's
+	// automated emergency kill when the site power limit is exceeded, or a
+	// walltime overrun).
+	StateKilled
+	// StateCancelled means the job was rejected or withdrawn before start.
+	StateCancelled
+)
+
+var stateNames = [...]string{"queued", "running", "completed", "killed", "cancelled"}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// MoldConfig is one admissible shape of a moldable job: run on Nodes nodes
+// for about Runtime. The power-capping literature the survey cites (Sarood,
+// Patki, Bailey) exploits these alternatives to fit jobs under a budget.
+type MoldConfig struct {
+	Nodes   int
+	Runtime simulator.Time
+}
+
+// Job is one batch job.
+type Job struct {
+	ID      int64
+	User    string
+	Project string
+	// Tag identifies the application for characterization and history-based
+	// power prediction (LRZ characterizes each new app on first run; Auweter
+	// et al. and Borghesi et al. key on exactly such tags).
+	Tag string
+
+	// Request.
+	Nodes    int            // requested node count (rigid shape)
+	Walltime simulator.Time // user's runtime estimate (upper bound)
+	Queue    string
+	Priority int // larger = more important
+
+	// Ground truth, hidden from the scheduler until events reveal it.
+	TrueRuntime   simulator.Time // runtime at nominal frequency
+	PowerPerNodeW float64        // node draw at nominal frequency while running
+	MemFrac       float64        // fraction of time not scaled by frequency
+	// CommFrac is how communication-sensitive the job is: the fraction of
+	// runtime spent in inter-node communication, which stretches when the
+	// placement spans more of the topology (survey Q6's topology-aware
+	// task allocation exists to shrink exactly this).
+	CommFrac float64
+
+	// Moldable alternatives; empty for rigid jobs. Each config's runtime is
+	// the job's true runtime at that width.
+	Mold []MoldConfig
+
+	// Lifecycle bookkeeping, written by the manager.
+	State      State
+	Submit     simulator.Time
+	Start      simulator.Time
+	End        simulator.Time
+	FreqFrac   float64 // frequency assigned at start (1 = nominal)
+	EnergyJ    float64 // metered energy, filled at end (post-job reports)
+	KillReason string
+
+	// WorkDone tracks progress in nominal-frequency seconds, so that
+	// mid-flight frequency changes (dynamic caps, power sharing) re-time the
+	// job correctly.
+	WorkDone float64
+	// LastProgress is when WorkDone was last brought up to date.
+	LastProgress simulator.Time
+}
+
+// Validate checks the request for internal consistency.
+func (j *Job) Validate() error {
+	if j.Nodes <= 0 {
+		return fmt.Errorf("job %d: non-positive node count %d", j.ID, j.Nodes)
+	}
+	if j.Walltime <= 0 {
+		return fmt.Errorf("job %d: non-positive walltime", j.ID)
+	}
+	if j.TrueRuntime <= 0 {
+		return fmt.Errorf("job %d: non-positive true runtime", j.ID)
+	}
+	if j.PowerPerNodeW < 0 {
+		return fmt.Errorf("job %d: negative power", j.ID)
+	}
+	if j.MemFrac < 0 || j.MemFrac > 1 {
+		return fmt.Errorf("job %d: MemFrac %.2f out of [0,1]", j.ID, j.MemFrac)
+	}
+	if j.CommFrac < 0 || j.CommFrac > 1 {
+		return fmt.Errorf("job %d: CommFrac %.2f out of [0,1]", j.ID, j.CommFrac)
+	}
+	for i, m := range j.Mold {
+		if m.Nodes <= 0 || m.Runtime <= 0 {
+			return fmt.Errorf("job %d: invalid mold config %d", j.ID, i)
+		}
+	}
+	return nil
+}
+
+// WaitTime returns how long the job waited in the queue (0 if never
+// started).
+func (j *Job) WaitTime() simulator.Time {
+	if j.State == StateQueued || j.State == StateCancelled {
+		return 0
+	}
+	return j.Start - j.Submit
+}
+
+// BoundedSlowdown returns the standard scheduling metric
+// max(1, (wait + run) / max(run, bound)) with a 10-minute bound.
+func (j *Job) BoundedSlowdown() float64 {
+	if j.State != StateCompleted && j.State != StateKilled {
+		return 1
+	}
+	run := j.End - j.Start
+	bound := 10 * simulator.Minute
+	denom := run
+	if denom < bound {
+		denom = bound
+	}
+	s := float64(j.WaitTime()+run) / float64(denom)
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// NodeSeconds returns requested nodes times true runtime — the job's
+// nominal resource footprint.
+func (j *Job) NodeSeconds() float64 {
+	return float64(j.Nodes) * float64(j.TrueRuntime)
+}
+
+// BestMoldUnder returns the widest mold configuration whose node count is
+// at most maxNodes, or (zero, false) when none fits. Rigid jobs expose
+// their single shape.
+func (j *Job) BestMoldUnder(maxNodes int) (MoldConfig, bool) {
+	best := MoldConfig{}
+	found := false
+	consider := j.Mold
+	if len(consider) == 0 {
+		consider = []MoldConfig{{Nodes: j.Nodes, Runtime: j.TrueRuntime}}
+	}
+	for _, m := range consider {
+		if m.Nodes > maxNodes {
+			continue
+		}
+		if !found || m.Nodes > best.Nodes {
+			best = m
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,200 @@
+package jobs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"epajsrm/internal/simulator"
+)
+
+func validJob() *Job {
+	return &Job{
+		ID: 1, User: "u", Nodes: 4, Walltime: 7200,
+		TrueRuntime: 3600, PowerPerNodeW: 300, MemFrac: 0.3,
+	}
+}
+
+func TestValidateAcceptsGoodJob(t *testing.T) {
+	if err := validJob().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []func(*Job){
+		func(j *Job) { j.Nodes = 0 },
+		func(j *Job) { j.Walltime = 0 },
+		func(j *Job) { j.TrueRuntime = -1 },
+		func(j *Job) { j.PowerPerNodeW = -1 },
+		func(j *Job) { j.MemFrac = 1.5 },
+		func(j *Job) { j.Mold = []MoldConfig{{Nodes: 0, Runtime: 100}} },
+	}
+	for i, mutate := range cases {
+		j := validJob()
+		mutate(j)
+		if err := j.Validate(); err == nil {
+			t.Errorf("case %d: invalid job accepted", i)
+		}
+	}
+}
+
+func TestWaitTime(t *testing.T) {
+	j := validJob()
+	j.Submit, j.Start = 100, 400
+	j.State = StateRunning
+	if got := j.WaitTime(); got != 300 {
+		t.Fatalf("wait = %d", got)
+	}
+	j.State = StateQueued
+	if got := j.WaitTime(); got != 0 {
+		t.Fatalf("queued wait = %d", got)
+	}
+}
+
+func TestBoundedSlowdown(t *testing.T) {
+	j := validJob()
+	j.Submit, j.Start, j.End = 0, 3600, 7200
+	j.State = StateCompleted
+	// wait 3600 + run 3600 over run 3600 = 2.
+	if got := j.BoundedSlowdown(); got != 2 {
+		t.Fatalf("slowdown = %f", got)
+	}
+	// Short job: bound kicks in at 10 min.
+	j.Start, j.End = 600, 660
+	if got := j.BoundedSlowdown(); got != (600.0+60)/600 {
+		t.Fatalf("bounded slowdown = %f", got)
+	}
+	// Never below 1.
+	j.Submit, j.Start, j.End = 0, 0, 1
+	if got := j.BoundedSlowdown(); got != 1 {
+		t.Fatalf("slowdown floor = %f", got)
+	}
+}
+
+func TestBestMoldUnder(t *testing.T) {
+	j := validJob()
+	j.Mold = []MoldConfig{
+		{Nodes: 4, Runtime: 3600},
+		{Nodes: 2, Runtime: 6480},
+		{Nodes: 8, Runtime: 2000},
+	}
+	if cfg, ok := j.BestMoldUnder(16); !ok || cfg.Nodes != 8 {
+		t.Fatalf("best under 16 = %+v ok=%v", cfg, ok)
+	}
+	if cfg, ok := j.BestMoldUnder(5); !ok || cfg.Nodes != 4 {
+		t.Fatalf("best under 5 = %+v", cfg)
+	}
+	if _, ok := j.BestMoldUnder(1); ok {
+		t.Fatal("nothing fits under 1")
+	}
+	// Rigid job exposes its single shape.
+	r := validJob()
+	if cfg, ok := r.BestMoldUnder(10); !ok || cfg.Nodes != 4 || cfg.Runtime != 3600 {
+		t.Fatalf("rigid shape = %+v ok=%v", cfg, ok)
+	}
+}
+
+func TestQueuePriorityFIFO(t *testing.T) {
+	q := NewQueue("batch")
+	mk := func(id int64, prio int) *Job {
+		j := validJob()
+		j.ID, j.Priority = id, prio
+		return j
+	}
+	q.Push(mk(1, 0))
+	q.Push(mk(2, 5))
+	q.Push(mk(3, 0))
+	q.Push(mk(4, 5))
+	got := q.Jobs()
+	wantOrder := []int64{2, 4, 1, 3} // priority desc, FIFO within level
+	for i, j := range got {
+		if j.ID != wantOrder[i] {
+			t.Fatalf("order = %v at %d, want %v", j.ID, i, wantOrder)
+		}
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := NewQueue("batch")
+	j := validJob()
+	q.Push(j)
+	if !q.Remove(j.ID) {
+		t.Fatal("remove failed")
+	}
+	if q.Remove(j.ID) {
+		t.Fatal("double remove succeeded")
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue not empty")
+	}
+}
+
+func TestQueuePeekAndDemand(t *testing.T) {
+	q := NewQueue("batch")
+	if q.Peek() != nil {
+		t.Fatal("peek on empty queue")
+	}
+	a, b := validJob(), validJob()
+	a.ID, b.ID = 1, 2
+	b.Nodes = 6
+	q.Push(a)
+	q.Push(b)
+	if q.Peek().ID != 1 {
+		t.Fatal("peek should return head")
+	}
+	if q.TotalNodeDemand() != 10 {
+		t.Fatalf("demand = %d", q.TotalNodeDemand())
+	}
+}
+
+func TestQueueJobsReturnsCopy(t *testing.T) {
+	q := NewQueue("batch")
+	q.Push(validJob())
+	js := q.Jobs()
+	js[0] = nil
+	if q.Peek() == nil {
+		t.Fatal("mutating the returned slice must not affect the queue")
+	}
+}
+
+func TestQueueOrderingProperty(t *testing.T) {
+	f := func(prios []uint8) bool {
+		q := NewQueue("p")
+		for i, p := range prios {
+			j := validJob()
+			j.ID = int64(i + 1)
+			j.Priority = int(p % 4)
+			q.Push(j)
+		}
+		js := q.Jobs()
+		for i := 1; i < len(js); i++ {
+			if js[i].Priority > js[i-1].Priority {
+				return false
+			}
+			if js[i].Priority == js[i-1].Priority && js[i].ID < js[i-1].ID {
+				return false // FIFO violated within priority level
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeSeconds(t *testing.T) {
+	j := validJob()
+	if got := j.NodeSeconds(); got != 4*3600 {
+		t.Fatalf("node-seconds = %f", got)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateQueued.String() != "queued" || StateKilled.String() != "killed" {
+		t.Fatal("state names wrong")
+	}
+	if State(99).String() == "" {
+		t.Fatal("unknown state should still render")
+	}
+	_ = simulator.Time(0) // keep import used if cases change
+}

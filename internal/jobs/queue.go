@@ -1,0 +1,64 @@
+package jobs
+
+import "sort"
+
+// Queue is an ordered collection of waiting jobs. Ordering is
+// priority-then-FIFO, matching how production batch queues break ties
+// (survey §II-A: queues "may be designated as having higher or lower
+// priorities").
+type Queue struct {
+	Name string
+	jobs []*Job
+}
+
+// NewQueue returns an empty queue.
+func NewQueue(name string) *Queue { return &Queue{Name: name} }
+
+// Len returns the number of waiting jobs.
+func (q *Queue) Len() int { return len(q.jobs) }
+
+// Push appends a job and restores priority-FIFO order.
+func (q *Queue) Push(j *Job) {
+	q.jobs = append(q.jobs, j)
+	// Stable sort by priority descending; submission order (and hence FIFO
+	// within a priority level) is preserved by stability.
+	sort.SliceStable(q.jobs, func(a, b int) bool {
+		return q.jobs[a].Priority > q.jobs[b].Priority
+	})
+}
+
+// Peek returns the head job without removing it, or nil when empty.
+func (q *Queue) Peek() *Job {
+	if len(q.jobs) == 0 {
+		return nil
+	}
+	return q.jobs[0]
+}
+
+// Remove deletes the job with the given ID, returning whether it was found.
+func (q *Queue) Remove(id int64) bool {
+	for i, j := range q.jobs {
+		if j.ID == id {
+			q.jobs = append(q.jobs[:i], q.jobs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Jobs returns the waiting jobs in order. The slice is a copy; the jobs are
+// shared.
+func (q *Queue) Jobs() []*Job {
+	out := make([]*Job, len(q.jobs))
+	copy(out, q.jobs)
+	return out
+}
+
+// TotalNodeDemand sums the node requests of all waiting jobs.
+func (q *Queue) TotalNodeDemand() int {
+	t := 0
+	for _, j := range q.jobs {
+		t += j.Nodes
+	}
+	return t
+}

@@ -1,0 +1,363 @@
+// Package monitor implements the scalable, hierarchical power monitoring
+// the survey records in production and research: STFC "continuously
+// collecting power and energy system monitoring info, data center,
+// machine, and job levels", CINECA's "scalable power monitoring" (the
+// Examon lineage, with the University of Bologna), and Tokyo Tech's
+// "analyze collected power and energy info archived long term". Samples
+// flow from per-node readings up an aggregation tree (node → rack → PDU →
+// system) and are archived in multi-resolution rings so a year of virtual
+// time stays queryable at bounded memory.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/power"
+	"epajsrm/internal/simulator"
+	"epajsrm/internal/stats"
+)
+
+// Level is one tier of the aggregation hierarchy.
+type Level int
+
+const (
+	// LevelNode is a single compute node.
+	LevelNode Level = iota
+	// LevelRack aggregates the nodes of one rack.
+	LevelRack
+	// LevelPDU aggregates the racks of one PDU.
+	LevelPDU
+	// LevelSystem is the whole machine.
+	LevelSystem
+)
+
+var levelNames = [...]string{"node", "rack", "pdu", "system"}
+
+func (l Level) String() string {
+	if int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// Sample is one timestamped power reading in watts.
+type Sample struct {
+	At simulator.Time
+	W  float64
+}
+
+// ring is a fixed-capacity sample buffer that drops the oldest entries.
+type ring struct {
+	buf   []Sample
+	start int
+	n     int
+}
+
+func newRing(capacity int) *ring { return &ring{buf: make([]Sample, capacity)} }
+
+func (r *ring) push(s Sample) {
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = s
+		r.n++
+		return
+	}
+	r.buf[r.start] = s
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+func (r *ring) all() []Sample {
+	out := make([]Sample, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(r.start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Channel archives one metric stream at three resolutions: raw samples,
+// coarse means, and long-term means. Each tier covers a progressively
+// longer horizon at lower resolution — the standard telemetry-archive
+// shape.
+type Channel struct {
+	Level Level
+	Index int
+
+	Stats stats.Online
+
+	raw    *ring
+	coarse *ring
+	long   *ring
+
+	coarsePeriod simulator.Time
+	longPeriod   simulator.Time
+	accC, accL   accum
+}
+
+type accum struct {
+	since simulator.Time
+	sum   float64
+	n     int
+}
+
+func (a *accum) add(w float64) { a.sum += w; a.n++ }
+func (a *accum) mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+func (a *accum) reset(at simulator.Time) { a.since = at; a.sum = 0; a.n = 0 }
+
+func newChannel(level Level, index int, rawKeep int, coarsePeriod, longPeriod simulator.Time) *Channel {
+	return &Channel{
+		Level: level, Index: index,
+		raw:          newRing(rawKeep),
+		coarse:       newRing(rawKeep),
+		long:         newRing(rawKeep),
+		coarsePeriod: coarsePeriod,
+		longPeriod:   longPeriod,
+	}
+}
+
+func (c *Channel) record(s Sample) {
+	c.Stats.Add(s.W)
+	c.raw.push(s)
+	if c.accC.n == 0 {
+		c.accC.since = s.At
+	}
+	if c.accL.n == 0 {
+		c.accL.since = s.At
+	}
+	c.accC.add(s.W)
+	c.accL.add(s.W)
+	if s.At-c.accC.since >= c.coarsePeriod {
+		c.coarse.push(Sample{At: c.accC.since, W: c.accC.mean()})
+		c.accC.reset(s.At)
+	}
+	if s.At-c.accL.since >= c.longPeriod {
+		c.long.push(Sample{At: c.accL.since, W: c.accL.mean()})
+		c.accL.reset(s.At)
+	}
+}
+
+// Range returns the archived samples covering [from, to), choosing the
+// finest tier that still covers `from`. Long-term analysis over months
+// transparently gets the hourly means; recent queries get raw samples.
+func (c *Channel) Range(from, to simulator.Time) []Sample {
+	pick := func(r *ring) ([]Sample, bool) {
+		all := r.all()
+		if len(all) == 0 || all[0].At > from {
+			return nil, false
+		}
+		return all, true
+	}
+	source, ok := pick(c.raw)
+	if !ok {
+		if source, ok = pick(c.coarse); !ok {
+			source = c.long.all()
+		}
+	}
+	lo := sort.Search(len(source), func(i int) bool { return source[i].At >= from })
+	hi := sort.Search(len(source), func(i int) bool { return source[i].At >= to })
+	out := make([]Sample, hi-lo)
+	copy(out, source[lo:hi])
+	return out
+}
+
+// Alert is a threshold subscription outcome delivered to a callback.
+type Alert struct {
+	At    simulator.Time
+	Level Level
+	Index int
+	W     float64
+	Limit float64
+}
+
+// Collector samples the power substrate and maintains the channel tree.
+type Collector struct {
+	Cl  *cluster.Cluster
+	Sys *power.System
+
+	// Thermal, when set, is advanced on every sample so node temperatures
+	// stay current with the power draw the collector observes (CINECA's
+	// "node power and temperature evolution" monitoring).
+	Thermal *power.Thermal
+
+	// Period is the sampling interval.
+	Period simulator.Time
+
+	nodes  []*Channel
+	racks  []*Channel
+	pdus   []*Channel
+	system *Channel
+
+	subs []subscription
+	stop func()
+}
+
+type subscription struct {
+	level Level
+	index int // -1 = all indices at the level
+	limit float64
+	fn    func(Alert)
+}
+
+// Options tunes archive sizing.
+type Options struct {
+	Period       simulator.Time // sampling period (default 30 s)
+	RawKeep      int            // raw samples kept per channel (default 2048)
+	CoarsePeriod simulator.Time // coarse tier bucket (default 5 min)
+	LongPeriod   simulator.Time // long-term tier bucket (default 1 h)
+}
+
+// NewCollector builds the channel tree over cl/sys.
+func NewCollector(cl *cluster.Cluster, sys *power.System, opt Options) *Collector {
+	if opt.Period <= 0 {
+		opt.Period = 30 * simulator.Second
+	}
+	if opt.RawKeep <= 0 {
+		opt.RawKeep = 2048
+	}
+	if opt.CoarsePeriod <= 0 {
+		opt.CoarsePeriod = 5 * simulator.Minute
+	}
+	if opt.LongPeriod <= 0 {
+		opt.LongPeriod = simulator.Hour
+	}
+	c := &Collector{Cl: cl, Sys: sys, Period: opt.Period}
+	mk := func(l Level, i int) *Channel {
+		return newChannel(l, i, opt.RawKeep, opt.CoarsePeriod, opt.LongPeriod)
+	}
+	for i := 0; i < cl.Size(); i++ {
+		c.nodes = append(c.nodes, mk(LevelNode, i))
+	}
+	for i := 0; i < cl.Racks; i++ {
+		c.racks = append(c.racks, mk(LevelRack, i))
+	}
+	for i := 0; i < cl.PDUs; i++ {
+		c.pdus = append(c.pdus, mk(LevelPDU, i))
+	}
+	c.system = mk(LevelSystem, 0)
+	return c
+}
+
+// Start begins periodic sampling on eng.
+func (c *Collector) Start(eng *simulator.Engine) *Collector {
+	c.stop = eng.Every(c.Period, "monitor", c.SampleNow)
+	return c
+}
+
+// Stop halts sampling.
+func (c *Collector) Stop() {
+	if c.stop != nil {
+		c.stop()
+	}
+}
+
+// SampleNow takes one full hierarchy sample immediately.
+func (c *Collector) SampleNow(now simulator.Time) {
+	c.Sys.Advance(now)
+	if c.Thermal != nil {
+		c.Thermal.Advance(now)
+	}
+	rackW := make([]float64, c.Cl.Racks)
+	pduW := make([]float64, c.Cl.PDUs)
+	total := 0.0
+	for _, n := range c.Cl.Nodes {
+		w := c.Sys.NodePower(n.ID)
+		c.nodes[n.ID].record(Sample{At: now, W: w})
+		rackW[n.Rack] += w
+		pduW[n.PDU] += w
+		total += w
+	}
+	for i, w := range rackW {
+		c.racks[i].record(Sample{At: now, W: w})
+	}
+	for i, w := range pduW {
+		c.pdus[i].record(Sample{At: now, W: w})
+	}
+	c.system.record(Sample{At: now, W: total})
+	c.checkSubs(now, rackW, pduW, total)
+}
+
+func (c *Collector) checkSubs(now simulator.Time, rackW, pduW []float64, total float64) {
+	for _, s := range c.subs {
+		fire := func(index int, w float64) {
+			if w > s.limit {
+				s.fn(Alert{At: now, Level: s.level, Index: index, W: w, Limit: s.limit})
+			}
+		}
+		switch s.level {
+		case LevelNode:
+			if s.index >= 0 {
+				fire(s.index, c.Sys.NodePower(s.index))
+			} else {
+				for i := range c.nodes {
+					fire(i, c.Sys.NodePower(i))
+				}
+			}
+		case LevelRack:
+			for i, w := range rackW {
+				if s.index < 0 || s.index == i {
+					fire(i, w)
+				}
+			}
+		case LevelPDU:
+			for i, w := range pduW {
+				if s.index < 0 || s.index == i {
+					fire(i, w)
+				}
+			}
+		case LevelSystem:
+			fire(0, total)
+		}
+	}
+}
+
+// Subscribe registers a threshold alert: fn fires on every sample where
+// the channel exceeds limitW. index -1 subscribes to every channel at the
+// level.
+func (c *Collector) Subscribe(level Level, index int, limitW float64, fn func(Alert)) {
+	c.subs = append(c.subs, subscription{level: level, index: index, limit: limitW, fn: fn})
+}
+
+// Channel returns the archive channel at (level, index), or nil.
+func (c *Collector) Channel(level Level, index int) *Channel {
+	switch level {
+	case LevelNode:
+		if index >= 0 && index < len(c.nodes) {
+			return c.nodes[index]
+		}
+	case LevelRack:
+		if index >= 0 && index < len(c.racks) {
+			return c.racks[index]
+		}
+	case LevelPDU:
+		if index >= 0 && index < len(c.pdus) {
+			return c.pdus[index]
+		}
+	case LevelSystem:
+		if index == 0 {
+			return c.system
+		}
+	}
+	return nil
+}
+
+// HottestNodes returns the n node indices with the highest mean draw so
+// far — KAUST's "analyzing and detecting most power hungry applications"
+// needs exactly this view.
+func (c *Collector) HottestNodes(n int) []int {
+	idx := make([]int, len(c.nodes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return c.nodes[idx[a]].Stats.Mean() > c.nodes[idx[b]].Stats.Mean()
+	})
+	if n > len(idx) {
+		n = len(idx)
+	}
+	return idx[:n]
+}

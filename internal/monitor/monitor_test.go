@@ -1,0 +1,206 @@
+package monitor
+
+import (
+	"testing"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/power"
+	"epajsrm/internal/simulator"
+)
+
+func newCollector(t *testing.T, opt Options) (*Collector, *simulator.Engine, *cluster.Cluster, *power.System) {
+	t.Helper()
+	eng := simulator.NewEngine()
+	cl := cluster.New(cluster.DefaultConfig())
+	sys := power.NewSystem(cl, power.DefaultNodeModel(), power.DefaultPStates(), 0, nil)
+	return NewCollector(cl, sys, opt), eng, cl, sys
+}
+
+func TestHierarchySumsAreConsistent(t *testing.T) {
+	c, eng, cl, _ := newCollector(t, Options{Period: 10 * simulator.Second})
+	c.Start(eng)
+	eng.RunUntil(100)
+	// node sums == rack sums == pdu sums == system, per sample.
+	sys := c.Channel(LevelSystem, 0).raw.all()
+	if len(sys) != 10 {
+		t.Fatalf("system samples = %d", len(sys))
+	}
+	for k, s := range sys {
+		nodeSum := 0.0
+		for i := 0; i < cl.Size(); i++ {
+			nodeSum += c.Channel(LevelNode, i).raw.all()[k].W
+		}
+		rackSum := 0.0
+		for i := 0; i < cl.Racks; i++ {
+			rackSum += c.Channel(LevelRack, i).raw.all()[k].W
+		}
+		pduSum := 0.0
+		for i := 0; i < cl.PDUs; i++ {
+			pduSum += c.Channel(LevelPDU, i).raw.all()[k].W
+		}
+		for _, v := range []float64{nodeSum, rackSum, pduSum} {
+			if v < s.W-1e-6 || v > s.W+1e-6 {
+				t.Fatalf("sample %d: hierarchy sums diverge: %f vs system %f", k, v, s.W)
+			}
+		}
+	}
+}
+
+func TestRingDropsOldest(t *testing.T) {
+	r := newRing(3)
+	for i := 1; i <= 5; i++ {
+		r.push(Sample{At: simulator.Time(i), W: float64(i)})
+	}
+	all := r.all()
+	if len(all) != 3 || all[0].At != 3 || all[2].At != 5 {
+		t.Fatalf("ring contents = %v", all)
+	}
+}
+
+func TestMultiResolutionArchive(t *testing.T) {
+	c, eng, _, _ := newCollector(t, Options{
+		Period:       30 * simulator.Second,
+		RawKeep:      8, // tiny: raw covers only 4 minutes
+		CoarsePeriod: 5 * simulator.Minute,
+		LongPeriod:   simulator.Hour,
+	})
+	c.Start(eng)
+	eng.RunUntil(6 * simulator.Hour)
+	ch := c.Channel(LevelSystem, 0)
+
+	// A recent query is served from raw samples (30 s apart).
+	now := 6 * simulator.Hour
+	recent := ch.Range(now-2*simulator.Minute, now)
+	if len(recent) < 3 {
+		t.Fatalf("recent raw samples = %d", len(recent))
+	}
+	// A query reaching hours back cannot come from the 8-deep raw ring;
+	// it must fall back to a coarser tier and still return data.
+	old := ch.Range(simulator.Hour, 2*simulator.Hour)
+	if len(old) == 0 {
+		t.Fatal("hour-old query returned nothing — archive tiers broken")
+	}
+	// Coarse samples are 5 minutes apart: at most ~13 in an hour.
+	if len(old) > 14 {
+		t.Fatalf("old query returned %d samples, expected coarse tier", len(old))
+	}
+}
+
+func TestChannelStatsTrackMean(t *testing.T) {
+	c, eng, cl, sys := newCollector(t, Options{Period: 10 * simulator.Second})
+	c.Start(eng)
+	eng.RunUntil(100)
+	want := float64(cl.Size()) * sys.Model.IdleW
+	if got := c.Channel(LevelSystem, 0).Stats.Mean(); got != want {
+		t.Fatalf("system mean = %f, want %f", got, want)
+	}
+}
+
+func TestSubscriptionAlerts(t *testing.T) {
+	c, eng, cl, sys := newCollector(t, Options{Period: 10 * simulator.Second})
+	var alerts []Alert
+	idleSystem := float64(cl.Size()) * sys.Model.IdleW
+	c.Subscribe(LevelSystem, 0, idleSystem+100, func(a Alert) { alerts = append(alerts, a) })
+	c.Start(eng)
+	// Put load on at t=50 to cross the threshold.
+	eng.After(50, "load", func(now simulator.Time) {
+		nodes := cl.Allocate(1, 4, now, nil)
+		sys.StartJob(now, 1, nodes, 300, 0, 1)
+	})
+	eng.RunUntil(100)
+	if len(alerts) == 0 {
+		t.Fatal("no alerts fired")
+	}
+	if alerts[0].At < 50 {
+		t.Fatalf("alert before load at %d", alerts[0].At)
+	}
+	if alerts[0].Level != LevelSystem || alerts[0].W <= alerts[0].Limit {
+		t.Fatalf("bad alert %+v", alerts[0])
+	}
+}
+
+func TestSubscriptionPerNodeWildcard(t *testing.T) {
+	c, eng, cl, sys := newCollector(t, Options{Period: 10 * simulator.Second})
+	fired := map[int]bool{}
+	c.Subscribe(LevelNode, -1, 200, func(a Alert) { fired[a.Index] = true })
+	c.Start(eng)
+	eng.After(5, "load", func(now simulator.Time) {
+		nodes := cl.Allocate(1, 3, now, nil)
+		sys.StartJob(now, 1, nodes, 300, 0, 1)
+	})
+	eng.RunUntil(60)
+	if len(fired) != 3 {
+		t.Fatalf("alerted nodes = %d, want the 3 busy ones", len(fired))
+	}
+}
+
+func TestHottestNodes(t *testing.T) {
+	c, eng, cl, sys := newCollector(t, Options{Period: 10 * simulator.Second})
+	c.Start(eng)
+	eng.After(0, "load", func(now simulator.Time) {
+		nodes := cl.Allocate(1, 2, now, nil)
+		sys.StartJob(now, 1, nodes, 350, 0, 1)
+	})
+	eng.RunUntil(200)
+	hot := c.HottestNodes(2)
+	if len(hot) != 2 {
+		t.Fatalf("hottest = %v", hot)
+	}
+	busy := map[int]bool{}
+	for _, n := range cl.JobNodes(1) {
+		busy[n.ID] = true
+	}
+	for _, id := range hot {
+		if !busy[id] {
+			t.Fatalf("node %d reported hottest but is idle", id)
+		}
+	}
+}
+
+func TestChannelLookupBounds(t *testing.T) {
+	c, _, _, _ := newCollector(t, Options{})
+	if c.Channel(LevelNode, -1) != nil || c.Channel(LevelNode, 10000) != nil {
+		t.Fatal("out-of-range node channel")
+	}
+	if c.Channel(LevelSystem, 1) != nil {
+		t.Fatal("system channel index must be 0")
+	}
+	if c.Channel(LevelRack, 0) == nil || c.Channel(LevelPDU, 0) == nil {
+		t.Fatal("rack/pdu channels missing")
+	}
+}
+
+func TestCollectorStop(t *testing.T) {
+	c, eng, _, _ := newCollector(t, Options{Period: 10 * simulator.Second})
+	c.Start(eng)
+	eng.RunUntil(50)
+	n := c.Channel(LevelSystem, 0).Stats.N()
+	c.Stop()
+	eng.RunUntil(100)
+	if c.Channel(LevelSystem, 0).Stats.N() != n {
+		t.Fatal("collector kept sampling after Stop")
+	}
+}
+
+func TestCollectorAdvancesThermal(t *testing.T) {
+	eng := simulator.NewEngine()
+	cl := cluster.New(cluster.DefaultConfig())
+	sys := power.NewSystem(cl, power.DefaultNodeModel(), power.DefaultPStates(), 0, nil)
+	th := power.NewThermal(sys, power.DefaultThermalModel())
+	c := NewCollector(cl, sys, Options{Period: 10 * simulator.Second})
+	c.Thermal = th
+	c.Start(eng)
+	eng.After(5, "load", func(now simulator.Time) {
+		nodes := cl.Allocate(1, 2, now, nil)
+		sys.StartJob(now, 1, nodes, 360, 0, 1)
+	})
+	eng.RunUntil(simulator.Hour)
+	id, temp := th.HottestNode()
+	if cl.Nodes[id].JobID != 1 {
+		t.Fatalf("hottest node %d not running the job", id)
+	}
+	idle := 22 + th.Model.RthCPerW*sys.Model.IdleW
+	if temp <= idle+10 {
+		t.Fatalf("busy node temp %f barely above idle %f after an hour", temp, idle)
+	}
+}

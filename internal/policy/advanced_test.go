@@ -1,0 +1,410 @@
+package policy
+
+import (
+	"testing"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/core"
+	"epajsrm/internal/esp"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/power"
+	"epajsrm/internal/sched"
+	"epajsrm/internal/simulator"
+	"epajsrm/internal/workload"
+)
+
+func TestOverprovisionHoldsBudget(t *testing.T) {
+	budget := 64*90 + 25*270.0
+	p := &Overprovision{BudgetW: budget, PreferWide: true}
+	m := newMgr(t, 1, p)
+	submitN(t, m, 200, 31)
+	peak := maxPowerDuring(m, 4*simulator.Day, 30*simulator.Second)
+	if peak > budget*1.05 {
+		t.Fatalf("peak %.0f exceeds budget %.0f", peak, budget)
+	}
+	if m.Metrics.Completed < 150 {
+		t.Fatalf("completed = %d", m.Metrics.Completed)
+	}
+}
+
+func TestOverprovisionReshapesMoldableJobs(t *testing.T) {
+	idle := 64 * 90.0
+	p := &Overprovision{BudgetW: idle + 1200, PreferWide: false}
+	m := newMgr(t, 2, p)
+	// Moldable job wants 8 nodes (+8*210 = 1680 W > headroom 1200) but has
+	// a 4-node shape (+840 W) that fits.
+	j := testJob(1, 8, simulator.Hour, 300, 0.2)
+	j.Mold = []jobs.MoldConfig{
+		{Nodes: 8, Runtime: simulator.Hour},
+		{Nodes: 4, Runtime: 2 * simulator.Hour},
+	}
+	if err := m.Submit(j, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(-1)
+	if j.State != jobs.StateCompleted {
+		t.Fatalf("state = %v", j.State)
+	}
+	if j.Nodes != 4 {
+		t.Fatalf("job ran at %d nodes, want reshaped to 4", j.Nodes)
+	}
+	if p.Reshapes != 1 {
+		t.Fatalf("reshapes = %d", p.Reshapes)
+	}
+}
+
+func TestOverprovisionBeatsFullyPoweredSmallCluster(t *testing.T) {
+	// E5's shape (Sarood et al.): at a fixed power budget, more capped
+	// nodes beat fewer uncapped nodes. Budget runs ~32 nodes flat out.
+	budget := 32*330.0 + 32*15 // 32 busy + 32 off-ish worth of budget
+	horizon := 3 * simulator.Day
+
+	// Baseline: a 32-node machine, no caps, same budget implicitly.
+	small := core.NewManager(core.Options{
+		Cluster: cluster.Config{
+			Name: "small", Nodes: 32, NodesPerRack: 16, RacksPerPDU: 2, PDUsPerChiller: 2,
+			Sockets: 2, CoresPerSocket: 16, MemGB: 128,
+			BootDelay: 3 * simulator.Minute, ShutdownDelay: simulator.Minute,
+		},
+		Scheduler: sched.EASY{},
+		Seed:      3,
+	})
+	spec := workload.DefaultSpec()
+	spec.ArrivalMeanSec = 200 // saturating pressure
+	js := workload.NewGenerator(spec, 37).Generate(400)
+	for _, j := range js {
+		if err := small.Submit(j, j.Submit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	small.Run(horizon)
+
+	// Over-provisioned: 64 nodes under the same budget with caps + shaping.
+	over := newMgr(t, 3, &Overprovision{BudgetW: budget, PreferWide: true})
+	js2 := workload.NewGenerator(spec, 37).Generate(400)
+	for _, j := range js2 {
+		if err := over.Submit(j, j.Submit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	over.Run(horizon)
+
+	if over.Metrics.NodeSecondsDone <= small.Metrics.NodeSecondsDone {
+		t.Fatalf("over-provisioned throughput %.0f <= small fully-powered %.0f",
+			over.Metrics.NodeSecondsDone, small.Metrics.NodeSecondsDone)
+	}
+}
+
+func TestEnergyTagCharacterizesThenDownclocks(t *testing.T) {
+	p := &EnergyTag{Goal: GoalEnergyToSolution, MaxSlowdown: 1.4}
+	m := newMgr(t, 4, p)
+	// Memory-bound app: downclocking is profitable.
+	first := testJob(1, 4, simulator.Hour, 330, 0.7)
+	first.Tag = "cfd"
+	second := testJob(2, 4, simulator.Hour, 330, 0.7)
+	second.Tag = "cfd"
+	if err := m.Submit(first, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Submit(second, 5*simulator.Hour); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(-1)
+	if first.FreqFrac != 1 {
+		t.Fatalf("characterization run frequency = %f, want nominal", first.FreqFrac)
+	}
+	if second.FreqFrac >= 1 {
+		t.Fatalf("second run frequency = %f, want downclocked", second.FreqFrac)
+	}
+	if p.Characterized != 1 {
+		t.Fatalf("characterized tags = %d", p.Characterized)
+	}
+	// Energy-to-solution must improve.
+	e1 := first.EnergyJ
+	e2 := second.EnergyJ
+	if e2 >= e1 {
+		t.Fatalf("downclocked energy %.0f >= nominal %.0f", e2, e1)
+	}
+	// And the slowdown bound must hold.
+	stretch := float64(second.End-second.Start) / float64(first.End-first.Start)
+	if stretch > 1.4+0.01 {
+		t.Fatalf("stretch %.2f exceeds MaxSlowdown", stretch)
+	}
+}
+
+func TestEnergyTagPerformanceGoalKeepsNominal(t *testing.T) {
+	p := &EnergyTag{Goal: GoalPerformance}
+	m := newMgr(t, 5, p)
+	for i := int64(1); i <= 3; i++ {
+		j := testJob(i, 2, simulator.Hour, 330, 0.7)
+		j.Tag = "cfd"
+		if err := m.Submit(j, simulator.Time(i-1)*2*simulator.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Run(-1)
+	if m.Metrics.Completed != 3 {
+		t.Fatalf("completed = %d", m.Metrics.Completed)
+	}
+	// With GoalPerformance every job runs at nominal frequency and
+	// therefore at its true runtime.
+	if got := m.Metrics.RunTimes.Max(); got != float64(simulator.Hour) {
+		t.Fatalf("max runtime = %f, want nominal %d", got, simulator.Hour)
+	}
+}
+
+func TestEnergyTagComputeBoundStaysFast(t *testing.T) {
+	p := &EnergyTag{Goal: GoalEnergyToSolution, MaxSlowdown: 1.2}
+	m := newMgr(t, 6, p)
+	// Compute-bound app: downclocking costs runtime ~1/f, so within a tight
+	// slowdown bound the best frequency stays at or near nominal.
+	for i := int64(1); i <= 2; i++ {
+		j := testJob(i, 2, simulator.Hour, 360, 0.0)
+		j.Tag = "md"
+		if err := m.Submit(j, simulator.Time(i-1)*3*simulator.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Run(-1)
+	if got := p.BestFrac("md"); got < 0.83 {
+		t.Fatalf("compute-bound best frequency %f violates the 1.2x slowdown bound", got)
+	}
+}
+
+func TestRuntimeBalanceCriticalBeatsUniform(t *testing.T) {
+	// Under manufacturing variability, equalizing effective frequency beats
+	// a uniform per-node split at equal job budget (the GEOPM claim, E14).
+	mkMgr := func(mode BalanceMode) (*core.Manager, *jobs.Job) {
+		m := core.NewManager(core.Options{
+			Cluster:   cluster.DefaultConfig(),
+			Scheduler: sched.EASY{},
+			Seed:      7,
+			VarSigma:  0.08,
+		})
+		m.Use(&RuntimeBalance{JobBudgetPerNodeW: 280, Mode: mode})
+		j := testJob(1, 16, 2*simulator.Hour, 360, 0.1)
+		j.Walltime = 12 * simulator.Hour
+		if err := m.Submit(j, 0); err != nil {
+			t.Fatal(err)
+		}
+		return m, j
+	}
+	mu, ju := mkMgr(BalanceUniform)
+	mu.Run(-1)
+	mc, jc := mkMgr(BalanceCritical)
+	mc.Run(-1)
+	if ju.State != jobs.StateCompleted || jc.State != jobs.StateCompleted {
+		t.Fatalf("states %v/%v", ju.State, jc.State)
+	}
+	tu := ju.End - ju.Start
+	tc := jc.End - jc.Start
+	if tc >= tu {
+		t.Fatalf("critical-path balance %v not faster than uniform %v", tc, tu)
+	}
+	// Both must respect the job budget while running.
+	// (Uniform trivially: per-node caps; critical: sum of caps = budget.)
+}
+
+func TestRuntimeBalanceCriticalRespectsBudget(t *testing.T) {
+	m := core.NewManager(core.Options{
+		Cluster:   cluster.DefaultConfig(),
+		Scheduler: sched.EASY{},
+		Seed:      8,
+		VarSigma:  0.08,
+	})
+	m.Use(&RuntimeBalance{JobBudgetPerNodeW: 250, Mode: BalanceCritical})
+	j := testJob(1, 8, simulator.Hour, 360, 0.1)
+	j.Walltime = 12 * simulator.Hour
+	if err := m.Submit(j, 0); err != nil {
+		t.Fatal(err)
+	}
+	var jobPower float64
+	m.Eng.After(1, "probe", func(simulator.Time) {
+		jobPower = m.Pw.PowerOfNodes(m.JobNodes(1))
+	})
+	m.Run(-1)
+	budget := 8 * 250.0
+	if jobPower > budget*1.01 {
+		t.Fatalf("job draw %.0f exceeds budget %.0f", jobPower, budget)
+	}
+	if jobPower < budget*0.90 {
+		t.Fatalf("job draw %.0f leaves >10%% of budget unused — balance too loose", jobPower)
+	}
+}
+
+func TestGridAwareHoldsWideJobsAtPeak(t *testing.T) {
+	prov := &esp.Provider{Tariff: esp.PeakTariff(0.10, 0.30)}
+	p := &GridAware{Provider: prov, PeakMaxNodes: 8}
+	m := newMgr(t, 9, p)
+	// Submit a wide job during peak hours (hour 9).
+	wide := testJob(1, 32, simulator.Hour, 250, 0.3)
+	if err := m.Submit(wide, 9*simulator.Hour); err != nil {
+		t.Fatal(err)
+	}
+	narrow := testJob(2, 4, simulator.Hour, 250, 0.3)
+	if err := m.Submit(narrow, 9*simulator.Hour); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(2 * simulator.Day)
+	if narrow.Start != 9*simulator.Hour {
+		t.Fatalf("narrow job should start immediately, started %v", narrow.Start)
+	}
+	// Wide job waits for off-peak (22:00).
+	if wide.Start < 22*simulator.Hour {
+		t.Fatalf("wide job started at %v, inside peak window", wide.Start)
+	}
+	if p.HeldAtPeak == 0 {
+		t.Fatal("no peak holds recorded")
+	}
+	if p.Meter.Cost <= 0 {
+		t.Fatal("cost meter never accumulated")
+	}
+}
+
+func TestGridAwareDemandResponseGate(t *testing.T) {
+	idle := 64 * 90.0
+	prov := &esp.Provider{
+		Tariff: esp.FlatTariff(0.1),
+		Events: []esp.DemandResponse{{From: 0, Until: 4 * simulator.Hour, LimitW: idle + 500}},
+	}
+	p := &GridAware{Provider: prov}
+	m := core.NewManager(core.Options{
+		Cluster:   cluster.DefaultConfig(),
+		Scheduler: sched.EASY{},
+		Seed:      10,
+	})
+	m.Use(p)
+	j := testJob(1, 8, simulator.Hour, 300, 0.2) // +1680 W, over the DR limit
+	if err := m.Submit(j, simulator.Hour); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(simulator.Day)
+	if j.Start < 4*simulator.Hour {
+		t.Fatalf("job started at %v during the DR event", j.Start)
+	}
+	if j.State != jobs.StateCompleted {
+		t.Fatalf("state = %v", j.State)
+	}
+}
+
+func TestGridAwareDRKillShedsLoadOnSurpriseEvent(t *testing.T) {
+	// Announced events are pre-drained by the look-ahead gate; the kill
+	// switch exists for *surprise* requests that arrive while jobs run.
+	prov := &esp.Provider{Tariff: esp.FlatTariff(0.1)}
+	p := &GridAware{Provider: prov, DRKill: true, Period: simulator.Minute}
+	m := core.NewManager(core.Options{Cluster: cluster.DefaultConfig(), Scheduler: sched.EASY{}, Seed: 11})
+	m.Use(p)
+	j := testJob(1, 8, 6*simulator.Hour, 300, 0.2)
+	if err := m.Submit(j, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Eng.After(2*simulator.Hour, "surprise-dr", func(now simulator.Time) {
+		prov.Events = append(prov.Events, esp.DemandResponse{
+			From: now, Until: now + simulator.Hour, LimitW: 64*90 + 500,
+		})
+	})
+	m.Run(simulator.Day)
+	if j.State != jobs.StateKilled {
+		t.Fatalf("state = %v, want killed by demand response", j.State)
+	}
+	if p.DRKills != 1 {
+		t.Fatalf("DR kills = %d", p.DRKills)
+	}
+}
+
+func TestGridAwareLookaheadPreDrainsAnnouncedEvents(t *testing.T) {
+	// An announced event is honored without any kill or preemption: jobs
+	// that would straddle it over-limit are simply held until it passes.
+	prov := &esp.Provider{
+		Tariff: esp.FlatTariff(0.1),
+		Events: []esp.DemandResponse{{From: 2 * simulator.Hour, Until: 3 * simulator.Hour, LimitW: 64*90 + 500}},
+	}
+	p := &GridAware{Provider: prov, DRPreempt: true, Period: simulator.Minute}
+	m := core.NewManager(core.Options{Cluster: cluster.DefaultConfig(), Scheduler: sched.EASY{}, Seed: 12})
+	m.Use(p)
+	j := testJob(1, 8, 6*simulator.Hour, 300, 0.2)
+	if err := m.Submit(j, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(simulator.Day)
+	if j.State != jobs.StateCompleted {
+		t.Fatalf("state = %v", j.State)
+	}
+	if j.Start < 3*simulator.Hour {
+		t.Fatalf("job started at %v, inside the pre-drain horizon", j.Start)
+	}
+	if p.DRKills != 0 || p.DRPreempts != 0 {
+		t.Fatalf("announced event should need no shedding: kills=%d preempts=%d", p.DRKills, p.DRPreempts)
+	}
+}
+
+func TestInterSystemBudgetSharesByDemand(t *testing.T) {
+	eng := simulator.NewEngine()
+	mk := func(seed uint64) *core.Manager {
+		return core.NewManager(core.Options{
+			Cluster:   cluster.DefaultConfig(),
+			Scheduler: sched.EASY{},
+			Seed:      seed,
+			Engine:    eng,
+		})
+	}
+	m1, m2 := mk(1), mk(2)
+	budget := 2*64*90 + 20*270.0
+	coord := NewInterSystemBudget(budget, simulator.Minute, m1, m2)
+
+	// System 1 is heavily loaded; system 2 idle.
+	for i := int64(1); i <= 10; i++ {
+		j := testJob(i, 8, 2*simulator.Hour, 330, 0.2)
+		if err := m1.Submit(j, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Probe shares while system 1 is actually loaded (shares equalize again
+	// once the work drains).
+	var loadedShare, idleShare float64
+	eng.After(30*simulator.Minute, "probe", func(simulator.Time) {
+		loadedShare, idleShare = coord.Share(0), coord.Share(1)
+	})
+	eng.RunUntil(simulator.Day)
+	if coord.Rebalances == 0 {
+		t.Fatal("coordinator never ran")
+	}
+	if loadedShare <= idleShare {
+		t.Fatalf("loaded system share %.0f should exceed idle %.0f", loadedShare, idleShare)
+	}
+	// Floor guarantee.
+	if idleShare < budget*0.2/2 {
+		t.Fatalf("idle system share %.0f below the floor", idleShare)
+	}
+	if m1.Metrics.Completed == 0 {
+		t.Fatal("loaded system made no progress")
+	}
+	// Combined instantaneous power within budget (gates enforce at starts).
+	if got := coord.TotalPower(); got > budget*1.05 {
+		t.Fatalf("combined power %.0f over joint budget %.0f", got, budget)
+	}
+}
+
+func TestInterSystemBudgetValidation(t *testing.T) {
+	eng := simulator.NewEngine()
+	m1 := core.NewManager(core.Options{Cluster: cluster.DefaultConfig(), Engine: eng, Seed: 1})
+	for _, f := range []func(){
+		func() { NewInterSystemBudget(0, 0, m1, m1) },
+		func() { NewInterSystemBudget(100, 0, m1) },
+		func() {
+			m2 := core.NewManager(core.Options{Cluster: cluster.DefaultConfig(), Seed: 2})
+			NewInterSystemBudget(100, 0, m1, m2) // different engines
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+var _ = power.DefaultNodeModel

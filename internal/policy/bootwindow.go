@@ -1,0 +1,139 @@
+package policy
+
+import (
+	"fmt"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/core"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/power"
+	"epajsrm/internal/simulator"
+)
+
+// BootWindowCap is Tokyo Tech's production capability: "resource manager
+// dynamically boots or shuts down nodes to stay under power cap (summer
+// only, enforced over ~30 min window). Interacts with job scheduler to
+// avoid killing jobs." The cap binds the *average* power over the
+// enforcement window, so short excursions are legal as long as node
+// shutdowns bring the window average back down; jobs are never killed —
+// only idle nodes are powered off, and job starts are gated on projected
+// window compliance.
+type BootWindowCap struct {
+	// CapW is the power cap on window-average IT draw.
+	CapW float64
+	// Window is the enforcement window (Tokyo Tech: ~30 min).
+	Window simulator.Time
+	// SummerOnly enforces only during the warm half of the year, using the
+	// facility climate model.
+	SummerOnly bool
+	// Period is the control-loop interval.
+	Period simulator.Time
+
+	// Violations counts control periods whose window average exceeded the
+	// cap while enforcement was active.
+	Violations int
+	// Shutdowns/Boots count node actuations.
+	Shutdowns, Boots int
+
+	meter *power.WindowMeter
+	m     *core.Manager
+	lastP float64
+	lastT simulator.Time
+}
+
+// Name implements core.Policy.
+func (p *BootWindowCap) Name() string {
+	return fmt.Sprintf("boot-window-cap(%.0fkW/%s)", p.CapW/1000, p.Window)
+}
+
+// Attach implements core.Policy.
+func (p *BootWindowCap) Attach(m *core.Manager) {
+	if p.CapW <= 0 {
+		panic("policy: BootWindowCap needs a positive cap")
+	}
+	if p.Window <= 0 {
+		p.Window = 30 * simulator.Minute
+	}
+	if p.Period <= 0 {
+		p.Period = simulator.Minute
+	}
+	p.m = m
+	p.meter = power.NewWindowMeter(p.CapW, float64(p.Window))
+	m.ScheduleEvery(p.Period, "boot-window-cap", p.control)
+	m.OnStartGate(func(m *core.Manager, j *jobs.Job) bool {
+		if !p.active(m.Eng.Now()) {
+			return true
+		}
+		// The window semantics tolerate transients (boot spikes), but a job
+		// start is sustained load: gate on projected instantaneous draw so
+		// the window average can never be driven over the cap by
+		// scheduling decisions.
+		return m.Pw.TotalPower()+m.EstimatedStartPower(j) <= p.CapW
+	})
+}
+
+func (p *BootWindowCap) active(now simulator.Time) bool {
+	if !p.SummerOnly {
+		return true
+	}
+	if p.m.Fac == nil {
+		return true
+	}
+	return p.m.Fac.Climate.IsSummer(now)
+}
+
+// control feeds the window meter and actuates node boots/shutdowns.
+func (p *BootWindowCap) control(now simulator.Time) {
+	m := p.m
+	dt := float64(now - p.lastT)
+	if dt > 0 {
+		p.meter.Observe(m.Pw.TotalPower(), dt)
+	}
+	p.lastT = now
+	if !p.active(now) {
+		return
+	}
+	avg := p.meter.WindowAverage()
+	if avg > p.CapW {
+		p.Violations++
+	}
+	switch {
+	case avg > p.CapW*0.97 || m.Pw.TotalPower() > p.CapW:
+		// Too close: power off idle nodes (never kill jobs; never touch VM
+		// hosts — their guests are invisible to the batch system).
+		for _, n := range m.Cl.Nodes {
+			if n.State != cluster.StateIdle || n.VMHost {
+				continue
+			}
+			if m.Pw.TotalPower() <= p.CapW*0.95 {
+				break
+			}
+			if err := m.Ctrl.PowerOff(n.ID); err == nil {
+				p.Shutdowns++
+			}
+		}
+	case avg < p.CapW*0.85 && m.Queue.Len() > 0:
+		// Comfortable headroom and waiting work: boot capacity back,
+		// respecting what the headroom can absorb (a booting node will draw
+		// idle power, then job power once scheduled — budget one node's
+		// MaxW per boot decision to stay conservative).
+		headroom := p.CapW*0.95 - m.Pw.TotalPower()
+		for _, n := range m.Cl.Nodes {
+			if headroom < m.Pw.Model.MaxW {
+				break
+			}
+			if n.State != cluster.StateOff || n.Maintenance || m.Cl.InfraMaintenance(n) {
+				continue
+			}
+			if err := m.Ctrl.PowerOn(n.ID, func(t simulator.Time) { m.TrySchedule(t) }); err == nil {
+				p.Boots++
+				headroom -= m.Pw.Model.MaxW
+			}
+		}
+	}
+	m.TrySchedule(now)
+}
+
+// WindowAverage exposes the current window-average draw for tests and
+// reports.
+func (p *BootWindowCap) WindowAverage() float64 { return p.meter.WindowAverage() }

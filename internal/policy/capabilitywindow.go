@@ -1,0 +1,75 @@
+package policy
+
+import (
+	"fmt"
+
+	"epajsrm/internal/core"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/simulator"
+)
+
+// CapabilityWindow reproduces RIKEN's production practice of reserving
+// "3 days for large jobs each month": during the window only jobs at or
+// above the width threshold may start (the machine drains small work and
+// runs capability jobs); outside it, everything runs. Wide jobs may also
+// be held for the window (HoldWideOutside), concentrating their power
+// ramps into planned days — which is why the practice matters to an EPA
+// survey at all.
+type CapabilityWindow struct {
+	// WideNodes is the width at or above which a job counts as capability
+	// work.
+	WideNodes int
+	// WindowDays is how many days each month belong to capability work.
+	WindowDays int
+	// MonthDays is the repeat period (default 30).
+	MonthDays int
+	// HoldWideOutside also prevents wide jobs from starting outside the
+	// window (strict mode; RIKEN's scheduling practice).
+	HoldWideOutside bool
+
+	// HeldSmall / HeldWide count gate decisions.
+	HeldSmall, HeldWide int
+}
+
+// Name implements core.Policy.
+func (p *CapabilityWindow) Name() string {
+	return fmt.Sprintf("capability-window(%dd/%dd,>=%d nodes)", p.WindowDays, p.MonthDays, p.WideNodes)
+}
+
+// Attach implements core.Policy.
+func (p *CapabilityWindow) Attach(m *core.Manager) {
+	if p.WideNodes <= 0 {
+		panic("policy: CapabilityWindow needs a width threshold")
+	}
+	if p.MonthDays <= 0 {
+		p.MonthDays = 30
+	}
+	if p.WindowDays <= 0 || p.WindowDays >= p.MonthDays {
+		p.WindowDays = 3
+	}
+	m.OnStartGate(func(m *core.Manager, j *jobs.Job) bool {
+		inWindow := p.InWindow(m.Eng.Now())
+		wide := j.Nodes >= p.WideNodes
+		switch {
+		case inWindow && !wide:
+			p.HeldSmall++
+			return false
+		case !inWindow && wide && p.HoldWideOutside:
+			p.HeldWide++
+			return false
+		default:
+			return true
+		}
+	})
+	// Re-open the gate at window boundaries.
+	m.ScheduleEvery(simulator.Hour, "capability-window", func(now simulator.Time) {
+		m.TrySchedule(now)
+	})
+}
+
+// InWindow reports whether t falls inside the capability window: the first
+// WindowDays of each MonthDays period.
+func (p *CapabilityWindow) InWindow(t simulator.Time) bool {
+	dayInMonth := (t / simulator.Day) % simulator.Time(p.MonthDays)
+	return dayInMonth < simulator.Time(p.WindowDays)
+}

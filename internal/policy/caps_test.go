@@ -1,0 +1,249 @@
+package policy
+
+import (
+	"testing"
+
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/simulator"
+)
+
+func TestStaticCapAppliesCapsToPool(t *testing.T) {
+	p := &StaticCap{CapW: 270, UncappedFrac: 0.30}
+	m := newMgr(t, 1, p)
+	capped, uncapped := 0, 0
+	for _, n := range m.Cl.Nodes {
+		switch n.CapW {
+		case 270:
+			capped++
+		case 0:
+			uncapped++
+		default:
+			t.Fatalf("node %d unexpected cap %f", n.ID, n.CapW)
+		}
+	}
+	// 64 nodes, 30% uncapped = 19 (int truncation), 45 capped.
+	if uncapped != 19 || capped != 45 {
+		t.Fatalf("capped/uncapped = %d/%d, want 45/19", capped, uncapped)
+	}
+	for i := 0; i < 64; i++ {
+		if p.Uncapped(i) != (m.Cl.Nodes[i].CapW == 0) {
+			t.Fatalf("Uncapped(%d) inconsistent", i)
+		}
+	}
+}
+
+func TestStaticCapReducesPeakPower(t *testing.T) {
+	base := newMgr(t, 2)
+	submitN(t, base, 150, 7)
+	basePeak := maxPowerDuring(base, 3*simulator.Day, simulator.Minute)
+
+	capped := newMgr(t, 2, &StaticCap{CapW: 200, UncappedFrac: 0})
+	submitN(t, capped, 150, 7)
+	capPeak := maxPowerDuring(capped, 3*simulator.Day, simulator.Minute)
+
+	if capPeak >= basePeak {
+		t.Fatalf("capped peak %.0f >= uncapped %.0f", capPeak, basePeak)
+	}
+	// Hard bound: every node at 200 W.
+	if capPeak > 64*200+1 {
+		t.Fatalf("capped peak %.0f exceeds 64x200", capPeak)
+	}
+}
+
+func TestStaticCapRouteHungrySteersJobs(t *testing.T) {
+	p := &StaticCap{CapW: 270, UncappedFrac: 0.30, RouteHungry: true}
+	m := newMgr(t, 3, p)
+	hungry := testJob(1, 4, simulator.Hour, 340, 0.1) // above the cap
+	cool := testJob(2, 4, simulator.Hour, 180, 0.5)   // below the cap
+	if err := m.Submit(hungry, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Submit(cool, 0); err != nil {
+		t.Fatal(err)
+	}
+	var hungryNodes []int
+	m.Eng.After(1, "check", func(now simulator.Time) {
+		for _, n := range m.JobNodes(1) {
+			hungryNodes = append(hungryNodes, n.ID)
+		}
+	})
+	m.Run(-1)
+	if len(hungryNodes) != 4 {
+		t.Fatalf("hungry job placement missing: %v", hungryNodes)
+	}
+	for _, id := range hungryNodes {
+		if !p.Uncapped(id) {
+			t.Fatalf("hungry job landed on capped node %d", id)
+		}
+	}
+}
+
+func TestStaticCapPanicsOnBadConfig(t *testing.T) {
+	for _, p := range []*StaticCap{
+		{CapW: 0, UncappedFrac: 0.3},
+		{CapW: 270, UncappedFrac: 1.0},
+		{CapW: 270, UncappedFrac: -0.1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", p)
+				}
+			}()
+			newMgr(t, 1, p)
+		}()
+	}
+}
+
+func TestDynamicSharingHoldsBudget(t *testing.T) {
+	budget := 64*90 + 20*270.0 // idle floor + room for ~20 busy nodes
+	p := &DynamicPowerSharing{BudgetW: budget, Period: 30 * simulator.Second}
+	m := newMgr(t, 4, p)
+	submitN(t, m, 200, 9)
+	peak := maxPowerDuring(m, 4*simulator.Day, 30*simulator.Second)
+	// The gate blocks overcommitment at starts and caps bind between
+	// rebalances; allow a small margin for boot transients.
+	if peak > budget*1.05 {
+		t.Fatalf("peak %.0f exceeded budget %.0f by >5%%", peak, budget)
+	}
+	if p.Rebalances == 0 {
+		t.Fatal("rebalance loop never ran")
+	}
+	if m.Metrics.Completed == 0 {
+		t.Fatal("nothing completed under the budget")
+	}
+}
+
+func TestDynamicSharingBeatsUniformStatic(t *testing.T) {
+	// Same total budget; dynamic sharing should complete at least as much
+	// work because unneeded budget moves to demanding nodes (Ellsworth's
+	// result, KAUST's SDPM motivation). Workload mixes hungry and cool jobs.
+	budget := 64 * 180.0
+	horizon := 4 * simulator.Day
+
+	uniform := newMgr(t, 5)
+	for _, n := range uniform.Cl.Nodes {
+		if err := uniform.Ctrl.SetNodeCap(n.ID, budget/64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	submitN(t, uniform, 250, 11)
+	uniform.Run(horizon)
+
+	dynamic := newMgr(t, 5, &DynamicPowerSharing{BudgetW: budget})
+	submitN(t, dynamic, 250, 11)
+	dynamic.Run(horizon)
+
+	if dynamic.Metrics.NodeSecondsDone < uniform.Metrics.NodeSecondsDone {
+		t.Fatalf("dynamic sharing throughput %.0f < uniform static %.0f",
+			dynamic.Metrics.NodeSecondsDone, uniform.Metrics.NodeSecondsDone)
+	}
+}
+
+func TestDVFSBudgetHoldsBudgetViaFrequency(t *testing.T) {
+	budget := 64*90 + 30*200.0
+	p := &DVFSBudget{BudgetW: budget, Period: 30 * simulator.Second, StartUnderBudget: true}
+	m := newMgr(t, 6, p)
+	submitN(t, m, 200, 13)
+	peak := maxPowerDuring(m, 4*simulator.Day, 30*simulator.Second)
+	if peak > budget*1.10 {
+		t.Fatalf("peak %.0f exceeded budget %.0f by >10%%", peak, budget)
+	}
+	if p.Downshifts == 0 && p.Upshifts == 0 {
+		t.Log("note: DVFS loop never actuated (budget loose for this workload)")
+	}
+	if m.Metrics.Completed < 100 {
+		t.Fatalf("only %d completions", m.Metrics.Completed)
+	}
+}
+
+func TestDVFSBudgetStartsJobsSlowWhenTight(t *testing.T) {
+	// Budget admits the job only below nominal frequency.
+	idleFloor := 64 * 90.0
+	job := testJob(1, 8, simulator.Hour, 360, 0)
+	// At nominal the job adds 8*(360-90) = 2160 W. Budget allows ~half.
+	p := &DVFSBudget{BudgetW: idleFloor + 1100, StartUnderBudget: true}
+	m := newMgr(t, 7, p)
+	if err := m.Submit(job, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(-1)
+	if job.State != jobs.StateCompleted {
+		t.Fatalf("state = %v", job.State)
+	}
+	if job.FreqFrac >= 1 {
+		t.Fatalf("job should have started below nominal, frac=%f", job.FreqFrac)
+	}
+	if job.End-job.Start <= simulator.Hour {
+		t.Fatal("slowed job cannot match nominal runtime")
+	}
+}
+
+func TestGroupCapAppliesPerRack(t *testing.T) {
+	p := &GroupCap{PerNodeW: map[int]float64{0: 200, 2: 250}}
+	m := newMgr(t, 8, p)
+	for _, n := range m.Cl.Nodes {
+		want := 0.0
+		switch n.Rack {
+		case 0:
+			want = 200
+		case 2:
+			want = 250
+		}
+		if n.CapW != want {
+			t.Fatalf("node %d (rack %d) cap = %f, want %f", n.ID, n.Rack, n.CapW, want)
+		}
+	}
+	if p.Applied != 2 {
+		t.Fatalf("applied = %d", p.Applied)
+	}
+}
+
+func TestGroupCapEmergencyAndLift(t *testing.T) {
+	p := &GroupCap{}
+	m := newMgr(t, 9, p)
+	j := testJob(1, 4, simulator.Hour, 300, 0)
+	j.Walltime = 10 * simulator.Hour
+	if err := m.Submit(j, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Eng.After(10*simulator.Minute, "emergency", func(now simulator.Time) {
+		p.EmergencyCap(150, now)
+		if m.Pw.TotalPower() > 64*150+1 {
+			t.Errorf("power after emergency cap = %f", m.Pw.TotalPower())
+		}
+	})
+	m.Eng.After(20*simulator.Minute, "lift", func(now simulator.Time) {
+		p.Lift(now)
+		for _, n := range m.Cl.Nodes {
+			if n.CapW != 0 {
+				t.Errorf("cap not lifted on node %d", n.ID)
+			}
+		}
+	})
+	m.Run(-1)
+	if j.State != jobs.StateCompleted {
+		t.Fatalf("job state = %v", j.State)
+	}
+	// The 10 capped minutes must have stretched the runtime.
+	if j.End-j.Start <= simulator.Hour {
+		t.Fatal("emergency cap had no effect on runtime")
+	}
+}
+
+func TestGroupCapSetRackCapAtRuntime(t *testing.T) {
+	p := &GroupCap{}
+	m := newMgr(t, 10, p)
+	m.Eng.After(1, "cap", func(now simulator.Time) {
+		p.SetRackCap(1, 180, now)
+	})
+	m.Run(-1)
+	for _, n := range m.Cl.Nodes {
+		if n.Rack == 1 && n.CapW != 180 {
+			t.Fatalf("rack 1 node %d cap = %f", n.ID, n.CapW)
+		}
+		if n.Rack != 1 && n.CapW != 0 {
+			t.Fatalf("rack %d node %d unexpectedly capped", n.Rack, n.ID)
+		}
+	}
+}

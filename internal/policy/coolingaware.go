@@ -1,0 +1,65 @@
+package policy
+
+import (
+	"fmt"
+
+	"epajsrm/internal/core"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/simulator"
+)
+
+// CoolingAware reproduces LRZ's research row: "linking job scheduler with
+// IT infrastructure + cooling; scheduler may delay jobs when IT
+// infrastructure is particularly inefficient". Deferrable (low-priority)
+// jobs are held while the facility's PUE exceeds a threshold — typically
+// hot afternoons — and run when cooling is cheap; urgent work is never
+// delayed. The payoff is facility (IT + cooling) energy per unit of work,
+// not IT energy, which is exactly why a facility model is required to see
+// it.
+type CoolingAware struct {
+	// MaxPUE is the efficiency threshold above which deferrable jobs wait.
+	MaxPUE float64
+	// DeferBelowPriority marks jobs with Priority < this value deferrable.
+	DeferBelowPriority int
+	// MaxDefer bounds how long a job may be held past submission (default
+	// 24 h) so deferral cannot become starvation.
+	MaxDefer simulator.Time
+
+	// Held counts gate decisions that deferred a start.
+	Held int
+}
+
+// Name implements core.Policy.
+func (p *CoolingAware) Name() string { return fmt.Sprintf("cooling-aware(PUE<=%.2f)", p.MaxPUE) }
+
+// Attach implements core.Policy.
+func (p *CoolingAware) Attach(m *core.Manager) {
+	if m.Fac == nil {
+		panic("policy: CoolingAware needs a facility model")
+	}
+	if p.MaxPUE <= 1 {
+		p.MaxPUE = 1.15
+	}
+	if p.MaxDefer <= 0 {
+		p.MaxDefer = 24 * simulator.Hour
+	}
+	m.OnStartGate(func(m *core.Manager, j *jobs.Job) bool {
+		now := m.Eng.Now()
+		if j.Priority >= p.DeferBelowPriority {
+			return true // urgent work never waits for the weather
+		}
+		if now-j.Submit >= p.MaxDefer {
+			return true // anti-starvation bound
+		}
+		if m.Fac.PUE(now) > p.MaxPUE {
+			p.Held++
+			return false
+		}
+		return true
+	})
+	// The PUE changes with the daily temperature cycle; re-evaluate often
+	// enough to catch the evening dip.
+	m.ScheduleEvery(10*simulator.Minute, "cooling-aware", func(now simulator.Time) {
+		m.TrySchedule(now)
+	})
+}

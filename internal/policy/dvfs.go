@@ -1,0 +1,129 @@
+package policy
+
+import (
+	"fmt"
+
+	"epajsrm/internal/core"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/simulator"
+)
+
+// DVFSBudget extends the job scheduler with power budgeting through
+// frequency scaling, after Etinski et al. [18][19] (the approach CEA
+// investigates with BULL and that the power-adaptive SLURM work targets):
+// when predicted cluster draw exceeds the budget, running jobs are scaled
+// down the P-state ladder; when headroom returns they are scaled back up.
+// New jobs may also be started below nominal frequency when the budget is
+// tight, trading runtime for admission.
+type DVFSBudget struct {
+	// BudgetW is the cluster IT power budget.
+	BudgetW float64
+	// Period is the control-loop interval.
+	Period simulator.Time
+	// StartUnderBudget starts new jobs at a reduced frequency when that is
+	// the only way to admit them within the budget.
+	StartUnderBudget bool
+
+	// Downshifts / Upshifts count actuations for experiment reporting.
+	Downshifts, Upshifts int
+
+	m *core.Manager
+}
+
+// Name implements core.Policy.
+func (p *DVFSBudget) Name() string { return fmt.Sprintf("dvfs-budget(%.0fkW)", p.BudgetW/1000) }
+
+// Attach implements core.Policy.
+func (p *DVFSBudget) Attach(m *core.Manager) {
+	if p.BudgetW <= 0 {
+		panic("policy: DVFSBudget needs a positive budget")
+	}
+	if p.Period <= 0 {
+		p.Period = 60 * simulator.Second
+	}
+	p.m = m
+	m.ScheduleEvery(p.Period, "dvfs-budget", p.control)
+	m.OnStartGate(func(m *core.Manager, j *jobs.Job) bool {
+		add := m.EstimatedStartPower(j)
+		if m.Pw.TotalPower()+add <= p.BudgetW {
+			return true
+		}
+		if !p.StartUnderBudget {
+			return false
+		}
+		// Admit if the job fits at the lowest frequency.
+		minAdd := add * powFrac(m, m.Pw.Model.MinFrac)
+		return m.Pw.TotalPower()+minAdd <= p.BudgetW
+	})
+	if p.StartUnderBudget {
+		m.OnFreq(func(m *core.Manager, j *jobs.Job) float64 {
+			add := m.EstimatedStartPower(j)
+			have := p.BudgetW - m.Pw.TotalPower()
+			if add <= have {
+				return 1
+			}
+			// Walk the P-state table down until the job fits.
+			for i := 0; i < len(m.Pw.PStates); i++ {
+				f := m.Pw.PStates.Frac(i)
+				if add*powFrac(m, f) <= have {
+					return f
+				}
+			}
+			return m.Pw.Model.MinFrac
+		})
+	}
+}
+
+// powFrac returns the dynamic-power scaling factor at frequency fraction f.
+func powFrac(m *core.Manager, f float64) float64 {
+	scaled := m.Pw.Model.BusyPower(m.Pw.Model.MaxW, f, 1) - m.Pw.Model.IdleW
+	full := m.Pw.Model.MaxW - m.Pw.Model.IdleW
+	if full <= 0 {
+		return 1
+	}
+	return scaled / full
+}
+
+// control runs the budget feedback loop over running jobs: shift everyone
+// one P-state down while over budget, one up while comfortably under.
+func (p *DVFSBudget) control(now simulator.Time) {
+	m := p.m
+	cur := m.Pw.TotalPower()
+	table := m.Pw.PStates
+	switch {
+	case cur > p.BudgetW:
+		for _, j := range m.Running() {
+			idx := table.StateForFrac(j.FreqFrac)
+			if idx < len(table)-1 {
+				j.FreqFrac = table.Frac(idx + 1)
+				m.Pw.SetJobFreq(now, j.ID, j.FreqFrac)
+				p.Downshifts++
+			}
+		}
+		m.RetimeAll(now)
+	case cur < p.BudgetW*0.9:
+		// Raise one job at a time to avoid oscillation: pick the slowest.
+		var pick *jobs.Job
+		for _, j := range m.Running() {
+			if j.FreqFrac < 0.999 && (pick == nil || j.FreqFrac < pick.FreqFrac) {
+				pick = j
+			}
+		}
+		if pick != nil {
+			idx := table.StateForFrac(pick.FreqFrac)
+			if idx > 0 {
+				next := table.Frac(idx - 1)
+				// Only raise if the projected draw stays under budget.
+				delta := float64(pick.Nodes) * (m.Pw.Model.BusyPower(pick.PowerPerNodeW, next, 1) -
+					m.Pw.Model.BusyPower(pick.PowerPerNodeW, pick.FreqFrac, 1))
+				if cur+delta <= p.BudgetW {
+					pick.FreqFrac = next
+					m.Pw.SetJobFreq(now, pick.ID, next)
+					m.RetimeJob(pick.ID, now)
+					p.Upshifts++
+				}
+			}
+		}
+	}
+	m.TrySchedule(now)
+}

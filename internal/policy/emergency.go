@@ -1,0 +1,106 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"epajsrm/internal/core"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/simulator"
+)
+
+// Emergency reproduces RIKEN's production capabilities: "automated
+// emergency job killing if power limit exceeded" and "pre-run estimate of
+// power usage of each job, based on temperature". The pre-run gate holds
+// jobs whose estimated draw would push the site over the limit; the
+// automated response kills running jobs — lowest priority, then youngest
+// first, so the least sunk work is lost — until the site is back under.
+type Emergency struct {
+	// LimitW is the hard site power limit (IT draw).
+	LimitW float64
+	// Period is how often the limit is checked (emergency response is fast;
+	// default 30 s).
+	Period simulator.Time
+	// PreRunGate enables the admission-time estimate check.
+	PreRunGate bool
+	// Checkpoint preempts (checkpoint + requeue, progress preserved)
+	// instead of killing — the gentler actuator for stacks with
+	// checkpoint/restart support. Enabling it implies the pre-run gate,
+	// since requeued jobs must not restart straight into the same
+	// emergency.
+	Checkpoint bool
+	// KillHeadroomFrac is how far below the limit the kill loop drives the
+	// system (hysteresis); default 0.95.
+	KillHeadroomFrac float64
+
+	// Kills counts emergency terminations; Preempts counts checkpoint
+	// preemptions; GateHolds counts scheduling passes where the pre-run
+	// gate held a job back.
+	Kills     int
+	Preempts  int
+	GateHolds int
+
+	m *core.Manager
+}
+
+// Name implements core.Policy.
+func (p *Emergency) Name() string { return fmt.Sprintf("emergency(%.0fkW)", p.LimitW/1000) }
+
+// Attach implements core.Policy.
+func (p *Emergency) Attach(m *core.Manager) {
+	if p.LimitW <= 0 {
+		panic("policy: Emergency needs a positive limit")
+	}
+	if p.Period <= 0 {
+		p.Period = 30 * simulator.Second
+	}
+	if p.KillHeadroomFrac <= 0 || p.KillHeadroomFrac > 1 {
+		p.KillHeadroomFrac = 0.95
+	}
+	p.m = m
+	if p.Checkpoint {
+		p.PreRunGate = true
+	}
+	if p.PreRunGate {
+		m.OnStartGate(func(m *core.Manager, j *jobs.Job) bool {
+			if m.Pw.TotalPower()+m.EstimatedStartPower(j) > p.LimitW*p.KillHeadroomFrac {
+				p.GateHolds++
+				return false
+			}
+			return true
+		})
+	}
+	m.ScheduleEvery(p.Period, "emergency-check", p.check)
+}
+
+func (p *Emergency) check(now simulator.Time) {
+	m := p.m
+	if m.Pw.TotalPower() <= p.LimitW {
+		m.TrySchedule(now)
+		return
+	}
+	// Over the limit: kill until under limit * headroom.
+	target := p.LimitW * p.KillHeadroomFrac
+	victims := m.Running()
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].Priority != victims[j].Priority {
+			return victims[i].Priority < victims[j].Priority
+		}
+		if victims[i].Start != victims[j].Start {
+			return victims[i].Start > victims[j].Start // youngest first
+		}
+		return victims[i].ID > victims[j].ID // deterministic tiebreak
+	})
+	for _, v := range victims {
+		if m.Pw.TotalPower() <= target {
+			break
+		}
+		if p.Checkpoint {
+			if m.PreemptJob(v.ID, now) {
+				p.Preempts++
+			}
+		} else if m.KillJob(v.ID, "emergency power limit", now) {
+			p.Kills++
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"epajsrm/internal/core"
+	"epajsrm/internal/jobs"
+)
+
+// JobReport is the post-job energy statement several sites deliver in
+// production ("energy use provided to users at end of every job" — Tokyo
+// Tech; "delivering post-job energy use reports to users" — JCAHPC).
+type JobReport struct {
+	JobID     int64
+	User      string
+	Tag       string
+	Nodes     int
+	EnergyKWh float64
+	AvgNodeW  float64
+	// Mark grades power efficiency A–E against the fleet (Tokyo Tech
+	// "gives users mark on how well they used power and energy"): A means
+	// the job's average node draw was among the lowest quintile relative to
+	// the machine's dynamic range.
+	Mark byte
+}
+
+// EnergyReport collects per-job energy accounting and per-user summaries.
+type EnergyReport struct {
+	Reports []JobReport
+
+	perUserKWh map[string]float64
+	m          *core.Manager
+}
+
+// Name implements core.Policy.
+func (p *EnergyReport) Name() string { return "energy-report" }
+
+// Attach implements core.Policy.
+func (p *EnergyReport) Attach(m *core.Manager) {
+	p.perUserKWh = map[string]float64{}
+	p.m = m
+	m.OnJobEnd(func(m *core.Manager, j *jobs.Job) {
+		if j.State != jobs.StateCompleted && j.State != jobs.StateKilled {
+			return
+		}
+		dur := float64(j.End - j.Start)
+		if dur <= 0 || j.Nodes == 0 {
+			return
+		}
+		avgW := j.EnergyJ / dur / float64(j.Nodes)
+		r := JobReport{
+			JobID:     j.ID,
+			User:      j.User,
+			Tag:       j.Tag,
+			Nodes:     j.Nodes,
+			EnergyKWh: j.EnergyJ / 3.6e6,
+			AvgNodeW:  avgW,
+			Mark:      p.mark(avgW),
+		}
+		p.Reports = append(p.Reports, r)
+		p.perUserKWh[j.User] += r.EnergyKWh
+	})
+}
+
+// mark grades a job's average node draw within the machine's idle..max
+// dynamic range: lower draw for finished work earns a better letter.
+func (p *EnergyReport) mark(avgW float64) byte {
+	lo := p.m.Pw.Model.IdleW
+	hi := p.m.Pw.Model.MaxW
+	if hi <= lo {
+		return 'C'
+	}
+	x := (avgW - lo) / (hi - lo)
+	switch {
+	case x < 0.2:
+		return 'A'
+	case x < 0.4:
+		return 'B'
+	case x < 0.6:
+		return 'C'
+	case x < 0.8:
+		return 'D'
+	default:
+		return 'E'
+	}
+}
+
+// UserSummary returns (user, kWh) pairs sorted by consumption descending —
+// the fine- and coarse-granularity user reporting STFC deploys.
+func (p *EnergyReport) UserSummary() []struct {
+	User string
+	KWh  float64
+} {
+	type row struct {
+		User string
+		KWh  float64
+	}
+	var rows []row
+	for u, k := range p.perUserKWh {
+		rows = append(rows, row{u, k})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].KWh != rows[j].KWh {
+			return rows[i].KWh > rows[j].KWh
+		}
+		return rows[i].User < rows[j].User
+	})
+	out := make([]struct {
+		User string
+		KWh  float64
+	}, len(rows))
+	for i, r := range rows {
+		out[i] = struct {
+			User string
+			KWh  float64
+		}{r.User, r.KWh}
+	}
+	return out
+}
+
+// String renders the most recent report, for the examples.
+func (r JobReport) String() string {
+	return fmt.Sprintf("job %d (%s/%s, %d nodes): %.2f kWh, %.0f W/node, mark %c",
+		r.JobID, r.User, r.Tag, r.Nodes, r.EnergyKWh, r.AvgNodeW, r.Mark)
+}

@@ -1,0 +1,135 @@
+package policy
+
+import (
+	"fmt"
+
+	"epajsrm/internal/core"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/power"
+	"epajsrm/internal/simulator"
+)
+
+// Goal is the administrator-selected objective for energy-tag scheduling.
+// LRZ's production row: "Administrator selects job scheduling goal, energy
+// to solution or best performance."
+type Goal int
+
+const (
+	// GoalPerformance runs every job at nominal frequency.
+	GoalPerformance Goal = iota
+	// GoalEnergyToSolution picks each application's energy-minimal
+	// frequency from its characterization record.
+	GoalEnergyToSolution
+)
+
+func (g Goal) String() string {
+	if g == GoalEnergyToSolution {
+		return "energy-to-solution"
+	}
+	return "best-performance"
+}
+
+// tagRecord is the characterization data kept per application tag.
+type tagRecord struct {
+	runs     int
+	powerW   float64 // mean per-node draw at nominal frequency
+	memFrac  float64 // observed frequency-insensitivity
+	bestFrac float64 // cached energy-minimal frequency fraction
+}
+
+// EnergyTag reproduces LRZ's LoadLeveler/LSF energy-aware scheduling
+// (Auweter et al. [4]): the first run of each new application executes at
+// nominal frequency and is characterized for frequency sensitivity,
+// runtime and energy; subsequent runs of the same tag execute at the
+// frequency the administrator's goal selects. Walltime limits are scaled
+// by the expected slowdown so a down-clocked job is not killed for
+// overrunning its request.
+type EnergyTag struct {
+	Goal Goal
+	// MaxSlowdown bounds the accepted runtime stretch when minimizing
+	// energy (LRZ bounded this in production); 0 means 1.3x.
+	MaxSlowdown float64
+
+	// Characterized counts tags with completed characterization.
+	Characterized int
+
+	records map[string]*tagRecord
+	m       *core.Manager
+}
+
+// Name implements core.Policy.
+func (p *EnergyTag) Name() string { return fmt.Sprintf("energy-tag(%s)", p.Goal) }
+
+// Attach implements core.Policy.
+func (p *EnergyTag) Attach(m *core.Manager) {
+	if p.MaxSlowdown <= 1 {
+		p.MaxSlowdown = 1.3
+	}
+	p.records = map[string]*tagRecord{}
+	p.m = m
+
+	m.OnFreq(func(m *core.Manager, j *jobs.Job) float64 {
+		if p.Goal != GoalEnergyToSolution || j.Tag == "" {
+			return 1
+		}
+		rec := p.records[j.Tag]
+		if rec == nil || rec.runs == 0 {
+			return 1 // first run: characterize at nominal
+		}
+		// Stretch the walltime so the slower run is not killed.
+		if rec.bestFrac < 1 {
+			slow := power.Slowdown(rec.bestFrac, rec.memFrac)
+			j.Walltime = simulator.Time(float64(j.Walltime)*slow) + 1
+		}
+		return rec.bestFrac
+	})
+
+	m.OnJobEnd(func(m *core.Manager, j *jobs.Job) {
+		if j.Tag == "" || j.State != jobs.StateCompleted {
+			return
+		}
+		rec := p.records[j.Tag]
+		if rec == nil {
+			rec = &tagRecord{}
+			p.records[j.Tag] = rec
+		}
+		// Only nominal-frequency runs update the characterization, like
+		// LRZ's dedicated first-run characterization pass.
+		if j.FreqFrac >= 0.999 {
+			if rec.runs == 0 {
+				p.Characterized++
+			}
+			rec.runs++
+			measured := j.EnergyJ / float64(j.Nodes) / float64(j.End-j.Start)
+			rec.powerW += (measured - rec.powerW) / float64(rec.runs)
+			rec.memFrac += (j.MemFrac - rec.memFrac) / float64(rec.runs)
+			rec.bestFrac = p.bestFrequency(rec)
+		}
+	})
+}
+
+// bestFrequency scans the P-state table for the frequency minimizing
+// modeled energy-to-solution, subject to the slowdown bound.
+func (p *EnergyTag) bestFrequency(rec *tagRecord) float64 {
+	m := p.m
+	best, bestE := 1.0, m.Pw.Model.EnergyToSolution(rec.powerW, 1, rec.memFrac)
+	for i := range m.Pw.PStates {
+		f := m.Pw.PStates.Frac(i)
+		if power.Slowdown(f, rec.memFrac) > p.MaxSlowdown {
+			continue
+		}
+		e := m.Pw.Model.EnergyToSolution(rec.powerW, f, rec.memFrac)
+		if e < bestE {
+			best, bestE = f, e
+		}
+	}
+	return best
+}
+
+// BestFrac exposes the chosen frequency for a tag (1 if unknown).
+func (p *EnergyTag) BestFrac(tag string) float64 {
+	if rec := p.records[tag]; rec != nil && rec.runs > 0 {
+		return rec.bestFrac
+	}
+	return 1
+}

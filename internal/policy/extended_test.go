@@ -1,0 +1,265 @@
+package policy
+
+import (
+	"testing"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/core"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/power"
+	"epajsrm/internal/sched"
+	"epajsrm/internal/simulator"
+)
+
+func TestTopologyAwareCompactForCommHeavy(t *testing.T) {
+	p := &TopologyAware{CommThreshold: 0.2}
+	m := newMgr(t, 1, p)
+	j := testJob(1, 8, simulator.Hour, 250, 0.3)
+	j.CommFrac = 0.5
+	if err := m.Submit(j, 0); err != nil {
+		t.Fatal(err)
+	}
+	var span int
+	m.Eng.After(1, "check", func(simulator.Time) {
+		span = cluster.PlacementSpan(m.JobNodes(1))
+	})
+	m.Run(-1)
+	if span > 1 {
+		t.Fatalf("comm-heavy 8-node job on an empty machine got span %d, want <= 1 (one rack)", span)
+	}
+	if p.CompactPlacements != 1 {
+		t.Fatalf("compact placements = %d", p.CompactPlacements)
+	}
+	// The comm slowdown must have been 1 (single rack): exactly nominal
+	// runtime.
+	if got := j.End - j.Start; got != simulator.Hour {
+		t.Fatalf("runtime %v, want nominal (no comm penalty at span<=1)", got)
+	}
+}
+
+func TestTopologyAwareScatterForHungryJobs(t *testing.T) {
+	p := &TopologyAware{CommThreshold: 0.9, HungryW: 300}
+	m := newMgr(t, 2, p)
+	j := testJob(1, 8, simulator.Hour, 350, 0.3) // hungry, not comm-heavy
+	j.CommFrac = 0.0
+	if err := m.Submit(j, 0); err != nil {
+		t.Fatal(err)
+	}
+	var perPDU []float64
+	m.Eng.After(1, "check", func(simulator.Time) {
+		perPDU, _ = m.Cl.PDUPower(func(id int) float64 {
+			if m.Cl.Nodes[id].JobID == 1 {
+				return 1 // count job nodes per PDU
+			}
+			return 0
+		})
+	})
+	m.Run(-1)
+	if p.ScatterPlacements != 1 {
+		t.Fatalf("scatter placements = %d", p.ScatterPlacements)
+	}
+	// 8 nodes over 2 PDUs: a scatter should split 4/4, compact would do 8/0.
+	if perPDU[0] != 4 || perPDU[1] != 4 {
+		t.Fatalf("hungry job PDU split = %v, want [4 4]", perPDU)
+	}
+}
+
+func TestCommSlowdownAppliedForSpreadPlacement(t *testing.T) {
+	// Force a spread placement by occupying most of rack 0, then compare
+	// runtime against the compact case.
+	m := newMgr(t, 3)
+	blocker := testJob(99, 60, 10*simulator.Hour, 150, 0.3) // leaves 4 idle spread nodes
+	if err := m.Submit(blocker, 0); err != nil {
+		t.Fatal(err)
+	}
+	j := testJob(1, 4, simulator.Hour, 250, 0.3)
+	j.CommFrac = 0.5
+	if err := m.Submit(j, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(2 * simulator.Hour)
+	if j.State != jobs.StateRunning && j.State != jobs.StateCompleted {
+		t.Fatalf("state = %v", j.State)
+	}
+	// With compact-first allocation the blocker packs racks 0-3 leaving the
+	// tail nodes; j's 4 nodes land on the last rack => span 1 => nominal.
+	// Occupancy patterns can vary; assert the invariant instead: runtime
+	// equals nominal * commSlowdown for the observed span.
+	span := cluster.PlacementSpan(m.Cl.JobNodes(1))
+	wantSlow := 1.0
+	if span > 1 {
+		wantSlow = (1 - 0.5) + 0.5*(1+0.05*float64(span-1))
+	}
+	m.Run(-1)
+	got := float64(j.End - j.Start)
+	want := float64(simulator.Hour) * wantSlow
+	if got < want-2 || got > want+2 {
+		t.Fatalf("runtime %v, want %.0f (span %d, slow %.3f)", got, want, span, wantSlow)
+	}
+}
+
+func TestCapabilityWindowGates(t *testing.T) {
+	p := &CapabilityWindow{WideNodes: 32, WindowDays: 3, MonthDays: 30, HoldWideOutside: true}
+	m := newMgr(t, 4, p)
+	// A wide job submitted on day 5 (outside the window) must wait for day
+	// 30 (next window). A small job submitted inside the window (day 1)
+	// must wait until the window ends (day 3).
+	wide := testJob(1, 48, 2*simulator.Hour, 250, 0.3)
+	if err := m.Submit(wide, 5*simulator.Day); err != nil {
+		t.Fatal(err)
+	}
+	small := testJob(2, 2, simulator.Hour, 250, 0.3)
+	if err := m.Submit(small, simulator.Day); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(32 * simulator.Day)
+	if wide.State != jobs.StateCompleted || small.State != jobs.StateCompleted {
+		t.Fatalf("states %v/%v", wide.State, small.State)
+	}
+	if wide.Start < 30*simulator.Day {
+		t.Fatalf("wide job started day %.1f, want >= 30", float64(wide.Start)/float64(simulator.Day))
+	}
+	if small.Start < 3*simulator.Day {
+		t.Fatalf("small job started day %.2f, inside the capability window", float64(small.Start)/float64(simulator.Day))
+	}
+	if p.HeldWide == 0 || p.HeldSmall == 0 {
+		t.Fatalf("holds: wide=%d small=%d", p.HeldWide, p.HeldSmall)
+	}
+}
+
+func TestCapabilityWindowInWindow(t *testing.T) {
+	p := &CapabilityWindow{WideNodes: 32, WindowDays: 3, MonthDays: 30}
+	cases := []struct {
+		day  int
+		want bool
+	}{{0, true}, {2, true}, {3, false}, {29, false}, {30, true}, {33, false}}
+	for _, c := range cases {
+		if got := p.InWindow(simulator.Time(c.day) * simulator.Day); got != c.want {
+			t.Errorf("day %d in window = %v, want %v", c.day, got, c.want)
+		}
+	}
+}
+
+func TestRampLimitStaggersStarts(t *testing.T) {
+	p := &RampLimit{MaxRampW: 1000, Window: 10 * simulator.Minute}
+	m := newMgr(t, 5, p)
+	// Each job adds 4*(300-90) = 840 W at start: only one fits per window.
+	var js []*jobs.Job
+	for i := int64(1); i <= 3; i++ {
+		j := testJob(i, 4, 2*simulator.Hour, 300, 0.3)
+		js = append(js, j)
+		if err := m.Submit(j, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Run(simulator.Day)
+	for _, j := range js {
+		if j.State != jobs.StateCompleted {
+			t.Fatalf("job %d state %v", j.ID, j.State)
+		}
+	}
+	// Starts must be separated by at least one window.
+	starts := []simulator.Time{js[0].Start, js[1].Start, js[2].Start}
+	for i := 1; i < 3; i++ {
+		if starts[i]-starts[i-1] < 10*simulator.Minute {
+			t.Fatalf("starts %v not staggered by the window", starts)
+		}
+	}
+	if p.Held == 0 {
+		t.Fatal("ramp limit never held")
+	}
+}
+
+func TestRampLimitBoundsObservedRamp(t *testing.T) {
+	p := &RampLimit{MaxRampW: 2000, Window: 5 * simulator.Minute}
+	m := newMgr(t, 6, p)
+	submitN(t, m, 100, 51)
+	// Probe power every 30 s; max rise over any 5-minute window must stay
+	// near the budget (job ends can only lower power).
+	var series []float64
+	m.Eng.Every(30*simulator.Second, "probe", func(simulator.Time) {
+		series = append(series, m.Pw.TotalPower())
+	})
+	m.Run(3 * simulator.Day)
+	windowSamples := 10 // 5 min / 30 s
+	worst := 0.0
+	for i := windowSamples; i < len(series); i++ {
+		rise := series[i] - series[i-windowSamples]
+		if rise > worst {
+			worst = rise
+		}
+	}
+	if worst > 2000*1.2 {
+		t.Fatalf("worst 5-min ramp %.0f W exceeds the 2000 W budget by >20%%", worst)
+	}
+}
+
+func TestCoolingAwareDefersUntilCool(t *testing.T) {
+	m := newMgr(t, 7) // default facility: PUE rises above 15 C
+	p := &CoolingAware{MaxPUE: 1.12, DeferBelowPriority: 5}
+	m.Use(p)
+	// Mid-summer afternoon (day 91 ~ hottest): a deferrable job waits, an
+	// urgent one runs.
+	hotAfternoon := 91*simulator.Day + 6*simulator.Hour // daily sine peaks at t%day = 6h
+	deferrable := testJob(1, 2, simulator.Hour, 250, 0.3)
+	deferrable.Priority = 0
+	urgent := testJob(2, 2, simulator.Hour, 250, 0.3)
+	urgent.Priority = 9
+	if err := m.Submit(deferrable, hotAfternoon); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Submit(urgent, hotAfternoon); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(hotAfternoon + 2*simulator.Day)
+	if urgent.Start != hotAfternoon {
+		t.Fatalf("urgent job deferred to %v", urgent.Start)
+	}
+	if deferrable.Start == hotAfternoon {
+		t.Fatal("deferrable job ran at peak PUE")
+	}
+	if m.Fac.PUE(deferrable.Start) > 1.12+1e-9 {
+		t.Fatalf("deferrable job started at PUE %.3f > threshold", m.Fac.PUE(deferrable.Start))
+	}
+	if p.Held == 0 {
+		t.Fatal("never held")
+	}
+}
+
+func TestCoolingAwareAntiStarvation(t *testing.T) {
+	m := core.NewManager(core.Options{
+		Cluster:   cluster.DefaultConfig(),
+		Scheduler: sched.EASY{},
+		Seed:      8,
+		Facility:  alwaysHotFacility(),
+	})
+	p := &CoolingAware{MaxPUE: 1.05, DeferBelowPriority: 5, MaxDefer: 6 * simulator.Hour}
+	m.Use(p)
+	j := testJob(1, 2, simulator.Hour, 250, 0.3)
+	if err := m.Submit(j, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(2 * simulator.Day)
+	if j.State != jobs.StateCompleted {
+		t.Fatalf("state %v", j.State)
+	}
+	if j.Start < 6*simulator.Hour || j.Start > 7*simulator.Hour {
+		t.Fatalf("anti-starvation release at %v, want ~6h", j.Start)
+	}
+}
+
+func TestCoolingAwareRequiresFacility(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic without facility")
+		}
+	}()
+	m := core.NewManager(core.Options{Cluster: cluster.DefaultConfig(), Seed: 1})
+	m.Use(&CoolingAware{})
+}
+
+func alwaysHotFacility() *power.Facility {
+	f := power.DefaultFacility()
+	f.Climate = power.Climate{MeanC: 40}
+	return f
+}

@@ -1,0 +1,249 @@
+package policy
+
+import (
+	"testing"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/core"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/simulator"
+)
+
+func TestFairShareDeprioritizesHeavyUser(t *testing.T) {
+	p := &FairShare{HalfLife: simulator.Day, Levels: 5}
+	m := newMgr(t, 1, p)
+	// Heavy user burns the machine first.
+	for i := int64(1); i <= 4; i++ {
+		j := testJob(i, 16, simulator.Hour, 300, 0.2)
+		j.User = "heavy"
+		if err := m.Submit(j, simulator.Time(i-1)*simulator.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Later, both users submit simultaneously into a full machine: the
+	// light user's job must start first despite submitting second.
+	blocker := testJob(50, 64, simulator.Hour, 200, 0.2)
+	blocker.User = "other"
+	if err := m.Submit(blocker, 6*simulator.Hour); err != nil {
+		t.Fatal(err)
+	}
+	heavyJob := testJob(51, 32, simulator.Hour, 300, 0.2)
+	heavyJob.User = "heavy"
+	lightJob := testJob(52, 32, simulator.Hour, 300, 0.2)
+	lightJob.User = "light"
+	if err := m.Submit(heavyJob, 6*simulator.Hour+1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Submit(lightJob, 6*simulator.Hour+2); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(-1)
+	if lightJob.Start > heavyJob.Start {
+		t.Fatalf("light user's job started at %v, after heavy user's %v", lightJob.Start, heavyJob.Start)
+	}
+	if p.Usage("heavy") <= p.Usage("light") {
+		t.Fatalf("usage accounting wrong: heavy=%f light=%f", p.Usage("heavy"), p.Usage("light"))
+	}
+}
+
+func TestFairShareUsageDecays(t *testing.T) {
+	p := &FairShare{HalfLife: simulator.Hour}
+	m := newMgr(t, 2, p)
+	j := testJob(1, 8, simulator.Hour, 300, 0.2)
+	j.User = "u"
+	if err := m.Submit(j, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(-1)
+	u0 := p.Usage("u")
+	if u0 <= 0 {
+		t.Fatal("no usage charged")
+	}
+	p.decay(j.End + simulator.Hour)
+	u1 := p.Usage("u")
+	if u1 < u0*0.49 || u1 > u0*0.51 {
+		t.Fatalf("after one half-life usage = %f, want ~%f", u1, u0/2)
+	}
+}
+
+func TestFairShareEnergyCharging(t *testing.T) {
+	p := &FairShare{HalfLife: 100 * simulator.Day, ChargeEnergy: true}
+	m := newMgr(t, 3, p)
+	hungry := testJob(1, 4, simulator.Hour, 360, 0.1)
+	hungry.User = "hungry"
+	frugal := testJob(2, 4, simulator.Hour, 120, 0.5)
+	frugal.User = "frugal"
+	if err := m.Submit(hungry, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Submit(frugal, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(-1)
+	// Same node-seconds, different energy: the energy-charging fairshare
+	// must distinguish them.
+	if p.Usage("hungry") <= p.Usage("frugal")*2 {
+		t.Fatalf("energy charge hungry=%f frugal=%f: want 3x gap", p.Usage("hungry"), p.Usage("frugal"))
+	}
+}
+
+func TestPreemptJobPreservesProgress(t *testing.T) {
+	m := newMgr(t, 4)
+	j := testJob(1, 4, 2*simulator.Hour, 300, 0) // compute-bound, 2h of work
+	j.Walltime = 10 * simulator.Hour
+	if err := m.Submit(j, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Preempt at t=1h, hold the gate until t=2h, then let it resume.
+	gateOpen := true
+	m.OnStartGate(func(_ *core.Manager, jj *jobs.Job) bool { return gateOpen })
+	m.Eng.After(simulator.Hour, "preempt", func(now simulator.Time) {
+		gateOpen = false
+		if !m.PreemptJob(1, now) {
+			t.Error("preempt failed")
+		}
+		if j.State != jobs.StateQueued {
+			t.Errorf("state after preempt = %v", j.State)
+		}
+	})
+	m.Eng.After(2*simulator.Hour, "resume", func(now simulator.Time) {
+		gateOpen = true
+		m.TrySchedule(now)
+	})
+	m.Run(-1)
+	if j.State != jobs.StateCompleted {
+		t.Fatalf("state = %v", j.State)
+	}
+	// 1h done before preempt + 1h remaining after resume at t=2h: done at 3h.
+	if j.End != 3*simulator.Hour {
+		t.Fatalf("end = %v, want 3h (progress preserved)", j.End)
+	}
+	if m.Metrics.Preemptions != 1 {
+		t.Fatalf("preemptions = %d", m.Metrics.Preemptions)
+	}
+}
+
+func TestEmergencyCheckpointModeLosesNoJobs(t *testing.T) {
+	limit := 64*90 + 10*270.0
+	p := &Emergency{LimitW: limit, Checkpoint: true, Period: 30 * simulator.Second}
+	m := newMgr(t, 5, p)
+	for i := int64(1); i <= 8; i++ {
+		j := testJob(i, 8, 2*simulator.Hour, 360, 0.2)
+		if err := m.Submit(j, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Run(3 * simulator.Day)
+	if m.Metrics.Killed != 0 {
+		t.Fatalf("checkpoint mode killed %d jobs", m.Metrics.Killed)
+	}
+	if m.Metrics.Completed != 8 {
+		t.Fatalf("completed = %d, want all 8", m.Metrics.Completed)
+	}
+	// The gate serializes; kills stay zero whether or not preemptions
+	// happened, and power ends under the limit.
+	if m.Pw.TotalPower() > limit {
+		t.Fatalf("still over limit: %f", m.Pw.TotalPower())
+	}
+}
+
+func TestVMHostsSurviveIdleShutdown(t *testing.T) {
+	p := &IdleShutdown{IdleAfter: 5 * simulator.Minute, MinSpare: 0}
+	m := newMgr(t, 6, p)
+	for _, n := range m.Cl.Nodes {
+		if n.Rack == 0 {
+			n.VMHost = true
+		}
+	}
+	m.Run(simulator.Hour)
+	for _, n := range m.Cl.Nodes {
+		if n.VMHost && n.State != cluster.StateIdle {
+			t.Fatalf("VM host %d powered off (state %v)", n.ID, n.State)
+		}
+		if !n.VMHost && n.State != cluster.StateOff {
+			t.Fatalf("non-VM node %d not powered off (state %v)", n.ID, n.State)
+		}
+	}
+}
+
+func TestQueueRulesAdmission(t *testing.T) {
+	p := &QueueRules{
+		Rules: map[string]QueueRule{
+			"batch": {MaxNodes: 32, MaxWalltime: 24 * simulator.Hour},
+			"debug": {MaxNodes: 4, MaxWalltime: simulator.Hour, PriorityBoost: 10, MaxRunning: 1},
+			"large": {MinNodes: 32},
+		},
+	}
+	m := newMgr(t, 20, p)
+
+	ok := testJob(1, 8, simulator.Hour, 200, 0.3) // defaults to batch
+	tooWide := testJob(2, 48, simulator.Hour, 200, 0.3)
+	tooSmallForLarge := testJob(3, 4, simulator.Hour, 200, 0.3)
+	tooSmallForLarge.Queue = "large"
+	unknown := testJob(4, 4, simulator.Hour, 200, 0.3)
+	unknown.Queue = "phantom"
+	debugJob := testJob(5, 2, 30*simulator.Minute, 200, 0.3)
+	debugJob.Queue = "debug"
+	debugJob.Walltime = 30 * simulator.Minute
+
+	for i, j := range []*jobs.Job{ok, tooWide, tooSmallForLarge, unknown, debugJob} {
+		if err := m.Submit(j, simulator.Time(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Run(-1)
+	if ok.State != jobs.StateCompleted || debugJob.State != jobs.StateCompleted {
+		t.Fatalf("valid jobs: %v/%v", ok.State, debugJob.State)
+	}
+	for _, j := range []*jobs.Job{tooWide, tooSmallForLarge, unknown} {
+		if j.State != jobs.StateCancelled {
+			t.Fatalf("job %d state %v, want cancelled (%s)", j.ID, j.State, j.KillReason)
+		}
+	}
+	if debugJob.Priority != 10 {
+		t.Fatalf("debug priority boost missing: %d", debugJob.Priority)
+	}
+	if p.Rejected != 3 {
+		t.Fatalf("rejected = %d", p.Rejected)
+	}
+}
+
+func TestQueueRulesMaxRunning(t *testing.T) {
+	p := &QueueRules{
+		Rules: map[string]QueueRule{
+			"batch": {},
+			"debug": {MaxRunning: 1},
+		},
+	}
+	m := newMgr(t, 21, p)
+	a := testJob(1, 2, simulator.Hour, 200, 0.3)
+	a.Queue = "debug"
+	b := testJob(2, 2, simulator.Hour, 200, 0.3)
+	b.Queue = "debug"
+	if err := m.Submit(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Submit(b, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(-1)
+	if b.Start < a.End {
+		t.Fatalf("debug queue ran 2 concurrent jobs: b.start %v < a.end %v", b.Start, a.End)
+	}
+}
+
+func TestQueueRulesPanicsOnBadConfig(t *testing.T) {
+	for _, p := range []*QueueRules{
+		{},
+		{Rules: map[string]QueueRule{"x": {}}, DefaultQueue: "y"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", p)
+				}
+			}()
+			newMgr(t, 22, p)
+		}()
+	}
+}

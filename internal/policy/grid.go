@@ -1,0 +1,125 @@
+package policy
+
+import (
+	"epajsrm/internal/core"
+	"epajsrm/internal/esp"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/simulator"
+)
+
+// GridAware connects the job scheduler to the electricity service provider
+// — the integration RIKEN researches ("integrating job scheduler info with
+// decision to use grid vs. gas turbine energy") and the ESP-SC
+// relationship studies (Bates et al. [6], Patki et al. [36]) motivate.
+// Behaviour:
+//
+//   - During peak-tariff hours, jobs wider than PeakMaxNodes are held, so
+//     big power ramps land in cheap hours.
+//   - During an active demand-response event the event's limit gates job
+//     starts (and an optional kill switch sheds load).
+//   - A cost meter attributes energy to grid vs on-site generation,
+//     choosing the cheaper source as RIKEN's turbine decision does.
+type GridAware struct {
+	Provider *esp.Provider
+	// PeakMaxNodes is the widest job started during peak price; 0 disables
+	// peak shifting.
+	PeakMaxNodes int
+	// DRKill allows killing jobs to honor a demand-response limit that
+	// gating alone cannot reach.
+	DRKill bool
+	// DRPreempt checkpoints-and-requeues jobs instead of killing them when
+	// an active demand-response limit is exceeded (takes precedence over
+	// DRKill).
+	DRPreempt bool
+	// Period is the control interval.
+	Period simulator.Time
+
+	// Meter accumulates cost; HeldAtPeak counts deferrals.
+	Meter      *esp.CostMeter
+	HeldAtPeak int
+	DRKills    int
+	DRPreempts int
+
+	m *core.Manager
+}
+
+// Name implements core.Policy.
+func (p *GridAware) Name() string { return "grid-aware" }
+
+// Attach implements core.Policy.
+func (p *GridAware) Attach(m *core.Manager) {
+	if p.Provider == nil {
+		panic("policy: GridAware needs a provider")
+	}
+	if p.Period <= 0 {
+		p.Period = simulator.Minute
+	}
+	p.m = m
+	p.Meter = esp.NewCostMeter(p.Provider)
+
+	m.OnStartGate(func(m *core.Manager, j *jobs.Job) bool {
+		now := m.Eng.Now()
+		if limit, ok := p.Provider.ActiveDR(now); ok {
+			if p.sitePower(now)+m.EstimatedStartPower(j) > limit {
+				return false
+			}
+		}
+		// Look ahead: a job whose walltime straddles an upcoming
+		// demand-response window must also fit that window's limit —
+		// otherwise the site enters the event already over it (the same
+		// pre-draining CEA's layout logic does for maintenance).
+		for _, e := range p.Provider.Events {
+			if e.From > now && e.From < now+j.Walltime {
+				if p.sitePower(now)+m.EstimatedStartPower(j) > e.LimitW {
+					return false
+				}
+			}
+		}
+		if p.PeakMaxNodes > 0 && p.Provider.Tariff.IsPeak(now) && j.Nodes > p.PeakMaxNodes {
+			p.HeldAtPeak++
+			return false
+		}
+		return true
+	})
+
+	m.ScheduleEvery(p.Period, "grid-aware", func(now simulator.Time) {
+		p.Meter.Observe(now, p.sitePower(now))
+		if limit, ok := p.Provider.ActiveDR(now); ok && (p.DRKill || p.DRPreempt) {
+			for p.sitePower(now) > limit {
+				victim := p.youngest()
+				if victim == nil {
+					break
+				}
+				if p.DRPreempt {
+					if !m.PreemptJob(victim.ID, now) {
+						break
+					}
+					p.DRPreempts++
+				} else if m.KillJob(victim.ID, "demand response", now) {
+					p.DRKills++
+				} else {
+					break
+				}
+			}
+		}
+		m.TrySchedule(now)
+	})
+}
+
+func (p *GridAware) sitePower(now simulator.Time) float64 {
+	it := p.m.Pw.TotalPower()
+	if p.m.Fac != nil {
+		return p.m.Fac.SitePower(now, it)
+	}
+	return it
+}
+
+func (p *GridAware) youngest() *jobs.Job {
+	var pick *jobs.Job
+	for _, j := range p.m.Running() {
+		if pick == nil || j.Start > pick.Start {
+			pick = j
+		}
+	}
+	return pick
+}

@@ -1,0 +1,79 @@
+package policy
+
+import (
+	"fmt"
+
+	"epajsrm/internal/core"
+	"epajsrm/internal/simulator"
+)
+
+// GroupCap reproduces JCAHPC's production capability: "ability to set power
+// caps for groups of nodes via the resource manager (Fujitsu proprietary
+// product)" plus "manual emergency response, admin sets power cap". Groups
+// are rack-aligned; an administrator (or an experiment) calls SetRackCap /
+// EmergencyCap at any time and the caps are pushed through the out-of-band
+// control plane.
+type GroupCap struct {
+	// PerNodeW maps rack index to the per-node cap applied to that rack;
+	// entries are installed at attach time.
+	PerNodeW map[int]float64
+
+	// Applied counts cap actuations.
+	Applied int
+
+	m *core.Manager
+}
+
+// Name implements core.Policy.
+func (p *GroupCap) Name() string { return fmt.Sprintf("group-cap(%d racks)", len(p.PerNodeW)) }
+
+// Attach implements core.Policy.
+func (p *GroupCap) Attach(m *core.Manager) {
+	p.m = m
+	for rack, capW := range p.PerNodeW {
+		p.applyRack(rack, capW)
+	}
+}
+
+func (p *GroupCap) applyRack(rack int, capW float64) {
+	var ids []int
+	for _, n := range p.m.Cl.Nodes {
+		if n.Rack == rack {
+			ids = append(ids, n.ID)
+		}
+	}
+	if err := p.m.Ctrl.SetGroupCap(ids, capW); err != nil {
+		panic(err)
+	}
+	p.Applied++
+}
+
+// SetRackCap changes one rack's per-node cap at runtime and retimes
+// affected jobs.
+func (p *GroupCap) SetRackCap(rack int, capW float64, now simulator.Time) {
+	p.applyRack(rack, capW)
+	p.m.RetimeAll(now)
+}
+
+// EmergencyCap is the manual response: cap every node at capW immediately.
+func (p *GroupCap) EmergencyCap(capW float64, now simulator.Time) {
+	var ids []int
+	for _, n := range p.m.Cl.Nodes {
+		ids = append(ids, n.ID)
+	}
+	if err := p.m.Ctrl.SetGroupCap(ids, capW); err != nil {
+		panic(err)
+	}
+	p.Applied++
+	p.m.RetimeAll(now)
+}
+
+// Lift removes all caps.
+func (p *GroupCap) Lift(now simulator.Time) {
+	for _, n := range p.m.Cl.Nodes {
+		if err := p.m.Ctrl.SetNodeCap(n.ID, 0); err != nil {
+			panic(err)
+		}
+	}
+	p.m.RetimeAll(now)
+}

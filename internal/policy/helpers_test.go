@@ -1,0 +1,64 @@
+package policy
+
+import (
+	"testing"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/core"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/power"
+	"epajsrm/internal/sched"
+	"epajsrm/internal/simulator"
+	"epajsrm/internal/workload"
+)
+
+// newMgr builds a 64-node manager with the default model and EASY
+// scheduling.
+func newMgr(t *testing.T, seed uint64, pols ...core.Policy) *core.Manager {
+	t.Helper()
+	m := core.NewManager(core.Options{
+		Cluster:   cluster.DefaultConfig(),
+		Scheduler: sched.EASY{},
+		Seed:      seed,
+		Facility:  power.DefaultFacility(),
+	})
+	for _, p := range pols {
+		m.Use(p)
+	}
+	return m
+}
+
+// submitN generates and submits n default-spec jobs.
+func submitN(t *testing.T, m *core.Manager, n int, seed uint64) []*jobs.Job {
+	t.Helper()
+	js := workload.NewGenerator(workload.DefaultSpec(), seed).Generate(n)
+	for _, j := range js {
+		if err := m.Submit(j, j.Submit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return js
+}
+
+// testJob builds a rigid job with explicit characteristics.
+func testJob(id int64, nodes int, run simulator.Time, powerW, memFrac float64) *jobs.Job {
+	return &jobs.Job{
+		ID: id, User: "u", Tag: "t", Nodes: nodes,
+		Walltime: 4 * run, TrueRuntime: run,
+		PowerPerNodeW: powerW, MemFrac: memFrac,
+	}
+}
+
+// maxPowerDuring runs the manager to the horizon sampling total power every
+// step seconds and returns the maximum observed.
+func maxPowerDuring(m *core.Manager, horizon, step simulator.Time) float64 {
+	maxP := 0.0
+	stop := m.Eng.Every(step, "probe", func(now simulator.Time) {
+		if p := m.Pw.TotalPower(); p > maxP {
+			maxP = p
+		}
+	})
+	defer stop()
+	m.Run(horizon)
+	return maxP
+}

@@ -1,0 +1,109 @@
+package policy
+
+import (
+	"fmt"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/core"
+	"epajsrm/internal/simulator"
+)
+
+// IdleShutdown powers off nodes that have been idle longer than a
+// threshold and boots them back on demand — Tokyo Tech's production row
+// ("resource manager shuts down nodes that have been idle for a long
+// time") and Mämmelä et al. [33]. A spare pool of idle nodes is kept up so
+// short jobs do not always pay the boot delay.
+type IdleShutdown struct {
+	// IdleAfter is how long a node must sit idle before shutdown.
+	IdleAfter simulator.Time
+	// MinSpare idle nodes are always kept powered.
+	MinSpare int
+	// Period is the scan interval.
+	Period simulator.Time
+
+	// Shutdowns and Boots count actuations.
+	Shutdowns, Boots int
+
+	m *core.Manager
+}
+
+// Name implements core.Policy.
+func (p *IdleShutdown) Name() string { return fmt.Sprintf("idle-shutdown(%s)", p.IdleAfter) }
+
+// Attach implements core.Policy.
+func (p *IdleShutdown) Attach(m *core.Manager) {
+	if p.IdleAfter <= 0 {
+		p.IdleAfter = 15 * simulator.Minute
+	}
+	if p.Period <= 0 {
+		p.Period = simulator.Minute
+	}
+	p.m = m
+	m.ScheduleEvery(p.Period, "idle-shutdown", p.scan)
+}
+
+// scan shuts down long-idle nodes beyond the spare pool and boots nodes
+// when queued demand exceeds what is up.
+func (p *IdleShutdown) scan(now simulator.Time) {
+	m := p.m
+
+	// Demand: nodes wanted by the queue beyond currently available+booting.
+	// Jobs held back by another policy's start gate (power caps, demand
+	// response, MS3) do not count — booting nodes for them would only burn
+	// power against the very condition holding them.
+	demand := 0
+	for _, j := range m.Queue.Jobs() {
+		if m.StartGatesOpen(j) {
+			demand += j.Nodes
+		}
+	}
+	avail := 0
+	booting := 0
+	var idle []*cluster.Node
+	var off []*cluster.Node
+	for _, n := range m.Cl.Nodes {
+		switch n.State {
+		case cluster.StateIdle:
+			if !n.Maintenance && !m.Cl.InfraMaintenance(n) {
+				avail++
+				idle = append(idle, n)
+			}
+		case cluster.StateBooting:
+			booting++
+		case cluster.StateOff:
+			if !n.Maintenance && !m.Cl.InfraMaintenance(n) {
+				off = append(off, n)
+			}
+		}
+	}
+
+	need := demand - avail - booting
+	if need > 0 {
+		// Boot what the queue needs (bounded by what exists).
+		for i := 0; i < need && i < len(off); i++ {
+			if err := m.Ctrl.PowerOn(off[i].ID, func(t simulator.Time) {
+				m.TrySchedule(t)
+			}); err == nil {
+				p.Boots++
+			}
+		}
+		return
+	}
+
+	// Shut down surplus long-idle nodes, keeping MinSpare. VM hosts are
+	// never powered off: their guests are invisible to the batch system
+	// (Tokyo Tech: VMs "complicate physical node shutdown").
+	surplus := avail - demand - p.MinSpare
+	for _, n := range idle {
+		if surplus <= 0 {
+			break
+		}
+		if n.VMHost || now-n.StateSince < p.IdleAfter {
+			continue
+		}
+		if err := m.Ctrl.PowerOff(n.ID); err == nil {
+			p.Shutdowns++
+			surplus--
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package policy
+
+import (
+	"fmt"
+
+	"epajsrm/internal/core"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/simulator"
+)
+
+// InterSystemBudget coordinates two systems that share one facility power
+// budget — Tokyo Tech's technology-development row: "Inter-system power
+// capping. TSUBAME2 and TSUBAME3 will need to share the facility power
+// budget." The coordinator periodically splits the budget between the
+// systems in proportion to their demand (running draw plus queued
+// pressure), and each side enforces its share with a start gate.
+//
+// The two managers must share one simulator engine (core.Options.Engine).
+type InterSystemBudget struct {
+	// BudgetW is the joint facility IT budget.
+	BudgetW float64
+	// Period is the rebalance interval.
+	Period simulator.Time
+	// MinShareFrac guarantees each system a floor so neither starves.
+	MinShareFrac float64
+
+	shares []float64
+	mgrs   []*core.Manager
+
+	// Rebalances counts coordinator passes.
+	Rebalances int
+}
+
+// NewInterSystemBudget creates a coordinator over the given managers (at
+// least two), all on one engine.
+func NewInterSystemBudget(budgetW float64, period simulator.Time, mgrs ...*core.Manager) *InterSystemBudget {
+	if budgetW <= 0 {
+		panic("policy: InterSystemBudget needs a positive budget")
+	}
+	if len(mgrs) < 2 {
+		panic("policy: InterSystemBudget needs at least two systems")
+	}
+	eng := mgrs[0].Eng
+	for _, m := range mgrs[1:] {
+		if m.Eng != eng {
+			panic("policy: InterSystemBudget managers must share one engine")
+		}
+	}
+	if period <= 0 {
+		period = 5 * simulator.Minute
+	}
+	p := &InterSystemBudget{
+		BudgetW:      budgetW,
+		Period:       period,
+		MinShareFrac: 0.2,
+		mgrs:         mgrs,
+		shares:       make([]float64, len(mgrs)),
+	}
+	// Initial even split.
+	for i := range p.shares {
+		p.shares[i] = budgetW / float64(len(mgrs))
+	}
+	for i, m := range mgrs {
+		i := i
+		m.Use(&interSystemSide{parent: p, idx: i})
+	}
+	eng.Every(period, "inter-system-budget", p.rebalance)
+	return p
+}
+
+// Share returns system i's current budget share.
+func (p *InterSystemBudget) Share(i int) float64 { return p.shares[i] }
+
+// TotalPower sums the systems' current IT draw.
+func (p *InterSystemBudget) TotalPower() float64 {
+	t := 0.0
+	for _, m := range p.mgrs {
+		t += m.Pw.TotalPower()
+	}
+	return t
+}
+
+// wantMore scores how much additional power a system could use if granted
+// more budget: the estimated draw of its queue backlog.
+func (p *InterSystemBudget) wantMore(m *core.Manager) float64 {
+	d := 0.0
+	for _, j := range m.Queue.Jobs() {
+		d += m.EstimatedStartPower(j)
+	}
+	return d
+}
+
+// rebalance grants each system its *current draw* (running jobs are never
+// stranded above their share — the no-kill constraint Tokyo Tech's row
+// emphasizes) plus a demand-proportional slice of the remaining headroom,
+// with a small guaranteed floor so an idle system can always start
+// something.
+func (p *InterSystemBudget) rebalance(now simulator.Time) {
+	p.Rebalances++
+	n := float64(len(p.mgrs))
+	cur := make([]float64, len(p.mgrs))
+	want := make([]float64, len(p.mgrs))
+	curSum, wantSum := 0.0, 0.0
+	for i, m := range p.mgrs {
+		cur[i] = m.Pw.TotalPower()
+		want[i] = p.wantMore(m)
+		curSum += cur[i]
+		wantSum += want[i]
+	}
+	headroom := p.BudgetW - curSum
+	if headroom < 0 {
+		headroom = 0
+	}
+	floor := p.BudgetW * p.MinShareFrac / n
+	for i := range p.mgrs {
+		share := cur[i]
+		if wantSum > 0 {
+			share += headroom * want[i] / wantSum
+		} else {
+			share += headroom / n
+		}
+		if share < floor {
+			share = floor
+		}
+		p.shares[i] = share
+	}
+	for _, m := range p.mgrs {
+		m.TrySchedule(now)
+	}
+}
+
+// interSystemSide is the per-system enforcement half: a start gate against
+// the system's current share.
+type interSystemSide struct {
+	parent *InterSystemBudget
+	idx    int
+}
+
+// Name implements core.Policy.
+func (s *interSystemSide) Name() string {
+	return fmt.Sprintf("inter-system-share[%d]", s.idx)
+}
+
+// Attach implements core.Policy.
+func (s *interSystemSide) Attach(m *core.Manager) {
+	m.OnStartGate(func(m *core.Manager, j *jobs.Job) bool {
+		return m.Pw.TotalPower()+m.EstimatedStartPower(j) <= s.parent.shares[s.idx]
+	})
+}

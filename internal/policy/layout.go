@@ -1,0 +1,79 @@
+package policy
+
+import (
+	"fmt"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/core"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/simulator"
+)
+
+// MaintenanceWindow announces that an infrastructure element will be
+// serviced during [From, Until).
+type MaintenanceWindow struct {
+	PDU     int // -1 if this window targets a chiller
+	Chiller int // -1 if this window targets a PDU
+	From    simulator.Time
+	Until   simulator.Time
+}
+
+// LayoutAware is CEA's SLURM "layout logic": the scheduler knows which
+// PDUs and chillers each node depends on and avoids placing jobs on nodes
+// whose infrastructure will be under maintenance before the job could
+// finish (judged by walltime). At window start the infrastructure is marked
+// down — any stragglers are the operators' problem in production; here the
+// filter guarantees there are none, which the tests assert.
+type LayoutAware struct {
+	Windows []MaintenanceWindow
+
+	// Avoided counts placement decisions where the filter excluded a node.
+	Avoided int
+
+	m *core.Manager
+}
+
+// Name implements core.Policy.
+func (p *LayoutAware) Name() string { return fmt.Sprintf("layout-aware(%d windows)", len(p.Windows)) }
+
+// Attach implements core.Policy.
+func (p *LayoutAware) Attach(m *core.Manager) {
+	p.m = m
+	for _, w := range p.Windows {
+		w := w
+		if _, err := m.Eng.At(w.From, "maintenance-start", func(now simulator.Time) {
+			p.setMaint(w, true)
+		}); err != nil {
+			panic(err)
+		}
+		if _, err := m.Eng.At(w.Until, "maintenance-end", func(now simulator.Time) {
+			p.setMaint(w, false)
+			m.TrySchedule(now)
+		}); err != nil {
+			panic(err)
+		}
+	}
+	m.OnNodeFilter(func(m *core.Manager, j *jobs.Job, n *cluster.Node) bool {
+		now := m.Eng.Now()
+		jobEnd := now + j.Walltime
+		for _, w := range p.Windows {
+			if w.Until <= now || w.From >= jobEnd {
+				continue // window does not overlap the job's possible run
+			}
+			if (w.PDU >= 0 && n.PDU == w.PDU) || (w.Chiller >= 0 && n.Chiller == w.Chiller) {
+				p.Avoided++
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func (p *LayoutAware) setMaint(w MaintenanceWindow, on bool) {
+	if w.PDU >= 0 {
+		p.m.Cl.SetPDUMaintenance(w.PDU, on)
+	}
+	if w.Chiller >= 0 {
+		p.m.Cl.SetChillerMaintenance(w.Chiller, on)
+	}
+}

@@ -1,0 +1,87 @@
+package policy
+
+import (
+	"fmt"
+
+	"epajsrm/internal/core"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/simulator"
+)
+
+// MS3 is the "Mediterranean-style job scheduler — do less when it's too
+// hot!" of Borghesi et al. [11]: instead of slowing processors down, the
+// system limits how much work runs concurrently when the thermal/power
+// situation is tight. The concurrency envelope scales between a floor and
+// the full machine as a function of outside temperature (or, when no
+// facility model is attached, of the instantaneous power budget headroom).
+type MS3 struct {
+	// BudgetW caps IT draw; admission of new jobs stops above it.
+	BudgetW float64
+	// HotC and CoolC bound the temperature band: at or below CoolC the full
+	// machine may be busy, at or above HotC only FloorFrac of it.
+	HotC, CoolC float64
+	// FloorFrac is the minimum busy-node fraction allowed on the hottest
+	// days.
+	FloorFrac float64
+
+	// Deferrals counts scheduling passes in which a job was held back.
+	Deferrals int
+
+	m *core.Manager
+}
+
+// Name implements core.Policy.
+func (p *MS3) Name() string { return fmt.Sprintf("ms3(%.0f-%.0fC)", p.CoolC, p.HotC) }
+
+// Attach implements core.Policy.
+func (p *MS3) Attach(m *core.Manager) {
+	if p.HotC <= p.CoolC {
+		p.CoolC, p.HotC = 18, 32
+	}
+	if p.FloorFrac <= 0 || p.FloorFrac > 1 {
+		p.FloorFrac = 0.4
+	}
+	p.m = m
+	m.OnStartGate(func(m *core.Manager, j *jobs.Job) bool {
+		if p.BudgetW > 0 && m.Pw.TotalPower()+m.EstimatedStartPower(j) > p.BudgetW {
+			p.Deferrals++
+			return false
+		}
+		allowed := p.AllowedBusyNodes(m.Eng.Now())
+		busy := 0
+		for _, r := range m.Running() {
+			busy += r.Nodes
+		}
+		if busy+j.Nodes > allowed {
+			p.Deferrals++
+			return false
+		}
+		return true
+	})
+	// Re-evaluate periodically so admission resumes when the day cools.
+	m.ScheduleEvery(5*simulator.Minute, "ms3-tick", func(now simulator.Time) {
+		m.TrySchedule(now)
+	})
+}
+
+// AllowedBusyNodes returns the busy-node ceiling at time now: the full
+// machine below CoolC, the floor above HotC, linear in between.
+func (p *MS3) AllowedBusyNodes(now simulator.Time) int {
+	total := p.m.Cl.Size()
+	if p.m.Fac == nil {
+		return total
+	}
+	t := p.m.Fac.Climate.TempAt(now)
+	frac := 1.0
+	switch {
+	case t >= p.HotC:
+		frac = p.FloorFrac
+	case t > p.CoolC:
+		frac = 1 - (1-p.FloorFrac)*(t-p.CoolC)/(p.HotC-p.CoolC)
+	}
+	n := int(frac * float64(total))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,153 @@
+package policy
+
+import (
+	"fmt"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/core"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/simulator"
+)
+
+// Overprovision implements the over-provisioned operating point of Sarood
+// et al. [38] and Patki et al. [37]: the machine has more nodes than the
+// power budget can drive at full speed, and the policy (a) reshapes
+// moldable jobs so more of them fit the joint node+power envelope,
+// (b) gates starts on power headroom, and (c) divides the budget into
+// uniform node caps over the nodes that are actually busy, so the hardware
+// enforces the envelope between scheduling decisions.
+type Overprovision struct {
+	// BudgetW is the cluster IT power budget (well below MaxPossiblePower
+	// in over-provisioned operation).
+	BudgetW float64
+	// Period is the cap-refresh interval.
+	Period simulator.Time
+	// PreferWide reshapes moldable jobs to their widest admissible
+	// configuration (throughput-oriented); otherwise the requested shape is
+	// kept whenever it fits.
+	PreferWide bool
+
+	// Reshapes counts jobs whose shape was changed at start.
+	Reshapes int
+
+	m *core.Manager
+}
+
+// Name implements core.Policy.
+func (p *Overprovision) Name() string { return fmt.Sprintf("overprovision(%.0fkW)", p.BudgetW/1000) }
+
+// Attach implements core.Policy.
+func (p *Overprovision) Attach(m *core.Manager) {
+	if p.BudgetW <= 0 {
+		panic("policy: Overprovision needs a positive budget")
+	}
+	if p.Period <= 0 {
+		p.Period = simulator.Minute
+	}
+	p.m = m
+
+	m.OnStartGate(func(m *core.Manager, j *jobs.Job) bool {
+		// Admit if any admissible shape fits the headroom.
+		head := p.BudgetW - m.Pw.TotalPower()
+		cfg, ok := p.fitShape(m, j, m.Cl.AvailableCount(nil), head)
+		_ = cfg
+		return ok
+	})
+
+	m.OnShape(func(m *core.Manager, j *jobs.Job, free int) (jobs.MoldConfig, bool) {
+		head := p.BudgetW - m.Pw.TotalPower()
+		cfg, ok := p.fitShape(m, j, free, head)
+		if !ok {
+			return jobs.MoldConfig{}, false
+		}
+		if cfg.Nodes != j.Nodes {
+			p.Reshapes++
+		}
+		return cfg, true
+	})
+
+	m.ScheduleEvery(p.Period, "overprovision-caps", p.refreshCaps)
+}
+
+// fitShape returns the best admissible shape under free nodes and power
+// headroom. Power per node is estimated with the manager's estimator minus
+// the idle draw the node already pays.
+func (p *Overprovision) fitShape(m *core.Manager, j *jobs.Job, free int, headW float64) (jobs.MoldConfig, bool) {
+	perNode := m.PowerEstimator(j)
+	if perNode < m.Pw.Model.IdleW {
+		perNode = m.Pw.Model.IdleW
+	}
+	addPer := perNode - m.Pw.Model.IdleW
+	maxByPower := free
+	if addPer > 0 {
+		byPower := int(headW / addPer)
+		if byPower < maxByPower {
+			maxByPower = byPower
+		}
+	}
+	if maxByPower <= 0 {
+		return jobs.MoldConfig{}, false
+	}
+	shapes := j.Mold
+	if len(shapes) == 0 {
+		shapes = []jobs.MoldConfig{{Nodes: j.Nodes, Runtime: j.TrueRuntime}}
+	}
+	var best jobs.MoldConfig
+	found := false
+	for _, s := range shapes {
+		if s.Nodes > maxByPower {
+			continue
+		}
+		if !found {
+			best, found = s, true
+			continue
+		}
+		if p.PreferWide {
+			if s.Nodes > best.Nodes {
+				best = s
+			}
+		} else {
+			// Prefer the requested shape, else the closest below it.
+			if s.Nodes == j.Nodes {
+				best = s
+			} else if best.Nodes != j.Nodes && s.Nodes > best.Nodes {
+				best = s
+			}
+		}
+	}
+	return best, found
+}
+
+// refreshCaps divides the budget uniformly across busy nodes (idle/off
+// nodes keep their baseline draw reserved) so the envelope holds between
+// scheduler decisions even if a job draws more than estimated.
+func (p *Overprovision) refreshCaps(now simulator.Time) {
+	m := p.m
+	model := m.Pw.Model
+	reserved := 0.0
+	var busy []*cluster.Node
+	for _, n := range m.Cl.Nodes {
+		switch n.State {
+		case cluster.StateOff, cluster.StateDown:
+			reserved += model.OffW
+		case cluster.StateBooting, cluster.StateShuttingDown:
+			reserved += model.BootW
+		case cluster.StateBusy, cluster.StateDraining:
+			busy = append(busy, n)
+		default:
+			reserved += model.IdleW
+		}
+	}
+	if len(busy) == 0 {
+		return
+	}
+	per := (p.BudgetW - reserved) / float64(len(busy))
+	if per < model.IdleW {
+		per = model.IdleW
+	}
+	for _, n := range busy {
+		m.Pw.SetNodeCap(now, n, per)
+	}
+	m.RetimeAll(now)
+	m.TrySchedule(now)
+}

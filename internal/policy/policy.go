@@ -1,0 +1,33 @@
+// Package policy implements the EPA JSRM techniques catalogued by the
+// survey — one type per capability row in Tables I/II and per technique
+// family in the related-work section. Every policy plugs into
+// core.Manager through the hook surface in internal/core and actuates the
+// power substrate in internal/power, mirroring Figure 1's architecture:
+// monitoring and control of both resources and energy/power.
+package policy
+
+import "epajsrm/internal/core"
+
+// compile-time conformance checks for every policy in the package.
+var (
+	_ core.Policy = (*StaticCap)(nil)
+	_ core.Policy = (*DynamicPowerSharing)(nil)
+	_ core.Policy = (*DVFSBudget)(nil)
+	_ core.Policy = (*IdleShutdown)(nil)
+	_ core.Policy = (*BootWindowCap)(nil)
+	_ core.Policy = (*MS3)(nil)
+	_ core.Policy = (*EnergyTag)(nil)
+	_ core.Policy = (*Emergency)(nil)
+	_ core.Policy = (*Overprovision)(nil)
+	_ core.Policy = (*LayoutAware)(nil)
+	_ core.Policy = (*EnergyReport)(nil)
+	_ core.Policy = (*RuntimeBalance)(nil)
+	_ core.Policy = (*GridAware)(nil)
+	_ core.Policy = (*GroupCap)(nil)
+	_ core.Policy = (*TopologyAware)(nil)
+	_ core.Policy = (*CapabilityWindow)(nil)
+	_ core.Policy = (*RampLimit)(nil)
+	_ core.Policy = (*CoolingAware)(nil)
+	_ core.Policy = (*FairShare)(nil)
+	_ core.Policy = (*QueueRules)(nil)
+)

@@ -1,0 +1,111 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"epajsrm/internal/core"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/simulator"
+)
+
+// QueueRule configures one named batch queue — the paper's §II-A: "users
+// submit batch jobs into one or more batch queues ... queues may be
+// designated as having higher or lower priorities and may be restricted".
+type QueueRule struct {
+	// MaxNodes bounds job width (0 = unlimited).
+	MaxNodes int
+	// MinNodes sets a floor — e.g. a "large" queue that only takes
+	// capability jobs (0 = none).
+	MinNodes int
+	// MaxWalltime bounds the request (0 = unlimited).
+	MaxWalltime simulator.Time
+	// PriorityBoost is added to every admitted job's priority.
+	PriorityBoost int
+	// MaxRunning bounds how many of the queue's jobs run concurrently
+	// (0 = unlimited) — how debug queues stay responsive.
+	MaxRunning int
+}
+
+// QueueRules validates and classifies jobs by their Queue name at
+// admission, and enforces per-queue concurrency at start.
+type QueueRules struct {
+	// Rules maps queue name to its rule. Jobs naming an unknown queue are
+	// rejected; an empty queue name maps to DefaultQueue.
+	Rules map[string]QueueRule
+	// DefaultQueue is used when a job does not name one (default "batch").
+	DefaultQueue string
+
+	// Rejected counts admission failures.
+	Rejected int
+
+	m *core.Manager
+}
+
+// Name implements core.Policy.
+func (p *QueueRules) Name() string {
+	names := make([]string, 0, len(p.Rules))
+	for q := range p.Rules {
+		names = append(names, q)
+	}
+	sort.Strings(names)
+	return fmt.Sprintf("queue-rules(%s)", strings.Join(names, ","))
+}
+
+// Attach implements core.Policy.
+func (p *QueueRules) Attach(m *core.Manager) {
+	if len(p.Rules) == 0 {
+		panic("policy: QueueRules needs at least one rule")
+	}
+	if p.DefaultQueue == "" {
+		p.DefaultQueue = "batch"
+	}
+	if _, ok := p.Rules[p.DefaultQueue]; !ok {
+		panic("policy: QueueRules default queue has no rule")
+	}
+	p.m = m
+
+	m.OnAdmit(func(m *core.Manager, j *jobs.Job) (bool, string) {
+		if j.Queue == "" {
+			j.Queue = p.DefaultQueue
+		}
+		rule, ok := p.Rules[j.Queue]
+		if !ok {
+			p.Rejected++
+			return false, fmt.Sprintf("unknown queue %q", j.Queue)
+		}
+		if rule.MaxNodes > 0 && j.Nodes > rule.MaxNodes {
+			p.Rejected++
+			return false, fmt.Sprintf("queue %q allows at most %d nodes", j.Queue, rule.MaxNodes)
+		}
+		if rule.MinNodes > 0 && j.Nodes < rule.MinNodes {
+			p.Rejected++
+			return false, fmt.Sprintf("queue %q requires at least %d nodes", j.Queue, rule.MinNodes)
+		}
+		if rule.MaxWalltime > 0 && j.Walltime > rule.MaxWalltime {
+			p.Rejected++
+			return false, fmt.Sprintf("queue %q allows at most %s walltime", j.Queue, rule.MaxWalltime)
+		}
+		j.Priority += rule.PriorityBoost
+		return true, ""
+	})
+
+	// Concurrency is counted on demand from the live job set so that
+	// preemption/requeue cycles can never desynchronize a counter.
+	m.OnStartGate(func(m *core.Manager, j *jobs.Job) bool {
+		rule := p.Rules[j.Queue]
+		return rule.MaxRunning == 0 || p.RunningIn(j.Queue) < rule.MaxRunning
+	})
+}
+
+// RunningIn reports how many jobs of queue q are running.
+func (p *QueueRules) RunningIn(q string) int {
+	k := 0
+	for _, j := range p.m.Running() {
+		if j.Queue == q {
+			k++
+		}
+	}
+	return k
+}

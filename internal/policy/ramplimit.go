@@ -1,0 +1,82 @@
+package policy
+
+import (
+	"fmt"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/core"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/simulator"
+)
+
+// RampLimit bounds how fast the site's power draw may rise — the paper's
+// introduction names "the rate of change and magnitude of system power
+// fluctuations" as a core motivation, and electricity providers charge for
+// (or forbid) steep ramps (Bates et al.). The policy tracks the power
+// added by job starts inside a sliding window and holds further starts
+// once the window's ramp budget is spent; large jobs therefore start in
+// staggered cohorts rather than as one step function.
+type RampLimit struct {
+	// MaxRampW is the largest allowed power increase per window.
+	MaxRampW float64
+	// Window is the ramp accounting window (default 5 minutes).
+	Window simulator.Time
+
+	// Held counts gate decisions that deferred a start.
+	Held int
+
+	recent []rampEntry
+	m      *core.Manager
+}
+
+type rampEntry struct {
+	at   simulator.Time
+	addW float64
+}
+
+// Name implements core.Policy.
+func (p *RampLimit) Name() string {
+	return fmt.Sprintf("ramp-limit(%.0fkW/%s)", p.MaxRampW/1000, p.Window)
+}
+
+// Attach implements core.Policy.
+func (p *RampLimit) Attach(m *core.Manager) {
+	if p.MaxRampW <= 0 {
+		panic("policy: RampLimit needs a positive ramp budget")
+	}
+	if p.Window <= 0 {
+		p.Window = 5 * simulator.Minute
+	}
+	p.m = m
+	m.OnStartGate(func(m *core.Manager, j *jobs.Job) bool {
+		add := m.EstimatedStartPower(j)
+		if p.windowAdd(m.Eng.Now())+add > p.MaxRampW {
+			p.Held++
+			return false
+		}
+		return true
+	})
+	m.OnJobStart(func(m *core.Manager, j *jobs.Job, _ []*cluster.Node) {
+		p.recent = append(p.recent, rampEntry{at: m.Eng.Now(), addW: m.EstimatedStartPower(j)})
+	})
+	// Re-try held jobs as budget rolls out of the window.
+	m.ScheduleEvery(p.Window/5+1, "ramp-limit", func(now simulator.Time) {
+		m.TrySchedule(now)
+	})
+}
+
+// windowAdd sums the start power added inside the trailing window, also
+// trimming expired entries.
+func (p *RampLimit) windowAdd(now simulator.Time) float64 {
+	cutoff := now - p.Window
+	trim := 0
+	for trim < len(p.recent) && p.recent[trim].at < cutoff {
+		trim++
+	}
+	p.recent = p.recent[trim:]
+	t := 0.0
+	for _, e := range p.recent {
+		t += e.addW
+	}
+	return t
+}

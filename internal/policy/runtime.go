@@ -1,0 +1,103 @@
+package policy
+
+import (
+	"fmt"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/core"
+	"epajsrm/internal/jobs"
+)
+
+// BalanceMode selects how a job-level power budget is split across the
+// job's nodes.
+type BalanceMode int
+
+const (
+	// BalanceUniform splits the job budget equally — what a naive runtime
+	// does, leaving slow (low-variability-factor) nodes as the critical
+	// path.
+	BalanceUniform BalanceMode = iota
+	// BalanceCritical equalizes effective frequency across nodes by giving
+	// power-hungry (inefficient) nodes a larger share — the GEOPM idea
+	// (Eastep et al. [14]) LRZ and STFC investigate with SLURM/job
+	// schedulers.
+	BalanceCritical
+)
+
+func (b BalanceMode) String() string {
+	if b == BalanceCritical {
+		return "critical-path"
+	}
+	return "uniform"
+}
+
+// RuntimeBalance applies a per-job power budget and divides it across the
+// job's nodes per the selected mode. Under manufacturing variability
+// (power.System varSigma > 0) the critical-path split strictly dominates
+// the uniform split on time-to-solution at equal job power.
+type RuntimeBalance struct {
+	// JobBudgetPerNodeW is the job power budget expressed per node (so jobs
+	// of different widths get proportional budgets).
+	JobBudgetPerNodeW float64
+	Mode              BalanceMode
+
+	m *core.Manager
+}
+
+// Name implements core.Policy.
+func (p *RuntimeBalance) Name() string {
+	return fmt.Sprintf("runtime-balance(%s,%.0fW/node)", p.Mode, p.JobBudgetPerNodeW)
+}
+
+// Attach implements core.Policy.
+func (p *RuntimeBalance) Attach(m *core.Manager) {
+	if p.JobBudgetPerNodeW <= 0 {
+		panic("policy: RuntimeBalance needs a positive per-node budget")
+	}
+	p.m = m
+	m.OnJobStart(func(m *core.Manager, j *jobs.Job, nodes []*cluster.Node) {
+		budget := p.JobBudgetPerNodeW * float64(len(nodes))
+		p.split(m, j, nodes, budget)
+		m.RetimeJob(j.ID, m.Eng.Now())
+	})
+}
+
+func (p *RuntimeBalance) split(m *core.Manager, j *jobs.Job, nodes []*cluster.Node, budgetW float64) {
+	now := m.Eng.Now()
+	switch p.Mode {
+	case BalanceUniform:
+		per := budgetW / float64(len(nodes))
+		for _, n := range nodes {
+			m.Pw.SetNodeCap(now, n, per)
+		}
+	case BalanceCritical:
+		// Find the frequency fraction f such that the summed node draws at
+		// f exactly meet the budget, then cap each node at its own draw at
+		// f. Monotone in f, so bisect.
+		lo, hi := m.Pw.Model.MinFrac, 1.0
+		demand := func(f float64) float64 {
+			t := 0.0
+			for _, n := range nodes {
+				t += m.Pw.Model.BusyPower(j.PowerPerNodeW, f, m.Pw.VarFactor(n.ID))
+			}
+			return t
+		}
+		if demand(1) <= budgetW {
+			hi = 1
+			lo = 1
+		}
+		for i := 0; i < 40 && hi-lo > 1e-6; i++ {
+			mid := (lo + hi) / 2
+			if demand(mid) > budgetW {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		f := lo
+		for _, n := range nodes {
+			capW := m.Pw.Model.BusyPower(j.PowerPerNodeW, f, m.Pw.VarFactor(n.ID))
+			m.Pw.SetNodeCap(now, n, capW)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package policy
+
+import (
+	"fmt"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/core"
+	"epajsrm/internal/jobs"
+)
+
+// StaticCap reproduces KAUST's production configuration on Shaheen: a fixed
+// fraction of nodes runs uncapped while the rest carry a static node-level
+// power cap applied through the out-of-band control plane ("static power
+// capping via Cray CAPMC. 30% of nodes run uncapped, 70% run with 270 W
+// power cap"). Optionally, jobs whose estimated draw exceeds the cap are
+// steered to the uncapped pool so capability work keeps full speed.
+type StaticCap struct {
+	// CapW is the node cap applied to the capped pool.
+	CapW float64
+	// UncappedFrac is the fraction of nodes left uncapped (KAUST: 0.30).
+	UncappedFrac float64
+	// RouteHungry steers jobs with estimated per-node draw above CapW to
+	// uncapped nodes only.
+	RouteHungry bool
+
+	uncapped map[int]bool
+}
+
+// Name implements core.Policy.
+func (p *StaticCap) Name() string {
+	return fmt.Sprintf("static-cap(%.0fW,%.0f%%uncapped)", p.CapW, p.UncappedFrac*100)
+}
+
+// Attach implements core.Policy.
+func (p *StaticCap) Attach(m *core.Manager) {
+	if p.CapW <= 0 {
+		panic("policy: StaticCap needs a positive cap")
+	}
+	if p.UncappedFrac < 0 || p.UncappedFrac >= 1 {
+		panic("policy: StaticCap UncappedFrac out of [0,1)")
+	}
+	p.uncapped = map[int]bool{}
+	total := m.Cl.Size()
+	nUncapped := int(float64(total) * p.UncappedFrac)
+	// The uncapped pool is the tail of the machine so that compact
+	// placements fill the capped pool first.
+	for i := total - nUncapped; i < total; i++ {
+		p.uncapped[i] = true
+	}
+	for i := 0; i < total; i++ {
+		if !p.uncapped[i] {
+			if err := m.Ctrl.SetNodeCap(i, p.CapW); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if p.RouteHungry {
+		m.OnNodeFilter(func(m *core.Manager, j *jobs.Job, n *cluster.Node) bool {
+			// Steering is a preference, not a mandate: a hungry job wider
+			// than the uncapped pool must still be allowed to run capped
+			// (KAUST's wide capability jobs do exactly that).
+			if m.PowerEstimator(j) > p.CapW && j.Nodes <= nUncapped {
+				return p.uncapped[n.ID]
+			}
+			return true
+		})
+	}
+}
+
+// Uncapped reports whether node id is in the uncapped pool.
+func (p *StaticCap) Uncapped(id int) bool { return p.uncapped[id] }

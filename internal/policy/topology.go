@@ -1,0 +1,52 @@
+package policy
+
+import (
+	"fmt"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/core"
+	"epajsrm/internal/jobs"
+)
+
+// TopologyAware implements survey Q6's "application/task level joint
+// optimization, such as topology-aware task allocation, as a way of ...
+// indirectly improving energy consumption (by improving application
+// performance, resulting in reduced wallclock time)". Jobs whose
+// communication fraction exceeds CommThreshold are packed compactly to
+// shrink their placement span; power-hungry but communication-light jobs
+// may instead be scattered across PDUs to keep any single PDU's draw under
+// its branch limit.
+type TopologyAware struct {
+	// CommThreshold is the communication fraction above which a job is
+	// placed compactly. Default 0.15.
+	CommThreshold float64
+	// ScatterHungry scatters jobs whose estimated per-node draw exceeds
+	// HungryW across PDUs (electrical balance); 0 disables.
+	HungryW float64
+
+	// CompactPlacements / ScatterPlacements count decisions.
+	CompactPlacements, ScatterPlacements int
+}
+
+// Name implements core.Policy.
+func (p *TopologyAware) Name() string {
+	return fmt.Sprintf("topology-aware(comm>%.0f%%)", p.CommThreshold*100)
+}
+
+// Attach implements core.Policy.
+func (p *TopologyAware) Attach(m *core.Manager) {
+	if p.CommThreshold <= 0 {
+		p.CommThreshold = 0.15
+	}
+	m.OnPlacement(func(m *core.Manager, j *jobs.Job) (cluster.Strategy, bool) {
+		if j.CommFrac >= p.CommThreshold {
+			p.CompactPlacements++
+			return cluster.PlaceCompact, true
+		}
+		if p.HungryW > 0 && m.PowerEstimator(j) >= p.HungryW {
+			p.ScatterPlacements++
+			return cluster.PlaceScatter, true
+		}
+		return 0, false
+	})
+}

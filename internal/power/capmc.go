@@ -1,0 +1,191 @@
+package power
+
+import (
+	"fmt"
+	"sort"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/simulator"
+)
+
+// Controller is a CAPMC-style out-of-band control plane: the administrative
+// interface Cray ships on all XC systems (per the Trinity/LANL+Sandia and
+// KAUST survey rows) for reading power and setting system-wide and
+// node-level power caps without involving the jobs' in-band software.
+// Every actuation is recorded in an audit log, since production sites need
+// to reconstruct who capped what and when.
+type Controller struct {
+	Eng *simulator.Engine
+	Sys *System
+
+	// SystemCapW is the administrative whole-system cap; 0 disables it.
+	// It is advisory bookkeeping at this layer — enforcement is done by the
+	// policies that divide it into node caps (see DivideSystemCap).
+	SystemCapW float64
+
+	Audit []AuditEntry
+}
+
+// AuditEntry records one out-of-band actuation.
+type AuditEntry struct {
+	At     simulator.Time
+	Action string
+	Target string
+	Value  float64
+}
+
+// NewController returns a control plane over sys.
+func NewController(eng *simulator.Engine, sys *System) *Controller {
+	return &Controller{Eng: eng, Sys: sys}
+}
+
+func (c *Controller) audit(action, target string, value float64) {
+	c.Audit = append(c.Audit, AuditEntry{At: c.Eng.Now(), Action: action, Target: target, Value: value})
+}
+
+// GetNodeEnergy returns node id's accumulated energy counter in joules,
+// like CAPMC's get_node_energy_counter.
+func (c *Controller) GetNodeEnergy(id int) (float64, error) {
+	if id < 0 || id >= c.Sys.Cl.Size() {
+		return 0, fmt.Errorf("capmc: no node %d", id)
+	}
+	c.Sys.Advance(c.Eng.Now())
+	return c.Sys.nodeE[id], nil
+}
+
+// GetNodePower returns node id's instantaneous draw in watts.
+func (c *Controller) GetNodePower(id int) (float64, error) {
+	if id < 0 || id >= c.Sys.Cl.Size() {
+		return 0, fmt.Errorf("capmc: no node %d", id)
+	}
+	return c.Sys.NodePower(id), nil
+}
+
+// GetSystemPower returns the whole-machine instantaneous draw.
+func (c *Controller) GetSystemPower() float64 { return c.Sys.TotalPower() }
+
+// SetNodeCap applies a node-level power cap out-of-band. capW below the
+// node's off draw is rejected; capW = 0 removes the cap.
+func (c *Controller) SetNodeCap(id int, capW float64) error {
+	if id < 0 || id >= c.Sys.Cl.Size() {
+		return fmt.Errorf("capmc: no node %d", id)
+	}
+	if capW < 0 {
+		return fmt.Errorf("capmc: negative cap %f", capW)
+	}
+	if capW > 0 && capW < c.Sys.Model.OffW {
+		return fmt.Errorf("capmc: cap %.1f W below off draw %.1f W", capW, c.Sys.Model.OffW)
+	}
+	n := c.Sys.Cl.Nodes[id]
+	c.Sys.SetNodeCap(c.Eng.Now(), n, capW)
+	c.audit("set_node_cap", n.Name, capW)
+	return nil
+}
+
+// SetGroupCap applies one cap to every node in the group — JCAHPC's
+// production capability ("set power caps for groups of nodes via the
+// resource manager").
+func (c *Controller) SetGroupCap(ids []int, capW float64) error {
+	for _, id := range ids {
+		if err := c.SetNodeCap(id, capW); err != nil {
+			return err
+		}
+	}
+	c.audit("set_group_cap", fmt.Sprintf("group(%d nodes)", len(ids)), capW)
+	return nil
+}
+
+// SetSystemCap records an administrative system-wide cap and divides it
+// uniformly across non-off nodes as node caps. LANL+Sandia's production row
+// is exactly this: "administrator ability to set system-wide and node-level
+// power caps".
+func (c *Controller) SetSystemCap(capW float64) error {
+	if capW < 0 {
+		return fmt.Errorf("capmc: negative system cap")
+	}
+	c.SystemCapW = capW
+	c.audit("set_system_cap", "system", capW)
+	if capW == 0 {
+		for _, n := range c.Sys.Cl.Nodes {
+			c.Sys.SetNodeCap(c.Eng.Now(), n, 0)
+		}
+		return nil
+	}
+	caps := c.DivideSystemCap(capW)
+	for id, w := range caps {
+		c.Sys.SetNodeCap(c.Eng.Now(), c.Sys.Cl.Nodes[id], w)
+	}
+	return nil
+}
+
+// DivideSystemCap splits a system cap into per-node caps over the nodes
+// that are not powered off, clamped to at least the idle draw so a cap can
+// always be satisfied by an idle node. Off nodes get their trickle draw
+// reserved first.
+func (c *Controller) DivideSystemCap(capW float64) map[int]float64 {
+	var active []*cluster.Node
+	reserved := 0.0
+	for _, n := range c.Sys.Cl.Nodes {
+		if n.State == cluster.StateOff || n.State == cluster.StateDown {
+			reserved += c.Sys.Model.OffW
+		} else {
+			active = append(active, n)
+		}
+	}
+	out := map[int]float64{}
+	if len(active) == 0 {
+		return out
+	}
+	per := (capW - reserved) / float64(len(active))
+	if per < c.Sys.Model.IdleW {
+		per = c.Sys.Model.IdleW
+	}
+	sort.Slice(active, func(i, j int) bool { return active[i].ID < active[j].ID })
+	for _, n := range active {
+		out[n.ID] = per
+	}
+	return out
+}
+
+// PowerOff begins an out-of-band node power-off (idle nodes only) and
+// schedules completion after the configured shutdown delay.
+func (c *Controller) PowerOff(id int) error {
+	if id < 0 || id >= c.Sys.Cl.Size() {
+		return fmt.Errorf("capmc: no node %d", id)
+	}
+	n := c.Sys.Cl.Nodes[id]
+	now := c.Eng.Now()
+	if !c.Sys.Cl.BeginShutdown(n, now) {
+		return fmt.Errorf("capmc: node %s not idle (%s)", n.Name, n.State)
+	}
+	c.Sys.RefreshNode(now, n)
+	c.audit("power_off", n.Name, 0)
+	c.Eng.After(c.Sys.Cl.Cfg.ShutdownDelay, "capmc-off", func(t simulator.Time) {
+		c.Sys.Cl.FinishShutdown(n, t)
+		c.Sys.RefreshNode(t, n)
+	})
+	return nil
+}
+
+// PowerOn begins an out-of-band node boot and schedules completion after
+// the configured boot delay. onReady, if non-nil, runs when the node is up.
+func (c *Controller) PowerOn(id int, onReady func(now simulator.Time)) error {
+	if id < 0 || id >= c.Sys.Cl.Size() {
+		return fmt.Errorf("capmc: no node %d", id)
+	}
+	n := c.Sys.Cl.Nodes[id]
+	now := c.Eng.Now()
+	if !c.Sys.Cl.BeginBoot(n, now) {
+		return fmt.Errorf("capmc: node %s not off (%s)", n.Name, n.State)
+	}
+	c.Sys.RefreshNode(now, n)
+	c.audit("power_on", n.Name, 0)
+	c.Eng.After(c.Sys.Cl.Cfg.BootDelay, "capmc-on", func(t simulator.Time) {
+		c.Sys.Cl.FinishBoot(n, t)
+		c.Sys.RefreshNode(t, n)
+		if onReady != nil {
+			onReady(t)
+		}
+	})
+	return nil
+}

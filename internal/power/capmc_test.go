@@ -1,0 +1,241 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/simulator"
+)
+
+func newTestController() (*Controller, *simulator.Engine, *cluster.Cluster) {
+	eng := simulator.NewEngine()
+	cl := cluster.New(cluster.DefaultConfig())
+	sys := NewSystem(cl, DefaultNodeModel(), DefaultPStates(), 0, nil)
+	return NewController(eng, sys), eng, cl
+}
+
+func TestControllerNodeCapValidation(t *testing.T) {
+	c, _, _ := newTestController()
+	if err := c.SetNodeCap(-1, 200); err == nil {
+		t.Error("bad node id accepted")
+	}
+	if err := c.SetNodeCap(0, -5); err == nil {
+		t.Error("negative cap accepted")
+	}
+	if err := c.SetNodeCap(0, 5); err == nil {
+		t.Error("cap below off draw accepted")
+	}
+	if err := c.SetNodeCap(0, 250); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Audit) != 1 || c.Audit[0].Action != "set_node_cap" {
+		t.Fatalf("audit = %+v", c.Audit)
+	}
+}
+
+func TestControllerSystemCapDividesBudget(t *testing.T) {
+	c, _, cl := newTestController()
+	budget := 64.0 * 200
+	if err := c.SetSystemCap(budget); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range cl.Nodes {
+		if n.CapW != 200 {
+			t.Fatalf("node %d cap = %f, want 200", n.ID, n.CapW)
+		}
+	}
+	// Remove the cap.
+	if err := c.SetSystemCap(0); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range cl.Nodes {
+		if n.CapW != 0 {
+			t.Fatalf("node %d still capped", n.ID)
+		}
+	}
+}
+
+func TestControllerSystemCapReservesOffNodes(t *testing.T) {
+	c, _, cl := newTestController()
+	// Power two nodes off instantly for the division logic.
+	cl.BeginShutdown(cl.Nodes[0], 0)
+	cl.FinishShutdown(cl.Nodes[0], 0)
+	cl.BeginShutdown(cl.Nodes[1], 0)
+	cl.FinishShutdown(cl.Nodes[1], 0)
+	caps := c.DivideSystemCap(64 * 200)
+	if len(caps) != 62 {
+		t.Fatalf("caps for %d nodes, want 62", len(caps))
+	}
+	per := caps[2]
+	wantPer := (64*200 - 2*c.Sys.Model.OffW) / 62
+	if per < wantPer-1e-9 || per > wantPer+1e-9 {
+		t.Fatalf("per-node cap = %f, want %f", per, wantPer)
+	}
+}
+
+func TestControllerPowerOffOn(t *testing.T) {
+	c, eng, cl := newTestController()
+	if err := c.PowerOff(3); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Nodes[3].State != cluster.StateShuttingDown {
+		t.Fatalf("state = %v", cl.Nodes[3].State)
+	}
+	// Cannot power off a node that is not idle.
+	if err := c.PowerOff(3); err == nil {
+		t.Error("double power-off accepted")
+	}
+	eng.Run()
+	if cl.Nodes[3].State != cluster.StateOff {
+		t.Fatalf("state after run = %v", cl.Nodes[3].State)
+	}
+	ready := false
+	if err := c.PowerOn(3, func(simulator.Time) { ready = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if cl.Nodes[3].State != cluster.StateIdle || !ready {
+		t.Fatalf("state = %v ready = %v", cl.Nodes[3].State, ready)
+	}
+	// Boot delay must have elapsed between off and idle.
+	if eng.Now() < cl.Cfg.BootDelay {
+		t.Fatalf("engine time %d < boot delay", eng.Now())
+	}
+}
+
+func TestControllerEnergyCounter(t *testing.T) {
+	c, eng, _ := newTestController()
+	eng.After(100, "tick", func(simulator.Time) {})
+	eng.Run()
+	e, err := c.GetNodeEnergy(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.Sys.Model.IdleW * 100
+	if e != want {
+		t.Fatalf("energy = %f, want %f", e, want)
+	}
+	if _, err := c.GetNodeEnergy(1000); err == nil {
+		t.Error("bad id accepted")
+	}
+}
+
+func TestRaplSplitAndNodeCap(t *testing.T) {
+	r := NewRapl(2)
+	if r.NodeCap() != 0 {
+		t.Fatal("fresh RAPL should be uncapped")
+	}
+	r.SplitNodeCap(300)
+	if got := r.NodeCap(); got < 299.999 || got > 300.001 {
+		t.Fatalf("round-trip node cap = %f", got)
+	}
+	// 80/20 pkg/dram split per socket.
+	if r.PkgCapW[0] != 120 || r.DramCapW[0] != 30 {
+		t.Fatalf("socket split = %f/%f", r.PkgCapW[0], r.DramCapW[0])
+	}
+	r.SplitNodeCap(0)
+	if r.NodeCap() != 0 {
+		t.Fatal("clearing failed")
+	}
+}
+
+func TestRaplSocketValidation(t *testing.T) {
+	r := NewRapl(2)
+	if err := r.SetPkgCap(5, 100); err == nil {
+		t.Error("bad socket accepted")
+	}
+	if err := r.SetDramCap(0, -1); err == nil {
+		t.Error("negative cap accepted")
+	}
+	if err := r.SetPkgCap(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.NodeCap(); got != 100 {
+		t.Fatalf("node cap with one capped socket = %f", got)
+	}
+}
+
+func TestWindowMeterAverage(t *testing.T) {
+	w := NewWindowMeter(100, 60)
+	w.Observe(200, 30) // half window at 200
+	w.Observe(0, 30)   // half at 0
+	if got := w.WindowAverage(); got != 100 {
+		t.Fatalf("window average = %f, want 100", got)
+	}
+	if w.Violated() {
+		t.Fatal("average exactly at cap should not violate")
+	}
+	w.Observe(200, 30) // window is now [0 for 30s, 200 for 30s]
+	if got := w.WindowAverage(); got != 100 {
+		t.Fatalf("rolling average = %f, want 100", got)
+	}
+	w.Observe(200, 30)
+	if !w.Violated() {
+		t.Fatal("sustained 200 W must violate a 100 W window cap")
+	}
+}
+
+func TestWindowMeterToleratesExcursions(t *testing.T) {
+	// RAPL's defining property: a short spike inside the window is fine if
+	// the average holds.
+	w := NewWindowMeter(100, 60)
+	w.Observe(90, 50)
+	w.Observe(150, 10)
+	if w.Violated() {
+		t.Fatalf("avg = %f: short excursion should not violate", w.WindowAverage())
+	}
+}
+
+func TestWindowMeterUncappedNeverViolates(t *testing.T) {
+	w := NewWindowMeter(0, 60)
+	w.Observe(1e6, 600)
+	if w.Violated() {
+		t.Fatal("uncapped meter violated")
+	}
+}
+
+func TestWindowMeterAverageNeverExceedsMaxObserved(t *testing.T) {
+	f := func(vals []uint16) bool {
+		w := NewWindowMeter(100, 60)
+		maxP := 0.0
+		for _, v := range vals {
+			p := float64(v % 500)
+			d := float64(v%7) + 1
+			w.Observe(p, d)
+			if p > maxP {
+				maxP = p
+			}
+		}
+		avg := w.WindowAverage()
+		return avg >= 0 && avg <= maxP+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivideSystemCapConservesBudget(t *testing.T) {
+	f := func(capRaw uint16, offRaw uint8) bool {
+		c, _, cl := newTestController()
+		// Power a few nodes off.
+		nOff := int(offRaw % 16)
+		for i := 0; i < nOff; i++ {
+			cl.BeginShutdown(cl.Nodes[i], 0)
+			cl.FinishShutdown(cl.Nodes[i], 0)
+		}
+		budget := 64*90.0 + float64(capRaw%20000)
+		caps := c.DivideSystemCap(budget)
+		total := float64(nOff) * c.Sys.Model.OffW
+		for _, w := range caps {
+			total += w
+		}
+		// Division never exceeds the budget unless clamped to the idle
+		// floor (caps below idle are unenforceable).
+		floor := float64(nOff)*c.Sys.Model.OffW + float64(64-nOff)*c.Sys.Model.IdleW
+		return total <= budget+1e-6 || total <= floor+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

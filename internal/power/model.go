@@ -1,0 +1,131 @@
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// NodeModel captures how much one node draws in each lifecycle state and
+// how dynamic power scales with frequency. Dynamic power follows
+// D(f) = D0 * (f/f0)^Alpha with Alpha typically between 2 (frequency-only
+// scaling) and 3 (voltage tracks frequency); the ablation bench
+// BenchmarkAblationPowerExponent sweeps this.
+type NodeModel struct {
+	OffW    float64 // BMC/trickle draw when powered off
+	BootW   float64 // draw during boot/shutdown sequences
+	IdleW   float64 // draw when up and idle at any frequency
+	MaxW    float64 // draw at nominal frequency under a full-power workload
+	Alpha   float64 // dynamic power exponent
+	MinFrac float64 // lowest reachable frequency as a fraction of nominal
+}
+
+// DefaultNodeModel returns a model shaped like a dual-socket x86 node:
+// ~360 W flat out, ~90 W idle, 15 W off.
+func DefaultNodeModel() NodeModel {
+	return NodeModel{OffW: 15, BootW: 120, IdleW: 90, MaxW: 360, Alpha: 3, MinFrac: 0.5}
+}
+
+// Validate checks model invariants.
+func (m NodeModel) Validate() error {
+	if m.OffW < 0 || m.BootW < 0 || m.IdleW < 0 || m.MaxW < 0 {
+		return fmt.Errorf("power: negative wattage in node model")
+	}
+	if m.MaxW < m.IdleW {
+		return fmt.Errorf("power: MaxW %.1f < IdleW %.1f", m.MaxW, m.IdleW)
+	}
+	if m.Alpha < 1 || m.Alpha > 4 {
+		return fmt.Errorf("power: implausible alpha %.2f", m.Alpha)
+	}
+	if m.MinFrac <= 0 || m.MinFrac > 1 {
+		return fmt.Errorf("power: MinFrac %.2f out of (0,1]", m.MinFrac)
+	}
+	return nil
+}
+
+// BusyPower returns node draw when running a workload whose draw at nominal
+// frequency would be loadW (IdleW <= loadW), scaled to frequency fraction
+// frac and multiplied by the node's manufacturing variability factor vf
+// (applied to the dynamic component only, following Inadomi et al.'s
+// observation that variability shows up under load).
+func (m NodeModel) BusyPower(loadW, frac, vf float64) float64 {
+	if loadW < m.IdleW {
+		loadW = m.IdleW
+	}
+	if frac < m.MinFrac {
+		frac = m.MinFrac
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	if vf <= 0 {
+		vf = 1
+	}
+	dyn := (loadW - m.IdleW) * vf * math.Pow(frac, m.Alpha)
+	return m.IdleW + dyn
+}
+
+// FreqForCap inverts BusyPower: the largest frequency fraction at which the
+// node stays at or under capW while running a loadW workload. Returns
+// (frac, ok); ok is false when even the minimum frequency exceeds the cap
+// (the cap is infeasible — hardware would still clamp to MinFrac, which is
+// what the returned frac reflects).
+func (m NodeModel) FreqForCap(capW, loadW, vf float64) (float64, bool) {
+	if capW <= 0 { // uncapped
+		return 1, true
+	}
+	if loadW < m.IdleW {
+		loadW = m.IdleW
+	}
+	if vf <= 0 {
+		vf = 1
+	}
+	dyn0 := (loadW - m.IdleW) * vf
+	if dyn0 <= 0 {
+		return 1, capW >= m.IdleW
+	}
+	if capW >= m.IdleW+dyn0 {
+		return 1, true
+	}
+	if capW <= m.IdleW {
+		return m.MinFrac, false
+	}
+	frac := math.Pow((capW-m.IdleW)/dyn0, 1/m.Alpha)
+	if frac < m.MinFrac {
+		return m.MinFrac, false
+	}
+	return frac, true
+}
+
+// Slowdown returns the runtime multiplier for a job running at frequency
+// fraction frac when memFrac of its time does not scale with core frequency
+// (memory/communication phases): t(f) = t0 * (memFrac + (1-memFrac)/frac).
+// This is the standard linear-phase model used by Freeh et al. and the DVFS
+// scheduling literature the survey cites.
+func Slowdown(frac, memFrac float64) float64 {
+	if frac <= 0 {
+		frac = 1e-9
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	if memFrac < 0 {
+		memFrac = 0
+	}
+	if memFrac > 1 {
+		memFrac = 1
+	}
+	return memFrac + (1-memFrac)/frac
+}
+
+// EnergyToSolution returns relative energy (vs nominal frequency) for a job
+// with the given memory-bound fraction run at frequency fraction frac,
+// using the model's idle/max split with nominal load loadW. Used by the
+// energy-tag policy to pick each application's best frequency.
+func (m NodeModel) EnergyToSolution(loadW, frac, memFrac float64) float64 {
+	p := m.BusyPower(loadW, frac, 1)
+	p0 := m.BusyPower(loadW, 1, 1)
+	if p0 == 0 {
+		return 1
+	}
+	return (p * Slowdown(frac, memFrac)) / p0
+}

@@ -1,0 +1,171 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPStateTableDefaults(t *testing.T) {
+	tb := DefaultPStates()
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Nominal() != 2.4 {
+		t.Fatalf("nominal = %f", tb.Nominal())
+	}
+	if tb.Min() > 1.21 || tb.Min() < 1.19 {
+		t.Fatalf("min = %f", tb.Min())
+	}
+	if tb.Frac(0) != 1 {
+		t.Fatalf("P0 frac = %f", tb.Frac(0))
+	}
+}
+
+func TestPStateValidateRejectsBadTables(t *testing.T) {
+	bad := []PStateTable{
+		{},
+		{{Index: 0, FreqGHz: 2.0}, {Index: 1, FreqGHz: 2.5}}, // increasing
+		{{Index: 0, FreqGHz: 0}},                             // zero freq
+		{{Index: 1, FreqGHz: 2.0}},                           // wrong index
+	}
+	for i, tb := range bad {
+		if err := tb.Validate(); err == nil {
+			t.Errorf("table %d should fail validation", i)
+		}
+	}
+}
+
+func TestStateForFrac(t *testing.T) {
+	tb := DefaultPStates() // 2.4, 2.2, 2.0, 1.8, 1.6, 1.4, 1.2
+	if got := tb.StateForFrac(1.0); got != 0 {
+		t.Fatalf("frac 1.0 -> %d", got)
+	}
+	// 0.75 of 2.4 = 1.8: state index 3 has exactly 0.75.
+	if got := tb.StateForFrac(0.75); tb.Frac(got) < 0.75 {
+		t.Fatalf("frac 0.75 -> state %d with frac %f (undershoot)", got, tb.Frac(got))
+	}
+	if got := tb.StateForFrac(0.01); got != len(tb)-1 {
+		t.Fatalf("tiny frac -> %d, want deepest", got)
+	}
+}
+
+func TestBusyPowerMonotonicInFrequency(t *testing.T) {
+	m := DefaultNodeModel()
+	prev := 0.0
+	for f := m.MinFrac; f <= 1.0; f += 0.05 {
+		p := m.BusyPower(m.MaxW, f, 1)
+		if p < prev {
+			t.Fatalf("power not monotone at f=%.2f", f)
+		}
+		prev = p
+	}
+	if got := m.BusyPower(m.MaxW, 1, 1); got != m.MaxW {
+		t.Fatalf("full power = %f, want %f", got, m.MaxW)
+	}
+	if got := m.BusyPower(m.IdleW, 1, 1); got != m.IdleW {
+		t.Fatalf("idle-load power = %f", got)
+	}
+}
+
+func TestFreqForCapInvertsBusyPower(t *testing.T) {
+	m := DefaultNodeModel()
+	f := func(capRaw, loadRaw uint16) bool {
+		load := m.IdleW + float64(loadRaw%400)
+		capW := m.IdleW + float64(capRaw%500)
+		frac, ok := m.FreqForCap(capW, load, 1)
+		p := m.BusyPower(load, frac, 1)
+		if ok {
+			// Must satisfy the cap (up to fp tolerance).
+			return p <= capW+1e-6
+		}
+		// Infeasible: frac pinned at MinFrac.
+		return frac == m.MinFrac
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreqForCapUncapped(t *testing.T) {
+	m := DefaultNodeModel()
+	if f, ok := m.FreqForCap(0, 300, 1); f != 1 || !ok {
+		t.Fatalf("uncapped: f=%f ok=%v", f, ok)
+	}
+	if f, ok := m.FreqForCap(1000, 300, 1); f != 1 || !ok {
+		t.Fatalf("loose cap: f=%f ok=%v", f, ok)
+	}
+	if f, ok := m.FreqForCap(m.IdleW-10, 300, 1); ok || f != m.MinFrac {
+		t.Fatalf("cap below idle: f=%f ok=%v", f, ok)
+	}
+}
+
+func TestSlowdownModel(t *testing.T) {
+	if got := Slowdown(1, 0.5); got != 1 {
+		t.Fatalf("nominal slowdown = %f", got)
+	}
+	if got := Slowdown(0.5, 0); got != 2 {
+		t.Fatalf("compute-bound half-freq slowdown = %f, want 2", got)
+	}
+	if got := Slowdown(0.5, 1); got != 1 {
+		t.Fatalf("fully memory-bound slowdown = %f, want 1", got)
+	}
+	// 50% memory bound at half frequency: 0.5 + 0.5*2 = 1.5.
+	if got := Slowdown(0.5, 0.5); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("mixed slowdown = %f, want 1.5", got)
+	}
+}
+
+func TestSlowdownAlwaysAtLeastOne(t *testing.T) {
+	f := func(fr, mf uint8) bool {
+		frac := 0.1 + float64(fr%90)/100
+		mem := float64(mf%101) / 100
+		return Slowdown(frac, mem) >= 1-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyToSolutionShape(t *testing.T) {
+	m := DefaultNodeModel()
+	// Compute-bound job (memFrac 0): slowing down stretches runtime 1/f
+	// while dynamic power drops f^3 — energy still usually falls with
+	// moderate downclock because dynamic >> idle here... verify the
+	// qualitative DVFS result instead: for a memory-bound job, downclocking
+	// saves energy; for nominal frequency both are exactly 1.
+	if got := m.EnergyToSolution(m.MaxW, 1, 0.5); got != 1 {
+		t.Fatalf("E(f=1) = %f, want 1", got)
+	}
+	memBound := m.EnergyToSolution(m.MaxW, 0.7, 0.8)
+	if memBound >= 1 {
+		t.Fatalf("memory-bound downclock energy = %f, should be < 1", memBound)
+	}
+	// And the memory-bound job saves more than the compute-bound one.
+	cpuBound := m.EnergyToSolution(m.MaxW, 0.7, 0.0)
+	if memBound >= cpuBound {
+		t.Fatalf("memBound %.3f should save more than cpuBound %.3f", memBound, cpuBound)
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	good := DefaultNodeModel()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.MaxW = bad.IdleW - 1
+	if err := bad.Validate(); err == nil {
+		t.Error("MaxW < IdleW should fail")
+	}
+	bad = good
+	bad.Alpha = 9
+	if err := bad.Validate(); err == nil {
+		t.Error("alpha 9 should fail")
+	}
+	bad = good
+	bad.MinFrac = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("MinFrac 0 should fail")
+	}
+}

@@ -1,0 +1,89 @@
+// Package power implements the energy/power substrate every EPA JSRM
+// mechanism in the survey actuates: a DVFS P-state model, a node power
+// model with frequency scaling and manufacturing variability, RAPL-style
+// hardware-enforced power caps, a CAPMC-style out-of-band control plane,
+// exact energy accounting, telemetry sampling, and a facility model
+// (cooling / PUE / site budget).
+package power
+
+import "fmt"
+
+// PState is one DVFS operating point. Index 0 is the highest-frequency
+// state (P0); larger indices are slower and lower-power, matching how
+// ACPI-style P-state tables are ordered.
+type PState struct {
+	Index   int
+	FreqGHz float64
+}
+
+// PStateTable is an ordered list of operating points, fastest first.
+type PStateTable []PState
+
+// DefaultPStates returns a 2.4 GHz nominal table stepping down to 1.2 GHz
+// in 0.2 GHz steps, a typical server CPU DVFS range.
+func DefaultPStates() PStateTable {
+	var t PStateTable
+	for i, f := 0, 2.4; f >= 1.199; i, f = i+1, f-0.2 {
+		t = append(t, PState{Index: i, FreqGHz: f})
+	}
+	return t
+}
+
+// Validate checks table invariants: non-empty, strictly decreasing
+// frequency, positive frequencies, contiguous indices.
+func (t PStateTable) Validate() error {
+	if len(t) == 0 {
+		return fmt.Errorf("power: empty P-state table")
+	}
+	for i, p := range t {
+		if p.Index != i {
+			return fmt.Errorf("power: P-state %d has index %d", i, p.Index)
+		}
+		if p.FreqGHz <= 0 {
+			return fmt.Errorf("power: P-state %d has non-positive frequency", i)
+		}
+		if i > 0 && p.FreqGHz >= t[i-1].FreqGHz {
+			return fmt.Errorf("power: P-state table not strictly decreasing at %d", i)
+		}
+	}
+	return nil
+}
+
+// Nominal returns the highest (P0) frequency in GHz.
+func (t PStateTable) Nominal() float64 { return t[0].FreqGHz }
+
+// Min returns the lowest frequency in GHz.
+func (t PStateTable) Min() float64 { return t[len(t)-1].FreqGHz }
+
+// Frac returns the frequency of state idx as a fraction of nominal.
+func (t PStateTable) Frac(idx int) float64 {
+	idx = t.Clamp(idx)
+	return t[idx].FreqGHz / t.Nominal()
+}
+
+// Clamp bounds a state index into the table.
+func (t PStateTable) Clamp(idx int) int {
+	if idx < 0 {
+		return 0
+	}
+	if idx >= len(t) {
+		return len(t) - 1
+	}
+	return idx
+}
+
+// StateForFrac returns the slowest state whose frequency fraction is still
+// >= frac, i.e. the most power-saving state that does not undershoot the
+// requested speed. frac >= 1 returns P0; frac below the table minimum
+// returns the deepest state.
+func (t PStateTable) StateForFrac(frac float64) int {
+	best := 0
+	for i := range t {
+		if t.Frac(i) >= frac {
+			best = i
+		} else {
+			break
+		}
+	}
+	return best
+}

@@ -1,0 +1,299 @@
+package power
+
+import (
+	"fmt"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/simulator"
+)
+
+// Load describes the workload currently running on a node, in the terms the
+// power model needs.
+type Load struct {
+	JobID    int64
+	NominalW float64 // node draw at nominal frequency for this workload
+	MemFrac  float64 // fraction of runtime that does not scale with frequency
+	FreqFrac float64 // frequency assigned by software (DVFS policy), 1 = nominal
+}
+
+// System tracks the live electrical state of one cluster: per-node draw,
+// exact energy integration (power is piecewise constant between events, so
+// integration is exact), per-job energy meters, and peak power. All state
+// transitions must be routed through System so that the books stay correct.
+type System struct {
+	Cl      *cluster.Cluster
+	Model   NodeModel
+	PStates PStateTable
+
+	vf    []float64 // manufacturing variability factor per node
+	loads map[int]*Load
+
+	lastT simulator.Time
+	nodeP []float64
+	nodeE []float64 // joules per node
+	jobE  map[int64]float64
+	peakW float64
+	peakT simulator.Time
+}
+
+// NewSystem wires a power system over cl. varSigma is the relative stddev
+// of per-node manufacturing variability (Inadomi et al. report ~5-10 % for
+// production systems; pass 0 for homogeneous nodes). rng may be nil when
+// varSigma is 0.
+func NewSystem(cl *cluster.Cluster, model NodeModel, pstates PStateTable, varSigma float64, rng *simulator.RNG) *System {
+	if err := model.Validate(); err != nil {
+		panic(err)
+	}
+	if err := pstates.Validate(); err != nil {
+		panic(err)
+	}
+	s := &System{
+		Cl:      cl,
+		Model:   model,
+		PStates: pstates,
+		vf:      make([]float64, cl.Size()),
+		loads:   make(map[int]*Load),
+		nodeP:   make([]float64, cl.Size()),
+		nodeE:   make([]float64, cl.Size()),
+		jobE:    make(map[int64]float64),
+	}
+	for i := range s.vf {
+		f := 1.0
+		if varSigma > 0 && rng != nil {
+			f = rng.Normal(1, varSigma)
+			if f < 0.7 {
+				f = 0.7
+			}
+			if f > 1.3 {
+				f = 1.3
+			}
+		}
+		s.vf[i] = f
+	}
+	for i, n := range cl.Nodes {
+		s.nodeP[i] = s.computeNodePower(n)
+	}
+	return s
+}
+
+// VarFactor returns the manufacturing variability factor of node id.
+func (s *System) VarFactor(id int) float64 { return s.vf[id] }
+
+// effectiveFrac returns the frequency fraction node n actually runs at:
+// the software-assigned frequency further clamped by any hardware cap.
+func (s *System) effectiveFrac(n *cluster.Node, ld *Load) float64 {
+	frac := ld.FreqFrac
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	if n.CapW > 0 {
+		capFrac, _ := s.Model.FreqForCap(n.CapW, ld.NominalW, s.vf[n.ID])
+		if capFrac < frac {
+			frac = capFrac
+		}
+	}
+	if frac < s.Model.MinFrac {
+		frac = s.Model.MinFrac
+	}
+	return frac
+}
+
+func (s *System) computeNodePower(n *cluster.Node) float64 {
+	switch n.State {
+	case cluster.StateOff, cluster.StateDown:
+		return s.Model.OffW
+	case cluster.StateBooting, cluster.StateShuttingDown:
+		return s.Model.BootW
+	case cluster.StateIdle:
+		return s.Model.IdleW
+	case cluster.StateBusy, cluster.StateDraining:
+		ld := s.loads[n.ID]
+		if ld == nil {
+			return s.Model.IdleW
+		}
+		return s.Model.BusyPower(ld.NominalW, s.effectiveFrac(n, ld), s.vf[n.ID])
+	default:
+		return s.Model.IdleW
+	}
+}
+
+// Advance integrates energy from the last bookkeeping instant to now. It is
+// idempotent for equal timestamps and must be called (directly or via
+// Refresh*) before any power-relevant state change.
+func (s *System) Advance(now simulator.Time) {
+	dt := float64(now - s.lastT)
+	if dt < 0 {
+		panic(fmt.Sprintf("power: time went backwards %d -> %d", s.lastT, now))
+	}
+	if dt == 0 {
+		return
+	}
+	for i, p := range s.nodeP {
+		s.nodeE[i] += p * dt
+		if ld := s.loads[i]; ld != nil {
+			s.jobE[ld.JobID] += p * dt
+		}
+	}
+	s.lastT = now
+}
+
+// RefreshNode re-derives one node's draw after its state/cap/frequency
+// changed. Advance must already have been called for now.
+func (s *System) RefreshNode(now simulator.Time, n *cluster.Node) {
+	s.Advance(now)
+	s.nodeP[n.ID] = s.computeNodePower(n)
+	s.trackPeak(now)
+}
+
+// RefreshAll re-derives every node's draw.
+func (s *System) RefreshAll(now simulator.Time) {
+	s.Advance(now)
+	for i, n := range s.Cl.Nodes {
+		s.nodeP[i] = s.computeNodePower(n)
+	}
+	s.trackPeak(now)
+}
+
+func (s *System) trackPeak(now simulator.Time) {
+	p := s.TotalPower()
+	if p > s.peakW {
+		s.peakW = p
+		s.peakT = now
+	}
+}
+
+// StartJob registers the workload on its nodes and recomputes their draw.
+func (s *System) StartJob(now simulator.Time, jobID int64, nodes []*cluster.Node, nominalW, memFrac, freqFrac float64) {
+	s.Advance(now)
+	for _, n := range nodes {
+		s.loads[n.ID] = &Load{JobID: jobID, NominalW: nominalW, MemFrac: memFrac, FreqFrac: freqFrac}
+		s.nodeP[n.ID] = s.computeNodePower(n)
+	}
+	s.trackPeak(now)
+}
+
+// EndJob deregisters the workload; callers must already have released or
+// transitioned the nodes in the cluster.
+func (s *System) EndJob(now simulator.Time, jobID int64, nodes []*cluster.Node) {
+	s.Advance(now)
+	for _, n := range nodes {
+		if ld := s.loads[n.ID]; ld != nil && ld.JobID == jobID {
+			delete(s.loads, n.ID)
+		}
+		s.nodeP[n.ID] = s.computeNodePower(n)
+	}
+	s.trackPeak(now)
+}
+
+// SetNodeCap applies a hardware-enforced node power cap (CAPMC/RAPL style);
+// capW = 0 removes the cap. Running jobs on the node slow down according to
+// the model; the caller (core.Manager) is responsible for recomputing
+// affected job finish times via JobFrac.
+func (s *System) SetNodeCap(now simulator.Time, n *cluster.Node, capW float64) {
+	s.Advance(now)
+	n.CapW = capW
+	s.nodeP[n.ID] = s.computeNodePower(n)
+	s.trackPeak(now)
+}
+
+// SetJobFreq assigns a software frequency fraction to every node of a
+// running job (DVFS actuation).
+func (s *System) SetJobFreq(now simulator.Time, jobID int64, freqFrac float64) {
+	s.Advance(now)
+	for id, ld := range s.loads {
+		if ld.JobID == jobID {
+			ld.FreqFrac = freqFrac
+			s.nodeP[id] = s.computeNodePower(s.Cl.Nodes[id])
+		}
+	}
+	s.trackPeak(now)
+}
+
+// JobFrac returns the effective frequency fraction the job progresses at:
+// the minimum across its nodes (bulk-synchronous critical path). Returns
+// 1 if the job has no registered nodes.
+func (s *System) JobFrac(jobID int64) float64 {
+	frac := 1.0
+	found := false
+	for id, ld := range s.loads {
+		if ld.JobID != jobID {
+			continue
+		}
+		found = true
+		f := s.effectiveFrac(s.Cl.Nodes[id], ld)
+		if f < frac {
+			frac = f
+		}
+	}
+	if !found {
+		return 1
+	}
+	return frac
+}
+
+// NodeFracs returns per-node effective frequency fractions for a job,
+// keyed by node ID (used by the GEOPM-style runtime-balance policy).
+func (s *System) NodeFracs(jobID int64) map[int]float64 {
+	out := map[int]float64{}
+	for id, ld := range s.loads {
+		if ld.JobID == jobID {
+			out[id] = s.effectiveFrac(s.Cl.Nodes[id], ld)
+		}
+	}
+	return out
+}
+
+// NodePower returns node id's current draw in watts.
+func (s *System) NodePower(id int) float64 { return s.nodeP[id] }
+
+// TotalPower returns the cluster's current IT draw in watts.
+func (s *System) TotalPower() float64 {
+	t := 0.0
+	for _, p := range s.nodeP {
+		t += p
+	}
+	return t
+}
+
+// PowerOfNodes sums the current draw of a node subset.
+func (s *System) PowerOfNodes(nodes []*cluster.Node) float64 {
+	t := 0.0
+	for _, n := range nodes {
+		t += s.nodeP[n.ID]
+	}
+	return t
+}
+
+// TotalEnergy returns cluster IT energy in joules accumulated up to the
+// last Advance.
+func (s *System) TotalEnergy() float64 {
+	t := 0.0
+	for _, e := range s.nodeE {
+		t += e
+	}
+	return t
+}
+
+// JobEnergy returns the joules metered against a job so far. This powers
+// the post-job energy reports Tokyo Tech and JCAHPC deliver to users.
+func (s *System) JobEnergy(jobID int64) float64 { return s.jobE[jobID] }
+
+// PeakPower returns the highest instantaneous IT draw observed and when.
+func (s *System) PeakPower() (float64, simulator.Time) { return s.peakW, s.peakT }
+
+// MinPossiblePower returns the draw with every node off — the floor the
+// site can reach without unplugging hardware.
+func (s *System) MinPossiblePower() float64 {
+	return float64(s.Cl.Size()) * s.Model.OffW
+}
+
+// MaxPossiblePower returns the draw with every node at MaxW — the
+// connected load the facility must be provisioned for (or over-provisioned
+// against, per Sarood/Patki).
+func (s *System) MaxPossiblePower() float64 {
+	t := 0.0
+	for i := range s.Cl.Nodes {
+		t += s.Model.IdleW + (s.Model.MaxW-s.Model.IdleW)*s.vf[i]
+	}
+	return t
+}

@@ -1,0 +1,93 @@
+package power
+
+import (
+	"epajsrm/internal/simulator"
+	"epajsrm/internal/stats"
+)
+
+// Reading is one telemetry sample of whole-system power.
+type Reading struct {
+	At    simulator.Time
+	ITW   float64 // compute (IT) draw
+	CoolW float64 // cooling overhead if a facility model is attached
+}
+
+// Telemetry periodically samples system power, the way every surveyed site
+// runs continuous power/energy monitoring (STFC: "continuously collecting
+// power and energy system monitoring info, data center, machine and job
+// levels"). Samples feed both the online statistics and a bounded series
+// kept for report plotting.
+type Telemetry struct {
+	Sys      *System
+	Fac      *Facility // optional
+	Period   simulator.Time
+	MaxKeep  int
+	Series   []Reading
+	ITStats  stats.Online
+	SiteStat stats.Online
+
+	stop func()
+}
+
+// NewTelemetry creates a sampler with the given period; maxKeep bounds the
+// retained series (older samples are dropped pairwise to stay O(maxKeep)).
+func NewTelemetry(sys *System, fac *Facility, period simulator.Time, maxKeep int) *Telemetry {
+	if period <= 0 {
+		period = 30 * simulator.Second
+	}
+	if maxKeep <= 0 {
+		maxKeep = 4096
+	}
+	return &Telemetry{Sys: sys, Fac: fac, Period: period, MaxKeep: maxKeep}
+}
+
+// Start begins sampling on eng. It returns the Telemetry for chaining.
+func (t *Telemetry) Start(eng *simulator.Engine) *Telemetry {
+	t.stop = eng.Every(t.Period, "telemetry", func(now simulator.Time) {
+		t.SampleNow(now)
+	})
+	return t
+}
+
+// Stop halts sampling.
+func (t *Telemetry) Stop() {
+	if t.stop != nil {
+		t.stop()
+	}
+}
+
+// SampleNow takes one sample immediately.
+func (t *Telemetry) SampleNow(now simulator.Time) Reading {
+	t.Sys.Advance(now)
+	it := t.Sys.TotalPower()
+	cool := 0.0
+	if t.Fac != nil {
+		cool = t.Fac.CoolingPower(now, it)
+	}
+	r := Reading{At: now, ITW: it, CoolW: cool}
+	t.ITStats.Add(it)
+	t.SiteStat.Add(it + cool)
+	t.Series = append(t.Series, r)
+	if len(t.Series) > t.MaxKeep {
+		// Halve resolution: keep every other sample.
+		kept := t.Series[:0]
+		for i := 0; i < len(t.Series); i += 2 {
+			kept = append(kept, t.Series[i])
+		}
+		t.Series = kept
+	}
+	return r
+}
+
+// MeasureSegment implements a PowerAPI-style scoped measurement: it returns
+// a closure that, when called, reports the energy in joules consumed by the
+// whole system between the two calls. STFC's research row describes exactly
+// this programmable interface for application code segments.
+func (t *Telemetry) MeasureSegment(now simulator.Time) func(end simulator.Time) float64 {
+	t.Sys.Advance(now)
+	startE := t.Sys.TotalEnergy()
+	return func(end simulator.Time) float64 {
+		t.Sys.Advance(end)
+		return t.Sys.TotalEnergy() - startE
+	}
+}

@@ -1,0 +1,125 @@
+package power
+
+import (
+	"math"
+
+	"epajsrm/internal/simulator"
+)
+
+// ThermalModel is a first-order RC model of node temperature: each node's
+// component temperature relaxes toward (inlet + Rth * draw) with time
+// constant Tau. CINECA's research row builds "predictive models for node
+// power and temperature evolution"; RIKEN's pre-run estimates are
+// temperature-based; MS3 reasons about heat — this model is the substrate
+// they all need.
+type ThermalModel struct {
+	// RthCPerW is the thermal resistance: steady-state rise above inlet per
+	// watt of node draw.
+	RthCPerW float64
+	// TauSec is the relaxation time constant.
+	TauSec float64
+	// InletC returns the inlet air/water temperature at a virtual time —
+	// typically derived from the facility climate plus a fixed offset for
+	// the room.
+	InletC func(t simulator.Time) float64
+}
+
+// DefaultThermalModel returns a model shaped like an air-cooled server:
+// 0.08 C/W (a 360 W node runs ~29 C above inlet), 120 s time constant,
+// 22 C fixed inlet.
+func DefaultThermalModel() ThermalModel {
+	return ThermalModel{
+		RthCPerW: 0.08,
+		TauSec:   120,
+		InletC:   func(simulator.Time) float64 { return 22 },
+	}
+}
+
+// Thermal tracks per-node temperatures over a power System. Updates are
+// exact between observations because draw is piecewise constant: the
+// first-order response has a closed form.
+type Thermal struct {
+	Model ThermalModel
+	Sys   *System
+
+	tempC []float64
+	lastT simulator.Time
+	maxC  []float64
+}
+
+// NewThermal initializes node temperatures at the steady state of the
+// current draw.
+func NewThermal(sys *System, model ThermalModel) *Thermal {
+	if model.RthCPerW <= 0 {
+		model.RthCPerW = 0.08
+	}
+	if model.TauSec <= 0 {
+		model.TauSec = 120
+	}
+	if model.InletC == nil {
+		model.InletC = func(simulator.Time) float64 { return 22 }
+	}
+	th := &Thermal{
+		Model: model,
+		Sys:   sys,
+		tempC: make([]float64, sys.Cl.Size()),
+		maxC:  make([]float64, sys.Cl.Size()),
+	}
+	inlet := model.InletC(0)
+	for i := range th.tempC {
+		th.tempC[i] = inlet + model.RthCPerW*sys.NodePower(i)
+		th.maxC[i] = th.tempC[i]
+	}
+	return th
+}
+
+// Advance brings every node's temperature up to now, assuming the current
+// draw held since the last call (call it from the telemetry/monitor
+// sampling loop, whose period is short against job durations).
+func (th *Thermal) Advance(now simulator.Time) {
+	dt := float64(now - th.lastT)
+	if dt <= 0 {
+		return
+	}
+	decay := math.Exp(-dt / th.Model.TauSec)
+	inlet := th.Model.InletC(now)
+	for i := range th.tempC {
+		target := inlet + th.Model.RthCPerW*th.Sys.NodePower(i)
+		th.tempC[i] = target + (th.tempC[i]-target)*decay
+		if th.tempC[i] > th.maxC[i] {
+			th.maxC[i] = th.tempC[i]
+		}
+	}
+	th.lastT = now
+}
+
+// NodeTemp returns node id's temperature as of the last Advance.
+func (th *Thermal) NodeTemp(id int) float64 { return th.tempC[id] }
+
+// MaxTemp returns the hottest temperature node id has reached.
+func (th *Thermal) MaxTemp(id int) float64 { return th.maxC[id] }
+
+// HottestNode returns the node with the highest current temperature.
+func (th *Thermal) HottestNode() (id int, tempC float64) {
+	for i, t := range th.tempC {
+		if t > tempC {
+			id, tempC = i, t
+		}
+	}
+	return
+}
+
+// SteadyState returns the temperature node id would reach if its current
+// draw held forever — the prediction CINECA-style models make.
+func (th *Thermal) SteadyState(id int, at simulator.Time) float64 {
+	return th.Model.InletC(at) + th.Model.RthCPerW*th.Sys.NodePower(id)
+}
+
+// PredictTemp returns the model's closed-form prediction of node id's
+// temperature after holding the current draw for dt seconds — usable as a
+// pre-actuation check ("will this placement overheat the rack?").
+func (th *Thermal) PredictTemp(id int, at simulator.Time, dt simulator.Time) float64 {
+	target := th.SteadyState(id, at)
+	decay := math.Exp(-float64(dt) / th.Model.TauSec)
+	return target + (th.tempC[id]-target)*decay
+}

@@ -1,0 +1,114 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/simulator"
+)
+
+func newThermalRig() (*Thermal, *System, *cluster.Cluster) {
+	cl := cluster.New(cluster.DefaultConfig())
+	sys := NewSystem(cl, DefaultNodeModel(), DefaultPStates(), 0, nil)
+	th := NewThermal(sys, DefaultThermalModel())
+	return th, sys, cl
+}
+
+func TestThermalStartsAtSteadyState(t *testing.T) {
+	th, sys, _ := newThermalRig()
+	want := 22 + 0.08*sys.Model.IdleW // idle node at default inlet
+	if got := th.NodeTemp(0); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("initial temp = %f, want %f", got, want)
+	}
+}
+
+func TestThermalApproachesNewSteadyState(t *testing.T) {
+	th, sys, cl := newThermalRig()
+	nodes := cl.Allocate(1, 1, 0, nil)
+	sys.StartJob(0, 1, nodes, 360, 0, 1)
+	id := nodes[0].ID
+	target := 22 + 0.08*360.0
+
+	// After one time constant the gap closes to ~37 %.
+	start := th.NodeTemp(id)
+	th.Advance(simulator.Time(th.Model.TauSec))
+	gapFrac := (target - th.NodeTemp(id)) / (target - start)
+	if math.Abs(gapFrac-math.Exp(-1)) > 0.01 {
+		t.Fatalf("after tau, gap fraction = %f, want ~1/e", gapFrac)
+	}
+	// After many time constants it converges.
+	th.Advance(simulator.Time(th.Model.TauSec * 20))
+	if got := th.NodeTemp(id); math.Abs(got-target) > 0.01 {
+		t.Fatalf("converged temp = %f, want %f", got, target)
+	}
+	if th.MaxTemp(id) < target-0.01 {
+		t.Fatalf("max temp %f below converged %f", th.MaxTemp(id), target)
+	}
+}
+
+func TestThermalCoolsAfterJobEnds(t *testing.T) {
+	th, sys, cl := newThermalRig()
+	nodes := cl.Allocate(1, 1, 0, nil)
+	sys.StartJob(0, 1, nodes, 360, 0, 1)
+	th.Advance(3600)
+	hot := th.NodeTemp(nodes[0].ID)
+	cl.Release(1, 3600)
+	sys.EndJob(3600, 1, nodes)
+	th.Advance(3600 + simulator.Time(th.Model.TauSec*10))
+	cool := th.NodeTemp(nodes[0].ID)
+	if cool >= hot {
+		t.Fatalf("node did not cool: %f -> %f", hot, cool)
+	}
+	wantIdle := 22 + 0.08*sys.Model.IdleW
+	if math.Abs(cool-wantIdle) > 0.1 {
+		t.Fatalf("cooled temp = %f, want ~%f", cool, wantIdle)
+	}
+	// Max temperature remembers the hot phase.
+	if th.MaxTemp(nodes[0].ID) < hot-0.01 {
+		t.Fatal("max temp forgot the hot phase")
+	}
+}
+
+func TestThermalHottestNode(t *testing.T) {
+	th, sys, cl := newThermalRig()
+	nodes := cl.Allocate(1, 1, 0, nil)
+	sys.StartJob(0, 1, nodes, 360, 0, 1)
+	th.Advance(3600)
+	id, temp := th.HottestNode()
+	if id != nodes[0].ID {
+		t.Fatalf("hottest = %d, want the busy node %d", id, nodes[0].ID)
+	}
+	if temp <= 22+0.08*90 {
+		t.Fatalf("hottest temp %f not above idle", temp)
+	}
+}
+
+func TestThermalPredictMatchesAdvance(t *testing.T) {
+	th, sys, cl := newThermalRig()
+	nodes := cl.Allocate(1, 1, 0, nil)
+	sys.StartJob(0, 1, nodes, 300, 0, 1)
+	id := nodes[0].ID
+	pred := th.PredictTemp(id, 0, 300)
+	th.Advance(300)
+	if got := th.NodeTemp(id); math.Abs(got-pred) > 1e-9 {
+		t.Fatalf("prediction %f != advanced %f", pred, got)
+	}
+}
+
+func TestThermalInletFollowsClimate(t *testing.T) {
+	cl := cluster.New(cluster.DefaultConfig())
+	sys := NewSystem(cl, DefaultNodeModel(), DefaultPStates(), 0, nil)
+	climate := Climate{MeanC: 20, DailyAmpC: 10}
+	model := DefaultThermalModel()
+	model.InletC = func(t simulator.Time) float64 { return climate.TempAt(t) + 2 }
+	th := NewThermal(sys, model)
+	// Advance to the daily temperature peak (06:00 by the sine phase).
+	th.Advance(6 * simulator.Hour)
+	hot := th.NodeTemp(0)
+	th.Advance(18 * simulator.Hour)
+	cold := th.NodeTemp(0)
+	if hot <= cold {
+		t.Fatalf("inlet-coupled temps wrong: peak %f, trough %f", hot, cold)
+	}
+}

@@ -1,0 +1,182 @@
+// Package predict implements pre-run job power prediction — the capability
+// several surveyed sites deploy or develop: RIKEN estimates each job's
+// power before it runs (temperature-adjusted), CINECA/Bologna build
+// predictive models from scalable power monitoring, and the literature
+// (Borghesi [9], Sîrbu & Babaoglu [41], Shoukourian [40]) keys predictions
+// on application tags, submission features, and regression over history.
+package predict
+
+import (
+	"math"
+
+	"epajsrm/internal/jobs"
+)
+
+// Predictor estimates a job's per-node power draw in watts before it runs,
+// and learns from completed jobs.
+type Predictor interface {
+	Name() string
+	// Predict returns the per-node power estimate for a job about to run.
+	Predict(j *jobs.Job) float64
+	// Observe feeds back the measured per-node draw after the job ran.
+	Observe(j *jobs.Job, measuredPerNodeW float64)
+}
+
+// Naive predicts a single global constant learned as the running mean of
+// all observations — the baseline every real predictor must beat.
+type Naive struct {
+	n    int64
+	mean float64
+	// Default is returned before any observation.
+	Default float64
+}
+
+// NewNaive returns a naive predictor with the given prior.
+func NewNaive(prior float64) *Naive { return &Naive{Default: prior} }
+
+// Name implements Predictor.
+func (p *Naive) Name() string { return "naive-mean" }
+
+// Predict implements Predictor.
+func (p *Naive) Predict(j *jobs.Job) float64 {
+	if p.n == 0 {
+		return p.Default
+	}
+	return p.mean
+}
+
+// Observe implements Predictor.
+func (p *Naive) Observe(j *jobs.Job, w float64) {
+	p.n++
+	p.mean += (w - p.mean) / float64(p.n)
+}
+
+// TagHistory predicts per application tag: the mean of the last Depth
+// observations for the job's tag, falling back to the global mean for
+// unseen tags. This is the "user's meta-information, such as a tag
+// identifying similar jobs" approach (Auweter et al. [4]).
+type TagHistory struct {
+	Depth  int
+	global Naive
+	byTag  map[string][]float64
+}
+
+// NewTagHistory returns a predictor keeping the last depth runs per tag.
+func NewTagHistory(prior float64, depth int) *TagHistory {
+	if depth <= 0 {
+		depth = 8
+	}
+	return &TagHistory{Depth: depth, global: Naive{Default: prior}, byTag: map[string][]float64{}}
+}
+
+// Name implements Predictor.
+func (p *TagHistory) Name() string { return "tag-history" }
+
+// Predict implements Predictor.
+func (p *TagHistory) Predict(j *jobs.Job) float64 {
+	hist := p.byTag[j.Tag]
+	if len(hist) == 0 {
+		return p.global.Predict(j)
+	}
+	s := 0.0
+	for _, w := range hist {
+		s += w
+	}
+	return s / float64(len(hist))
+}
+
+// Observe implements Predictor.
+func (p *TagHistory) Observe(j *jobs.Job, w float64) {
+	p.global.Observe(j, w)
+	hist := append(p.byTag[j.Tag], w)
+	if len(hist) > p.Depth {
+		hist = hist[len(hist)-p.Depth:]
+	}
+	p.byTag[j.Tag] = hist
+}
+
+// Regression is an online least-squares model over submission-time
+// features (the Borghesi/Sîrbu approach): width, log walltime, and a
+// per-tag intercept learned jointly by stochastic gradient descent.
+type Regression struct {
+	lr      float64
+	wWidth  float64
+	wWall   float64
+	bias    float64
+	tagBias map[string]float64
+	nSeen   int64
+	prior   float64
+}
+
+// NewRegression returns an SGD regressor with the given prior prediction.
+func NewRegression(prior float64) *Regression {
+	return &Regression{lr: 0.02, bias: prior, prior: prior, tagBias: map[string]float64{}}
+}
+
+// Name implements Predictor.
+func (p *Regression) Name() string { return "regression" }
+
+func regFeatures(j *jobs.Job) (width, wall float64) {
+	// Normalized features keep SGD stable across site scales.
+	width = math.Log2(float64(j.Nodes) + 1)
+	wall = math.Log10(float64(j.Walltime) + 1)
+	return
+}
+
+// Predict implements Predictor.
+func (p *Regression) Predict(j *jobs.Job) float64 {
+	if p.nSeen == 0 {
+		return p.prior
+	}
+	fw, fl := regFeatures(j)
+	v := p.bias + p.wWidth*fw + p.wWall*fl + p.tagBias[j.Tag]
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Observe implements Predictor.
+func (p *Regression) Observe(j *jobs.Job, w float64) {
+	fw, fl := regFeatures(j)
+	pred := p.bias + p.wWidth*fw + p.wWall*fl + p.tagBias[j.Tag]
+	err := pred - w
+	p.bias -= p.lr * err
+	p.wWidth -= p.lr * err * fw
+	p.wWall -= p.lr * err * fl
+	p.tagBias[j.Tag] -= p.lr * err
+	p.nSeen++
+}
+
+// TempAdjusted wraps another predictor and scales its output by a
+// temperature coefficient — RIKEN's production row: "pre-run estimate of
+// power usage of each job, based on temperature". Hotter ambient means
+// higher leakage and fan power, raising draw.
+type TempAdjusted struct {
+	Base Predictor
+	// TempNow returns the ambient temperature when Predict is called.
+	TempNow func() float64
+	// RefC is the temperature the base prediction is calibrated at;
+	// PerDegree is the relative increase per degree above it.
+	RefC      float64
+	PerDegree float64
+}
+
+// Name implements Predictor.
+func (p *TempAdjusted) Name() string { return p.Base.Name() + "+temp" }
+
+// Predict implements Predictor.
+func (p *TempAdjusted) Predict(j *jobs.Job) float64 {
+	v := p.Base.Predict(j)
+	if p.TempNow != nil {
+		dt := p.TempNow() - p.RefC
+		v *= 1 + p.PerDegree*dt
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Observe implements Predictor.
+func (p *TempAdjusted) Observe(j *jobs.Job, w float64) { p.Base.Observe(j, w) }

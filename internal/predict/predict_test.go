@@ -1,0 +1,149 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/simulator"
+	"epajsrm/internal/stats"
+	"epajsrm/internal/workload"
+)
+
+func job(tag string, nodes int, wall simulator.Time) *jobs.Job {
+	return &jobs.Job{Tag: tag, Nodes: nodes, Walltime: wall}
+}
+
+func TestNaiveLearnsGlobalMean(t *testing.T) {
+	p := NewNaive(100)
+	if p.Predict(job("a", 1, 60)) != 100 {
+		t.Fatal("prior not used")
+	}
+	p.Observe(job("a", 1, 60), 200)
+	p.Observe(job("b", 1, 60), 300)
+	if got := p.Predict(job("c", 1, 60)); got != 250 {
+		t.Fatalf("mean = %f", got)
+	}
+}
+
+func TestTagHistoryPerTag(t *testing.T) {
+	p := NewTagHistory(100, 4)
+	p.Observe(job("cfd", 1, 60), 200)
+	p.Observe(job("cfd", 1, 60), 220)
+	p.Observe(job("md", 1, 60), 340)
+	if got := p.Predict(job("cfd", 1, 60)); got != 210 {
+		t.Fatalf("cfd prediction = %f", got)
+	}
+	if got := p.Predict(job("md", 1, 60)); got != 340 {
+		t.Fatalf("md prediction = %f", got)
+	}
+	// Unknown tag falls back to the global mean.
+	if got := p.Predict(job("new", 1, 60)); got != (200+220+340)/3.0 {
+		t.Fatalf("fallback = %f", got)
+	}
+}
+
+func TestTagHistoryDepthWindow(t *testing.T) {
+	p := NewTagHistory(0, 2)
+	p.Observe(job("x", 1, 60), 100)
+	p.Observe(job("x", 1, 60), 200)
+	p.Observe(job("x", 1, 60), 300)
+	// Only the last 2 (200, 300) should count.
+	if got := p.Predict(job("x", 1, 60)); got != 250 {
+		t.Fatalf("windowed prediction = %f", got)
+	}
+}
+
+func TestRegressionLearnsTagOffsets(t *testing.T) {
+	p := NewRegression(250)
+	// Two app classes with distinct draws, same shapes.
+	for i := 0; i < 400; i++ {
+		p.Observe(job("hot", 4, 3600), 330)
+		p.Observe(job("cool", 4, 3600), 170)
+	}
+	hot := p.Predict(job("hot", 4, 3600))
+	cool := p.Predict(job("cool", 4, 3600))
+	if hot < 310 || hot > 350 {
+		t.Fatalf("hot prediction = %f, want ~330", hot)
+	}
+	if cool < 150 || cool > 190 {
+		t.Fatalf("cool prediction = %f, want ~170", cool)
+	}
+}
+
+func TestRegressionNonNegative(t *testing.T) {
+	p := NewRegression(10)
+	for i := 0; i < 200; i++ {
+		p.Observe(job("tiny", 1, 60), 1)
+	}
+	if got := p.Predict(job("tiny", 1, 60)); got < 0 {
+		t.Fatalf("negative power prediction: %f", got)
+	}
+}
+
+func TestTempAdjusted(t *testing.T) {
+	temp := 20.0
+	p := &TempAdjusted{
+		Base:      NewNaive(100),
+		TempNow:   func() float64 { return temp },
+		RefC:      20,
+		PerDegree: 0.01,
+	}
+	if got := p.Predict(job("a", 1, 60)); got != 100 {
+		t.Fatalf("at reference temp = %f", got)
+	}
+	temp = 30
+	if got := p.Predict(job("a", 1, 60)); math.Abs(got-110) > 1e-9 {
+		t.Fatalf("at +10C = %f, want 110", got)
+	}
+	temp = 10
+	if got := p.Predict(job("a", 1, 60)); math.Abs(got-90) > 1e-9 {
+		t.Fatalf("at -10C = %f, want 90", got)
+	}
+	if p.Name() != "naive-mean+temp" {
+		t.Fatalf("name = %q", p.Name())
+	}
+}
+
+// TestPredictorsBeatNaiveOnTaggedWorkload is the core claim of E8: with a
+// tag-structured workload (distinct per-app draws), tag-history and
+// regression predictors must achieve lower MAPE than the naive global
+// mean.
+func TestPredictorsBeatNaiveOnTaggedWorkload(t *testing.T) {
+	gen := workload.NewGenerator(workload.DefaultSpec(), 99)
+	js := gen.Generate(1500)
+
+	naive := NewNaive(250)
+	tag := NewTagHistory(250, 8)
+	reg := NewRegression(250)
+	preds := []Predictor{naive, tag, reg}
+	errs := map[string]*struct{ pred, act []float64 }{}
+	for _, p := range preds {
+		errs[p.Name()] = &struct{ pred, act []float64 }{}
+	}
+	for _, j := range js {
+		actual := j.PowerPerNodeW
+		for _, p := range preds {
+			e := errs[p.Name()]
+			e.pred = append(e.pred, p.Predict(j))
+			e.act = append(e.act, actual)
+			p.Observe(j, actual)
+		}
+	}
+	mape := func(name string) float64 {
+		e := errs[name]
+		// Skip the cold start: score the second half.
+		h := len(e.pred) / 2
+		return stats.MAPE(e.pred[h:], e.act[h:])
+	}
+	naiveM, tagM, regM := mape("naive-mean"), mape("tag-history"), mape("regression")
+	if tagM >= naiveM {
+		t.Fatalf("tag-history MAPE %.3f not better than naive %.3f", tagM, naiveM)
+	}
+	if regM >= naiveM {
+		t.Fatalf("regression MAPE %.3f not better than naive %.3f", regM, naiveM)
+	}
+	if tagM > 0.15 {
+		t.Fatalf("tag-history MAPE %.3f implausibly high for tag-structured workload", tagM)
+	}
+}

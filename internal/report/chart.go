@@ -1,0 +1,121 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LineChart renders a single series as an ASCII chart with a labelled Y
+// axis — enough to eyeball a power profile in a terminal, which is how the
+// examples and epasim show what a policy did to the site's draw.
+type LineChart struct {
+	Title  string
+	YLabel string
+	// Xs and Ys are the series; Xs must be non-decreasing.
+	Xs []float64
+	Ys []float64
+	// Width/Height of the plot area in characters (defaults 72x14).
+	Width, Height int
+	// YMin/YMax fix the Y range; both zero = auto-scale with padding.
+	YMin, YMax float64
+}
+
+// Render draws the chart.
+func (c LineChart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 10 {
+		w = 72
+	}
+	if h <= 3 {
+		h = 14
+	}
+	if len(c.Xs) != len(c.Ys) {
+		return "chart: X/Y length mismatch\n"
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	if len(c.Xs) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+
+	yMin, yMax := c.YMin, c.YMax
+	if yMin == 0 && yMax == 0 {
+		yMin, yMax = c.Ys[0], c.Ys[0]
+		for _, y := range c.Ys {
+			if y < yMin {
+				yMin = y
+			}
+			if y > yMax {
+				yMax = y
+			}
+		}
+		pad := (yMax - yMin) * 0.05
+		if pad == 0 {
+			pad = 1
+		}
+		yMin -= pad
+		yMax += pad
+	}
+	if yMax <= yMin {
+		yMax = yMin + 1
+	}
+	xMin, xMax := c.Xs[0], c.Xs[len(c.Xs)-1]
+	if xMax <= xMin {
+		xMax = xMin + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	// Bucket samples by column; draw the column mean, connecting with '*'.
+	colSum := make([]float64, w)
+	colN := make([]int, w)
+	for i := range c.Xs {
+		col := int((c.Xs[i] - xMin) / (xMax - xMin) * float64(w-1))
+		if col < 0 {
+			col = 0
+		}
+		if col >= w {
+			col = w - 1
+		}
+		colSum[col] += c.Ys[i]
+		colN[col]++
+	}
+	for col := 0; col < w; col++ {
+		if colN[col] == 0 {
+			continue
+		}
+		y := colSum[col] / float64(colN[col])
+		row := int((yMax - y) / (yMax - yMin) * float64(h-1))
+		if row < 0 {
+			row = 0
+		}
+		if row >= h {
+			row = h - 1
+		}
+		grid[row][col] = '*'
+	}
+
+	axisW := 10
+	for r := 0; r < h; r++ {
+		yVal := yMax - (yMax-yMin)*float64(r)/float64(h-1)
+		label := ""
+		if r == 0 || r == h-1 || r == h/2 {
+			label = fmt.Sprintf("%9.1f", yVal)
+		}
+		fmt.Fprintf(&b, "%*s |%s\n", axisW-1, label, string(grid[r]))
+	}
+	b.WriteString(strings.Repeat(" ", axisW))
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", w))
+	b.WriteByte('\n')
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "%*s   (y: %s; x: %.0f .. %.0f)\n", axisW, "", c.YLabel, xMin, xMax)
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Components describes a constructed EPA JSRM stack for the Figure-1
+// diagram: which scheduler is loaded, which policies are attached, and
+// which planes exist.
+type Components struct {
+	SystemName  string
+	Scheduler   string
+	Policies    []string
+	Nodes       int
+	HasFacility bool
+	HasESP      bool
+	Telemetry   string // e.g. "30s sampling"
+}
+
+// ComponentDiagram renders the interactions among the components of an EPA
+// JSRM solution — the paper's Figure 1 — from a live configuration rather
+// than as fixed art, so the diagram always reflects what is actually
+// wired together.
+func ComponentDiagram(c Components) string {
+	var b strings.Builder
+	line := func(s string, args ...any) { fmt.Fprintf(&b, s+"\n", args...) }
+
+	title := fmt.Sprintf("EPA JSRM component interactions — %s", c.SystemName)
+	line("%s", title)
+	line("%s", strings.Repeat("=", len(title)))
+	line("")
+	line("  users/batch jobs")
+	line("        |  submit")
+	line("        v")
+	line("  +-----------------+   candidates    +------------------+")
+	line("  | JOB SCHEDULER   |<--------------->| RESOURCE MANAGER |")
+	line("  |  algo: %-9s|   placements    |  %5d nodes      |", c.Scheduler, c.Nodes)
+	line("  +-----------------+                 +------------------+")
+	line("        ^                                    |      ^")
+	line("        | admission/gates/shapes             |      | node state,")
+	line("        | frequency selection                v      | boot/shutdown")
+	line("  +------------------------------------------------------+")
+	line("  | EPA POLICIES (energy/power monitoring + control)     |")
+	for _, p := range c.Policies {
+		line("  |   * %-49s|", p)
+	}
+	if len(c.Policies) == 0 {
+		line("  |   (none attached — power-oblivious baseline)         |")
+	}
+	line("  +------------------------------------------------------+")
+	line("        |  caps, DVFS, on/off            ^  telemetry (%s)", c.Telemetry)
+	line("        v                                |")
+	line("  +-----------------+                +------------------+")
+	line("  | CONTROL PLANE   |                | MONITORING       |")
+	line("  | (CAPMC/RAPL/    |--------------->| power, energy,   |")
+	line("  |  P-states)      |  enforced on   | per-job meters   |")
+	line("  +-----------------+  compute nodes +------------------+")
+	if c.HasFacility {
+		line("        |")
+		line("        v")
+		line("  +-----------------+")
+		line("  | FACILITY        |  site budget, cooling capacity, PUE(T)")
+		line("  +-----------------+")
+	}
+	if c.HasESP {
+		line("        |")
+		line("        v")
+		line("  +-----------------+")
+		line("  | ELECTRICITY     |  tariffs, demand response, on-site")
+		line("  | SERVICE PROVIDER|  generation")
+		line("  +-----------------+")
+	}
+	return b.String()
+}

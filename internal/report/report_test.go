@@ -1,0 +1,218 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRenderBasics(t *testing.T) {
+	tb := Table{
+		Title:  "T",
+		Header: []string{"A", "B"},
+		Rows:   [][]string{{"1", "2"}, {"3", "4"}},
+	}
+	out := tb.Render()
+	if !strings.HasPrefix(out, "T\n") {
+		t.Fatal("title missing")
+	}
+	for _, want := range []string{"| A", "| B", "| 1", "| 4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Every line must be equally wide (aligned grid).
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	w := len(lines[1])
+	for _, ln := range lines[1:] {
+		if len(ln) != w {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+}
+
+func TestTableWrapsLongCells(t *testing.T) {
+	long := strings.Repeat("word ", 30)
+	tb := Table{Header: []string{"H"}, Rows: [][]string{{long}}, MaxWidth: 20}
+	out := tb.Render()
+	for _, ln := range strings.Split(out, "\n") {
+		if len(ln) > 26 { // 20 + borders/padding
+			t.Fatalf("line too wide (%d): %q", len(ln), ln)
+		}
+	}
+	// All words survive wrapping.
+	if strings.Count(out, "word") != 30 {
+		t.Fatalf("lost words: %d", strings.Count(out, "word"))
+	}
+}
+
+func TestTableBreaksOverlongWords(t *testing.T) {
+	tb := Table{Header: []string{"H"}, Rows: [][]string{{strings.Repeat("x", 100)}}, MaxWidth: 10}
+	out := tb.Render()
+	if !strings.Contains(out, strings.Repeat("x", 10)) {
+		t.Fatal("hard break missing")
+	}
+	for _, ln := range strings.Split(out, "\n") {
+		if len(ln) > 16 {
+			t.Fatalf("line too wide: %q", ln)
+		}
+	}
+}
+
+func TestTableHandlesRaggedRows(t *testing.T) {
+	tb := Table{Header: []string{"A"}, Rows: [][]string{{"1", "extra"}, {}}}
+	out := tb.Render()
+	if !strings.Contains(out, "extra") {
+		t.Fatal("extra column dropped")
+	}
+}
+
+func TestTableRenderNeverPanics(t *testing.T) {
+	f := func(header []string, cells []string, width uint8) bool {
+		rows := [][]string{cells}
+		tb := Table{Header: header, Rows: rows, MaxWidth: int(width % 50)}
+		_ = tb.Render()
+		_ = tb.CSV()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := Table{
+		Header: []string{"a,b", `say "hi"`},
+		Rows:   [][]string{{"line\nbreak", "plain"}},
+	}
+	out := tb.CSV()
+	if !strings.Contains(out, `"a,b"`) {
+		t.Fatal("comma cell not quoted")
+	}
+	if !strings.Contains(out, `"say ""hi"""`) {
+		t.Fatal("quote cell not escaped")
+	}
+	if !strings.Contains(out, "\"line\nbreak\"") {
+		t.Fatal("newline cell not quoted")
+	}
+	if !strings.Contains(out, "plain") {
+		t.Fatal("plain cell mangled")
+	}
+}
+
+func TestWorldMapPlotsAllPoints(t *testing.T) {
+	pts := []MapPoint{
+		{Label: "Alpha", Lat: 48, Lon: 11},
+		{Label: "Beta", Lat: -34, Lon: 151},
+		{Label: "Gamma", Lat: 35, Lon: -106},
+	}
+	out := WorldMap(pts, 76, 22)
+	for _, want := range []string{"1", "2", "3", "Alpha", "Beta", "Gamma"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+	// Marker 1 (Alpha, Europe) must be right of marker 3 (Gamma, US) on
+	// some row ordering — check columns via projection: lon 11 > lon -106.
+	lines := strings.Split(out, "\n")
+	col := func(marker string) int {
+		for _, ln := range lines {
+			if i := strings.Index(ln, marker); i >= 0 {
+				return i
+			}
+		}
+		return -1
+	}
+	if col("1") <= col("3") {
+		t.Fatalf("Europe (1) should plot east of the US (3): cols %d vs %d", col("1"), col("3"))
+	}
+}
+
+func TestWorldMapClampsOutOfRange(t *testing.T) {
+	out := WorldMap([]MapPoint{{Label: "X", Lat: 999, Lon: -999}}, 60, 15)
+	if !strings.Contains(out, "X") {
+		t.Fatal("out-of-range point lost")
+	}
+}
+
+func TestWorldMapManyPointsDistinctMarkers(t *testing.T) {
+	var pts []MapPoint
+	for i := 0; i < 12; i++ {
+		pts = append(pts, MapPoint{Label: string(rune('A' + i)), Lat: float64(i * 5), Lon: float64(i * 10)})
+	}
+	out := WorldMap(pts, 76, 22)
+	// Markers 1-9 then a, b, c.
+	for _, m := range []string{"1", "9", "a", "c"} {
+		if !strings.Contains(out, m+"  ") && !strings.Contains(out, "  "+m) && !strings.Contains(out, m) {
+			t.Fatalf("marker %q missing", m)
+		}
+	}
+}
+
+func TestComponentDiagram(t *testing.T) {
+	d := ComponentDiagram(Components{
+		SystemName:  "testsys",
+		Scheduler:   "easy",
+		Policies:    []string{"static-cap(270W,30%uncapped)", "energy-report"},
+		Nodes:       64,
+		HasFacility: true,
+		HasESP:      true,
+		Telemetry:   "30s",
+	})
+	for _, want := range []string{
+		"JOB SCHEDULER", "RESOURCE MANAGER", "EPA POLICIES",
+		"static-cap(270W,30%uncapped)", "energy-report",
+		"CONTROL PLANE", "MONITORING", "FACILITY", "ELECTRICITY",
+		"easy", "64",
+	} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("diagram missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestComponentDiagramNoPolicies(t *testing.T) {
+	d := ComponentDiagram(Components{SystemName: "bare", Scheduler: "fcfs", Nodes: 8})
+	if !strings.Contains(d, "power-oblivious baseline") {
+		t.Fatal("empty-policy note missing")
+	}
+	if strings.Contains(d, "FACILITY") {
+		t.Fatal("facility box should be absent")
+	}
+}
+
+func TestLineChartRendersSeries(t *testing.T) {
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i % 20)
+	}
+	out := LineChart{Title: "T", YLabel: "units", Xs: xs, Ys: ys}.Render()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "*") {
+		t.Fatalf("chart malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "units") {
+		t.Fatal("y label missing")
+	}
+	// Y-axis labels bound the data range (0..19 with 5% padding).
+	if !strings.Contains(out, "19.9") && !strings.Contains(out, "20.0") {
+		t.Fatalf("max label missing:\n%s", out)
+	}
+}
+
+func TestLineChartEmptyAndMismatch(t *testing.T) {
+	if out := (LineChart{}).Render(); !strings.Contains(out, "no data") {
+		t.Fatal("empty chart should say so")
+	}
+	if out := (LineChart{Xs: []float64{1}, Ys: nil}).Render(); !strings.Contains(out, "mismatch") {
+		t.Fatal("mismatch not reported")
+	}
+}
+
+func TestLineChartConstantSeries(t *testing.T) {
+	out := LineChart{Xs: []float64{0, 1, 2}, Ys: []float64{5, 5, 5}}.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatal("constant series lost")
+	}
+}

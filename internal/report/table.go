@@ -1,0 +1,169 @@
+// Package report renders the paper's exhibits as text: aligned,
+// cell-wrapped tables (Tables I and II), an ASCII world map (Figure 2), a
+// component diagram (Figure 1), and CSV export for downstream plotting.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple text table with word-wrapped cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// MaxWidth bounds each column's width in runes (0 = 36).
+	MaxWidth int
+}
+
+// wrap splits s into lines at word boundaries with the given width,
+// breaking over-long words hard.
+func wrap(s string, width int) []string {
+	if width <= 0 {
+		width = 36
+	}
+	var lines []string
+	for _, para := range strings.Split(s, "\n") {
+		words := strings.Fields(para)
+		if len(words) == 0 {
+			lines = append(lines, "")
+			continue
+		}
+		cur := ""
+		for _, w := range words {
+			for len([]rune(w)) > width {
+				r := []rune(w)
+				if cur != "" {
+					lines = append(lines, cur)
+					cur = ""
+				}
+				lines = append(lines, string(r[:width]))
+				w = string(r[width:])
+			}
+			switch {
+			case cur == "":
+				cur = w
+			case len([]rune(cur))+1+len([]rune(w)) <= width:
+				cur += " " + w
+			default:
+				lines = append(lines, cur)
+				cur = w
+			}
+		}
+		if cur != "" {
+			lines = append(lines, cur)
+		}
+	}
+	return lines
+}
+
+// Render returns the table as a string.
+func (t Table) Render() string {
+	maxW := t.MaxWidth
+	if maxW <= 0 {
+		maxW = 36
+	}
+	nCols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > nCols {
+			nCols = len(r)
+		}
+	}
+	if nCols == 0 {
+		return t.Title + "\n"
+	}
+
+	// Column width: longest wrapped line, capped.
+	widths := make([]int, nCols)
+	measure := func(row []string) {
+		for c := 0; c < nCols; c++ {
+			cell := ""
+			if c < len(row) {
+				cell = row[c]
+			}
+			for _, ln := range wrap(cell, maxW) {
+				if n := len([]rune(ln)); n > widths[c] {
+					widths[c] = n
+				}
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	sep := func() {
+		b.WriteByte('+')
+		for _, w := range widths {
+			b.WriteString(strings.Repeat("-", w+2))
+			b.WriteByte('+')
+		}
+		b.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		cells := make([][]string, nCols)
+		height := 1
+		for c := 0; c < nCols; c++ {
+			cell := ""
+			if c < len(row) {
+				cell = row[c]
+			}
+			cells[c] = wrap(cell, maxW)
+			if len(cells[c]) > height {
+				height = len(cells[c])
+			}
+		}
+		for ln := 0; ln < height; ln++ {
+			b.WriteByte('|')
+			for c := 0; c < nCols; c++ {
+				txt := ""
+				if ln < len(cells[c]) {
+					txt = cells[c][ln]
+				}
+				fmt.Fprintf(&b, " %-*s |", widths[c], txt)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	sep()
+	writeRow(t.Header)
+	sep()
+	for _, r := range t.Rows {
+		writeRow(r)
+		sep()
+	}
+	return b.String()
+}
+
+// CSV returns the table in RFC-4180-ish CSV (quotes around cells containing
+// commas, quotes or newlines).
+func (t Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MapPoint is one site on the world map.
+type MapPoint struct {
+	Label string
+	Lat   float64 // degrees, +north
+	Lon   float64 // degrees, +east
+}
+
+// coarse coastline hints: a handful of (lat, lon) cells marked '.' to give
+// the schematic map continental context without embedding real geo data.
+// One entry per ~15-degree cell that is mostly land.
+var landCells = [][2]float64{
+	// North America
+	{60, -150}, {60, -120}, {60, -100}, {60, -80}, {45, -120}, {45, -100},
+	{45, -80}, {30, -110}, {30, -95}, {30, -85}, {15, -90},
+	// South America
+	{0, -70}, {0, -55}, {-15, -70}, {-15, -55}, {-30, -65}, {-45, -70},
+	// Europe
+	{60, 10}, {60, 30}, {45, 0}, {45, 15}, {45, 30}, {38, -5}, {38, 15}, {38, 25},
+	// Africa
+	{30, 0}, {30, 20}, {15, 0}, {15, 20}, {15, 35}, {0, 15}, {0, 30},
+	{-15, 15}, {-15, 30}, {-30, 20},
+	// Asia
+	{60, 60}, {60, 90}, {60, 120}, {60, 150}, {45, 45}, {45, 60}, {45, 90},
+	{45, 120}, {30, 45}, {30, 60}, {30, 80}, {30, 100}, {30, 115}, {22, 78},
+	{15, 100}, {35, 135},
+	// Australia
+	{-25, 125}, {-25, 140}, {-35, 145},
+}
+
+// WorldMap renders a schematic equirectangular world map (Figure 2 of the
+// paper) with the given points plotted as 1-9/a-z markers and a legend.
+func WorldMap(points []MapPoint, width, height int) string {
+	if width < 40 {
+		width = 76
+	}
+	if height < 12 {
+		height = 22
+	}
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	proj := func(lat, lon float64) (x, y int) {
+		x = int((lon + 180) / 360 * float64(width-1))
+		y = int((90 - lat) / 180 * float64(height-1))
+		if x < 0 {
+			x = 0
+		}
+		if x >= width {
+			x = width - 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y >= height {
+			y = height - 1
+		}
+		return
+	}
+	// Land hints.
+	for _, c := range landCells {
+		x, y := proj(c[0], c[1])
+		grid[y][x] = '.'
+	}
+	// Equator and meridian.
+	_, eqY := proj(0, 0)
+	for x := 0; x < width; x++ {
+		if grid[eqY][x] == ' ' {
+			grid[eqY][x] = '-'
+		}
+	}
+	merX, _ := proj(0, 0)
+	for y := 0; y < height; y++ {
+		if grid[y][merX] == ' ' {
+			grid[y][merX] = '|'
+		}
+	}
+
+	sorted := append([]MapPoint(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Label < sorted[j].Label })
+	marker := func(i int) byte {
+		if i < 9 {
+			return byte('1' + i)
+		}
+		return byte('a' + i - 9)
+	}
+	var legend strings.Builder
+	for i, p := range sorted {
+		x, y := proj(p.Lat, p.Lon)
+		// Nudge markers off occupied cells so close sites stay distinct.
+		for grid[y][x] >= '1' && grid[y][x] <= '9' && x+1 < width {
+			x++
+		}
+		grid[y][x] = marker(i)
+		fmt.Fprintf(&legend, "  %c  %s (%.0f,%.0f)\n", marker(i), p.Label, p.Lat, p.Lon)
+	}
+
+	var b strings.Builder
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("+\n")
+	for _, row := range grid {
+		b.WriteByte('|')
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("+\n")
+	b.WriteString(legend.String())
+	return b.String()
+}

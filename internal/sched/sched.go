@@ -1,0 +1,161 @@
+// Package sched implements the baseline job scheduling algorithms every
+// surveyed production stack builds on: FCFS, EASY backfilling (Mu'alem &
+// Feitelson, the survey's reference [35]) and conservative backfilling.
+// The EPA policies in internal/policy wrap these, filtering candidates and
+// shaping starts; the algorithms themselves remain power-oblivious.
+package sched
+
+import (
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/simulator"
+)
+
+// RunningJob pairs a running job with its current placement width and the
+// scheduler-visible completion estimate (based on the walltime request,
+// not ground truth — schedulers never see true runtimes).
+type RunningJob struct {
+	Job         *jobs.Job
+	Nodes       int
+	ExpectedEnd simulator.Time
+}
+
+// View is the scheduler's snapshot of the system at a decision point.
+type View struct {
+	Now        simulator.Time
+	Free       int // eligible idle nodes right now
+	TotalNodes int // eligible node capacity (excludes down/maintenance)
+	Queue      []*jobs.Job
+	Running    []RunningJob
+}
+
+// Scheduler decides which waiting jobs to start now. Implementations must
+// not start more nodes than v.Free in total; the returned jobs are started
+// in order.
+type Scheduler interface {
+	Name() string
+	Pick(v View) []*jobs.Job
+}
+
+// FCFS starts jobs strictly in queue order, stopping at the first job that
+// does not fit.
+type FCFS struct{}
+
+// Name implements Scheduler.
+func (FCFS) Name() string { return "fcfs" }
+
+// Pick implements Scheduler.
+func (FCFS) Pick(v View) []*jobs.Job {
+	var out []*jobs.Job
+	free := v.Free
+	for _, j := range v.Queue {
+		if j.Nodes > free {
+			break
+		}
+		out = append(out, j)
+		free -= j.Nodes
+	}
+	return out
+}
+
+// EASY is aggressive (EASY) backfilling: the head job gets a reservation at
+// the earliest time enough nodes will be free; later jobs may start now if
+// they fit and do not delay that reservation.
+type EASY struct{}
+
+// Name implements Scheduler.
+func (EASY) Name() string { return "easy" }
+
+// Pick implements Scheduler.
+func (e EASY) Pick(v View) []*jobs.Job {
+	var out []*jobs.Job
+	free := v.Free
+	running := append([]RunningJob(nil), v.Running...)
+
+	queue := v.Queue
+	// Start head jobs while they fit.
+	for len(queue) > 0 && queue[0].Nodes <= free {
+		j := queue[0]
+		out = append(out, j)
+		free -= j.Nodes
+		running = append(running, RunningJob{Job: j, Nodes: j.Nodes, ExpectedEnd: v.Now + j.Walltime})
+		queue = queue[1:]
+	}
+	if len(queue) == 0 {
+		return out
+	}
+
+	// Head job blocked: compute its shadow time and the extra nodes.
+	head := queue[0]
+	shadow, extra := reservation(v.Now, free, head.Nodes, running)
+
+	// Backfill the remainder.
+	for _, j := range queue[1:] {
+		if j.Nodes > free {
+			continue
+		}
+		fitsBefore := v.Now+j.Walltime <= shadow
+		fitsBeside := j.Nodes <= extra
+		if fitsBefore || fitsBeside {
+			out = append(out, j)
+			free -= j.Nodes
+			if fitsBeside {
+				extra -= j.Nodes
+			}
+			running = append(running, RunningJob{Job: j, Nodes: j.Nodes, ExpectedEnd: v.Now + j.Walltime})
+		}
+	}
+	return out
+}
+
+// reservation returns the earliest time `need` nodes will be free given the
+// currently running jobs (by their walltime-based expected ends), plus how
+// many nodes will be left over at that time beyond the reservation
+// ("extra" nodes a backfilled job may hold past the shadow time).
+func reservation(now simulator.Time, free, need int, running []RunningJob) (shadow simulator.Time, extra int) {
+	if free >= need {
+		return now, free - need
+	}
+	ends := append([]RunningJob(nil), running...)
+	// Insertion sort by expected end: queues are short at decision points.
+	for i := 1; i < len(ends); i++ {
+		for k := i; k > 0 && ends[k].ExpectedEnd < ends[k-1].ExpectedEnd; k-- {
+			ends[k], ends[k-1] = ends[k-1], ends[k]
+		}
+	}
+	avail := free
+	for _, r := range ends {
+		avail += r.Nodes
+		if avail >= need {
+			return r.ExpectedEnd, avail - need
+		}
+	}
+	// Should not happen if need <= total nodes; treat as never.
+	return now + 365*simulator.Day, 0
+}
+
+// Conservative is conservative backfilling: every queued job receives a
+// reservation in queue order on a node-availability profile, and only jobs
+// whose reservation begins now are started. No job can be delayed by a
+// later arrival, which gives predictable start times at some utilization
+// cost relative to EASY.
+type Conservative struct{}
+
+// Name implements Scheduler.
+func (Conservative) Name() string { return "conservative" }
+
+// Pick implements Scheduler.
+func (Conservative) Pick(v View) []*jobs.Job {
+	p := NewProfile(v.Now, v.TotalNodes)
+	for _, r := range v.Running {
+		p.Reserve(v.Now, r.ExpectedEnd, r.Nodes)
+	}
+	var out []*jobs.Job
+	for _, j := range v.Queue {
+		start := p.EarliestFit(j.Nodes, j.Walltime)
+		p.Reserve(start, start+j.Walltime, j.Nodes)
+		if start == v.Now {
+			out = append(out, j)
+		}
+	}
+	return out
+}

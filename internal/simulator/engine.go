@@ -1,0 +1,223 @@
+// Package simulator provides the discrete-event simulation engine that
+// underlies every experiment in this repository. Time is virtual, measured
+// in whole seconds from the start of a run, and events fire in (time,
+// sequence) order so that runs are fully deterministic.
+package simulator
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Time is a virtual timestamp in seconds since the start of the simulation.
+type Time int64
+
+// Common durations, in seconds.
+const (
+	Second Time = 1
+	Minute Time = 60
+	Hour   Time = 3600
+	Day    Time = 24 * Hour
+)
+
+func (t Time) String() string {
+	d := t / Day
+	h := (t % Day) / Hour
+	m := (t % Hour) / Minute
+	s := t % Minute
+	if d > 0 {
+		return fmt.Sprintf("%dd%02d:%02d:%02d", d, h, m, s)
+	}
+	return fmt.Sprintf("%02d:%02d:%02d", h, m, s)
+}
+
+// Event is a callback scheduled to run at a point in virtual time.
+type Event struct {
+	At   Time
+	Name string
+	Fn   func(now Time)
+
+	seq    int64
+	index  int
+	dead   bool
+	daemon bool
+	eng    *Engine
+}
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired is a no-op.
+func (e *Event) Cancel() {
+	if e != nil && !e.dead {
+		e.dead = true
+		if !e.daemon && e.eng != nil {
+			e.eng.live--
+		}
+	}
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation loop. The zero value is not usable;
+// call NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     int64
+	stopped bool
+	horizon Time
+	fired   int64
+	// live counts pending non-daemon events. Daemon events (periodic
+	// control loops, telemetry samplers) never keep an unbounded run alive:
+	// Run() ends when only daemons remain.
+	live int
+}
+
+// NewEngine returns an engine positioned at time zero with an empty queue.
+func NewEngine() *Engine {
+	return &Engine{horizon: -1}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() int64 { return e.fired }
+
+// Pending reports how many events are queued (including cancelled ones not
+// yet discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// ErrPastEvent is returned by At when an event is scheduled before Now.
+var ErrPastEvent = errors.New("simulator: event scheduled in the past")
+
+// At schedules fn to run at the absolute virtual time at. Scheduling at the
+// current time is allowed; the event runs after the currently executing
+// event returns.
+func (e *Engine) At(at Time, name string, fn func(now Time)) (*Event, error) {
+	return e.at(at, name, fn, false)
+}
+
+func (e *Engine) at(at Time, name string, fn func(now Time), daemon bool) (*Event, error) {
+	if at < e.now {
+		return nil, fmt.Errorf("%w: at=%d now=%d (%s)", ErrPastEvent, at, e.now, name)
+	}
+	ev := &Event{At: at, Name: name, Fn: fn, seq: e.seq, daemon: daemon, eng: e}
+	e.seq++
+	if !daemon {
+		e.live++
+	}
+	heap.Push(&e.queue, ev)
+	return ev, nil
+}
+
+// After schedules fn to run d seconds from now. A negative delay is clamped
+// to zero.
+func (e *Engine) After(d Time, name string, fn func(now Time)) *Event {
+	if d < 0 {
+		d = 0
+	}
+	ev, _ := e.At(e.now+d, name, fn)
+	return ev
+}
+
+// Every schedules fn to run now+period, then every period thereafter, until
+// the returned stop function is called or the run ends. The recurring
+// events are daemons: they fire as long as other work keeps the simulation
+// alive (or up to an explicit horizon), but never extend an unbounded Run
+// on their own — a periodic control loop should not keep a drained system
+// simulating forever.
+func (e *Engine) Every(period Time, name string, fn func(now Time)) (stop func()) {
+	if period <= 0 {
+		period = 1
+	}
+	var cur *Event
+	stopped := false
+	var tick func(now Time)
+	tick = func(now Time) {
+		if stopped {
+			return
+		}
+		fn(now)
+		if !stopped {
+			cur, _ = e.at(e.now+period, name, tick, true)
+		}
+	}
+	cur, _ = e.at(e.now+period, name, tick, true)
+	return func() {
+		stopped = true
+		cur.Cancel()
+	}
+}
+
+// Stop halts the run after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty, Stop is called, or the
+// event budget (1e9 events) is exhausted. It returns the final virtual time.
+func (e *Engine) Run() Time {
+	return e.RunUntil(-1)
+}
+
+// RunUntil executes events with timestamps <= horizon (horizon < 0 means no
+// limit) and returns the final virtual time. Events beyond the horizon stay
+// queued so the run can be continued.
+func (e *Engine) RunUntil(horizon Time) Time {
+	e.stopped = false
+	const budget = int64(1e9)
+	start := e.fired
+	for len(e.queue) > 0 && !e.stopped {
+		if horizon < 0 && e.live == 0 {
+			break // only daemons remain; an unbounded run is done
+		}
+		next := e.queue[0]
+		if horizon >= 0 && next.At > horizon {
+			e.now = horizon
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		if next.dead {
+			continue
+		}
+		next.dead = true
+		if !next.daemon {
+			e.live--
+		}
+		e.now = next.At
+		e.fired++
+		next.Fn(e.now)
+		if e.fired-start > budget {
+			panic("simulator: event budget exhausted; runaway event loop")
+		}
+	}
+	if horizon >= 0 && e.now < horizon {
+		e.now = horizon
+	}
+	return e.now
+}

@@ -1,0 +1,126 @@
+package site
+
+import (
+	"testing"
+
+	"epajsrm/internal/simulator"
+)
+
+func TestAllProfilesRun(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			m, js, err := p.Build(42, 60)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Run(7 * simulator.Day)
+			done := m.Metrics.Completed + m.Metrics.Killed + m.Metrics.Cancelled
+			if done == 0 {
+				t.Fatalf("%s: nothing finished (queue=%d running=%d)", p.Name, m.Queue.Len(), m.RunningCount())
+			}
+			if m.Metrics.Completed < len(js)/3 {
+				t.Fatalf("%s: only %d/%d completed in a week", p.Name, m.Metrics.Completed, len(js))
+			}
+			peak, _ := m.Pw.PeakPower()
+			if peak <= 0 || peak > m.Pw.MaxPossiblePower()*1.001 {
+				t.Fatalf("%s: implausible peak %.0f", p.Name, peak)
+			}
+			if m.Tel.ITStats.N() == 0 {
+				t.Fatalf("%s: telemetry never sampled", p.Name)
+			}
+		})
+	}
+}
+
+func TestProfileDeterminism(t *testing.T) {
+	run := func() (int, float64) {
+		p := KAUST()
+		m, _, err := p.Build(7, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Run(3 * simulator.Day)
+		return m.Metrics.Completed, m.Pw.TotalEnergy()
+	}
+	c1, e1 := run()
+	c2, e2 := run()
+	if c1 != c2 || e1 != e2 {
+		t.Fatalf("profile runs diverged: %d/%.0f vs %d/%.0f", c1, e1, c2, e2)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("kaust"); !ok {
+		t.Fatal("kaust not found")
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Fatal("phantom profile found")
+	}
+	names := map[string]bool{}
+	for _, p := range All() {
+		if names[p.Name] {
+			t.Fatalf("duplicate profile name %s", p.Name)
+		}
+		names[p.Name] = true
+		if p.Desc == "" {
+			t.Fatalf("%s has no description", p.Name)
+		}
+	}
+	if len(names) != 9 {
+		t.Fatalf("profiles = %d, want 9 (the surveyed centers)", len(names))
+	}
+}
+
+func TestKAUSTStaticCapsPresent(t *testing.T) {
+	m, _, err := KAUST().Build(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped := 0
+	for _, n := range m.Cl.Nodes {
+		if n.CapW == 270 {
+			capped++
+		}
+	}
+	// 70 % of 256 = 179 (one side of int truncation).
+	if capped < 175 || capped > 180 {
+		t.Fatalf("capped nodes = %d, want ~179", capped)
+	}
+}
+
+func TestRIKENHoldsPowerLimit(t *testing.T) {
+	p := RIKEN()
+	m, _, err := p.Build(3, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxP := 0.0
+	stop := m.Eng.Every(simulator.Minute, "probe", func(simulator.Time) {
+		if v := m.Pw.TotalPower(); v > maxP {
+			maxP = v
+		}
+	})
+	defer stop()
+	m.Run(7 * simulator.Day)
+	// The emergency limit is 55 kW; brief overshoot before a kill is
+	// possible but the probe-level peak should stay near it.
+	if maxP > 55e3*1.10 {
+		t.Fatalf("RIKEN power reached %.0f, >10%% over the 55 kW limit", maxP)
+	}
+}
+
+func TestTrinitySystemCapInstalled(t *testing.T) {
+	m, _, err := Trinity().Build(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ctrl.SystemCapW != 70e3 {
+		t.Fatalf("system cap = %f", m.Ctrl.SystemCapW)
+	}
+	for _, n := range m.Cl.Nodes {
+		if n.CapW <= 0 {
+			t.Fatalf("node %d uncapped under a system-wide cap", n.ID)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package survey
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"epajsrm/internal/report"
+)
+
+// ActivityTable generates Table I (part=1) or Table II (part=2) of the
+// paper from the structured center data.
+func ActivityTable(part int) report.Table {
+	t := report.Table{
+		Title:    fmt.Sprintf("TABLE %s — Part %d of the summary of the answers from each center.", roman(part), part),
+		Header:   []string{"Center", "Research Activities", "Technology Development with Intent to Deploy", "Production Development"},
+		MaxWidth: 40,
+	}
+	for _, c := range Centers() {
+		if c.TablePart != part {
+			continue
+		}
+		cells := [3][]string{}
+		for _, a := range c.Activities {
+			cells[a.Maturity] = append(cells[a.Maturity], a.Desc)
+		}
+		row := []string{c.Name}
+		for m := 0; m < 3; m++ {
+			if len(cells[m]) == 0 {
+				row = append(row, "—")
+			} else {
+				row = append(row, strings.Join(cells[m], "\n"))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func roman(n int) string {
+	switch n {
+	case 1:
+		return "I"
+	case 2:
+		return "II"
+	default:
+		return fmt.Sprint(n)
+	}
+}
+
+// MapPoints returns the nine centers as Figure-2 map points.
+func MapPoints() []report.MapPoint {
+	var out []report.MapPoint
+	for _, c := range Centers() {
+		out = append(out, report.MapPoint{Label: c.Name, Lat: c.Lat, Lon: c.Lon})
+	}
+	return out
+}
+
+// CapabilityCount is one row of the initial analysis: how many sites
+// exercise a capability, split by maturity.
+type CapabilityCount struct {
+	Capability Capability
+	Research   int
+	TechDev    int
+	Production int
+	Sites      int // distinct sites at any maturity
+}
+
+// Analyze performs the paper's "initial analysis": per-capability site
+// counts by maturity, sorted by total adoption. This is the quantitative
+// skeleton behind §V's observation that all sites have some production
+// deployment while research/tech-dev coverage varies.
+func Analyze() []CapabilityCount {
+	counts := make([]CapabilityCount, capCount)
+	for i := range counts {
+		counts[i].Capability = Capability(i)
+	}
+	for _, c := range Centers() {
+		seenAny := map[Capability]bool{}
+		seenAt := map[Maturity]map[Capability]bool{
+			Research: {}, TechDev: {}, Production: {},
+		}
+		for _, a := range c.Activities {
+			for _, cap := range a.Capabilities {
+				seenAt[a.Maturity][cap] = true
+				seenAny[cap] = true
+			}
+		}
+		for cap := range seenAny {
+			counts[cap].Sites++
+		}
+		for cap := range seenAt[Research] {
+			counts[cap].Research++
+		}
+		for cap := range seenAt[TechDev] {
+			counts[cap].TechDev++
+		}
+		for cap := range seenAt[Production] {
+			counts[cap].Production++
+		}
+	}
+	sort.SliceStable(counts, func(i, j int) bool {
+		if counts[i].Sites != counts[j].Sites {
+			return counts[i].Sites > counts[j].Sites
+		}
+		return counts[i].Production > counts[j].Production
+	})
+	return counts
+}
+
+// AnalysisTable renders the capability-adoption analysis.
+func AnalysisTable() report.Table {
+	t := report.Table{
+		Title:  "Initial analysis — capability adoption across the nine centers",
+		Header: []string{"Capability", "Research", "Tech-Dev", "Production", "Sites (any)"},
+	}
+	for _, c := range Analyze() {
+		t.Rows = append(t.Rows, []string{
+			c.Capability.String(),
+			fmt.Sprint(c.Research),
+			fmt.Sprint(c.TechDev),
+			fmt.Sprint(c.Production),
+			fmt.Sprint(c.Sites),
+		})
+	}
+	return t
+}
+
+// CommonThemes returns capabilities present (at any maturity) at >= minSites
+// sites — the "similarities across centers" the survey set out to find.
+func CommonThemes(minSites int) []Capability {
+	var out []Capability
+	for _, c := range Analyze() {
+		if c.Sites >= minSites {
+			out = append(out, c.Capability)
+		}
+	}
+	return out
+}
+
+// RegionCount summarizes one geographic region's participation — §III
+// stresses the geographic diversity (Asia, Europe, United States, plus
+// KAUST in the Middle East).
+type RegionCount struct {
+	Region     string
+	Sites      int
+	Production int // production activities across the region's sites
+	Research   int
+	TechDev    int
+}
+
+// ByRegion aggregates activities per region, sorted by site count then
+// name.
+func ByRegion() []RegionCount {
+	agg := map[string]*RegionCount{}
+	for _, c := range Centers() {
+		rc := agg[c.Region]
+		if rc == nil {
+			rc = &RegionCount{Region: c.Region}
+			agg[c.Region] = rc
+		}
+		rc.Sites++
+		for _, a := range c.Activities {
+			switch a.Maturity {
+			case Production:
+				rc.Production++
+			case Research:
+				rc.Research++
+			case TechDev:
+				rc.TechDev++
+			}
+		}
+	}
+	var out []RegionCount
+	for _, rc := range agg {
+		out = append(out, *rc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sites != out[j].Sites {
+			return out[i].Sites > out[j].Sites
+		}
+		return out[i].Region < out[j].Region
+	})
+	return out
+}
+
+// RegionTable renders the per-region aggregation.
+func RegionTable() report.Table {
+	t := report.Table{
+		Title:  "Participation and activity by geographic region (paper §III)",
+		Header: []string{"Region", "Sites", "Research", "Tech-Dev", "Production"},
+	}
+	for _, rc := range ByRegion() {
+		t.Rows = append(t.Rows, []string{
+			rc.Region, fmt.Sprint(rc.Sites),
+			fmt.Sprint(rc.Research), fmt.Sprint(rc.TechDev), fmt.Sprint(rc.Production),
+		})
+	}
+	return t
+}
+
+// Narrative produces the §V-style prose summary of the initial analysis —
+// the machine-generated counterpart of the paper's "prelude to survey
+// analysis" paragraphs.
+func Narrative() string {
+	var b strings.Builder
+	cs := Centers()
+	counts := Analyze()
+	regions := ByRegion()
+
+	fmt.Fprintf(&b, "Nine Top500 centers across %d regions participated: ", len(regions))
+	for i, rc := range regions {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s (%d)", rc.Region, rc.Sites)
+	}
+	b.WriteString(".\n\n")
+
+	prodAll := true
+	for _, c := range cs {
+		hasProd := false
+		for _, a := range c.Activities {
+			if a.Maturity == Production {
+				hasProd = true
+			}
+		}
+		prodAll = prodAll && hasProd
+	}
+	if prodAll {
+		b.WriteString("Every surveyed site operates at least one EPA JSRM capability in production — the survey's selection criterion made real deployment, not intent, the bar.\n\n")
+	}
+
+	b.WriteString("Most common capabilities (sites at any maturity):\n")
+	for i, c := range counts {
+		if i >= 5 {
+			break
+		}
+		fmt.Fprintf(&b, "  %d. %s — %d of 9 sites (%d in production)\n",
+			i+1, c.Capability, c.Sites, c.Production)
+	}
+	b.WriteString("\nRarest capabilities — the survey's candidates for technology transfer:\n")
+	for i := len(counts) - 1; i >= len(counts)-3 && i >= 0; i-- {
+		c := counts[i]
+		fmt.Fprintf(&b, "  - %s — only %d site(s)\n", c.Capability, c.Sites)
+	}
+	return b.String()
+}
+
+// Invariants checks the structural facts the paper states; tests assert
+// them and callers may use it as a data self-check. It returns a list of
+// violated facts (empty means all hold).
+func Invariants() []string {
+	var bad []string
+	cs := Centers()
+	if len(cs) != 9 {
+		bad = append(bad, fmt.Sprintf("want 9 centers, have %d", len(cs)))
+	}
+	part1, part2 := 0, 0
+	regions := map[string]bool{}
+	for _, c := range cs {
+		regions[c.Region] = true
+		switch c.TablePart {
+		case 1:
+			part1++
+		case 2:
+			part2++
+		default:
+			bad = append(bad, c.Name+": invalid table part")
+		}
+		// §V: "all sites have some type of production deployment".
+		prod := 0
+		for _, a := range c.Activities {
+			if a.Maturity == Production {
+				prod++
+			}
+		}
+		if prod == 0 {
+			bad = append(bad, c.Name+": no production activity")
+		}
+	}
+	if part1 != 5 || part2 != 4 {
+		bad = append(bad, fmt.Sprintf("table split %d/%d, want 5/4", part1, part2))
+	}
+	for _, want := range []string{"Asia", "Europe", "United States"} {
+		if !regions[want] {
+			bad = append(bad, "missing region "+want)
+		}
+	}
+	return bad
+}

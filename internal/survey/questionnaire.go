@@ -1,0 +1,84 @@
+// Package survey encodes the EE HPC WG EPA JSRM survey itself: the Q1–Q8
+// questionnaire (paper §IV), the nine participating centers (§III), each
+// center's activity summary (Tables I and II), and the initial analysis
+// (maturity categorization and common-theme extraction) the paper's §V
+// previews. The tables in the paper are *generated* from this data model
+// by internal/report, which is the machine-checkable form of the paper's
+// deliverable.
+package survey
+
+// Question is one survey question with its sub-questions and the rationale
+// §IV gives for asking it.
+type Question struct {
+	ID        string
+	Text      string
+	Subparts  []string
+	Rationale string
+}
+
+// Questionnaire returns the full Q1–Q8 instrument.
+func Questionnaire() []Question {
+	return []Question{
+		{
+			ID:        "Q1",
+			Text:      "What motivated your site's development and implementation of energy or power aware job scheduling or resource management capabilities?",
+			Rationale: "Determine each center's motivations and identify motives common among multiple centers.",
+		},
+		{
+			ID:   "Q2",
+			Text: "Please describe your data center and major high-performance computing system or systems where energy or power aware job scheduling and resource management capabilities have been deployed.",
+			Subparts: []string{
+				"Total site power budget or capacity in watts.",
+				"Total site cooling capacity.",
+				"Major systems: cabinets, nodes, cores; peak performance; node architecture, network, memory; peak, average, and idle power draw.",
+			},
+			Rationale: "Determine each center's hardware environment; any EPA JSRM approach must account for it.",
+		},
+		{
+			ID:   "Q3",
+			Text: "Describe the general workload on your high-performance computing system or systems.",
+			Subparts: []string{
+				"What is running right now — jobs, sizes, durations?",
+				"What does the backlog of queued jobs look like?",
+				"What is the throughput of your system (jobs per month)?",
+				"Main scheduling goal; capability vs capacity percentage.",
+				"Min, median, max, and 10th/25th/75th/90th percentile job size and wallclock time.",
+			},
+			Rationale: "Determine the typical workloads; EPA JSRM approaches must account for workload characteristics.",
+		},
+		{
+			ID:        "Q4",
+			Text:      "Describe the energy and power aware job scheduling and resource management capabilities of your large-scale high-performance computing system or systems.",
+			Rationale: "The specific point of the questionnaire.",
+		},
+		{
+			ID:   "Q5",
+			Text: "List and briefly describe all of the elements that comprise your energy and power aware job scheduling and resource management capabilities.",
+			Subparts: []string{
+				"When was it implemented?",
+				"Are these elements commercially available supported products?",
+				"Has there been much non-portable/non-product work done?",
+			},
+			Rationale: "Identify how involved vendors are, and how heavily centers rely on one-off homegrown control systems.",
+		},
+		{
+			ID:        "Q6",
+			Text:      "Do you have application/task level joint optimization, such as topology-aware task allocation, to directly or indirectly improve energy consumption? Did you engage software development communities?",
+			Rationale: "A positive response indicates a very high level of sophistication and likely application-developer involvement.",
+		},
+		{
+			ID:        "Q7",
+			Text:      "How well does your solution work? Advantages, disadvantages, results, benefits, unintended consequences?",
+			Rationale: "Qualitative self-assessment; each center is the subject-matter expert for its unique solution.",
+		},
+		{
+			ID:   "Q8",
+			Text: "What are the next steps for the energy or power aware job scheduling and resource management capability you have developed?",
+			Subparts: []string{
+				"Do you intend to continue site development and/or product deployment?",
+				"Will your planned next steps drive new requirements in procurement documents, NRE funding, etc.?",
+			},
+			Rationale: "Understand trajectories and upcoming procurement/NRE implications.",
+		},
+	}
+}

@@ -1,0 +1,238 @@
+package survey
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInvariantsHold(t *testing.T) {
+	if bad := Invariants(); len(bad) != 0 {
+		t.Fatalf("survey data violates paper facts: %v", bad)
+	}
+}
+
+func TestQuestionnaireShape(t *testing.T) {
+	qs := Questionnaire()
+	if len(qs) != 8 {
+		t.Fatalf("questions = %d, want 8", len(qs))
+	}
+	for i, q := range qs {
+		wantID := "Q" + string(rune('1'+i))
+		if q.ID != wantID {
+			t.Errorf("question %d id = %s, want %s", i, q.ID, wantID)
+		}
+		if q.Text == "" || q.Rationale == "" {
+			t.Errorf("%s missing text or rationale", q.ID)
+		}
+	}
+	// Q2, Q3, Q5, Q8 have subparts in the paper.
+	for _, id := range []int{1, 2, 4, 7} {
+		if len(qs[id].Subparts) == 0 {
+			t.Errorf("%s should have subparts", qs[id].ID)
+		}
+	}
+	// Q3(e) asks for the quantile statistics.
+	if !strings.Contains(strings.Join(qs[2].Subparts, " "), "90th percentile") {
+		t.Error("Q3 quantile subpart missing")
+	}
+}
+
+func TestCentersMatchPaperList(t *testing.T) {
+	want := []string{
+		"RIKEN", "Tokyo Tech", "CEA", "KAUST", "LRZ",
+		"STFC", "Trinity (LANL+Sandia)", "CINECA", "JCAHPC",
+	}
+	cs := Centers()
+	if len(cs) != len(want) {
+		t.Fatalf("centers = %d", len(cs))
+	}
+	for i, c := range cs {
+		if c.Name != want[i] {
+			t.Errorf("center %d = %s, want %s", i, c.Name, want[i])
+		}
+	}
+}
+
+func TestTableIHasPaperRows(t *testing.T) {
+	tbl := ActivityTable(1)
+	out := tbl.CSV() // unwrapped cells, so verbatim phrases stay intact
+	// Spot-check verbatim phrases from the paper's Table I.
+	for _, phrase := range []string{
+		"RIKEN", "Tokyo Tech", "CEA", "KAUST", "LRZ",
+		"Automated emergency job killing",
+		"30% of nodes run uncapped, 70% run with 270 W power cap",
+		"energy to solution or best performance",
+		"TSUBAME2 and TSUBAME3",
+		"layout logic",
+	} {
+		if !strings.Contains(out, phrase) {
+			t.Errorf("Table I missing %q", phrase)
+		}
+	}
+	if strings.Contains(out, "STFC") {
+		t.Error("Table I should not contain Table II centers")
+	}
+}
+
+func TestTableIIHasPaperRows(t *testing.T) {
+	out := ActivityTable(2).CSV()
+	for _, phrase := range []string{
+		"STFC", "Trinity (LANL+Sandia)", "CINECA", "JCAHPC",
+		"Cray CAPMC power capping infrastructure",
+		"PowerAPI-based",
+		"Eurora system",
+		"Delivering post-job energy use reports to users",
+	} {
+		if !strings.Contains(out, phrase) {
+			t.Errorf("Table II missing %q", phrase)
+		}
+	}
+	// JCAHPC has no tech-dev activity: the cell renders as an em dash,
+	// matching the paper's empty cell.
+	if !strings.Contains(out, "—") {
+		t.Error("empty cell marker missing")
+	}
+}
+
+func TestMapPointsCoverNineSites(t *testing.T) {
+	pts := MapPoints()
+	if len(pts) != 9 {
+		t.Fatalf("map points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Lat == 0 && p.Lon == 0 {
+			t.Errorf("%s has null island coordinates", p.Label)
+		}
+		if p.Lat < -90 || p.Lat > 90 || p.Lon < -180 || p.Lon > 180 {
+			t.Errorf("%s coordinates out of range", p.Label)
+		}
+	}
+}
+
+func TestAnalyzeCounts(t *testing.T) {
+	counts := Analyze()
+	byName := map[string]CapabilityCount{}
+	for _, c := range counts {
+		byName[c.Capability.String()] = c
+		if c.Sites > 9 || c.Research > 9 || c.TechDev > 9 || c.Production > 9 {
+			t.Fatalf("impossible count: %+v", c)
+		}
+		if c.Sites == 0 {
+			t.Errorf("capability %s unused — taxonomy stale", c.Capability)
+		}
+	}
+	// Hand-checked facts from Tables I/II:
+	// Power capping production sites: RIKEN, Tokyo Tech, KAUST, Trinity,
+	// JCAHPC = 5.
+	if got := byName["power capping"].Production; got != 5 {
+		t.Errorf("power capping production sites = %d, want 5", got)
+	}
+	// Energy reporting production: Tokyo Tech, JCAHPC = 2 (STFC's is
+	// tech-dev).
+	if got := byName["energy reporting to users"].Production; got != 2 {
+		t.Errorf("energy reporting production = %d, want 2", got)
+	}
+	if got := byName["energy reporting to users"].TechDev; got != 2 {
+		t.Errorf("energy reporting tech-dev = %d, want 2 (Tokyo Tech mark, STFC tool)", got)
+	}
+	// Grid integration is rare: only RIKEN.
+	if got := byName["electrical grid integration"].Sites; got != 1 {
+		t.Errorf("grid integration sites = %d, want 1", got)
+	}
+	// Scheduler/RM integration and power capping must rank among the top
+	// themes (the survey's central finding: EPA work lands in the
+	// scheduler/RM layer, and capping is the dominant mechanism).
+	topFour := map[Capability]bool{}
+	for _, c := range counts[:4] {
+		topFour[c.Capability] = true
+	}
+	if !topFour[CapSchedulerIntegration] || !topFour[CapPowerCapping] {
+		t.Errorf("top themes %v should include scheduler integration and power capping", counts[:4])
+	}
+}
+
+func TestCommonThemes(t *testing.T) {
+	themes := CommonThemes(5)
+	if len(themes) == 0 {
+		t.Fatal("no themes at >=5 sites; power capping alone should qualify")
+	}
+	seen := map[Capability]bool{}
+	for _, th := range themes {
+		seen[th] = true
+	}
+	if !seen[CapPowerCapping] {
+		t.Error("power capping should be a common theme")
+	}
+	// Raising the bar shrinks (or keeps) the set.
+	if len(CommonThemes(9)) > len(themes) {
+		t.Error("themes not monotone in threshold")
+	}
+}
+
+func TestAnalysisTableRenders(t *testing.T) {
+	out := AnalysisTable().Render()
+	if !strings.Contains(out, "power capping") || !strings.Contains(out, "Production") {
+		t.Fatalf("analysis table malformed:\n%s", out)
+	}
+}
+
+func TestActivityCapabilityLabelsConsistent(t *testing.T) {
+	for _, c := range Centers() {
+		for _, a := range c.Activities {
+			for _, cap := range a.Capabilities {
+				if int(cap) < 0 || int(cap) >= int(capCount) {
+					t.Fatalf("%s activity has invalid capability %d", c.Name, cap)
+				}
+			}
+			if a.Desc == "" {
+				t.Fatalf("%s has an empty activity", c.Name)
+			}
+		}
+	}
+}
+
+func TestByRegion(t *testing.T) {
+	regions := ByRegion()
+	bySites := map[string]int{}
+	total := 0
+	for _, rc := range regions {
+		bySites[rc.Region] = rc.Sites
+		total += rc.Sites
+	}
+	if total != 9 {
+		t.Fatalf("region sites sum to %d", total)
+	}
+	if bySites["Europe"] != 4 || bySites["Asia"] != 3 || bySites["United States"] != 1 || bySites["Middle East"] != 1 {
+		t.Fatalf("region split wrong: %v", bySites)
+	}
+	// Sorted by site count descending.
+	for i := 1; i < len(regions); i++ {
+		if regions[i].Sites > regions[i-1].Sites {
+			t.Fatal("regions not sorted")
+		}
+	}
+}
+
+func TestRegionTableRenders(t *testing.T) {
+	out := RegionTable().Render()
+	for _, want := range []string{"Europe", "Asia", "United States", "Middle East"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("region table missing %s", want)
+		}
+	}
+}
+
+func TestNarrative(t *testing.T) {
+	n := Narrative()
+	for _, want := range []string{
+		"Nine Top500 centers",
+		"production",
+		"Most common capabilities",
+		"Rarest capabilities",
+		"electrical grid integration",
+	} {
+		if !strings.Contains(n, want) {
+			t.Fatalf("narrative missing %q:\n%s", want, n)
+		}
+	}
+}

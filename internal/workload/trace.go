@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/simulator"
+)
+
+// Trace encoding: a line-oriented format modelled on the Standard Workload
+// Format (SWF) used by the parallel workloads archive, extended with the
+// power fields EPA JSRM needs. Columns, whitespace separated:
+//
+//	id submit_sec nodes true_runtime_sec walltime_sec power_per_node_w
+//	mem_frac(0..1) priority user tag [comm_frac(0..1)]
+//
+// The trailing comm_frac column was added in v2; v1 traces (10 columns)
+// decode with CommFrac = 0. Lines starting with ';' are comments (SWF
+// convention).
+
+// WriteTrace encodes jobs to w.
+func WriteTrace(w io.Writer, js []*jobs.Job) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "; epajsrm trace v2")
+	fmt.Fprintln(bw, "; id submit nodes runtime walltime power_w mem_frac prio user tag comm_frac")
+	for _, j := range js {
+		_, err := fmt.Fprintf(bw, "%d %d %d %d %d %.1f %.3f %d %s %s %.3f\n",
+			j.ID, int64(j.Submit), j.Nodes, int64(j.TrueRuntime), int64(j.Walltime),
+			j.PowerPerNodeW, j.MemFrac, j.Priority, orDash(j.User), orDash(j.Tag), j.CommFrac)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func dashEmpty(s string) string {
+	if s == "-" {
+		return ""
+	}
+	return s
+}
+
+// ReadTrace decodes a trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]*jobs.Job, error) {
+	var out []*jobs.Job
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 10 && len(f) != 11 {
+			return nil, fmt.Errorf("workload: trace line %d: want 10 or 11 fields, got %d", lineNo, len(f))
+		}
+		var (
+			j   jobs.Job
+			err error
+		)
+		if j.ID, err = strconv.ParseInt(f[0], 10, 64); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d id: %v", lineNo, err)
+		}
+		submit, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d submit: %v", lineNo, err)
+		}
+		j.Submit = simulator.Time(submit)
+		if j.Nodes, err = strconv.Atoi(f[2]); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d nodes: %v", lineNo, err)
+		}
+		run, err := strconv.ParseInt(f[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d runtime: %v", lineNo, err)
+		}
+		j.TrueRuntime = simulator.Time(run)
+		wall, err := strconv.ParseInt(f[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d walltime: %v", lineNo, err)
+		}
+		j.Walltime = simulator.Time(wall)
+		if j.PowerPerNodeW, err = strconv.ParseFloat(f[5], 64); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d power: %v", lineNo, err)
+		}
+		if j.MemFrac, err = strconv.ParseFloat(f[6], 64); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d mem_frac: %v", lineNo, err)
+		}
+		if j.Priority, err = strconv.Atoi(f[7]); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d priority: %v", lineNo, err)
+		}
+		j.User = dashEmpty(f[8])
+		j.Tag = dashEmpty(f[9])
+		if len(f) == 11 {
+			if j.CommFrac, err = strconv.ParseFloat(f[10], 64); err != nil {
+				return nil, fmt.Errorf("workload: trace line %d comm_frac: %v", lineNo, err)
+			}
+		}
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %v", lineNo, err)
+		}
+		out = append(out, &j)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,264 @@
+// Package workload synthesizes batch workloads with the distributional
+// knobs the survey's Q3 asks sites to describe: job counts and sizes, how
+// long jobs run, queue backlog, throughput, and the capability/capacity
+// mix. Since production traces from the nine centers are not public, the
+// generator is the documented substitution — it is parameterized exactly in
+// Q3's terms so each site profile can state its workload the way the survey
+// answers do.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/simulator"
+	"epajsrm/internal/stats"
+)
+
+// App is one application class. The energy-aware scheduling techniques in
+// the survey hinge on per-application knowledge (LRZ characterizes each new
+// app; tags drive history-based prediction), so jobs carry their app's tag.
+type App struct {
+	Tag      string
+	PowerW   float64 // mean per-node draw at nominal frequency
+	PowerSD  float64 // stddev of per-node draw across runs
+	MemFrac  float64 // non-frequency-scaling fraction of runtime
+	CommFrac float64 // communication-sensitive fraction (topology, Q6)
+	Moldable bool
+}
+
+// DefaultApps returns a small catalog spanning the power/memory spectrum:
+// compute-bound chemistry, memory-bound CFD, communication-heavy climate,
+// bursty data analytics.
+func DefaultApps() []App {
+	return []App{
+		{Tag: "md", PowerW: 340, PowerSD: 15, MemFrac: 0.10, CommFrac: 0.15, Moldable: true},
+		{Tag: "qcd", PowerW: 320, PowerSD: 10, MemFrac: 0.20, CommFrac: 0.45, Moldable: false},
+		{Tag: "cfd", PowerW: 260, PowerSD: 20, MemFrac: 0.55, CommFrac: 0.35, Moldable: true},
+		{Tag: "climate", PowerW: 240, PowerSD: 18, MemFrac: 0.45, CommFrac: 0.50, Moldable: false},
+		{Tag: "genomics", PowerW: 200, PowerSD: 25, MemFrac: 0.65, CommFrac: 0.05, Moldable: true},
+		{Tag: "vis", PowerW: 150, PowerSD: 12, MemFrac: 0.40, CommFrac: 0.10, Moldable: false},
+	}
+}
+
+// Spec describes a workload in Q3 terms.
+type Spec struct {
+	// ArrivalMeanSec is the mean inter-arrival time (Poisson process).
+	ArrivalMeanSec float64
+	// MinNodes/MaxNodes bound job widths; widths are drawn as powers of two
+	// within the bounds (the standard shape of HPC size distributions).
+	MinNodes, MaxNodes int
+	// CapabilityFrac is the fraction of jobs drawn from the wide end (top
+	// quarter of the log2 range) — Q3(d)'s capability vs capacity mix.
+	CapabilityFrac float64
+	// RuntimeMedianSec and RuntimeSigma parameterize the lognormal runtime.
+	RuntimeMedianSec float64
+	RuntimeSigma     float64
+	// WalltimeFactorMax bounds the user's overestimate: walltime is drawn
+	// uniformly in [1, WalltimeFactorMax] x true runtime (Mu'alem &
+	// Feitelson document pervasive overestimation).
+	WalltimeFactorMax float64
+	// Apps is the application mix; nil uses DefaultApps, uniform weights.
+	Apps []App
+	// Users is how many distinct users submit; user i is "u<i>".
+	Users int
+	// PriorityLevels > 1 assigns random priorities in [0, PriorityLevels).
+	PriorityLevels int
+	// DiurnalAmp modulates the arrival rate over the day: 0 disables, 1
+	// makes the 15:00 peak rate ~2x the mean and the 03:00 trough near
+	// zero. Real submission streams are strongly diurnal, which matters to
+	// every policy that shifts load in time (grid-aware, cooling-aware).
+	DiurnalAmp float64
+}
+
+// DefaultSpec returns a medium-pressure workload for a 64-node system:
+// ~45 min median runtime, widths 1-32, 15 % capability jobs.
+func DefaultSpec() Spec {
+	return Spec{
+		ArrivalMeanSec:    600,
+		MinNodes:          1,
+		MaxNodes:          32,
+		CapabilityFrac:    0.15,
+		RuntimeMedianSec:  2700,
+		RuntimeSigma:      1.0,
+		WalltimeFactorMax: 3,
+		Users:             20,
+		PriorityLevels:    1,
+	}
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if s.ArrivalMeanSec <= 0 {
+		return fmt.Errorf("workload: non-positive arrival mean")
+	}
+	if s.MinNodes <= 0 || s.MaxNodes < s.MinNodes {
+		return fmt.Errorf("workload: bad node bounds [%d,%d]", s.MinNodes, s.MaxNodes)
+	}
+	if s.RuntimeMedianSec <= 0 {
+		return fmt.Errorf("workload: non-positive runtime median")
+	}
+	if s.WalltimeFactorMax < 1 {
+		return fmt.Errorf("workload: walltime factor < 1")
+	}
+	if s.CapabilityFrac < 0 || s.CapabilityFrac > 1 {
+		return fmt.Errorf("workload: capability fraction out of [0,1]")
+	}
+	if s.DiurnalAmp < 0 || s.DiurnalAmp > 1 {
+		return fmt.Errorf("workload: diurnal amplitude out of [0,1]")
+	}
+	return nil
+}
+
+// Generator produces jobs from a Spec deterministically from a seed.
+type Generator struct {
+	Spec Spec
+	rng  *simulator.RNG
+	next int64
+	now  float64
+	apps []App
+}
+
+// NewGenerator returns a generator; it panics on an invalid spec so that
+// misconfigured experiments fail loudly.
+func NewGenerator(spec Spec, seed uint64) *Generator {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	apps := spec.Apps
+	if len(apps) == 0 {
+		apps = DefaultApps()
+	}
+	return &Generator{Spec: spec, rng: simulator.NewRNG(seed), apps: apps}
+}
+
+// log2Sizes enumerates the power-of-two widths within the bounds, always
+// including the exact bounds.
+func (g *Generator) log2Sizes() []int {
+	var sizes []int
+	seen := map[int]bool{}
+	add := func(n int) {
+		if n >= g.Spec.MinNodes && n <= g.Spec.MaxNodes && !seen[n] {
+			sizes = append(sizes, n)
+			seen[n] = true
+		}
+	}
+	add(g.Spec.MinNodes)
+	for n := 1; n <= g.Spec.MaxNodes; n *= 2 {
+		add(n)
+	}
+	add(g.Spec.MaxNodes)
+	return sizes
+}
+
+// Next produces the next job in arrival order.
+func (g *Generator) Next() *jobs.Job {
+	s := g.Spec
+	if s.DiurnalAmp > 0 {
+		// Thinned Poisson process: draw candidate arrivals at the peak rate
+		// and accept each with the instantaneous rate fraction. The rate
+		// peaks mid-afternoon (15:00) and troughs at 03:00.
+		peakMean := s.ArrivalMeanSec / (1 + s.DiurnalAmp)
+		for {
+			g.now += g.rng.Exp(peakMean)
+			hour := math.Mod(g.now/3600, 24)
+			rate := 1 + s.DiurnalAmp*math.Sin(2*math.Pi*(hour-9)/24)
+			accept := rate / (1 + s.DiurnalAmp)
+			if g.rng.Float64() < accept {
+				break
+			}
+		}
+	} else {
+		g.now += g.rng.Exp(s.ArrivalMeanSec)
+	}
+	g.next++
+
+	sizes := g.log2Sizes()
+	var width int
+	if g.rng.Float64() < s.CapabilityFrac {
+		// Capability: top quarter of the size list (at least the largest).
+		lo := len(sizes) * 3 / 4
+		if lo >= len(sizes) {
+			lo = len(sizes) - 1
+		}
+		width = sizes[g.rng.Range(lo, len(sizes)-1)]
+	} else {
+		// Capacity: weight small sizes more heavily (inverse width).
+		w := make([]float64, len(sizes))
+		for i, n := range sizes {
+			w[i] = 1 / float64(n)
+		}
+		width = sizes[g.rng.Choice(w)]
+	}
+
+	mu := math.Log(s.RuntimeMedianSec)
+	runSec := g.rng.LogNormal(mu, s.RuntimeSigma)
+	if runSec < 60 {
+		runSec = 60
+	}
+	run := simulator.Time(runSec)
+	wallFactor := 1 + g.rng.Float64()*(s.WalltimeFactorMax-1)
+	wall := simulator.Time(float64(run) * wallFactor)
+
+	app := g.apps[g.rng.Intn(len(g.apps))]
+	pw := g.rng.Normal(app.PowerW, app.PowerSD)
+	if pw < 100 {
+		pw = 100
+	}
+
+	users := s.Users
+	if users <= 0 {
+		users = 1
+	}
+	prio := 0
+	if s.PriorityLevels > 1 {
+		prio = g.rng.Intn(s.PriorityLevels)
+	}
+
+	j := &jobs.Job{
+		ID:            g.next,
+		User:          fmt.Sprintf("u%02d", g.rng.Intn(users)),
+		Project:       fmt.Sprintf("proj%d", g.rng.Intn(8)),
+		Tag:           app.Tag,
+		Nodes:         width,
+		Walltime:      wall,
+		Priority:      prio,
+		Submit:        simulator.Time(g.now),
+		TrueRuntime:   run,
+		PowerPerNodeW: pw,
+		MemFrac:       app.MemFrac,
+		CommFrac:      app.CommFrac,
+	}
+	if app.Moldable && width >= 2 {
+		// Alternative shapes: half and double width with ideal-but-capped
+		// scaling (90 % parallel efficiency per doubling).
+		j.Mold = []jobs.MoldConfig{
+			{Nodes: width, Runtime: run},
+			{Nodes: width / 2, Runtime: simulator.Time(float64(run) * 2 * 0.9)},
+		}
+		if width*2 <= s.MaxNodes {
+			j.Mold = append(j.Mold, jobs.MoldConfig{Nodes: width * 2, Runtime: simulator.Time(float64(run) / 2 / 0.9)})
+		}
+	}
+	return j
+}
+
+// Generate produces n jobs in arrival order.
+func (g *Generator) Generate(n int) []*jobs.Job {
+	out := make([]*jobs.Job, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.Next())
+	}
+	return out
+}
+
+// Stats computes the survey-Q3(e) quantiles of a job set.
+func Stats(js []*jobs.Job) (size, walltime stats.SurveyQuantiles) {
+	var ss, ws stats.Sample
+	for _, j := range js {
+		ss.AddInt(j.Nodes)
+		ws.Add(float64(j.TrueRuntime))
+	}
+	return ss.Q3e(), ws.Q3e()
+}

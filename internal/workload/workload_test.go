@@ -1,0 +1,280 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/simulator"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(DefaultSpec(), 42).Generate(50)
+	b := NewGenerator(DefaultSpec(), 42).Generate(50)
+	for i := range a {
+		if a[i].Nodes != b[i].Nodes || a[i].TrueRuntime != b[i].TrueRuntime ||
+			a[i].Submit != b[i].Submit || a[i].PowerPerNodeW != b[i].PowerPerNodeW {
+			t.Fatalf("job %d differs across identically-seeded generators", i)
+		}
+	}
+	c := NewGenerator(DefaultSpec(), 43).Generate(50)
+	same := 0
+	for i := range a {
+		if a[i].TrueRuntime == c[i].TrueRuntime {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestGeneratedJobsValidate(t *testing.T) {
+	spec := DefaultSpec()
+	for _, j := range NewGenerator(spec, 7).Generate(500) {
+		if err := j.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if j.Nodes < spec.MinNodes || j.Nodes > spec.MaxNodes {
+			t.Fatalf("width %d out of [%d,%d]", j.Nodes, spec.MinNodes, spec.MaxNodes)
+		}
+		if j.Walltime < j.TrueRuntime {
+			t.Fatalf("walltime %d below runtime %d", j.Walltime, j.TrueRuntime)
+		}
+		if float64(j.Walltime) > float64(j.TrueRuntime)*spec.WalltimeFactorMax+1 {
+			t.Fatalf("walltime factor exceeded")
+		}
+	}
+}
+
+func TestArrivalsAreMonotone(t *testing.T) {
+	js := NewGenerator(DefaultSpec(), 3).Generate(200)
+	for i := 1; i < len(js); i++ {
+		if js[i].Submit < js[i-1].Submit {
+			t.Fatal("submissions out of order")
+		}
+	}
+}
+
+func TestArrivalRateRoughlyMatchesSpec(t *testing.T) {
+	spec := DefaultSpec()
+	spec.ArrivalMeanSec = 100
+	js := NewGenerator(spec, 11).Generate(2000)
+	span := float64(js[len(js)-1].Submit - js[0].Submit)
+	mean := span / float64(len(js)-1)
+	if mean < 90 || mean > 110 {
+		t.Fatalf("inter-arrival mean = %.1f, want ~100", mean)
+	}
+}
+
+func TestCapabilityFractionShiftsWidths(t *testing.T) {
+	capSpec := DefaultSpec()
+	capSpec.CapabilityFrac = 0.9
+	capacity := DefaultSpec()
+	capacity.CapabilityFrac = 0.0
+	wide := meanWidth(NewGenerator(capSpec, 5).Generate(500))
+	narrow := meanWidth(NewGenerator(capacity, 5).Generate(500))
+	if wide <= narrow*2 {
+		t.Fatalf("capability mean width %.1f not clearly above capacity %.1f", wide, narrow)
+	}
+}
+
+func meanWidth(js []*jobs.Job) float64 {
+	s := 0.0
+	for _, j := range js {
+		s += float64(j.Nodes)
+	}
+	return s / float64(len(js))
+}
+
+func TestMoldableJobsHaveConsistentConfigs(t *testing.T) {
+	js := NewGenerator(DefaultSpec(), 9).Generate(500)
+	sawMold := false
+	for _, j := range js {
+		for _, m := range j.Mold {
+			sawMold = true
+			if m.Nodes <= 0 || m.Runtime <= 0 {
+				t.Fatal("bad mold config")
+			}
+			// Narrower configs must run longer.
+			if m.Nodes < j.Nodes && m.Runtime <= j.TrueRuntime {
+				t.Fatalf("mold %d nodes runs %v, not longer than %v at %d nodes",
+					m.Nodes, m.Runtime, j.TrueRuntime, j.Nodes)
+			}
+		}
+	}
+	if !sawMold {
+		t.Fatal("default app catalog should yield some moldable jobs")
+	}
+}
+
+func TestStatsQuantiles(t *testing.T) {
+	js := NewGenerator(DefaultSpec(), 13).Generate(1000)
+	size, wall := Stats(js)
+	if size.Min < 1 || size.Max > 32 {
+		t.Fatalf("size quantiles out of spec: %+v", size)
+	}
+	if !(size.P10 <= size.Median && size.Median <= size.P90) {
+		t.Fatalf("size quantiles unordered: %+v", size)
+	}
+	if wall.Min < 60 {
+		t.Fatalf("walltime min %f below floor", wall.Min)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []func(*Spec){
+		func(s *Spec) { s.ArrivalMeanSec = 0 },
+		func(s *Spec) { s.MinNodes = 0 },
+		func(s *Spec) { s.MaxNodes = 0 },
+		func(s *Spec) { s.RuntimeMedianSec = -1 },
+		func(s *Spec) { s.WalltimeFactorMax = 0.5 },
+		func(s *Spec) { s.CapabilityFrac = 2 },
+	}
+	for i, mutate := range bad {
+		s := DefaultSpec()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	js := NewGenerator(DefaultSpec(), 21).Generate(100)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, js); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(js) {
+		t.Fatalf("round trip count %d != %d", len(back), len(js))
+	}
+	for i := range js {
+		a, b := js[i], back[i]
+		if a.ID != b.ID || a.Submit != b.Submit || a.Nodes != b.Nodes ||
+			a.TrueRuntime != b.TrueRuntime || a.Walltime != b.Walltime ||
+			a.User != b.User || a.Tag != b.Tag || a.Priority != b.Priority {
+			t.Fatalf("job %d mismatch: %+v vs %+v", i, a, b)
+		}
+		if a.MemFrac-b.MemFrac > 0.001 || b.MemFrac-a.MemFrac > 0.001 {
+			t.Fatalf("mem frac drift: %f vs %f", a.MemFrac, b.MemFrac)
+		}
+	}
+}
+
+func TestTraceRejectsMalformedLines(t *testing.T) {
+	cases := []string{
+		"1 2 3",                               // too few fields
+		"x 0 4 100 200 300 0.3 0 u tag",       // bad id
+		"1 0 0 100 200 300 0.3 0 u tag",       // zero nodes -> validate fails
+		"1 0 4 100 200 300 nope 0 u tag",      // bad float
+		"1 0 4 100 200 300 0.3 0 u tag extra", // too many fields
+	}
+	for i, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestTraceSkipsCommentsAndBlanks(t *testing.T) {
+	in := "; comment\n\n1 0 4 100 200 300.0 0.300 0 u tag\n"
+	js, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(js) != 1 || js[0].Nodes != 4 {
+		t.Fatalf("got %d jobs", len(js))
+	}
+}
+
+func TestTraceDashMeansEmpty(t *testing.T) {
+	in := "1 0 4 100 200 300.0 0.300 0 - -\n"
+	js, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js[0].User != "" || js[0].Tag != "" {
+		t.Fatalf("dash fields should decode empty, got %q/%q", js[0].User, js[0].Tag)
+	}
+}
+
+func TestGeneratorRuntimeFloor(t *testing.T) {
+	spec := DefaultSpec()
+	spec.RuntimeMedianSec = 61 // drive many samples near the floor
+	spec.RuntimeSigma = 3
+	f := func(seed uint64) bool {
+		js := NewGenerator(spec, seed).Generate(20)
+		for _, j := range js {
+			if j.TrueRuntime < 60 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+	_ = simulator.Time(0)
+}
+
+func TestDiurnalArrivalsPeakInAfternoon(t *testing.T) {
+	spec := DefaultSpec()
+	spec.ArrivalMeanSec = 120
+	spec.DiurnalAmp = 1.0
+	js := NewGenerator(spec, 31).Generate(5000)
+	day := map[int]int{} // submissions per hour of day
+	for _, j := range js {
+		hour := int((j.Submit % simulator.Day) / simulator.Hour)
+		day[hour]++
+	}
+	afternoon := day[14] + day[15] + day[16]
+	night := day[2] + day[3] + day[4]
+	if afternoon < night*3 {
+		t.Fatalf("diurnal pattern weak: afternoon=%d night=%d", afternoon, night)
+	}
+	// Mean rate stays roughly the spec mean.
+	span := float64(js[len(js)-1].Submit-js[0].Submit) / float64(len(js)-1)
+	if span < 90 || span > 150 {
+		t.Fatalf("mean inter-arrival %.1f drifted from 120", span)
+	}
+}
+
+func TestDiurnalValidation(t *testing.T) {
+	s := DefaultSpec()
+	s.DiurnalAmp = 1.5
+	if err := s.Validate(); err == nil {
+		t.Fatal("amplitude > 1 accepted")
+	}
+}
+
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		js := NewGenerator(DefaultSpec(), seed).Generate(n)
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, js); err != nil {
+			return false
+		}
+		back, err := ReadTrace(&buf)
+		if err != nil || len(back) != n {
+			return false
+		}
+		for i := range js {
+			if js[i].Nodes != back[i].Nodes || js[i].TrueRuntime != back[i].TrueRuntime ||
+				js[i].Tag != back[i].Tag {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
