@@ -1,0 +1,24 @@
+# Tier-1 gate: everything a change must pass before it lands.
+# `make check` is the canonical entry point (vet + build + race-enabled
+# tests); CI and reviewers run exactly this.
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .

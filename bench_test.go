@@ -1,7 +1,7 @@
 package epajsrm_test
 
 // The benchmark harness: one testing.B target per paper exhibit (Tables
-// I/II, Figures 1/2), one per validation experiment (E1–E20 in DESIGN.md's
+// I/II, Figures 1/2), one per validation experiment (E1–E21 in DESIGN.md's
 // experiment index), and one per ablation DESIGN.md calls out. Each bench
 // reports its experiment's key shape numbers through b.ReportMetric so
 // `go test -bench=. -benchmem` regenerates the full results table of
@@ -61,7 +61,7 @@ func BenchmarkFigure2(b *testing.B) {
 	}
 }
 
-// -- Validation experiments E1–E20 -------------------------------------------
+// -- Validation experiments E1–E21 -------------------------------------------
 
 func BenchmarkE1StaticCap(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -258,6 +258,17 @@ func BenchmarkE20FairShare(b *testing.B) {
 		if i == 0 {
 			b.ReportMetric(r.Values["light_slow_base"], "light-slowdown-fifo")
 			b.ReportMetric(r.Values["light_slow_fs"], "light-slowdown-fairshare")
+		}
+	}
+}
+
+func BenchmarkE21Resilience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E21Resilience(uint64(i + 1))
+		if i == 0 {
+			b.ReportMetric(r.Values["crashes_high"], "crashes-high")
+			b.ReportMetric(r.Values["requeues_high"], "requeues-high")
+			b.ReportMetric(r.Values["goodput_high"]/r.Values["goodput_base"], "goodput-ratio-high")
 		}
 	}
 }

@@ -1,5 +1,5 @@
 // Command epabench runs the reproduction experiments (T1/T2/F1/F2 exhibits
-// and validation experiments E1–E20 from DESIGN.md) and prints each
+// and validation experiments E1–E21 from DESIGN.md) and prints each
 // result table.
 //
 // Usage:
@@ -57,6 +57,7 @@ func main() {
 		{"E18", func() experiments.Result { return experiments.E18CoolingAware(*seed) }},
 		{"E19", func() experiments.Result { return experiments.E19Monitoring(*seed) }},
 		{"E20", func() experiments.Result { return experiments.E20FairShare(*seed) }},
+		{"E21", func() experiments.Result { return experiments.E21Resilience(*seed) }},
 	}
 	ran := 0
 	for _, mk := range makers {

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	epasim -site kaust [-jobs 200] [-days 7] [-seed 42] [-writetrace file]
+//	epasim -site kaust -mtbf 4 -actfail 0.1   # with fault injection
 //	epasim -list
 package main
 
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"epajsrm/internal/fault"
 	"epajsrm/internal/report"
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/site"
@@ -28,6 +30,12 @@ func main() {
 	seed := flag.Uint64("seed", 42, "deterministic seed")
 	traceOut := flag.String("writetrace", "", "write the generated workload as a trace file")
 	traceIn := flag.String("readtrace", "", "replay a trace file instead of generating a workload")
+	mtbfDays := flag.Float64("mtbf", 0, "per-node mean time between crashes, days (0 = no node faults)")
+	mttrMin := flag.Float64("mttr", 30, "mean node repair time, minutes")
+	sensorMTBFHours := flag.Float64("sensormtbf", 0, "mean time between telemetry outages, hours (0 = none)")
+	sensorMTTRMin := flag.Float64("sensormttr", 10, "mean telemetry outage duration, minutes")
+	stuckProb := flag.Float64("stuckprob", 0.5, "probability a telemetry outage is a stuck sensor")
+	actFail := flag.Float64("actfail", 0, "injected cap-actuation failure probability")
 	flag.Parse()
 
 	if *list {
@@ -88,6 +96,20 @@ func main() {
 		fmt.Printf("wrote %d jobs to %s\n", len(js), *traceOut)
 	}
 
+	prof := fault.Profile{
+		NodeMTBF:          simulator.Time(*mtbfDays * float64(simulator.Day)),
+		NodeMTTR:          simulator.Time(*mttrMin * float64(simulator.Minute)),
+		SensorMTBF:        simulator.Time(*sensorMTBFHours * float64(simulator.Hour)),
+		SensorMTTR:        simulator.Time(*sensorMTTRMin * float64(simulator.Minute)),
+		SensorStuckProb:   *stuckProb,
+		ActuationFailProb: *actFail,
+	}
+	var inj *fault.Injector
+	if !prof.Zero() {
+		inj = fault.New(m, prof, *seed^0xfa)
+		inj.Start()
+	}
+
 	horizon := simulator.Time(*days) * simulator.Day
 	end := m.Run(horizon)
 
@@ -121,6 +143,14 @@ func main() {
 			{"mean IT power (telemetry)", fmt.Sprintf("%.1f kW over %d samples",
 				m.Tel.ITStats.Mean()/1000, m.Tel.ITStats.N())},
 		},
+	}
+	if inj != nil {
+		tbl.Rows = append(tbl.Rows,
+			[]string{"injected faults", inj.Summary()},
+			[]string{"node failures / job requeues", fmt.Sprintf("%d / %d",
+				m.Metrics.NodeFailures, m.Metrics.Requeues)},
+			[]string{"telemetry samples dropped", fmt.Sprint(m.Tel.Dropped)},
+		)
 	}
 	fmt.Println(tbl.Render())
 

@@ -220,15 +220,19 @@ func (c *Cluster) Allocate(jobID int64, count int, now simulator.Time, eligible 
 func (c *Cluster) JobNodes(jobID int64) []*Node { return c.byJob[jobID] }
 
 // Release frees the nodes held by jobID and returns them. Draining nodes
-// move to shutting-down instead of idle.
+// move to shutting-down instead of idle; down nodes stay down — releasing
+// the job of a failed node must not resurrect the hardware.
 func (c *Cluster) Release(jobID int64, now simulator.Time) []*Node {
 	nodes := c.byJob[jobID]
 	delete(c.byJob, jobID)
 	for _, n := range nodes {
 		n.JobID = 0
-		if n.State == StateDraining {
+		switch n.State {
+		case StateDraining:
 			n.setState(StateShuttingDown, now)
-		} else {
+		case StateDown:
+			// Stays down until Repair.
+		default:
 			n.setState(StateIdle, now)
 		}
 	}
@@ -275,9 +279,20 @@ func (c *Cluster) FinishShutdown(n *Node, now simulator.Time) {
 }
 
 // SetDown marks a node failed; any job mapping is left to the caller, which
-// must kill the affected job.
+// must kill or requeue the affected job (see core.Manager.FailNode).
 func (c *Cluster) SetDown(n *Node, now simulator.Time) {
 	n.setState(StateDown, now)
+}
+
+// Repair returns a down node to service (idle). It reports false if the
+// node was not down.
+func (c *Cluster) Repair(n *Node, now simulator.Time) bool {
+	if n.State != StateDown {
+		return false
+	}
+	n.JobID = 0
+	n.setState(StateIdle, now)
+	return true
 }
 
 // Distance returns a simple hierarchical hop distance between two nodes:

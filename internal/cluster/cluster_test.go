@@ -268,3 +268,63 @@ func TestStrategyString(t *testing.T) {
 		t.Fatal("strategy names wrong")
 	}
 }
+
+func TestDownNodeNotAvailable(t *testing.T) {
+	c := New(DefaultConfig())
+	n := c.Nodes[0]
+	c.SetDown(n, 0)
+	if n.Available() {
+		t.Fatal("down node reported available")
+	}
+	// No placement path may hand out a down node.
+	for _, s := range []Strategy{PlaceCompact, PlaceScatter, PlaceFirstFit} {
+		nodes := c.AllocateWith(1, c.Size(), 0, nil, s)
+		if nodes != nil {
+			t.Fatalf("%v allocated the whole machine with a down node", s)
+		}
+		nodes = c.AllocateWith(1, c.Size()-1, 0, nil, s)
+		for _, got := range nodes {
+			if got.ID == n.ID {
+				t.Fatalf("%v placed work on a down node", s)
+			}
+		}
+		c.Release(1, 0)
+	}
+}
+
+func TestReleaseDoesNotResurrectDownNode(t *testing.T) {
+	c := New(DefaultConfig())
+	nodes := c.Allocate(7, 2, 0, nil)
+	if len(nodes) != 2 {
+		t.Fatal("allocation failed")
+	}
+	down := nodes[0]
+	c.SetDown(down, 5)
+	// Releasing the job (its other nodes go idle) must leave the crashed
+	// node down.
+	c.Release(7, 10)
+	if down.State != StateDown {
+		t.Fatalf("release resurrected down node to %v", down.State)
+	}
+	if nodes[1].State != StateIdle {
+		t.Fatalf("healthy node state = %v, want idle", nodes[1].State)
+	}
+}
+
+func TestRepairRoundTrip(t *testing.T) {
+	c := New(DefaultConfig())
+	n := c.Nodes[3]
+	if c.Repair(n, 0) {
+		t.Fatal("repaired a node that was not down")
+	}
+	c.SetDown(n, 0)
+	if !c.Repair(n, 10) {
+		t.Fatal("repair of a down node failed")
+	}
+	if n.State != StateIdle || n.JobID != 0 {
+		t.Fatalf("after repair: state=%v job=%d", n.State, n.JobID)
+	}
+	if !n.Available() {
+		t.Fatal("repaired node should be available")
+	}
+}

@@ -85,7 +85,9 @@ type Node struct {
 // Cores returns the total core count of the node.
 func (n *Node) Cores() int { return n.Sockets * n.CoresPerSocket }
 
-// Available reports whether the node can accept a job right now.
+// Available reports whether the node can accept a job right now. Only an
+// idle, non-maintenance node qualifies — in particular a down (failed) node
+// is never available, which every placement path relies on.
 func (n *Node) Available() bool {
 	return n.State == StateIdle && !n.Maintenance
 }

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/simulator"
+)
+
+func TestNodeFailureRequeuesJob(t *testing.T) {
+	m := newTestManager(t)
+	j := mkJob(1, 4, simulator.Hour)
+	if err := m.Submit(j, 0); err != nil {
+		t.Fatal(err)
+	}
+	var failedOn string
+	var requeuedFlag bool
+	m.OnNodeFailure(func(_ *Manager, fj *jobs.Job, n *cluster.Node, requeued bool) {
+		if fj.ID != j.ID {
+			return
+		}
+		failedOn = n.Name
+		requeuedFlag = requeued
+		// The hook fires before the job re-enters the queue (it may restart
+		// immediately on the surviving nodes).
+		if fj.State != jobs.StateQueued {
+			t.Errorf("job state in failure hook = %v, want queued", fj.State)
+		}
+		if fj.WorkDone != 0 {
+			t.Errorf("crash preserved WorkDone = %f; crashes have no checkpoint", fj.WorkDone)
+		}
+	})
+	// Crash one of the job's nodes mid-run.
+	m.Eng.After(30*simulator.Minute, "crash", func(now simulator.Time) {
+		target := m.Cl.Nodes[0]
+		if target.JobID != j.ID {
+			t.Errorf("node 0 not running job 1 (job=%d)", target.JobID)
+		}
+		if !m.FailNode(0, now) {
+			t.Error("FailNode refused a busy node")
+		}
+	})
+	m.Run(-1)
+	if j.State != jobs.StateCompleted {
+		t.Fatalf("state = %v, want completed after requeue", j.State)
+	}
+	if j.Requeues != 1 {
+		t.Fatalf("requeues = %d, want 1", j.Requeues)
+	}
+	if m.Metrics.NodeFailures != 1 || m.Metrics.Requeues != 1 {
+		t.Fatalf("metrics failures/requeues = %d/%d", m.Metrics.NodeFailures, m.Metrics.Requeues)
+	}
+	if failedOn == "" || !requeuedFlag {
+		t.Fatalf("failure hook: node=%q requeued=%v", failedOn, requeuedFlag)
+	}
+	// The restarted run must not reuse the down node.
+	if m.Cl.Nodes[0].State != cluster.StateDown {
+		t.Fatalf("node 0 state = %v, want down", m.Cl.Nodes[0].State)
+	}
+	// Completed exactly once despite the restart.
+	if m.Metrics.Completed != 1 {
+		t.Fatalf("completed = %d", m.Metrics.Completed)
+	}
+}
+
+func TestNodeFailureKillsAfterRequeueLimit(t *testing.T) {
+	m := newTestManager(t)
+	m.MaxRequeues = 1
+	j := mkJob(1, 2, simulator.Hour)
+	if err := m.Submit(j, 0); err != nil {
+		t.Fatal(err)
+	}
+	var outcomes []bool
+	m.OnNodeFailure(func(_ *Manager, _ *jobs.Job, _ *cluster.Node, requeued bool) {
+		outcomes = append(outcomes, requeued)
+	})
+	// Crash whichever node the job occupies, repeatedly, shortly after each
+	// (re)start.
+	crash := func(now simulator.Time) {
+		for _, n := range m.Cl.Nodes {
+			if n.JobID == j.ID {
+				m.FailNode(n.ID, now)
+				return
+			}
+		}
+	}
+	m.Eng.After(10*simulator.Minute, "crash1", crash)
+	m.Eng.After(20*simulator.Minute, "crash2", crash)
+	m.Run(-1)
+	if j.State != jobs.StateKilled {
+		t.Fatalf("state = %v, want killed after exhausting requeues", j.State)
+	}
+	if j.Requeues != 1 {
+		t.Fatalf("requeues = %d, want 1", j.Requeues)
+	}
+	if !strings.Contains(j.KillReason, "requeue limit") {
+		t.Fatalf("kill reason = %q", j.KillReason)
+	}
+	if len(outcomes) != 2 || !outcomes[0] || outcomes[1] {
+		t.Fatalf("failure hook outcomes = %v, want [true false]", outcomes)
+	}
+	if m.Metrics.Killed != 1 || m.Metrics.Requeues != 1 || m.Metrics.NodeFailures != 2 {
+		t.Fatalf("metrics killed/requeues/failures = %d/%d/%d",
+			m.Metrics.Killed, m.Metrics.Requeues, m.Metrics.NodeFailures)
+	}
+}
+
+func TestFailureHooksFireBeforeEndHooks(t *testing.T) {
+	m := newTestManager(t)
+	m.MaxRequeues = 0 // first failure kills
+	j := mkJob(1, 2, simulator.Hour)
+	if err := m.Submit(j, 0); err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	m.OnNodeFailure(func(_ *Manager, _ *jobs.Job, _ *cluster.Node, requeued bool) {
+		if requeued {
+			t.Error("MaxRequeues=0 job reported as requeued")
+		}
+		order = append(order, "failure")
+	})
+	m.OnJobEnd(func(_ *Manager, _ *jobs.Job) {
+		order = append(order, "end")
+	})
+	m.Eng.After(10*simulator.Minute, "crash", func(now simulator.Time) {
+		m.FailNode(0, now)
+	})
+	m.Run(-1)
+	if len(order) != 2 || order[0] != "failure" || order[1] != "end" {
+		t.Fatalf("hook order = %v, want [failure end]", order)
+	}
+	if j.State != jobs.StateKilled {
+		t.Fatalf("state = %v", j.State)
+	}
+}
+
+func TestFailNodeValidation(t *testing.T) {
+	m := newTestManager(t)
+	if m.FailNode(-1, 0) || m.FailNode(m.Cl.Size(), 0) {
+		t.Fatal("out-of-range node failed")
+	}
+	if !m.FailNode(0, 0) {
+		t.Fatal("first failure refused")
+	}
+	if m.FailNode(0, 0) {
+		t.Fatal("double failure of a down node accepted")
+	}
+	if m.RepairNode(0, 10) != true {
+		t.Fatal("repair refused")
+	}
+	if m.RepairNode(0, 10) {
+		t.Fatal("repair of an up node accepted")
+	}
+	if m.Cl.Nodes[0].State != cluster.StateIdle {
+		t.Fatalf("state after repair = %v", m.Cl.Nodes[0].State)
+	}
+}
+
+func TestIdleNodeFailureAndRepairKeepsScheduling(t *testing.T) {
+	// Failing idle nodes shrinks capacity; a job wider than the remaining
+	// machine must wait for repair, then start.
+	m := newTestManager(t)
+	for i := 0; i < 4; i++ {
+		m.FailNode(i, 0)
+	}
+	j := mkJob(1, m.Cl.Size(), simulator.Hour) // needs the whole machine
+	if err := m.Submit(j, 10); err != nil {
+		t.Fatal(err)
+	}
+	m.Eng.After(2*simulator.Hour, "repair", func(now simulator.Time) {
+		for i := 0; i < 4; i++ {
+			m.RepairNode(i, now)
+		}
+	})
+	m.Run(-1)
+	if j.State != jobs.StateCompleted {
+		t.Fatalf("state = %v", j.State)
+	}
+	if j.Start < 2*simulator.Hour {
+		t.Fatalf("job started at %v with nodes still down", j.Start)
+	}
+}

@@ -52,16 +52,23 @@ type StartHook func(m *Manager, j *jobs.Job, nodes []*cluster.Node)
 // EndHook observes a job end (completion or kill), after energy metering.
 type EndHook func(m *Manager, j *jobs.Job)
 
+// FailureHook observes a job losing node n to a failure. requeued reports
+// the outcome: true means the job went back to the queue, false means the
+// requeue budget was exhausted and the job was killed (end hooks fire
+// after the failure hooks in that case).
+type FailureHook func(m *Manager, j *jobs.Job, n *cluster.Node, requeued bool)
+
 // hooks collects everything policies registered.
 type hooks struct {
-	admit   []AdmitFunc
-	gates   []StartGateFunc
-	filters []NodeFilterFunc
-	shapers []ShapeFunc
-	freqs   []FreqFunc
-	placers []PlaceFunc
-	starts  []StartHook
-	ends    []EndHook
+	admit    []AdmitFunc
+	gates    []StartGateFunc
+	filters  []NodeFilterFunc
+	shapers  []ShapeFunc
+	freqs    []FreqFunc
+	placers  []PlaceFunc
+	starts   []StartHook
+	ends     []EndHook
+	failures []FailureHook
 }
 
 // OnAdmit registers an admission hook.
@@ -87,6 +94,10 @@ func (m *Manager) OnJobStart(f StartHook) { m.hooks.starts = append(m.hooks.star
 
 // OnJobEnd registers an end observer.
 func (m *Manager) OnJobEnd(f EndHook) { m.hooks.ends = append(m.hooks.ends, f) }
+
+// OnNodeFailure registers an observer for jobs that lose a node to a
+// failure (requeue or kill).
+func (m *Manager) OnNodeFailure(f FailureHook) { m.hooks.failures = append(m.hooks.failures, f) }
 
 func (m *Manager) nodeEligible(j *jobs.Job, n *cluster.Node) bool {
 	for _, f := range m.hooks.filters {

@@ -56,6 +56,12 @@ type Manager struct {
 	// topology-aware allocation exists to shrink this term.
 	TopoPenaltyPerHop float64
 
+	// MaxRequeues bounds how many times a job that loses a node to a
+	// failure is returned to the queue before it is killed instead. Crashed
+	// jobs restart from scratch (no checkpoint), so an unbounded requeue
+	// policy would let a flaky node burn node-hours forever.
+	MaxRequeues int
+
 	policies []Policy
 	hooks    hooks
 
@@ -112,7 +118,12 @@ func NewManager(opt Options) *Manager {
 	}
 	m.PowerEstimator = func(j *jobs.Job) float64 { return j.PowerPerNodeW }
 	m.TopoPenaltyPerHop = 0.05
+	m.MaxRequeues = 2
 	m.Tel = power.NewTelemetry(pw, opt.Facility, opt.Telemetry, 0).Start(eng)
+	// Cap actuations that succeed only after asynchronous retries change
+	// job frequencies outside any policy's control flow; the controller
+	// calls back so running jobs are re-timed at the new rate.
+	m.Ctrl.OnDeferredApply = func(now simulator.Time) { m.RetimeAll(now) }
 	m.Metrics.lastT = 0
 	return m
 }
@@ -446,6 +457,88 @@ func (m *Manager) PreemptJob(id int64, now simulator.Time) bool {
 	m.Queue.Push(j)
 	m.TrySchedule(now)
 	return true
+}
+
+// FailNode transitions a node to down — a crash, not an administrative
+// drain. A job running on the node loses the node immediately: it is
+// requeued from scratch while it has requeue budget left (MaxRequeues) and
+// killed once the budget is exhausted, with the reason recorded. Returns
+// false if the node is already down. Repair brings the node back.
+func (m *Manager) FailNode(id int, now simulator.Time) bool {
+	if id < 0 || id >= m.Cl.Size() {
+		return false
+	}
+	n := m.Cl.Nodes[id]
+	if n.State == cluster.StateDown {
+		return false
+	}
+	jobID := n.JobID
+	m.Cl.SetDown(n, now)
+	m.Pw.RefreshNode(now, n)
+	m.Metrics.NodeFailures++
+	if jobID != 0 {
+		m.failJob(jobID, n, now)
+	}
+	m.TrySchedule(now)
+	return true
+}
+
+// RepairNode returns a down node to service and immediately offers it to
+// the queue. Returns false if the node was not down.
+func (m *Manager) RepairNode(id int, now simulator.Time) bool {
+	if id < 0 || id >= m.Cl.Size() {
+		return false
+	}
+	n := m.Cl.Nodes[id]
+	if !m.Cl.Repair(n, now) {
+		return false
+	}
+	m.Pw.RefreshNode(now, n)
+	m.TrySchedule(now)
+	return true
+}
+
+// failJob handles a running job that just lost node `failed`: release its
+// placement (the failed node stays down), then requeue or kill. Unlike
+// PreemptJob there is no checkpoint — a crash discards all progress.
+func (m *Manager) failJob(id int64, failed *cluster.Node, now simulator.Time) {
+	r := m.runningJobs[id]
+	if r == nil {
+		return
+	}
+	if r.finish != nil {
+		r.finish.Cancel()
+	}
+	delete(m.runningJobs, id)
+	j := r.job
+	m.Pw.EndJob(now, id, r.nodes)
+	released := m.Cl.Release(id, now)
+	m.finishDrains(released, now)
+	m.Metrics.noteRelease(now, len(r.nodes), m.Cl.Size())
+	if j.Requeues < m.MaxRequeues {
+		j.Requeues++
+		j.State = jobs.StateQueued
+		// The work is lost, not checkpointed: the job restarts from zero
+		// and may be reshaped again at its next start.
+		j.WorkDone = 0
+		m.Metrics.Requeues++
+		for _, h := range m.hooks.failures {
+			h(m, j, failed, true)
+		}
+		m.Queue.Push(j)
+		return
+	}
+	j.State = jobs.StateKilled
+	j.KillReason = fmt.Sprintf("node failure on %s: requeue limit %d exhausted", failed.Name, m.MaxRequeues)
+	j.End = now
+	j.EnergyJ = m.Pw.JobEnergy(id)
+	m.Metrics.noteKill(j)
+	for _, h := range m.hooks.failures {
+		h(m, j, failed, false)
+	}
+	for _, h := range m.hooks.ends {
+		h(m, j)
+	}
 }
 
 // finishDrains completes the shutdown of nodes that were released in

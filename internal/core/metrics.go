@@ -18,6 +18,11 @@ type Metrics struct {
 	Cancelled   int
 	Preemptions int
 
+	// NodeFailures counts node crashes (FailNode calls that found the node
+	// up); Requeues counts jobs returned to the queue after losing a node.
+	NodeFailures int
+	Requeues     int
+
 	Waits      stats.Sample // seconds
 	Slowdowns  stats.Sample // bounded slowdown
 	RunSizes   stats.Sample // nodes, completed jobs

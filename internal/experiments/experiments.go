@@ -131,5 +131,6 @@ func All(seed uint64) []Result {
 		E18CoolingAware(seed),
 		E19Monitoring(seed),
 		E20FairShare(seed),
+		E21Resilience(seed),
 	}
 }

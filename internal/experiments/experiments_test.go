@@ -211,8 +211,8 @@ func TestAllRunsEveryExperiment(t *testing.T) {
 		t.Skip("full suite in short mode")
 	}
 	rs := All(1)
-	if len(rs) != 24 {
-		t.Fatalf("results = %d, want 24", len(rs))
+	if len(rs) != 25 {
+		t.Fatalf("results = %d, want 25", len(rs))
 	}
 	ids := map[string]bool{}
 	for _, r := range rs {

@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+func TestE21ZeroFaultReproducesBaseline(t *testing.T) {
+	r := E21Resilience(3)
+	if r.Values["goodput_zero"] != r.Values["goodput_base"] {
+		t.Fatalf("zero-fault goodput %f != baseline %f",
+			r.Values["goodput_zero"], r.Values["goodput_base"])
+	}
+	if r.Values["viol_zero"] != r.Values["viol_base"] {
+		t.Fatalf("zero-fault cap violation %f != baseline %f",
+			r.Values["viol_zero"], r.Values["viol_base"])
+	}
+	if r.Values["crashes_zero"] != 0 || r.Values["requeues_zero"] != 0 {
+		t.Fatal("zero-fault level injected faults")
+	}
+}
+
+func TestE21FaultShapes(t *testing.T) {
+	r := E21Resilience(3)
+	if r.Values["crashes_moderate"] <= 0 {
+		t.Fatal("moderate profile produced no crashes")
+	}
+	if r.Values["crashes_high"] <= r.Values["crashes_moderate"] {
+		t.Fatalf("crashes did not grow with fault rate: moderate=%f high=%f",
+			r.Values["crashes_moderate"], r.Values["crashes_high"])
+	}
+	if r.Values["requeues_high"] <= 0 {
+		t.Fatal("high fault rate produced no requeues")
+	}
+	if r.Values["goodput_high"] >= r.Values["goodput_base"] {
+		t.Fatalf("goodput did not degrade under heavy faults: base=%f high=%f",
+			r.Values["goodput_base"], r.Values["goodput_high"])
+	}
+}
+
+func TestE21Deterministic(t *testing.T) {
+	a := E21Resilience(9)
+	b := E21Resilience(9)
+	if a.Render() != b.Render() {
+		t.Fatalf("same seed rendered differently:\n%s\n---\n%s", a.Render(), b.Render())
+	}
+	for k, v := range a.Values {
+		if b.Values[k] != v {
+			t.Fatalf("value %q differs: %f vs %f", k, v, b.Values[k])
+		}
+	}
+	c := E21Resilience(10)
+	if a.Render() == c.Render() {
+		t.Fatal("different seeds produced identical exhibits")
+	}
+}

@@ -1,0 +1,170 @@
+// Package fault injects the failures a production EPA JSRM stack must
+// survive: node crashes (with repair), power-telemetry dropout and
+// stuck-sensor windows, and out-of-band cap-actuation failures. The survey
+// sites run their energy/power machinery on real hardware where every one
+// of these happens routinely; a control loop evaluated only on a perfect
+// substrate overstates what the policies deliver.
+//
+// The injector is deterministic: all draws come from RNG streams split off
+// one seed, one independent stream per fault class, so the same seed gives
+// byte-identical fault schedules and a zero-rate profile leaves the
+// simulation untouched (no stream is ever advanced for a disabled class).
+package fault
+
+import (
+	"fmt"
+
+	"epajsrm/internal/core"
+	"epajsrm/internal/simulator"
+)
+
+// Profile sets the fault rates. Zero values disable each class, so the
+// zero Profile is a perfectly reliable machine.
+type Profile struct {
+	// NodeMTBF is the per-node mean time between crashes (exponential);
+	// 0 disables node failures. NodeMTTR is the mean repair time
+	// (exponential, floor 1 s); 0 with a nonzero MTBF means crashed nodes
+	// never come back.
+	NodeMTBF simulator.Time
+	NodeMTTR simulator.Time
+
+	// SensorMTBF is the mean time between telemetry outages; SensorMTTR the
+	// mean outage duration. SensorStuckProb is the probability a given
+	// outage is a stuck sensor (repeats the last good reading) rather than
+	// silent dropout.
+	SensorMTBF      simulator.Time
+	SensorMTTR      simulator.Time
+	SensorStuckProb float64
+
+	// ActuationFailProb is the per-actuation failure probability injected
+	// into the power controller (see power.Controller.FaultProb).
+	ActuationFailProb float64
+}
+
+// Zero reports whether the profile disables every fault class.
+func (p Profile) Zero() bool {
+	return p.NodeMTBF <= 0 && p.SensorMTBF <= 0 && p.ActuationFailProb <= 0
+}
+
+// Injector drives faults into a manager's control loop from deterministic
+// RNG streams. Create with New, then call Start before running the engine.
+type Injector struct {
+	M    *core.Manager
+	Prof Profile
+
+	// Counters for experiments and reports.
+	Crashes       int
+	Repairs       int
+	SensorOutages int
+
+	// Trace logs every injected event ("t=... crash node-7") in order, for
+	// determinism checks and debugging.
+	Trace []string
+
+	nodeRNG   *simulator.RNG
+	sensorRNG *simulator.RNG
+	actRNG    *simulator.RNG
+
+	started bool
+}
+
+// New builds an injector over m with its own RNG lineage from seed; the
+// manager's streams are never touched, so attaching an injector does not
+// perturb an otherwise identical run.
+func New(m *core.Manager, prof Profile, seed uint64) *Injector {
+	root := simulator.NewRNG(seed)
+	return &Injector{
+		M:         m,
+		Prof:      prof,
+		nodeRNG:   root.Split(),
+		sensorRNG: root.Split(),
+		actRNG:    root.Split(),
+	}
+}
+
+func (in *Injector) trace(now simulator.Time, format string, args ...any) {
+	in.Trace = append(in.Trace, fmt.Sprintf("t=%s ", now.String())+fmt.Sprintf(format, args...))
+}
+
+// Start schedules the fault processes on the manager's engine. All events
+// are daemon events: an injector never keeps an otherwise-drained run
+// alive. Start is idempotent.
+func (in *Injector) Start() {
+	if in.started {
+		return
+	}
+	in.started = true
+	if in.Prof.NodeMTBF > 0 {
+		for _, n := range in.M.Cl.Nodes {
+			in.scheduleCrash(n.ID)
+		}
+	}
+	if in.Prof.SensorMTBF > 0 {
+		in.scheduleOutage()
+	}
+	if in.Prof.ActuationFailProb > 0 {
+		in.M.Ctrl.FaultProb = in.Prof.ActuationFailProb
+		in.M.Ctrl.FaultRNG = in.actRNG
+	}
+}
+
+// scheduleCrash arms node id's next crash Exp(MTBF) from now.
+func (in *Injector) scheduleCrash(id int) {
+	d := simulator.Time(in.nodeRNG.Exp(float64(in.Prof.NodeMTBF)))
+	in.M.Eng.AfterDaemon(d, "fault-crash", func(now simulator.Time) {
+		in.crash(id, now)
+	})
+}
+
+func (in *Injector) crash(id int, now simulator.Time) {
+	if in.M.FailNode(id, now) {
+		in.Crashes++
+		in.trace(now, "crash %s", in.M.Cl.Nodes[id].Name)
+	}
+	if in.Prof.NodeMTTR <= 0 {
+		return // never repaired; this node's fault process ends here
+	}
+	r := simulator.Time(in.nodeRNG.Exp(float64(in.Prof.NodeMTTR)))
+	if r < simulator.Second {
+		r = simulator.Second
+	}
+	in.M.Eng.AfterDaemon(r, "fault-repair", func(t simulator.Time) {
+		if in.M.RepairNode(id, t) {
+			in.Repairs++
+			in.trace(t, "repair %s", in.M.Cl.Nodes[id].Name)
+		}
+		in.scheduleCrash(id)
+	})
+}
+
+// scheduleOutage arms the next telemetry outage Exp(SensorMTBF) from now.
+func (in *Injector) scheduleOutage() {
+	d := simulator.Time(in.sensorRNG.Exp(float64(in.Prof.SensorMTBF)))
+	in.M.Eng.AfterDaemon(d, "fault-sensor-down", func(now simulator.Time) {
+		stuck := in.Prof.SensorStuckProb > 0 &&
+			in.sensorRNG.Float64() < in.Prof.SensorStuckProb
+		in.M.Tel.SetOutage(true, stuck)
+		in.SensorOutages++
+		kind := "dropout"
+		if stuck {
+			kind = "stuck"
+		}
+		in.trace(now, "sensor outage (%s)", kind)
+		dur := simulator.Time(in.sensorRNG.Exp(float64(in.Prof.SensorMTTR)))
+		if dur < simulator.Second {
+			dur = simulator.Second
+		}
+		in.M.Eng.AfterDaemon(dur, "fault-sensor-up", func(t simulator.Time) {
+			in.M.Tel.SetOutage(false, false)
+			in.trace(t, "sensor restored")
+			in.scheduleOutage()
+		})
+	})
+}
+
+// Summary renders a one-line digest of everything injected.
+func (in *Injector) Summary() string {
+	return fmt.Sprintf("crashes=%d repairs=%d sensor-outages=%d act-fail=%d act-retry=%d act-abandon=%d",
+		in.Crashes, in.Repairs, in.SensorOutages,
+		in.M.Ctrl.ActuationFailures, in.M.Ctrl.ActuationRetries, in.M.Ctrl.ActuationAbandoned)
+}

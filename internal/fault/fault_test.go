@@ -1,0 +1,125 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/core"
+	"epajsrm/internal/sched"
+	"epajsrm/internal/simulator"
+	"epajsrm/internal/workload"
+)
+
+// moderate is a fault profile aggressive enough to exercise every class in
+// a short run.
+var moderate = Profile{
+	NodeMTBF:          2 * simulator.Day,
+	NodeMTTR:          30 * simulator.Minute,
+	SensorMTBF:        12 * simulator.Hour,
+	SensorMTTR:        10 * simulator.Minute,
+	SensorStuckProb:   0.5,
+	ActuationFailProb: 0.2,
+}
+
+// run executes a fixed workload under prof and returns a fingerprint of
+// everything observable: the injector trace, its counters, and the
+// manager's outcome metrics.
+func run(t *testing.T, seed uint64, prof Profile, inject bool) (string, *core.Manager) {
+	t.Helper()
+	m := core.NewManager(core.Options{
+		Cluster:   cluster.DefaultConfig(),
+		Scheduler: sched.EASY{},
+		Seed:      seed,
+	})
+	js := workload.NewGenerator(workload.DefaultSpec(), seed+101).Generate(120)
+	for _, j := range js {
+		if err := m.Submit(j, j.Submit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var in *Injector
+	if inject {
+		in = New(m, prof, seed^0xfa0175)
+		in.Start()
+	}
+	m.Run(20 * simulator.Day)
+	fp := fmt.Sprintf("completed=%d killed=%d failures=%d requeues=%d waitsum=%.6f energy=%.3f",
+		m.Metrics.Completed, m.Metrics.Killed,
+		m.Metrics.NodeFailures, m.Metrics.Requeues,
+		m.Metrics.Waits.Sum(), m.Pw.TotalEnergy())
+	if in != nil {
+		fp += "\n" + in.Summary() + "\n" + strings.Join(in.Trace, "\n")
+	}
+	return fp, m
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	a, _ := run(t, 42, moderate, true)
+	b, _ := run(t, 42, moderate, true)
+	if a != b {
+		t.Fatalf("same seed diverged:\n--- run1 ---\n%s\n--- run2 ---\n%s", a, b)
+	}
+	c, _ := run(t, 43, moderate, true)
+	if a == c {
+		t.Fatal("different seeds produced identical traces and metrics")
+	}
+	if !strings.Contains(a, "crash") || !strings.Contains(a, "repair") || !strings.Contains(a, "sensor outage") {
+		t.Fatalf("moderate profile exercised too little:\n%s", a)
+	}
+}
+
+func TestZeroProfileLeavesRunUntouched(t *testing.T) {
+	base, _ := run(t, 7, Profile{}, false)
+	zero, mz := run(t, 7, Profile{}, true)
+	// The injector line is empty for a zero profile; strip it.
+	zeroHead := strings.SplitN(zero, "\n", 2)[0]
+	if base != zeroHead {
+		t.Fatalf("zero-profile injector perturbed the run:\nbase: %s\nzero: %s", base, zeroHead)
+	}
+	if mz.Metrics.NodeFailures != 0 || mz.Ctrl.ActuationFailures != 0 {
+		t.Fatal("zero profile injected faults")
+	}
+}
+
+func TestInjectorCountsAndRepairs(t *testing.T) {
+	fp, m := run(t, 11, moderate, true)
+	if m.Metrics.NodeFailures == 0 {
+		t.Fatalf("no node failures under moderate profile:\n%s", fp)
+	}
+	down := 0
+	for _, n := range m.Cl.Nodes {
+		if n.State == cluster.StateDown {
+			down++
+		}
+	}
+	// With MTTR 30 min against MTBF 2 days, most of the machine must be up.
+	if down > m.Cl.Size()/4 {
+		t.Fatalf("%d/%d nodes down at end of run", down, m.Cl.Size())
+	}
+}
+
+func TestInjectorStartIdempotent(t *testing.T) {
+	m := core.NewManager(core.Options{
+		Cluster:   cluster.DefaultConfig(),
+		Scheduler: sched.EASY{},
+		Seed:      1,
+	})
+	in := New(m, moderate, 5)
+	in.Start()
+	pending := m.Eng.Pending()
+	in.Start()
+	if m.Eng.Pending() != pending {
+		t.Fatal("double Start scheduled duplicate fault processes")
+	}
+}
+
+func TestProfileZero(t *testing.T) {
+	if !(Profile{}).Zero() {
+		t.Fatal("empty profile not Zero")
+	}
+	if moderate.Zero() {
+		t.Fatal("moderate profile reported Zero")
+	}
+}

@@ -85,6 +85,9 @@ type Job struct {
 	FreqFrac   float64 // frequency assigned at start (1 = nominal)
 	EnergyJ    float64 // metered energy, filled at end (post-job reports)
 	KillReason string
+	// Requeues counts how many times the job was returned to the queue
+	// after losing a node to a failure; core.Manager.MaxRequeues bounds it.
+	Requeues int
 
 	// WorkDone tracks progress in nominal-frequency seconds, so that
 	// mid-flight frequency changes (dynamic caps, power sharing) re-time the

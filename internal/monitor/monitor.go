@@ -192,6 +192,13 @@ type Collector struct {
 	pdus   []*Channel
 	system *Channel
 
+	// Dropped counts sampling instants lost to an outage window.
+	Dropped int
+
+	outage   bool
+	lastGood simulator.Time
+	haveGood bool
+
 	subs []subscription
 	stop func()
 }
@@ -248,11 +255,34 @@ func (c *Collector) Start(eng *simulator.Engine) *Collector {
 	return c
 }
 
-// Stop halts sampling.
+// Stop halts sampling. It is idempotent and safe to call before Start.
 func (c *Collector) Stop() {
 	if c.stop != nil {
 		c.stop()
+		c.stop = nil
 	}
+}
+
+// SetOutage begins or ends a collector outage window (the whole telemetry
+// path down, e.g. a management-network partition). During an outage the
+// physics still advances but nothing is archived and no alert subscription
+// fires, so consumers must use Stale to notice the silence.
+func (c *Collector) SetOutage(on bool) { c.outage = on }
+
+// OutageActive reports whether an outage window is in effect.
+func (c *Collector) OutageActive() bool { return c.outage }
+
+// Stale reports whether the collector's last archived hierarchy sample is
+// older than threshold at time now; threshold <= 0 means three sampling
+// periods.
+func (c *Collector) Stale(now, threshold simulator.Time) bool {
+	if threshold <= 0 {
+		threshold = 3 * c.Period
+	}
+	if !c.haveGood {
+		return now > threshold
+	}
+	return now-c.lastGood > threshold
 }
 
 // SampleNow takes one full hierarchy sample immediately.
@@ -261,6 +291,12 @@ func (c *Collector) SampleNow(now simulator.Time) {
 	if c.Thermal != nil {
 		c.Thermal.Advance(now)
 	}
+	if c.outage {
+		c.Dropped++
+		return
+	}
+	c.lastGood = now
+	c.haveGood = true
 	rackW := make([]float64, c.Cl.Racks)
 	pduW := make([]float64, c.Cl.PDUs)
 	total := 0.0

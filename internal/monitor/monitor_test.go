@@ -204,3 +204,65 @@ func TestCollectorAdvancesThermal(t *testing.T) {
 		t.Fatalf("busy node temp %f barely above idle %f after an hour", temp, idle)
 	}
 }
+
+func TestCollectorStopIdempotentAndBeforeStart(t *testing.T) {
+	c, eng, _, _ := newCollector(t, Options{Period: 10 * simulator.Second})
+	c.Stop() // never started: must not panic
+	c.Stop()
+	c.Start(eng)
+	eng.RunUntil(50)
+	got := len(c.Channel(LevelSystem, 0).raw.all())
+	c.Stop()
+	c.Stop()
+	eng.RunUntil(200)
+	if n := len(c.Channel(LevelSystem, 0).raw.all()); n != got {
+		t.Fatalf("samples after Stop: %d -> %d", got, n)
+	}
+}
+
+func TestCollectorOutageAndStaleness(t *testing.T) {
+	c, eng, _, _ := newCollector(t, Options{Period: 10 * simulator.Second})
+	c.Start(eng)
+	eng.RunUntil(30)
+	if c.Stale(eng.Now(), 0) {
+		t.Fatal("fresh collector reported stale")
+	}
+	before := len(c.Channel(LevelSystem, 0).raw.all())
+	c.SetOutage(true)
+	eng.RunUntil(70)
+	if n := len(c.Channel(LevelSystem, 0).raw.all()); n != before {
+		t.Fatalf("outage archived samples: %d -> %d", before, n)
+	}
+	if c.Dropped != 4 {
+		t.Fatalf("Dropped = %d, want 4", c.Dropped)
+	}
+	// Last archived sample at t=30; default threshold 3*10s.
+	if !c.Stale(eng.Now(), 0) {
+		t.Fatal("collector should be stale during a long outage")
+	}
+	c.SetOutage(false)
+	eng.RunUntil(80)
+	if c.Stale(eng.Now(), 0) {
+		t.Fatal("collector still stale after recovery")
+	}
+	if n := len(c.Channel(LevelSystem, 0).raw.all()); n != before+1 {
+		t.Fatalf("recovery sample missing: %d", n)
+	}
+}
+
+func TestCollectorOutageSuppressesAlerts(t *testing.T) {
+	c, eng, _, _ := newCollector(t, Options{Period: 10 * simulator.Second})
+	fired := 0
+	c.Subscribe(LevelSystem, 0, 1, func(Alert) { fired++ }) // 1 W: always over
+	c.SetOutage(true)
+	c.Start(eng)
+	eng.RunUntil(100)
+	if fired != 0 {
+		t.Fatalf("alerts fired %d times during outage", fired)
+	}
+	c.SetOutage(false)
+	eng.RunUntil(120)
+	if fired == 0 {
+		t.Fatal("alerts did not resume after outage")
+	}
+}

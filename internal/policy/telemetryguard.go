@@ -1,0 +1,114 @@
+package policy
+
+import (
+	"fmt"
+
+	"epajsrm/internal/core"
+	"epajsrm/internal/simulator"
+)
+
+// TelemetryGuard is the graceful-degradation rule every power-aware policy
+// needs under sensor failure: when the power telemetry goes stale (dropout
+// or a stuck sensor — detected by the age of the last genuine sample, see
+// power.Telemetry.Stale), the site cannot trust its readings, so the guard
+// falls back to a conservative static node cap that is safe open-loop.
+// When genuine samples resume, the previous per-node caps are restored and
+// the dynamic policies take over again.
+//
+// This mirrors how production sites run capping: closed-loop optimisation
+// rides on the monitoring plane, and losing the monitoring plane must fail
+// safe (toward less power), never open (toward the breaker limit).
+type TelemetryGuard struct {
+	// StaleAfter is the sample age that triggers degradation; 0 means the
+	// telemetry default (three sampling periods).
+	StaleAfter simulator.Time
+	// FallbackCapW is the conservative static node cap applied while
+	// degraded. Nodes already capped at or below it keep their cap.
+	FallbackCapW float64
+	// Period is how often staleness is checked (default 30 s).
+	Period simulator.Time
+
+	// Degradations / Restorations count fallback entries and exits;
+	// DegradedSeconds integrates time spent in the degraded posture.
+	Degradations    int
+	Restorations    int
+	DegradedSeconds float64
+
+	degraded bool
+	lastAcc  simulator.Time
+	saved    []float64 // per-node caps at degradation time
+	m        *core.Manager
+}
+
+// Name implements core.Policy.
+func (p *TelemetryGuard) Name() string {
+	return fmt.Sprintf("telemetry-guard(%.0fW)", p.FallbackCapW)
+}
+
+// Attach implements core.Policy.
+func (p *TelemetryGuard) Attach(m *core.Manager) {
+	if p.FallbackCapW <= 0 {
+		panic("policy: TelemetryGuard needs a positive fallback cap")
+	}
+	if p.Period <= 0 {
+		p.Period = 30 * simulator.Second
+	}
+	p.m = m
+	m.ScheduleEvery(p.Period, "telemetry-guard", p.check)
+}
+
+// Degraded reports whether the guard is currently in the fallback posture.
+func (p *TelemetryGuard) Degraded() bool { return p.degraded }
+
+func (p *TelemetryGuard) check(now simulator.Time) {
+	m := p.m
+	stale := m.Tel.Stale(now, p.StaleAfter)
+	if p.degraded {
+		p.DegradedSeconds += float64(now - p.lastAcc)
+		p.lastAcc = now
+	}
+	switch {
+	case stale && !p.degraded:
+		p.degrade(now)
+	case !stale && p.degraded:
+		p.restore(now)
+	}
+}
+
+// degrade saves the current per-node caps and clamps every node to the
+// fallback cap (nodes already capped tighter are left alone).
+func (p *TelemetryGuard) degrade(now simulator.Time) {
+	m := p.m
+	p.saved = make([]float64, m.Cl.Size())
+	for i, n := range m.Cl.Nodes {
+		p.saved[i] = n.CapW
+		if n.CapW == 0 || n.CapW > p.FallbackCapW {
+			if err := m.Ctrl.SetNodeCap(i, p.FallbackCapW); err != nil {
+				panic(err)
+			}
+		}
+	}
+	p.degraded = true
+	p.lastAcc = now
+	p.Degradations++
+	m.RetimeAll(now)
+}
+
+// restore reapplies the caps saved at degradation time.
+func (p *TelemetryGuard) restore(now simulator.Time) {
+	m := p.m
+	for i, capW := range p.saved {
+		if i >= m.Cl.Size() {
+			break
+		}
+		if m.Cl.Nodes[i].CapW != capW {
+			if err := m.Ctrl.SetNodeCap(i, capW); err != nil {
+				panic(err)
+			}
+		}
+	}
+	p.saved = nil
+	p.degraded = false
+	p.Restorations++
+	m.RetimeAll(now)
+}

@@ -1,0 +1,73 @@
+package policy
+
+import (
+	"testing"
+
+	"epajsrm/internal/simulator"
+)
+
+func TestTelemetryGuardDegradesAndRestores(t *testing.T) {
+	g := &TelemetryGuard{FallbackCapW: 250, Period: 30 * simulator.Second}
+	m := newMgr(t, 1, g)
+	j := testJob(1, 4, 6*simulator.Hour, 300, 0.3)
+	if err := m.Submit(j, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Give node 3 a tighter cap than the fallback: the guard must not loosen
+	// it on degrade, and must leave it in place on restore.
+	if err := m.Ctrl.SetNodeCap(3, 200); err != nil {
+		t.Fatal(err)
+	}
+	// Sensor outage from t=1h to t=2h.
+	m.Eng.After(simulator.Hour, "sensor-down", func(simulator.Time) {
+		m.Tel.SetOutage(true, false)
+	})
+	m.Eng.After(2*simulator.Hour, "sensor-up", func(simulator.Time) {
+		m.Tel.SetOutage(false, false)
+	})
+	var sawDegraded, cappedWhileDegraded bool
+	stop := m.Eng.Every(time10s, "probe", func(now simulator.Time) {
+		if g.Degraded() {
+			sawDegraded = true
+			if m.Cl.Nodes[0].CapW == 250 && m.Cl.Nodes[3].CapW == 200 {
+				cappedWhileDegraded = true
+			}
+		}
+	})
+	defer stop()
+	m.Run(-1)
+	if !sawDegraded {
+		t.Fatal("guard never degraded during the outage")
+	}
+	if !cappedWhileDegraded {
+		t.Fatal("fallback caps not applied as expected while degraded")
+	}
+	if g.Degraded() {
+		t.Fatal("guard still degraded after telemetry recovered")
+	}
+	if g.Degradations != 1 || g.Restorations != 1 {
+		t.Fatalf("degradations/restorations = %d/%d, want 1/1", g.Degradations, g.Restorations)
+	}
+	if g.DegradedSeconds <= 0 {
+		t.Fatal("no degraded time integrated")
+	}
+	// Restore: node 0 back to uncapped, node 3 keeps its tighter cap.
+	if m.Cl.Nodes[0].CapW != 0 {
+		t.Fatalf("node 0 cap after restore = %f, want 0", m.Cl.Nodes[0].CapW)
+	}
+	if m.Cl.Nodes[3].CapW != 200 {
+		t.Fatalf("node 3 cap after restore = %f, want 200", m.Cl.Nodes[3].CapW)
+	}
+}
+
+const time10s = 10 * simulator.Second
+
+func TestTelemetryGuardQuietOnHealthyTelemetry(t *testing.T) {
+	g := &TelemetryGuard{FallbackCapW: 250}
+	m := newMgr(t, 2, g)
+	submitN(t, m, 20, 7)
+	m.Run(-1)
+	if g.Degradations != 0 || g.DegradedSeconds != 0 {
+		t.Fatalf("guard degraded %d times on healthy telemetry", g.Degradations)
+	}
+}

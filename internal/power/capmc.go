@@ -23,6 +23,32 @@ type Controller struct {
 	// policies that divide it into node caps (see DivideSystemCap).
 	SystemCapW float64
 
+	// Out-of-band cap actuations can fail in production (BMC timeouts,
+	// management-network loss). FaultProb is the injected per-actuation
+	// failure probability drawn from FaultRNG (both zero-valued by default:
+	// actuations never fail). A failed actuation is retried with capped
+	// exponential backoff in virtual time — RetryBase, doubling per
+	// attempt, capped at RetryMaxDelay, at most RetryMax retries — and
+	// every failure, retry and abandonment lands in the audit log.
+	FaultProb float64
+	FaultRNG  *simulator.RNG
+	// RetryMax <= 0 means the default (4); RetryBase/RetryMaxDelay <= 0
+	// mean the defaults (2 s and 60 s).
+	RetryMax      int
+	RetryBase     simulator.Time
+	RetryMaxDelay simulator.Time
+
+	// OnDeferredApply, if set, runs after an actuation succeeds on a retry
+	// (asynchronously, outside the original caller's control flow). The
+	// manager hooks this to re-time running jobs whose frequency the late
+	// cap just changed.
+	OnDeferredApply func(now simulator.Time)
+
+	// Actuation fault counters for experiments and reports.
+	ActuationFailures  int
+	ActuationRetries   int
+	ActuationAbandoned int
+
 	Audit []AuditEntry
 }
 
@@ -65,7 +91,11 @@ func (c *Controller) GetNodePower(id int) (float64, error) {
 func (c *Controller) GetSystemPower() float64 { return c.Sys.TotalPower() }
 
 // SetNodeCap applies a node-level power cap out-of-band. capW below the
-// node's off draw is rejected; capW = 0 removes the cap.
+// node's off draw is rejected; capW = 0 removes the cap. An injected
+// actuation failure (FaultProb) is not an error: the controller retries
+// with capped exponential backoff and gives up only after RetryMax
+// attempts, mirroring how production control planes absorb transient BMC
+// faults without surfacing each one to the policy layer.
 func (c *Controller) SetNodeCap(id int, capW float64) error {
 	if id < 0 || id >= c.Sys.Cl.Size() {
 		return fmt.Errorf("capmc: no node %d", id)
@@ -76,10 +106,63 @@ func (c *Controller) SetNodeCap(id int, capW float64) error {
 	if capW > 0 && capW < c.Sys.Model.OffW {
 		return fmt.Errorf("capmc: cap %.1f W below off draw %.1f W", capW, c.Sys.Model.OffW)
 	}
+	c.applyNodeCap(id, capW, 0)
+	return nil
+}
+
+func (c *Controller) actuationFails() bool {
+	return c.FaultProb > 0 && c.FaultRNG != nil && c.FaultRNG.Float64() < c.FaultProb
+}
+
+// retryDelay returns the backoff before retry #attempt (0-based): base,
+// 2*base, 4*base, ... capped at RetryMaxDelay.
+func (c *Controller) retryDelay(attempt int) simulator.Time {
+	base := c.RetryBase
+	if base <= 0 {
+		base = 2 * simulator.Second
+	}
+	maxDelay := c.RetryMaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 60 * simulator.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < maxDelay; i++ {
+		d *= 2
+	}
+	if d > maxDelay {
+		d = maxDelay
+	}
+	return d
+}
+
+// applyNodeCap performs one actuation attempt; on injected failure it
+// schedules the next attempt as a daemon event (retries never keep a
+// drained run alive).
+func (c *Controller) applyNodeCap(id int, capW float64, attempt int) {
 	n := c.Sys.Cl.Nodes[id]
+	if c.actuationFails() {
+		c.ActuationFailures++
+		c.audit("set_node_cap.fail", n.Name, capW)
+		retryMax := c.RetryMax
+		if retryMax <= 0 {
+			retryMax = 4
+		}
+		if attempt >= retryMax {
+			c.ActuationAbandoned++
+			c.audit("set_node_cap.abandon", n.Name, capW)
+			return
+		}
+		c.ActuationRetries++
+		c.Eng.AfterDaemon(c.retryDelay(attempt), "capmc-retry", func(simulator.Time) {
+			c.applyNodeCap(id, capW, attempt+1)
+		})
+		return
+	}
 	c.Sys.SetNodeCap(c.Eng.Now(), n, capW)
 	c.audit("set_node_cap", n.Name, capW)
-	return nil
+	if attempt > 0 && c.OnDeferredApply != nil {
+		c.OnDeferredApply(c.Eng.Now())
+	}
 }
 
 // SetGroupCap applies one cap to every node in the group — JCAHPC's
@@ -107,13 +190,18 @@ func (c *Controller) SetSystemCap(capW float64) error {
 	c.audit("set_system_cap", "system", capW)
 	if capW == 0 {
 		for _, n := range c.Sys.Cl.Nodes {
-			c.Sys.SetNodeCap(c.Eng.Now(), n, 0)
+			c.applyNodeCap(n.ID, 0, 0)
 		}
 		return nil
 	}
 	caps := c.DivideSystemCap(capW)
-	for id, w := range caps {
-		c.Sys.SetNodeCap(c.Eng.Now(), c.Sys.Cl.Nodes[id], w)
+	ids := make([]int, 0, len(caps))
+	for id := range caps {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		c.applyNodeCap(id, caps[id], 0)
 	}
 	return nil
 }

@@ -239,3 +239,105 @@ func TestDivideSystemCapConservesBudget(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestControllerActuationRetrySucceeds(t *testing.T) {
+	c, eng, cl := newTestController()
+	// Fail the first two attempts, then heal.
+	c.FaultRNG = simulator.NewRNG(1)
+	c.FaultProb = 1
+	if err := c.SetNodeCap(0, 250); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Nodes[0].CapW != 0 {
+		t.Fatal("cap applied despite injected failure")
+	}
+	c.FaultProb = 0 // heal before the retry fires
+	eng.RunUntil(10 * simulator.Minute)
+	if cl.Nodes[0].CapW != 250 {
+		t.Fatalf("cap = %f after retry, want 250", cl.Nodes[0].CapW)
+	}
+	if c.ActuationFailures != 1 || c.ActuationRetries != 1 || c.ActuationAbandoned != 0 {
+		t.Fatalf("counters = %d/%d/%d", c.ActuationFailures, c.ActuationRetries, c.ActuationAbandoned)
+	}
+	// Audit trail: fail, then the successful set.
+	var actions []string
+	for _, a := range c.Audit {
+		actions = append(actions, a.Action)
+	}
+	want := []string{"set_node_cap.fail", "set_node_cap"}
+	if len(actions) != 2 || actions[0] != want[0] || actions[1] != want[1] {
+		t.Fatalf("audit actions = %v, want %v", actions, want)
+	}
+}
+
+func TestControllerActuationAbandonsAfterRetryMax(t *testing.T) {
+	c, eng, cl := newTestController()
+	c.FaultRNG = simulator.NewRNG(2)
+	c.FaultProb = 1 // every attempt fails
+	c.RetryMax = 3
+	if err := c.SetNodeCap(0, 250); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(10 * simulator.Minute)
+	if cl.Nodes[0].CapW != 0 {
+		t.Fatal("cap applied despite permanent failure")
+	}
+	// Initial attempt + 3 retries all fail, then abandon.
+	if c.ActuationFailures != 4 || c.ActuationRetries != 3 || c.ActuationAbandoned != 1 {
+		t.Fatalf("counters = %d/%d/%d", c.ActuationFailures, c.ActuationRetries, c.ActuationAbandoned)
+	}
+	last := c.Audit[len(c.Audit)-1]
+	if last.Action != "set_node_cap.abandon" {
+		t.Fatalf("last audit action = %s", last.Action)
+	}
+}
+
+func TestControllerRetryBackoffGrowsAndCaps(t *testing.T) {
+	c, _, _ := newTestController()
+	want := []simulator.Time{2, 4, 8, 16, 32, 60, 60}
+	for i, w := range want {
+		if got := c.retryDelay(i); got != w {
+			t.Fatalf("retryDelay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestControllerRetriesAreDaemonEvents(t *testing.T) {
+	c, eng, _ := newTestController()
+	c.FaultRNG = simulator.NewRNG(3)
+	c.FaultProb = 1
+	if err := c.SetNodeCap(0, 250); err != nil {
+		t.Fatal(err)
+	}
+	// With only retry daemons queued, an unbounded run must end immediately.
+	end := eng.Run()
+	if end != 0 {
+		t.Fatalf("retries kept the run alive until %v", end)
+	}
+}
+
+func TestControllerDeferredApplyCallback(t *testing.T) {
+	c, eng, _ := newTestController()
+	c.FaultRNG = simulator.NewRNG(4)
+	c.FaultProb = 1
+	fired := 0
+	c.OnDeferredApply = func(simulator.Time) { fired++ }
+	if err := c.SetNodeCap(0, 250); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatal("deferred-apply fired for the synchronous attempt")
+	}
+	c.FaultProb = 0
+	eng.RunUntil(10 * simulator.Minute)
+	if fired != 1 {
+		t.Fatalf("deferred-apply fired %d times, want 1", fired)
+	}
+	// A clean synchronous actuation must not fire the callback.
+	if err := c.SetNodeCap(1, 250); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatal("deferred-apply fired for a first-attempt success")
+	}
+}

@@ -17,6 +17,12 @@ type Reading struct {
 // power and energy system monitoring info, data center, machine and job
 // levels"). Samples feed both the online statistics and a bounded series
 // kept for report plotting.
+//
+// Real sensor paths fail: the collector loses samples (dropout) or keeps
+// reporting the last value it saw (stuck sensor). Both are modelled as
+// outage windows toggled by SetOutage — typically driven by
+// fault.Injector — and consumers detect either failure through Stale,
+// which tracks the age of the last *genuine* sample.
 type Telemetry struct {
 	Sys      *System
 	Fac      *Facility // optional
@@ -25,6 +31,16 @@ type Telemetry struct {
 	Series   []Reading
 	ITStats  stats.Online
 	SiteStat stats.Online
+
+	// Dropped counts sampling instants lost to an outage (including
+	// stuck-value instants, which record a stale repeat instead of a fresh
+	// reading).
+	Dropped int
+
+	outage   bool
+	stuck    bool
+	lastGood Reading
+	haveGood bool
 
 	stop func()
 }
@@ -49,24 +65,76 @@ func (t *Telemetry) Start(eng *simulator.Engine) *Telemetry {
 	return t
 }
 
-// Stop halts sampling.
+// Stop halts sampling. It is idempotent and safe to call before Start.
 func (t *Telemetry) Stop() {
 	if t.stop != nil {
 		t.stop()
+		t.stop = nil
 	}
 }
 
-// SampleNow takes one sample immediately.
+// SetOutage begins or ends a sensor outage window. While the outage holds,
+// stuck=false drops samples entirely and stuck=true repeats the last good
+// reading with a fresh timestamp (the classic stuck-sensor failure); either
+// way the last genuine sample stops advancing, so Stale eventually fires.
+func (t *Telemetry) SetOutage(on, stuck bool) {
+	t.outage = on
+	t.stuck = on && stuck
+}
+
+// OutageActive reports whether an outage window is in effect.
+func (t *Telemetry) OutageActive() bool { return t.outage }
+
+// LastGood returns the most recent genuine reading (not a stuck repeat)
+// and whether one exists yet.
+func (t *Telemetry) LastGood() (Reading, bool) { return t.lastGood, t.haveGood }
+
+// Stale reports whether the last genuine sample is older than threshold at
+// time now. threshold <= 0 means three sampling periods — late enough that
+// one missed sample does not trip it. Policies acting on power readings
+// must degrade to a conservative static posture while Stale holds rather
+// than trust data this old.
+func (t *Telemetry) Stale(now, threshold simulator.Time) bool {
+	if threshold <= 0 {
+		threshold = 3 * t.Period
+	}
+	if !t.haveGood {
+		return now > threshold
+	}
+	return now-t.lastGood.At > threshold
+}
+
+// SampleNow takes one sample immediately. During an outage the physics
+// still advances but no genuine reading is produced; a stuck sensor
+// appends a repeat of the last good value so downstream consumers that
+// ignore staleness see exactly the wrong number a stuck sensor reports.
 func (t *Telemetry) SampleNow(now simulator.Time) Reading {
 	t.Sys.Advance(now)
+	if t.outage {
+		t.Dropped++
+		if t.stuck && t.haveGood {
+			r := Reading{At: now, ITW: t.lastGood.ITW, CoolW: t.lastGood.CoolW}
+			t.record(r)
+			return r
+		}
+		return Reading{At: now}
+	}
 	it := t.Sys.TotalPower()
 	cool := 0.0
 	if t.Fac != nil {
 		cool = t.Fac.CoolingPower(now, it)
 	}
 	r := Reading{At: now, ITW: it, CoolW: cool}
-	t.ITStats.Add(it)
-	t.SiteStat.Add(it + cool)
+	t.lastGood = r
+	t.haveGood = true
+	t.record(r)
+	return r
+}
+
+// record appends a reading to the stats and the bounded series.
+func (t *Telemetry) record(r Reading) {
+	t.ITStats.Add(r.ITW)
+	t.SiteStat.Add(r.ITW + r.CoolW)
 	t.Series = append(t.Series, r)
 	if len(t.Series) > t.MaxKeep {
 		// Halve resolution: keep every other sample.
@@ -76,7 +144,6 @@ func (t *Telemetry) SampleNow(now simulator.Time) Reading {
 		}
 		t.Series = kept
 	}
-	return r
 }
 
 // MeasureSegment implements a PowerAPI-style scoped measurement: it returns

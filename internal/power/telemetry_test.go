@@ -1,0 +1,127 @@
+package power
+
+import (
+	"testing"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/simulator"
+)
+
+func newTestTelemetry(period simulator.Time) (*Telemetry, *simulator.Engine) {
+	eng := simulator.NewEngine()
+	cl := cluster.New(cluster.DefaultConfig())
+	sys := NewSystem(cl, DefaultNodeModel(), DefaultPStates(), 0, nil)
+	return NewTelemetry(sys, nil, period, 0), eng
+}
+
+func TestTelemetryStopBeforeStart(t *testing.T) {
+	tel, _ := newTestTelemetry(10 * simulator.Second)
+	// Regression: Stop on a never-started sampler must not panic.
+	tel.Stop()
+	tel.Stop()
+}
+
+func TestTelemetryStopIdempotent(t *testing.T) {
+	tel, eng := newTestTelemetry(10 * simulator.Second)
+	tel.Start(eng)
+	eng.RunUntil(35 * simulator.Second)
+	got := len(tel.Series)
+	tel.Stop()
+	tel.Stop() // second Stop must be a no-op
+	eng.RunUntil(100 * simulator.Second)
+	if len(tel.Series) != got {
+		t.Fatalf("samples after Stop: %d -> %d", got, len(tel.Series))
+	}
+	// Restart after Stop keeps working.
+	tel.Start(eng)
+	eng.RunUntil(150 * simulator.Second)
+	if len(tel.Series) <= got {
+		t.Fatal("restart did not resume sampling")
+	}
+}
+
+func TestTelemetryOutageDropsSamples(t *testing.T) {
+	tel, eng := newTestTelemetry(10 * simulator.Second)
+	tel.Start(eng)
+	eng.RunUntil(30 * simulator.Second)
+	before := len(tel.Series)
+	if before == 0 {
+		t.Fatal("no samples before outage")
+	}
+	tel.SetOutage(true, false)
+	eng.RunUntil(60 * simulator.Second)
+	if len(tel.Series) != before {
+		t.Fatalf("dropout appended samples: %d -> %d", before, len(tel.Series))
+	}
+	if tel.Dropped != 3 {
+		t.Fatalf("Dropped = %d, want 3", tel.Dropped)
+	}
+	tel.SetOutage(false, false)
+	eng.RunUntil(80 * simulator.Second)
+	if len(tel.Series) <= before {
+		t.Fatal("sampling did not resume after outage")
+	}
+}
+
+func TestTelemetryStuckSensorRepeatsLastGood(t *testing.T) {
+	tel, eng := newTestTelemetry(10 * simulator.Second)
+	tel.Start(eng)
+	eng.RunUntil(20 * simulator.Second)
+	last, ok := tel.LastGood()
+	if !ok {
+		t.Fatal("no genuine sample yet")
+	}
+	tel.SetOutage(true, true)
+	before := len(tel.Series)
+	eng.RunUntil(50 * simulator.Second)
+	if len(tel.Series) <= before {
+		t.Fatal("stuck sensor should keep appending (stale) readings")
+	}
+	for _, r := range tel.Series[before:] {
+		if r.ITW != last.ITW {
+			t.Fatalf("stuck reading %f differs from last good %f", r.ITW, last.ITW)
+		}
+		if r.At <= last.At {
+			t.Fatal("stuck reading must carry a fresh timestamp")
+		}
+	}
+	// The genuine sample never advanced.
+	if got, _ := tel.LastGood(); got.At != last.At {
+		t.Fatalf("LastGood advanced during outage: %v -> %v", last.At, got.At)
+	}
+}
+
+func TestTelemetryStaleness(t *testing.T) {
+	tel, eng := newTestTelemetry(10 * simulator.Second)
+	tel.Start(eng)
+	eng.RunUntil(20 * simulator.Second)
+	if tel.Stale(eng.Now(), 0) {
+		t.Fatal("fresh telemetry reported stale")
+	}
+	tel.SetOutage(true, true)
+	eng.RunUntil(55 * simulator.Second)
+	// Last genuine sample was at t=20; default threshold 3*10s = 30s.
+	if !tel.Stale(eng.Now(), 0) {
+		t.Fatal("telemetry should be stale 35 s after last genuine sample")
+	}
+	// A stuck sensor keeps writing readings, but staleness must still fire:
+	// only genuine samples count.
+	if got, _ := tel.LastGood(); got.At != 20*simulator.Second {
+		t.Fatalf("LastGood.At = %v, want 20s", got.At)
+	}
+	tel.SetOutage(false, false)
+	eng.RunUntil(65 * simulator.Second)
+	if tel.Stale(eng.Now(), 0) {
+		t.Fatal("telemetry still stale after recovery sample")
+	}
+}
+
+func TestTelemetryStaleBeforeFirstSample(t *testing.T) {
+	tel, _ := newTestTelemetry(10 * simulator.Second)
+	if tel.Stale(5*simulator.Second, 0) {
+		t.Fatal("stale before the threshold has even elapsed")
+	}
+	if !tel.Stale(31*simulator.Second, 0) {
+		t.Fatal("no sample ever: must be stale after the threshold")
+	}
+}

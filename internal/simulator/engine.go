@@ -147,6 +147,25 @@ func (e *Engine) After(d Time, name string, fn func(now Time)) *Event {
 	return ev
 }
 
+// AtDaemon schedules fn at an absolute time as a daemon event: it fires
+// while other work keeps the simulation alive (or up to an explicit
+// horizon), but never extends an unbounded Run on its own. Background
+// processes with no natural end — fault injection, watchdogs — must use
+// daemon events or a drained system would simulate forever.
+func (e *Engine) AtDaemon(at Time, name string, fn func(now Time)) (*Event, error) {
+	return e.at(at, name, fn, true)
+}
+
+// AfterDaemon is AtDaemon relative to now; a negative delay is clamped to
+// zero.
+func (e *Engine) AfterDaemon(d Time, name string, fn func(now Time)) *Event {
+	if d < 0 {
+		d = 0
+	}
+	ev, _ := e.at(e.now+d, name, fn, true)
+	return ev
+}
+
 // Every schedules fn to run now+period, then every period thereafter, until
 // the returned stop function is called or the run ends. The recurring
 // events are daemons: they fire as long as other work keeps the simulation

@@ -298,3 +298,53 @@ func TestRNGChoiceAllZeroWeightsUniform(t *testing.T) {
 		t.Error("all-zero weights should fall back to uniform choice")
 	}
 }
+
+func TestDaemonEventsDoNotKeepRunAlive(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	eng.AfterDaemon(100, "daemon", func(Time) { fired = true })
+	if end := eng.Run(); end != 0 {
+		t.Fatalf("unbounded run advanced to %v on daemons alone", end)
+	}
+	if fired {
+		t.Fatal("daemon fired with no live work")
+	}
+}
+
+func TestDaemonEventsFireToHorizon(t *testing.T) {
+	eng := NewEngine()
+	var fires []Time
+	eng.AfterDaemon(10, "d1", func(now Time) { fires = append(fires, now) })
+	if _, err := eng.AtDaemon(25, "d2", func(now Time) { fires = append(fires, now) }); err != nil {
+		t.Fatal(err)
+	}
+	eng.AfterDaemon(99, "d3", func(now Time) { fires = append(fires, now) })
+	if end := eng.RunUntil(50); end != 50 {
+		t.Fatalf("RunUntil ended at %v", end)
+	}
+	if len(fires) != 2 || fires[0] != 10 || fires[1] != 25 {
+		t.Fatalf("fires = %v, want [10 25]", fires)
+	}
+}
+
+func TestDaemonEventsFireWhileLiveWorkRemains(t *testing.T) {
+	eng := NewEngine()
+	daemonFired := false
+	eng.AfterDaemon(10, "daemon", func(Time) { daemonFired = true })
+	eng.After(20, "live", func(Time) {})
+	if end := eng.Run(); end != 20 {
+		t.Fatalf("run ended at %v, want 20", end)
+	}
+	if !daemonFired {
+		t.Fatal("daemon before the last live event did not fire")
+	}
+}
+
+func TestAtDaemonRejectsPast(t *testing.T) {
+	eng := NewEngine()
+	eng.After(10, "advance", func(Time) {})
+	eng.Run()
+	if _, err := eng.AtDaemon(5, "late", func(Time) {}); err == nil {
+		t.Fatal("AtDaemon accepted an event in the past")
+	}
+}

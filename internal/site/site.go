@@ -13,6 +13,7 @@ import (
 	"epajsrm/internal/cluster"
 	"epajsrm/internal/core"
 	"epajsrm/internal/esp"
+	"epajsrm/internal/fault"
 	"epajsrm/internal/jobs"
 	"epajsrm/internal/monitor"
 	"epajsrm/internal/policy"
@@ -36,6 +37,10 @@ type Profile struct {
 	// Attach wires the site's policies onto a freshly built manager and
 	// returns any auxiliary state experiments may want to inspect.
 	Attach func(m *core.Manager) []core.Policy
+	// Faults, when non-nil, attaches a fault injector with this profile
+	// (seeded from the build seed). The nine surveyed profiles leave it nil
+	// — fault injection is opt-in per run, e.g. via epasim's flags.
+	Faults *fault.Profile
 }
 
 // Build constructs the manager for a profile and submits n jobs from its
@@ -53,6 +58,9 @@ func (p Profile) Build(seed uint64, n int) (*core.Manager, []*jobs.Job, error) {
 		for _, pol := range p.Attach(m) {
 			m.Use(pol)
 		}
+	}
+	if p.Faults != nil && !p.Faults.Zero() {
+		fault.New(m, *p.Faults, seed^0xfa17).Start()
 	}
 	gen := workload.NewGenerator(p.Workload, seed^0x5eed)
 	js := gen.Generate(n)
