@@ -1,7 +1,7 @@
 package epajsrm_test
 
 // The benchmark harness: one testing.B target per paper exhibit (Tables
-// I/II, Figures 1/2), one per validation experiment (E1–E21 in DESIGN.md's
+// I/II, Figures 1/2), one per validation experiment (E1–E22 in DESIGN.md's
 // experiment index), and one per ablation DESIGN.md calls out. Each bench
 // reports its experiment's key shape numbers through b.ReportMetric so
 // `go test -bench=. -benchmem` regenerates the full results table of
@@ -61,7 +61,7 @@ func BenchmarkFigure2(b *testing.B) {
 	}
 }
 
-// -- Validation experiments E1–E21 -------------------------------------------
+// -- Validation experiments E1–E22 -------------------------------------------
 
 func BenchmarkE1StaticCap(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -269,6 +269,18 @@ func BenchmarkE21Resilience(b *testing.B) {
 			b.ReportMetric(r.Values["crashes_high"], "crashes-high")
 			b.ReportMetric(r.Values["requeues_high"], "requeues-high")
 			b.ReportMetric(r.Values["goodput_high"]/r.Values["goodput_base"], "goodput-ratio-high")
+		}
+	}
+}
+
+func BenchmarkE22Checkpoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E22CheckpointSweep(uint64(i + 1))
+		if i == 0 {
+			b.ReportMetric(r.Values["goodput_yd_high"]/r.Values["goodput_off_high"], "goodput-gain-yd")
+			b.ReportMetric(r.Values["lostwork_off_high"]/3600, "lost-off-node-h")
+			b.ReportMetric(r.Values["lostwork_yd_high"]/3600, "lost-yd-node-h")
+			b.ReportMetric(r.Values["yd_interval_s"], "yd-interval-s")
 		}
 	}
 }

@@ -1,5 +1,5 @@
 // Command epabench runs the reproduction experiments (T1/T2/F1/F2 exhibits
-// and validation experiments E1–E21 from DESIGN.md) and prints each
+// and validation experiments E1–E22 from DESIGN.md) and prints each
 // result table.
 //
 // Usage:
@@ -58,6 +58,7 @@ func main() {
 		{"E19", func() experiments.Result { return experiments.E19Monitoring(*seed) }},
 		{"E20", func() experiments.Result { return experiments.E20FairShare(*seed) }},
 		{"E21", func() experiments.Result { return experiments.E21Resilience(*seed) }},
+		{"E22", func() experiments.Result { return experiments.E22CheckpointSweep(*seed) }},
 	}
 	ran := 0
 	for _, mk := range makers {

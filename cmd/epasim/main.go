@@ -7,6 +7,7 @@
 //
 //	epasim -site kaust [-jobs 200] [-days 7] [-seed 42] [-writetrace file]
 //	epasim -site kaust -mtbf 4 -actfail 0.1   # with fault injection
+//	epasim -site kaust -mtbf 2 -ckpt-interval 20   # ... and checkpoint/restart
 //	epasim -list
 package main
 
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"epajsrm/internal/checkpoint"
 	"epajsrm/internal/fault"
 	"epajsrm/internal/report"
 	"epajsrm/internal/simulator"
@@ -36,6 +38,10 @@ func main() {
 	sensorMTTRMin := flag.Float64("sensormttr", 10, "mean telemetry outage duration, minutes")
 	stuckProb := flag.Float64("stuckprob", 0.5, "probability a telemetry outage is a stuck sensor")
 	actFail := flag.Float64("actfail", 0, "injected cap-actuation failure probability")
+	ckptIntervalMin := flag.Float64("ckpt-interval", 0, "periodic checkpoint interval, minutes (0 = checkpoint/restart disabled)")
+	ckptBW := flag.Float64("ckpt-bw", 10, "aggregate burst-buffer bandwidth for checkpoint I/O, GB/s")
+	ckptStateFrac := flag.Float64("ckpt-statefrac", 0.3, "fraction of node memory captured per checkpoint image")
+	ckptIOPowerW := flag.Float64("ckpt-iopower", 30, "extra per-node draw while checkpoint I/O is in flight, W")
 	flag.Parse()
 
 	if *list {
@@ -48,6 +54,14 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown site %q; use -list\n", *name)
 		os.Exit(2)
+	}
+	if *ckptIntervalMin > 0 {
+		p.Checkpoint = checkpoint.Config{
+			Interval:  simulator.Time(*ckptIntervalMin * float64(simulator.Minute)),
+			BWGBps:    *ckptBW,
+			StateFrac: *ckptStateFrac,
+			IOPowerW:  *ckptIOPowerW,
+		}
 	}
 
 	nGen := *jobs
@@ -150,6 +164,18 @@ func main() {
 			[]string{"node failures / job requeues", fmt.Sprintf("%d / %d",
 				m.Metrics.NodeFailures, m.Metrics.Requeues)},
 			[]string{"telemetry samples dropped", fmt.Sprint(m.Tel.Dropped)},
+		)
+	}
+	if inj != nil || *ckptIntervalMin > 0 {
+		tbl.Rows = append(tbl.Rows,
+			[]string{"lost work", fmt.Sprintf("%.1f node-h", m.Metrics.LostWorkSeconds/3600)})
+	}
+	if *ckptIntervalMin > 0 {
+		tbl.Rows = append(tbl.Rows,
+			[]string{"checkpoints written / restores", fmt.Sprintf("%d / %d",
+				m.Metrics.CheckpointsWritten, m.Metrics.CheckpointRestores)},
+			[]string{"checkpoint stall", fmt.Sprintf("%.1f h write, %.1f h restore read",
+				m.Metrics.CheckpointWriteSeconds/3600, m.Metrics.RestartReadSeconds/3600)},
 		)
 	}
 	fmt.Println(tbl.Render())

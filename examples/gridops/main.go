@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 
+	"epajsrm/internal/checkpoint"
 	"epajsrm/internal/cluster"
 	"epajsrm/internal/core"
 	"epajsrm/internal/esp"
@@ -35,6 +36,9 @@ func main() {
 		Cluster:   cluster.DefaultConfig(),
 		Scheduler: sched.EASY{},
 		Seed:      13,
+		// DR preemptions drain through a costed checkpoint write instead of
+		// discarding the victims' progress.
+		Checkpoint: checkpoint.Config{BWGBps: 10, StateFrac: 0.3, IOPowerW: 30},
 	})
 	grid := &policy.GridAware{Provider: prov, PeakMaxNodes: 16, DRPreempt: true}
 	ramp := &policy.RampLimit{MaxRampW: 3000, Window: 5 * simulator.Minute}
@@ -68,6 +72,8 @@ func main() {
 
 	fmt.Printf("demand response: %d checkpoint preemptions at the event, %d kills; %d peak-tariff gate denials\n",
 		grid.DRPreempts, grid.DRKills, grid.HeldAtPeak)
+	fmt.Printf("checkpointing: %d images written, %d restores, %.1f node-h of work lost\n",
+		m.Metrics.CheckpointsWritten, m.Metrics.CheckpointRestores, m.Metrics.LostWorkSeconds/3600)
 	fmt.Printf("ramp limiter: %d starts deferred to stay under %.1f kW per %s\n",
 		ramp.Held, ramp.MaxRampW/1000, ramp.Window)
 	fmt.Printf("energy bill: %.2f total — %.0f kWh grid + %.0f kWh turbine\n",

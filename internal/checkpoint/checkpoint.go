@@ -1,0 +1,174 @@
+// Package checkpoint models a burst-buffer checkpoint/restart substrate —
+// the primitive every preempt-and-shed EPA JSRM technique in the survey's
+// Section VI silently presumes. The model is deliberately simple and fully
+// deterministic: a checkpoint image is a fixed fraction of the job's node
+// memory, written at an aggregate burst-buffer bandwidth that concurrent
+// checkpoints share, drawing extra per-node I/O power while in flight. A
+// restart reads the image back before compute resumes. Nothing here uses
+// randomness, so the same event sequence always produces the same I/O
+// durations.
+//
+// The package also carries the Young/Daly optimal-interval arithmetic that
+// ties the checkpoint interval to the site's fault rate: checkpoint too
+// rarely and crashes discard hours, too often and the write stalls eat the
+// machine. OptimalInterval gives the first-order sweet spot.
+package checkpoint
+
+import (
+	"math"
+
+	"epajsrm/internal/simulator"
+)
+
+// Config sets the checkpoint/restart substrate's knobs. The zero value
+// disables the subsystem entirely (Enabled returns false), which is the
+// configuration every surveyed site profile ships with — checkpointing is
+// opt-in per run.
+type Config struct {
+	// Interval is the periodic per-job checkpoint interval; 0 means no
+	// periodic checkpoints (demand checkpoints at preemption still work).
+	Interval simulator.Time
+
+	// BWGBps is the aggregate burst-buffer bandwidth in GB/s, shared by all
+	// checkpoint I/O in flight at once (write and read alike).
+	BWGBps float64
+
+	// StateFrac is the fraction of a node's memory captured in the image —
+	// jobs rarely checkpoint their full address space.
+	StateFrac float64
+
+	// ReadFactor scales restart read time relative to the write time of the
+	// same image; <= 0 means 1 (symmetric burst buffer).
+	ReadFactor float64
+
+	// IOPowerW is the extra per-node draw while checkpoint I/O is in
+	// flight: burst-buffer, NIC and SSD traffic that rides on top of the
+	// node's compute draw and is not throttled by DVFS or node caps. This
+	// is what makes checkpoint bursts visible to cap accounting.
+	IOPowerW float64
+}
+
+// Enabled reports whether the substrate can move bytes at all.
+func (c Config) Enabled() bool { return c.BWGBps > 0 && c.StateFrac > 0 }
+
+// StateGB returns the image size for a job of the given width on nodes
+// with memGB of memory each.
+func (c Config) StateGB(nodes, memGB int) float64 {
+	return float64(nodes) * float64(memGB) * c.StateFrac
+}
+
+// WriteTime returns the uncontended wall time to write one image — the
+// delta term of the Young/Daly formula. The contended time is computed by
+// Model.BeginWrite at operation start.
+func (c Config) WriteTime(nodes, memGB int) simulator.Time {
+	if !c.Enabled() {
+		return 0
+	}
+	return ceilTime(c.StateGB(nodes, memGB) / c.BWGBps)
+}
+
+// DefaultConfig returns a disabled substrate with production-plausible
+// cost parameters, so enabling it is one field away: set Interval (or call
+// epasim with -ckpt-interval).
+func DefaultConfig() Config {
+	return Config{
+		Interval:   0,
+		BWGBps:     10,
+		StateFrac:  0.3,
+		ReadFactor: 1,
+		IOPowerW:   30,
+	}
+}
+
+// JobMTBF converts a per-node MTBF into the MTBF of a job spread over
+// `nodes` nodes: any one node crashing kills the job, so the rates add.
+func JobMTBF(nodeMTBF simulator.Time, nodes int) simulator.Time {
+	if nodeMTBF <= 0 || nodes <= 0 {
+		return 0
+	}
+	t := nodeMTBF / simulator.Time(nodes)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// OptimalInterval returns Young's first-order optimal checkpoint interval
+// sqrt(2 · writeTime · MTBF) for a given image write time and job-level
+// MTBF (Young 1974; Daly 2006 refines the high-order terms, which matter
+// only when writeTime approaches the MTBF). Returns 0 when either input is
+// non-positive — no finite optimum exists for a machine that never fails.
+func OptimalInterval(writeTime, mtbf simulator.Time) simulator.Time {
+	if writeTime <= 0 || mtbf <= 0 {
+		return 0
+	}
+	return ceilTime(math.Sqrt(2 * float64(writeTime) * float64(mtbf)))
+}
+
+// Model is the live substrate: Config plus the contention state shared by
+// every checkpoint I/O in flight. One Model per manager.
+type Model struct {
+	Cfg Config
+
+	// Writes and Reads count I/O operations started (durability is the
+	// manager's business — an operation interrupted by a crash still
+	// consumed bandwidth).
+	Writes int
+	Reads  int
+
+	inflight int
+}
+
+// NewModel builds a model, normalizing defaulted fields.
+func NewModel(cfg Config) *Model {
+	if cfg.ReadFactor <= 0 {
+		cfg.ReadFactor = 1
+	}
+	return &Model{Cfg: cfg}
+}
+
+// InFlight reports how many checkpoint I/O operations are active.
+func (md *Model) InFlight() int { return md.inflight }
+
+// BeginWrite starts a checkpoint write for a job of the given shape and
+// returns its wall duration. Contention model: the operation's duration is
+// fixed at start using the concurrency then in effect (including itself) —
+// an even share of the aggregate bandwidth; later arrivals or departures
+// do not re-time it. The caller must pair every Begin with exactly one
+// EndIO (including on abort).
+func (md *Model) BeginWrite(nodes, memGB int) simulator.Time {
+	md.inflight++
+	md.Writes++
+	return md.ioTime(nodes, memGB, 1)
+}
+
+// BeginRead starts a restart read; same contention rules as BeginWrite.
+func (md *Model) BeginRead(nodes, memGB int) simulator.Time {
+	md.inflight++
+	md.Reads++
+	return md.ioTime(nodes, memGB, md.Cfg.ReadFactor)
+}
+
+// EndIO releases the bandwidth share of one completed or aborted
+// operation.
+func (md *Model) EndIO() {
+	if md.inflight <= 0 {
+		panic("checkpoint: EndIO without a matching Begin")
+	}
+	md.inflight--
+}
+
+func (md *Model) ioTime(nodes, memGB int, factor float64) simulator.Time {
+	return ceilTime(md.Cfg.StateGB(nodes, memGB) / (md.Cfg.BWGBps / float64(md.inflight)) * factor)
+}
+
+// ceilTime rounds seconds up to a whole virtual second, floor 1 s — the
+// engine cannot represent sub-second events, and a zero-length I/O would
+// make the cost model silently free again.
+func ceilTime(secs float64) simulator.Time {
+	t := simulator.Time(math.Ceil(secs))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}

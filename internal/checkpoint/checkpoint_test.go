@@ -1,0 +1,134 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"epajsrm/internal/simulator"
+)
+
+func TestConfigEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config must be disabled")
+	}
+	if (Config{BWGBps: 10}).Enabled() {
+		t.Fatal("no state fraction ⇒ disabled")
+	}
+	if (Config{StateFrac: 0.3}).Enabled() {
+		t.Fatal("no bandwidth ⇒ disabled")
+	}
+	if !(Config{BWGBps: 10, StateFrac: 0.3}).Enabled() {
+		t.Fatal("bandwidth + state fraction ⇒ enabled")
+	}
+	if DefaultConfig().Enabled() != true {
+		t.Fatal("DefaultConfig should be able to move bytes once an interval is set")
+	}
+	if DefaultConfig().Interval != 0 {
+		t.Fatal("DefaultConfig must ship with periodic checkpoints off")
+	}
+}
+
+func TestWriteTimeArithmetic(t *testing.T) {
+	c := Config{BWGBps: 10, StateFrac: 0.3}
+	// 8 nodes × 128 GB × 0.3 = 307.2 GB at 10 GB/s → 30.72 s → ceil 31.
+	if got := c.WriteTime(8, 128); got != 31 {
+		t.Fatalf("WriteTime(8,128) = %d, want 31", got)
+	}
+	// 4 nodes → 153.6 GB → 15.36 s → ceil 16.
+	if got := c.WriteTime(4, 128); got != 16 {
+		t.Fatalf("WriteTime(4,128) = %d, want 16", got)
+	}
+	if got := (Config{}).WriteTime(8, 128); got != 0 {
+		t.Fatalf("disabled config WriteTime = %d, want 0", got)
+	}
+}
+
+func TestContentionSharesBandwidth(t *testing.T) {
+	md := NewModel(Config{BWGBps: 10, StateFrac: 0.3})
+	d1 := md.BeginWrite(4, 128) // alone: 16 s
+	if d1 != 16 {
+		t.Fatalf("first write = %d, want 16", d1)
+	}
+	d2 := md.BeginWrite(4, 128) // shares with d1: 2× slower = 31 (ceil of 30.72)
+	if d2 != 31 {
+		t.Fatalf("contended write = %d, want 31", d2)
+	}
+	if md.InFlight() != 2 {
+		t.Fatalf("inflight = %d, want 2", md.InFlight())
+	}
+	md.EndIO()
+	d3 := md.BeginWrite(4, 128) // back to 2 in flight
+	if d3 != 31 {
+		t.Fatalf("write after one EndIO = %d, want 31", d3)
+	}
+	md.EndIO()
+	md.EndIO()
+	if md.InFlight() != 0 {
+		t.Fatalf("inflight = %d, want 0", md.InFlight())
+	}
+	if md.Writes != 3 {
+		t.Fatalf("Writes = %d, want 3", md.Writes)
+	}
+}
+
+func TestReadFactorScalesRestores(t *testing.T) {
+	md := NewModel(Config{BWGBps: 10, StateFrac: 0.3, ReadFactor: 2})
+	if got := md.BeginRead(4, 128); got != 31 { // 15.36 × 2 = 30.72 → 31
+		t.Fatalf("scaled read = %d, want 31", got)
+	}
+	md.EndIO()
+	if md.Reads != 1 {
+		t.Fatalf("Reads = %d, want 1", md.Reads)
+	}
+	// Defaulted ReadFactor behaves like 1.
+	md2 := NewModel(Config{BWGBps: 10, StateFrac: 0.3})
+	if got := md2.BeginRead(4, 128); got != 16 {
+		t.Fatalf("symmetric read = %d, want 16", got)
+	}
+	md2.EndIO()
+}
+
+func TestIOTimeFloorOneSecond(t *testing.T) {
+	md := NewModel(Config{BWGBps: 1e6, StateFrac: 0.01})
+	if got := md.BeginWrite(1, 1); got != 1 {
+		t.Fatalf("tiny write = %d, want floor of 1 s", got)
+	}
+	md.EndIO()
+}
+
+func TestEndIOWithoutBeginPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbalanced EndIO must panic")
+		}
+	}()
+	NewModel(Config{BWGBps: 10, StateFrac: 0.3}).EndIO()
+}
+
+func TestJobMTBF(t *testing.T) {
+	if got := JobMTBF(2*simulator.Day, 8); got != 6*simulator.Hour {
+		t.Fatalf("JobMTBF(2d, 8) = %d, want 6h", got)
+	}
+	if got := JobMTBF(0, 8); got != 0 {
+		t.Fatalf("no node MTBF ⇒ 0, got %d", got)
+	}
+	if got := JobMTBF(5, 100); got != 1 {
+		t.Fatalf("JobMTBF floor = %d, want 1", got)
+	}
+}
+
+func TestOptimalInterval(t *testing.T) {
+	// Young: sqrt(2 · 31 s · 21600 s) = sqrt(1 339 200) ≈ 1157.2 → 1158.
+	if got := OptimalInterval(31, 6*simulator.Hour); got != 1158 {
+		t.Fatalf("OptimalInterval(31, 6h) = %d, want 1158", got)
+	}
+	if got := OptimalInterval(0, simulator.Hour); got != 0 {
+		t.Fatalf("zero write time ⇒ 0, got %d", got)
+	}
+	if got := OptimalInterval(31, 0); got != 0 {
+		t.Fatalf("zero MTBF ⇒ 0, got %d", got)
+	}
+	// Interval should grow with MTBF: fewer faults, fewer checkpoints.
+	if OptimalInterval(31, simulator.Day) <= OptimalInterval(31, simulator.Hour) {
+		t.Fatal("optimal interval must grow with MTBF")
+	}
+}

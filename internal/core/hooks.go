@@ -58,17 +58,36 @@ type EndHook func(m *Manager, j *jobs.Job)
 // after the failure hooks in that case).
 type FailureHook func(m *Manager, j *jobs.Job, n *cluster.Node, requeued bool)
 
+// CkptEvent classifies a checkpoint lifecycle observation.
+type CkptEvent int
+
+const (
+	// CkptWritten: a checkpoint image became durable; seconds is the wall
+	// time the write stalled the job.
+	CkptWritten CkptEvent = iota
+	// CkptRestored: a restart read completed and compute resumed; seconds
+	// is the read stall.
+	CkptRestored
+	// CkptRolledBack: a crash rolled the job back to its last durable
+	// image; seconds is the nominal-frequency work discarded (per node).
+	CkptRolledBack
+)
+
+// CheckpointHook observes checkpoint lifecycle events on a job.
+type CheckpointHook func(m *Manager, j *jobs.Job, ev CkptEvent, seconds float64)
+
 // hooks collects everything policies registered.
 type hooks struct {
-	admit    []AdmitFunc
-	gates    []StartGateFunc
-	filters  []NodeFilterFunc
-	shapers  []ShapeFunc
-	freqs    []FreqFunc
-	placers  []PlaceFunc
-	starts   []StartHook
-	ends     []EndHook
-	failures []FailureHook
+	admit       []AdmitFunc
+	gates       []StartGateFunc
+	filters     []NodeFilterFunc
+	shapers     []ShapeFunc
+	freqs       []FreqFunc
+	placers     []PlaceFunc
+	starts      []StartHook
+	ends        []EndHook
+	failures    []FailureHook
+	checkpoints []CheckpointHook
 }
 
 // OnAdmit registers an admission hook.
@@ -98,6 +117,12 @@ func (m *Manager) OnJobEnd(f EndHook) { m.hooks.ends = append(m.hooks.ends, f) }
 // OnNodeFailure registers an observer for jobs that lose a node to a
 // failure (requeue or kill).
 func (m *Manager) OnNodeFailure(f FailureHook) { m.hooks.failures = append(m.hooks.failures, f) }
+
+// OnCheckpoint registers an observer for checkpoint lifecycle events
+// (image written, restart completed, crash rollback).
+func (m *Manager) OnCheckpoint(f CheckpointHook) {
+	m.hooks.checkpoints = append(m.hooks.checkpoints, f)
+}
 
 func (m *Manager) nodeEligible(j *jobs.Job, n *cluster.Node) bool {
 	for _, f := range m.hooks.filters {

@@ -167,6 +167,7 @@ func TestPreemptAtQuickRandomTimes(t *testing.T) {
 	f := func(cutRaw uint16) bool {
 		cut := simulator.Time(cutRaw%7000) + 60 // preempt between 1 and ~118 min
 		m := NewManager(Options{Cluster: cluster.DefaultConfig(), Scheduler: sched.EASY{}, Seed: 1})
+		m.FreeCheckpoint = true // this property asserts the idealized instant save/resume
 		j := mkJob(1, 4, 2*simulator.Hour)
 		j.MemFrac = 0
 		j.Walltime = 12 * simulator.Hour
@@ -229,6 +230,7 @@ func TestTopologyCommPenaltyExact(t *testing.T) {
 
 func TestResumedJobNeverReshaped(t *testing.T) {
 	m := NewManager(Options{Cluster: cluster.DefaultConfig(), Scheduler: sched.EASY{}, Seed: 1})
+	m.FreeCheckpoint = true // exact-end arithmetic assumes zero-cost preemption
 	// A shaper that would halve any moldable job's width.
 	m.OnShape(func(_ *Manager, j *jobs.Job, free int) (jobs.MoldConfig, bool) {
 		if cfg, ok := j.BestMoldUnder(j.Nodes / 2); ok {

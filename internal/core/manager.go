@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"epajsrm/internal/checkpoint"
 	"epajsrm/internal/cluster"
 	"epajsrm/internal/jobs"
 	"epajsrm/internal/power"
@@ -25,6 +26,15 @@ type running struct {
 	curFrac  float64 // effective frequency fraction the finish event assumed
 	commSlow float64 // placement-dependent communication slowdown (>= 1)
 	lastSync simulator.Time
+
+	// Checkpoint/restart phase machinery (see internal/core/checkpoint.go).
+	// During any non-computing phase the job holds its nodes and draws
+	// power but makes zero compute progress.
+	phase     runPhase
+	ioDone    *simulator.Event // pending checkpoint I/O completion
+	ioActive  bool             // a Begin on m.Ckpt awaits its EndIO
+	ioWork    float64          // WorkDone snapshot the in-flight write captures
+	ckptTimer *simulator.Event // pending periodic-checkpoint trigger
 }
 
 // Manager is the EPA JSRM control point for one system.
@@ -57,10 +67,25 @@ type Manager struct {
 	TopoPenaltyPerHop float64
 
 	// MaxRequeues bounds how many times a job that loses a node to a
-	// failure is returned to the queue before it is killed instead. Crashed
-	// jobs restart from scratch (no checkpoint), so an unbounded requeue
-	// policy would let a flaky node burn node-hours forever.
+	// failure is returned to the queue before it is killed instead. Without
+	// a checkpoint substrate crashed jobs restart from scratch, so an
+	// unbounded requeue policy would let a flaky node burn node-hours
+	// forever; with checkpointing enabled the loss per crash is bounded but
+	// the budget still caps how long a flaky node can thrash one job.
 	MaxRequeues int
+
+	// Ckpt is the checkpoint/restart substrate (always non-nil; disabled
+	// unless Options.Checkpoint enables it). When active, jobs checkpoint
+	// periodically, crashes roll back to the last durable image instead of
+	// discarding all progress, and preemption pays a demand-checkpoint
+	// drain before releasing nodes.
+	Ckpt *checkpoint.Model
+
+	// FreeCheckpoint restores the legacy idealization: PreemptJob saves and
+	// resumes progress instantly at zero cost, bypassing the checkpoint
+	// model entirely. Defaults to off — the honest default makes
+	// uncheckpointed preemption lose progress like a crash does.
+	FreeCheckpoint bool
 
 	policies []Policy
 	hooks    hooks
@@ -81,6 +106,9 @@ type Options struct {
 	Scheduler sched.Scheduler
 	Facility  *power.Facility
 	Telemetry simulator.Time // sampling period; 0 = 30 s
+	// Checkpoint configures the checkpoint/restart substrate; the zero
+	// value leaves it disabled (legacy crash-discards-everything behavior).
+	Checkpoint checkpoint.Config
 	// Engine lets several managers share one virtual clock — required when
 	// two systems coordinate (Tokyo Tech's TSUBAME2/3 facility budget
 	// sharing). Nil creates a private engine.
@@ -119,6 +147,7 @@ func NewManager(opt Options) *Manager {
 	m.PowerEstimator = func(j *jobs.Job) float64 { return j.PowerPerNodeW }
 	m.TopoPenaltyPerHop = 0.05
 	m.MaxRequeues = 2
+	m.Ckpt = checkpoint.NewModel(opt.Checkpoint)
 	m.Tel = power.NewTelemetry(pw, opt.Facility, opt.Telemetry, 0).Start(eng)
 	// Cap actuations that succeed only after asynchronous retries change
 	// job frequencies outside any policy's control flow; the controller
@@ -295,7 +324,14 @@ func (m *Manager) startJob(j *jobs.Job, now simulator.Time) bool {
 	r := &running{job: j, nodes: nodes, lastSync: now, commSlow: m.commSlowdown(j, nodes)}
 	m.runningJobs[j.ID] = r
 	m.Metrics.noteAlloc(now, len(nodes), m.Cl.Size())
-	m.scheduleFinish(r, now)
+	if m.ckptActive() && j.WorkDone > 0 {
+		// Resuming from a durable image: the restart read is charged
+		// before compute makes any progress.
+		m.beginRestore(r, now)
+	} else {
+		m.scheduleFinish(r, now)
+		m.armCkptTimer(r)
+	}
 
 	for _, h := range m.hooks.starts {
 		h(m, j, nodes)
@@ -337,8 +373,13 @@ func (m *Manager) scheduleFinish(r *running, now simulator.Time) {
 }
 
 // syncProgress brings WorkDone up to now at the rate the job has been
-// running since lastSync.
+// running since lastSync. During checkpoint write/restore/drain phases the
+// job is stalled in I/O: the clock advances but WorkDone does not.
 func (m *Manager) syncProgress(r *running, now simulator.Time) {
+	if r.phase != phaseComputing {
+		r.lastSync = now
+		return
+	}
 	dt := float64(now - r.lastSync)
 	if dt <= 0 {
 		return
@@ -358,6 +399,12 @@ func (m *Manager) syncProgress(r *running, now simulator.Time) {
 func (m *Manager) RetimeJob(id int64, now simulator.Time) {
 	r := m.runningJobs[id]
 	if r == nil {
+		return
+	}
+	if r.phase != phaseComputing {
+		// Stalled in checkpoint I/O: there is no finish event to re-arm.
+		// The commit/restore path calls scheduleFinish with the then-current
+		// frequency when compute resumes.
 		return
 	}
 	m.syncProgress(r, now)
@@ -384,6 +431,7 @@ func (m *Manager) finishJob(id int64, now simulator.Time) {
 		return
 	}
 	m.syncProgress(r, now)
+	m.cancelIO(r)
 	delete(m.runningJobs, id)
 	j := r.job
 	j.State = jobs.StateCompleted
@@ -411,6 +459,9 @@ func (m *Manager) KillJob(id int64, reason string, now simulator.Time) bool {
 	if r.finish != nil {
 		r.finish.Cancel()
 	}
+	m.cancelIO(r)
+	// A kill discards everything the job had computed, checkpointed or not.
+	m.Metrics.LostWorkSeconds += r.job.WorkDone * float64(len(r.nodes))
 	delete(m.runningJobs, id)
 	j := r.job
 	j.State = jobs.StateKilled
@@ -429,34 +480,60 @@ func (m *Manager) KillJob(id int64, reason string, now simulator.Time) bool {
 	return true
 }
 
-// PreemptJob checkpoints a running job and returns it to the queue: its
-// accumulated progress (WorkDone) survives, so only the work since the
-// last progress sync is at stake — unlike KillJob, which discards the job.
-// Emergency power response can use this as a gentler actuator than
-// RIKEN's automated killing where the software stack supports
-// checkpoint/restart. Returns false if the job is not running.
+// PreemptJob removes a running job from its nodes and returns it to the
+// queue. What it costs depends on the checkpoint substrate:
+//
+//   - Substrate active: the job pays a demand-checkpoint drain — it holds
+//     its nodes (and draws I/O power) for the image write, then releases
+//     them and later resumes from the image, paying the restart read. The
+//     call returns true immediately; the release happens when the write
+//     commits. Mid-restore preemption releases at once (the durable image
+//     is intact); mid-write preemption lets the in-flight write double as
+//     the drain.
+//   - FreeCheckpoint: the legacy idealization — progress survives and the
+//     nodes free instantly at zero cost.
+//   - Neither: honest accounting. There is nothing to resume from, so
+//     preemption discards all accumulated progress exactly like a crash
+//     (LostWorkSeconds records the damage).
+//
+// Emergency power response can use this as a gentler actuator than RIKEN's
+// automated killing where the software stack supports checkpoint/restart.
+// Returns false if the job is not running or already draining.
 func (m *Manager) PreemptJob(id int64, now simulator.Time) bool {
 	r := m.runningJobs[id]
-	if r == nil {
+	if r == nil || r.phase == phasePreemptDrain {
 		return false
+	}
+	if m.ckptActive() {
+		return m.preemptWithCheckpoint(r, now)
 	}
 	m.syncProgress(r, now)
 	if r.finish != nil {
 		r.finish.Cancel()
 	}
-	delete(m.runningJobs, id)
 	j := r.job
+	if !m.FreeCheckpoint {
+		m.Metrics.LostWorkSeconds += j.WorkDone * float64(len(r.nodes))
+		j.WorkDone = 0
+	}
+	m.requeuePreempted(r, now)
+	return true
+}
+
+// requeuePreempted is the shared tail of every preemption flavor: release
+// the placement and put the job back in the queue with whatever WorkDone
+// the caller decided survives.
+func (m *Manager) requeuePreempted(r *running, now simulator.Time) {
+	j := r.job
+	delete(m.runningJobs, j.ID)
 	j.State = jobs.StateQueued
-	m.Pw.EndJob(now, id, r.nodes)
-	released := m.Cl.Release(id, now)
+	m.Pw.EndJob(now, j.ID, r.nodes)
+	released := m.Cl.Release(j.ID, now)
 	m.finishDrains(released, now)
 	m.Metrics.noteRelease(now, len(r.nodes), m.Cl.Size())
 	m.Metrics.Preemptions++
-	// Requeue with progress preserved; remaining walltime shrinks by the
-	// fraction of work already done so the scheduler's estimate stays sane.
 	m.Queue.Push(j)
 	m.TrySchedule(now)
-	return true
 }
 
 // FailNode transitions a node to down — a crash, not an administrative
@@ -499,16 +576,21 @@ func (m *Manager) RepairNode(id int, now simulator.Time) bool {
 }
 
 // failJob handles a running job that just lost node `failed`: release its
-// placement (the failed node stays down), then requeue or kill. Unlike
-// PreemptJob there is no checkpoint — a crash discards all progress.
+// placement (the failed node stays down), then requeue or kill. With the
+// checkpoint substrate active the job rolls back to its last durable
+// image; without it a crash discards all progress. A crash mid-checkpoint
+// or mid-restore aborts the I/O — a half-written image is never durable,
+// so the rollback target is always the previous completed checkpoint.
 func (m *Manager) failJob(id int64, failed *cluster.Node, now simulator.Time) {
 	r := m.runningJobs[id]
 	if r == nil {
 		return
 	}
+	m.syncProgress(r, now)
 	if r.finish != nil {
 		r.finish.Cancel()
 	}
+	m.cancelIO(r)
 	delete(m.runningJobs, id)
 	j := r.job
 	m.Pw.EndJob(now, id, r.nodes)
@@ -518,16 +600,32 @@ func (m *Manager) failJob(id int64, failed *cluster.Node, now simulator.Time) {
 	if j.Requeues < m.MaxRequeues {
 		j.Requeues++
 		j.State = jobs.StateQueued
-		// The work is lost, not checkpointed: the job restarts from zero
-		// and may be reshaped again at its next start.
-		j.WorkDone = 0
+		// Roll back to the last durable checkpoint — or to zero without a
+		// substrate, where the job restarts from scratch and may be
+		// reshaped again at its next start.
+		target := 0.0
+		if m.ckptActive() {
+			target = j.CheckpointWork
+			if target > j.WorkDone {
+				target = j.WorkDone
+			}
+		}
+		lost := (j.WorkDone - target) * float64(len(r.nodes))
+		m.Metrics.LostWorkSeconds += lost
+		j.WorkDone = target
 		m.Metrics.Requeues++
+		if m.ckptActive() {
+			for _, h := range m.hooks.checkpoints {
+				h(m, j, CkptRolledBack, lost/float64(len(r.nodes)))
+			}
+		}
 		for _, h := range m.hooks.failures {
 			h(m, j, failed, true)
 		}
 		m.Queue.Push(j)
 		return
 	}
+	m.Metrics.LostWorkSeconds += j.WorkDone * float64(len(r.nodes))
 	j.State = jobs.StateKilled
 	j.KillReason = fmt.Sprintf("node failure on %s: requeue limit %d exhausted", failed.Name, m.MaxRequeues)
 	j.End = now

@@ -23,6 +23,20 @@ type Metrics struct {
 	NodeFailures int
 	Requeues     int
 
+	// Checkpoint/restart accounting. CheckpointsWritten counts durable
+	// images (completed writes); CheckpointRestores counts completed
+	// restart reads. The Seconds figures are wall time spent stalled in
+	// checkpoint I/O — compute makes zero progress during them.
+	CheckpointsWritten     int
+	CheckpointRestores     int
+	CheckpointWriteSeconds float64
+	RestartReadSeconds     float64
+
+	// LostWorkSeconds totals node-seconds of accumulated progress discarded
+	// by crashes, requeues, rollbacks, and uncheckpointed preemptions — the
+	// wasted-work number resilience experiments compare policies on.
+	LostWorkSeconds float64
+
 	Waits      stats.Sample // seconds
 	Slowdowns  stats.Sample // bounded slowdown
 	RunSizes   stats.Sample // nodes, completed jobs

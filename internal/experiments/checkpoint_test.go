@@ -1,0 +1,75 @@
+package experiments
+
+import "testing"
+
+func TestE22OffZeroReproducesBaseline(t *testing.T) {
+	r := E22CheckpointSweep(3)
+	// Checkpoint disabled + idle injector must match the plain no-injector
+	// baseline exactly: the whole subsystem costs nothing until enabled.
+	if r.Values["goodput_off_zero"] != r.Values["goodput_base"] {
+		t.Fatalf("off/zero goodput %f != baseline %f",
+			r.Values["goodput_off_zero"], r.Values["goodput_base"])
+	}
+	if r.Values["completed_off_zero"] != r.Values["completed_base"] {
+		t.Fatalf("off/zero completed %f != baseline %f",
+			r.Values["completed_off_zero"], r.Values["completed_base"])
+	}
+	if r.Values["ckpts_off_zero"] != 0 || r.Values["restores_off_zero"] != 0 {
+		t.Fatal("disabled substrate produced checkpoint activity")
+	}
+	if r.Values["lostwork_off_zero"] != 0 {
+		t.Fatalf("fault-free run lost %f node-s of work", r.Values["lostwork_off_zero"])
+	}
+}
+
+func TestE22CheckpointingRecoversGoodput(t *testing.T) {
+	r := E22CheckpointSweep(3)
+	if r.Values["crashes_off_high"] <= 0 {
+		t.Fatal("high fault level produced no crashes")
+	}
+	// The headline claim: at the high fault rate, every checkpointing
+	// configuration strictly beats requeue-from-scratch on goodput.
+	off := r.Values["goodput_off_high"]
+	for _, k := range []string{"30m", "2h", "yd"} {
+		got := r.Values["goodput_"+k+"_high"]
+		if got <= off {
+			t.Fatalf("goodput with %s checkpointing = %f, not above requeue-from-scratch %f", k, got, off)
+		}
+	}
+	// And checkpointing bounds the damage: less work discarded than with
+	// requeue-from-scratch.
+	for _, k := range []string{"30m", "2h", "yd"} {
+		if r.Values["lostwork_"+k+"_high"] >= r.Values["lostwork_off_high"] {
+			t.Fatalf("lost work with %s checkpointing = %f, not below off %f",
+				k, r.Values["lostwork_"+k+"_high"], r.Values["lostwork_off_high"])
+		}
+	}
+	// Under faults the substrate actually worked: images written, jobs
+	// restored from them.
+	if r.Values["ckpts_30m_high"] <= 0 || r.Values["restores_30m_high"] <= 0 {
+		t.Fatal("no checkpoint/restore activity at the high fault rate")
+	}
+	// Fault-free checkpointing is pure overhead: goodput must not exceed
+	// the uncheckpointed fault-free run.
+	if r.Values["goodput_30m_zero"] > r.Values["goodput_off_zero"] {
+		t.Fatalf("checkpoint overhead improved fault-free goodput: %f > %f",
+			r.Values["goodput_30m_zero"], r.Values["goodput_off_zero"])
+	}
+}
+
+func TestE22Deterministic(t *testing.T) {
+	a := E22CheckpointSweep(9)
+	b := E22CheckpointSweep(9)
+	if a.Render() != b.Render() {
+		t.Fatalf("same seed rendered differently:\n%s\n---\n%s", a.Render(), b.Render())
+	}
+	for k, v := range a.Values {
+		if b.Values[k] != v {
+			t.Fatalf("value %q differs: %f vs %f", k, v, b.Values[k])
+		}
+	}
+	c := E22CheckpointSweep(10)
+	if a.Render() == c.Render() {
+		t.Fatal("different seeds produced identical exhibits")
+	}
+}

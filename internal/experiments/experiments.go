@@ -132,5 +132,6 @@ func All(seed uint64) []Result {
 		E19Monitoring(seed),
 		E20FairShare(seed),
 		E21Resilience(seed),
+		E22CheckpointSweep(seed),
 	}
 }

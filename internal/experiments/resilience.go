@@ -71,18 +71,20 @@ func E21Resilience(seed uint64) Result {
 	base, _, baseViol := run(nil)
 
 	tbl := report.Table{
-		Header: []string{"fault level", "goodput (node-h/day)", "completed", "crashes", "requeues", "killed", "cap-violation (s)"},
+		Header: []string{"fault level", "goodput (node-h/day)", "completed", "crashes", "requeues", "killed", "lost work (node-h)", "cap-violation (s)"},
 	}
 	tbl.Rows = append(tbl.Rows, []string{
 		"baseline (no injector)",
 		fmt.Sprintf("%.0f", base.Metrics.ThroughputNodeHoursPerDay()),
 		fmt.Sprint(base.Metrics.Completed), "-", "-",
 		fmt.Sprint(base.Metrics.Killed),
+		fmt.Sprintf("%.0f", base.Metrics.LostWorkSeconds/3600),
 		fmt.Sprintf("%.0f", baseViol),
 	})
 	values := map[string]float64{
-		"goodput_base": base.Metrics.NodeSecondsDone,
-		"viol_base":    baseViol,
+		"goodput_base":  base.Metrics.NodeSecondsDone,
+		"viol_base":     baseViol,
+		"lostwork_base": base.Metrics.LostWorkSeconds,
 	}
 	var notes []string
 	for _, lv := range levels {
@@ -94,6 +96,7 @@ func E21Resilience(seed uint64) Result {
 			fmt.Sprint(in.Crashes),
 			fmt.Sprint(m.Metrics.Requeues),
 			fmt.Sprint(m.Metrics.Killed),
+			fmt.Sprintf("%.0f", m.Metrics.LostWorkSeconds/3600),
 			fmt.Sprintf("%.0f", viol),
 		})
 		values["goodput_"+lv.name] = m.Metrics.NodeSecondsDone
@@ -101,6 +104,7 @@ func E21Resilience(seed uint64) Result {
 		values["crashes_"+lv.name] = float64(in.Crashes)
 		values["requeues_"+lv.name] = float64(m.Metrics.Requeues)
 		values["viol_"+lv.name] = viol
+		values["lostwork_"+lv.name] = m.Metrics.LostWorkSeconds
 		if lv.prof.Zero() {
 			continue
 		}

@@ -95,6 +95,14 @@ type Job struct {
 	WorkDone float64
 	// LastProgress is when WorkDone was last brought up to date.
 	LastProgress simulator.Time
+
+	// CheckpointWork is the WorkDone captured by the last durable (fully
+	// written) checkpoint image; a crash rolls WorkDone back to this value
+	// instead of zero when the checkpoint substrate is enabled. A
+	// half-written image never updates it.
+	CheckpointWork float64
+	// Checkpoints counts durable checkpoint images this job completed.
+	Checkpoints int
 }
 
 // Validate checks the request for internal consistency.

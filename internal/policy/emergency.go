@@ -23,11 +23,14 @@ type Emergency struct {
 	Period simulator.Time
 	// PreRunGate enables the admission-time estimate check.
 	PreRunGate bool
-	// Checkpoint preempts (checkpoint + requeue, progress preserved)
-	// instead of killing — the gentler actuator for stacks with
-	// checkpoint/restart support. Enabling it implies the pre-run gate,
-	// since requeued jobs must not restart straight into the same
-	// emergency.
+	// Checkpoint preempts (checkpoint + requeue) instead of killing — the
+	// gentler actuator for stacks with checkpoint/restart support. What a
+	// preemption costs is the manager's business: with the checkpoint
+	// substrate active the victim drains through a demand-checkpoint write
+	// (power drops only when the write commits — the loop accounts for
+	// these in-flight sheds via PendingShedW); without it the victim loses
+	// its progress. Enabling it implies the pre-run gate, since requeued
+	// jobs must not restart straight into the same emergency.
 	Checkpoint bool
 	// KillHeadroomFrac is how far below the limit the kill loop drives the
 	// system (hysteresis); default 0.95.
@@ -75,11 +78,15 @@ func (p *Emergency) Attach(m *core.Manager) {
 
 func (p *Emergency) check(now simulator.Time) {
 	m := p.m
-	if m.Pw.TotalPower() <= p.LimitW {
+	// Drains already in flight will shed power when their checkpoint
+	// writes commit; count them as good as done, or every control tick
+	// during a long write would preempt fresh victims for the same watts.
+	pending := m.PendingShedW()
+	if m.Pw.TotalPower()-pending <= p.LimitW {
 		m.TrySchedule(now)
 		return
 	}
-	// Over the limit: kill until under limit * headroom.
+	// Over the limit: shed until under limit * headroom.
 	target := p.LimitW * p.KillHeadroomFrac
 	victims := m.Running()
 	sort.Slice(victims, func(i, j int) bool {
@@ -92,12 +99,15 @@ func (p *Emergency) check(now simulator.Time) {
 		return victims[i].ID > victims[j].ID // deterministic tiebreak
 	})
 	for _, v := range victims {
-		if m.Pw.TotalPower() <= target {
+		if m.Pw.TotalPower()-pending <= target {
 			break
 		}
 		if p.Checkpoint {
 			if m.PreemptJob(v.ID, now) {
 				p.Preempts++
+				// Instant preemption already dropped TotalPower; a drain
+				// shows up in PendingShedW until its write commits.
+				pending = m.PendingShedW()
 			}
 		} else if m.KillJob(v.ID, "emergency power limit", now) {
 			p.Kills++

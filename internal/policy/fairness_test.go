@@ -3,6 +3,7 @@ package policy
 import (
 	"testing"
 
+	"epajsrm/internal/checkpoint"
 	"epajsrm/internal/cluster"
 	"epajsrm/internal/core"
 	"epajsrm/internal/jobs"
@@ -89,6 +90,7 @@ func TestFairShareEnergyCharging(t *testing.T) {
 
 func TestPreemptJobPreservesProgress(t *testing.T) {
 	m := newMgr(t, 4)
+	m.FreeCheckpoint = true                      // asserts the idealized instant save/resume path
 	j := testJob(1, 4, 2*simulator.Hour, 300, 0) // compute-bound, 2h of work
 	j.Walltime = 10 * simulator.Hour
 	if err := m.Submit(j, 0); err != nil {
@@ -127,6 +129,9 @@ func TestEmergencyCheckpointModeLosesNoJobs(t *testing.T) {
 	limit := 64*90 + 10*270.0
 	p := &Emergency{LimitW: limit, Checkpoint: true, Period: 30 * simulator.Second}
 	m := newMgr(t, 5, p)
+	// A real (costed) checkpoint substrate: preempted jobs drain through a
+	// demand-checkpoint write and later resume from the image.
+	m.Ckpt = checkpoint.NewModel(checkpoint.Config{BWGBps: 10, StateFrac: 0.3, IOPowerW: 20})
 	for i := int64(1); i <= 8; i++ {
 		j := testJob(i, 8, 2*simulator.Hour, 360, 0.2)
 		if err := m.Submit(j, 0); err != nil {
@@ -144,6 +149,11 @@ func TestEmergencyCheckpointModeLosesNoJobs(t *testing.T) {
 	// happened, and power ends under the limit.
 	if m.Pw.TotalPower() > limit {
 		t.Fatalf("still over limit: %f", m.Pw.TotalPower())
+	}
+	// Preemption under a real substrate is not free: any preempted job paid
+	// a demand-checkpoint write, and no progress was silently discarded.
+	if m.Metrics.Preemptions > 0 && m.Metrics.CheckpointsWritten == 0 {
+		t.Fatalf("%d preemptions but no checkpoint writes", m.Metrics.Preemptions)
 	}
 }
 

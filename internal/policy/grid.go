@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"sort"
+
 	"epajsrm/internal/core"
 	"epajsrm/internal/esp"
 	"epajsrm/internal/jobs"
@@ -29,7 +31,10 @@ type GridAware struct {
 	DRKill bool
 	// DRPreempt checkpoints-and-requeues jobs instead of killing them when
 	// an active demand-response limit is exceeded (takes precedence over
-	// DRKill).
+	// DRKill). With the checkpoint substrate active each victim drains
+	// through a demand-checkpoint write before its power drops, so the
+	// shedding loop counts in-flight drains (core.Manager.PendingShedW)
+	// as good as shed.
 	DRPreempt bool
 	// Period is the control interval.
 	Period simulator.Time
@@ -85,25 +90,57 @@ func (p *GridAware) Attach(m *core.Manager) {
 	m.ScheduleEvery(p.Period, "grid-aware", func(now simulator.Time) {
 		p.Meter.Observe(now, p.sitePower(now))
 		if limit, ok := p.Provider.ActiveDR(now); ok && (p.DRKill || p.DRPreempt) {
-			for p.sitePower(now) > limit {
-				victim := p.youngest()
-				if victim == nil {
-					break
-				}
-				if p.DRPreempt {
-					if !m.PreemptJob(victim.ID, now) {
+			if p.DRPreempt {
+				p.shedByPreemption(now, limit)
+			} else {
+				for p.sitePower(now) > limit {
+					victim := p.youngest()
+					if victim == nil {
 						break
 					}
-					p.DRPreempts++
-				} else if m.KillJob(victim.ID, "demand response", now) {
-					p.DRKills++
-				} else {
-					break
+					if m.KillJob(victim.ID, "demand response", now) {
+						p.DRKills++
+					} else {
+						break
+					}
 				}
 			}
 		}
 		m.TrySchedule(now)
 	})
+}
+
+// shedByPreemption preempts running jobs, youngest first, until the site
+// power projected after in-flight checkpoint drains commit fits the
+// demand-response limit.
+func (p *GridAware) shedByPreemption(now simulator.Time, limit float64) {
+	m := p.m
+	victims := m.Running()
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].Start != victims[j].Start {
+			return victims[i].Start > victims[j].Start // youngest first
+		}
+		return victims[i].ID < victims[j].ID
+	})
+	for _, v := range victims {
+		if p.sitePowerLessShed(now) <= limit {
+			return
+		}
+		if m.PreemptJob(v.ID, now) {
+			p.DRPreempts++
+		}
+	}
+}
+
+// sitePowerLessShed projects site power as if all in-flight preemption
+// drains had already committed (the facility transform applies to the
+// projected IT draw).
+func (p *GridAware) sitePowerLessShed(now simulator.Time) float64 {
+	it := p.m.Pw.TotalPower() - p.m.PendingShedW()
+	if p.m.Fac != nil {
+		return p.m.Fac.SitePower(now, it)
+	}
+	return it
 }
 
 func (p *GridAware) sitePower(now simulator.Time) float64 {

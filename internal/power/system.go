@@ -14,6 +14,12 @@ type Load struct {
 	NominalW float64 // node draw at nominal frequency for this workload
 	MemFrac  float64 // fraction of runtime that does not scale with frequency
 	FreqFrac float64 // frequency assigned by software (DVFS policy), 1 = nominal
+	// AuxW is additive draw from I/O the node is doing on top of its compute
+	// load — burst-buffer checkpoint traffic. DVFS and node caps throttle the
+	// compute draw, not this term: the NIC and SSDs do not slow down when the
+	// CPU does, which is exactly why checkpoint bursts can push a capped site
+	// over its limit.
+	AuxW float64
 }
 
 // System tracks the live electrical state of one cluster: per-node draw,
@@ -111,7 +117,7 @@ func (s *System) computeNodePower(n *cluster.Node) float64 {
 		if ld == nil {
 			return s.Model.IdleW
 		}
-		return s.Model.BusyPower(ld.NominalW, s.effectiveFrac(n, ld), s.vf[n.ID])
+		return s.Model.BusyPower(ld.NominalW, s.effectiveFrac(n, ld), s.vf[n.ID]) + ld.AuxW
 	default:
 		return s.Model.IdleW
 	}
@@ -193,6 +199,20 @@ func (s *System) SetNodeCap(now simulator.Time, n *cluster.Node, capW float64) {
 	s.Advance(now)
 	n.CapW = capW
 	s.nodeP[n.ID] = s.computeNodePower(n)
+	s.trackPeak(now)
+}
+
+// SetJobAux sets the auxiliary (I/O) draw on every node of a running job —
+// non-zero while a checkpoint write or restart read is in flight, zero
+// otherwise. The term is additive and unthrottled (see Load.AuxW).
+func (s *System) SetJobAux(now simulator.Time, jobID int64, auxW float64) {
+	s.Advance(now)
+	for id, ld := range s.loads {
+		if ld.JobID == jobID {
+			ld.AuxW = auxW
+			s.nodeP[id] = s.computeNodePower(s.Cl.Nodes[id])
+		}
+	}
 	s.trackPeak(now)
 }
 

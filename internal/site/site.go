@@ -10,6 +10,7 @@ package site
 import (
 	"fmt"
 
+	"epajsrm/internal/checkpoint"
 	"epajsrm/internal/cluster"
 	"epajsrm/internal/core"
 	"epajsrm/internal/esp"
@@ -41,18 +42,24 @@ type Profile struct {
 	// (seeded from the build seed). The nine surveyed profiles leave it nil
 	// — fault injection is opt-in per run, e.g. via epasim's flags.
 	Faults *fault.Profile
+	// Checkpoint configures the checkpoint/restart substrate. The nine
+	// surveyed profiles leave it zero (disabled) — the survey's sites did
+	// not report system-level checkpointing in production; enable it per
+	// run via epasim's -ckpt-* flags.
+	Checkpoint checkpoint.Config
 }
 
 // Build constructs the manager for a profile and submits n jobs from its
 // workload generator, all seeded deterministically.
 func (p Profile) Build(seed uint64, n int) (*core.Manager, []*jobs.Job, error) {
 	m := core.NewManager(core.Options{
-		Cluster:   p.Cluster,
-		NodeModel: p.Model,
-		VarSigma:  p.VarSigma,
-		Seed:      seed,
-		Scheduler: sched.EASY{},
-		Facility:  p.Facility,
+		Cluster:    p.Cluster,
+		NodeModel:  p.Model,
+		VarSigma:   p.VarSigma,
+		Seed:       seed,
+		Scheduler:  sched.EASY{},
+		Facility:   p.Facility,
+		Checkpoint: p.Checkpoint,
 	})
 	if p.Attach != nil {
 		for _, pol := range p.Attach(m) {
