@@ -1,8 +1,10 @@
 # Tier-1 gate: everything a change must pass before it lands.
 # `make check` is the canonical entry point (vet + build + race-enabled
-# tests); CI and reviewers run exactly this.
+# tests); CI and reviewers run exactly this. The race gate doubles as the
+# determinism gate for the parallel experiment runner.
 
 GO ?= go
+BENCH_DATE := $(shell date +%Y-%m-%d)
 
 .PHONY: check vet build test race bench
 
@@ -20,5 +22,8 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench tracks the perf trajectory per PR: full benchmark run, results
+# archived as BENCH_<date>.json (raw benchstat-compatible text kept in the
+# record's "raw" field — `jq -r .raw BENCH_<date>.json | benchstat /dev/stdin`).
 bench:
-	$(GO) test -bench=. -benchmem -run '^$$' .
+	$(GO) test -bench=. -benchmem -count=1 -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json

@@ -8,6 +8,7 @@ package epajsrm_test
 // EXPERIMENTS.md.
 
 import (
+	"runtime"
 	"testing"
 
 	"epajsrm/internal/cluster"
@@ -17,11 +18,41 @@ import (
 	"epajsrm/internal/policy"
 	"epajsrm/internal/power"
 	"epajsrm/internal/predict"
+	"epajsrm/internal/runner"
 	"epajsrm/internal/sched"
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/stats"
 	"epajsrm/internal/workload"
 )
+
+// -- Full suite through the parallel runner -----------------------------------
+
+// BenchmarkSuite runs every exhibit and experiment through runner.Map at
+// procs=1 and procs=GOMAXPROCS. The two sub-benchmarks measure the same
+// deterministic work, so their ratio is the harness's parallel speedup on
+// the current machine (identical on a single-core box).
+func BenchmarkSuite(b *testing.B) {
+	for _, procs := range []int{1, runtime.GOMAXPROCS(0)} {
+		name := "procs=1"
+		if procs != 1 {
+			name = "procs=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			prev := runner.Procs()
+			runner.SetProcs(procs)
+			defer runner.SetProcs(prev)
+			for i := 0; i < b.N; i++ {
+				rs := experiments.All(uint64(i + 1))
+				if i == 0 {
+					b.ReportMetric(float64(len(rs)), "experiments")
+				}
+			}
+		})
+		if procs == 1 && runtime.GOMAXPROCS(0) == 1 {
+			break // both sub-benchmarks would be identical
+		}
+	}
+}
 
 // -- Paper exhibits ---------------------------------------------------------
 

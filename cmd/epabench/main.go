@@ -1,24 +1,33 @@
 // Command epabench runs the reproduction experiments (T1/T2/F1/F2 exhibits
 // and validation experiments E1–E22 from DESIGN.md) and prints each
-// result table.
+// result table. Independent experiments execute across a worker pool; the
+// report stream on stdout is byte-identical at any parallelism, and a
+// per-experiment wall-time table goes to stderr so slow exhibits are
+// visible at a glance without perturbing the deterministic output.
 //
 // Usage:
 //
-//	epabench [-seed N] [-only E4,E7]
+//	epabench [-seed N] [-only E4,E7] [-run 'E2[0-2]'] [-procs 4]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strings"
+	"time"
 
 	"epajsrm/internal/experiments"
+	"epajsrm/internal/report"
+	"epajsrm/internal/runner"
 )
 
 func main() {
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	runPat := flag.String("run", "", "regexp filter on experiment IDs (combines with -only)")
+	procs := flag.Int("procs", 0, "max concurrent experiments (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -27,49 +36,82 @@ func main() {
 			want[id] = true
 		}
 	}
+	var pat *regexp.Regexp
+	if *runPat != "" {
+		var err error
+		if pat, err = regexp.Compile("(?i)" + *runPat); err != nil {
+			fmt.Fprintf(os.Stderr, "bad -run pattern: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	type maker struct {
 		id string
-		fn func() experiments.Result
+		fn func(seed uint64) experiments.Result
 	}
 	makers := []maker{
-		{"T1", func() experiments.Result { return experiments.T1TableI() }},
-		{"T2", func() experiments.Result { return experiments.T2TableII() }},
-		{"F1", func() experiments.Result { return experiments.F1ComponentDiagram() }},
-		{"F2", func() experiments.Result { return experiments.F2WorldMap() }},
-		{"E1", func() experiments.Result { return experiments.E1StaticCap(*seed) }},
-		{"E2", func() experiments.Result { return experiments.E2IdleShutdown(*seed) }},
-		{"E3", func() experiments.Result { return experiments.E3DVFS() }},
-		{"E4", func() experiments.Result { return experiments.E4PowerSharing(*seed) }},
-		{"E5", func() experiments.Result { return experiments.E5Overprovision(*seed) }},
-		{"E6", func() experiments.Result { return experiments.E6Emergency(*seed) }},
-		{"E7", func() experiments.Result { return experiments.E7EnergyTag(*seed) }},
-		{"E8", func() experiments.Result { return experiments.E8Prediction(*seed) }},
-		{"E9", func() experiments.Result { return experiments.E9InterSystem(*seed) }},
-		{"E10", func() experiments.Result { return experiments.E10Layout(*seed) }},
-		{"E11", func() experiments.Result { return experiments.E11MS3(*seed) }},
-		{"E12", func() experiments.Result { return experiments.E12Backfill(*seed) }},
-		{"E13", func() experiments.Result { return experiments.E13GridAware(*seed) }},
-		{"E14", func() experiments.Result { return experiments.E14RuntimeBalance(*seed) }},
-		{"E15", func() experiments.Result { return experiments.E15Topology(*seed) }},
-		{"E16", func() experiments.Result { return experiments.E16CapabilityWindow(*seed) }},
-		{"E17", func() experiments.Result { return experiments.E17RampLimit(*seed) }},
-		{"E18", func() experiments.Result { return experiments.E18CoolingAware(*seed) }},
-		{"E19", func() experiments.Result { return experiments.E19Monitoring(*seed) }},
-		{"E20", func() experiments.Result { return experiments.E20FairShare(*seed) }},
-		{"E21", func() experiments.Result { return experiments.E21Resilience(*seed) }},
-		{"E22", func() experiments.Result { return experiments.E22CheckpointSweep(*seed) }},
+		{"T1", func(uint64) experiments.Result { return experiments.T1TableI() }},
+		{"T2", func(uint64) experiments.Result { return experiments.T2TableII() }},
+		{"F1", func(uint64) experiments.Result { return experiments.F1ComponentDiagram() }},
+		{"F2", func(uint64) experiments.Result { return experiments.F2WorldMap() }},
+		{"E1", experiments.E1StaticCap},
+		{"E2", experiments.E2IdleShutdown},
+		{"E3", func(uint64) experiments.Result { return experiments.E3DVFS() }},
+		{"E4", experiments.E4PowerSharing},
+		{"E5", experiments.E5Overprovision},
+		{"E6", experiments.E6Emergency},
+		{"E7", experiments.E7EnergyTag},
+		{"E8", experiments.E8Prediction},
+		{"E9", experiments.E9InterSystem},
+		{"E10", experiments.E10Layout},
+		{"E11", experiments.E11MS3},
+		{"E12", experiments.E12Backfill},
+		{"E13", experiments.E13GridAware},
+		{"E14", experiments.E14RuntimeBalance},
+		{"E15", experiments.E15Topology},
+		{"E16", experiments.E16CapabilityWindow},
+		{"E17", experiments.E17RampLimit},
+		{"E18", experiments.E18CoolingAware},
+		{"E19", experiments.E19Monitoring},
+		{"E20", experiments.E20FairShare},
+		{"E21", experiments.E21Resilience},
+		{"E22", experiments.E22CheckpointSweep},
 	}
-	ran := 0
+	var chosen []maker
 	for _, mk := range makers {
 		if len(want) > 0 && !want[mk.id] {
 			continue
 		}
-		fmt.Println(mk.fn().Render())
-		ran++
+		if pat != nil && !pat.MatchString(mk.id) {
+			continue
+		}
+		chosen = append(chosen, mk)
 	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiments matched %q\n", *only)
+	if len(chosen) == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched -only=%q -run=%q\n", *only, *runPat)
 		os.Exit(2)
 	}
+
+	runner.SetProcs(*procs)
+	type outcome struct {
+		text string
+		wall time.Duration
+	}
+	outs := runner.Map(len(chosen), func(i int) outcome {
+		start := time.Now()
+		r := chosen[i].fn(*seed)
+		return outcome{r.Render(), time.Since(start)}
+	})
+	for _, o := range outs {
+		fmt.Println(o.text)
+	}
+
+	timing := report.Table{
+		Title:  fmt.Sprintf("wall time per experiment (procs=%d)", runner.Procs()),
+		Header: []string{"experiment", "wall time"},
+	}
+	for i, o := range outs {
+		timing.Rows = append(timing.Rows, []string{chosen[i].id, o.wall.Round(time.Millisecond).String()})
+	}
+	fmt.Fprintln(os.Stderr, timing.Render())
 }

@@ -8,6 +8,7 @@
 //	epasim -site kaust [-jobs 200] [-days 7] [-seed 42] [-writetrace file]
 //	epasim -site kaust -mtbf 4 -actfail 0.1   # with fault injection
 //	epasim -site kaust -mtbf 2 -ckpt-interval 20   # ... and checkpoint/restart
+//	epasim -site kaust -reps 8 -procs 4   # seed-replication sweep
 //	epasim -list
 package main
 
@@ -19,8 +20,10 @@ import (
 	"epajsrm/internal/checkpoint"
 	"epajsrm/internal/fault"
 	"epajsrm/internal/report"
+	"epajsrm/internal/runner"
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/site"
+	"epajsrm/internal/stats"
 	"epajsrm/internal/workload"
 )
 
@@ -42,6 +45,8 @@ func main() {
 	ckptBW := flag.Float64("ckpt-bw", 10, "aggregate burst-buffer bandwidth for checkpoint I/O, GB/s")
 	ckptStateFrac := flag.Float64("ckpt-statefrac", 0.3, "fraction of node memory captured per checkpoint image")
 	ckptIOPowerW := flag.Float64("ckpt-iopower", 30, "extra per-node draw while checkpoint I/O is in flight, W")
+	reps := flag.Int("reps", 1, "seed replications: run seeds seed..seed+reps-1 and report per-seed + mean metrics")
+	procs := flag.Int("procs", 0, "max concurrent replications (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -62,6 +67,26 @@ func main() {
 			StateFrac: *ckptStateFrac,
 			IOPowerW:  *ckptIOPowerW,
 		}
+	}
+
+	prof := fault.Profile{
+		NodeMTBF:          simulator.Time(*mtbfDays * float64(simulator.Day)),
+		NodeMTTR:          simulator.Time(*mttrMin * float64(simulator.Minute)),
+		SensorMTBF:        simulator.Time(*sensorMTBFHours * float64(simulator.Hour)),
+		SensorMTTR:        simulator.Time(*sensorMTTRMin * float64(simulator.Minute)),
+		SensorStuckProb:   *stuckProb,
+		ActuationFailProb: *actFail,
+	}
+	horizon := simulator.Time(*days) * simulator.Day
+
+	if *reps > 1 {
+		if *traceIn != "" || *traceOut != "" {
+			fmt.Fprintln(os.Stderr, "-reps cannot be combined with -readtrace/-writetrace")
+			os.Exit(2)
+		}
+		runner.SetProcs(*procs)
+		replicate(p, prof, *seed, *reps, *jobs, horizon)
+		return
 	}
 
 	nGen := *jobs
@@ -110,21 +135,12 @@ func main() {
 		fmt.Printf("wrote %d jobs to %s\n", len(js), *traceOut)
 	}
 
-	prof := fault.Profile{
-		NodeMTBF:          simulator.Time(*mtbfDays * float64(simulator.Day)),
-		NodeMTTR:          simulator.Time(*mttrMin * float64(simulator.Minute)),
-		SensorMTBF:        simulator.Time(*sensorMTBFHours * float64(simulator.Hour)),
-		SensorMTTR:        simulator.Time(*sensorMTTRMin * float64(simulator.Minute)),
-		SensorStuckProb:   *stuckProb,
-		ActuationFailProb: *actFail,
-	}
 	var inj *fault.Injector
 	if !prof.Zero() {
 		inj = fault.New(m, prof, *seed^0xfa)
 		inj.Start()
 	}
 
-	horizon := simulator.Time(*days) * simulator.Day
 	end := m.Run(horizon)
 
 	fmt.Printf("site %s — %s\n\n", p.Name, p.Desc)
@@ -195,4 +211,69 @@ func main() {
 			Ys:     ys,
 		}.Render())
 	}
+}
+
+// replicate runs the profile at reps consecutive seeds across the worker
+// pool and prints per-seed metrics plus the mean row. Every replica owns
+// its manager, RNG, and engine, so the rows are independent draws of the
+// same configuration — the cheap coverage sweep the parallel runner exists
+// for.
+func replicate(p site.Profile, prof fault.Profile, seed uint64, reps, jobs int, horizon simulator.Time) {
+	type rep struct {
+		seed              uint64
+		completed, killed int
+		util              float64
+		medWait           simulator.Time
+		energyMWh         float64
+		peakKW            float64
+		err               error
+	}
+	outs := runner.Map(reps, func(i int) rep {
+		s := seed + uint64(i)
+		m, _, err := p.Build(s, jobs)
+		if err != nil {
+			return rep{seed: s, err: err}
+		}
+		if !prof.Zero() {
+			fault.New(m, prof, s^0xfa).Start()
+		}
+		m.Run(horizon)
+		peak, _ := m.Pw.PeakPower()
+		return rep{
+			seed:      s,
+			completed: m.Metrics.Completed,
+			killed:    m.Metrics.Killed,
+			util:      m.Metrics.Utilization(m.Cl.Size()),
+			medWait:   simulator.Time(m.Metrics.Waits.Median()),
+			energyMWh: m.Pw.TotalEnergy() / 3.6e9,
+			peakKW:    peak / 1000,
+		}
+	})
+
+	tbl := report.Table{
+		Title:  fmt.Sprintf("site %s — %d seed replications (procs=%d)", p.Name, reps, runner.Procs()),
+		Header: []string{"seed", "completed", "killed", "utilization", "median wait", "IT energy (MWh)", "peak (kW)"},
+	}
+	var util, energy, peak, done stats.Sample
+	for _, r := range outs {
+		if r.err != nil {
+			fmt.Fprintln(os.Stderr, r.err)
+			os.Exit(1)
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprint(r.seed), fmt.Sprint(r.completed), fmt.Sprint(r.killed),
+			fmt.Sprintf("%.1f%%", 100*r.util), r.medWait.String(),
+			fmt.Sprintf("%.2f", r.energyMWh), fmt.Sprintf("%.1f", r.peakKW),
+		})
+		util.Add(r.util)
+		energy.Add(r.energyMWh)
+		peak.Add(r.peakKW)
+		done.Add(float64(r.completed))
+	}
+	tbl.Rows = append(tbl.Rows, []string{
+		"mean", fmt.Sprintf("%.1f", done.Mean()), "-",
+		fmt.Sprintf("%.1f%%", 100*util.Mean()), "-",
+		fmt.Sprintf("%.2f", energy.Mean()), fmt.Sprintf("%.1f", peak.Mean()),
+	})
+	fmt.Println(tbl.Render())
 }

@@ -56,9 +56,12 @@ type Cluster struct {
 
 	// pduMaint / chillerMaint mark infrastructure under maintenance; the
 	// layout-aware policy (CEA's SLURM "layout logic") refuses to place
-	// jobs on dependent nodes.
+	// jobs on dependent nodes. infraMaint flattens both maps into one bit
+	// per node: maintenance flips are rare, availability scans are the
+	// scheduler's hottest loop.
 	pduMaint     map[int]bool
 	chillerMaint map[int]bool
+	infraMaint   []bool
 
 	byJob map[int64][]*Node
 }
@@ -111,6 +114,7 @@ func New(cfg Config) *Cluster {
 			c.Chillers = chiller + 1
 		}
 	}
+	c.infraMaint = make([]bool, len(c.Nodes))
 	return c
 }
 
@@ -175,7 +179,15 @@ func (c *Cluster) AvailableCount(eligible func(*Node) bool) int {
 // InfraMaintenance reports whether the node's PDU or chiller is under
 // maintenance.
 func (c *Cluster) InfraMaintenance(n *Node) bool {
-	return c.pduMaint[n.PDU] || c.chillerMaint[n.Chiller]
+	return c.infraMaint[n.ID]
+}
+
+// refreshInfraMaint re-derives the per-node maintenance bit from the PDU
+// and chiller maps.
+func (c *Cluster) refreshInfraMaint() {
+	for i, n := range c.Nodes {
+		c.infraMaint[i] = c.pduMaint[n.PDU] || c.chillerMaint[n.Chiller]
+	}
 }
 
 // SetPDUMaintenance marks a PDU (and hence all dependent nodes) in or out
@@ -186,6 +198,7 @@ func (c *Cluster) SetPDUMaintenance(pdu int, on bool) {
 	} else {
 		delete(c.pduMaint, pdu)
 	}
+	c.refreshInfraMaint()
 }
 
 // SetChillerMaintenance marks a chiller in or out of maintenance.
@@ -195,6 +208,7 @@ func (c *Cluster) SetChillerMaintenance(ch int, on bool) {
 	} else {
 		delete(c.chillerMaint, ch)
 	}
+	c.refreshInfraMaint()
 }
 
 // NodesOnPDU returns all nodes that depend on the given PDU.

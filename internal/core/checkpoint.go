@@ -48,15 +48,13 @@ func (m *Manager) armCkptTimer(r *running) {
 // a non-daemon completion event is scheduled — an in-flight write always
 // runs to completion (or aborts on crash/kill), even in unbounded runs.
 func (m *Manager) beginCheckpoint(r *running, now simulator.Time) {
-	r.ckptTimer = nil
+	r.ckptTimer = simulator.Handle{}
 	if m.runningJobs[r.job.ID] != r || r.phase != phaseComputing {
 		return
 	}
 	m.syncProgress(r, now)
-	if r.finish != nil {
-		r.finish.Cancel()
-		r.finish = nil
-	}
+	r.finish.Cancel()
+	r.finish = simulator.Handle{}
 	r.phase = phaseCkptWrite
 	r.ioActive = true
 	r.ioWork = r.job.WorkDone
@@ -71,7 +69,7 @@ func (m *Manager) beginCheckpoint(r *running, now simulator.Time) {
 // converted the write into a drain, the job releases its nodes now;
 // otherwise compute resumes and the next periodic checkpoint is armed.
 func (m *Manager) commitCheckpoint(r *running, now simulator.Time, stall float64) {
-	r.ioDone = nil
+	r.ioDone = simulator.Handle{}
 	r.ioActive = false
 	m.Ckpt.EndIO()
 	j := r.job
@@ -110,7 +108,7 @@ func (m *Manager) beginRestore(r *running, now simulator.Time) {
 // restored WorkDone. Restores interrupted by a crash or preemption never
 // reach here and are not counted — only completed reads are.
 func (m *Manager) finishRestore(r *running, now simulator.Time, stall float64) {
-	r.ioDone = nil
+	r.ioDone = simulator.Handle{}
 	r.ioActive = false
 	m.Ckpt.EndIO()
 	m.Pw.SetJobAux(now, r.job.ID, 0)
@@ -141,14 +139,10 @@ func (m *Manager) preemptWithCheckpoint(r *running, now simulator.Time) bool {
 		r.phase = phasePreemptDrain
 	default:
 		m.syncProgress(r, now)
-		if r.finish != nil {
-			r.finish.Cancel()
-			r.finish = nil
-		}
-		if r.ckptTimer != nil {
-			r.ckptTimer.Cancel()
-			r.ckptTimer = nil
-		}
+		r.finish.Cancel()
+		r.finish = simulator.Handle{}
+		r.ckptTimer.Cancel()
+		r.ckptTimer = simulator.Handle{}
 		r.phase = phasePreemptDrain
 		r.ioActive = true
 		r.ioWork = r.job.WorkDone
@@ -192,13 +186,11 @@ func (m *Manager) PendingShedW() float64 {
 // durable (write) or counted (read). Callers that end the job rely on
 // Pw.EndJob to clear the aux I/O draw along with the loads.
 func (m *Manager) cancelIO(r *running) {
-	if r.ckptTimer != nil {
-		r.ckptTimer.Cancel()
-		r.ckptTimer = nil
-	}
+	r.ckptTimer.Cancel()
+	r.ckptTimer = simulator.Handle{}
 	if r.ioActive {
 		r.ioDone.Cancel()
-		r.ioDone = nil
+		r.ioDone = simulator.Handle{}
 		r.ioActive = false
 		m.Ckpt.EndIO()
 	}

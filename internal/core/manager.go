@@ -22,7 +22,7 @@ import (
 type running struct {
 	job      *jobs.Job
 	nodes    []*cluster.Node
-	finish   *simulator.Event
+	finish   simulator.Handle
 	curFrac  float64 // effective frequency fraction the finish event assumed
 	commSlow float64 // placement-dependent communication slowdown (>= 1)
 	lastSync simulator.Time
@@ -31,10 +31,10 @@ type running struct {
 	// During any non-computing phase the job holds its nodes and draws
 	// power but makes zero compute progress.
 	phase     runPhase
-	ioDone    *simulator.Event // pending checkpoint I/O completion
+	ioDone    simulator.Handle // pending checkpoint I/O completion
 	ioActive  bool             // a Begin on m.Ckpt awaits its EndIO
 	ioWork    float64          // WorkDone snapshot the in-flight write captures
-	ckptTimer *simulator.Event // pending periodic-checkpoint trigger
+	ckptTimer simulator.Handle // pending periodic-checkpoint trigger
 }
 
 // Manager is the EPA JSRM control point for one system.
@@ -92,6 +92,12 @@ type Manager struct {
 
 	runningJobs map[int64]*running
 	nextID      int64
+
+	// Scheduling-pass scratch, reused across ticks so the hot path does not
+	// reallocate the candidate list and running-jobs view every pass.
+	candScratch []*jobs.Job
+	runScratch  []*running
+	viewScratch []sched.RunningJob
 
 	Metrics Metrics
 }
@@ -217,18 +223,28 @@ func (m *Manager) TrySchedule(now simulator.Time) {
 }
 
 func (m *Manager) schedulePass(now simulator.Time) int {
-	all := m.Queue.Jobs()
+	// Read-only scan of the live queue slice; candidates are collected into
+	// scratch before anything below can mutate the queue.
+	all := m.Queue.All()
 	if len(all) == 0 {
 		return 0
 	}
-	// Candidates: jobs whose start gates are open this pass.
-	var cands []*jobs.Job
+	// Candidates: jobs whose start gates are open this pass. The scratch
+	// slices are detached while in use so a reentrant pass (a policy hook
+	// calling TrySchedule mid-start) allocates fresh ones instead of
+	// clobbering ours.
+	cands := m.candScratch[:0]
+	runs := m.runScratch[:0]
+	view := m.viewScratch[:0]
+	m.candScratch, m.runScratch, m.viewScratch = nil, nil, nil
+	restore := func() { m.candScratch, m.runScratch, m.viewScratch = cands, runs, view }
 	for _, j := range all {
 		if m.gateOpen(j) {
 			cands = append(cands, j)
 		}
 	}
 	if len(cands) == 0 {
+		restore()
 		return 0
 	}
 	v := sched.View{
@@ -239,15 +255,22 @@ func (m *Manager) schedulePass(now simulator.Time) int {
 	// Free nodes is job-independent only if no per-job node filters exist;
 	// we expose the unfiltered pool size and re-validate per job at start.
 	v.Free = m.Cl.AvailableCount(nil)
-	for _, j := range m.Running() {
-		r := m.runningJobs[j.ID]
-		v.Running = append(v.Running, sched.RunningJob{
+	// Build the running view in ID order (see Running for why the ordering
+	// matters), reusing the scratch slices instead of allocating per pass.
+	for _, r := range m.runningJobs {
+		runs = append(runs, r)
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].job.ID < runs[j].job.ID })
+	for _, r := range runs {
+		view = append(view, sched.RunningJob{
 			Job:         r.job,
 			Nodes:       len(r.nodes),
 			ExpectedEnd: m.expectedEnd(r),
 		})
 	}
+	v.Running = view
 	picked := m.Sched.Pick(v)
+	restore() // Pick neither retains nor aliases the view slices
 	started := 0
 	for _, j := range picked {
 		if m.startJob(j, now) {
@@ -255,6 +278,16 @@ func (m *Manager) schedulePass(now simulator.Time) int {
 		}
 	}
 	return started
+}
+
+// eligibleFilter returns the node-eligibility predicate for job j, or nil
+// when no policy registered a filter — the nil lets the cluster scans skip
+// a closure call per node on the default path.
+func (m *Manager) eligibleFilter(j *jobs.Job) func(*cluster.Node) bool {
+	if len(m.hooks.filters) == 0 {
+		return nil
+	}
+	return func(n *cluster.Node) bool { return m.nodeEligible(j, n) }
 }
 
 // eligibleCapacity counts nodes that could ever host work (not down, not in
@@ -293,8 +326,10 @@ func (m *Manager) startJob(j *jobs.Job, now simulator.Time) bool {
 	// Moldable reshaping — but never for a resumed (checkpointed) job:
 	// its WorkDone is measured against the shape it started with, and a
 	// checkpoint image is tied to its process layout anyway.
+	// The availability probe runs even with no shapers attached: node
+	// filters may observe it (the layout experiment counts exclusions).
 	if j.WorkDone == 0 {
-		free := m.Cl.AvailableCount(func(n *cluster.Node) bool { return m.nodeEligible(j, n) })
+		free := m.Cl.AvailableCount(m.eligibleFilter(j))
 		for _, sh := range m.hooks.shapers {
 			if cfg, ok := sh(m, j, free); ok {
 				j.Nodes = cfg.Nodes
@@ -303,7 +338,7 @@ func (m *Manager) startJob(j *jobs.Job, now simulator.Time) bool {
 		}
 	}
 	nodes := m.Cl.AllocateWith(j.ID, j.Nodes, now,
-		func(n *cluster.Node) bool { return m.nodeEligible(j, n) },
+		m.eligibleFilter(j),
 		m.choosePlacement(j))
 	if nodes == nil {
 		return false
@@ -342,9 +377,7 @@ func (m *Manager) startJob(j *jobs.Job, now simulator.Time) bool {
 // scheduleFinish (re)arms the completion event based on remaining work and
 // the job's current effective frequency.
 func (m *Manager) scheduleFinish(r *running, now simulator.Time) {
-	if r.finish != nil {
-		r.finish.Cancel()
-	}
+	r.finish.Cancel()
 	frac := m.Pw.JobFrac(r.job.ID)
 	r.curFrac = frac
 	r.lastSync = now
@@ -456,9 +489,7 @@ func (m *Manager) KillJob(id int64, reason string, now simulator.Time) bool {
 		return false
 	}
 	m.syncProgress(r, now)
-	if r.finish != nil {
-		r.finish.Cancel()
-	}
+	r.finish.Cancel()
 	m.cancelIO(r)
 	// A kill discards everything the job had computed, checkpointed or not.
 	m.Metrics.LostWorkSeconds += r.job.WorkDone * float64(len(r.nodes))
@@ -508,9 +539,7 @@ func (m *Manager) PreemptJob(id int64, now simulator.Time) bool {
 		return m.preemptWithCheckpoint(r, now)
 	}
 	m.syncProgress(r, now)
-	if r.finish != nil {
-		r.finish.Cancel()
-	}
+	r.finish.Cancel()
 	j := r.job
 	if !m.FreeCheckpoint {
 		m.Metrics.LostWorkSeconds += j.WorkDone * float64(len(r.nodes))
@@ -587,9 +616,7 @@ func (m *Manager) failJob(id int64, failed *cluster.Node, now simulator.Time) {
 		return
 	}
 	m.syncProgress(r, now)
-	if r.finish != nil {
-		r.finish.Cancel()
-	}
+	r.finish.Cancel()
 	m.cancelIO(r)
 	delete(m.runningJobs, id)
 	j := r.job
@@ -692,7 +719,7 @@ func (m *Manager) EstimatedStartPower(j *jobs.Job) float64 {
 		per = m.Pw.Model.IdleW
 	}
 	add := float64(j.Nodes) * (per - m.Pw.Model.IdleW)
-	if short := j.Nodes - m.Cl.AvailableCount(func(n *cluster.Node) bool { return m.nodeEligible(j, n) }); short > 0 {
+	if short := j.Nodes - m.Cl.AvailableCount(m.eligibleFilter(j)); short > 0 {
 		transient := m.Pw.Model.IdleW
 		if m.Pw.Model.BootW > transient {
 			transient = m.Pw.Model.BootW

@@ -9,6 +9,7 @@ import (
 	"epajsrm/internal/fault"
 	"epajsrm/internal/power"
 	"epajsrm/internal/report"
+	"epajsrm/internal/runner"
 	"epajsrm/internal/sched"
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/workload"
@@ -83,9 +84,24 @@ func E22CheckpointSweep(seed uint64) Result {
 		Header: []string{"checkpoint", "faults", "goodput (node-h/day)", "completed", "killed",
 			"ckpts", "restores", "lost work (node-h)", "io stall (h)"},
 	}
+	type cell struct {
+		m  *core.Manager
+		in *fault.Injector
+	}
+	// Run 0 is the no-injector reference; run 1+fi*len(configs)+ci is the
+	// (faults[fi], configs[ci]) sweep cell.
+	cells := runner.Map(1+len(faults)*len(configs), func(k int) cell {
+		if k == 0 {
+			m, in := run(checkpoint.Config{}, nil)
+			return cell{m, in}
+		}
+		k--
+		m, in := run(configs[k%len(configs)].cfg, faults[k/len(configs)].prof)
+		return cell{m, in}
+	})
 	// The reference: no injector attached at all, substrate disabled. The
 	// off/zero cell below must match it bit-for-bit.
-	baseM, _ := run(checkpoint.Config{}, nil)
+	baseM := cells[0].m
 	values := map[string]float64{
 		"yd_interval_s":  float64(ydInterval),
 		"goodput_base":   baseM.Metrics.NodeSecondsDone,
@@ -97,9 +113,9 @@ func E22CheckpointSweep(seed uint64) Result {
 		}
 		return cfgName
 	}
-	for _, fl := range faults {
-		for _, c := range configs {
-			m, in := run(c.cfg, fl.prof)
+	for fi, fl := range faults {
+		for ci, c := range configs {
+			m, in := cells[1+fi*len(configs)+ci].m, cells[1+fi*len(configs)+ci].in
 			mt := &m.Metrics
 			tbl.Rows = append(tbl.Rows, []string{
 				c.name, fl.name,

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+
+	"epajsrm/internal/runner"
+)
+
+// renderAll renders every experiment at the given worker bound, returning
+// the rendered text per report slot.
+func renderAll(seed uint64, procs int) []string {
+	prev := runner.SetProcs(procs)
+	defer runner.SetProcs(prev)
+	rs := All(seed)
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.Render()
+	}
+	return out
+}
+
+// TestGoldenParallelMatchesSequential is the harness's determinism gate:
+// the full experiment suite rendered with one worker must be byte-identical
+// to the same suite rendered with several. Any scheduling-order dependence
+// (map iteration feeding a table, shared mutable state between runs,
+// float accumulation order varying with interleaving) breaks this.
+func TestGoldenParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in short mode")
+	}
+	seq := renderAll(2, 1)
+	par := renderAll(2, 4)
+	if len(seq) != len(par) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("experiment slot %d differs between procs=1 and procs=4:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				i, seq[i], par[i])
+		}
+	}
+}
+
+// TestRenderTwiceIdentical re-runs each experiment and asserts the render
+// is reproducible run-to-run in one process — the second half of the
+// determinism contract (no dependence on leftover global state, timers, or
+// map iteration order).
+func TestRenderTwiceIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in short mode")
+	}
+	mk := Makers()
+	for i := range mk {
+		a := mk[i](3).Render()
+		b := mk[i](3).Render()
+		if a != b {
+			t.Errorf("experiment slot %d renders differently on re-run:\n--- first ---\n%s\n--- second ---\n%s", i, a, b)
+		}
+	}
+}

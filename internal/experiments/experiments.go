@@ -13,6 +13,7 @@ import (
 	"epajsrm/internal/core"
 	"epajsrm/internal/power"
 	"epajsrm/internal/report"
+	"epajsrm/internal/runner"
 	"epajsrm/internal/sched"
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/workload"
@@ -104,34 +105,44 @@ func probePeak(m *core.Manager) func() float64 {
 	return func() float64 { return maxP }
 }
 
-// All runs every exhibit and experiment in order.
-func All(seed uint64) []Result {
-	return []Result{
-		T1TableI(),
-		T2TableII(),
-		F1ComponentDiagram(),
-		F2WorldMap(),
-		E1StaticCap(seed),
-		E2IdleShutdown(seed),
-		E3DVFS(),
-		E4PowerSharing(seed),
-		E5Overprovision(seed),
-		E6Emergency(seed),
-		E7EnergyTag(seed),
-		E8Prediction(seed),
-		E9InterSystem(seed),
-		E10Layout(seed),
-		E11MS3(seed),
-		E12Backfill(seed),
-		E13GridAware(seed),
-		E14RuntimeBalance(seed),
-		E15Topology(seed),
-		E16CapabilityWindow(seed),
-		E17RampLimit(seed),
-		E18CoolingAware(seed),
-		E19Monitoring(seed),
-		E20FairShare(seed),
-		E21Resilience(seed),
-		E22CheckpointSweep(seed),
+// Makers returns every exhibit and experiment constructor in report order.
+// Each entry is independent — it builds its own engines and managers — so
+// callers may evaluate them in any order or in parallel.
+func Makers() []func(seed uint64) Result {
+	return []func(seed uint64) Result{
+		func(uint64) Result { return T1TableI() },
+		func(uint64) Result { return T2TableII() },
+		func(uint64) Result { return F1ComponentDiagram() },
+		func(uint64) Result { return F2WorldMap() },
+		E1StaticCap,
+		E2IdleShutdown,
+		func(uint64) Result { return E3DVFS() },
+		E4PowerSharing,
+		E5Overprovision,
+		E6Emergency,
+		E7EnergyTag,
+		E8Prediction,
+		E9InterSystem,
+		E10Layout,
+		E11MS3,
+		E12Backfill,
+		E13GridAware,
+		E14RuntimeBalance,
+		E15Topology,
+		E16CapabilityWindow,
+		E17RampLimit,
+		E18CoolingAware,
+		E19Monitoring,
+		E20FairShare,
+		E21Resilience,
+		E22CheckpointSweep,
 	}
+}
+
+// All runs every exhibit and experiment and returns the results in report
+// order. The experiments execute across the runner's worker pool; the
+// output is byte-identical at any parallelism.
+func All(seed uint64) []Result {
+	mk := Makers()
+	return runner.Map(len(mk), func(i int) Result { return mk[i](seed) })
 }

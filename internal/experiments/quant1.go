@@ -3,9 +3,11 @@ package experiments
 import (
 	"fmt"
 
+	"epajsrm/internal/core"
 	"epajsrm/internal/policy"
 	"epajsrm/internal/power"
 	"epajsrm/internal/report"
+	"epajsrm/internal/runner"
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/workload"
 )
@@ -27,20 +29,20 @@ func E1StaticCap(seed uint64) Result {
 		medWait    float64
 	}
 
-	baseline := stdMgr(seed, 0.05, nil)
-	basePeak := probePeak(baseline)
-	feed(baseline, spec, seed^1, n)
-	baseline.Run(horizon)
-
-	capped := stdMgr(seed, 0.05, nil, &policy.StaticCap{CapW: 270, UncappedFrac: 0.30, RouteHungry: true})
-	capPeak := probePeak(capped)
-	feed(capped, spec, seed^1, n)
-	capped.Run(horizon)
-
-	rows := []row{
-		{"uncapped baseline", basePeak(), baseline.Metrics.ThroughputNodeHoursPerDay(), baseline.Metrics.Waits.Median()},
-		{"static cap 270 W on 70 %", capPeak(), capped.Metrics.ThroughputNodeHoursPerDay(), capped.Metrics.Waits.Median()},
+	configs := []struct {
+		name string
+		pols []core.Policy
+	}{
+		{"uncapped baseline", nil},
+		{"static cap 270 W on 70 %", []core.Policy{&policy.StaticCap{CapW: 270, UncappedFrac: 0.30, RouteHungry: true}}},
 	}
+	rows := runner.Map(len(configs), func(i int) row {
+		m := stdMgr(seed, 0.05, nil, configs[i].pols...)
+		peak := probePeak(m)
+		feed(m, spec, seed^1, n)
+		m.Run(horizon)
+		return row{configs[i].name, peak(), m.Metrics.ThroughputNodeHoursPerDay(), m.Metrics.Waits.Median()}
+	})
 	tbl := report.Table{
 		Header: []string{"configuration", "peak power (kW)", "throughput (node-h/day)", "median wait"},
 	}
@@ -80,36 +82,43 @@ func E2IdleShutdown(seed uint64) Result {
 	vals := map[string]float64{}
 	var firstSave, lastSave float64
 	arrivals := []float64{400, 1200, 3600}
-	for i, arr := range arrivals {
+	type cell struct {
+		energyKWh float64
+		util      float64
+		killed    float64
+	}
+	// Run index 2i is the baseline at arrivals[i]; 2i+1 adds the shutdown
+	// and boot-window policies.
+	cells := runner.Map(2*len(arrivals), func(k int) cell {
+		arr := arrivals[k/2]
 		spec := workload.DefaultSpec()
 		spec.ArrivalMeanSec = arr
 		n := int(float64(horizon) / arr * 0.9)
-
-		base := stdMgr(seed, 0, nil)
-		feed(base, spec, seed^7, n)
-		base.Run(horizon)
-		baseE := base.Pw.TotalEnergy() / 3.6e6
-
-		shut := stdMgr(seed, 0, nil,
-			&policy.IdleShutdown{IdleAfter: 15 * simulator.Minute, MinSpare: 2},
-			&policy.BootWindowCap{CapW: 64 * 250, Window: 30 * simulator.Minute},
-		)
-		feed(shut, spec, seed^7, n)
-		shut.Run(horizon)
-		shutE := shut.Pw.TotalEnergy() / 3.6e6
-
-		util := base.Metrics.Utilization(base.Cl.Size())
-		saved := 1 - shutE/baseE
+		var pols []core.Policy
+		if k%2 == 1 {
+			pols = []core.Policy{
+				&policy.IdleShutdown{IdleAfter: 15 * simulator.Minute, MinSpare: 2},
+				&policy.BootWindowCap{CapW: 64 * 250, Window: 30 * simulator.Minute},
+			}
+		}
+		m := stdMgr(seed, 0, nil, pols...)
+		feed(m, spec, seed^7, n)
+		m.Run(horizon)
+		return cell{m.Pw.TotalEnergy() / 3.6e6, m.Metrics.Utilization(m.Cl.Size()), float64(m.Metrics.Killed)}
+	})
+	for i, arr := range arrivals {
+		base, shut := cells[2*i], cells[2*i+1]
+		saved := 1 - shut.energyKWh/base.energyKWh
 		if i == 0 {
 			firstSave = saved
 		}
 		lastSave = saved
 		tbl.Rows = append(tbl.Rows, []string{
-			fmt.Sprintf("%.0f", arr), fmtPct(util),
-			fmt.Sprintf("%.0f", baseE), fmt.Sprintf("%.0f", shutE), fmtPct(saved),
+			fmt.Sprintf("%.0f", arr), fmtPct(base.util),
+			fmt.Sprintf("%.0f", base.energyKWh), fmt.Sprintf("%.0f", shut.energyKWh), fmtPct(saved),
 		})
 		vals[fmt.Sprintf("saved_%d", int(arr))] = saved
-		vals[fmt.Sprintf("kills_%d", int(arr))] = float64(shut.Metrics.Killed)
+		vals[fmt.Sprintf("kills_%d", int(arr))] = shut.killed
 	}
 	return Result{
 		ID:    "E2",
@@ -182,22 +191,28 @@ func E4PowerSharing(seed uint64) Result {
 		Header: []string{"budget (kW)", "uniform static (node-h/day)", "dynamic sharing (node-h/day)", "gain"},
 	}
 	vals := map[string]float64{}
-	for _, budget := range []float64{64 * 150, 64 * 200, 64 * 280} {
-		uniform := stdMgr(seed, 0.05, nil)
-		for _, node := range uniform.Cl.Nodes {
-			if err := uniform.Ctrl.SetNodeCap(node.ID, budget/64); err != nil {
-				panic(err)
+	budgets := []float64{64 * 150, 64 * 200, 64 * 280}
+	// Run index 2i is the uniform static division at budgets[i]; 2i+1 is
+	// dynamic sharing at the same budget.
+	thr := runner.Map(2*len(budgets), func(k int) float64 {
+		budget := budgets[k/2]
+		var m *core.Manager
+		if k%2 == 0 {
+			m = stdMgr(seed, 0.05, nil)
+			for _, node := range m.Cl.Nodes {
+				if err := m.Ctrl.SetNodeCap(node.ID, budget/64); err != nil {
+					panic(err)
+				}
 			}
+		} else {
+			m = stdMgr(seed, 0.05, nil, &policy.DynamicPowerSharing{BudgetW: budget})
 		}
-		feed(uniform, spec, seed^3, n)
-		uniform.Run(horizon)
-
-		dynamic := stdMgr(seed, 0.05, nil, &policy.DynamicPowerSharing{BudgetW: budget})
-		feed(dynamic, spec, seed^3, n)
-		dynamic.Run(horizon)
-
-		u := uniform.Metrics.ThroughputNodeHoursPerDay()
-		d := dynamic.Metrics.ThroughputNodeHoursPerDay()
+		feed(m, spec, seed^3, n)
+		m.Run(horizon)
+		return m.Metrics.ThroughputNodeHoursPerDay()
+	})
+	for i, budget := range budgets {
+		u, d := thr[2*i], thr[2*i+1]
 		gain := d/u - 1
 		tbl.Rows = append(tbl.Rows, []string{
 			fmtW(budget), fmt.Sprintf("%.0f", u), fmt.Sprintf("%.0f", d), fmtPct(gain),
@@ -223,21 +238,29 @@ func E5Overprovision(seed uint64) Result {
 	n := 500
 	budget := 32*330.0 + 32*15
 
-	small := stdMgrSized(seed, 32, nil)
-	feed(small, spec, seed^5, n)
-	small.Run(horizon)
+	type cell struct {
+		thr       float64
+		completed int
+	}
+	cells := runner.Map(2, func(k int) cell {
+		var m *core.Manager
+		if k == 0 {
+			m = stdMgrSized(seed, 32, nil)
+		} else {
+			m = stdMgr(seed, 0.05, nil, &policy.Overprovision{BudgetW: budget, PreferWide: true})
+		}
+		feed(m, spec, seed^5, n)
+		m.Run(horizon)
+		return cell{m.Metrics.ThroughputNodeHoursPerDay(), m.Metrics.Completed}
+	})
 
-	over := stdMgr(seed, 0.05, nil, &policy.Overprovision{BudgetW: budget, PreferWide: true})
-	feed(over, spec, seed^5, n)
-	over.Run(horizon)
-
-	s := small.Metrics.ThroughputNodeHoursPerDay()
-	o := over.Metrics.ThroughputNodeHoursPerDay()
+	s := cells[0].thr
+	o := cells[1].thr
 	tbl := report.Table{
 		Header: []string{"configuration", "nodes", "throughput (node-h/day)", "completed"},
 		Rows: [][]string{
-			{"fully powered", "32", fmt.Sprintf("%.0f", s), fmt.Sprint(small.Metrics.Completed)},
-			{"over-provisioned + caps", "64", fmt.Sprintf("%.0f", o), fmt.Sprint(over.Metrics.Completed)},
+			{"fully powered", "32", fmt.Sprintf("%.0f", s), fmt.Sprint(cells[0].completed)},
+			{"over-provisioned + caps", "64", fmt.Sprintf("%.0f", o), fmt.Sprint(cells[1].completed)},
 		},
 	}
 	return Result{

@@ -9,6 +9,7 @@ import (
 	"epajsrm/internal/policy"
 	"epajsrm/internal/predict"
 	"epajsrm/internal/report"
+	"epajsrm/internal/runner"
 	"epajsrm/internal/sched"
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/stats"
@@ -25,24 +26,28 @@ func E6Emergency(seed uint64) Result {
 	limit := 64*90 + 22*270.0
 	n := 400
 
-	noGate := stdMgr(seed, 0, nil, &policy.Emergency{LimitW: limit})
-	feed(noGate, spec, seed^11, n)
-	noGatePeak := probePeak(noGate)
-	noGate.Run(horizon)
-
-	gatePol := &policy.Emergency{LimitW: limit, PreRunGate: true}
-	gated := stdMgr(seed, 0, nil, gatePol)
-	feed(gated, spec, seed^11, n)
-	gatedPeak := probePeak(gated)
-	gated.Run(horizon)
+	type cell struct {
+		killed, completed int
+		wait, peak        float64
+		gateHolds         float64
+	}
+	cells := runner.Map(2, func(k int) cell {
+		pol := &policy.Emergency{LimitW: limit, PreRunGate: k == 1}
+		m := stdMgr(seed, 0, nil, pol)
+		feed(m, spec, seed^11, n)
+		peak := probePeak(m)
+		m.Run(horizon)
+		return cell{m.Metrics.Killed, m.Metrics.Completed, m.Metrics.Waits.Median(), peak(), float64(pol.GateHolds)}
+	})
+	noGate, gated := cells[0], cells[1]
 
 	tbl := report.Table{
 		Header: []string{"configuration", "kills", "completed", "median wait", "probed peak (kW)"},
 		Rows: [][]string{
-			{"emergency kill only", fmt.Sprint(noGate.Metrics.Killed), fmt.Sprint(noGate.Metrics.Completed),
-				simulator.Time(noGate.Metrics.Waits.Median()).String(), fmtW(noGatePeak())},
-			{"+ pre-run estimate gate", fmt.Sprint(gated.Metrics.Killed), fmt.Sprint(gated.Metrics.Completed),
-				simulator.Time(gated.Metrics.Waits.Median()).String(), fmtW(gatedPeak())},
+			{"emergency kill only", fmt.Sprint(noGate.killed), fmt.Sprint(noGate.completed),
+				simulator.Time(noGate.wait).String(), fmtW(noGate.peak)},
+			{"+ pre-run estimate gate", fmt.Sprint(gated.killed), fmt.Sprint(gated.completed),
+				simulator.Time(gated.wait).String(), fmtW(gated.peak)},
 		},
 	}
 	return Result{
@@ -51,12 +56,12 @@ func E6Emergency(seed uint64) Result {
 		Table: tbl,
 		Notes: []string{
 			fmt.Sprintf("pre-run gate cut kills from %d to %d (limit %.0f kW)",
-				noGate.Metrics.Killed, gated.Metrics.Killed, limit/1000),
+				noGate.killed, gated.killed, limit/1000),
 		},
 		Values: map[string]float64{
-			"kills_nogate": float64(noGate.Metrics.Killed),
-			"kills_gate":   float64(gated.Metrics.Killed),
-			"gate_holds":   float64(gatePol.GateHolds),
+			"kills_nogate": float64(noGate.killed),
+			"kills_gate":   float64(gated.killed),
+			"gate_holds":   gated.gateHolds,
 		},
 	}
 }
@@ -70,24 +75,29 @@ func E7EnergyTag(seed uint64) Result {
 	horizon := 5 * simulator.Day
 	n := 300
 
-	perf := stdMgr(seed, 0, nil, &policy.EnergyTag{Goal: policy.GoalPerformance}, &policy.EnergyReport{})
-	feed(perf, spec, seed^13, n)
-	perf.Run(horizon)
+	type cell struct {
+		jobE, rt  float64
+		completed int
+	}
+	tags := []*policy.EnergyTag{
+		{Goal: policy.GoalPerformance},
+		{Goal: policy.GoalEnergyToSolution, MaxSlowdown: 1.3},
+	}
+	cells := runner.Map(2, func(k int) cell {
+		m := stdMgr(seed, 0, nil, tags[k], &policy.EnergyReport{})
+		feed(m, spec, seed^13, n)
+		m.Run(horizon)
+		return cell{m.Metrics.JobEnergyJ.Mean() / 3.6e6, m.Metrics.RunTimes.Mean(), m.Metrics.Completed}
+	})
 
-	energy := stdMgr(seed, 0, nil, &policy.EnergyTag{Goal: policy.GoalEnergyToSolution, MaxSlowdown: 1.3}, &policy.EnergyReport{})
-	feed(energy, spec, seed^13, n)
-	energy.Run(horizon)
-
-	perfJobE := perf.Metrics.JobEnergyJ.Mean() / 3.6e6
-	enerJobE := energy.Metrics.JobEnergyJ.Mean() / 3.6e6
-	perfRT := perf.Metrics.RunTimes.Mean()
-	enerRT := energy.Metrics.RunTimes.Mean()
+	perfJobE, perfRT := cells[0].jobE, cells[0].rt
+	enerJobE, enerRT := cells[1].jobE, cells[1].rt
 
 	tbl := report.Table{
 		Header: []string{"goal", "mean job energy (kWh)", "mean runtime", "completed"},
 		Rows: [][]string{
-			{"best performance", fmt.Sprintf("%.2f", perfJobE), simulator.Time(perfRT).String(), fmt.Sprint(perf.Metrics.Completed)},
-			{"energy to solution", fmt.Sprintf("%.2f", enerJobE), simulator.Time(enerRT).String(), fmt.Sprint(energy.Metrics.Completed)},
+			{"best performance", fmt.Sprintf("%.2f", perfJobE), simulator.Time(perfRT).String(), fmt.Sprint(cells[0].completed)},
+			{"energy to solution", fmt.Sprintf("%.2f", enerJobE), simulator.Time(enerRT).String(), fmt.Sprint(cells[1].completed)},
 		},
 	}
 	return Result{

@@ -10,6 +10,7 @@ import (
 	"epajsrm/internal/policy"
 	"epajsrm/internal/power"
 	"epajsrm/internal/report"
+	"epajsrm/internal/runner"
 	"epajsrm/internal/sched"
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/workload"
@@ -88,19 +89,28 @@ func E12Backfill(seed uint64) Result {
 		Header: []string{"scheduler", "utilization", "median wait", "mean bounded slowdown", "completed"},
 	}
 	vals := map[string]float64{}
-	for _, s := range []sched.Scheduler{sched.FCFS{}, sched.EASY{}, sched.Conservative{}} {
-		m := stdMgr(seed, 0, s)
+	schedulers := []sched.Scheduler{sched.FCFS{}, sched.EASY{}, sched.Conservative{}}
+	type cell struct {
+		util, wait, slow float64
+		completed        int
+	}
+	cells := runner.Map(len(schedulers), func(i int) cell {
+		m := stdMgr(seed, 0, schedulers[i])
 		feed(m, spec, seed^41, n)
 		m.Run(horizon)
-		u := m.Metrics.Utilization(m.Cl.Size())
+		return cell{m.Metrics.Utilization(m.Cl.Size()), m.Metrics.Waits.Median(),
+			m.Metrics.Slowdowns.Mean(), m.Metrics.Completed}
+	})
+	for i, s := range schedulers {
+		c := cells[i]
 		tbl.Rows = append(tbl.Rows, []string{
-			s.Name(), fmtPct(u),
-			simulator.Time(m.Metrics.Waits.Median()).String(),
-			fmt.Sprintf("%.2f", m.Metrics.Slowdowns.Mean()),
-			fmt.Sprint(m.Metrics.Completed),
+			s.Name(), fmtPct(c.util),
+			simulator.Time(c.wait).String(),
+			fmt.Sprintf("%.2f", c.slow),
+			fmt.Sprint(c.completed),
 		})
-		vals["util_"+s.Name()] = u
-		vals["wait_"+s.Name()] = m.Metrics.Waits.Median()
+		vals["util_"+s.Name()] = c.util
+		vals["wait_"+s.Name()] = c.wait
 	}
 	return Result{
 		ID:     "E12",
@@ -138,9 +148,18 @@ func E13GridAware(seed uint64) Result {
 		gp.Meter.Observe(m.Eng.Now(), 0)
 		return m, gp
 	}
-	mBase, gBase := run(false, false)
-	mShift, gShift := run(true, false)
-	mTurb, gTurb := run(true, true)
+	cfgs := []struct{ peakShift, turbine bool }{{false, false}, {true, false}, {true, true}}
+	type cell struct {
+		m *core.Manager
+		g *policy.GridAware
+	}
+	cells := runner.Map(len(cfgs), func(i int) cell {
+		m, g := run(cfgs[i].peakShift, cfgs[i].turbine)
+		return cell{m, g}
+	})
+	mBase, gBase := cells[0].m, cells[0].g
+	mShift, gShift := cells[1].m, cells[1].g
+	mTurb, gTurb := cells[2].m, cells[2].g
 
 	tbl := report.Table{
 		Header: []string{"configuration", "energy cost", "grid kWh", "turbine kWh", "completed"},
@@ -178,28 +197,30 @@ func E14RuntimeBalance(seed uint64) Result {
 		Header: []string{"variability sigma", "uniform split runtime", "critical-path runtime", "speedup"},
 	}
 	vals := map[string]float64{}
-	for _, sigma := range []float64{0.02, 0.05, 0.10} {
-		run := func(mode policy.BalanceMode) simulator.Time {
-			m := core.NewManager(core.Options{
-				Cluster:   cluster.DefaultConfig(),
-				Scheduler: sched.EASY{},
-				Seed:      seed,
-				VarSigma:  sigma,
-			})
-			m.Use(&policy.RuntimeBalance{JobBudgetPerNodeW: 280, Mode: mode})
-			j := &jobs.Job{
-				ID: 1, User: "u", Tag: "t", Nodes: 32,
-				Walltime: 24 * simulator.Hour, TrueRuntime: 2 * simulator.Hour,
-				PowerPerNodeW: 360, MemFrac: 0.1,
-			}
-			if err := m.Submit(j, 0); err != nil {
-				panic(err)
-			}
-			m.Run(-1)
-			return j.End - j.Start
+	sigmas := []float64{0.02, 0.05, 0.10}
+	modes := [2]policy.BalanceMode{policy.BalanceUniform, policy.BalanceCritical}
+	// Run index 2i is the uniform split at sigmas[i]; 2i+1 critical-path.
+	times := runner.Map(2*len(sigmas), func(k int) simulator.Time {
+		m := core.NewManager(core.Options{
+			Cluster:   cluster.DefaultConfig(),
+			Scheduler: sched.EASY{},
+			Seed:      seed,
+			VarSigma:  sigmas[k/2],
+		})
+		m.Use(&policy.RuntimeBalance{JobBudgetPerNodeW: 280, Mode: modes[k%2]})
+		j := &jobs.Job{
+			ID: 1, User: "u", Tag: "t", Nodes: 32,
+			Walltime: 24 * simulator.Hour, TrueRuntime: 2 * simulator.Hour,
+			PowerPerNodeW: 360, MemFrac: 0.1,
 		}
-		tu := run(policy.BalanceUniform)
-		tc := run(policy.BalanceCritical)
+		if err := m.Submit(j, 0); err != nil {
+			panic(err)
+		}
+		m.Run(-1)
+		return j.End - j.Start
+	})
+	for i, sigma := range sigmas {
+		tu, tc := times[2*i], times[2*i+1]
 		speedup := float64(tu)/float64(tc) - 1
 		tbl.Rows = append(tbl.Rows, []string{
 			fmt.Sprintf("%.0f%%", sigma*100), tu.String(), tc.String(), fmtPct(speedup),

@@ -10,6 +10,7 @@ import (
 	"epajsrm/internal/policy"
 	"epajsrm/internal/power"
 	"epajsrm/internal/report"
+	"epajsrm/internal/runner"
 	"epajsrm/internal/sched"
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/workload"
@@ -69,9 +70,7 @@ func E15Topology(seed uint64) Result {
 		m.Run(-1)
 		return float64(j.End - j.Start), j.EnergyJ / 3.6e6
 	}
-	rtObl, eObl := runA(cluster.PlaceFirstFit)
-	rtCompact, eCompact := runA(cluster.PlaceCompact)
-
+	// Part B declared below; both parts' runs execute on the worker pool.
 	// Part B — one hungry 32-node job on an empty machine: compact loads a
 	// single PDU with the whole job; scatter splits it across both.
 	runB := func(s cluster.Strategy) float64 {
@@ -89,8 +88,24 @@ func E15Topology(seed uint64) Result {
 		m.Run(-1)
 		return maxPDU
 	}
-	pduCompact := runB(cluster.PlaceCompact)
-	pduScatter := runB(cluster.PlaceScatter)
+	type cell struct{ rt, e, pdu float64 }
+	cells := runner.Map(4, func(k int) cell {
+		switch k {
+		case 0:
+			rt, e := runA(cluster.PlaceFirstFit)
+			return cell{rt: rt, e: e}
+		case 1:
+			rt, e := runA(cluster.PlaceCompact)
+			return cell{rt: rt, e: e}
+		case 2:
+			return cell{pdu: runB(cluster.PlaceCompact)}
+		default:
+			return cell{pdu: runB(cluster.PlaceScatter)}
+		}
+	})
+	rtObl, eObl := cells[0].rt, cells[0].e
+	rtCompact, eCompact := cells[1].rt, cells[1].e
+	pduCompact, pduScatter := cells[2].pdu, cells[3].pdu
 
 	tbl := report.Table{
 		Header: []string{"scenario", "metric", "oblivious", "topology-aware"},
@@ -206,8 +221,20 @@ func E17RampLimit(seed uint64) Result {
 		return name, worst, m.Metrics.Waits.Median()
 	}
 
-	bName, bRamp, bWait := run("unconstrained")
-	lName, lRamp, lWait := run("ramp limit 2 kW / 5 min", &policy.RampLimit{MaxRampW: 2000, Window: window})
+	type cell struct {
+		name       string
+		ramp, wait float64
+	}
+	cells := runner.Map(2, func(k int) cell {
+		if k == 0 {
+			n, r, w := run("unconstrained")
+			return cell{n, r, w}
+		}
+		n, r, w := run("ramp limit 2 kW / 5 min", &policy.RampLimit{MaxRampW: 2000, Window: window})
+		return cell{n, r, w}
+	})
+	bName, bRamp, bWait := cells[0].name, cells[0].ramp, cells[0].wait
+	lName, lRamp, lWait := cells[1].name, cells[1].ramp, cells[1].wait
 
 	tbl := report.Table{
 		Header: []string{"configuration", "worst 5-min ramp (kW)", "median wait"},
@@ -269,8 +296,20 @@ func E18CoolingAware(seed uint64) Result {
 		return name, m.Pw.TotalEnergy() / 3.6e6, siteJ / 3.6e6, m.Metrics.Waits.Median()
 	}
 
-	bName, bIT, bSite, bWait := run("PUE-oblivious", false)
-	cName, cIT, cSite, cWait := run("cooling-aware deferral", true)
+	type cell struct {
+		name           string
+		it, site, wait float64
+	}
+	cells := runner.Map(2, func(k int) cell {
+		if k == 0 {
+			n, it, site, w := run("PUE-oblivious", false)
+			return cell{n, it, site, w}
+		}
+		n, it, site, w := run("cooling-aware deferral", true)
+		return cell{n, it, site, w}
+	})
+	bName, bIT, bSite, bWait := cells[0].name, cells[0].it, cells[0].site, cells[0].wait
+	cName, cIT, cSite, cWait := cells[1].name, cells[1].it, cells[1].site, cells[1].wait
 
 	tbl := report.Table{
 		Header: []string{"configuration", "IT energy (kWh)", "site energy (kWh)", "median wait"},

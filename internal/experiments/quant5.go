@@ -6,6 +6,7 @@ import (
 	"epajsrm/internal/jobs"
 	"epajsrm/internal/policy"
 	"epajsrm/internal/report"
+	"epajsrm/internal/runner"
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/stats"
 	"epajsrm/internal/workload"
@@ -74,8 +75,13 @@ func E20FairShare(seed uint64) Result {
 		return lightSlows.Mean(), heavySlows.Mean(), lightWaits.Median(), heavyWaits.Median()
 	}
 
-	lsBase, hsBase, lwBase, hwBase := run(false)
-	lsFS, hsFS, lwFS, hwFS := run(true)
+	type cell struct{ ls, hs, lw, hw float64 }
+	cells := runner.Map(2, func(k int) cell {
+		ls, hs, lw, hw := run(k == 1)
+		return cell{ls, hs, lw, hw}
+	})
+	lsBase, hsBase, lwBase, hwBase := cells[0].ls, cells[0].hs, cells[0].lw, cells[0].hw
+	lsFS, hsFS, lwFS, hwFS := cells[1].ls, cells[1].hs, cells[1].lw, cells[1].hw
 
 	tbl := report.Table{
 		Header: []string{"configuration", "light mean slowdown", "heavy mean slowdown", "light median wait", "heavy median wait"},

@@ -7,6 +7,7 @@ import (
 	"epajsrm/internal/fault"
 	"epajsrm/internal/policy"
 	"epajsrm/internal/report"
+	"epajsrm/internal/runner"
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/workload"
 )
@@ -68,7 +69,21 @@ func E21Resilience(seed uint64) Result {
 		return m, in, violFn()
 	}
 
-	base, _, baseViol := run(nil)
+	type cell struct {
+		m    *core.Manager
+		in   *fault.Injector
+		viol float64
+	}
+	// Run 0 is the no-injector baseline; run i+1 is fault level i.
+	cells := runner.Map(len(levels)+1, func(k int) cell {
+		var prof *fault.Profile
+		if k > 0 {
+			prof = &levels[k-1].prof
+		}
+		m, in, viol := run(prof)
+		return cell{m, in, viol}
+	})
+	base, baseViol := cells[0].m, cells[0].viol
 
 	tbl := report.Table{
 		Header: []string{"fault level", "goodput (node-h/day)", "completed", "crashes", "requeues", "killed", "lost work (node-h)", "cap-violation (s)"},
@@ -87,8 +102,8 @@ func E21Resilience(seed uint64) Result {
 		"lostwork_base": base.Metrics.LostWorkSeconds,
 	}
 	var notes []string
-	for _, lv := range levels {
-		m, in, viol := run(&lv.prof)
+	for i, lv := range levels {
+		m, in, viol := cells[i+1].m, cells[i+1].in, cells[i+1].viol
 		tbl.Rows = append(tbl.Rows, []string{
 			lv.name,
 			fmt.Sprintf("%.0f", m.Metrics.ThroughputNodeHoursPerDay()),

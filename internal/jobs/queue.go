@@ -17,14 +17,14 @@ func NewQueue(name string) *Queue { return &Queue{Name: name} }
 // Len returns the number of waiting jobs.
 func (q *Queue) Len() int { return len(q.jobs) }
 
-// Push appends a job and restores priority-FIFO order.
+// Push inserts a job at the end of its priority class, preserving
+// priority-descending order with FIFO ties — the position a stable sort of
+// the appended slice would produce, without re-sorting the whole queue.
 func (q *Queue) Push(j *Job) {
-	q.jobs = append(q.jobs, j)
-	// Stable sort by priority descending; submission order (and hence FIFO
-	// within a priority level) is preserved by stability.
-	sort.SliceStable(q.jobs, func(a, b int) bool {
-		return q.jobs[a].Priority > q.jobs[b].Priority
-	})
+	i := sort.Search(len(q.jobs), func(k int) bool { return q.jobs[k].Priority < j.Priority })
+	q.jobs = append(q.jobs, nil)
+	copy(q.jobs[i+1:], q.jobs[i:])
+	q.jobs[i] = j
 }
 
 // Peek returns the head job without removing it, or nil when empty.
@@ -53,6 +53,10 @@ func (q *Queue) Jobs() []*Job {
 	copy(out, q.jobs)
 	return out
 }
+
+// All returns the live internal slice, in order, for read-only scans on hot
+// paths. Callers must not mutate it and must not hold it across Push/Remove.
+func (q *Queue) All() []*Job { return q.jobs }
 
 // TotalNodeDemand sums the node requests of all waiting jobs.
 func (q *Queue) TotalNodeDemand() int {

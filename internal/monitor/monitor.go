@@ -195,6 +195,11 @@ type Collector struct {
 	// Dropped counts sampling instants lost to an outage window.
 	Dropped int
 
+	// Per-sample aggregation scratch, reused so the periodic sampler does
+	// not allocate two slices every period.
+	rackW []float64
+	pduW  []float64
+
 	outage   bool
 	lastGood simulator.Time
 	haveGood bool
@@ -232,7 +237,11 @@ func NewCollector(cl *cluster.Cluster, sys *power.System, opt Options) *Collecto
 	if opt.LongPeriod <= 0 {
 		opt.LongPeriod = simulator.Hour
 	}
-	c := &Collector{Cl: cl, Sys: sys, Period: opt.Period}
+	c := &Collector{
+		Cl: cl, Sys: sys, Period: opt.Period,
+		rackW: make([]float64, cl.Racks),
+		pduW:  make([]float64, cl.PDUs),
+	}
 	mk := func(l Level, i int) *Channel {
 		return newChannel(l, i, opt.RawKeep, opt.CoarsePeriod, opt.LongPeriod)
 	}
@@ -297,8 +306,14 @@ func (c *Collector) SampleNow(now simulator.Time) {
 	}
 	c.lastGood = now
 	c.haveGood = true
-	rackW := make([]float64, c.Cl.Racks)
-	pduW := make([]float64, c.Cl.PDUs)
+	rackW := c.rackW
+	pduW := c.pduW
+	for i := range rackW {
+		rackW[i] = 0
+	}
+	for i := range pduW {
+		pduW[i] = 0
+	}
 	total := 0.0
 	for _, n := range c.Cl.Nodes {
 		w := c.Sys.NodePower(n.ID)

@@ -20,6 +20,10 @@ type Load struct {
 	// CPU does, which is exactly why checkpoint bursts can push a capped site
 	// over its limit.
 	AuxW float64
+
+	// acc points at the job's energy meter so Advance can integrate per-job
+	// energy without a map lookup per busy node per interval.
+	acc *float64
 }
 
 // System tracks the live electrical state of one cluster: per-node draw,
@@ -32,14 +36,19 @@ type System struct {
 	PStates PStateTable
 
 	vf    []float64 // manufacturing variability factor per node
-	loads map[int]*Load
+	loads []*Load   // per node; nil when the node runs nothing
 
 	lastT simulator.Time
 	nodeP []float64
-	nodeE []float64 // joules per node
-	jobE  map[int64]float64
-	peakW float64
-	peakT simulator.Time
+	// totalW is the running sum of nodeP, maintained incrementally so that
+	// TotalPower — consulted by every power gate on every candidate of every
+	// scheduling pass — is O(1) instead of O(nodes). RefreshAll re-derives it
+	// from scratch, bounding float drift.
+	totalW float64
+	nodeE  []float64 // joules per node
+	jobE   map[int64]*float64
+	peakW  float64
+	peakT  simulator.Time
 }
 
 // NewSystem wires a power system over cl. varSigma is the relative stddev
@@ -58,10 +67,10 @@ func NewSystem(cl *cluster.Cluster, model NodeModel, pstates PStateTable, varSig
 		Model:   model,
 		PStates: pstates,
 		vf:      make([]float64, cl.Size()),
-		loads:   make(map[int]*Load),
+		loads:   make([]*Load, cl.Size()),
 		nodeP:   make([]float64, cl.Size()),
 		nodeE:   make([]float64, cl.Size()),
-		jobE:    make(map[int64]float64),
+		jobE:    make(map[int64]*float64),
 	}
 	for i := range s.vf {
 		f := 1.0
@@ -78,8 +87,15 @@ func NewSystem(cl *cluster.Cluster, model NodeModel, pstates PStateTable, varSig
 	}
 	for i, n := range cl.Nodes {
 		s.nodeP[i] = s.computeNodePower(n)
+		s.totalW += s.nodeP[i]
 	}
 	return s
+}
+
+// setNodeP updates one node's draw and keeps the running total in sync.
+func (s *System) setNodeP(id int, p float64) {
+	s.totalW += p - s.nodeP[id]
+	s.nodeP[id] = p
 }
 
 // VarFactor returns the manufacturing variability factor of node id.
@@ -137,7 +153,7 @@ func (s *System) Advance(now simulator.Time) {
 	for i, p := range s.nodeP {
 		s.nodeE[i] += p * dt
 		if ld := s.loads[i]; ld != nil {
-			s.jobE[ld.JobID] += p * dt
+			*ld.acc += p * dt
 		}
 	}
 	s.lastT = now
@@ -147,16 +163,19 @@ func (s *System) Advance(now simulator.Time) {
 // changed. Advance must already have been called for now.
 func (s *System) RefreshNode(now simulator.Time, n *cluster.Node) {
 	s.Advance(now)
-	s.nodeP[n.ID] = s.computeNodePower(n)
+	s.setNodeP(n.ID, s.computeNodePower(n))
 	s.trackPeak(now)
 }
 
-// RefreshAll re-derives every node's draw.
+// RefreshAll re-derives every node's draw (and the total from scratch).
 func (s *System) RefreshAll(now simulator.Time) {
 	s.Advance(now)
+	t := 0.0
 	for i, n := range s.Cl.Nodes {
 		s.nodeP[i] = s.computeNodePower(n)
+		t += s.nodeP[i]
 	}
+	s.totalW = t
 	s.trackPeak(now)
 }
 
@@ -171,9 +190,16 @@ func (s *System) trackPeak(now simulator.Time) {
 // StartJob registers the workload on its nodes and recomputes their draw.
 func (s *System) StartJob(now simulator.Time, jobID int64, nodes []*cluster.Node, nominalW, memFrac, freqFrac float64) {
 	s.Advance(now)
-	for _, n := range nodes {
-		s.loads[n.ID] = &Load{JobID: jobID, NominalW: nominalW, MemFrac: memFrac, FreqFrac: freqFrac}
-		s.nodeP[n.ID] = s.computeNodePower(n)
+	acc := s.jobE[jobID]
+	if acc == nil {
+		acc = new(float64)
+		s.jobE[jobID] = acc
+	}
+	slab := make([]Load, len(nodes))
+	for i, n := range nodes {
+		slab[i] = Load{JobID: jobID, NominalW: nominalW, MemFrac: memFrac, FreqFrac: freqFrac, acc: acc}
+		s.loads[n.ID] = &slab[i]
+		s.setNodeP(n.ID, s.computeNodePower(n))
 	}
 	s.trackPeak(now)
 }
@@ -184,9 +210,9 @@ func (s *System) EndJob(now simulator.Time, jobID int64, nodes []*cluster.Node) 
 	s.Advance(now)
 	for _, n := range nodes {
 		if ld := s.loads[n.ID]; ld != nil && ld.JobID == jobID {
-			delete(s.loads, n.ID)
+			s.loads[n.ID] = nil
 		}
-		s.nodeP[n.ID] = s.computeNodePower(n)
+		s.setNodeP(n.ID, s.computeNodePower(n))
 	}
 	s.trackPeak(now)
 }
@@ -198,7 +224,7 @@ func (s *System) EndJob(now simulator.Time, jobID int64, nodes []*cluster.Node) 
 func (s *System) SetNodeCap(now simulator.Time, n *cluster.Node, capW float64) {
 	s.Advance(now)
 	n.CapW = capW
-	s.nodeP[n.ID] = s.computeNodePower(n)
+	s.setNodeP(n.ID, s.computeNodePower(n))
 	s.trackPeak(now)
 }
 
@@ -208,9 +234,9 @@ func (s *System) SetNodeCap(now simulator.Time, n *cluster.Node, capW float64) {
 func (s *System) SetJobAux(now simulator.Time, jobID int64, auxW float64) {
 	s.Advance(now)
 	for id, ld := range s.loads {
-		if ld.JobID == jobID {
+		if ld != nil && ld.JobID == jobID {
 			ld.AuxW = auxW
-			s.nodeP[id] = s.computeNodePower(s.Cl.Nodes[id])
+			s.setNodeP(id, s.computeNodePower(s.Cl.Nodes[id]))
 		}
 	}
 	s.trackPeak(now)
@@ -221,9 +247,9 @@ func (s *System) SetJobAux(now simulator.Time, jobID int64, auxW float64) {
 func (s *System) SetJobFreq(now simulator.Time, jobID int64, freqFrac float64) {
 	s.Advance(now)
 	for id, ld := range s.loads {
-		if ld.JobID == jobID {
+		if ld != nil && ld.JobID == jobID {
 			ld.FreqFrac = freqFrac
-			s.nodeP[id] = s.computeNodePower(s.Cl.Nodes[id])
+			s.setNodeP(id, s.computeNodePower(s.Cl.Nodes[id]))
 		}
 	}
 	s.trackPeak(now)
@@ -236,7 +262,7 @@ func (s *System) JobFrac(jobID int64) float64 {
 	frac := 1.0
 	found := false
 	for id, ld := range s.loads {
-		if ld.JobID != jobID {
+		if ld == nil || ld.JobID != jobID {
 			continue
 		}
 		found = true
@@ -256,7 +282,7 @@ func (s *System) JobFrac(jobID int64) float64 {
 func (s *System) NodeFracs(jobID int64) map[int]float64 {
 	out := map[int]float64{}
 	for id, ld := range s.loads {
-		if ld.JobID == jobID {
+		if ld != nil && ld.JobID == jobID {
 			out[id] = s.effectiveFrac(s.Cl.Nodes[id], ld)
 		}
 	}
@@ -267,13 +293,7 @@ func (s *System) NodeFracs(jobID int64) map[int]float64 {
 func (s *System) NodePower(id int) float64 { return s.nodeP[id] }
 
 // TotalPower returns the cluster's current IT draw in watts.
-func (s *System) TotalPower() float64 {
-	t := 0.0
-	for _, p := range s.nodeP {
-		t += p
-	}
-	return t
-}
+func (s *System) TotalPower() float64 { return s.totalW }
 
 // PowerOfNodes sums the current draw of a node subset.
 func (s *System) PowerOfNodes(nodes []*cluster.Node) float64 {
@@ -296,7 +316,12 @@ func (s *System) TotalEnergy() float64 {
 
 // JobEnergy returns the joules metered against a job so far. This powers
 // the post-job energy reports Tokyo Tech and JCAHPC deliver to users.
-func (s *System) JobEnergy(jobID int64) float64 { return s.jobE[jobID] }
+func (s *System) JobEnergy(jobID int64) float64 {
+	if acc := s.jobE[jobID]; acc != nil {
+		return *acc
+	}
+	return 0
+}
 
 // PeakPower returns the highest instantaneous IT draw observed and when.
 func (s *System) PeakPower() (float64, simulator.Time) { return s.peakW, s.peakT }

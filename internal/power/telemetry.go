@@ -131,10 +131,15 @@ func (t *Telemetry) SampleNow(now simulator.Time) Reading {
 	return r
 }
 
-// record appends a reading to the stats and the bounded series.
+// record appends a reading to the stats and the bounded series. The series
+// slab is sized to its bound up front: the halving below then recycles one
+// backing array for the life of the run instead of regrowing it.
 func (t *Telemetry) record(r Reading) {
 	t.ITStats.Add(r.ITW)
 	t.SiteStat.Add(r.ITW + r.CoolW)
+	if t.Series == nil {
+		t.Series = make([]Reading, 0, t.MaxKeep+1)
+	}
 	t.Series = append(t.Series, r)
 	if len(t.Series) > t.MaxKeep {
 		// Halve resolution: keep every other sample.

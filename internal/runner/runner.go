@@ -1,0 +1,107 @@
+// Package runner executes independent simulation runs across a bounded
+// worker pool. Sweep-style experiments (parameter grids, fault-rate
+// ladders, seed replications) are embarrassingly parallel: every run owns
+// its cluster, power substrate, RNG, and event engine, so runs share no
+// mutable state. Map exploits that by fanning the runs across goroutines
+// and merging results strictly by index — the output of a parallel sweep
+// is byte-identical to running the same closures sequentially.
+//
+// The determinism contract Map relies on (and `go test -race ./...`
+// enforces): the closure for index i must touch only state it creates
+// itself, plus immutable inputs. A core.Manager built inside the closure
+// satisfies this; two managers sharing one simulator.Engine (the
+// inter-system coordination experiments) do not, and must stay on a single
+// index.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// procs is the configured worker bound; 0 means GOMAXPROCS at call time.
+var procs atomic.Int64
+
+// SetProcs bounds the number of concurrent runs Map uses. n <= 0 restores
+// the default (GOMAXPROCS). It returns the previous setting so callers can
+// scope an override.
+func SetProcs(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(procs.Swap(int64(n)))
+}
+
+// Procs reports the effective worker bound.
+func Procs() int {
+	if n := int(procs.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+type trappedPanic struct {
+	val   any
+	stack []byte
+}
+
+// Map computes fn(0..n-1) and returns the results in index order. With one
+// worker (or one run) it executes inline on the calling goroutine; with
+// more it fans out and joins. Every run executes exactly once whatever the
+// worker count, and results depend only on fn — never on scheduling — so a
+// deterministic fn yields identical output at any parallelism.
+//
+// If any run panics, Map waits for the remaining runs to finish and then
+// re-panics on the calling goroutine with the lowest-index panic, so
+// failure surfaces deterministically too.
+func Map[T any](n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	workers := Procs()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	panics := make([]*trappedPanic, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				runOne(i, fn, out, panics)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("runner: run %d panicked: %v\n%s", i, p.val, p.stack))
+		}
+	}
+	return out
+}
+
+func runOne[T any](i int, fn func(i int) T, out []T, panics []*trappedPanic) {
+	defer func() {
+		if r := recover(); r != nil {
+			panics[i] = &trappedPanic{val: r, stack: debug.Stack()}
+		}
+	}()
+	out[i] = fn(i)
+}

@@ -1,0 +1,77 @@
+package runner
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderAndCompleteness(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		prev := SetProcs(p)
+		got := Map(37, func(i int) int { return i * i })
+		SetProcs(prev)
+		if len(got) != 37 {
+			t.Fatalf("procs=%d: got %d results", p, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("procs=%d: result[%d] = %d, want %d", p, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(0, func(i int) int { return i }); got != nil {
+		t.Fatalf("Map(0) = %v, want nil", got)
+	}
+}
+
+func TestMapRunsEachExactlyOnce(t *testing.T) {
+	prev := SetProcs(4)
+	defer SetProcs(prev)
+	var counts [100]atomic.Int64
+	Map(len(counts), func(i int) struct{} {
+		counts[i].Add(1)
+		return struct{}{}
+	})
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("run %d executed %d times", i, c)
+		}
+	}
+}
+
+func TestMapPanicPropagatesLowestIndex(t *testing.T) {
+	prev := SetProcs(4)
+	defer SetProcs(prev)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "run 3 panicked") {
+			t.Fatalf("panic = %v, want lowest-index run 3", r)
+		}
+	}()
+	Map(8, func(i int) int {
+		if i == 3 || i == 6 {
+			panic("boom")
+		}
+		return i
+	})
+}
+
+func TestSetProcs(t *testing.T) {
+	prev := SetProcs(3)
+	defer SetProcs(prev)
+	if Procs() != 3 {
+		t.Fatalf("Procs() = %d, want 3", Procs())
+	}
+	SetProcs(0)
+	if Procs() < 1 {
+		t.Fatalf("default Procs() = %d, want >= 1", Procs())
+	}
+}

@@ -30,6 +30,17 @@ func NewProfile(start simulator.Time, capacity int) *Profile {
 	}
 }
 
+// Reset returns the profile to the empty state NewProfile would produce,
+// reusing the breakpoint slabs already grown. A reset profile behaves
+// identically to a fresh one; schedulers that plan every pass keep one
+// profile alive instead of reallocating the timeline each Pick.
+func (p *Profile) Reset(start simulator.Time, capacity int) {
+	p.Capacity = capacity
+	p.start = start
+	p.times = append(p.times[:0], start)
+	p.used = append(p.used[:0], 0)
+}
+
 // UsedAt returns the usage in effect at time t (t before the profile start
 // reports the initial usage).
 func (p *Profile) UsedAt(t simulator.Time) int {

@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"epajsrm/internal/simulator"
+)
+
+// TestProfileResetEquivalentToFresh is the property test backing the
+// profile-slab reuse in Conservative.Pick: a Reset profile must be
+// indistinguishable from a fresh one under any reservation sequence.
+// Random sequences of Reserve/EarliestFit/UsedAt/MaxUsedIn run against a
+// fresh profile and a dirtied-then-Reset one; every observable must match.
+func TestProfileResetEquivalentToFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		capacity := 1 + rng.Intn(64)
+		start := simulator.Time(rng.Intn(1000))
+
+		fresh := NewProfile(start, capacity)
+
+		// Dirty the reused profile with unrelated history, then Reset.
+		reused := NewProfile(simulator.Time(rng.Intn(500)), 1+rng.Intn(128))
+		for i := 0; i < rng.Intn(20); i++ {
+			n := 1 + rng.Intn(reused.Capacity)
+			d := simulator.Time(1 + rng.Intn(5000))
+			at := reused.EarliestFit(n, d)
+			reused.Reserve(at, at+d, n)
+		}
+		reused.Reset(start, capacity)
+
+		// Replay one random reservation sequence against both, checking
+		// every observable after every step.
+		for step := 0; step < 30; step++ {
+			switch rng.Intn(4) {
+			case 0:
+				n := 1 + rng.Intn(capacity)
+				d := simulator.Time(1 + rng.Intn(10000))
+				// Reserve at the earliest feasible slot, the way the
+				// backfilling planners do, so capacity is never exceeded.
+				at := fresh.EarliestFit(n, d)
+				if got := reused.EarliestFit(n, d); got != at {
+					t.Fatalf("trial %d step %d: EarliestFit(%d,%d) = %d, fresh %d", trial, step, n, d, got, at)
+				}
+				fresh.Reserve(at, at+d, n)
+				reused.Reserve(at, at+d, n)
+			case 1:
+				n := 1 + rng.Intn(capacity)
+				d := simulator.Time(1 + rng.Intn(10000))
+				a, b := fresh.EarliestFit(n, d), reused.EarliestFit(n, d)
+				if a != b {
+					t.Fatalf("trial %d step %d: EarliestFit(%d,%d) = %d, fresh %d", trial, step, n, d, b, a)
+				}
+			case 2:
+				at := start + simulator.Time(rng.Intn(20000)) - 100
+				if a, b := fresh.UsedAt(at), reused.UsedAt(at); a != b {
+					t.Fatalf("trial %d step %d: UsedAt(%d) = %d, fresh %d", trial, step, at, b, a)
+				}
+			case 3:
+				from := start + simulator.Time(rng.Intn(20000))
+				to := from + simulator.Time(1+rng.Intn(10000))
+				if a, b := fresh.MaxUsedIn(from, to), reused.MaxUsedIn(from, to); a != b {
+					t.Fatalf("trial %d step %d: MaxUsedIn(%d,%d) = %d, fresh %d", trial, step, from, to, b, a)
+				}
+			}
+		}
+	}
+}
+
+// TestProfileResetRepeatedly reuses one profile across many independent
+// planning rounds — the exact lifecycle the pooled Conservative scratch
+// sees — checking each round against a fresh profile.
+func TestProfileResetRepeatedly(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	reused := NewProfile(0, 1)
+	for round := 0; round < 100; round++ {
+		capacity := 1 + rng.Intn(32)
+		start := simulator.Time(rng.Intn(1000))
+		reused.Reset(start, capacity)
+		fresh := NewProfile(start, capacity)
+		for i := 0; i < 15; i++ {
+			n := 1 + rng.Intn(capacity)
+			d := simulator.Time(1 + rng.Intn(3000))
+			at := fresh.EarliestFit(n, d)
+			if got := reused.EarliestFit(n, d); got != at {
+				t.Fatalf("round %d step %d: EarliestFit = %d, fresh %d", round, i, got, at)
+			}
+			fresh.Reserve(at, at+d, n)
+			reused.Reserve(at, at+d, n)
+		}
+	}
+}

@@ -6,8 +6,19 @@
 package sched
 
 import (
+	"sync"
+
 	"epajsrm/internal/jobs"
 	"epajsrm/internal/simulator"
+)
+
+// Pick-scratch pools. Schedulers are stateless values shared across
+// goroutines, so per-Pick scratch lives in pools rather than on the
+// scheduler — the parallel experiment runner calls Pick from many
+// managers concurrently.
+var (
+	runningScratch = sync.Pool{New: func() any { s := make([]RunningJob, 0, 64); return &s }}
+	profileScratch = sync.Pool{New: func() any { return NewProfile(0, 0) }}
 )
 
 // RunningJob pairs a running job with its current placement width and the
@@ -69,7 +80,12 @@ func (EASY) Name() string { return "easy" }
 func (e EASY) Pick(v View) []*jobs.Job {
 	var out []*jobs.Job
 	free := v.Free
-	running := append([]RunningJob(nil), v.Running...)
+	sp := runningScratch.Get().(*[]RunningJob)
+	running := append((*sp)[:0], v.Running...)
+	defer func() {
+		*sp = running[:0]
+		runningScratch.Put(sp)
+	}()
 
 	queue := v.Queue
 	// Start head jobs while they fit.
@@ -115,8 +131,14 @@ func reservation(now simulator.Time, free, need int, running []RunningJob) (shad
 	if free >= need {
 		return now, free - need
 	}
-	ends := append([]RunningJob(nil), running...)
-	// Insertion sort by expected end: queues are short at decision points.
+	// Sort a pooled copy by expected end — insertion sort, queues are short
+	// at decision points.
+	ep := runningScratch.Get().(*[]RunningJob)
+	ends := append((*ep)[:0], running...)
+	defer func() {
+		*ep = ends[:0]
+		runningScratch.Put(ep)
+	}()
 	for i := 1; i < len(ends); i++ {
 		for k := i; k > 0 && ends[k].ExpectedEnd < ends[k-1].ExpectedEnd; k-- {
 			ends[k], ends[k-1] = ends[k-1], ends[k]
@@ -145,7 +167,9 @@ func (Conservative) Name() string { return "conservative" }
 
 // Pick implements Scheduler.
 func (Conservative) Pick(v View) []*jobs.Job {
-	p := NewProfile(v.Now, v.TotalNodes)
+	p := profileScratch.Get().(*Profile)
+	p.Reset(v.Now, v.TotalNodes)
+	defer profileScratch.Put(p)
 	for _, r := range v.Running {
 		p.Reserve(v.Now, r.ExpectedEnd, r.Nodes)
 	}

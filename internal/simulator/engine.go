@@ -32,7 +32,11 @@ func (t Time) String() string {
 	return fmt.Sprintf("%02d:%02d:%02d", h, m, s)
 }
 
-// Event is a callback scheduled to run at a point in virtual time.
+// Event is a callback scheduled to run at a point in virtual time. Event
+// objects are pooled: once an event fires (or a cancelled event is
+// discarded), the engine recycles the struct for a future schedule. Holders
+// therefore never keep an *Event across a fire — they hold a Handle, whose
+// generation check makes a stale Cancel a safe no-op.
 type Event struct {
 	At   Time
 	Name string
@@ -40,20 +44,38 @@ type Event struct {
 
 	seq    int64
 	index  int
+	gen    uint64
 	dead   bool
 	daemon bool
 	eng    *Engine
 }
 
+// Handle refers to a scheduled event. The zero Handle is valid and refers
+// to nothing; Cancel on it is a no-op. Because events are pooled, a Handle
+// embeds the generation of the event it was minted for: cancelling after
+// the event fired — even if the struct has since been recycled into an
+// unrelated event — does nothing.
+type Handle struct {
+	e   *Event
+	gen uint64
+}
+
 // Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired is a no-op.
-func (e *Event) Cancel() {
-	if e != nil && !e.dead {
-		e.dead = true
-		if !e.daemon && e.eng != nil {
-			e.eng.live--
-		}
+// already fired (or the zero Handle) is a no-op.
+func (h Handle) Cancel() {
+	e := h.e
+	if e == nil || e.gen != h.gen || e.dead {
+		return
 	}
+	e.dead = true
+	if !e.daemon && e.eng != nil {
+		e.eng.live--
+	}
+}
+
+// Pending reports whether the event is still queued to fire.
+func (h Handle) Pending() bool {
+	return h.e != nil && h.e.gen == h.gen && !h.e.dead
 }
 
 type eventHeap []*Event
@@ -97,6 +119,8 @@ type Engine struct {
 	// control loops, telemetry samplers) never keep an unbounded run alive:
 	// Run() ends when only daemons remain.
 	live int
+	// free is the recycle list for fired/discarded Event structs; see Event.
+	free []*Event
 }
 
 // NewEngine returns an engine positioned at time zero with an empty queue.
@@ -120,26 +144,43 @@ var ErrPastEvent = errors.New("simulator: event scheduled in the past")
 // At schedules fn to run at the absolute virtual time at. Scheduling at the
 // current time is allowed; the event runs after the currently executing
 // event returns.
-func (e *Engine) At(at Time, name string, fn func(now Time)) (*Event, error) {
+func (e *Engine) At(at Time, name string, fn func(now Time)) (Handle, error) {
 	return e.at(at, name, fn, false)
 }
 
-func (e *Engine) at(at Time, name string, fn func(now Time), daemon bool) (*Event, error) {
+func (e *Engine) at(at Time, name string, fn func(now Time), daemon bool) (Handle, error) {
 	if at < e.now {
-		return nil, fmt.Errorf("%w: at=%d now=%d (%s)", ErrPastEvent, at, e.now, name)
+		return Handle{}, fmt.Errorf("%w: at=%d now=%d (%s)", ErrPastEvent, at, e.now, name)
 	}
-	ev := &Event{At: at, Name: name, Fn: fn, seq: e.seq, daemon: daemon, eng: e}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = Event{At: at, Name: name, Fn: fn, seq: e.seq, gen: ev.gen, daemon: daemon, eng: e}
+	} else {
+		ev = &Event{At: at, Name: name, Fn: fn, seq: e.seq, eng: e, daemon: daemon}
+	}
 	e.seq++
 	if !daemon {
 		e.live++
 	}
 	heap.Push(&e.queue, ev)
-	return ev, nil
+	return Handle{e: ev, gen: ev.gen}, nil
+}
+
+// recycle returns a popped event to the freelist. Bumping the generation
+// invalidates every outstanding Handle to it; dropping Fn releases the
+// closure for the collector.
+func (e *Engine) recycle(ev *Event) {
+	ev.gen++
+	ev.Fn = nil
+	e.free = append(e.free, ev)
 }
 
 // After schedules fn to run d seconds from now. A negative delay is clamped
 // to zero.
-func (e *Engine) After(d Time, name string, fn func(now Time)) *Event {
+func (e *Engine) After(d Time, name string, fn func(now Time)) Handle {
 	if d < 0 {
 		d = 0
 	}
@@ -152,13 +193,13 @@ func (e *Engine) After(d Time, name string, fn func(now Time)) *Event {
 // horizon), but never extends an unbounded Run on its own. Background
 // processes with no natural end — fault injection, watchdogs — must use
 // daemon events or a drained system would simulate forever.
-func (e *Engine) AtDaemon(at Time, name string, fn func(now Time)) (*Event, error) {
+func (e *Engine) AtDaemon(at Time, name string, fn func(now Time)) (Handle, error) {
 	return e.at(at, name, fn, true)
 }
 
 // AfterDaemon is AtDaemon relative to now; a negative delay is clamped to
 // zero.
-func (e *Engine) AfterDaemon(d Time, name string, fn func(now Time)) *Event {
+func (e *Engine) AfterDaemon(d Time, name string, fn func(now Time)) Handle {
 	if d < 0 {
 		d = 0
 	}
@@ -176,7 +217,7 @@ func (e *Engine) Every(period Time, name string, fn func(now Time)) (stop func()
 	if period <= 0 {
 		period = 1
 	}
-	var cur *Event
+	var cur Handle
 	stopped := false
 	var tick func(now Time)
 	tick = func(now Time) {
@@ -222,6 +263,7 @@ func (e *Engine) RunUntil(horizon Time) Time {
 		}
 		heap.Pop(&e.queue)
 		if next.dead {
+			e.recycle(next)
 			continue
 		}
 		next.dead = true
@@ -230,7 +272,9 @@ func (e *Engine) RunUntil(horizon Time) Time {
 		}
 		e.now = next.At
 		e.fired++
-		next.Fn(e.now)
+		fn := next.Fn
+		e.recycle(next)
+		fn(e.now)
 		if e.fired-start > budget {
 			panic("simulator: event budget exhausted; runaway event loop")
 		}
