@@ -8,6 +8,12 @@
 // Usage:
 //
 //	epabench [-seed N] [-only E4,E7] [-run 'E2[0-2]'] [-procs 4]
+//	epabench -only E21 -trace e21.json   # Perfetto-loadable control-loop trace
+//
+// Observability: -trace writes the control-loop events of every selected
+// experiment into one Chrome trace_event file (procs is forced to 1 so
+// the stream is deterministic). -cpuprofile, -memprofile and -pproftrace
+// capture stdlib runtime profiles of the whole run.
 package main
 
 import (
@@ -15,12 +21,16 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 	"time"
 
 	"epajsrm/internal/experiments"
 	"epajsrm/internal/report"
 	"epajsrm/internal/runner"
+	"epajsrm/internal/trace"
 )
 
 func main() {
@@ -28,7 +38,56 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
 	runPat := flag.String("run", "", "regexp filter on experiment IDs (combines with -only)")
 	procs := flag.Int("procs", 0, "max concurrent experiments (0 = GOMAXPROCS)")
+	traceOut := flag.String("trace", "", "write the selected experiments' control-loop trace (Chrome trace_event) to this file; forces -procs 1")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
+	pprofTrace := flag.String("pproftrace", "", "write a Go runtime execution trace to this file (go tool trace)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *pprofTrace != "" {
+		f, err := os.Create(*pprofTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := rtrace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			rtrace.Stop()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+		}()
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -92,6 +151,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	var tr *trace.Tracer
+	if *traceOut != "" {
+		if *procs != 1 {
+			fmt.Fprintln(os.Stderr, "-trace forces -procs 1 for a deterministic event stream")
+		}
+		*procs = 1
+		tr = trace.New()
+		experiments.SetTracer(tr)
+	}
+
 	runner.SetProcs(*procs)
 	type outcome struct {
 		text string
@@ -104,6 +173,23 @@ func main() {
 	})
 	for _, o := range outs {
 		fmt.Println(o.text)
+	}
+
+	if tr != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", tr.Len(), *traceOut)
 	}
 
 	timing := report.Table{

@@ -9,13 +9,28 @@
 //	epasim -site kaust -mtbf 4 -actfail 0.1   # with fault injection
 //	epasim -site kaust -mtbf 2 -ckpt-interval 20   # ... and checkpoint/restart
 //	epasim -site kaust -reps 8 -procs 4   # seed-replication sweep
+//	epasim -site kaust -trace run.json    # Chrome trace_event output (Perfetto)
+//	epasim -site kaust -metrics m.json    # metrics-registry snapshot
 //	epasim -list
+//
+// Observability flags: -trace writes the control-loop event trace in
+// Chrome trace_event format (load in Perfetto / chrome://tracing; 1
+// virtual second = 1 trace µs), -trace-jsonl writes the same events one
+// JSON object per line, -metrics snapshots the manager's metric registry
+// as JSON. All three write to files only — the stdout report stays
+// byte-identical with and without them. Profiling flags -cpuprofile,
+// -memprofile and -pproftrace capture stdlib runtime profiles of the
+// simulation itself.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 
 	"epajsrm/internal/checkpoint"
 	"epajsrm/internal/fault"
@@ -24,41 +39,105 @@ import (
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/site"
 	"epajsrm/internal/stats"
+	"epajsrm/internal/trace"
 	"epajsrm/internal/workload"
 )
 
 func main() {
-	name := flag.String("site", "", "site profile to run (see -list)")
-	list := flag.Bool("list", false, "list available site profiles")
-	jobs := flag.Int("jobs", 200, "number of jobs to generate")
-	days := flag.Int("days", 7, "simulated days")
-	seed := flag.Uint64("seed", 42, "deterministic seed")
-	traceOut := flag.String("writetrace", "", "write the generated workload as a trace file")
-	traceIn := flag.String("readtrace", "", "replay a trace file instead of generating a workload")
-	mtbfDays := flag.Float64("mtbf", 0, "per-node mean time between crashes, days (0 = no node faults)")
-	mttrMin := flag.Float64("mttr", 30, "mean node repair time, minutes")
-	sensorMTBFHours := flag.Float64("sensormtbf", 0, "mean time between telemetry outages, hours (0 = none)")
-	sensorMTTRMin := flag.Float64("sensormttr", 10, "mean telemetry outage duration, minutes")
-	stuckProb := flag.Float64("stuckprob", 0.5, "probability a telemetry outage is a stuck sensor")
-	actFail := flag.Float64("actfail", 0, "injected cap-actuation failure probability")
-	ckptIntervalMin := flag.Float64("ckpt-interval", 0, "periodic checkpoint interval, minutes (0 = checkpoint/restart disabled)")
-	ckptBW := flag.Float64("ckpt-bw", 10, "aggregate burst-buffer bandwidth for checkpoint I/O, GB/s")
-	ckptStateFrac := flag.Float64("ckpt-statefrac", 0.3, "fraction of node memory captured per checkpoint image")
-	ckptIOPowerW := flag.Float64("ckpt-iopower", 30, "extra per-node draw while checkpoint I/O is in flight, W")
-	reps := flag.Int("reps", 1, "seed replications: run seeds seed..seed+reps-1 and report per-seed + mean metrics")
-	procs := flag.Int("procs", 0, "max concurrent replications (0 = GOMAXPROCS)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit, so tests can drive the
+// CLI in-process and assert the stdout stream byte-for-byte. It returns
+// the process exit code; deferred profile/trace finishers run before it
+// returns (os.Exit in main would skip them if they were deferred there).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("epasim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("site", "", "site profile to run (see -list)")
+	list := fs.Bool("list", false, "list available site profiles")
+	jobs := fs.Int("jobs", 200, "number of jobs to generate")
+	days := fs.Int("days", 7, "simulated days")
+	seed := fs.Uint64("seed", 42, "deterministic seed")
+	traceOut := fs.String("writetrace", "", "write the generated workload as a trace file")
+	traceIn := fs.String("readtrace", "", "replay a trace file instead of generating a workload")
+	mtbfDays := fs.Float64("mtbf", 0, "per-node mean time between crashes, days (0 = no node faults)")
+	mttrMin := fs.Float64("mttr", 30, "mean node repair time, minutes")
+	sensorMTBFHours := fs.Float64("sensormtbf", 0, "mean time between telemetry outages, hours (0 = none)")
+	sensorMTTRMin := fs.Float64("sensormttr", 10, "mean telemetry outage duration, minutes")
+	stuckProb := fs.Float64("stuckprob", 0.5, "probability a telemetry outage is a stuck sensor")
+	actFail := fs.Float64("actfail", 0, "injected cap-actuation failure probability")
+	ckptIntervalMin := fs.Float64("ckpt-interval", 0, "periodic checkpoint interval, minutes (0 = checkpoint/restart disabled)")
+	ckptBW := fs.Float64("ckpt-bw", 10, "aggregate burst-buffer bandwidth for checkpoint I/O, GB/s")
+	ckptStateFrac := fs.Float64("ckpt-statefrac", 0.3, "fraction of node memory captured per checkpoint image")
+	ckptIOPowerW := fs.Float64("ckpt-iopower", 30, "extra per-node draw while checkpoint I/O is in flight, W")
+	reps := fs.Int("reps", 1, "seed replications: run seeds seed..seed+reps-1 and report per-seed + mean metrics")
+	procs := fs.Int("procs", 0, "max concurrent replications (0 = GOMAXPROCS)")
+	chromeOut := fs.String("trace", "", "write the run's control-loop trace in Chrome trace_event format to this file")
+	jsonlOut := fs.String("trace-jsonl", "", "write the run's control-loop trace as JSONL to this file")
+	metricsOut := fs.String("metrics", "", "write the run's metric-registry snapshot as JSON to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
+	pprofTrace := fs.String("pproftrace", "", "write a Go runtime execution trace to this file (go tool trace)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *pprofTrace != "" {
+		f, err := os.Create(*pprofTrace)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := rtrace.Start(f); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer func() {
+			rtrace.Stop()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *list {
 		for _, p := range site.All() {
-			fmt.Printf("%-10s %s\n", p.Name, p.Desc)
+			fmt.Fprintf(stdout, "%-10s %s\n", p.Name, p.Desc)
 		}
-		return
+		return 0
 	}
 	p, ok := site.ByName(*name)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown site %q; use -list\n", *name)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown site %q; use -list\n", *name)
+		return 2
 	}
 	if *ckptIntervalMin > 0 {
 		p.Checkpoint = checkpoint.Config{
@@ -81,12 +160,16 @@ func main() {
 
 	if *reps > 1 {
 		if *traceIn != "" || *traceOut != "" {
-			fmt.Fprintln(os.Stderr, "-reps cannot be combined with -readtrace/-writetrace")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "-reps cannot be combined with -readtrace/-writetrace")
+			return 2
+		}
+		if *chromeOut != "" || *jsonlOut != "" || *metricsOut != "" {
+			fmt.Fprintln(stderr, "-reps cannot be combined with -trace/-trace-jsonl/-metrics (one trace per run)")
+			return 2
 		}
 		runner.SetProcs(*procs)
-		replicate(p, prof, *seed, *reps, *jobs, horizon)
-		return
+		replicate(stdout, stderr, p, prof, *seed, *reps, *jobs, horizon)
+		return 0
 	}
 
 	nGen := *jobs
@@ -95,44 +178,49 @@ func main() {
 	}
 	m, js, err := p.Build(*seed, nGen)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	var tr *trace.Tracer
+	if *chromeOut != "" || *jsonlOut != "" {
+		tr = trace.New()
+		m.AttachTracer(tr)
 	}
 	if *traceIn != "" {
 		f, err := os.Open(*traceIn)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		js, err = workload.ReadTrace(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		for _, j := range js {
 			if err := m.Submit(j, j.Submit); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, err)
+				return 1
 			}
 		}
-		fmt.Printf("replaying %d jobs from %s\n", len(js), *traceIn)
+		fmt.Fprintf(stdout, "replaying %d jobs from %s\n", len(js), *traceIn)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		if err := workload.WriteTrace(f, js); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		fmt.Printf("wrote %d jobs to %s\n", len(js), *traceOut)
+		fmt.Fprintf(stdout, "wrote %d jobs to %s\n", len(js), *traceOut)
 	}
 
 	var inj *fault.Injector
@@ -143,8 +231,8 @@ func main() {
 
 	end := m.Run(horizon)
 
-	fmt.Printf("site %s — %s\n\n", p.Name, p.Desc)
-	fmt.Println(report.ComponentDiagram(report.Components{
+	fmt.Fprintf(stdout, "site %s — %s\n\n", p.Name, p.Desc)
+	fmt.Fprintln(stdout, report.ComponentDiagram(report.Components{
 		SystemName:  m.Cl.Cfg.Name,
 		Scheduler:   m.Sched.Name(),
 		Policies:    m.PolicyNames(),
@@ -179,7 +267,7 @@ func main() {
 			[]string{"injected faults", inj.Summary()},
 			[]string{"node failures / job requeues", fmt.Sprintf("%d / %d",
 				m.Metrics.NodeFailures, m.Metrics.Requeues)},
-			[]string{"telemetry samples dropped", fmt.Sprint(m.Tel.Dropped)},
+			[]string{"telemetry samples dropped", fmt.Sprint(m.Tel.Dropped.Value())},
 		)
 	}
 	if inj != nil || *ckptIntervalMin > 0 {
@@ -194,7 +282,7 @@ func main() {
 				m.Metrics.CheckpointWriteSeconds/3600, m.Metrics.RestartReadSeconds/3600)},
 		)
 	}
-	fmt.Println(tbl.Render())
+	fmt.Fprintln(stdout, tbl.Render())
 
 	// Power profile over the run, from the telemetry series.
 	if len(m.Tel.Series) > 1 {
@@ -204,13 +292,49 @@ func main() {
 			xs[i] = float64(r.At) / float64(simulator.Hour)
 			ys[i] = r.ITW / 1000
 		}
-		fmt.Println(report.LineChart{
+		fmt.Fprintln(stdout, report.LineChart{
 			Title:  "IT power over the run",
 			YLabel: "kW (x in hours)",
 			Xs:     xs,
 			Ys:     ys,
 		}.Render())
 	}
+
+	// Observability artifacts go to their own files, never to the report
+	// stream: stdout is byte-identical with and without them.
+	if *chromeOut != "" {
+		if err := writeFile(*chromeOut, tr.WriteChrome); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	if *jsonlOut != "" {
+		if err := writeFile(*jsonlOut, tr.WriteJSONL); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, m.Reg.WriteJSON); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// writeFile creates path and streams write into it, returning the first
+// error from create, write, or close.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // replicate runs the profile at reps consecutive seeds across the worker
@@ -218,7 +342,7 @@ func main() {
 // its manager, RNG, and engine, so the rows are independent draws of the
 // same configuration — the cheap coverage sweep the parallel runner exists
 // for.
-func replicate(p site.Profile, prof fault.Profile, seed uint64, reps, jobs int, horizon simulator.Time) {
+func replicate(stdout, stderr io.Writer, p site.Profile, prof fault.Profile, seed uint64, reps, jobs int, horizon simulator.Time) {
 	type rep struct {
 		seed              uint64
 		completed, killed int
@@ -257,7 +381,7 @@ func replicate(p site.Profile, prof fault.Profile, seed uint64, reps, jobs int, 
 	var util, energy, peak, done stats.Sample
 	for _, r := range outs {
 		if r.err != nil {
-			fmt.Fprintln(os.Stderr, r.err)
+			fmt.Fprintln(stderr, r.err)
 			os.Exit(1)
 		}
 		tbl.Rows = append(tbl.Rows, []string{
@@ -275,5 +399,5 @@ func replicate(p site.Profile, prof fault.Profile, seed uint64, reps, jobs int, 
 		fmt.Sprintf("%.1f%%", 100*util.Mean()), "-",
 		fmt.Sprintf("%.2f", energy.Mean()), fmt.Sprintf("%.1f", peak.Mean()),
 	})
-	fmt.Println(tbl.Render())
+	fmt.Fprintln(stdout, tbl.Render())
 }

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// runCLI drives the epasim entry point in-process and returns its streams.
+func runCLI(t *testing.T, args ...string) (stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("epasim %v exited %d\nstderr: %s", args, code, errb.String())
+	}
+	return out.String(), errb.String()
+}
+
+// TestObservabilityFlagsDoNotTouchStdout is the non-interleave contract:
+// the run report on stdout must be byte-identical whether or not the
+// trace, JSONL, and metrics outputs are requested — observability rides in
+// side files, never in the deterministic report stream.
+func TestObservabilityFlagsDoNotTouchStdout(t *testing.T) {
+	dir := t.TempDir()
+	chrome := filepath.Join(dir, "t.json")
+	jsonl := filepath.Join(dir, "t.jsonl")
+	metrics := filepath.Join(dir, "m.json")
+	base := []string{"-site", "cineca", "-jobs", "50", "-days", "2", "-seed", "9"}
+
+	plain, _ := runCLI(t, base...)
+	traced, _ := runCLI(t, append(base,
+		"-trace", chrome, "-trace-jsonl", jsonl, "-metrics", metrics)...)
+	if plain != traced {
+		t.Fatal("stdout differs when observability flags are set")
+	}
+	if len(plain) == 0 {
+		t.Fatal("empty run report")
+	}
+
+	// The Chrome file must be valid trace_event JSON with events in it.
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	raw, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("Chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("Chrome trace holds no events")
+	}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"run", "queue-wait", "it_power_w"} {
+		if !names[want] {
+			t.Fatalf("Chrome trace missing %q events", want)
+		}
+	}
+
+	// Every JSONL line parses on its own.
+	f, err := os.Open(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var v map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			t.Fatalf("JSONL line %d invalid: %v", lines, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("JSONL trace is empty")
+	}
+
+	// The metrics snapshot parses and carries the core job counters.
+	mraw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]map[string]any
+	if err := json.Unmarshal(mraw, &snap); err != nil {
+		t.Fatalf("metrics snapshot invalid JSON: %v", err)
+	}
+	if _, ok := snap["jobs.completed"]; !ok {
+		t.Fatalf("metrics snapshot missing jobs.completed: %v", snap)
+	}
+}
+
+// TestTraceFilesAreByteDeterministic: two same-seed runs must produce
+// byte-identical trace artifacts.
+func TestTraceFilesAreByteDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	args := []string{"-site", "cineca", "-jobs", "50", "-days", "2", "-seed", "4"}
+	runCLI(t, append(args, "-trace", a)...)
+	runCLI(t, append(args, "-trace", b)...)
+	ab, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("same-seed trace files differ byte-for-byte")
+	}
+}
+
+// TestRepsRejectsTraceFlags pins the CLI contract that per-run artifacts
+// cannot be combined with a replication sweep.
+func TestRepsRejectsTraceFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-site", "cineca", "-reps", "2", "-trace", "x.json"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr %q", code, errb.String())
+	}
+}

@@ -5,23 +5,36 @@
 // Usage:
 //
 //	surveyreport [-csv] [-exhibit T1|T2|F1|F2|Q|A]
+//	surveyreport -exhibit E -site kaust [-jobs 120] [-days 7] [-seed 42]
 //
-// With no flags, everything is printed in paper order.
+// With no flags, everything is printed in paper order. Exhibit E is the
+// per-job energy account (the survey's Q5 user-report capability): it runs
+// the named site profile and prints each finished job's metered energy,
+// mean and peak power, and lost work under whole-node attribution.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"epajsrm/internal/experiments"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/report"
+	"epajsrm/internal/simulator"
+	"epajsrm/internal/site"
 	"epajsrm/internal/survey"
 )
 
 func main() {
 	csv := flag.Bool("csv", false, "emit tables as CSV instead of text")
-	exhibit := flag.String("exhibit", "", "print a single exhibit: T1, T2, F1, F2, Q (questionnaire), A (analysis)")
+	exhibit := flag.String("exhibit", "", "print a single exhibit: T1, T2, F1, F2, Q (questionnaire), A (analysis), E (per-job energy)")
+	siteName := flag.String("site", "kaust", "site profile for exhibit E (see epasim -list)")
+	nJobs := flag.Int("jobs", 120, "jobs to generate for exhibit E")
+	days := flag.Int("days", 7, "simulated days for exhibit E")
+	seed := flag.Uint64("seed", 42, "seed for exhibit E")
 	flag.Parse()
 
 	show := func(id string) bool {
@@ -92,8 +105,65 @@ func main() {
 		fmt.Println(survey.AnalysisTable().Render())
 		fmt.Println(survey.RegionTable().Render())
 	}
-	if *exhibit != "" && !strings.ContainsAny(strings.ToUpper(*exhibit), "TFQAW") {
+	if show("E") && *exhibit != "" {
+		if err := energyExhibit(*siteName, *seed, *nJobs, *days, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *exhibit != "" && !strings.ContainsAny(strings.ToUpper(*exhibit), "TFQAWE") {
 		fmt.Fprintf(os.Stderr, "unknown exhibit %q\n", *exhibit)
 		os.Exit(2)
 	}
+}
+
+// energyExhibit runs one site profile and prints the per-job energy
+// account — the post-job user report several surveyed sites ship (LRZ,
+// Tokyo Tech, JCAHPC "energy consumed by each job"). Energy uses
+// whole-node attribution: a job is charged the full draw of every node it
+// occupies, so the per-job figures sum to the attributed system energy.
+func energyExhibit(siteName string, seed uint64, nJobs, days int, csv bool) error {
+	p, ok := site.ByName(siteName)
+	if !ok {
+		return fmt.Errorf("unknown site %q; see epasim -list", siteName)
+	}
+	m, js, err := p.Build(seed, nJobs)
+	if err != nil {
+		return err
+	}
+	m.Run(simulator.Time(days) * simulator.Day)
+
+	sorted := append([]*jobs.Job(nil), js...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	tbl := report.Table{
+		Title: fmt.Sprintf("Per-job energy account — site %s, %d jobs, %d days, seed %d",
+			p.Name, nJobs, days, seed),
+		Header: []string{"job", "user", "state", "nodes", "run (h)", "energy (kWh)", "avg (W)", "peak (W)", "lost work (node-h)"},
+	}
+	var sumJ float64
+	finished := 0
+	for _, j := range sorted {
+		if j.State != jobs.StateCompleted && j.State != jobs.StateKilled {
+			continue
+		}
+		finished++
+		sumJ += j.EnergyJ
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprint(j.ID), j.User, j.State.String(), fmt.Sprint(j.Nodes),
+			fmt.Sprintf("%.2f", j.RunSeconds/3600),
+			fmt.Sprintf("%.2f", j.EnergyJ/3.6e6),
+			fmt.Sprintf("%.0f", j.AvgPowerW),
+			fmt.Sprintf("%.0f", j.PeakPowerW),
+			fmt.Sprintf("%.2f", j.LostWorkSeconds/3600),
+		})
+	}
+	if csv {
+		fmt.Print(tbl.CSV())
+	} else {
+		fmt.Println(tbl.Render())
+	}
+	fmt.Printf("%d finished jobs, %.1f kWh attributed of %.1f kWh total IT energy (%.1f%% unattributed idle/boot)\n",
+		finished, sumJ/3.6e6, m.Pw.TotalEnergy()/3.6e6,
+		100*(m.Pw.TotalEnergy()-sumJ)/m.Pw.TotalEnergy())
+	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"epajsrm/internal/simulator"
+	"epajsrm/internal/trace"
 )
 
 // runPhase is where a running job is in its checkpoint lifecycle. The job
@@ -77,6 +78,14 @@ func (m *Manager) commitCheckpoint(r *running, now simulator.Time, stall float64
 	j.Checkpoints++
 	m.Metrics.CheckpointsWritten++
 	m.Metrics.CheckpointWriteSeconds += stall
+	if m.Tr != nil {
+		name := "ckpt-write"
+		if r.phase == phasePreemptDrain {
+			name = "ckpt-drain"
+		}
+		m.Tr.Span(trace.PidJobs, int(j.ID), name, now-simulator.Time(stall), now,
+			trace.Arg{Key: "work_captured_s", Val: r.ioWork})
+	}
 	for _, h := range m.hooks.checkpoints {
 		h(m, j, CkptWritten, stall)
 	}
@@ -114,6 +123,10 @@ func (m *Manager) finishRestore(r *running, now simulator.Time, stall float64) {
 	m.Pw.SetJobAux(now, r.job.ID, 0)
 	m.Metrics.CheckpointRestores++
 	m.Metrics.RestartReadSeconds += stall
+	if m.Tr != nil {
+		m.Tr.Span(trace.PidJobs, int(r.job.ID), "ckpt-restore", now-simulator.Time(stall), now,
+			trace.Arg{Key: "resume_work_s", Val: r.job.WorkDone})
+	}
 	r.phase = phaseComputing
 	r.lastSync = now
 	r.job.LastProgress = now

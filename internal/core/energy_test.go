@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/sched"
+	"epajsrm/internal/simulator"
+	"epajsrm/internal/trace"
+	"epajsrm/internal/workload"
+)
+
+// energyRun executes a mixed workload (including one walltime overrun that
+// gets killed) and returns the manager plus the submitted jobs.
+func energyRun(t *testing.T, seed uint64, tr *trace.Tracer) (*Manager, []*jobs.Job) {
+	t.Helper()
+	m := NewManager(Options{
+		Cluster:   cluster.DefaultConfig(),
+		Scheduler: sched.EASY{},
+		Seed:      seed,
+	})
+	m.EnforceWalltime = true
+	if tr != nil {
+		m.AttachTracer(tr)
+	}
+	js := workload.NewGenerator(workload.DefaultSpec(), seed+7).Generate(80)
+	over := mkJob(9001, 4, simulator.Hour)
+	over.TrueRuntime = 3 * over.Walltime // guaranteed walltime kill
+	js = append(js, over)
+	for _, j := range js {
+		if err := m.Submit(j, j.Submit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Run(-1)
+	return m, js
+}
+
+// TestPerJobEnergyConservation checks the whole-node attribution contract:
+// every finished job carries a consistent energy account, and the per-job
+// figures sum exactly (modulo float accumulation) to the system's
+// attributed energy, which in turn never exceeds total IT energy.
+func TestPerJobEnergyConservation(t *testing.T) {
+	m, js := energyRun(t, 42, nil)
+	if m.Metrics.Completed == 0 || m.Metrics.Killed == 0 {
+		t.Fatalf("workload too tame: completed=%d killed=%d", m.Metrics.Completed, m.Metrics.Killed)
+	}
+	var sum float64
+	for _, j := range js {
+		if j.State != jobs.StateCompleted && j.State != jobs.StateKilled {
+			continue
+		}
+		sum += j.EnergyJ
+		if j.RunSeconds <= 0 {
+			t.Fatalf("job %d finished with RunSeconds=%g", j.ID, j.RunSeconds)
+		}
+		if j.EnergyJ <= 0 {
+			t.Fatalf("job %d finished with EnergyJ=%g", j.ID, j.EnergyJ)
+		}
+		if want := j.EnergyJ / j.RunSeconds; math.Abs(j.AvgPowerW-want) > 1e-9*want {
+			t.Fatalf("job %d AvgPowerW=%g, want EnergyJ/RunSeconds=%g", j.ID, j.AvgPowerW, want)
+		}
+		// Peak is an instantaneous maximum; it can never sit below the mean.
+		if j.PeakPowerW < j.AvgPowerW*(1-1e-9) {
+			t.Fatalf("job %d peak %g < avg %g", j.ID, j.PeakPowerW, j.AvgPowerW)
+		}
+	}
+	attr := m.Pw.AttributedEnergy()
+	if diff := math.Abs(sum - attr); diff > 1e-6*attr {
+		t.Fatalf("per-job energy sum %g != attributed %g (diff %g)", sum, attr, diff)
+	}
+	total := m.Pw.TotalEnergy()
+	if attr > total*(1+1e-12) {
+		t.Fatalf("attributed %g exceeds total IT energy %g", attr, total)
+	}
+	// The default cluster idles whenever the queue drains, so a real gap
+	// must separate attributed from total energy.
+	if attr >= total {
+		t.Fatalf("no unattributed idle energy: attr=%g total=%g", attr, total)
+	}
+}
+
+// TestTracingDoesNotPerturbRun re-runs the same seed with a tracer attached
+// and requires every observable outcome to be identical: attaching
+// observability must never change what the control loop does.
+func TestTracingDoesNotPerturbRun(t *testing.T) {
+	fp := func(m *Manager) string {
+		return fmt.Sprintf("completed=%d killed=%d requeues=%d waits=%.9f energy=%.6f",
+			m.Metrics.Completed, m.Metrics.Killed, m.Metrics.Requeues,
+			m.Metrics.Waits.Sum(), m.Pw.TotalEnergy())
+	}
+	mOff, jsOff := energyRun(t, 7, nil)
+	mOn, jsOn := energyRun(t, 7, trace.New())
+	if fp(mOff) != fp(mOn) {
+		t.Fatalf("tracer changed the run:\noff: %s\non:  %s", fp(mOff), fp(mOn))
+	}
+	for i := range jsOff {
+		if jsOff[i].EnergyJ != jsOn[i].EnergyJ || jsOff[i].State != jsOn[i].State {
+			t.Fatalf("job %d diverged under tracing", jsOff[i].ID)
+		}
+	}
+}
+
+// TestTraceByteDeterminism runs the same seed twice with tracing enabled
+// and requires byte-identical Chrome and JSONL exports.
+func TestTraceByteDeterminism(t *testing.T) {
+	var a, b, al, bl bytes.Buffer
+	trA, trB := trace.New(), trace.New()
+	energyRun(t, 11, trA)
+	energyRun(t, 11, trB)
+	if err := trA.WriteChrome(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := trB.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same-seed Chrome traces differ byte-for-byte")
+	}
+	if err := trA.WriteJSONL(&al); err != nil {
+		t.Fatal(err)
+	}
+	if err := trB.WriteJSONL(&bl); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(al.Bytes(), bl.Bytes()) {
+		t.Fatal("same-seed JSONL traces differ byte-for-byte")
+	}
+	if trA.Len() == 0 {
+		t.Fatal("trace captured no events")
+	}
+}
+
+// TestTraceCoversLifecycleAndPowerLoop asserts the span vocabulary the
+// observability contract promises: job lifecycle events on the jobs track,
+// scheduler decisions with reasons, and the power loop's telemetry stream.
+func TestTraceCoversLifecycleAndPowerLoop(t *testing.T) {
+	tr := trace.New()
+	energyRun(t, 3, tr)
+	seen := map[string]bool{}
+	byPid := map[int]int{}
+	for _, e := range tr.Events() {
+		seen[e.Name] = true
+		byPid[e.Pid]++
+	}
+	for _, want := range []string{"submit", "queue-wait", "dispatch", "run", "it_power_w", "head-fits"} {
+		if !seen[want] {
+			t.Fatalf("trace missing %q events; saw %v", want, seen)
+		}
+	}
+	for _, pid := range []int{trace.PidJobs, trace.PidSched, trace.PidPower} {
+		if byPid[pid] == 0 {
+			t.Fatalf("no events on pid %d; distribution %v", pid, byPid)
+		}
+	}
+}
+
+// TestRegistrySnapshotMatchesLegacyCounters pins the registry to the
+// manager counters it replaces.
+func TestRegistrySnapshotMatchesLegacyCounters(t *testing.T) {
+	m, _ := energyRun(t, 5, nil)
+	have := map[string]bool{}
+	for _, p := range m.Reg.Snapshot() {
+		have[p.Name] = true
+	}
+	for name, want := range map[string]float64{
+		"jobs.submitted":            float64(m.Metrics.Submitted),
+		"jobs.completed":            float64(m.Metrics.Completed),
+		"jobs.killed":               float64(m.Metrics.Killed),
+		"power.total_energy_j":      m.Pw.TotalEnergy(),
+		"telemetry.dropped":         float64(m.Tel.Dropped.Value()),
+		"power.attributed_energy_j": m.Pw.AttributedEnergy(),
+	} {
+		if !have[name] {
+			t.Fatalf("registry missing %q", name)
+		}
+		if got := m.Reg.Value(name); got != want {
+			t.Fatalf("registry %q = %g, want %g", name, got, want)
+		}
+	}
+}

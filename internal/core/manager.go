@@ -13,9 +13,11 @@ import (
 	"epajsrm/internal/checkpoint"
 	"epajsrm/internal/cluster"
 	"epajsrm/internal/jobs"
+	"epajsrm/internal/metrics"
 	"epajsrm/internal/power"
 	"epajsrm/internal/sched"
 	"epajsrm/internal/simulator"
+	"epajsrm/internal/trace"
 )
 
 // running tracks one executing job.
@@ -87,11 +89,29 @@ type Manager struct {
 	// uncheckpointed preemption lose progress like a crash does.
 	FreeCheckpoint bool
 
+	// Tr is the structured tracer for the whole control loop. Nil (the
+	// default) disables tracing: every emission site is guarded by a
+	// single nil-check, which is the entire hot-path cost of the
+	// subsystem. Attach with AttachTracer, never by writing the field —
+	// the controller, telemetry, and queue-entry bookkeeping must be wired
+	// together.
+	Tr *trace.Tracer
+
+	// Reg is the unified metric registry: the run's counters (adopted from
+	// the controller, telemetry, and fault injector), derived gauges over
+	// Metrics, and the wait/energy histograms, all exportable as one
+	// deterministic snapshot.
+	Reg *metrics.Registry
+
 	policies []Policy
 	hooks    hooks
 
 	runningJobs map[int64]*running
 	nextID      int64
+
+	// trQueued records when each queued job (re-)entered the queue, for
+	// queue-wait spans. Maintained only while Tr != nil.
+	trQueued map[int64]simulator.Time
 
 	// Scheduling-pass scratch, reused across ticks so the hot path does not
 	// reallocate the candidate list and running-jobs view every pass.
@@ -160,7 +180,31 @@ func NewManager(opt Options) *Manager {
 	// calls back so running jobs are re-timed at the new rate.
 	m.Ctrl.OnDeferredApply = func(now simulator.Time) { m.RetimeAll(now) }
 	m.Metrics.lastT = 0
+	m.Reg = metrics.New()
+	m.Reg.Register("telemetry.dropped", m.Tel.Dropped)
+	m.Reg.Register("actuation.failures", m.Ctrl.ActuationFailures)
+	m.Reg.Register("actuation.retries", m.Ctrl.ActuationRetries)
+	m.Reg.Register("actuation.abandoned", m.Ctrl.ActuationAbandoned)
+	m.Reg.GaugeFunc("power.total_energy_j", pw.TotalEnergy)
+	m.Reg.GaugeFunc("power.attributed_energy_j", pw.AttributedEnergy)
+	m.Reg.GaugeFunc("power.peak_w", func() float64 { p, _ := pw.PeakPower(); return p })
+	m.Metrics.register(m.Reg)
 	return m
+}
+
+// AttachTracer enables (or, with nil, disables) structured tracing across
+// the manager's whole control loop: job lifecycle spans in core, actuation
+// audits in the power controller, and sample/dropout events in telemetry.
+// The fault injector and policies read m.Tr at fire time, so attaching
+// after they are built still traces them. Call before or between runs, not
+// mid-event.
+func (m *Manager) AttachTracer(tr *trace.Tracer) {
+	m.Tr = tr
+	m.Ctrl.Tr = tr
+	m.Tel.Tr = tr
+	if tr != nil && m.trQueued == nil {
+		m.trQueued = make(map[int64]simulator.Time)
+	}
 }
 
 // Use attaches a policy. Policies must be attached before the run starts.
@@ -199,15 +243,28 @@ func (m *Manager) arrive(j *jobs.Job, now simulator.Time) {
 	j.Submit = now
 	j.State = jobs.StateQueued
 	m.Metrics.Submitted++
+	if m.Tr != nil {
+		m.Tr.SetThreadName(int(j.ID), fmt.Sprintf("job %d (%s)", j.ID, j.Tag))
+		m.Tr.Instant(trace.PidJobs, int(j.ID), "submit", now,
+			trace.Arg{Key: "nodes", Val: j.Nodes},
+			trace.Arg{Key: "walltime_s", Val: int64(j.Walltime)})
+	}
 	for _, ad := range m.hooks.admit {
 		if ok, reason := ad(m, j); !ok {
 			j.State = jobs.StateCancelled
 			j.KillReason = reason
 			m.Metrics.Cancelled++
+			if m.Tr != nil {
+				m.Tr.Instant(trace.PidJobs, int(j.ID), "cancelled", now,
+					trace.Arg{Key: "reason", Val: reason})
+			}
 			return
 		}
 	}
 	m.Queue.Push(j)
+	if m.Tr != nil {
+		m.trQueued[j.ID] = now
+	}
 	m.TrySchedule(now)
 }
 
@@ -269,7 +326,7 @@ func (m *Manager) schedulePass(now simulator.Time) int {
 		})
 	}
 	v.Running = view
-	picked := m.Sched.Pick(v)
+	picked := m.pick(v, now)
 	restore() // Pick neither retains nor aliases the view slices
 	started := 0
 	for _, j := range picked {
@@ -278,6 +335,25 @@ func (m *Manager) schedulePass(now simulator.Time) int {
 		}
 	}
 	return started
+}
+
+// pick runs the scheduling algorithm over the view. With a tracer
+// attached and a Scheduler that can explain itself, every per-job decision
+// lands on the scheduler track with the algorithm's own reason; otherwise
+// this is exactly m.Sched.Pick — PickExplain with a nil recorder is
+// contractually identical, so tracing can never change what starts.
+func (m *Manager) pick(v sched.View, now simulator.Time) []*jobs.Job {
+	if m.Tr != nil {
+		if ex, ok := m.Sched.(sched.Explainer); ok {
+			return ex.PickExplain(v, func(d sched.Decision) {
+				m.Tr.Instant(trace.PidSched, 0, d.Reason, now,
+					trace.Arg{Key: "job", Val: d.Job.ID},
+					trace.Arg{Key: "nodes", Val: d.Job.Nodes},
+					trace.Arg{Key: "picked", Val: d.Picked})
+			})
+		}
+	}
+	return m.Sched.Pick(v)
 }
 
 // eligibleFilter returns the node-eligibility predicate for job j, or nil
@@ -359,6 +435,19 @@ func (m *Manager) startJob(j *jobs.Job, now simulator.Time) bool {
 	r := &running{job: j, nodes: nodes, lastSync: now, commSlow: m.commSlowdown(j, nodes)}
 	m.runningJobs[j.ID] = r
 	m.Metrics.noteAlloc(now, len(nodes), m.Cl.Size())
+	if m.Tr != nil {
+		qAt, ok := m.trQueued[j.ID]
+		if !ok {
+			qAt = j.Submit
+		}
+		delete(m.trQueued, j.ID)
+		m.Tr.Span(trace.PidJobs, int(j.ID), "queue-wait", qAt, now,
+			trace.Arg{Key: "requeues", Val: j.Requeues})
+		m.Tr.Instant(trace.PidJobs, int(j.ID), "dispatch", now,
+			trace.Arg{Key: "nodes", Val: len(nodes)},
+			trace.Arg{Key: "freq_frac", Val: j.FreqFrac},
+			trace.Arg{Key: "resume_work_s", Val: j.WorkDone})
+	}
 	if m.ckptActive() && j.WorkDone > 0 {
 		// Resuming from a durable image: the restart read is charged
 		// before compute makes any progress.
@@ -458,6 +547,36 @@ func (m *Manager) RetimeAll(now simulator.Time) {
 	}
 }
 
+// endStint closes one run stint's wallclock account; every path that takes
+// a job off its nodes goes through here before overwriting or abandoning
+// j.Start.
+func (m *Manager) endStint(r *running, now simulator.Time) {
+	r.job.RunSeconds += float64(now - r.job.Start)
+}
+
+// finalizeJobPower fills the job-level power account (energy, average and
+// peak aggregate draw) from the power system's meter. Called when a job
+// reaches a terminal state — the meter itself accumulates across stints.
+func (m *Manager) finalizeJobPower(j *jobs.Job) {
+	j.EnergyJ = m.Pw.JobEnergy(j.ID)
+	j.PeakPowerW = m.Pw.JobPeakPower(j.ID)
+	if j.RunSeconds > 0 {
+		j.AvgPowerW = j.EnergyJ / j.RunSeconds
+	}
+}
+
+// traceRunSpan emits the stint span for a job leaving its nodes.
+func (m *Manager) traceRunSpan(r *running, now simulator.Time, outcome string, args ...trace.Arg) {
+	if m.Tr == nil {
+		return
+	}
+	as := make([]trace.Arg, 0, len(args)+2)
+	as = append(as, trace.Arg{Key: "outcome", Val: outcome},
+		trace.Arg{Key: "nodes", Val: len(r.nodes)})
+	as = append(as, args...)
+	m.Tr.Span(trace.PidJobs, int(r.job.ID), "run", r.job.Start, now, as...)
+}
+
 func (m *Manager) finishJob(id int64, now simulator.Time) {
 	r := m.runningJobs[id]
 	if r == nil {
@@ -469,8 +588,13 @@ func (m *Manager) finishJob(id int64, now simulator.Time) {
 	j := r.job
 	j.State = jobs.StateCompleted
 	j.End = now
+	m.endStint(r, now)
 	m.Pw.EndJob(now, id, r.nodes)
-	j.EnergyJ = m.Pw.JobEnergy(id)
+	m.finalizeJobPower(j)
+	m.traceRunSpan(r, now, "completed",
+		trace.Arg{Key: "energy_j", Val: j.EnergyJ},
+		trace.Arg{Key: "avg_w", Val: j.AvgPowerW},
+		trace.Arg{Key: "peak_w", Val: j.PeakPowerW})
 	released := m.Cl.Release(id, now)
 	m.finishDrains(released, now)
 	m.Metrics.noteRelease(now, len(r.nodes), m.Cl.Size())
@@ -492,14 +616,20 @@ func (m *Manager) KillJob(id int64, reason string, now simulator.Time) bool {
 	r.finish.Cancel()
 	m.cancelIO(r)
 	// A kill discards everything the job had computed, checkpointed or not.
-	m.Metrics.LostWorkSeconds += r.job.WorkDone * float64(len(r.nodes))
+	lost := r.job.WorkDone * float64(len(r.nodes))
+	m.Metrics.LostWorkSeconds += lost
+	r.job.LostWorkSeconds += lost
 	delete(m.runningJobs, id)
 	j := r.job
 	j.State = jobs.StateKilled
 	j.KillReason = reason
 	j.End = now
+	m.endStint(r, now)
 	m.Pw.EndJob(now, id, r.nodes)
-	j.EnergyJ = m.Pw.JobEnergy(id)
+	m.finalizeJobPower(j)
+	m.traceRunSpan(r, now, "killed",
+		trace.Arg{Key: "reason", Val: reason},
+		trace.Arg{Key: "lost_node_s", Val: lost})
 	released := m.Cl.Release(id, now)
 	m.finishDrains(released, now)
 	m.Metrics.noteRelease(now, len(r.nodes), m.Cl.Size())
@@ -542,7 +672,9 @@ func (m *Manager) PreemptJob(id int64, now simulator.Time) bool {
 	r.finish.Cancel()
 	j := r.job
 	if !m.FreeCheckpoint {
-		m.Metrics.LostWorkSeconds += j.WorkDone * float64(len(r.nodes))
+		lost := j.WorkDone * float64(len(r.nodes))
+		m.Metrics.LostWorkSeconds += lost
+		j.LostWorkSeconds += lost
 		j.WorkDone = 0
 	}
 	m.requeuePreempted(r, now)
@@ -556,12 +688,18 @@ func (m *Manager) requeuePreempted(r *running, now simulator.Time) {
 	j := r.job
 	delete(m.runningJobs, j.ID)
 	j.State = jobs.StateQueued
+	m.endStint(r, now)
 	m.Pw.EndJob(now, j.ID, r.nodes)
+	m.traceRunSpan(r, now, "preempted",
+		trace.Arg{Key: "work_kept_s", Val: j.WorkDone})
 	released := m.Cl.Release(j.ID, now)
 	m.finishDrains(released, now)
 	m.Metrics.noteRelease(now, len(r.nodes), m.Cl.Size())
 	m.Metrics.Preemptions++
 	m.Queue.Push(j)
+	if m.Tr != nil {
+		m.trQueued[j.ID] = now
+	}
 	m.TrySchedule(now)
 }
 
@@ -582,6 +720,10 @@ func (m *Manager) FailNode(id int, now simulator.Time) bool {
 	m.Cl.SetDown(n, now)
 	m.Pw.RefreshNode(now, n)
 	m.Metrics.NodeFailures++
+	if m.Tr != nil {
+		m.Tr.Instant(trace.PidFault, 0, "node-down", now,
+			trace.Arg{Key: "node", Val: n.Name}, trace.Arg{Key: "job", Val: jobID})
+	}
 	if jobID != 0 {
 		m.failJob(jobID, n, now)
 	}
@@ -600,6 +742,10 @@ func (m *Manager) RepairNode(id int, now simulator.Time) bool {
 		return false
 	}
 	m.Pw.RefreshNode(now, n)
+	if m.Tr != nil {
+		m.Tr.Instant(trace.PidFault, 0, "node-up", now,
+			trace.Arg{Key: "node", Val: n.Name})
+	}
 	m.TrySchedule(now)
 	return true
 }
@@ -620,6 +766,7 @@ func (m *Manager) failJob(id int64, failed *cluster.Node, now simulator.Time) {
 	m.cancelIO(r)
 	delete(m.runningJobs, id)
 	j := r.job
+	m.endStint(r, now)
 	m.Pw.EndJob(now, id, r.nodes)
 	released := m.Cl.Release(id, now)
 	m.finishDrains(released, now)
@@ -639,8 +786,13 @@ func (m *Manager) failJob(id int64, failed *cluster.Node, now simulator.Time) {
 		}
 		lost := (j.WorkDone - target) * float64(len(r.nodes))
 		m.Metrics.LostWorkSeconds += lost
+		j.LostWorkSeconds += lost
 		j.WorkDone = target
 		m.Metrics.Requeues++
+		m.traceRunSpan(r, now, "node-failure-requeue",
+			trace.Arg{Key: "failed_node", Val: failed.Name},
+			trace.Arg{Key: "rollback_to_s", Val: target},
+			trace.Arg{Key: "lost_node_s", Val: lost})
 		if m.ckptActive() {
 			for _, h := range m.hooks.checkpoints {
 				h(m, j, CkptRolledBack, lost/float64(len(r.nodes)))
@@ -650,13 +802,21 @@ func (m *Manager) failJob(id int64, failed *cluster.Node, now simulator.Time) {
 			h(m, j, failed, true)
 		}
 		m.Queue.Push(j)
+		if m.Tr != nil {
+			m.trQueued[j.ID] = now
+		}
 		return
 	}
-	m.Metrics.LostWorkSeconds += j.WorkDone * float64(len(r.nodes))
+	lost := j.WorkDone * float64(len(r.nodes))
+	m.Metrics.LostWorkSeconds += lost
+	j.LostWorkSeconds += lost
 	j.State = jobs.StateKilled
 	j.KillReason = fmt.Sprintf("node failure on %s: requeue limit %d exhausted", failed.Name, m.MaxRequeues)
 	j.End = now
-	j.EnergyJ = m.Pw.JobEnergy(id)
+	m.finalizeJobPower(j)
+	m.traceRunSpan(r, now, "node-failure-kill",
+		trace.Arg{Key: "failed_node", Val: failed.Name},
+		trace.Arg{Key: "lost_node_s", Val: lost})
 	m.Metrics.noteKill(j)
 	for _, h := range m.hooks.failures {
 		h(m, j, failed, false)

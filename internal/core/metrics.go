@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"epajsrm/internal/jobs"
+	"epajsrm/internal/metrics"
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/stats"
 )
@@ -53,6 +54,36 @@ type Metrics struct {
 	busyIntegral float64 // node-seconds occupied
 	horizon      simulator.Time
 	closed       bool
+
+	// Registry-backed distributions, created by register; nil until a
+	// registry adopts this Metrics (noteCompletion checks).
+	hWait   *metrics.Histogram
+	hEnergy *metrics.Histogram
+}
+
+// register exports this Metrics through reg: the integer counters as
+// derived gauges (the int fields remain the API every experiment already
+// reads — the registry adopts them rather than replacing them), the float
+// accumulators likewise, and two real histograms over completed-job waits
+// and energies that only exist registry-side.
+func (mt *Metrics) register(reg *metrics.Registry) {
+	reg.GaugeFunc("jobs.submitted", func() float64 { return float64(mt.Submitted) })
+	reg.GaugeFunc("jobs.completed", func() float64 { return float64(mt.Completed) })
+	reg.GaugeFunc("jobs.killed", func() float64 { return float64(mt.Killed) })
+	reg.GaugeFunc("jobs.cancelled", func() float64 { return float64(mt.Cancelled) })
+	reg.GaugeFunc("jobs.preemptions", func() float64 { return float64(mt.Preemptions) })
+	reg.GaugeFunc("jobs.requeues", func() float64 { return float64(mt.Requeues) })
+	reg.GaugeFunc("nodes.failures", func() float64 { return float64(mt.NodeFailures) })
+	reg.GaugeFunc("ckpt.written", func() float64 { return float64(mt.CheckpointsWritten) })
+	reg.GaugeFunc("ckpt.restores", func() float64 { return float64(mt.CheckpointRestores) })
+	reg.GaugeFunc("ckpt.write_seconds", func() float64 { return mt.CheckpointWriteSeconds })
+	reg.GaugeFunc("ckpt.restart_read_seconds", func() float64 { return mt.RestartReadSeconds })
+	reg.GaugeFunc("work.lost_node_seconds", func() float64 { return mt.LostWorkSeconds })
+	reg.GaugeFunc("work.done_node_seconds", func() float64 { return mt.NodeSecondsDone })
+	// Wait buckets span seconds to a day; energy buckets span small jobs
+	// (~1 kWh = 3.6e6 J) to site-scale runs.
+	mt.hWait = reg.Histogram("jobs.wait_seconds", 60, 600, 3600, 4*3600, 24*3600)
+	mt.hEnergy = reg.Histogram("jobs.energy_j", 1e6, 1e7, 1e8, 1e9, 1e10)
 }
 
 func (mt *Metrics) advance(now simulator.Time) {
@@ -86,6 +117,10 @@ func (mt *Metrics) noteCompletion(j *jobs.Job) {
 	mt.RunTimes.Add(float64(j.End - j.Start))
 	mt.JobEnergyJ.Add(j.EnergyJ)
 	mt.NodeSecondsDone += j.NodeSeconds()
+	if mt.hWait != nil {
+		mt.hWait.Observe(float64(j.WaitTime()))
+		mt.hEnergy.Observe(j.EnergyJ)
+	}
 }
 
 func (mt *Metrics) noteKill(j *jobs.Job) {

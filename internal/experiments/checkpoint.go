@@ -63,13 +63,13 @@ func E22CheckpointSweep(seed uint64) Result {
 	}
 
 	run := func(cfg checkpoint.Config, prof *fault.Profile) (*core.Manager, *fault.Injector) {
-		m := core.NewManager(core.Options{
+		m := traced(core.NewManager(core.Options{
 			Cluster:    cluster.DefaultConfig(),
 			Scheduler:  sched.EASY{},
 			Seed:       seed,
 			Facility:   power.DefaultFacility(),
 			Checkpoint: cfg,
-		})
+		}))
 		feed(m, spec, seed^17, n)
 		var in *fault.Injector
 		if prof != nil {
@@ -135,7 +135,7 @@ func E22CheckpointSweep(seed uint64) Result {
 			values["restores_"+k] = float64(mt.CheckpointRestores)
 			values["lostwork_"+k] = mt.LostWorkSeconds
 			if in != nil {
-				values["crashes_"+k] = float64(in.Crashes)
+				values["crashes_"+k] = float64(in.Crashes.Value())
 			}
 		}
 	}

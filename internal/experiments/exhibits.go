@@ -40,12 +40,12 @@ func T2TableII() Result {
 // manager assembled with one policy of each functional category, queried
 // for its actual component registry.
 func F1ComponentDiagram() Result {
-	m := core.NewManager(core.Options{
+	m := traced(core.NewManager(core.Options{
 		Cluster:   cluster.DefaultConfig(),
 		Scheduler: sched.EASY{},
 		Seed:      1,
 		Facility:  power.DefaultFacility(),
-	})
+	}))
 	m.Use(&policy.StaticCap{CapW: 270, UncappedFrac: 0.3})
 	m.Use(&policy.IdleShutdown{IdleAfter: 15 * simulator.Minute})
 	m.Use(&policy.EnergyReport{})

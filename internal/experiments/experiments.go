@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"epajsrm/internal/cluster"
 	"epajsrm/internal/core"
@@ -16,8 +17,28 @@ import (
 	"epajsrm/internal/runner"
 	"epajsrm/internal/sched"
 	"epajsrm/internal/simulator"
+	"epajsrm/internal/trace"
 	"epajsrm/internal/workload"
 )
+
+// tracer, when set, is attached to every manager the experiments build, so
+// a whole experiment's control loop can be exported as one trace file
+// (epabench -trace). Atomic because experiments run across the runner
+// pool; the tracer itself is mutex-guarded, but a deterministic event
+// stream additionally needs procs=1 (epabench forces that).
+var tracer atomic.Pointer[trace.Tracer]
+
+// SetTracer routes the control-loop events of every subsequently built
+// experiment manager into tr; nil disables. Call before running makers.
+func SetTracer(tr *trace.Tracer) { tracer.Store(tr) }
+
+// traced attaches the package tracer, if any, to a freshly built manager.
+func traced(m *core.Manager) *core.Manager {
+	if tr := tracer.Load(); tr != nil {
+		m.AttachTracer(tr)
+	}
+	return m
+}
 
 // Result is one experiment's output.
 type Result struct {
@@ -51,13 +72,13 @@ func stdMgr(seed uint64, varSigma float64, s sched.Scheduler, pols ...core.Polic
 	if s == nil {
 		s = sched.EASY{}
 	}
-	m := core.NewManager(core.Options{
+	m := traced(core.NewManager(core.Options{
 		Cluster:   cluster.DefaultConfig(),
 		Scheduler: s,
 		Seed:      seed,
 		VarSigma:  varSigma,
 		Facility:  power.DefaultFacility(),
-	})
+	}))
 	for _, p := range pols {
 		m.Use(p)
 	}
@@ -72,13 +93,13 @@ func stdMgrSized(seed uint64, nodes int, s sched.Scheduler, pols ...core.Policy)
 	}
 	cfg := cluster.DefaultConfig()
 	cfg.Nodes = nodes
-	m := core.NewManager(core.Options{
+	m := traced(core.NewManager(core.Options{
 		Cluster:   cfg,
 		Scheduler: s,
 		Seed:      seed,
 		VarSigma:  0.05,
 		Facility:  power.DefaultFacility(),
-	})
+	}))
 	for _, p := range pols {
 		m.Use(p)
 	}

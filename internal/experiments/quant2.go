@@ -157,9 +157,9 @@ func E9InterSystem(seed uint64) Result {
 	eng := simulator.NewEngine()
 	mk := func(s uint64) *core.Manager {
 		cfg := cluster.DefaultConfig()
-		return core.NewManager(core.Options{
+		return traced(core.NewManager(core.Options{
 			Cluster: cfg, Scheduler: sched.EASY{}, Seed: s, Engine: eng,
-		})
+		}))
 	}
 	m1, m2 := mk(seed), mk(seed^1)
 	budget := 2*64*90 + 24*270.0

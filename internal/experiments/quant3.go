@@ -201,12 +201,12 @@ func E14RuntimeBalance(seed uint64) Result {
 	modes := [2]policy.BalanceMode{policy.BalanceUniform, policy.BalanceCritical}
 	// Run index 2i is the uniform split at sigmas[i]; 2i+1 critical-path.
 	times := runner.Map(2*len(sigmas), func(k int) simulator.Time {
-		m := core.NewManager(core.Options{
+		m := traced(core.NewManager(core.Options{
 			Cluster:   cluster.DefaultConfig(),
 			Scheduler: sched.EASY{},
 			Seed:      seed,
 			VarSigma:  sigmas[k/2],
-		})
+		}))
 		m.Use(&policy.RuntimeBalance{JobBudgetPerNodeW: 280, Mode: modes[k%2]})
 		j := &jobs.Job{
 			ID: 1, User: "u", Tag: "t", Nodes: 32,

@@ -275,12 +275,12 @@ func E18CoolingAware(seed uint64) Result {
 	}
 
 	run := func(name string, attach bool) (string, float64, float64, float64) {
-		m := core.NewManager(core.Options{
+		m := traced(core.NewManager(core.Options{
 			Cluster:   cluster.DefaultConfig(),
 			Scheduler: sched.EASY{},
 			Seed:      seed,
 			Facility:  mkFac(),
-		})
+		}))
 		if attach {
 			m.Use(&policy.CoolingAware{MaxPUE: 1.2, DeferBelowPriority: 7})
 		}

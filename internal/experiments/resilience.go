@@ -108,7 +108,7 @@ func E21Resilience(seed uint64) Result {
 			lv.name,
 			fmt.Sprintf("%.0f", m.Metrics.ThroughputNodeHoursPerDay()),
 			fmt.Sprint(m.Metrics.Completed),
-			fmt.Sprint(in.Crashes),
+			fmt.Sprint(in.Crashes.Value()),
 			fmt.Sprint(m.Metrics.Requeues),
 			fmt.Sprint(m.Metrics.Killed),
 			fmt.Sprintf("%.0f", m.Metrics.LostWorkSeconds/3600),
@@ -116,7 +116,7 @@ func E21Resilience(seed uint64) Result {
 		})
 		values["goodput_"+lv.name] = m.Metrics.NodeSecondsDone
 		values["completed_"+lv.name] = float64(m.Metrics.Completed)
-		values["crashes_"+lv.name] = float64(in.Crashes)
+		values["crashes_"+lv.name] = float64(in.Crashes.Value())
 		values["requeues_"+lv.name] = float64(m.Metrics.Requeues)
 		values["viol_"+lv.name] = viol
 		values["lostwork_"+lv.name] = m.Metrics.LostWorkSeconds

@@ -15,7 +15,9 @@ import (
 	"fmt"
 
 	"epajsrm/internal/core"
+	"epajsrm/internal/metrics"
 	"epajsrm/internal/simulator"
+	"epajsrm/internal/trace"
 )
 
 // Profile sets the fault rates. Zero values disable each class, so the
@@ -52,10 +54,11 @@ type Injector struct {
 	M    *core.Manager
 	Prof Profile
 
-	// Counters for experiments and reports.
-	Crashes       int
-	Repairs       int
-	SensorOutages int
+	// Counters for experiments and reports. Standalone metrics counters so
+	// the manager's registry can adopt them (wired under fault.*).
+	Crashes       *metrics.Counter
+	Repairs       *metrics.Counter
+	SensorOutages *metrics.Counter
 
 	// Trace logs every injected event ("t=... crash node-7") in order, for
 	// determinism checks and debugging.
@@ -73,17 +76,34 @@ type Injector struct {
 // perturb an otherwise identical run.
 func New(m *core.Manager, prof Profile, seed uint64) *Injector {
 	root := simulator.NewRNG(seed)
-	return &Injector{
-		M:         m,
-		Prof:      prof,
-		nodeRNG:   root.Split(),
-		sensorRNG: root.Split(),
-		actRNG:    root.Split(),
+	in := &Injector{
+		M:             m,
+		Prof:          prof,
+		Crashes:       metrics.NewCounter(),
+		Repairs:       metrics.NewCounter(),
+		SensorOutages: metrics.NewCounter(),
+		nodeRNG:       root.Split(),
+		sensorRNG:     root.Split(),
+		actRNG:        root.Split(),
 	}
+	if m.Reg != nil {
+		m.Reg.Register("fault.crashes", in.Crashes)
+		m.Reg.Register("fault.repairs", in.Repairs)
+		m.Reg.Register("fault.sensor_outages", in.SensorOutages)
+	}
+	return in
 }
 
+// trace records to the injector's own ordered text log, and — when the
+// manager has a structured tracer attached — mirrors the injection as an
+// instant on the faults track. Reading m.Tr at fire time (not New time)
+// means an injector built before AttachTracer still traces.
 func (in *Injector) trace(now simulator.Time, format string, args ...any) {
-	in.Trace = append(in.Trace, fmt.Sprintf("t=%s ", now.String())+fmt.Sprintf(format, args...))
+	msg := fmt.Sprintf(format, args...)
+	in.Trace = append(in.Trace, fmt.Sprintf("t=%s ", now.String())+msg)
+	if tr := in.M.Tr; tr != nil {
+		tr.Instant(trace.PidFault, 0, "inject", now, trace.Arg{Key: "what", Val: msg})
+	}
 }
 
 // Start schedules the fault processes on the manager's engine. All events
@@ -118,7 +138,7 @@ func (in *Injector) scheduleCrash(id int) {
 
 func (in *Injector) crash(id int, now simulator.Time) {
 	if in.M.FailNode(id, now) {
-		in.Crashes++
+		in.Crashes.Inc()
 		in.trace(now, "crash %s", in.M.Cl.Nodes[id].Name)
 	}
 	if in.Prof.NodeMTTR <= 0 {
@@ -130,7 +150,7 @@ func (in *Injector) crash(id int, now simulator.Time) {
 	}
 	in.M.Eng.AfterDaemon(r, "fault-repair", func(t simulator.Time) {
 		if in.M.RepairNode(id, t) {
-			in.Repairs++
+			in.Repairs.Inc()
 			in.trace(t, "repair %s", in.M.Cl.Nodes[id].Name)
 		}
 		in.scheduleCrash(id)
@@ -144,7 +164,7 @@ func (in *Injector) scheduleOutage() {
 		stuck := in.Prof.SensorStuckProb > 0 &&
 			in.sensorRNG.Float64() < in.Prof.SensorStuckProb
 		in.M.Tel.SetOutage(true, stuck)
-		in.SensorOutages++
+		in.SensorOutages.Inc()
 		kind := "dropout"
 		if stuck {
 			kind = "stuck"
@@ -165,6 +185,6 @@ func (in *Injector) scheduleOutage() {
 // Summary renders a one-line digest of everything injected.
 func (in *Injector) Summary() string {
 	return fmt.Sprintf("crashes=%d repairs=%d sensor-outages=%d act-fail=%d act-retry=%d act-abandon=%d",
-		in.Crashes, in.Repairs, in.SensorOutages,
-		in.M.Ctrl.ActuationFailures, in.M.Ctrl.ActuationRetries, in.M.Ctrl.ActuationAbandoned)
+		in.Crashes.Value(), in.Repairs.Value(), in.SensorOutages.Value(),
+		in.M.Ctrl.ActuationFailures.Value(), in.M.Ctrl.ActuationRetries.Value(), in.M.Ctrl.ActuationAbandoned.Value())
 }

@@ -78,7 +78,7 @@ func TestZeroProfileLeavesRunUntouched(t *testing.T) {
 	if base != zeroHead {
 		t.Fatalf("zero-profile injector perturbed the run:\nbase: %s\nzero: %s", base, zeroHead)
 	}
-	if mz.Metrics.NodeFailures != 0 || mz.Ctrl.ActuationFailures != 0 {
+	if mz.Metrics.NodeFailures != 0 || mz.Ctrl.ActuationFailures.Value() != 0 {
 		t.Fatal("zero profile injected faults")
 	}
 }

@@ -84,7 +84,21 @@ type Job struct {
 	End        simulator.Time
 	FreqFrac   float64 // frequency assigned at start (1 = nominal)
 	EnergyJ    float64 // metered energy, filled at end (post-job reports)
-	KillReason string
+	// AvgPowerW and PeakPowerW are the job-level power account filled at
+	// end alongside EnergyJ: mean aggregate draw over the job's RunSeconds
+	// and the highest instantaneous aggregate draw across its nodes —
+	// whole-node attribution, accumulated over every run stint, the figures
+	// a job-level power archive (Tokyo Tech, STFC, CINECA) records per job.
+	AvgPowerW  float64
+	PeakPowerW float64
+	// RunSeconds totals wallclock time this job held nodes across all run
+	// stints (a requeued job's earlier stints count; queue time does not).
+	RunSeconds float64
+	// LostWorkSeconds is this job's share of discarded progress in
+	// node-seconds — crashes, rollbacks, and uncheckpointed preemptions —
+	// mirroring the system-wide Metrics.LostWorkSeconds attribution.
+	LostWorkSeconds float64
+	KillReason      string
 	// Requeues counts how many times the job was returned to the queue
 	// after losing a node to a failure; core.Manager.MaxRequeues bounds it.
 	Requeues int

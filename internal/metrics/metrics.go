@@ -1,0 +1,335 @@
+// Package metrics implements the unified, typed metric registry the
+// observability layer exports: counters, gauges, histograms, and derived
+// (function-backed) gauges, all addressable by name from one place. The
+// survey's Section VI centers this kind of measurement plane — the nine
+// sites all archive power/energy figures at data-center, machine, and job
+// granularity — and the experiment harness snapshots a registry instead of
+// reaching into ad-hoc counter fields scattered across subsystems.
+//
+// Determinism contract: a Snapshot is sorted by metric name, values are
+// plain Go numerics with no wall-clock or map-order dependence, and the
+// JSON export writes fields in a fixed order — two runs with the same seed
+// produce byte-identical exports.
+//
+// Concurrency: metric value types (Counter, Gauge, Histogram) are NOT
+// internally synchronized — each simulation engine is single-goroutine by
+// the runner's determinism contract, and adding atomics would tax the hot
+// path for a guarantee nothing needs. The Registry itself locks only its
+// name table, so concurrent managers may each own a private registry while
+// a shared one is still safe to *register* into.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Kind discriminates the metric types in a snapshot.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing integer count.
+	KindCounter Kind = iota
+	// KindGauge is a point-in-time float value (set, not accumulated).
+	KindGauge
+	// KindFunc is a derived gauge computed at snapshot time.
+	KindFunc
+	// KindHistogram is a bucketed distribution with sum and count.
+	KindHistogram
+)
+
+var kindNames = [...]string{"counter", "gauge", "func", "histogram"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Counter is a monotonically increasing count. The zero value is unusable;
+// create with NewCounter or Registry.Counter so subsystems can expose a
+// counter before (or without) a registry adopting it.
+type Counter struct {
+	n int64
+}
+
+// NewCounter returns a standalone counter (registered later via
+// Registry.Register, or never).
+func NewCounter() *Counter { return &Counter{} }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta (negative deltas panic — counters are monotonic).
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("metrics: negative counter delta")
+	}
+	c.n += delta
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Gauge is a point-in-time value.
+type Gauge struct {
+	v float64
+}
+
+// NewGauge returns a standalone gauge.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) { g.v += delta }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram is a cumulative-bucket distribution: Counts[i] is the number
+// of observations <= Bounds[i]; observations above the last bound land in
+// the implicit overflow bucket.
+type Histogram struct {
+	bounds []float64
+	counts []int64 // len(bounds)+1; last = overflow
+	sum    float64
+	n      int64
+}
+
+// NewHistogram returns a histogram over the given ascending bucket bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Buckets returns (bounds, counts) — counts has one extra overflow slot.
+func (h *Histogram) Buckets() ([]float64, []int64) { return h.bounds, h.counts }
+
+// Point is one metric in a snapshot.
+type Point struct {
+	Name  string
+	Kind  Kind
+	Value float64 // counter count, gauge/func value, histogram mean
+	// Histogram detail (nil for scalar kinds).
+	Bounds []float64
+	Counts []int64
+	Sum    float64
+	Count  int64
+}
+
+type entry struct {
+	kind Kind
+	c    *Counter
+	g    *Gauge
+	f    func() float64
+	h    *Histogram
+}
+
+// Registry is a named collection of metrics. Create with New.
+type Registry struct {
+	mu    sync.Mutex
+	items map[string]entry
+}
+
+// New returns an empty registry.
+func New() *Registry { return &Registry{items: map[string]entry{}} }
+
+func (r *Registry) put(name string, e entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.items[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate registration of %q", name))
+	}
+	r.items[name] = e
+}
+
+// Counter creates and registers a counter under name.
+func (r *Registry) Counter(name string) *Counter {
+	c := NewCounter()
+	r.put(name, entry{kind: KindCounter, c: c})
+	return c
+}
+
+// Gauge creates and registers a gauge under name.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := NewGauge()
+	r.put(name, entry{kind: KindGauge, g: g})
+	return g
+}
+
+// Histogram creates and registers a histogram under name.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	h := NewHistogram(bounds...)
+	r.put(name, entry{kind: KindHistogram, h: h})
+	return h
+}
+
+// GaugeFunc registers a derived gauge evaluated at snapshot time — the
+// adoption path for values a subsystem already maintains (an integral, a
+// struct field) that the registry should export without duplicating.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.put(name, entry{kind: KindFunc, f: fn})
+}
+
+// Register adopts an existing standalone Counter under name, so a
+// subsystem built without a registry (power.Controller, fault.Injector)
+// still exports through the unified surface once a manager owns it.
+func (r *Registry) Register(name string, c *Counter) {
+	r.put(name, entry{kind: KindCounter, c: c})
+}
+
+// Value returns the current scalar value of the named metric (histogram
+// mean for histograms), or 0 if the name is unknown.
+func (r *Registry) Value(name string) float64 {
+	r.mu.Lock()
+	e, ok := r.items[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	switch e.kind {
+	case KindCounter:
+		return float64(e.c.Value())
+	case KindGauge:
+		return e.g.Value()
+	case KindFunc:
+		return e.f()
+	case KindHistogram:
+		return e.h.Mean()
+	}
+	return 0
+}
+
+// Snapshot returns every metric, sorted by name.
+func (r *Registry) Snapshot() []Point {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.items))
+	for n := range r.items {
+		names = append(names, n)
+	}
+	entries := make([]entry, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		entries = append(entries, r.items[n])
+	}
+	r.mu.Unlock()
+
+	out := make([]Point, len(names))
+	for i, n := range names {
+		e := entries[i]
+		p := Point{Name: n, Kind: e.kind}
+		switch e.kind {
+		case KindCounter:
+			p.Value = float64(e.c.Value())
+		case KindGauge:
+			p.Value = e.g.Value()
+		case KindFunc:
+			p.Value = e.f()
+		case KindHistogram:
+			p.Value = e.h.Mean()
+			p.Bounds, p.Counts = e.h.Buckets()
+			p.Sum, p.Count = e.h.Sum(), e.h.Count()
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as a deterministic JSON object keyed by
+// metric name: {"name": {"kind": "...", "value": N, ...}, ...} with keys
+// in sorted order and fixed field order, so same-seed runs export
+// byte-identical files.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	pts := r.Snapshot()
+	bw := newErrWriter(w)
+	bw.str("{\n")
+	for i, p := range pts {
+		bw.str("  ")
+		bw.str(strconv.Quote(p.Name))
+		bw.str(`: {"kind": `)
+		bw.str(strconv.Quote(p.Kind.String()))
+		bw.str(`, "value": `)
+		bw.num(p.Value)
+		if p.Kind == KindHistogram {
+			bw.str(`, "sum": `)
+			bw.num(p.Sum)
+			bw.str(`, "count": `)
+			bw.str(strconv.FormatInt(p.Count, 10))
+			bw.str(`, "bounds": [`)
+			for k, b := range p.Bounds {
+				if k > 0 {
+					bw.str(", ")
+				}
+				bw.num(b)
+			}
+			bw.str(`], "counts": [`)
+			for k, c := range p.Counts {
+				if k > 0 {
+					bw.str(", ")
+				}
+				bw.str(strconv.FormatInt(c, 10))
+			}
+			bw.str("]")
+		}
+		bw.str("}")
+		if i < len(pts)-1 {
+			bw.str(",")
+		}
+		bw.str("\n")
+	}
+	bw.str("}\n")
+	return bw.err
+}
+
+// errWriter threads one error through a write sequence.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func newErrWriter(w io.Writer) *errWriter { return &errWriter{w: w} }
+
+func (e *errWriter) str(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}
+
+func (e *errWriter) num(v float64) {
+	// %g would print large integers in e-notation; prefer the shortest
+	// round-trippable decimal form JSON consumers expect.
+	e.str(strconv.FormatFloat(v, 'g', -1, 64))
+}

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"epajsrm/internal/cluster"
+	"epajsrm/internal/metrics"
 	"epajsrm/internal/power"
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/stats"
@@ -193,7 +194,7 @@ type Collector struct {
 	system *Channel
 
 	// Dropped counts sampling instants lost to an outage window.
-	Dropped int
+	Dropped *metrics.Counter
 
 	// Per-sample aggregation scratch, reused so the periodic sampler does
 	// not allocate two slices every period.
@@ -239,8 +240,9 @@ func NewCollector(cl *cluster.Cluster, sys *power.System, opt Options) *Collecto
 	}
 	c := &Collector{
 		Cl: cl, Sys: sys, Period: opt.Period,
-		rackW: make([]float64, cl.Racks),
-		pduW:  make([]float64, cl.PDUs),
+		Dropped: metrics.NewCounter(),
+		rackW:   make([]float64, cl.Racks),
+		pduW:    make([]float64, cl.PDUs),
 	}
 	mk := func(l Level, i int) *Channel {
 		return newChannel(l, i, opt.RawKeep, opt.CoarsePeriod, opt.LongPeriod)
@@ -301,7 +303,7 @@ func (c *Collector) SampleNow(now simulator.Time) {
 		c.Thermal.Advance(now)
 	}
 	if c.outage {
-		c.Dropped++
+		c.Dropped.Inc()
 		return
 	}
 	c.lastGood = now

@@ -233,8 +233,8 @@ func TestCollectorOutageAndStaleness(t *testing.T) {
 	if n := len(c.Channel(LevelSystem, 0).raw.all()); n != before {
 		t.Fatalf("outage archived samples: %d -> %d", before, n)
 	}
-	if c.Dropped != 4 {
-		t.Fatalf("Dropped = %d, want 4", c.Dropped)
+	if c.Dropped.Value() != 4 {
+		t.Fatalf("Dropped = %d, want 4", c.Dropped.Value())
 	}
 	// Last archived sample at t=30; default threshold 3*10s.
 	if !c.Stale(eng.Now(), 0) {

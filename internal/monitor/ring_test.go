@@ -1,0 +1,146 @@
+package monitor
+
+// Boundary tests for the multi-resolution archive: ring wrap order, coarse
+// bucket rollover timing, and Range queries at the exact archive edges.
+
+import (
+	"testing"
+
+	"epajsrm/internal/simulator"
+)
+
+func TestRingWrapAcrossManyRollovers(t *testing.T) {
+	r := newRing(4)
+	if got := r.all(); len(got) != 0 {
+		t.Fatalf("empty ring returned %v", got)
+	}
+	// Fill exactly to capacity: nothing dropped yet.
+	for i := 1; i <= 4; i++ {
+		r.push(Sample{At: simulator.Time(i), W: float64(i)})
+	}
+	if got := r.all(); len(got) != 4 || got[0].At != 1 || got[3].At != 4 {
+		t.Fatalf("full ring = %v", got)
+	}
+	// Push three full capacities more: the ring must always hold the last
+	// four samples in chronological order, whatever the wrap offset.
+	for i := 5; i <= 16; i++ {
+		r.push(Sample{At: simulator.Time(i), W: float64(i)})
+		all := r.all()
+		if len(all) != 4 {
+			t.Fatalf("after push %d: len=%d", i, len(all))
+		}
+		for k, s := range all {
+			if want := simulator.Time(i - 3 + k); s.At != want {
+				t.Fatalf("after push %d: slot %d = t%d, want t%d", i, k, s.At, want)
+			}
+		}
+	}
+}
+
+// TestCoarseBucketRollover pins the exact rollover semantics of the coarse
+// tier: the sample whose age crosses the bucket period is included in the
+// bucket it closes, the emitted sample is stamped at the bucket start, and
+// its value is the mean of everything the bucket absorbed.
+func TestCoarseBucketRollover(t *testing.T) {
+	ch := newChannel(LevelSystem, 0, 64, 60*simulator.Second, simulator.Hour)
+	// Samples every 10 s with value = seconds: t=0..50 accumulate, t=60
+	// crosses the 60 s period and closes the bucket including itself.
+	for s := 0; s <= 50; s += 10 {
+		ch.record(Sample{At: simulator.Time(s), W: float64(s)})
+		if got := ch.coarse.all(); len(got) != 0 {
+			t.Fatalf("bucket emitted early at t=%d: %v", s, got)
+		}
+	}
+	ch.record(Sample{At: 60, W: 60})
+	got := ch.coarse.all()
+	if len(got) != 1 {
+		t.Fatalf("coarse after rollover = %v", got)
+	}
+	if got[0].At != 0 {
+		t.Fatalf("bucket stamped at t=%d, want bucket start t=0", got[0].At)
+	}
+	// Mean of 0,10,...,60 (seven samples) = 30.
+	if got[0].W != 30 {
+		t.Fatalf("bucket mean = %g, want 30", got[0].W)
+	}
+	// The next bucket restarts from the first sample after the rollover,
+	// not from the closing sample: t=70..130 closes at t=130.
+	for s := 70; s <= 120; s += 10 {
+		ch.record(Sample{At: simulator.Time(s), W: 100})
+	}
+	if got := ch.coarse.all(); len(got) != 1 {
+		t.Fatalf("second bucket emitted early: %v", got)
+	}
+	ch.record(Sample{At: 130, W: 100})
+	got = ch.coarse.all()
+	if len(got) != 2 || got[1].At != 70 || got[1].W != 100 {
+		t.Fatalf("second bucket = %v, want {At:70 W:100}", got)
+	}
+}
+
+// TestRangeEdgeSemantics checks [from, to) at the exact sample stamps.
+func TestRangeEdgeSemantics(t *testing.T) {
+	ch := newChannel(LevelNode, 0, 8, simulator.Minute, simulator.Hour)
+	for s := 10; s <= 80; s += 10 {
+		ch.record(Sample{At: simulator.Time(s), W: float64(s)})
+	}
+	// from is inclusive, to exclusive.
+	got := ch.Range(10, 30)
+	if len(got) != 2 || got[0].At != 10 || got[1].At != 20 {
+		t.Fatalf("Range(10,30) = %v", got)
+	}
+	// to beyond the newest sample returns the full tail.
+	if got = ch.Range(60, 1000); len(got) != 3 {
+		t.Fatalf("Range(60,1000) = %v", got)
+	}
+	// An empty window inside the archive returns nothing.
+	if got = ch.Range(25, 30); len(got) != 0 {
+		t.Fatalf("Range(25,30) = %v", got)
+	}
+	// A window entirely after the archive returns nothing.
+	if got = ch.Range(500, 600); len(got) != 0 {
+		t.Fatalf("Range(500,600) = %v", got)
+	}
+}
+
+// TestRangeTierFallbackAtWrapBoundary drives the raw ring past its
+// capacity and checks tier selection on both sides of the oldest surviving
+// raw sample: a query starting exactly at it stays raw; one second earlier
+// must fall back to the coarse tier rather than silently truncate.
+func TestRangeTierFallbackAtWrapBoundary(t *testing.T) {
+	// rawKeep 4 at 10 s sampling; coarse buckets every 60 s.
+	ch := newChannel(LevelSystem, 0, 4, 60*simulator.Second, simulator.Hour)
+	for s := 0; s <= 200; s += 10 {
+		ch.record(Sample{At: simulator.Time(s), W: float64(s)})
+	}
+	raw := ch.raw.all()
+	if len(raw) != 4 || raw[0].At != 170 {
+		t.Fatalf("raw ring after wrap = %v", raw)
+	}
+	// Query starting exactly at the oldest raw sample: raw tier, 10 s steps.
+	got := ch.Range(170, 210)
+	if len(got) != 4 || got[1].At-got[0].At != 10 {
+		t.Fatalf("Range(170,210) = %v, want 4 raw samples", got)
+	}
+	// Ten seconds earlier the raw ring no longer covers `from`, so the
+	// query must be served from the coarse tier. The coarse buckets here
+	// are stamped 0, 70, 140 (each bucket closes on the sample that makes
+	// it 60 s old and the next one restarts on the following sample), so a
+	// window reaching back to t=100 yields exactly the t=140 bucket — and
+	// must not contain the 10 s-spaced raw stamps 170..200.
+	got = ch.Range(100, 210)
+	if len(got) != 1 || got[0].At != 140 {
+		t.Fatalf("Range(100,210) = %v, want the single coarse bucket at t=140", got)
+	}
+	// A query over the whole run sees every coarse bucket in order.
+	got = ch.Range(0, 210)
+	if len(got) != 3 || got[0].At != 0 || got[1].At != 70 || got[2].At != 140 {
+		t.Fatalf("Range(0,210) = %v, want coarse buckets 0,70,140", got)
+	}
+	// Stamp-based [from,to): a narrow window that falls strictly between
+	// two coarse stamps (here 141..169, inside the 140 bucket's span) is
+	// empty by contract — the archive indexes bucket starts, not spans.
+	if got = ch.Range(141, 169); len(got) != 0 {
+		t.Fatalf("Range(141,169) = %v, want empty between coarse stamps", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"epajsrm/internal/core"
 	"epajsrm/internal/simulator"
+	"epajsrm/internal/trace"
 )
 
 // TelemetryGuard is the graceful-degradation rule every power-aware policy
@@ -91,6 +92,10 @@ func (p *TelemetryGuard) degrade(now simulator.Time) {
 	p.degraded = true
 	p.lastAcc = now
 	p.Degradations++
+	if m.Tr != nil {
+		m.Tr.Instant(trace.PidPower, 0, "staleness-guard-degrade", now,
+			trace.Arg{Key: "fallback_cap_w", Val: p.FallbackCapW})
+	}
 	m.RetimeAll(now)
 }
 
@@ -110,5 +115,8 @@ func (p *TelemetryGuard) restore(now simulator.Time) {
 	p.saved = nil
 	p.degraded = false
 	p.Restorations++
+	if m.Tr != nil {
+		m.Tr.Instant(trace.PidPower, 0, "staleness-guard-restore", now)
+	}
 	m.RetimeAll(now)
 }

@@ -5,7 +5,9 @@ import (
 	"sort"
 
 	"epajsrm/internal/cluster"
+	"epajsrm/internal/metrics"
 	"epajsrm/internal/simulator"
+	"epajsrm/internal/trace"
 )
 
 // Controller is a CAPMC-style out-of-band control plane: the administrative
@@ -44,10 +46,16 @@ type Controller struct {
 	// cap just changed.
 	OnDeferredApply func(now simulator.Time)
 
-	// Actuation fault counters for experiments and reports.
-	ActuationFailures  int
-	ActuationRetries   int
-	ActuationAbandoned int
+	// Actuation fault counters for experiments and reports. Standalone
+	// metrics counters so the owning manager can adopt them into its
+	// registry (core wires them under actuation.*).
+	ActuationFailures  *metrics.Counter
+	ActuationRetries   *metrics.Counter
+	ActuationAbandoned *metrics.Counter
+
+	// Tr, when non-nil, receives an instant event per audited actuation on
+	// the power track. Nil (the default) costs one pointer check per audit.
+	Tr *trace.Tracer
 
 	Audit []AuditEntry
 }
@@ -62,11 +70,21 @@ type AuditEntry struct {
 
 // NewController returns a control plane over sys.
 func NewController(eng *simulator.Engine, sys *System) *Controller {
-	return &Controller{Eng: eng, Sys: sys}
+	return &Controller{
+		Eng:                eng,
+		Sys:                sys,
+		ActuationFailures:  metrics.NewCounter(),
+		ActuationRetries:   metrics.NewCounter(),
+		ActuationAbandoned: metrics.NewCounter(),
+	}
 }
 
 func (c *Controller) audit(action, target string, value float64) {
 	c.Audit = append(c.Audit, AuditEntry{At: c.Eng.Now(), Action: action, Target: target, Value: value})
+	if c.Tr != nil {
+		c.Tr.Instant(trace.PidPower, 0, "capmc."+action, c.Eng.Now(),
+			trace.Arg{Key: "target", Val: target}, trace.Arg{Key: "value", Val: value})
+	}
 }
 
 // GetNodeEnergy returns node id's accumulated energy counter in joules,
@@ -141,18 +159,18 @@ func (c *Controller) retryDelay(attempt int) simulator.Time {
 func (c *Controller) applyNodeCap(id int, capW float64, attempt int) {
 	n := c.Sys.Cl.Nodes[id]
 	if c.actuationFails() {
-		c.ActuationFailures++
+		c.ActuationFailures.Inc()
 		c.audit("set_node_cap.fail", n.Name, capW)
 		retryMax := c.RetryMax
 		if retryMax <= 0 {
 			retryMax = 4
 		}
 		if attempt >= retryMax {
-			c.ActuationAbandoned++
+			c.ActuationAbandoned.Inc()
 			c.audit("set_node_cap.abandon", n.Name, capW)
 			return
 		}
-		c.ActuationRetries++
+		c.ActuationRetries.Inc()
 		c.Eng.AfterDaemon(c.retryDelay(attempt), "capmc-retry", func(simulator.Time) {
 			c.applyNodeCap(id, capW, attempt+1)
 		})

@@ -256,8 +256,8 @@ func TestControllerActuationRetrySucceeds(t *testing.T) {
 	if cl.Nodes[0].CapW != 250 {
 		t.Fatalf("cap = %f after retry, want 250", cl.Nodes[0].CapW)
 	}
-	if c.ActuationFailures != 1 || c.ActuationRetries != 1 || c.ActuationAbandoned != 0 {
-		t.Fatalf("counters = %d/%d/%d", c.ActuationFailures, c.ActuationRetries, c.ActuationAbandoned)
+	if c.ActuationFailures.Value() != 1 || c.ActuationRetries.Value() != 1 || c.ActuationAbandoned.Value() != 0 {
+		t.Fatalf("counters = %d/%d/%d", c.ActuationFailures.Value(), c.ActuationRetries.Value(), c.ActuationAbandoned.Value())
 	}
 	// Audit trail: fail, then the successful set.
 	var actions []string
@@ -283,8 +283,8 @@ func TestControllerActuationAbandonsAfterRetryMax(t *testing.T) {
 		t.Fatal("cap applied despite permanent failure")
 	}
 	// Initial attempt + 3 retries all fail, then abandon.
-	if c.ActuationFailures != 4 || c.ActuationRetries != 3 || c.ActuationAbandoned != 1 {
-		t.Fatalf("counters = %d/%d/%d", c.ActuationFailures, c.ActuationRetries, c.ActuationAbandoned)
+	if c.ActuationFailures.Value() != 4 || c.ActuationRetries.Value() != 3 || c.ActuationAbandoned.Value() != 1 {
+		t.Fatalf("counters = %d/%d/%d", c.ActuationFailures.Value(), c.ActuationRetries.Value(), c.ActuationAbandoned.Value())
 	}
 	last := c.Audit[len(c.Audit)-1]
 	if last.Action != "set_node_cap.abandon" {

@@ -21,9 +21,32 @@ type Load struct {
 	// over its limit.
 	AuxW float64
 
-	// acc points at the job's energy meter so Advance can integrate per-job
-	// energy without a map lookup per busy node per interval.
-	acc *float64
+	// meter points at the job's accounting record so Advance can integrate
+	// per-job energy without a map lookup per busy node per interval.
+	meter *JobMeter
+}
+
+// JobMeter is the per-job electrical account: exact integrated energy,
+// the job's current aggregate draw across its nodes, and the highest
+// instantaneous draw observed. Attribution is whole-node — a job is
+// charged the full draw of every node it occupies for as long as it
+// occupies it, matching how Tokyo Tech's and JCAHPC's job-level archives
+// bill (the node is unavailable to anyone else either way). The meter
+// survives requeues: energy and peak accumulate across run stints.
+type JobMeter struct {
+	EnergyJ float64
+	PeakW   float64
+	curW    float64 // sum of nodeP over this job's current nodes
+}
+
+// CurrentW returns the job's aggregate instantaneous draw.
+func (jm *JobMeter) CurrentW() float64 { return jm.curW }
+
+func (jm *JobMeter) adjust(deltaW float64) {
+	jm.curW += deltaW
+	if jm.curW > jm.PeakW {
+		jm.PeakW = jm.curW
+	}
 }
 
 // System tracks the live electrical state of one cluster: per-node draw,
@@ -46,9 +69,14 @@ type System struct {
 	// from scratch, bounding float drift.
 	totalW float64
 	nodeE  []float64 // joules per node
-	jobE   map[int64]*float64
-	peakW  float64
-	peakT  simulator.Time
+	jobE   map[int64]*JobMeter
+	// attribJ is the running sum of all job-attributed energy, maintained
+	// alongside the per-job meters in Advance (a single deterministic
+	// accumulation in node order) so the conservation check — attributed
+	// energy vs. TotalEnergy — never sums a map in iteration order.
+	attribJ float64
+	peakW   float64
+	peakT   simulator.Time
 }
 
 // NewSystem wires a power system over cl. varSigma is the relative stddev
@@ -70,7 +98,7 @@ func NewSystem(cl *cluster.Cluster, model NodeModel, pstates PStateTable, varSig
 		loads:   make([]*Load, cl.Size()),
 		nodeP:   make([]float64, cl.Size()),
 		nodeE:   make([]float64, cl.Size()),
-		jobE:    make(map[int64]*float64),
+		jobE:    make(map[int64]*JobMeter),
 	}
 	for i := range s.vf {
 		f := 1.0
@@ -92,9 +120,14 @@ func NewSystem(cl *cluster.Cluster, model NodeModel, pstates PStateTable, varSig
 	return s
 }
 
-// setNodeP updates one node's draw and keeps the running total in sync.
+// setNodeP updates one node's draw and keeps the running total — and, when
+// a job occupies the node, that job's power meter — in sync.
 func (s *System) setNodeP(id int, p float64) {
-	s.totalW += p - s.nodeP[id]
+	delta := p - s.nodeP[id]
+	s.totalW += delta
+	if ld := s.loads[id]; ld != nil {
+		ld.meter.adjust(delta)
+	}
 	s.nodeP[id] = p
 }
 
@@ -153,7 +186,9 @@ func (s *System) Advance(now simulator.Time) {
 	for i, p := range s.nodeP {
 		s.nodeE[i] += p * dt
 		if ld := s.loads[i]; ld != nil {
-			*ld.acc += p * dt
+			e := p * dt
+			ld.meter.EnergyJ += e
+			s.attribJ += e
 		}
 	}
 	s.lastT = now
@@ -168,12 +203,17 @@ func (s *System) RefreshNode(now simulator.Time, n *cluster.Node) {
 }
 
 // RefreshAll re-derives every node's draw (and the total from scratch).
+// Job meters are adjusted by delta here — this path bypasses setNodeP.
 func (s *System) RefreshAll(now simulator.Time) {
 	s.Advance(now)
 	t := 0.0
 	for i, n := range s.Cl.Nodes {
-		s.nodeP[i] = s.computeNodePower(n)
-		t += s.nodeP[i]
+		p := s.computeNodePower(n)
+		if ld := s.loads[i]; ld != nil {
+			ld.meter.adjust(p - s.nodeP[i])
+		}
+		s.nodeP[i] = p
+		t += p
 	}
 	s.totalW = t
 	s.trackPeak(now)
@@ -190,14 +230,18 @@ func (s *System) trackPeak(now simulator.Time) {
 // StartJob registers the workload on its nodes and recomputes their draw.
 func (s *System) StartJob(now simulator.Time, jobID int64, nodes []*cluster.Node, nominalW, memFrac, freqFrac float64) {
 	s.Advance(now)
-	acc := s.jobE[jobID]
-	if acc == nil {
-		acc = new(float64)
-		s.jobE[jobID] = acc
+	meter := s.jobE[jobID]
+	if meter == nil {
+		meter = new(JobMeter)
+		s.jobE[jobID] = meter
 	}
 	slab := make([]Load, len(nodes))
 	for i, n := range nodes {
-		slab[i] = Load{JobID: jobID, NominalW: nominalW, MemFrac: memFrac, FreqFrac: freqFrac, acc: acc}
+		// Charge the node's pre-job draw to the meter before attaching the
+		// load: setNodeP adjusts by delta, so without the baseline the job
+		// would be billed only the increment above idle, not the whole node.
+		meter.adjust(s.nodeP[n.ID])
+		slab[i] = Load{JobID: jobID, NominalW: nominalW, MemFrac: memFrac, FreqFrac: freqFrac, meter: meter}
 		s.loads[n.ID] = &slab[i]
 		s.setNodeP(n.ID, s.computeNodePower(n))
 	}
@@ -210,6 +254,10 @@ func (s *System) EndJob(now simulator.Time, jobID int64, nodes []*cluster.Node) 
 	s.Advance(now)
 	for _, n := range nodes {
 		if ld := s.loads[n.ID]; ld != nil && ld.JobID == jobID {
+			// Mirror of the StartJob baseline charge: release the node's
+			// current draw from the meter before detaching, after which
+			// setNodeP no longer adjusts it.
+			ld.meter.curW -= s.nodeP[n.ID]
 			s.loads[n.ID] = nil
 		}
 		s.setNodeP(n.ID, s.computeNodePower(n))
@@ -317,11 +365,29 @@ func (s *System) TotalEnergy() float64 {
 // JobEnergy returns the joules metered against a job so far. This powers
 // the post-job energy reports Tokyo Tech and JCAHPC deliver to users.
 func (s *System) JobEnergy(jobID int64) float64 {
-	if acc := s.jobE[jobID]; acc != nil {
-		return *acc
+	if m := s.jobE[jobID]; m != nil {
+		return m.EnergyJ
 	}
 	return 0
 }
+
+// JobPeakPower returns the highest aggregate instantaneous draw observed
+// across the job's nodes over all of its run stints (0 if never metered).
+func (s *System) JobPeakPower(jobID int64) float64 {
+	if m := s.jobE[jobID]; m != nil {
+		return m.PeakW
+	}
+	return 0
+}
+
+// JobMeterFor exposes the live meter (nil if the job never ran).
+func (s *System) JobMeterFor(jobID int64) *JobMeter { return s.jobE[jobID] }
+
+// AttributedEnergy returns the total joules charged to jobs up to the last
+// Advance. TotalEnergy minus this is the unattributed residue: idle, off,
+// boot, and drain draw on nodes no job occupied — the conservation check
+// per-job accounting is validated against.
+func (s *System) AttributedEnergy() float64 { return s.attribJ }
 
 // PeakPower returns the highest instantaneous IT draw observed and when.
 func (s *System) PeakPower() (float64, simulator.Time) { return s.peakW, s.peakT }

@@ -1,8 +1,10 @@
 package power
 
 import (
+	"epajsrm/internal/metrics"
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/stats"
+	"epajsrm/internal/trace"
 )
 
 // Reading is one telemetry sample of whole-system power.
@@ -34,8 +36,13 @@ type Telemetry struct {
 
 	// Dropped counts sampling instants lost to an outage (including
 	// stuck-value instants, which record a stale repeat instead of a fresh
-	// reading).
-	Dropped int
+	// reading). A standalone metrics counter so the manager's registry can
+	// adopt it (wired under telemetry.dropped).
+	Dropped *metrics.Counter
+
+	// Tr, when non-nil, receives one power-track counter sample per
+	// genuine reading plus dropped/stuck instants.
+	Tr *trace.Tracer
 
 	outage   bool
 	stuck    bool
@@ -54,7 +61,7 @@ func NewTelemetry(sys *System, fac *Facility, period simulator.Time, maxKeep int
 	if maxKeep <= 0 {
 		maxKeep = 4096
 	}
-	return &Telemetry{Sys: sys, Fac: fac, Period: period, MaxKeep: maxKeep}
+	return &Telemetry{Sys: sys, Fac: fac, Period: period, MaxKeep: maxKeep, Dropped: metrics.NewCounter()}
 }
 
 // Start begins sampling on eng. It returns the Telemetry for chaining.
@@ -111,11 +118,18 @@ func (t *Telemetry) Stale(now, threshold simulator.Time) bool {
 func (t *Telemetry) SampleNow(now simulator.Time) Reading {
 	t.Sys.Advance(now)
 	if t.outage {
-		t.Dropped++
+		t.Dropped.Inc()
 		if t.stuck && t.haveGood {
 			r := Reading{At: now, ITW: t.lastGood.ITW, CoolW: t.lastGood.CoolW}
 			t.record(r)
+			if t.Tr != nil {
+				t.Tr.Instant(trace.PidPower, 0, "telemetry-stuck", now,
+					trace.Arg{Key: "repeat_w", Val: r.ITW})
+			}
 			return r
+		}
+		if t.Tr != nil {
+			t.Tr.Instant(trace.PidPower, 0, "telemetry-dropped", now)
 		}
 		return Reading{At: now}
 	}
@@ -128,6 +142,9 @@ func (t *Telemetry) SampleNow(now simulator.Time) Reading {
 	t.lastGood = r
 	t.haveGood = true
 	t.record(r)
+	if t.Tr != nil {
+		t.Tr.Counter(trace.PidPower, "it_power_w", now, it)
+	}
 	return r
 }
 

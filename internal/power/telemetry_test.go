@@ -53,8 +53,8 @@ func TestTelemetryOutageDropsSamples(t *testing.T) {
 	if len(tel.Series) != before {
 		t.Fatalf("dropout appended samples: %d -> %d", before, len(tel.Series))
 	}
-	if tel.Dropped != 3 {
-		t.Fatalf("Dropped = %d, want 3", tel.Dropped)
+	if tel.Dropped.Value() != 3 {
+		t.Fatalf("Dropped = %d, want 3", tel.Dropped.Value())
 	}
 	tel.SetOutage(false, false)
 	eng.RunUntil(80 * simulator.Second)

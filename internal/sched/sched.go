@@ -47,6 +47,27 @@ type Scheduler interface {
 	Pick(v View) []*jobs.Job
 }
 
+// Decision explains one per-job choice a scheduling pass made: whether the
+// job was picked to start now, and why (or why not). The reasons are the
+// algorithm's own vocabulary — "backfill-before-shadow" names the EASY
+// condition that admitted the job — so a decision trace reads as the
+// algorithm's reasoning, not a post-hoc guess.
+type Decision struct {
+	Job    *jobs.Job
+	Picked bool
+	Reason string
+}
+
+// Explainer is the optional tracing face of a Scheduler: PickExplain
+// behaves exactly like Pick but reports a Decision for every queued job it
+// considered. rec may be nil, in which case PickExplain must be
+// byte-for-byte equivalent to Pick — all three built-in schedulers
+// implement Pick as PickExplain(v, nil), so the traced and untraced paths
+// cannot drift apart.
+type Explainer interface {
+	PickExplain(v View, rec func(Decision)) []*jobs.Job
+}
+
 // FCFS starts jobs strictly in queue order, stopping at the first job that
 // does not fit.
 type FCFS struct{}
@@ -55,15 +76,27 @@ type FCFS struct{}
 func (FCFS) Name() string { return "fcfs" }
 
 // Pick implements Scheduler.
-func (FCFS) Pick(v View) []*jobs.Job {
+func (f FCFS) Pick(v View) []*jobs.Job { return f.PickExplain(v, nil) }
+
+// PickExplain implements Explainer.
+func (FCFS) PickExplain(v View, rec func(Decision)) []*jobs.Job {
 	var out []*jobs.Job
 	free := v.Free
-	for _, j := range v.Queue {
+	for i, j := range v.Queue {
 		if j.Nodes > free {
+			if rec != nil {
+				rec(Decision{Job: j, Reason: "blocks-queue-insufficient-nodes"})
+				for _, b := range v.Queue[i+1:] {
+					rec(Decision{Job: b, Reason: "behind-blocked-head"})
+				}
+			}
 			break
 		}
 		out = append(out, j)
 		free -= j.Nodes
+		if rec != nil {
+			rec(Decision{Job: j, Picked: true, Reason: "fits-in-order"})
+		}
 	}
 	return out
 }
@@ -77,7 +110,15 @@ type EASY struct{}
 func (EASY) Name() string { return "easy" }
 
 // Pick implements Scheduler.
-func (e EASY) Pick(v View) []*jobs.Job {
+func (e EASY) Pick(v View) []*jobs.Job { return e.PickExplain(v, nil) }
+
+// PickExplain implements Explainer. EASY's reason vocabulary: the head run
+// starts with "head-fits"; a blocked head gets a reservation
+// ("head-blocked-awaits-reservation"); later jobs backfill when they end
+// before the shadow time ("backfill-before-shadow") or fit in the nodes
+// left beside the reservation ("backfill-beside-reservation"), and are
+// skipped as "wider-than-free" or "would-delay-head-reservation".
+func (EASY) PickExplain(v View, rec func(Decision)) []*jobs.Job {
 	var out []*jobs.Job
 	free := v.Free
 	sp := runningScratch.Get().(*[]RunningJob)
@@ -95,6 +136,9 @@ func (e EASY) Pick(v View) []*jobs.Job {
 		free -= j.Nodes
 		running = append(running, RunningJob{Job: j, Nodes: j.Nodes, ExpectedEnd: v.Now + j.Walltime})
 		queue = queue[1:]
+		if rec != nil {
+			rec(Decision{Job: j, Picked: true, Reason: "head-fits"})
+		}
 	}
 	if len(queue) == 0 {
 		return out
@@ -103,10 +147,16 @@ func (e EASY) Pick(v View) []*jobs.Job {
 	// Head job blocked: compute its shadow time and the extra nodes.
 	head := queue[0]
 	shadow, extra := reservation(v.Now, free, head.Nodes, running)
+	if rec != nil {
+		rec(Decision{Job: head, Reason: "head-blocked-awaits-reservation"})
+	}
 
 	// Backfill the remainder.
 	for _, j := range queue[1:] {
 		if j.Nodes > free {
+			if rec != nil {
+				rec(Decision{Job: j, Reason: "wider-than-free"})
+			}
 			continue
 		}
 		fitsBefore := v.Now+j.Walltime <= shadow
@@ -118,6 +168,15 @@ func (e EASY) Pick(v View) []*jobs.Job {
 				extra -= j.Nodes
 			}
 			running = append(running, RunningJob{Job: j, Nodes: j.Nodes, ExpectedEnd: v.Now + j.Walltime})
+			if rec != nil {
+				reason := "backfill-before-shadow"
+				if !fitsBefore {
+					reason = "backfill-beside-reservation"
+				}
+				rec(Decision{Job: j, Picked: true, Reason: reason})
+			}
+		} else if rec != nil {
+			rec(Decision{Job: j, Reason: "would-delay-head-reservation"})
 		}
 	}
 	return out
@@ -166,7 +225,11 @@ type Conservative struct{}
 func (Conservative) Name() string { return "conservative" }
 
 // Pick implements Scheduler.
-func (Conservative) Pick(v View) []*jobs.Job {
+func (c Conservative) Pick(v View) []*jobs.Job { return c.PickExplain(v, nil) }
+
+// PickExplain implements Explainer. Every queued job gets a reservation in
+// order; "reservation-begins-now" starts, "reserved-for-later" waits.
+func (Conservative) PickExplain(v View, rec func(Decision)) []*jobs.Job {
 	p := profileScratch.Get().(*Profile)
 	p.Reset(v.Now, v.TotalNodes)
 	defer profileScratch.Put(p)
@@ -179,6 +242,11 @@ func (Conservative) Pick(v View) []*jobs.Job {
 		p.Reserve(start, start+j.Walltime, j.Nodes)
 		if start == v.Now {
 			out = append(out, j)
+			if rec != nil {
+				rec(Decision{Job: j, Picked: true, Reason: "reservation-begins-now"})
+			}
+		} else if rec != nil {
+			rec(Decision{Job: j, Reason: "reserved-for-later"})
 		}
 	}
 	return out
