@@ -12,8 +12,12 @@
 //
 // Observability: -trace writes the control-loop events of every selected
 // experiment into one Chrome trace_event file (procs is forced to 1 so
-// the stream is deterministic). -cpuprofile, -memprofile and -pproftrace
-// capture stdlib runtime profiles of the whole run.
+// the stream is deterministic). -http serves the live ops plane while the
+// suite runs — /metrics carries experiment progress and trace-event
+// counters, /healthz reports progress in its detail field, /events
+// streams the shared tracer — and likewise forces -procs 1. -cpuprofile,
+// -memprofile and -pproftrace capture stdlib runtime profiles of the
+// whole run.
 package main
 
 import (
@@ -25,9 +29,12 @@ import (
 	"runtime/pprof"
 	rtrace "runtime/trace"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"epajsrm/internal/experiments"
+	"epajsrm/internal/metrics"
+	"epajsrm/internal/ops"
 	"epajsrm/internal/report"
 	"epajsrm/internal/runner"
 	"epajsrm/internal/trace"
@@ -39,6 +46,7 @@ func main() {
 	runPat := flag.String("run", "", "regexp filter on experiment IDs (combines with -only)")
 	procs := flag.Int("procs", 0, "max concurrent experiments (0 = GOMAXPROCS)")
 	traceOut := flag.String("trace", "", "write the selected experiments' control-loop trace (Chrome trace_event) to this file; forces -procs 1")
+	httpAddr := flag.String("http", "", "serve live ops endpoints (/metrics, /healthz, /events) on this address during the run; forces -procs 1")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	pprofTrace := flag.String("pproftrace", "", "write a Go runtime execution trace to this file (go tool trace)")
@@ -152,13 +160,43 @@ func main() {
 	}
 
 	var tr *trace.Tracer
-	if *traceOut != "" {
+	if *traceOut != "" || *httpAddr != "" {
 		if *procs != 1 {
-			fmt.Fprintln(os.Stderr, "-trace forces -procs 1 for a deterministic event stream")
+			fmt.Fprintln(os.Stderr, "-trace/-http force -procs 1 for a deterministic event stream")
 		}
 		*procs = 1
 		tr = trace.New()
 		experiments.SetTracer(tr)
+	}
+
+	// The suite has no single manager, so -http serves a process-level
+	// registry: experiment progress and the shared tracer's event count as
+	// derived gauges, progress again in the health detail. The experiments
+	// themselves never synchronize with the server — the gauges read one
+	// atomic and the tracer's own mutex-guarded length.
+	var done atomic.Int64
+	if *httpAddr != "" {
+		reg := metrics.New()
+		total := len(chosen)
+		reg.GaugeFunc("ops.experiments_done", func() float64 { return float64(done.Load()) })
+		reg.GaugeFunc("ops.trace_events", func() float64 { return float64(tr.Len()) })
+		srv := ops.NewServer(ops.Source{
+			Registry: reg,
+			Tracer:   tr,
+			Health: func() ops.Health {
+				return ops.Health{
+					Status: "ok",
+					Detail: fmt.Sprintf("%d/%d experiments done", done.Load(), total),
+				}
+			},
+		})
+		addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ops: serving /metrics /healthz /events on http://%s\n", addr)
 	}
 
 	runner.SetProcs(*procs)
@@ -169,6 +207,7 @@ func main() {
 	outs := runner.Map(len(chosen), func(i int) outcome {
 		start := time.Now()
 		r := chosen[i].fn(*seed)
+		done.Add(1)
 		return outcome{r.Render(), time.Since(start)}
 	})
 	for _, o := range outs {

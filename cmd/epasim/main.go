@@ -17,10 +17,17 @@
 // Chrome trace_event format (load in Perfetto / chrome://tracing; 1
 // virtual second = 1 trace µs), -trace-jsonl writes the same events one
 // JSON object per line, -metrics snapshots the manager's metric registry
-// as JSON. All three write to files only — the stdout report stays
-// byte-identical with and without them. Profiling flags -cpuprofile,
-// -memprofile and -pproftrace capture stdlib runtime profiles of the
-// simulation itself.
+// as JSON, and -state snapshots the final queue/node/power state as JSON
+// (the same renderer the /state endpoint uses). All write to files only —
+// the stdout report stays byte-identical with and without them.
+//
+// -http serves the live operations plane while the run executes: /metrics
+// (Prometheus), /metrics.json, /healthz, /state, and /events (SSE trace
+// stream). The simulation advances in time slices under the server's
+// state lock, so scrapes see consistent between-event snapshots and the
+// report stays byte-identical to a run without -http. The listen address
+// goes to stderr. Profiling flags -cpuprofile, -memprofile and
+// -pproftrace capture stdlib runtime profiles of the simulation itself.
 package main
 
 import (
@@ -31,9 +38,12 @@ import (
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
+	"time"
 
 	"epajsrm/internal/checkpoint"
+	"epajsrm/internal/core"
 	"epajsrm/internal/fault"
+	"epajsrm/internal/ops"
 	"epajsrm/internal/report"
 	"epajsrm/internal/runner"
 	"epajsrm/internal/simulator"
@@ -76,6 +86,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	chromeOut := fs.String("trace", "", "write the run's control-loop trace in Chrome trace_event format to this file")
 	jsonlOut := fs.String("trace-jsonl", "", "write the run's control-loop trace as JSONL to this file")
 	metricsOut := fs.String("metrics", "", "write the run's metric-registry snapshot as JSON to this file")
+	stateOut := fs.String("state", "", "write the final queue/node/power state snapshot as JSON to this file")
+	httpAddr := fs.String("http", "", "serve live ops endpoints (/metrics, /healthz, /state, /events) on this address during the run (e.g. :8080)")
+	httpLinger := fs.Duration("http-linger", 0, "keep serving the ops endpoints this long after the run completes (requires -http)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	pprofTrace := fs.String("pproftrace", "", "write a Go runtime execution trace to this file (go tool trace)")
@@ -167,6 +180,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "-reps cannot be combined with -trace/-trace-jsonl/-metrics (one trace per run)")
 			return 2
 		}
+		if *httpAddr != "" || *stateOut != "" {
+			fmt.Fprintln(stderr, "-reps cannot be combined with -http/-state (one manager per ops plane)")
+			return 2
+		}
 		runner.SetProcs(*procs)
 		replicate(stdout, stderr, p, prof, *seed, *reps, *jobs, horizon)
 		return 0
@@ -182,7 +199,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	var tr *trace.Tracer
-	if *chromeOut != "" || *jsonlOut != "" {
+	if *chromeOut != "" || *jsonlOut != "" || *httpAddr != "" {
+		// -http implies a tracer so /events has a stream to serve.
 		tr = trace.New()
 		m.AttachTracer(tr)
 	}
@@ -229,7 +247,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		inj.Start()
 	}
 
-	end := m.Run(horizon)
+	var srv *ops.Server
+	if *httpAddr != "" {
+		srv = ops.NewServer(ops.ManagerSource(m))
+		addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer srv.Close()
+		// The listen line goes to stderr: stdout stays the byte-identical
+		// report stream.
+		fmt.Fprintf(stderr, "ops: serving /metrics /healthz /state /events on http://%s\n", addr)
+	}
+
+	var end simulator.Time
+	if srv != nil {
+		end = runServed(m, srv, horizon)
+	} else {
+		end = m.Run(horizon)
+	}
 
 	fmt.Fprintf(stdout, "site %s — %s\n\n", p.Name, p.Desc)
 	fmt.Fprintln(stdout, report.ComponentDiagram(report.Components{
@@ -320,7 +357,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	if *stateOut != "" {
+		// Same renderer as the /state endpoint, so file and endpoint agree.
+		if err := writeFile(*stateOut, func(w io.Writer) error {
+			return ops.WriteState(w, ops.ManagerState(m))
+		}); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	if srv != nil && *httpLinger > 0 {
+		// Short runs finish before a scraper gets a look in; -http-linger
+		// holds the final state on the wire for dashboards and smoke tests.
+		fmt.Fprintf(stderr, "ops: run complete; serving for another %s\n", *httpLinger)
+		time.Sleep(*httpLinger)
+	}
 	return 0
+}
+
+// runServed advances the simulation to horizon in one-minute slices, each
+// inside the ops server's state lock, then finishes the run under the
+// same lock. The engine fires events in (time, seq) order, so slicing
+// RunUntil changes nothing about the simulation — the report is
+// byte-identical to m.Run(horizon) — while scrapes between slices observe
+// a quiescent manager.
+func runServed(m *core.Manager, srv *ops.Server, horizon simulator.Time) simulator.Time {
+	var end simulator.Time
+	if horizon < 0 {
+		// Unbounded runs cannot slice on time; advance in one locked call.
+		srv.Locked(func() { end = m.Eng.RunUntil(horizon) })
+	} else {
+		for now := simulator.Minute; ; now += simulator.Minute {
+			if now > horizon {
+				now = horizon
+			}
+			step := now
+			srv.Locked(func() { end = m.Eng.RunUntil(step) })
+			if now >= horizon {
+				break
+			}
+		}
+	}
+	srv.Locked(func() { m.FinishRun(end) })
+	return end
 }
 
 // writeFile creates path and streams write into it, returning the first

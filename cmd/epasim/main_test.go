@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -133,5 +134,63 @@ func TestRepsRejectsTraceFlags(t *testing.T) {
 	code := run([]string{"-site", "cineca", "-reps", "2", "-trace", "x.json"}, &out, &errb)
 	if code != 2 {
 		t.Fatalf("exit = %d, want 2; stderr %q", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-site", "cineca", "-reps", "2", "-http", ":0"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("-reps -http exit = %d, want 2; stderr %q", code, errb.String())
+	}
+}
+
+// TestHTTPDoesNotPerturbReport is the ops determinism contract: serving
+// the live endpoints (which slices the simulation under the server's
+// lock and attaches a tracer) must leave the stdout report byte-identical
+// to a plain run.
+func TestHTTPDoesNotPerturbReport(t *testing.T) {
+	base := []string{"-site", "cineca", "-jobs", "50", "-days", "2", "-seed", "9"}
+	plain, _ := runCLI(t, base...)
+	served, errb := runCLI(t, append(base, "-http", "127.0.0.1:0")...)
+	if plain != served {
+		t.Fatal("stdout differs when -http is set")
+	}
+	if !strings.Contains(errb, "ops: serving") {
+		t.Fatalf("listen line missing from stderr: %q", errb)
+	}
+}
+
+// TestStateSnapshotFile: -state writes the /state renderer's snapshot —
+// valid JSON with the expected shape, byte-deterministic across same-seed
+// runs.
+func TestStateSnapshotFile(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	args := []string{"-site", "cineca", "-jobs", "50", "-days", "2", "-seed", "4"}
+	runCLI(t, append(args, "-state", a)...)
+	runCLI(t, append(args, "-state", b)...)
+	ab, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("same-seed -state files differ byte-for-byte")
+	}
+	var st struct {
+		System string           `json:"system"`
+		SimNow int64            `json:"sim_now_s"`
+		Nodes  []map[string]any `json:"nodes"`
+		Queue  []map[string]any `json:"queue"`
+	}
+	if err := json.Unmarshal(ab, &st); err != nil {
+		t.Fatalf("-state file invalid JSON: %v", err)
+	}
+	if st.System == "" || st.SimNow <= 0 || len(st.Nodes) == 0 {
+		t.Fatalf("-state snapshot incomplete: system=%q now=%d nodes=%d",
+			st.System, st.SimNow, len(st.Nodes))
 	}
 }

@@ -1,0 +1,499 @@
+// Command traceanalyze answers questions offline about a control-loop
+// trace that epasim or epabench wrote (-trace / -trace-jsonl): queue-wait
+// and run-span percentiles per system, power-cap violation and
+// staleness-degrade spans, scheduler decision tallies, per-track event
+// counts, and the critical path of a single job. It reads both supported
+// forms (Chrome trace_event JSON and JSONL), auto-detected.
+//
+// Usage:
+//
+//	traceanalyze run.json              # full report
+//	traceanalyze -job 17 run.json      # plus job 17's critical path
+//	traceanalyze -diff a.json b.json   # compare two runs' event profiles
+//
+// Output is byte-deterministic for a given input: two runs of the tool on
+// the same trace produce identical bytes, and -diff on traces from two
+// same-seed runs reports zero differences.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"epajsrm/internal/report"
+	"epajsrm/internal/simulator"
+	"epajsrm/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit so tests can drive the
+// CLI in-process and assert output bytes.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("traceanalyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jobID := fs.Int("job", 0, "also print the critical path of this job id")
+	diff := fs.Bool("diff", false, "compare two traces' event profiles (takes two files)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *diff {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "usage: traceanalyze -diff a.json b.json")
+			return 2
+		}
+		return runDiff(fs.Arg(0), fs.Arg(1), stdout, stderr)
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: traceanalyze [-job N] trace-file")
+		return 2
+	}
+	evs, meta, err := readFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "trace %s: %d events\n\n", fs.Arg(0), len(evs))
+	writeTrackCounts(stdout, evs)
+	writeSpanPercentiles(stdout, evs)
+	writeSchedTally(stdout, evs)
+	writePowerReport(stdout, evs)
+	if *jobID != 0 {
+		writeJobPath(stdout, evs, meta, *jobID)
+	}
+	return 0
+}
+
+func readFile(path string) ([]trace.Event, *trace.Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}
+
+func trackName(pid int) string {
+	switch pid {
+	case trace.PidJobs:
+		return "jobs"
+	case trace.PidSched:
+		return "scheduler"
+	case trace.PidPower:
+		return "power"
+	case trace.PidFault:
+		return "faults"
+	}
+	return fmt.Sprintf("pid%d", pid)
+}
+
+// writeTrackCounts tallies events per (track, name, phase).
+func writeTrackCounts(w io.Writer, evs []trace.Event) {
+	type key struct {
+		pid  int
+		name string
+		ph   string
+	}
+	counts := map[key]int{}
+	for i := range evs {
+		counts[key{evs[i].Pid, evs[i].Name, evs[i].Ph}]++
+	}
+	keys := make([]key, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pid != keys[j].pid {
+			return keys[i].pid < keys[j].pid
+		}
+		return keys[i].name < keys[j].name
+	})
+	tbl := report.Table{
+		Title:  "Events per track",
+		Header: []string{"track", "event", "phase", "count"},
+	}
+	for _, k := range keys {
+		tbl.Rows = append(tbl.Rows, []string{
+			trackName(k.pid), k.name, k.ph, fmt.Sprint(counts[k]),
+		})
+	}
+	fmt.Fprintln(w, tbl.Render())
+}
+
+// pct returns the q-quantile of sorted (ascending) durations.
+func pct(sorted []simulator.Time, q float64) simulator.Time {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// writeSpanPercentiles reports queue-wait and run span percentiles grouped
+// by the spans' system arg (empty when the trace predates the system tag).
+func writeSpanPercentiles(w io.Writer, evs []trace.Event) {
+	durs := map[[2]string][]simulator.Time{}
+	for i := range evs {
+		e := &evs[i]
+		if e.Pid != trace.PidJobs || e.Ph != "X" {
+			continue
+		}
+		if e.Name != "queue-wait" && e.Name != "run" {
+			continue
+		}
+		sys, _ := e.ArgString("system")
+		k := [2]string{sys, e.Name}
+		durs[k] = append(durs[k], e.Dur)
+	}
+	keys := make([][2]string, 0, len(durs))
+	for k := range durs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	tbl := report.Table{
+		Title:  "Job spans per system",
+		Header: []string{"system", "span", "n", "p50", "p90", "p99", "max"},
+	}
+	for _, k := range keys {
+		ds := durs[k]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		sys := k[0]
+		if sys == "" {
+			sys = "(untagged)"
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			sys, k[1], fmt.Sprint(len(ds)),
+			pct(ds, 0.50).String(), pct(ds, 0.90).String(),
+			pct(ds, 0.99).String(), ds[len(ds)-1].String(),
+		})
+	}
+	if len(tbl.Rows) == 0 {
+		fmt.Fprintln(w, "no queue-wait/run spans in trace")
+		fmt.Fprintln(w)
+		return
+	}
+	fmt.Fprintln(w, tbl.Render())
+}
+
+// writeSchedTally reports scheduler decision instants: how often each
+// reason fired and how often it came with picked=true.
+func writeSchedTally(w io.Writer, evs []trace.Event) {
+	type tally struct{ picked, skipped, other int }
+	tallies := map[string]*tally{}
+	for i := range evs {
+		e := &evs[i]
+		if e.Pid != trace.PidSched || e.Ph != "i" {
+			continue
+		}
+		t := tallies[e.Name]
+		if t == nil {
+			t = &tally{}
+			tallies[e.Name] = t
+		}
+		switch picked, ok := pickedArg(e); {
+		case ok && picked:
+			t.picked++
+		case ok:
+			t.skipped++
+		default:
+			t.other++
+		}
+	}
+	if len(tallies) == 0 {
+		fmt.Fprintln(w, "no scheduler decisions in trace")
+		fmt.Fprintln(w)
+		return
+	}
+	names := make([]string, 0, len(tallies))
+	for n := range tallies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	tbl := report.Table{
+		Title:  "Scheduler decisions",
+		Header: []string{"reason", "picked", "skipped", "untagged"},
+	}
+	for _, n := range names {
+		t := tallies[n]
+		tbl.Rows = append(tbl.Rows, []string{
+			n, fmt.Sprint(t.picked), fmt.Sprint(t.skipped), fmt.Sprint(t.other),
+		})
+	}
+	fmt.Fprintln(w, tbl.Render())
+}
+
+func pickedArg(e *trace.Event) (picked, ok bool) {
+	for _, a := range e.Args {
+		if a.Key == "picked" {
+			b, isB := a.Val.(bool)
+			return b, isB
+		}
+	}
+	return false, false
+}
+
+// writePowerReport derives power-plane findings: cap actuations, samples
+// above the administrative system cap (grouped into consecutive violation
+// spans), and telemetry staleness degrade windows.
+func writePowerReport(w io.Writer, evs []trace.Event) {
+	var power []*trace.Event
+	for i := range evs {
+		if evs[i].Pid == trace.PidPower {
+			power = append(power, &evs[i])
+		}
+	}
+	sort.SliceStable(power, func(i, j int) bool { return power[i].Ts < power[j].Ts })
+
+	var (
+		sysCapW      float64
+		capSets      int
+		violSamples  int
+		violSpans    int
+		violDur      simulator.Time
+		maxOverW     float64
+		inViol       bool
+		violStart    simulator.Time
+		violLast     simulator.Time
+		degradeOpen  = simulator.Time(-1)
+		degradeSpans int
+		degradeDur   simulator.Time
+		samples      int
+	)
+	endViol := func() {
+		if inViol {
+			violSpans++
+			violDur += violLast - violStart
+			inViol = false
+		}
+	}
+	for _, e := range power {
+		switch {
+		case e.Name == "capmc.set_system_cap":
+			capSets++
+			if v, ok := e.ArgFloat("value"); ok {
+				sysCapW = v
+			}
+		case e.Name == "it_power_w":
+			samples++
+			v, ok := e.ArgFloat("value")
+			if !ok {
+				continue
+			}
+			if sysCapW > 0 && v > sysCapW {
+				violSamples++
+				if over := v - sysCapW; over > maxOverW {
+					maxOverW = over
+				}
+				if !inViol {
+					inViol = true
+					violStart = e.Ts
+				}
+				violLast = e.Ts
+			} else {
+				endViol()
+			}
+		case e.Name == "staleness-guard-degrade":
+			if degradeOpen < 0 {
+				degradeOpen = e.Ts
+			}
+		case e.Name == "staleness-guard-restore":
+			if degradeOpen >= 0 {
+				degradeSpans++
+				degradeDur += e.Ts - degradeOpen
+				degradeOpen = -1
+			}
+		}
+	}
+	endViol()
+
+	tbl := report.Table{
+		Title:  "Power plane",
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"telemetry samples", fmt.Sprint(samples)},
+			{"system cap sets", fmt.Sprint(capSets)},
+		},
+	}
+	if sysCapW > 0 {
+		tbl.Rows = append(tbl.Rows,
+			[]string{"final system cap", fmt.Sprintf("%.0f W", sysCapW)},
+			[]string{"samples above cap", fmt.Sprint(violSamples)},
+			[]string{"violation spans", fmt.Sprintf("%d spanning %s", violSpans, violDur)},
+		)
+		if violSamples > 0 {
+			tbl.Rows = append(tbl.Rows,
+				[]string{"worst overage", fmt.Sprintf("%.0f W", maxOverW)})
+		}
+	}
+	row := fmt.Sprintf("%d spanning %s", degradeSpans, degradeDur)
+	if degradeOpen >= 0 {
+		row += fmt.Sprintf(" (one open at %s)", degradeOpen)
+	}
+	tbl.Rows = append(tbl.Rows, []string{"staleness degrades", row})
+	fmt.Fprintln(w, tbl.Render())
+}
+
+// writeJobPath prints job id's event timeline and a critical-path summary:
+// where its makespan went (queued, computing, checkpoint I/O).
+func writeJobPath(w io.Writer, evs []trace.Event, meta *trace.Meta, id int) {
+	var mine []*trace.Event
+	for i := range evs {
+		if evs[i].Pid == trace.PidJobs && evs[i].Tid == id {
+			mine = append(mine, &evs[i])
+		}
+	}
+	if len(mine) == 0 {
+		fmt.Fprintf(w, "job %d: no events in trace\n", id)
+		return
+	}
+	sort.SliceStable(mine, func(i, j int) bool { return mine[i].Ts < mine[j].Ts })
+	label := fmt.Sprintf("job %d", id)
+	if meta != nil && meta.ThreadNames[id] != "" {
+		label = meta.ThreadNames[id]
+	}
+	tbl := report.Table{
+		Title:  "Critical path: " + label,
+		Header: []string{"t", "event", "duration", "detail"},
+	}
+	var queued, running, ckpt simulator.Time
+	first, last := mine[0].Ts, simulator.Time(0)
+	for _, e := range mine {
+		if end := e.Ts + e.Dur; end > last {
+			last = end
+		}
+		switch e.Name {
+		case "queue-wait":
+			queued += e.Dur
+		case "run":
+			running += e.Dur
+		case "ckpt-write", "ckpt-drain", "ckpt-restore":
+			ckpt += e.Dur
+		}
+		dur := "-"
+		if e.Ph == "X" {
+			dur = e.Dur.String()
+		}
+		tbl.Rows = append(tbl.Rows, []string{e.Ts.String(), e.Name, dur, argString(e)})
+	}
+	tbl.Rows = append(tbl.Rows,
+		[]string{"", "makespan", (last - first).String(), ""},
+		[]string{"", "= queued", queued.String(), ""},
+		[]string{"", "+ computing", running.String(), ""},
+		[]string{"", "+ checkpoint I/O", ckpt.String(), ""},
+	)
+	fmt.Fprintln(w, tbl.Render())
+}
+
+// argString renders an event's args compactly in their recorded order.
+func argString(e *trace.Event) string {
+	parts := make([]string, 0, len(e.Args))
+	for _, a := range e.Args {
+		switch v := a.Val.(type) {
+		case float64:
+			parts = append(parts, fmt.Sprintf("%s=%g", a.Key, v))
+		default:
+			parts = append(parts, fmt.Sprintf("%s=%v", a.Key, v))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// profileKey aggregates one event class for -diff.
+type profileKey struct {
+	pid  int
+	ph   string
+	name string
+}
+
+type profileVal struct {
+	count int
+	dur   simulator.Time
+}
+
+func profile(evs []trace.Event) map[profileKey]profileVal {
+	out := map[profileKey]profileVal{}
+	for i := range evs {
+		e := &evs[i]
+		v := out[profileKey{e.Pid, e.Ph, e.Name}]
+		v.count++
+		v.dur += e.Dur
+		out[profileKey{e.Pid, e.Ph, e.Name}] = v
+	}
+	return out
+}
+
+// runDiff compares two traces' event profiles — per-class counts and total
+// span durations. Two same-seed runs of the same binary produce identical
+// profiles, so any row here is a real divergence.
+func runDiff(pathA, pathB string, stdout, stderr io.Writer) int {
+	evsA, _, err := readFile(pathA)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	evsB, _, err := readFile(pathB)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	pa, pb := profile(evsA), profile(evsB)
+	keys := map[profileKey]bool{}
+	for k := range pa {
+		keys[k] = true
+	}
+	for k := range pb {
+		keys[k] = true
+	}
+	sorted := make([]profileKey, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].pid != sorted[j].pid {
+			return sorted[i].pid < sorted[j].pid
+		}
+		return sorted[i].name < sorted[j].name
+	})
+	tbl := report.Table{
+		Title:  "Event profile differences",
+		Header: []string{"track", "event", "count a", "count b", "total dur a", "total dur b"},
+	}
+	for _, k := range sorted {
+		a, b := pa[k], pb[k]
+		if a == b {
+			continue
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			trackName(k.pid), k.name,
+			fmt.Sprint(a.count), fmt.Sprint(b.count),
+			a.dur.String(), b.dur.String(),
+		})
+	}
+	if len(tbl.Rows) == 0 {
+		fmt.Fprintf(stdout, "traces match: %d event classes, %d vs %d events, zero differences\n",
+			len(sorted), len(evsA), len(evsB))
+		return 0
+	}
+	fmt.Fprintf(stdout, "%d of %d event classes differ (%d vs %d events)\n\n",
+		len(tbl.Rows), len(sorted), len(evsA), len(evsB))
+	fmt.Fprintln(stdout, tbl.Render())
+	return 1
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/core"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/sched"
+	"epajsrm/internal/simulator"
+	"epajsrm/internal/trace"
+)
+
+// simTrace runs a small deterministic simulation at the given seed and
+// writes its control-loop trace in both forms, returning the two paths.
+func simTrace(t *testing.T, seed uint64) (chrome, jsonl string) {
+	t.Helper()
+	m := core.NewManager(core.Options{
+		Cluster:   cluster.DefaultConfig(),
+		Scheduler: sched.EASY{},
+		Seed:      seed,
+	})
+	tr := trace.New()
+	m.AttachTracer(tr)
+	for i := 0; i < 16; i++ {
+		j := &jobs.Job{
+			ID:            int64(i + 1),
+			User:          "ta",
+			Tag:           "app",
+			Nodes:         8 + i%9,
+			Walltime:      3 * simulator.Hour,
+			TrueRuntime:   simulator.Time(30+3*i+int(seed%7)) * simulator.Minute,
+			PowerPerNodeW: 280,
+			MemFrac:       0.25,
+		}
+		if err := m.Submit(j, simulator.Time(i)*11*simulator.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Run(-1)
+
+	dir := t.TempDir()
+	chrome = filepath.Join(dir, "run.json")
+	jsonl = filepath.Join(dir, "run.jsonl")
+	for path, write := range map[string]func(*os.File) error{
+		chrome: func(f *os.File) error { return tr.WriteChrome(f) },
+		jsonl:  func(f *os.File) error { return tr.WriteJSONL(f) },
+	} {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := write(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return chrome, jsonl
+}
+
+// analyze drives the CLI in-process.
+func analyze(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestAnalyzeDeterministic pins byte determinism and form equivalence: the
+// same trace analyzed twice gives identical bytes, and the Chrome and
+// JSONL forms of one run analyze to the same report (past the header line
+// naming the input file).
+func TestAnalyzeDeterministic(t *testing.T) {
+	chrome, jsonl := simTrace(t, 7)
+	code, out1, errb := analyze(t, chrome)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	_, out2, _ := analyze(t, chrome)
+	if out1 != out2 {
+		t.Fatal("analysis not byte-deterministic across runs")
+	}
+	_, outJSONL, _ := analyze(t, jsonl)
+	body := func(s string) string {
+		_, rest, _ := strings.Cut(s, "\n")
+		return rest
+	}
+	if body(out1) != body(outJSONL) {
+		t.Fatal("chrome and jsonl forms analyze differently")
+	}
+
+	for _, want := range []string{
+		"Events per track", "Job spans per system", "Scheduler decisions",
+		"Power plane", "queue-wait", "telemetry samples",
+	} {
+		if !strings.Contains(out1, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+// TestJobCriticalPath checks the -job timeline: the job's lifecycle events
+// appear in order with a makespan decomposition.
+func TestJobCriticalPath(t *testing.T) {
+	chrome, _ := simTrace(t, 7)
+	code, out, errb := analyze(t, "-job", "3", chrome)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	for _, want := range []string{"Critical path: job 3", "submit", "dispatch", "run", "makespan", "= queued", "+ computing"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("critical path missing %q", want)
+		}
+	}
+	if idx := strings.Index(out, "submit"); idx < 0 || idx > strings.Index(out, "makespan") {
+		t.Error("submit does not precede makespan summary")
+	}
+
+	code, out, _ = analyze(t, "-job", "9999", chrome)
+	if code != 0 || !strings.Contains(out, "job 9999: no events") {
+		t.Fatalf("missing-job case: exit %d, out %q", code, out)
+	}
+}
+
+// TestDiffSameSeed is the acceptance contract: two same-seed runs have
+// identical event profiles and -diff says so with exit 0.
+func TestDiffSameSeed(t *testing.T) {
+	a, _ := simTrace(t, 11)
+	b, _ := simTrace(t, 11)
+	code, out, errb := analyze(t, "-diff", a, b)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if !strings.Contains(out, "zero differences") {
+		t.Fatalf("same-seed diff output: %q", out)
+	}
+}
+
+// TestDiffDifferentSeeds: different seeds diverge, and the tool reports
+// which event classes moved with exit 1.
+func TestDiffDifferentSeeds(t *testing.T) {
+	a, _ := simTrace(t, 11)
+	b, _ := simTrace(t, 12)
+	code, out, _ := analyze(t, "-diff", a, b)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "event classes differ") || !strings.Contains(out, "Event profile differences") {
+		t.Fatalf("diff output: %q", out)
+	}
+}
+
+// TestUsageErrors: bad invocations exit 2 without touching files.
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := analyze(t); code != 2 {
+		t.Error("no args should exit 2")
+	}
+	if code, _, _ := analyze(t, "-diff", "only-one"); code != 2 {
+		t.Error("-diff with one file should exit 2")
+	}
+	if code, _, errb := analyze(t, "/nonexistent/trace.json"); code != 1 || errb == "" {
+		t.Error("missing file should exit 1 with an error")
+	}
+}

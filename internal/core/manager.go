@@ -113,6 +113,11 @@ type Manager struct {
 	// queue-wait spans. Maintained only while Tr != nil.
 	trQueued map[int64]simulator.Time
 
+	// LastSchedPass is the virtual time of the most recent scheduling pass
+	// — the control-loop liveness signal the ops /healthz endpoint reports
+	// alongside telemetry age.
+	LastSchedPass simulator.Time
+
 	// Scheduling-pass scratch, reused across ticks so the hot path does not
 	// reallocate the candidate list and running-jobs view every pass.
 	candScratch []*jobs.Job
@@ -280,6 +285,7 @@ func (m *Manager) TrySchedule(now simulator.Time) {
 }
 
 func (m *Manager) schedulePass(now simulator.Time) int {
+	m.LastSchedPass = now
 	// Read-only scan of the live queue slice; candidates are collected into
 	// scratch before anything below can mutate the queue.
 	all := m.Queue.All()
@@ -442,7 +448,8 @@ func (m *Manager) startJob(j *jobs.Job, now simulator.Time) bool {
 		}
 		delete(m.trQueued, j.ID)
 		m.Tr.Span(trace.PidJobs, int(j.ID), "queue-wait", qAt, now,
-			trace.Arg{Key: "requeues", Val: j.Requeues})
+			trace.Arg{Key: "requeues", Val: j.Requeues},
+			trace.Arg{Key: "system", Val: m.Cl.Cfg.Name})
 		m.Tr.Instant(trace.PidJobs, int(j.ID), "dispatch", now,
 			trace.Arg{Key: "nodes", Val: len(nodes)},
 			trace.Arg{Key: "freq_frac", Val: j.FreqFrac},
@@ -570,9 +577,10 @@ func (m *Manager) traceRunSpan(r *running, now simulator.Time, outcome string, a
 	if m.Tr == nil {
 		return
 	}
-	as := make([]trace.Arg, 0, len(args)+2)
+	as := make([]trace.Arg, 0, len(args)+3)
 	as = append(as, trace.Arg{Key: "outcome", Val: outcome},
-		trace.Arg{Key: "nodes", Val: len(r.nodes)})
+		trace.Arg{Key: "nodes", Val: len(r.nodes)},
+		trace.Arg{Key: "system", Val: m.Cl.Cfg.Name})
 	as = append(as, args...)
 	m.Tr.Span(trace.PidJobs, int(r.job.ID), "run", r.job.Start, now, as...)
 }
@@ -897,8 +905,21 @@ func (m *Manager) EstimatedStartPower(j *jobs.Job) float64 {
 // averages), run with an explicit horizon.
 func (m *Manager) Run(horizon simulator.Time) simulator.Time {
 	end := m.Eng.RunUntil(horizon)
+	m.FinishRun(end)
+	return end
+}
+
+// FinishRun closes the run's accounting at end: the power books are
+// advanced to the final instant, utilization integration closes, and
+// telemetry stops. Run calls it; drivers that advance the engine in
+// slices themselves (the ops-served run in cmd/epasim, which yields the
+// state lock between slices so live endpoints can read a quiescent
+// manager) call it once after the last slice. Splitting it off is what
+// makes the sliced run byte-equivalent to a single Run call — the engine
+// fires the same events in the same order either way, and the closing
+// accounting happens exactly once at the same final time.
+func (m *Manager) FinishRun(end simulator.Time) {
 	m.Pw.Advance(end)
 	m.Metrics.close(end, m.Cl.Size())
 	m.Tel.Stop()
-	return end
 }

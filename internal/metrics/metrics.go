@@ -92,9 +92,13 @@ func (g *Gauge) Add(delta float64) { g.v += delta }
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return g.v }
 
-// Histogram is a cumulative-bucket distribution: Counts[i] is the number
-// of observations <= Bounds[i]; observations above the last bound land in
-// the implicit overflow bucket.
+// Histogram is a bucketed distribution. Storage is per-bucket: counts[i]
+// is the number of observations in (bounds[i-1], bounds[i]] and the last
+// slot is the overflow bucket above the final bound. Cumulative returns
+// the Prometheus-style running form ("observations <= bound"), which is
+// what the JSON export's cum_counts field and the /metrics exposition
+// carry — mean and quantile estimates are recoverable from the export
+// without the raw series.
 type Histogram struct {
 	bounds []float64
 	counts []int64 // len(bounds)+1; last = overflow
@@ -136,6 +140,19 @@ func (h *Histogram) Mean() float64 {
 
 // Buckets returns (bounds, counts) — counts has one extra overflow slot.
 func (h *Histogram) Buckets() ([]float64, []int64) { return h.bounds, h.counts }
+
+// Cumulative returns the running bucket counts: out[i] is the number of
+// observations <= bounds[i], and the final slot equals Count(). This is
+// the form Prometheus exposition requires for _bucket series.
+func (h *Histogram) Cumulative() []int64 {
+	out := make([]int64, len(h.counts))
+	cum := int64(0)
+	for i, c := range h.counts {
+		cum += c
+		out[i] = cum
+	}
+	return out
+}
 
 // Point is one metric in a snapshot.
 type Point struct {
@@ -300,6 +317,18 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 					bw.str(", ")
 				}
 				bw.str(strconv.FormatInt(c, 10))
+			}
+			// Cumulative form alongside the raw buckets: consumers recover
+			// the mean from sum/count and quantile estimates from
+			// cum_counts without the raw series.
+			bw.str(`], "cum_counts": [`)
+			cum := int64(0)
+			for k, c := range p.Counts {
+				if k > 0 {
+					bw.str(", ")
+				}
+				cum += c
+				bw.str(strconv.FormatInt(cum, 10))
 			}
 			bw.str("]")
 		}

@@ -1,0 +1,167 @@
+package metrics
+
+// Prometheus text exposition (format version 0.0.4) for the registry, so a
+// live run can be scraped by any standard collector — the serving side of
+// the survey's monitoring centerpiece. The mapping is the canonical one:
+//
+//   - Counter        -> `# TYPE name counter` and one sample line
+//   - Gauge / Func   -> `# TYPE name gauge`
+//   - Histogram      -> `# TYPE name histogram` with cumulative
+//     `name_bucket{le="..."}` lines (closed by le="+Inf"), `name_sum`,
+//     and `name_count`
+//
+// Metric names in this repository use dots ("jobs.completed"); Prometheus
+// names admit only [a-zA-Z0-9_:], so SanitizeName rewrites every exported
+// name and every scrape sees "jobs_completed". Exposition order follows
+// the snapshot (name-sorted), so the output is deterministic for a fixed
+// registry state.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SanitizeName rewrites a registry metric name into a valid Prometheus
+// metric name: runes outside [a-zA-Z0-9_:] become '_', and a leading
+// digit gains a '_' prefix. An empty name becomes "_".
+func SanitizeName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9')
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// promKind maps a metric kind onto its exposition TYPE keyword.
+func promKind(k Kind) string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// WritePrometheus writes the registry's current state in Prometheus text
+// exposition format. The output is deterministic for a fixed registry
+// state: metrics appear in snapshot (name-sorted) order with fixed
+// formatting.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WritePrometheus(w, r.Snapshot())
+}
+
+// WritePrometheus writes an already-taken snapshot in Prometheus text
+// exposition format (see Registry.WritePrometheus).
+func WritePrometheus(w io.Writer, pts []Point) error {
+	bw := newErrWriter(w)
+	for _, p := range pts {
+		name := SanitizeName(p.Name)
+		bw.str("# TYPE ")
+		bw.str(name)
+		bw.str(" ")
+		bw.str(promKind(p.Kind))
+		bw.str("\n")
+		switch p.Kind {
+		case KindHistogram:
+			cum := int64(0)
+			for i, b := range p.Bounds {
+				cum += p.Counts[i]
+				bw.str(name)
+				bw.str(`_bucket{le="`)
+				bw.num(b)
+				bw.str(`"} `)
+				bw.str(strconv.FormatInt(cum, 10))
+				bw.str("\n")
+			}
+			bw.str(name)
+			bw.str(`_bucket{le="+Inf"} `)
+			bw.str(strconv.FormatInt(p.Count, 10))
+			bw.str("\n")
+			bw.str(name)
+			bw.str("_sum ")
+			bw.num(p.Sum)
+			bw.str("\n")
+			bw.str(name)
+			bw.str("_count ")
+			bw.str(strconv.FormatInt(p.Count, 10))
+			bw.str("\n")
+		default:
+			bw.str(name)
+			bw.str(" ")
+			bw.num(p.Value)
+			bw.str("\n")
+		}
+	}
+	return bw.err
+}
+
+// ParsePrometheusText parses text in the exposition format WritePrometheus
+// emits back into a flat sample map: scalar metrics under their name,
+// histogram series under "name_bucket{le=\"...\"}", "name_sum", and
+// "name_count". Comment (#) and blank lines are skipped. It exists for the
+// scrape round-trip tests and offline tooling, and handles the subset of
+// the format this package writes (no HELP parsing, single label).
+func ParsePrometheusText(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The sample name may carry a {label="value"} block that itself
+		// contains no spaces (true for everything this package writes), so
+		// the value is always the field after the last space.
+		cut := strings.LastIndexByte(line, ' ')
+		if cut <= 0 {
+			return nil, fmt.Errorf("metrics: line %d: no value in %q", lineNo, line)
+		}
+		key := strings.TrimSpace(line[:cut])
+		v, err := strconv.ParseFloat(line[cut+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: bad value in %q: %v", lineNo, line, err)
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("metrics: line %d: duplicate sample %q", lineNo, key)
+		}
+		out[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SampleNames returns the keys of a parsed sample map in sorted order, for
+// deterministic iteration in tests and tools.
+func SampleNames(samples map[string]float64) []string {
+	names := make([]string, 0, len(samples))
+	for n := range samples {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,332 @@
+package ops_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/core"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/metrics"
+	"epajsrm/internal/ops"
+	"epajsrm/internal/sched"
+	"epajsrm/internal/simulator"
+	"epajsrm/internal/trace"
+)
+
+// newSim builds a manager with a tracer attached and a staggered workload
+// submitted, plus an ops server over it. Nothing has run yet.
+func newSim(t *testing.T) (*core.Manager, *ops.Server) {
+	t.Helper()
+	m := core.NewManager(core.Options{
+		Cluster:   cluster.DefaultConfig(),
+		Scheduler: sched.EASY{},
+		Seed:      1,
+	})
+	m.AttachTracer(trace.New())
+	for i := 0; i < 24; i++ {
+		j := &jobs.Job{
+			ID:            int64(i + 1),
+			User:          "ops",
+			Tag:           "app",
+			Nodes:         4 + i%13,
+			Walltime:      2 * simulator.Hour,
+			TrueRuntime:   simulator.Time(20+i) * simulator.Minute,
+			PowerPerNodeW: 300,
+			MemFrac:       0.3,
+		}
+		if err := m.Submit(j, simulator.Time(i)*7*simulator.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, ops.NewServer(ops.ManagerSource(m))
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestEndpoints drives every endpoint against a completed run and checks
+// each response against the manager's own state.
+func TestEndpoints(t *testing.T) {
+	m, srv := newSim(t)
+	m.Run(-1)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// /metrics matches the registry's own Prometheus rendering byte for
+	// byte (the run is quiescent), and parses value-for-value.
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics code = %d", code)
+	}
+	var want bytes.Buffer
+	if err := m.Reg.WritePrometheus(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want.Bytes()) {
+		t.Fatalf("/metrics differs from registry rendering:\n%s\n-- vs --\n%s", body, want.Bytes())
+	}
+	samples, err := metrics.ParsePrometheusText(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v", err)
+	}
+	if got := samples["jobs_completed"]; got != float64(m.Metrics.Completed) {
+		t.Fatalf("jobs_completed = %v, want %d", got, m.Metrics.Completed)
+	}
+	if _, ok := samples["ops_events_dropped"]; !ok {
+		t.Fatal("ops_events_dropped missing from /metrics")
+	}
+
+	// /metrics.json is the exact -metrics file renderer.
+	code, body = get(t, ts.URL+"/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json code = %d", code)
+	}
+	var wantJSON bytes.Buffer
+	if err := m.Reg.WriteJSON(&wantJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, wantJSON.Bytes()) {
+		t.Fatal("/metrics.json differs from Registry.WriteJSON")
+	}
+
+	// /healthz reports the control loop's virtual-time liveness.
+	code, body = get(t, ts.URL+"/healthz")
+	var h ops.Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("/healthz: %v", err)
+	}
+	if h.SimNow != int64(m.Eng.Now()) {
+		t.Fatalf("sim_now_s = %d, want %d", h.SimNow, int64(m.Eng.Now()))
+	}
+	if h.TelemetryLast < 0 || h.SchedulerLast <= 0 {
+		t.Fatalf("liveness fields unset: %+v", h)
+	}
+	if h.Status == "ok" && code != http.StatusOK {
+		t.Fatalf("/healthz ok but code %d", code)
+	}
+	if h.Status != "ok" && code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz %q but code %d", h.Status, code)
+	}
+
+	// /state is a deterministic snapshot: correct shape, repeatable bytes.
+	code, body = get(t, ts.URL+"/state")
+	if code != http.StatusOK {
+		t.Fatalf("/state code = %d", code)
+	}
+	var st ops.State
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("/state: %v", err)
+	}
+	if st.System != m.Cl.Cfg.Name {
+		t.Fatalf("system = %q, want %q", st.System, m.Cl.Cfg.Name)
+	}
+	if len(st.Nodes) != m.Cl.Size() {
+		t.Fatalf("nodes = %d, want %d", len(st.Nodes), m.Cl.Size())
+	}
+	if len(st.Queue) != 0 || len(st.Running) != 0 {
+		t.Fatalf("finished run still has queue=%d running=%d", len(st.Queue), len(st.Running))
+	}
+	_, again := get(t, ts.URL+"/state")
+	if !bytes.Equal(body, again) {
+		t.Fatal("/state not byte-deterministic across scrapes")
+	}
+}
+
+// TestDegradedEndpoints pins the behavior of a server with nothing wired:
+// clear errors, not panics.
+func TestDegradedEndpoints(t *testing.T) {
+	srv := ops.NewServer(ops.Source{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for path, want := range map[string]int{
+		"/metrics":      http.StatusServiceUnavailable,
+		"/metrics.json": http.StatusServiceUnavailable,
+		"/healthz":      http.StatusServiceUnavailable,
+		"/state":        http.StatusNotFound,
+		"/events":       http.StatusServiceUnavailable,
+	} {
+		if code, _ := get(t, ts.URL+path); code != want {
+			t.Errorf("%s code = %d, want %d", path, code, want)
+		}
+	}
+}
+
+// TestStartClose exercises the real listener path.
+func TestStartClose(t *testing.T) {
+	m, srv := newSim(t)
+	m.Run(-1)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, _ := get(t, "http://"+addr+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz over real listener: code %d", code)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScrapeDuringRun is the concurrency contract under -race: the driver
+// advances the simulation in time slices inside Locked while this test
+// hammers /metrics, /healthz, and /state; every mid-run scrape must be
+// internally consistent and the final scrape must match the registry's
+// snapshot value for value.
+func TestScrapeDuringRun(t *testing.T) {
+	m, srv := newSim(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const horizon = 6 * simulator.Hour
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for now := simulator.Time(0); now < horizon; now += simulator.Minute {
+			srv.Locked(func() { m.Eng.RunUntil(now + simulator.Minute) })
+		}
+		srv.Locked(func() { m.FinishRun(horizon) })
+	}()
+
+	scrapes := 0
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false
+		default:
+		}
+		code, body := get(t, ts.URL+"/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("/metrics code = %d mid-run", code)
+		}
+		if _, err := metrics.ParsePrometheusText(bytes.NewReader(body)); err != nil {
+			t.Fatalf("mid-run /metrics does not parse: %v", err)
+		}
+		if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK && code != http.StatusServiceUnavailable {
+			t.Fatalf("/healthz code = %d mid-run", code)
+		}
+		code, body = get(t, ts.URL+"/state")
+		if code != http.StatusOK {
+			t.Fatalf("/state code = %d mid-run", code)
+		}
+		var st ops.State
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("mid-run /state: %v", err)
+		}
+		if len(st.Nodes) != m.Cl.Size() {
+			t.Fatalf("mid-run snapshot has %d nodes", len(st.Nodes))
+		}
+		scrapes++
+	}
+	wg.Wait()
+	if scrapes == 0 {
+		t.Fatal("no scrapes happened")
+	}
+
+	// Quiescent now: the scrape equals the local rendering, and the parsed
+	// samples match the snapshot value for value.
+	_, body := get(t, ts.URL+"/metrics")
+	var want bytes.Buffer
+	if err := m.Reg.WritePrometheus(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want.Bytes()) {
+		t.Fatal("final /metrics differs from registry rendering")
+	}
+	got, err := metrics.ParsePrometheusText(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := metrics.ParsePrometheusText(&want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, local) {
+		t.Fatal("final /metrics samples differ from snapshot")
+	}
+}
+
+// TestEventsStream reads live trace events over the SSE endpoint and
+// verifies each data line is the JSONL event form.
+func TestEventsStream(t *testing.T) {
+	tr := trace.New()
+	srv := ops.NewServer(ops.Source{Registry: metrics.New(), Tracer: tr})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/events?buf=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/events code = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+
+	// The subscription races with this client's connect; emit until one
+	// event arrives rather than assuming the subscriber is registered.
+	stop := make(chan struct{})
+	var eg sync.WaitGroup
+	eg.Add(1)
+	go func() {
+		defer eg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tr.Instant(trace.PidSched, 0, "sse-tick", simulator.Time(i), trace.Arg{Key: "i", Val: i})
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	defer eg.Wait()
+	defer close(stop)
+
+	br := bufio.NewReader(resp.Body)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading SSE: %v", err)
+	}
+	if !strings.HasPrefix(line, "data: ") {
+		t.Fatalf("SSE line = %q, want data: prefix", line)
+	}
+	payload := strings.TrimPrefix(strings.TrimSuffix(line, "\n"), "data: ")
+	evs, err := trace.ReadJSONL(strings.NewReader(payload + "\n"))
+	if err != nil {
+		t.Fatalf("SSE payload is not a JSONL event: %v", err)
+	}
+	if len(evs) != 1 || evs[0].Name != "sse-tick" {
+		t.Fatalf("decoded %+v", evs)
+	}
+	if blank, _ := br.ReadString('\n'); blank != "\n" {
+		t.Fatalf("SSE separator = %q, want blank line", blank)
+	}
+}

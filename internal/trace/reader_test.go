@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"epajsrm/internal/simulator"
+)
+
+// normalize maps an emitted event onto what the reader must return: the
+// wire formats print integers (and integral floats) without a decimal
+// point, so int, int64, and simulator.Time args — and float64 args holding
+// integral values — all read back as int64.
+func normalize(evs []Event) []Event {
+	out := make([]Event, len(evs))
+	for i, e := range evs {
+		ne := e
+		ne.Args = nil
+		for _, a := range e.Args {
+			switch v := a.Val.(type) {
+			case int:
+				a.Val = int64(v)
+			case simulator.Time:
+				a.Val = int64(v)
+			case float64:
+				if v == float64(int64(v)) {
+					a.Val = int64(v)
+				}
+			}
+			ne.Args = append(ne.Args, a)
+		}
+		out[i] = ne
+	}
+	return out
+}
+
+// randomTracer emits a deterministic pseudo-random event mix covering all
+// phases, arg types, and tracks.
+func randomTracer(seed int64) *Tracer {
+	rng := rand.New(rand.NewSource(seed))
+	tr := New()
+	tr.SetThreadName(7, "job 7 (lrz)")
+	for i := 0; i < 200; i++ {
+		ts := simulator.Time(rng.Intn(100000))
+		args := []Arg{
+			{Key: "idx", Val: int64(i)},
+			{Key: "frac", Val: float64(rng.Intn(1000))/7 + 0.5},
+			{Key: "tag", Val: fmt.Sprintf("app-%d", rng.Intn(5))},
+			{Key: "ok", Val: rng.Intn(2) == 0},
+		}
+		switch rng.Intn(3) {
+		case 0:
+			tr.Span(PidJobs, rng.Intn(8), "run", ts, ts+simulator.Time(rng.Intn(5000)), args...)
+		case 1:
+			tr.Instant(PidSched, 0, "skip-reason", ts, args...)
+		case 2:
+			tr.Counter(PidPower, "it_power_w", ts, float64(rng.Intn(100000))/3)
+		}
+	}
+	return tr
+}
+
+// TestReaderRoundTrip is the round-trip property: writer -> reader yields
+// identical typed events — same order, same phases, same ordered args —
+// for both the Chrome and JSONL forms, across several random event mixes.
+func TestReaderRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		tr := randomTracer(seed)
+		want := normalize(tr.Events())
+
+		var chrome bytes.Buffer
+		if err := tr.WriteChrome(&chrome); err != nil {
+			t.Fatal(err)
+		}
+		got, meta, err := ReadChrome(bytes.NewReader(chrome.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: ReadChrome: %v", seed, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: chrome round-trip mismatch\nfirst got  %+v\nfirst want %+v", seed, first(got), first(want))
+		}
+		if meta.ProcessNames[PidJobs] != "jobs" || meta.ThreadNames[7] != "job 7 (lrz)" {
+			t.Fatalf("seed %d: metadata lost: %+v", seed, meta)
+		}
+
+		var jsonl bytes.Buffer
+		if err := tr.WriteJSONL(&jsonl); err != nil {
+			t.Fatal(err)
+		}
+		got2, err := ReadJSONL(bytes.NewReader(jsonl.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: ReadJSONL: %v", seed, err)
+		}
+		if !reflect.DeepEqual(got2, want) {
+			t.Fatalf("seed %d: jsonl round-trip mismatch", seed)
+		}
+	}
+}
+
+func first(evs []Event) Event {
+	if len(evs) == 0 {
+		return Event{}
+	}
+	return evs[0]
+}
+
+// TestReaderOrderedArgsPreserved pins the ordered-args contract with a
+// hand-built case whose arg order differs from the sorted key order.
+func TestReaderOrderedArgsPreserved(t *testing.T) {
+	tr := New()
+	tr.Instant(PidSched, 0, "pick", 10,
+		Arg{Key: "zeta", Val: int64(1)},
+		Arg{Key: "alpha", Val: "second"},
+		Arg{Key: "mid", Val: 2.75})
+	var b bytes.Buffer
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadJSONL(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	keys := []string{}
+	for _, a := range evs[0].Args {
+		keys = append(keys, a.Key)
+	}
+	want := []string{"zeta", "alpha", "mid"}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("arg order = %v, want %v", keys, want)
+	}
+	if v, ok := evs[0].ArgFloat("mid"); !ok || v != 2.75 {
+		t.Fatalf("mid = %v (%v)", v, ok)
+	}
+}
+
+// TestReadSniffsFormat drives the auto-detecting entry point on both forms.
+func TestReadSniffsFormat(t *testing.T) {
+	tr := randomTracer(3)
+	want := normalize(tr.Events())
+
+	var chrome, jsonl bytes.Buffer
+	if err := tr.WriteChrome(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{"chrome": chrome.Bytes(), "jsonl": jsonl.Bytes()} {
+		got, meta, err := Read(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if meta == nil {
+			t.Fatalf("%s: nil meta", name)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: events differ from writer's", name)
+		}
+	}
+}
+
+// TestSubscribeStreamsAndDrops pins the bounded non-blocking contract: a
+// full subscriber buffer drops (and counts) instead of blocking emission.
+func TestSubscribeStreamsAndDrops(t *testing.T) {
+	tr := New()
+	ch, cancel := tr.Subscribe(2)
+	defer cancel()
+	for i := 0; i < 10; i++ {
+		tr.Instant(PidSched, 0, "tick", simulator.Time(i))
+	}
+	if got := tr.Dropped(); got != 8 {
+		t.Fatalf("dropped = %d, want 8", got)
+	}
+	e1, e2 := <-ch, <-ch
+	if e1.Ts != 0 || e2.Ts != 1 {
+		t.Fatalf("delivered order = %v, %v; want ts 0, 1", e1.Ts, e2.Ts)
+	}
+	// The buffer is free again: the next emission is delivered, not dropped.
+	tr.Instant(PidSched, 0, "tick", 99)
+	if e := <-ch; e.Ts != 99 {
+		t.Fatalf("post-drain event ts = %v, want 99", e.Ts)
+	}
+	if got := tr.Dropped(); got != 8 {
+		t.Fatalf("dropped moved to %d after drain", got)
+	}
+	cancel()
+	if _, open := <-ch; open {
+		t.Fatal("channel still open after cancel")
+	}
+	// Emission after cancel is a no-op for the subscriber, not a panic.
+	tr.Instant(PidSched, 0, "tick", 100)
+	cancel() // idempotent
+}

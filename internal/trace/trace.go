@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"epajsrm/internal/simulator"
 )
@@ -73,6 +74,19 @@ type Tracer struct {
 	events []Event
 	procs  map[int]string // pid -> process_name metadata
 	tids   map[int]string // (pid<<32|tid) is overkill; jobs own PidJobs tids
+
+	// Live subscribers (the ops server's /events stream). Publication is a
+	// non-blocking channel send under mu: a slow or absent consumer can
+	// never stall an emission site, so attaching a subscriber cannot
+	// perturb the simulation — overflowing events are counted in dropped
+	// instead of delivered. With no subscribers the cost is a nil-slice
+	// range, which is free.
+	subs    []*subscriber
+	dropped atomic.Int64
+}
+
+type subscriber struct {
+	ch chan Event
 }
 
 // New returns an enabled tracer with named default tracks.
@@ -105,25 +119,70 @@ func (t *Tracer) Span(pid, tid int, name string, start, end simulator.Time, args
 	if dur < 0 {
 		dur = 0
 	}
-	t.mu.Lock()
-	t.events = append(t.events, Event{Ph: phSpan, Pid: pid, Tid: tid, Name: name, Ts: start, Dur: dur, Args: args})
-	t.mu.Unlock()
+	t.emit(Event{Ph: phSpan, Pid: pid, Tid: tid, Name: name, Ts: start, Dur: dur, Args: args})
 }
 
 // Instant records a zero-duration event at ts.
 func (t *Tracer) Instant(pid, tid int, name string, ts simulator.Time, args ...Arg) {
-	t.mu.Lock()
-	t.events = append(t.events, Event{Ph: phInstant, Pid: pid, Tid: tid, Name: name, Ts: ts, Args: args})
-	t.mu.Unlock()
+	t.emit(Event{Ph: phInstant, Pid: pid, Tid: tid, Name: name, Ts: ts, Args: args})
 }
 
 // Counter records a sampled counter value (rendered as a filled track).
 func (t *Tracer) Counter(pid int, name string, ts simulator.Time, value float64) {
-	t.mu.Lock()
-	t.events = append(t.events, Event{Ph: phCounter, Pid: pid, Name: name, Ts: ts,
+	t.emit(Event{Ph: phCounter, Pid: pid, Name: name, Ts: ts,
 		Args: []Arg{{Key: "value", Val: value}}})
+}
+
+func (t *Tracer) emit(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	for _, s := range t.subs {
+		select {
+		case s.ch <- e:
+		default:
+			t.dropped.Add(1)
+		}
+	}
 	t.mu.Unlock()
 }
+
+// Subscribe returns a live channel that receives every event emitted after
+// the call, in emission order, plus a cancel function that detaches the
+// subscription and closes the channel. The channel is bounded (buf <= 0
+// selects a default of 1024): if the consumer falls behind, overflowing
+// events are dropped — never blocked on — and counted in Dropped. Cancel
+// is idempotent.
+func (t *Tracer) Subscribe(buf int) (<-chan Event, func()) {
+	if buf <= 0 {
+		buf = 1024
+	}
+	s := &subscriber{ch: make(chan Event, buf)}
+	t.mu.Lock()
+	t.subs = append(t.subs, s)
+	t.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			t.mu.Lock()
+			for i, x := range t.subs {
+				if x == s {
+					t.subs = append(t.subs[:i], t.subs[i+1:]...)
+					break
+				}
+			}
+			t.mu.Unlock()
+			// Safe: emit sends only to subscribers present in subs under
+			// mu, so after removal no send can race this close.
+			close(s.ch)
+		})
+	}
+	return s.ch, cancel
+}
+
+// Dropped reports how many events overflowed subscriber buffers since the
+// tracer was created (across all subscribers). Exported through the ops
+// registry as ops.events_dropped.
+func (t *Tracer) Dropped() int64 { return t.dropped.Load() }
 
 // Len returns the number of buffered events.
 func (t *Tracer) Len() int {
@@ -197,6 +256,16 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 		writeChromeEvent(bw, &evs[i])
 		bw.str("\n")
 	}
+	return bw.err
+}
+
+// WriteEvent writes one event as the same single-line JSON object the
+// JSONL export uses. The ops server's /events SSE stream shares this
+// renderer, so the live and file forms of an event are identical and the
+// trace reader parses both.
+func WriteEvent(w io.Writer, e *Event) error {
+	bw := &errWriter{w: w}
+	writeChromeEvent(bw, e)
 	return bw.err
 }
 
