@@ -1,0 +1,103 @@
+// Command epaserved hosts the multi-tenant simulation service: a REST/JSON
+// control plane that launches, runs, and tears down many concurrent site
+// simulations per process. Each hosted run owns its engine, registry, and
+// tracer, so its report is byte-identical to the same seed/profile run
+// under standalone epasim.
+//
+// Usage:
+//
+//	epaserved -addr :8080
+//	curl -s -X POST localhost:8080/runs \
+//	     -d '{"tenant":"acme","site":"cineca","seed":9,"jobs":50,"days":2}'
+//	curl -s localhost:8080/runs/r1
+//	curl -s localhost:8080/runs/r1/report
+//
+// Robustness knobs: -max-runs bounds the run table, -max-active the
+// concurrent execution slots, -tenant-active each tenant's live runs
+// (excess requests shed with 429 + Retry-After), -idle-ttl reaps
+// untouched terminal runs, -req-timeout and -stream-timeout deadline
+// every request, and -drain bounds the graceful shutdown on
+// SIGINT/SIGTERM (in-flight runs finish inside the window; past it they
+// are hard-stopped at their next slice).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"epajsrm/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr, nil))
+}
+
+// run is main with its environment explicit; ready (when non-nil)
+// receives the bound address once the listener is up, which lets tests
+// drive a real server in-process.
+func run(args []string, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("epaserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	def := service.Default()
+	addr := fs.String("addr", ":8080", "listen address")
+	maxRuns := fs.Int("max-runs", def.MaxRuns, "run-table bound (queued+running+unreaped); beyond it requests shed with 429")
+	maxActive := fs.Int("max-active", def.MaxActive, "concurrent execution slots")
+	tenantActive := fs.Int("tenant-active", def.TenantActive, "per-tenant live-run quota")
+	idleTTL := fs.Duration("idle-ttl", def.IdleTTL, "reap terminal runs untouched for this long")
+	reqTimeout := fs.Duration("req-timeout", def.RequestTimeout, "per-request deadline on unary endpoints")
+	streamTimeout := fs.Duration("stream-timeout", def.StreamTimeout, "deadline on /events SSE streams")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain window on SIGINT/SIGTERM")
+	halfLife := fs.Duration("halflife", def.HalfLife, "fair-share ledger decay half-life")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := def
+	cfg.MaxRuns = *maxRuns
+	cfg.MaxActive = *maxActive
+	cfg.TenantActive = *tenantActive
+	cfg.IdleTTL = *idleTTL
+	cfg.RequestTimeout = *reqTimeout
+	cfg.StreamTimeout = *streamTimeout
+	cfg.HalfLife = *halfLife
+	svc := service.New(cfg)
+
+	bound, closeHTTP, err := svc.Serve(*addr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "epaserved: serving on http://%s (max-runs %d, max-active %d, tenant quota %d)\n",
+		bound, cfg.MaxRuns, cfg.MaxActive, cfg.TenantActive)
+	if ready != nil {
+		ready <- bound
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Fprintf(stderr, "epaserved: %s — draining (window %s)\n", got, *drain)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Drain the service first: admission flips to 503 + Retry-After, SSE
+	// streams are released, queued runs cancel, in-flight runs finish
+	// inside the window. Only then drain the listener — its remaining
+	// requests are all fast once no stream can hold a connection open.
+	svcErr := svc.Shutdown(ctx)
+	if err := closeHTTP(ctx); err != nil {
+		fmt.Fprintf(stderr, "epaserved: http drain: %v\n", err)
+	}
+	if svcErr != nil {
+		fmt.Fprintf(stderr, "epaserved: drain incomplete: %v\n", svcErr)
+		return 1
+	}
+	fmt.Fprintln(stderr, "epaserved: drained cleanly")
+	return 0
+}

@@ -31,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -46,6 +47,7 @@ import (
 	"epajsrm/internal/ops"
 	"epajsrm/internal/report"
 	"epajsrm/internal/runner"
+	"epajsrm/internal/runreport"
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/site"
 	"epajsrm/internal/stats"
@@ -268,74 +270,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		end = m.Run(horizon)
 	}
 
-	fmt.Fprintf(stdout, "site %s — %s\n\n", p.Name, p.Desc)
-	fmt.Fprintln(stdout, report.ComponentDiagram(report.Components{
-		SystemName:  m.Cl.Cfg.Name,
-		Scheduler:   m.Sched.Name(),
-		Policies:    m.PolicyNames(),
-		Nodes:       m.Cl.Size(),
-		HasFacility: m.Fac != nil,
-		Telemetry:   m.Tel.Period.String(),
-	}))
-
-	size, wall := workload.Stats(js)
-	peak, peakAt := m.Pw.PeakPower()
-	tbl := report.Table{
-		Title:  "Run report",
-		Header: []string{"metric", "value"},
-		Rows: [][]string{
-			{"simulated time", end.String()},
-			{"jobs submitted/completed/killed/cancelled", fmt.Sprintf("%d / %d / %d / %d",
-				m.Metrics.Submitted, m.Metrics.Completed, m.Metrics.Killed, m.Metrics.Cancelled)},
-			{"job size quantiles (Q3e)", size.String()},
-			{"walltime quantiles (Q3e, s)", wall.String()},
-			{"utilization", fmt.Sprintf("%.1f%%", 100*m.Metrics.Utilization(m.Cl.Size()))},
-			{"median wait", simulator.Time(m.Metrics.Waits.Median()).String()},
-			{"throughput", fmt.Sprintf("%.0f node-h/day, %.1f jobs/day",
-				m.Metrics.ThroughputNodeHoursPerDay(), m.Metrics.JobsPerDay())},
-			{"IT energy", fmt.Sprintf("%.1f MWh", m.Pw.TotalEnergy()/3.6e9)},
-			{"peak IT power", fmt.Sprintf("%.1f kW at %s", peak/1000, peakAt)},
-			{"mean IT power (telemetry)", fmt.Sprintf("%.1f kW over %d samples",
-				m.Tel.ITStats.Mean()/1000, m.Tel.ITStats.N())},
-		},
-	}
-	if inj != nil {
-		tbl.Rows = append(tbl.Rows,
-			[]string{"injected faults", inj.Summary()},
-			[]string{"node failures / job requeues", fmt.Sprintf("%d / %d",
-				m.Metrics.NodeFailures, m.Metrics.Requeues)},
-			[]string{"telemetry samples dropped", fmt.Sprint(m.Tel.Dropped.Value())},
-		)
-	}
-	if inj != nil || *ckptIntervalMin > 0 {
-		tbl.Rows = append(tbl.Rows,
-			[]string{"lost work", fmt.Sprintf("%.1f node-h", m.Metrics.LostWorkSeconds/3600)})
-	}
-	if *ckptIntervalMin > 0 {
-		tbl.Rows = append(tbl.Rows,
-			[]string{"checkpoints written / restores", fmt.Sprintf("%d / %d",
-				m.Metrics.CheckpointsWritten, m.Metrics.CheckpointRestores)},
-			[]string{"checkpoint stall", fmt.Sprintf("%.1f h write, %.1f h restore read",
-				m.Metrics.CheckpointWriteSeconds/3600, m.Metrics.RestartReadSeconds/3600)},
-		)
-	}
-	fmt.Fprintln(stdout, tbl.Render())
-
-	// Power profile over the run, from the telemetry series.
-	if len(m.Tel.Series) > 1 {
-		xs := make([]float64, len(m.Tel.Series))
-		ys := make([]float64, len(m.Tel.Series))
-		for i, r := range m.Tel.Series {
-			xs[i] = float64(r.At) / float64(simulator.Hour)
-			ys[i] = r.ITW / 1000
-		}
-		fmt.Fprintln(stdout, report.LineChart{
-			Title:  "IT power over the run",
-			YLabel: "kW (x in hours)",
-			Xs:     xs,
-			Ys:     ys,
-		}.Render())
-	}
+	// The report renderer is shared with the simulation service, which is
+	// what keeps a service-hosted run's report byte-identical to this CLI.
+	runreport.Write(stdout, p, m, js, end, runreport.Extras{
+		Inj:           inj,
+		Checkpointing: *ckptIntervalMin > 0,
+	})
 
 	// Observability artifacts go to their own files, never to the report
 	// stream: stdout is byte-identical with and without them.
@@ -371,6 +311,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// holds the final state on the wire for dashboards and smoke tests.
 		fmt.Fprintf(stderr, "ops: run complete; serving for another %s\n", *httpLinger)
 		time.Sleep(*httpLinger)
+		// End the linger with a graceful drain: in-flight scrapes finish
+		// and /events streams are released, instead of the deferred Close
+		// cutting them mid-write.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(stderr, err)
+		}
 	}
 	return 0
 }

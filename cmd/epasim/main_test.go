@@ -3,11 +3,16 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"epajsrm/internal/service"
 )
 
 // runCLI drives the epasim entry point in-process and returns its streams.
@@ -192,5 +197,59 @@ func TestStateSnapshotFile(t *testing.T) {
 	if st.System == "" || st.SimNow <= 0 || len(st.Nodes) == 0 {
 		t.Fatalf("-state snapshot incomplete: system=%q now=%d nodes=%d",
 			st.System, st.SimNow, len(st.Nodes))
+	}
+}
+
+// TestServiceReportByteIdentical is the golden contract of the simulation
+// service: a run hosted by internal/service — sliced advancement under a
+// per-run lock, tracer attached, ops plane multiplexed — must produce a
+// report byte-identical to the same seed/profile run under this CLI.
+func TestServiceReportByteIdentical(t *testing.T) {
+	plain, _ := runCLI(t, "-site", "cineca", "-jobs", "50", "-days", "2", "-seed", "9")
+
+	cfg := service.Default()
+	s := service.New(cfg)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("service shutdown: %v", err)
+		}
+	}()
+	h := s.Handler()
+
+	body := `{"tenant":"golden","site":"cineca","seed":9,"jobs":50,"days":2}`
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/runs", strings.NewReader(body)))
+	if rec.Code != 202 {
+		t.Fatalf("submit = %d %s", rec.Code, rec.Body.String())
+	}
+	var info struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for info.State != "complete" {
+		if info.State == "failed" || info.State == "cancelled" || time.Now().After(deadline) {
+			t.Fatalf("hosted run ended in %q", info.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/runs/"+info.ID, nil))
+		if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/runs/"+info.ID+"/report", nil))
+	if rec.Code != 200 {
+		t.Fatalf("report = %d", rec.Code)
+	}
+	if rec.Body.String() != plain {
+		t.Fatalf("service-hosted report differs from standalone epasim:\n--- service ---\n%s\n--- epasim ---\n%s",
+			rec.Body.String(), plain)
 	}
 }

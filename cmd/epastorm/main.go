@@ -1,0 +1,266 @@
+// Command epastorm drives a synthetic stampede against an epaserved
+// instance: many concurrent clients submit runs, poll them to completion,
+// and scrape the per-run observability endpoints, while honoring the
+// server's load-shedding protocol — a 429/503 response's Retry-After is
+// the floor for a jittered exponential backoff, never a hot retry loop.
+//
+// Usage:
+//
+//	epastorm -addr http://localhost:8080 -clients 200 -tenants 16 \
+//	         -site cineca -jobs 20 -days 1 -per-client 3
+//
+// The exit code is the verdict: 0 when every accepted run reached a
+// terminal state (zero accepted-then-lost work) and every shed response
+// carried Retry-After; 1 otherwise. The summary table reports submission
+// outcomes, shed counts, and submit-to-complete latency quantiles.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"epajsrm/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+type verdict struct {
+	mu            sync.Mutex
+	submitted     int
+	accepted      int
+	shed429       int
+	shed503       int
+	shedNoRetry   int // shed responses missing Retry-After: protocol bug
+	rejected      int // 4xx spec errors
+	completed     int
+	failed        int
+	cancelled     int
+	lost          int // accepted but never reached a terminal state
+	netErrs       int
+	latencies     []time.Duration
+	scrapeErrs    int
+	reportMissing int
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("epastorm", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "epaserved base URL")
+	clients := fs.Int("clients", 100, "concurrent clients")
+	tenants := fs.Int("tenants", 16, "distinct tenants the clients spread across")
+	perClient := fs.Int("per-client", 1, "runs each client submits to completion")
+	siteName := fs.String("site", "cineca", "site profile each run requests")
+	jobsN := fs.Int("jobs", 20, "jobs per run")
+	days := fs.Int("days", 1, "simulated days per run")
+	attempts := fs.Int("attempts", 8, "max submit attempts per run before giving up")
+	backoff := fs.Duration("backoff", 200*time.Millisecond, "base backoff; doubles per retry with ±50% jitter, floored at the server's Retry-After")
+	timeout := fs.Duration("timeout", 2*time.Minute, "per-run completion deadline")
+	seed := fs.Int64("rngseed", 1, "client-side jitter seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	v := &verdict{}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(c)))
+			tenant := fmt.Sprintf("tenant-%02d", c%*tenants)
+			for n := 0; n < *perClient; n++ {
+				storm(client, v, rng, *addr, tenant, *siteName,
+					uint64(c**perClient+n), *jobsN, *days, *attempts, *backoff, *timeout)
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	tbl := report.Table{
+		Title:  fmt.Sprintf("stampede: %d clients × %d runs vs %s (%.1fs)", *clients, *perClient, *addr, wall.Seconds()),
+		Header: []string{"outcome", "count"},
+		Rows: [][]string{
+			{"submit attempts", fmt.Sprint(v.submitted)},
+			{"accepted", fmt.Sprint(v.accepted)},
+			{"shed 429 (load)", fmt.Sprint(v.shed429)},
+			{"shed 503 (draining)", fmt.Sprint(v.shed503)},
+			{"shed without Retry-After (BUG)", fmt.Sprint(v.shedNoRetry)},
+			{"rejected 4xx", fmt.Sprint(v.rejected)},
+			{"completed", fmt.Sprint(v.completed)},
+			{"failed", fmt.Sprint(v.failed)},
+			{"cancelled", fmt.Sprint(v.cancelled)},
+			{"accepted-then-lost (BUG)", fmt.Sprint(v.lost)},
+			{"network errors", fmt.Sprint(v.netErrs)},
+			{"scrape errors", fmt.Sprint(v.scrapeErrs)},
+			{"reports missing (BUG)", fmt.Sprint(v.reportMissing)},
+		},
+	}
+	if len(v.latencies) > 0 {
+		sort.Slice(v.latencies, func(i, j int) bool { return v.latencies[i] < v.latencies[j] })
+		q := func(p float64) time.Duration {
+			return v.latencies[int(p*float64(len(v.latencies)-1))]
+		}
+		tbl.Rows = append(tbl.Rows,
+			[]string{"submit→complete p50", q(0.50).Round(time.Millisecond).String()},
+			[]string{"submit→complete p95", q(0.95).Round(time.Millisecond).String()},
+			[]string{"submit→complete p99", q(0.99).Round(time.Millisecond).String()},
+		)
+	}
+	fmt.Fprintln(stdout, tbl.Render())
+	if v.lost > 0 || v.shedNoRetry > 0 || v.reportMissing > 0 {
+		fmt.Fprintln(stderr, "epastorm: FAILED — accepted work was lost or the shed protocol was violated")
+		return 1
+	}
+	return 0
+}
+
+// storm submits one run with shed-aware retries, polls it to a terminal
+// state, and scrapes its ops endpoints once along the way.
+func storm(client *http.Client, v *verdict, rng *rand.Rand, addr, tenant, siteName string,
+	seed uint64, jobsN, days, attempts int, base, timeout time.Duration) {
+	spec := map[string]any{"tenant": tenant, "site": siteName, "seed": seed, "jobs": jobsN, "days": days}
+	body, _ := json.Marshal(spec)
+
+	var id string
+	submitted := time.Now()
+	for try := 0; try < attempts; try++ {
+		v.mu.Lock()
+		v.submitted++
+		v.mu.Unlock()
+		resp, err := client.Post(addr+"/runs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			v.count(func(v *verdict) { v.netErrs++ })
+			time.Sleep(jitter(rng, base, try, 0))
+			continue
+		}
+		code := resp.StatusCode
+		retryAfter := resp.Header.Get("Retry-After")
+		var acc struct {
+			ID string `json:"id"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&acc)
+		resp.Body.Close()
+		switch {
+		case code == http.StatusAccepted && err == nil && acc.ID != "":
+			id = acc.ID
+		case code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable:
+			v.count(func(v *verdict) {
+				if code == http.StatusTooManyRequests {
+					v.shed429++
+				} else {
+					v.shed503++
+				}
+				if retryAfter == "" {
+					v.shedNoRetry++
+				}
+			})
+			var ra time.Duration
+			fmt.Sscanf(retryAfter, "%d", &ra) //nolint:errcheck // 0 floor on parse failure
+			time.Sleep(jitter(rng, base, try, ra*time.Second))
+			continue
+		default:
+			v.count(func(v *verdict) { v.rejected++ })
+			return
+		}
+		break
+	}
+	if id == "" {
+		return // every attempt shed; that is the protocol working
+	}
+	v.count(func(v *verdict) { v.accepted++ })
+
+	// Scrape the run's ops surface once — stampedes hammer the read path
+	// as hard as the write path.
+	if resp, err := client.Get(addr + "/runs/" + id + "/state"); err == nil {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+	} else {
+		v.count(func(v *verdict) { v.scrapeErrs++ })
+	}
+
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(addr + "/runs/" + id)
+		if err != nil {
+			v.count(func(v *verdict) { v.netErrs++ })
+			time.Sleep(base)
+			continue
+		}
+		var info struct {
+			State string `json:"state"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&info)
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusNotFound {
+			// Accepted then vanished before we saw a terminal state: the
+			// exact bug class the stampede exists to catch (reaping only
+			// removes idle *terminal* runs, and we are actively polling).
+			v.count(func(v *verdict) { v.lost++ })
+			return
+		}
+		if err == nil {
+			switch info.State {
+			case "complete":
+				lat := time.Since(submitted)
+				v.count(func(v *verdict) { v.completed++; v.latencies = append(v.latencies, lat) })
+				if resp, err := client.Get(addr + "/runs/" + id + "/report"); err == nil {
+					b, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK || len(b) == 0 {
+						v.count(func(v *verdict) { v.reportMissing++ })
+					}
+				} else {
+					v.count(func(v *verdict) { v.reportMissing++ })
+				}
+				return
+			case "failed":
+				v.count(func(v *verdict) { v.failed++ })
+				return
+			case "cancelled":
+				v.count(func(v *verdict) { v.cancelled++ })
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	v.count(func(v *verdict) { v.lost++ }) // never reached terminal inside the deadline
+}
+
+func (v *verdict) count(fn func(*verdict)) {
+	v.mu.Lock()
+	fn(v)
+	v.mu.Unlock()
+}
+
+// jitter computes the next backoff: base·2^try with ±50% jitter, floored
+// at the server's Retry-After hint — the server names the earliest moment
+// it wants to hear from us again, and the jitter spreads the herd out
+// after that moment.
+func jitter(rng *rand.Rand, base time.Duration, try int, retryAfter time.Duration) time.Duration {
+	d := base << uint(try)
+	if d > 10*time.Second {
+		d = 10 * time.Second
+	}
+	d = time.Duration(float64(d) * (0.5 + rng.Float64()))
+	if d < retryAfter {
+		d = retryAfter + time.Duration(rng.Int63n(int64(base)+1))
+	}
+	return d
+}

@@ -118,6 +118,13 @@ type Manager struct {
 	// alongside telemetry age.
 	LastSchedPass simulator.Time
 
+	// RunEnded marks the run's accounting as closed (set by FinishRun).
+	// The ops /healthz endpoint uses it to report a terminal "complete"
+	// status instead of letting a finished run age into a spurious
+	// telemetry-stale 503 while a lingering server keeps the final state
+	// on the wire.
+	RunEnded bool
+
 	// Scheduling-pass scratch, reused across ticks so the hot path does not
 	// reallocate the candidate list and running-jobs view every pass.
 	candScratch []*jobs.Job
@@ -922,4 +929,5 @@ func (m *Manager) FinishRun(end simulator.Time) {
 	m.Pw.Advance(end)
 	m.Metrics.close(end, m.Cl.Size())
 	m.Tel.Stop()
+	m.RunEnded = true
 }

@@ -150,3 +150,84 @@ func TestWriteJSONCumulativeCounts(t *testing.T) {
 		t.Fatalf("JSON export missing sum/count:\n%s", out)
 	}
 }
+
+// TestPrometheusRoundTripEdges covers the exposition corners the main
+// round-trip fixture misses: an empty registry, a histogram nobody has
+// observed, and names that only become valid after sanitization.
+func TestPrometheusRoundTripEdges(t *testing.T) {
+	t.Run("empty registry", func(t *testing.T) {
+		var b bytes.Buffer
+		if err := New().WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if b.Len() != 0 {
+			t.Fatalf("empty registry rendered %q, want nothing", b.String())
+		}
+		samples, err := ParsePrometheusText(&b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(samples) != 0 {
+			t.Fatalf("parsed %d samples from an empty exposition", len(samples))
+		}
+	})
+
+	t.Run("zero-observation histogram", func(t *testing.T) {
+		r := New()
+		r.Histogram("wait.s", 10, 100)
+		var b bytes.Buffer
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		samples, err := ParsePrometheusText(bytes.NewReader(b.Bytes()))
+		if err != nil {
+			t.Fatalf("zero-observation histogram does not parse:\n%s\n%v", b.String(), err)
+		}
+		// Every series must exist with value 0 — a scraper that sees the
+		// metric disappear between scrapes misreads it as a reset.
+		for _, key := range []string{
+			`wait_s_bucket{le="10"}`, `wait_s_bucket{le="100"}`,
+			`wait_s_bucket{le="+Inf"}`, "wait_s_sum", "wait_s_count",
+		} {
+			got, ok := samples[key]
+			if !ok {
+				t.Fatalf("%s missing from zero-observation exposition:\n%s", key, b.String())
+			}
+			if got != 0 {
+				t.Fatalf("%s = %g, want 0", key, got)
+			}
+		}
+	})
+
+	t.Run("sanitized names", func(t *testing.T) {
+		r := New()
+		r.Counter("9ops.weird-name/v2").Add(3)
+		r.Gauge("power cap (w)").Set(7)
+		var b bytes.Buffer
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		samples, err := ParsePrometheusText(bytes.NewReader(b.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := samples["_9ops_weird_name_v2"]; got != 3 {
+			t.Fatalf("_9ops_weird_name_v2 = %g, want 3 (samples: %v)", got, SampleNames(samples))
+		}
+		if got := samples["power_cap__w_"]; got != 7 {
+			t.Fatalf("power_cap__w_ = %g, want 7 (samples: %v)", got, SampleNames(samples))
+		}
+		// The raw names must not leak into the exposition.
+		if s := b.String(); strings.Contains(s, "9ops.weird") || strings.Contains(s, "power cap") {
+			t.Fatalf("unsanitized name leaked into exposition:\n%s", s)
+		}
+	})
+
+	t.Run("parse failures", func(t *testing.T) {
+		for _, bad := range []string{"lonely_name", "x notanumber", "dup 1\ndup 2"} {
+			if _, err := ParsePrometheusText(strings.NewReader(bad)); err == nil {
+				t.Errorf("ParsePrometheusText(%q) succeeded, want error", bad)
+			}
+		}
+	})
+}

@@ -26,9 +26,11 @@
 package ops
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"epajsrm/internal/metrics"
@@ -62,6 +64,12 @@ type Server struct {
 
 	lis  net.Listener
 	hsrv *http.Server
+
+	// drain closes when the server begins shutting down; streaming
+	// handlers (/events) watch it so a graceful Shutdown can complete
+	// instead of waiting forever on open SSE connections.
+	drain     chan struct{}
+	drainOnce sync.Once
 }
 
 // NewServer builds a server over src. When both a registry and a tracer
@@ -75,7 +83,7 @@ func NewServer(src Source) *Server {
 			return float64(tr.Dropped())
 		})
 	}
-	return &Server{src: src}
+	return &Server{src: src, drain: make(chan struct{})}
 }
 
 // Locked runs fn while holding the server's state lock. The simulation
@@ -112,12 +120,29 @@ func (s *Server) Start(addr string) (string, error) {
 }
 
 // Close stops the listener and aborts in-flight requests (including
-// /events streams). Safe to call when Start was never called.
+// /events streams). Safe to call when Start was never called. For a
+// graceful stop that lets in-flight scrapes finish, use Shutdown.
 func (s *Server) Close() error {
+	s.drainOnce.Do(func() { close(s.drain) })
 	if s.hsrv == nil {
 		return nil
 	}
 	return s.hsrv.Close()
+}
+
+// Shutdown stops the server gracefully: streaming handlers (/events) are
+// told to finish their current event and return, no new connections are
+// accepted, and in-flight requests drain until ctx expires (after which
+// the caller should fall back to Close). Safe to call when Start was never
+// called — an embedded Handler-only server (the multi-tenant service
+// multiplexes one per run) still gets its streams released. Safe to call
+// more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainOnce.Do(func() { close(s.drain) })
+	if s.hsrv == nil {
+		return nil
+	}
+	return s.hsrv.Shutdown(ctx)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -152,7 +177,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := s.src.Health()
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
-	if h.Status != "ok" {
+	// "ok" is a live loop, "complete" a finished one; both are healthy.
+	// Everything else (telemetry-stale, ...) is a degradation → 503.
+	if h.Status != "ok" && h.Status != "complete" {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	writeJSON(w, h)
@@ -174,7 +201,8 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 // one `data:` line holding the same single-line JSON object the JSONL
 // export writes. The subscription is bounded and non-blocking — a slow
 // client loses events (counted in ops.events_dropped) rather than slowing
-// the simulation. ?buf=N sizes the subscriber buffer (default 1024).
+// the simulation. ?buf=N sizes the subscriber buffer, clamped to
+// [1, 65536]; a missing or unparseable value selects the default (1024).
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if s.src.Tracer == nil {
 		http.Error(w, "tracing disabled; run with a tracer attached", http.StatusServiceUnavailable)
@@ -185,9 +213,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
-	buf := 0
-	fmt.Sscanf(r.URL.Query().Get("buf"), "%d", &buf) //nolint:errcheck // 0 selects default
-	ch, cancel := s.src.Tracer.Subscribe(buf)
+	ch, cancel := s.src.Tracer.Subscribe(eventsBuf(r.URL.Query().Get("buf")))
 	defer cancel()
 
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -198,6 +224,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case <-r.Context().Done():
+			return
+		case <-s.drain:
+			// Graceful shutdown: finish the stream so Shutdown can drain
+			// instead of hanging on a never-ending SSE connection.
 			return
 		case ev, open := <-ch:
 			if !open {
@@ -215,4 +245,25 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			fl.Flush()
 		}
 	}
+}
+
+// eventsBuf parses the ?buf=N subscriber-buffer size: clamped to
+// [1, 65536] so a client can neither disable the buffer nor demand an
+// unbounded one; parse failures and absence fall back to 0, which selects
+// the tracer's default (1024).
+func eventsBuf(q string) int {
+	if q == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(q)
+	if err != nil {
+		return 0
+	}
+	if n < 1 {
+		return 1
+	}
+	if n > 65536 {
+		return 65536
+	}
+	return n
 }

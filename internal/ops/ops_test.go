@@ -3,6 +3,7 @@ package ops_test
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -122,11 +123,13 @@ func TestEndpoints(t *testing.T) {
 	if h.TelemetryLast < 0 || h.SchedulerLast <= 0 {
 		t.Fatalf("liveness fields unset: %+v", h)
 	}
-	if h.Status == "ok" && code != http.StatusOK {
-		t.Fatalf("/healthz ok but code %d", code)
+	// The run has finished (Run calls FinishRun), so the status must be
+	// the terminal "complete" — healthy, not an aged-out stale 503.
+	if h.Status != "complete" {
+		t.Fatalf("/healthz status after FinishRun = %q, want complete", h.Status)
 	}
-	if h.Status != "ok" && code != http.StatusServiceUnavailable {
-		t.Fatalf("/healthz %q but code %d", h.Status, code)
+	if code != http.StatusOK {
+		t.Fatalf("/healthz code after FinishRun = %d, want 200", code)
 	}
 
 	// /state is a deterministic snapshot: correct shape, repeatable bytes.
@@ -328,5 +331,183 @@ func TestEventsStream(t *testing.T) {
 	}
 	if blank, _ := br.ReadString('\n'); blank != "\n" {
 		t.Fatalf("SSE separator = %q, want blank line", blank)
+	}
+}
+
+// TestEventsBufClamp pins the ?buf=N parsing contract: unparseable and
+// out-of-range values must not produce an unbuffered or unbounded
+// subscription — they clamp to [1, 65536] or fall back to the default.
+func TestEventsBufClamp(t *testing.T) {
+	tr := trace.New()
+	srv := ops.NewServer(ops.Source{Registry: metrics.New(), Tracer: tr})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, q := range []string{"", "?buf=-5", "?buf=0", "?buf=abc", "?buf=1", "?buf=999999999", "?buf=2147483648000"} {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/events"+q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		resp, err := http.DefaultClient.Do(req.WithContext(ctx))
+		if err != nil {
+			cancel()
+			t.Fatalf("GET /events%s: %v", q, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /events%s code = %d", q, resp.StatusCode)
+		}
+		// Stream stays open until the context deadline cuts it; the
+		// handler must exit cleanly for every buffer size.
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		cancel()
+	}
+}
+
+// TestHealthzTerminalNotStale is the lingering-server contract: once
+// FinishRun closes the run, /healthz must report the terminal "complete"
+// status with 200 forever, never aging into a spurious stale 503.
+func TestHealthzTerminalNotStale(t *testing.T) {
+	m, srv := newSim(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Mid-run: healthy and live.
+	srv.Locked(func() { m.Eng.RunUntil(2 * simulator.Hour) })
+	code, body := get(t, ts.URL+"/healthz")
+	var h ops.Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("mid-run healthz = %d %q, want 200 ok", code, h.Status)
+	}
+
+	// Finished: terminal status, still 200, however long ago it ended.
+	end := m.Eng.RunUntil(-1)
+	m.FinishRun(end)
+	for i := 0; i < 2; i++ {
+		code, body = get(t, ts.URL+"/healthz")
+		if err := json.Unmarshal(body, &h); err != nil {
+			t.Fatal(err)
+		}
+		if code != http.StatusOK || h.Status != "complete" {
+			t.Fatalf("post-run healthz = %d %q, want 200 complete", code, h.Status)
+		}
+	}
+}
+
+// TestShutdownDrainsEvents: a graceful Shutdown must release an open SSE
+// stream (the drain channel) instead of hanging on it, and in-flight
+// unary scrapes must finish.
+func TestShutdownDrainsEvents(t *testing.T) {
+	m, srv := newSim(t)
+	m.Run(-1)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + addr + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/events code = %d", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(ctx) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	case <-time.After(4 * time.Second):
+		t.Fatal("Shutdown hung on the open SSE stream")
+	}
+	// The released stream reads EOF, not an abort error.
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatalf("SSE stream not drained cleanly: %v", err)
+	}
+	// Shutdown is idempotent, and Close after Shutdown is safe.
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScrapeRacesShutdown hammers /metrics, /state, /healthz, and /events
+// from many goroutines while Close/Shutdown race the handlers — a -race
+// gate over the server teardown path. Requests may fail (the listener is
+// going away); they must never panic or deadlock.
+func TestScrapeRacesShutdown(t *testing.T) {
+	for _, graceful := range []bool{false, true} {
+		m, srv := newSim(t)
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		// Driver advances the sim under the state lock.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for now := simulator.Time(0); now < 4*simulator.Hour; now += simulator.Minute {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				step := now + simulator.Minute
+				srv.Locked(func() { m.Eng.RunUntil(step) })
+			}
+		}()
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				paths := []string{"/metrics", "/state", "/healthz", "/events?buf=4"}
+				for k := 0; ; k++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					req, err := http.NewRequest(http.MethodGet, "http://"+addr+paths[(i+k)%len(paths)], nil)
+					if err != nil {
+						return
+					}
+					ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+					resp, err := http.DefaultClient.Do(req.WithContext(ctx))
+					if err == nil {
+						io.Copy(io.Discard, resp.Body) //nolint:errcheck
+						resp.Body.Close()
+					}
+					cancel()
+				}
+			}(i)
+		}
+		time.Sleep(50 * time.Millisecond)
+		if graceful {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			if err := srv.Shutdown(ctx); err != nil {
+				t.Errorf("Shutdown during scrapes: %v", err)
+			}
+			cancel()
+		} else {
+			if err := srv.Close(); err != nil {
+				t.Errorf("Close during scrapes: %v", err)
+			}
+		}
+		close(stop)
+		wg.Wait()
 	}
 }

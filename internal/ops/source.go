@@ -114,7 +114,11 @@ func ManagerSource(m *core.Manager) Source {
 	}
 }
 
-// ManagerHealth derives the /healthz payload from m's control loop.
+// ManagerHealth derives the /healthz payload from m's control loop. A
+// finished run (FinishRun has closed the accounting) reports the terminal
+// "complete" status: liveness ages are meaningless once the loop has
+// legitimately stopped, and without the terminal state a lingering server
+// would age into a spurious telemetry-stale 503.
 func ManagerHealth(m *core.Manager) Health {
 	now := m.Eng.Now()
 	h := Health{
@@ -131,6 +135,9 @@ func ManagerHealth(m *core.Manager) Health {
 	}
 	if m.Tel.Stale(now, 0) {
 		h.Status = "telemetry-stale"
+	}
+	if m.RunEnded {
+		h.Status = "complete"
 	}
 	return h
 }

@@ -60,10 +60,39 @@ func TestFairShareUsageDecays(t *testing.T) {
 	if u0 <= 0 {
 		t.Fatal("no usage charged")
 	}
-	p.decay(j.End + simulator.Hour)
+	p.ledger.Decay(j.End + simulator.Hour)
 	u1 := p.Usage("u")
 	if u1 < u0*0.49 || u1 > u0*0.51 {
 		t.Fatalf("after one half-life usage = %f, want ~%f", u1, u0/2)
+	}
+}
+
+// TestShareLedgerStandalone exercises the extracted ledger the way the
+// multi-tenant service layer uses it: charge tenants directly, decay on a
+// caller-supplied clock, and rank the lightest consumer highest.
+func TestShareLedgerStandalone(t *testing.T) {
+	l := NewShareLedger(simulator.Hour)
+	l.Decay(0)
+	l.Charge("heavy", 1000)
+	l.Charge("light", 10)
+	if l.Rank("heavy", 5) != 0 {
+		t.Fatalf("heaviest consumer rank = %d, want 0", l.Rank("heavy", 5))
+	}
+	if got := l.Rank("light", 5); got != 4 {
+		t.Fatalf("light consumer rank = %d, want 4", got)
+	}
+	if got := l.Rank("new", 5); got != 4 {
+		t.Fatalf("unknown consumer rank = %d, want 4", got)
+	}
+	l.Decay(simulator.Hour)
+	if u := l.Usage("heavy"); u < 499 || u > 501 {
+		t.Fatalf("after one half-life heavy usage = %f, want ~500", u)
+	}
+	// Tiny residues are dropped entirely so the map cannot grow without
+	// bound across tenants that stopped submitting.
+	l.Decay(100 * simulator.Day)
+	if u := l.Usage("light"); u != 0 {
+		t.Fatalf("fully decayed usage = %f, want 0 (entry dropped)", u)
 	}
 }
 

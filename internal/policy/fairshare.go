@@ -9,6 +9,90 @@ import (
 	"epajsrm/internal/simulator"
 )
 
+// ShareLedger is the decayed-usage core of fair-share arbitration: each
+// principal's historical consumption decays exponentially with a half-life,
+// and rankings derive from the decayed totals. FairShare uses it to bias
+// job priorities inside one simulation; the multi-tenant service layer
+// (internal/service) reuses the same ledger to arbitrate which tenant's
+// queued run gets the next execution slot — the survey's shared-facility
+// fairness goal applied one level up the stack.
+//
+// Time is whatever monotonic clock the owner supplies (virtual simulator
+// time for the in-sim policy, wall-clock seconds for the service); the
+// ledger only ever subtracts instants, so the origin is irrelevant.
+type ShareLedger struct {
+	// HalfLife is the usage decay half-life. NewShareLedger defaults it to
+	// one day of seconds when non-positive.
+	HalfLife simulator.Time
+
+	usage   map[string]float64
+	lastDec simulator.Time
+}
+
+// NewShareLedger builds a ledger with the given half-life (<= 0 selects one
+// day).
+func NewShareLedger(halfLife simulator.Time) *ShareLedger {
+	if halfLife <= 0 {
+		halfLife = simulator.Day
+	}
+	return &ShareLedger{HalfLife: halfLife, usage: map[string]float64{}}
+}
+
+// Decay applies exponential decay to all usage counters since the last
+// decay instant. Callers pass their current time before charging or
+// ranking; a non-advancing clock is a no-op.
+func (l *ShareLedger) Decay(now simulator.Time) {
+	dt := float64(now - l.lastDec)
+	if dt <= 0 {
+		return
+	}
+	f := math.Pow(0.5, dt/float64(l.HalfLife))
+	for u := range l.usage {
+		l.usage[u] *= f
+		if l.usage[u] < 1e-9 {
+			delete(l.usage, u)
+		}
+	}
+	l.lastDec = now
+}
+
+// Charge adds consumption to a principal's decayed total.
+func (l *ShareLedger) Charge(user string, amount float64) {
+	l.usage[user] += amount
+}
+
+// Usage returns a principal's decayed consumption.
+func (l *ShareLedger) Usage(user string) float64 { return l.usage[user] }
+
+// Rank maps a principal's decayed usage onto [0, levels): the heaviest
+// consumer gets 0, unknown or light consumers get levels-1. Higher rank
+// means more deserving of the next unit of service — exactly the priority
+// offset SLURM-style multifactor fairshare applies at admission.
+func (l *ShareLedger) Rank(user string, levels int) int {
+	mine := l.usage[user]
+	if mine == 0 {
+		return levels - 1
+	}
+	maxU := 0.0
+	for _, u := range l.usage {
+		if u > maxU {
+			maxU = u
+		}
+	}
+	if maxU == 0 {
+		return levels - 1
+	}
+	frac := mine / maxU // 1 = heaviest
+	off := int(float64(levels) * (1 - frac))
+	if off >= levels {
+		off = levels - 1
+	}
+	if off < 0 {
+		off = 0
+	}
+	return off
+}
+
 // FairShare implements the "fairness" scheduling goal Q3(d) lists:
 // each user's historical consumption — here measured in *energy*, the EPA
 // twist production fairshare implementations are growing — decays with a
@@ -27,9 +111,8 @@ type FairShare struct {
 	// seconds are charged (the classic CPU-fairshare).
 	ChargeEnergy bool
 
-	usage   map[string]float64
-	lastDec simulator.Time
-	m       *core.Manager
+	ledger *ShareLedger
+	m      *core.Manager
 }
 
 // Name implements core.Policy.
@@ -49,70 +132,26 @@ func (p *FairShare) Attach(m *core.Manager) {
 	if p.Levels <= 1 {
 		p.Levels = 5
 	}
-	p.usage = map[string]float64{}
+	p.ledger = NewShareLedger(p.HalfLife)
 	p.m = m
 
 	m.OnAdmit(func(m *core.Manager, j *jobs.Job) (bool, string) {
-		p.decay(m.Eng.Now())
-		j.Priority += p.offset(j.User)
+		p.ledger.Decay(m.Eng.Now())
+		j.Priority += p.ledger.Rank(j.User, p.Levels)
 		return true, ""
 	})
 	m.OnJobEnd(func(m *core.Manager, j *jobs.Job) {
 		if j.State != jobs.StateCompleted && j.State != jobs.StateKilled {
 			return
 		}
-		p.decay(m.Eng.Now())
+		p.ledger.Decay(m.Eng.Now())
 		if p.ChargeEnergy {
-			p.usage[j.User] += j.EnergyJ
+			p.ledger.Charge(j.User, j.EnergyJ)
 		} else {
-			p.usage[j.User] += float64(j.Nodes) * float64(j.End-j.Start)
+			p.ledger.Charge(j.User, float64(j.Nodes)*float64(j.End-j.Start))
 		}
 	})
 }
 
-// decay applies exponential decay to all usage counters since the last
-// decay instant.
-func (p *FairShare) decay(now simulator.Time) {
-	dt := float64(now - p.lastDec)
-	if dt <= 0 {
-		return
-	}
-	f := math.Pow(0.5, dt/float64(p.HalfLife))
-	for u := range p.usage {
-		p.usage[u] *= f
-		if p.usage[u] < 1e-9 {
-			delete(p.usage, u)
-		}
-	}
-	p.lastDec = now
-}
-
-// offset maps a user's decayed usage to a priority offset: the heaviest
-// user gets 0, unknown/light users get Levels-1.
-func (p *FairShare) offset(user string) int {
-	mine := p.usage[user]
-	if mine == 0 {
-		return p.Levels - 1
-	}
-	maxU := 0.0
-	for _, u := range p.usage {
-		if u > maxU {
-			maxU = u
-		}
-	}
-	if maxU == 0 {
-		return p.Levels - 1
-	}
-	frac := mine / maxU // 1 = heaviest
-	off := int(float64(p.Levels) * (1 - frac))
-	if off >= p.Levels {
-		off = p.Levels - 1
-	}
-	if off < 0 {
-		off = 0
-	}
-	return off
-}
-
 // Usage exposes a user's decayed consumption (for reports/tests).
-func (p *FairShare) Usage(user string) float64 { return p.usage[user] }
+func (p *FairShare) Usage(user string) float64 { return p.ledger.Usage(user) }

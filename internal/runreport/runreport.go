@@ -1,0 +1,104 @@
+// Package runreport renders the canonical run report for one completed
+// site simulation. It is the single renderer behind both the epasim stdout
+// report and the simulation service's GET /runs/{id}/report endpoint, so a
+// service-hosted run's report is byte-identical to the same seed/profile
+// run under standalone epasim — the golden contract the multi-tenant
+// service is tested against.
+package runreport
+
+import (
+	"fmt"
+	"io"
+
+	"epajsrm/internal/core"
+	"epajsrm/internal/fault"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/report"
+	"epajsrm/internal/simulator"
+	"epajsrm/internal/site"
+	"epajsrm/internal/workload"
+)
+
+// Extras selects the optional report rows for opt-in subsystems: fault
+// injection adds its summary rows, checkpointing adds the write/restore
+// accounting, and either adds the lost-work row.
+type Extras struct {
+	// Inj, when non-nil, contributes the injected-fault summary rows.
+	Inj *fault.Injector
+	// Checkpointing adds the checkpoint write/restore rows.
+	Checkpointing bool
+}
+
+// Write renders the run report for a finished manager m built from profile
+// p with workload js, ended at end. The bytes written are the exact report
+// epasim prints for the same configuration.
+func Write(w io.Writer, p site.Profile, m *core.Manager, js []*jobs.Job, end simulator.Time, x Extras) {
+	fmt.Fprintf(w, "site %s — %s\n\n", p.Name, p.Desc)
+	fmt.Fprintln(w, report.ComponentDiagram(report.Components{
+		SystemName:  m.Cl.Cfg.Name,
+		Scheduler:   m.Sched.Name(),
+		Policies:    m.PolicyNames(),
+		Nodes:       m.Cl.Size(),
+		HasFacility: m.Fac != nil,
+		Telemetry:   m.Tel.Period.String(),
+	}))
+
+	size, wall := workload.Stats(js)
+	peak, peakAt := m.Pw.PeakPower()
+	tbl := report.Table{
+		Title:  "Run report",
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"simulated time", end.String()},
+			{"jobs submitted/completed/killed/cancelled", fmt.Sprintf("%d / %d / %d / %d",
+				m.Metrics.Submitted, m.Metrics.Completed, m.Metrics.Killed, m.Metrics.Cancelled)},
+			{"job size quantiles (Q3e)", size.String()},
+			{"walltime quantiles (Q3e, s)", wall.String()},
+			{"utilization", fmt.Sprintf("%.1f%%", 100*m.Metrics.Utilization(m.Cl.Size()))},
+			{"median wait", simulator.Time(m.Metrics.Waits.Median()).String()},
+			{"throughput", fmt.Sprintf("%.0f node-h/day, %.1f jobs/day",
+				m.Metrics.ThroughputNodeHoursPerDay(), m.Metrics.JobsPerDay())},
+			{"IT energy", fmt.Sprintf("%.1f MWh", m.Pw.TotalEnergy()/3.6e9)},
+			{"peak IT power", fmt.Sprintf("%.1f kW at %s", peak/1000, peakAt)},
+			{"mean IT power (telemetry)", fmt.Sprintf("%.1f kW over %d samples",
+				m.Tel.ITStats.Mean()/1000, m.Tel.ITStats.N())},
+		},
+	}
+	if x.Inj != nil {
+		tbl.Rows = append(tbl.Rows,
+			[]string{"injected faults", x.Inj.Summary()},
+			[]string{"node failures / job requeues", fmt.Sprintf("%d / %d",
+				m.Metrics.NodeFailures, m.Metrics.Requeues)},
+			[]string{"telemetry samples dropped", fmt.Sprint(m.Tel.Dropped.Value())},
+		)
+	}
+	if x.Inj != nil || x.Checkpointing {
+		tbl.Rows = append(tbl.Rows,
+			[]string{"lost work", fmt.Sprintf("%.1f node-h", m.Metrics.LostWorkSeconds/3600)})
+	}
+	if x.Checkpointing {
+		tbl.Rows = append(tbl.Rows,
+			[]string{"checkpoints written / restores", fmt.Sprintf("%d / %d",
+				m.Metrics.CheckpointsWritten, m.Metrics.CheckpointRestores)},
+			[]string{"checkpoint stall", fmt.Sprintf("%.1f h write, %.1f h restore read",
+				m.Metrics.CheckpointWriteSeconds/3600, m.Metrics.RestartReadSeconds/3600)},
+		)
+	}
+	fmt.Fprintln(w, tbl.Render())
+
+	// Power profile over the run, from the telemetry series.
+	if len(m.Tel.Series) > 1 {
+		xs := make([]float64, len(m.Tel.Series))
+		ys := make([]float64, len(m.Tel.Series))
+		for i, r := range m.Tel.Series {
+			xs[i] = float64(r.At) / float64(simulator.Hour)
+			ys[i] = r.ITW / 1000
+		}
+		fmt.Fprintln(w, report.LineChart{
+			Title:  "IT power over the run",
+			YLabel: "kW (x in hours)",
+			Xs:     xs,
+			Ys:     ys,
+		}.Render())
+	}
+}

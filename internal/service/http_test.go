@@ -1,0 +1,257 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"epajsrm/internal/metrics"
+)
+
+func do(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestHTTPLifecycle walks the full REST surface: submit, list, poll,
+// per-run ops scrapes, report, delete.
+func TestHTTPLifecycle(t *testing.T) {
+	cfg := testConfig()
+	cfg.StreamTimeout = 200 * time.Millisecond
+	s := New(cfg)
+	defer shutdownOK(t, s)
+	h := s.Handler()
+
+	if rec := do(t, h, "GET", "/", ""); rec.Code != 200 || !strings.Contains(rec.Body.String(), "epaserved") {
+		t.Fatalf("index = %d %q", rec.Code, rec.Body.String())
+	}
+	if rec := do(t, h, "GET", "/healthz", ""); rec.Code != 200 || !strings.Contains(rec.Body.String(), `"ok"`) {
+		t.Fatalf("/healthz = %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := do(t, h, "GET", "/nope", ""); rec.Code != 404 {
+		t.Fatalf("GET /nope = %d, want 404", rec.Code)
+	}
+	if rec := do(t, h, "PUT", "/runs", ""); rec.Code != 405 {
+		t.Fatalf("PUT /runs = %d, want 405", rec.Code)
+	}
+
+	// Spec validation at the HTTP boundary.
+	for _, body := range []string{
+		"not json",
+		`{"tenant":"a","site":"cineca","jobs":10,"days":1,"bogus":1}`, // unknown field
+		`{"tenant":"a","site":"atlantis","jobs":10,"days":1}`,         // unknown site
+		`{"tenant":"a","site":"cineca","jobs":0,"days":1}`,
+	} {
+		if rec := do(t, h, "POST", "/runs", body); rec.Code != 400 {
+			t.Fatalf("POST /runs %q = %d, want 400", body, rec.Code)
+		}
+	}
+
+	// Submit and run to completion.
+	rec := do(t, h, "POST", "/runs", `{"tenant":"acme","site":"cineca","seed":7,"jobs":10,"days":1}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d %s", rec.Code, rec.Body.String())
+	}
+	var info RunInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.ID == "" || info.Tenant != "acme" || info.State != string(StateQueued) {
+		t.Fatalf("accepted info = %+v", info)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for info.State != string(StateComplete) {
+		if time.Now().After(deadline) {
+			t.Fatalf("run stuck in %s", info.State)
+		}
+		rec = do(t, h, "GET", "/runs/"+info.ID, "")
+		if rec.Code != 200 {
+			t.Fatalf("poll = %d %s", rec.Code, rec.Body.String())
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if info.SimEndS <= 0 || info.Started == 0 || info.Ended == 0 {
+		t.Fatalf("complete info missing timestamps: %+v", info)
+	}
+
+	// Listing, with and without the tenant filter.
+	for path, want := range map[string]int{"/runs": 1, "/runs?tenant=acme": 1, "/runs?tenant=ghost": 0} {
+		rec = do(t, h, "GET", path, "")
+		var list struct {
+			Runs []RunInfo `json:"runs"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if len(list.Runs) != want {
+			t.Fatalf("GET %s = %d runs, want %d", path, len(list.Runs), want)
+		}
+	}
+
+	// The report endpoint serves the rendered bytes verbatim.
+	rec = do(t, h, "GET", "/runs/"+info.ID+"/report", "")
+	if rec.Code != 200 {
+		t.Fatalf("report = %d %s", rec.Code, rec.Body.String())
+	}
+	run, _ := s.Get(info.ID)
+	s.mu.Lock()
+	stored := append([]byte(nil), run.report...)
+	s.mu.Unlock()
+	if !bytes.Equal(rec.Body.Bytes(), stored) {
+		t.Fatal("report endpoint bytes differ from the stored render")
+	}
+	if !strings.Contains(rec.Body.String(), "site cineca") {
+		t.Fatalf("report content:\n%s", rec.Body.String())
+	}
+
+	// Per-run ops plane, multiplexed through /runs/{id}/...
+	rec = do(t, h, "GET", "/runs/"+info.ID+"/metrics", "")
+	if rec.Code != 200 {
+		t.Fatalf("per-run /metrics = %d", rec.Code)
+	}
+	samples, err := metrics.ParsePrometheusText(rec.Body)
+	if err != nil {
+		t.Fatalf("per-run /metrics does not parse: %v", err)
+	}
+	if samples["jobs_completed"] <= 0 {
+		t.Fatalf("per-run jobs_completed = %g, want > 0", samples["jobs_completed"])
+	}
+	rec = do(t, h, "GET", "/runs/"+info.ID+"/healthz", "")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"complete"`) {
+		t.Fatalf("per-run /healthz = %d %s, want 200 complete", rec.Code, rec.Body.String())
+	}
+	rec = do(t, h, "GET", "/runs/"+info.ID+"/state", "")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"nodes"`) {
+		t.Fatalf("per-run /state = %d", rec.Code)
+	}
+	// SSE stream over a finished run: opens fine, closes at StreamTimeout.
+	start := time.Now()
+	rec = do(t, h, "GET", "/runs/"+info.ID+"/events", "")
+	if rec.Code != 200 {
+		t.Fatalf("per-run /events = %d", rec.Code)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("/events stream held for %s, want the %s StreamTimeout to cut it", el, cfg.StreamTimeout)
+	}
+
+	// Service-level metrics count the lifecycle.
+	rec = do(t, h, "GET", "/metrics", "")
+	samples, err = metrics.ParsePrometheusText(rec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples["service_accepted"] < 1 || samples["service_completed"] < 1 {
+		t.Fatalf("service metrics = accepted %g completed %g", samples["service_accepted"], samples["service_completed"])
+	}
+
+	// DELETE on a terminal run removes it; the ID then 404s.
+	rec = do(t, h, "DELETE", "/runs/"+info.ID, "")
+	if rec.Code != 200 {
+		t.Fatalf("DELETE = %d", rec.Code)
+	}
+	if rec = do(t, h, "GET", "/runs/"+info.ID, ""); rec.Code != 404 {
+		t.Fatalf("GET after DELETE = %d, want 404", rec.Code)
+	}
+}
+
+// TestHTTPPendingAndGone covers the not-ready responses: ops endpoints and
+// report on a queued run answer 409 + Retry-After, and the report of a
+// cancelled run is 410 Gone.
+func TestHTTPPendingAndGone(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxActive = 1
+	s := New(cfg)
+	gate := make(chan struct{})
+	setBuild(s, gatedBuild(gate))
+	defer func() {
+		close(gate)
+		shutdownOK(t, s)
+	}()
+	h := s.Handler()
+
+	submit := func(seed string) string {
+		rec := do(t, h, "POST", "/runs", `{"tenant":"a","site":"cineca","seed":`+seed+`,"jobs":5,"days":1}`)
+		if rec.Code != http.StatusAccepted {
+			t.Fatalf("submit = %d %s", rec.Code, rec.Body.String())
+		}
+		var info RunInfo
+		if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+			t.Fatal(err)
+		}
+		return info.ID
+	}
+	running := submit("1")
+	queued := submit("2")
+	waitState(t, s, running, StateRunning)
+
+	for _, path := range []string{"/runs/" + queued + "/state", "/runs/" + queued + "/report"} {
+		rec := do(t, h, "GET", path, "")
+		if rec.Code != http.StatusConflict {
+			t.Fatalf("GET %s on queued run = %d, want 409", path, rec.Code)
+		}
+		if rec.Header().Get("Retry-After") == "" {
+			t.Fatalf("GET %s: 409 without Retry-After", path)
+		}
+	}
+
+	// Cancel the queued run; its report is now Gone.
+	if rec := do(t, h, "DELETE", "/runs/"+queued, ""); rec.Code != 200 {
+		t.Fatalf("DELETE queued = %d", rec.Code)
+	}
+	if rec := do(t, h, "GET", "/runs/"+queued+"/report", ""); rec.Code != http.StatusGone {
+		t.Fatalf("report of cancelled run = %d, want 410", rec.Code)
+	}
+}
+
+// TestHTTPShedCarriesRetryAfter pins the shed protocol at the HTTP layer:
+// 429 on quota with a parseable Retry-After, 503 once draining.
+func TestHTTPShedCarriesRetryAfter(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxActive = 1
+	cfg.TenantActive = 1
+	s := New(cfg)
+	gate := make(chan struct{})
+	setBuild(s, gatedBuild(gate))
+	h := s.Handler()
+
+	body := `{"tenant":"a","site":"cineca","seed":1,"jobs":5,"days":1}`
+	if rec := do(t, h, "POST", "/runs", body); rec.Code != http.StatusAccepted {
+		t.Fatalf("first submit = %d", rec.Code)
+	}
+	rec := do(t, h, "POST", "/runs", body)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit = %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("429 Retry-After = %q, want a positive hint", ra)
+	}
+
+	close(gate)
+	shutdownOK(t, s)
+	rec = do(t, h, "POST", "/runs", body)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if rec = do(t, h, "GET", "/healthz", ""); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining /healthz = %d, want 503", rec.Code)
+	}
+}

@@ -1,0 +1,681 @@
+// Package service is the multi-tenant simulation control plane: one
+// process hosts many concurrent site simulations, each a fully private
+// engine + manager + metrics registry + tracer advanced in virtual-time
+// slices under its own lock, so every hosted run stays deterministic and
+// its report byte-identical to the same seed/profile run under standalone
+// epasim (internal/runreport is the shared renderer that pins that
+// contract).
+//
+// The robustness layer is the point. The survey's production sites stress
+// that the operational plane around the scheduler must stay up under load
+// and degrade predictably; this package applies that requirement one level
+// up the stack, to the simulation service itself:
+//
+//   - Admission control: the run table is bounded (MaxRuns) and each
+//     tenant's live runs are capped (TenantActive). Requests beyond either
+//     bound are shed with 429 + Retry-After rather than queued without
+//     bound — the degradation ladder is accept → queue → shed.
+//   - Fair-share slot arbitration: queued runs compete for execution slots
+//     (MaxActive) and the next slot goes to the tenant with the least
+//     decayed service consumption, via the same policy.ShareLedger that
+//     arbitrates job priority inside a simulation — shared-facility
+//     fairness applied to the facility simulator itself.
+//   - Request deadlines on every endpoint (RequestTimeout for unary
+//     requests, StreamTimeout for SSE streams).
+//   - Panic isolation: a run that panics mid-execution is marked failed
+//     and reaped; its neighbors never notice.
+//   - Graceful shutdown: draining refuses new work with 503, cancels
+//     queued runs, releases SSE streams, and waits for in-flight runs to
+//     finish until the caller's deadline, after which they are hard
+//     stopped at their next slice boundary.
+//   - Idle-run reaping: terminal runs are kept (still scrapeable — a
+//     finished run's /metrics and /report stay on the wire) until nobody
+//     has touched them for IdleTTL, then deleted so the table cannot fill
+//     with corpses.
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"epajsrm/internal/core"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/metrics"
+	"epajsrm/internal/ops"
+	"epajsrm/internal/policy"
+	"epajsrm/internal/runreport"
+	"epajsrm/internal/simulator"
+	"epajsrm/internal/site"
+	"epajsrm/internal/trace"
+)
+
+// RunState is a hosted run's lifecycle position.
+type RunState string
+
+const (
+	StateQueued    RunState = "queued"    // admitted, waiting for a slot
+	StateRunning   RunState = "running"   // executing in slices
+	StateComplete  RunState = "complete"  // finished; report available
+	StateFailed    RunState = "failed"    // build error, panic, or hard stop
+	StateCancelled RunState = "cancelled" // client cancel or shutdown drain
+)
+
+// Terminal reports whether the state is final.
+func (s RunState) Terminal() bool {
+	return s == StateComplete || s == StateFailed || s == StateCancelled
+}
+
+// Spec is one tenant's run request: which surveyed site profile to
+// simulate, at which seed, with how much workload.
+type Spec struct {
+	Tenant string `json:"tenant"`
+	Site   string `json:"site"`
+	Seed   uint64 `json:"seed"`
+	Jobs   int    `json:"jobs"`
+	Days   int    `json:"days"`
+}
+
+// Config bounds the service. The zero value is unusable; call Default
+// first and override fields.
+type Config struct {
+	// MaxRuns bounds the run table: queued + running + not-yet-reaped
+	// terminal runs. Admission beyond it sheds with 429.
+	MaxRuns int
+	// MaxActive is the number of concurrent execution slots.
+	MaxActive int
+	// TenantActive caps one tenant's queued+running runs; admission beyond
+	// it sheds that tenant with 429 while others keep being served.
+	TenantActive int
+	// MaxJobs and MaxDays bound a single spec (400 beyond them).
+	MaxJobs int
+	MaxDays int
+	// IdleTTL is how long a terminal run survives with no endpoint
+	// touching it before the reaper deletes it.
+	IdleTTL time.Duration
+	// RequestTimeout is the per-request deadline on every unary endpoint;
+	// StreamTimeout bounds an SSE /events stream.
+	RequestTimeout time.Duration
+	StreamTimeout  time.Duration
+	// Slice is the virtual-time quantum a run advances per lock
+	// acquisition; between slices its ops endpoints can read a quiescent
+	// manager and cancellation/shutdown can interject.
+	Slice simulator.Time
+	// HalfLife is the fair-share ledger's decay half-life (wall clock).
+	HalfLife time.Duration
+}
+
+// Default returns the production-shaped configuration the epaserved CLI
+// starts from.
+func Default() Config {
+	return Config{
+		MaxRuns:        256,
+		MaxActive:      16,
+		TenantActive:   8,
+		MaxJobs:        5000,
+		MaxDays:        60,
+		IdleTTL:        10 * time.Minute,
+		RequestTimeout: 10 * time.Second,
+		StreamTimeout:  time.Minute,
+		Slice:          simulator.Minute,
+		HalfLife:       time.Hour,
+	}
+}
+
+// Run is one hosted simulation. All fields are guarded by the Service
+// mutex except the simulation objects (m, js, tr), which the executor
+// advances exclusively under srv's per-run lock, and cancel/report, which
+// are documented inline.
+type Run struct {
+	ID   string
+	Spec Spec
+
+	seq     int64
+	state   RunState
+	reason  string
+	created time.Time
+	started time.Time
+	ended   time.Time
+	touched time.Time // last endpoint access; reaper input
+
+	// cancel is set by DELETE and checked by the executor between slices.
+	cancel atomic.Bool
+
+	m    *core.Manager
+	js   []*jobs.Job
+	prof site.Profile
+	tr   *trace.Tracer
+	srv  *ops.Server // per-run ops plane: handler + the run's state lock
+
+	end    simulator.Time
+	report []byte // rendered once at completion, then immutable
+}
+
+// errCancelled and errHardStop are the executor's non-failure exits.
+var (
+	errCancelled = errors.New("cancelled")
+	errHardStop  = errors.New("shutdown deadline exceeded")
+)
+
+// panicError wraps a recovered executor panic so completion accounting
+// can distinguish it (service.panics metric) from ordinary failures.
+type panicError struct{ v any }
+
+func (p panicError) Error() string { return fmt.Sprintf("panic: %v", p.v) }
+
+// Service hosts the run table and the executor pool.
+type Service struct {
+	cfg Config
+
+	// mu guards everything below plus the service metrics registry and
+	// the fair-share ledger. It is never held while a run's per-run lock
+	// is taken, so a slow slice cannot stall the control plane.
+	mu       sync.Mutex
+	runs     map[string]*Run
+	seq      int64
+	active   int
+	draining bool
+
+	// runningPeak / tablePeak record high-water marks: the stampede test
+	// asserts the table bound held and the slot pool actually filled.
+	runningPeak int
+	tablePeak   int
+
+	ledger *policy.ShareLedger
+	start  time.Time
+	now    func() time.Time // injectable for reaper/fairness tests
+
+	// build constructs a run's simulation; injectable so tests can return
+	// rigged managers (e.g. one that panics mid-run).
+	build func(Spec) (*core.Manager, []*jobs.Job, site.Profile, error)
+
+	reg       *metrics.Registry
+	accepted  *metrics.Counter
+	shedTable *metrics.Counter
+	shedQuota *metrics.Counter
+	shedDrain *metrics.Counter
+	completed *metrics.Counter
+	failed    *metrics.Counter
+	cancelled *metrics.Counter
+	panics    *metrics.Counter
+	reaped    *metrics.Counter
+
+	wake     chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+	hardStop atomic.Bool
+	execWG   sync.WaitGroup // in-flight run executors
+	loopWG   sync.WaitGroup // dispatcher + reaper daemons
+}
+
+// New builds a service and starts its dispatcher and reaper daemons.
+// Callers own its lifecycle: Shutdown must be called to stop the daemons.
+func New(cfg Config) *Service {
+	if cfg.MaxRuns <= 0 || cfg.MaxActive <= 0 || cfg.Slice <= 0 {
+		panic("service: config must come from Default()")
+	}
+	s := &Service{
+		cfg:    cfg,
+		runs:   make(map[string]*Run),
+		ledger: policy.NewShareLedger(simulator.Time(cfg.HalfLife / time.Second)),
+		start:  time.Now(),
+		now:    time.Now,
+		build:  defaultBuild,
+		reg:    metrics.New(),
+		wake:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+	}
+	s.accepted = s.reg.Counter("service.accepted")
+	s.shedTable = s.reg.Counter("service.shed_table_full")
+	s.shedQuota = s.reg.Counter("service.shed_tenant_quota")
+	s.shedDrain = s.reg.Counter("service.shed_draining")
+	s.completed = s.reg.Counter("service.completed")
+	s.failed = s.reg.Counter("service.failed")
+	s.cancelled = s.reg.Counter("service.cancelled")
+	s.panics = s.reg.Counter("service.run_panics")
+	s.reaped = s.reg.Counter("service.reaped")
+	// Gauge closures run inside Snapshot, which every caller invokes with
+	// s.mu already held — they must read fields directly, not re-lock.
+	s.reg.GaugeFunc("service.runs", func() float64 { return float64(len(s.runs)) })
+	s.reg.GaugeFunc("service.running", func() float64 { return float64(s.active) })
+	s.reg.GaugeFunc("service.queued", func() float64 { return float64(s.countLocked(StateQueued)) })
+	s.loopWG.Add(2)
+	go s.dispatch()
+	go s.reapLoop()
+	return s
+}
+
+// defaultBuild resolves the spec against the surveyed site profiles.
+func defaultBuild(spec Spec) (*core.Manager, []*jobs.Job, site.Profile, error) {
+	p, ok := site.ByName(spec.Site)
+	if !ok {
+		return nil, nil, site.Profile{}, fmt.Errorf("unknown site %q", spec.Site)
+	}
+	m, js, err := p.Build(spec.Seed, spec.Jobs)
+	return m, js, p, err
+}
+
+// AdmissionError is a shed decision: the HTTP layer maps Code/RetryAfter
+// straight onto the response.
+type AdmissionError struct {
+	Code       int // 429 (load shed) or 503 (draining)
+	RetryAfter int // seconds
+	Reason     string
+}
+
+func (e *AdmissionError) Error() string { return e.Reason }
+
+// Submit runs admission control and either enqueues a run or sheds the
+// request. Invalid specs return a plain error (the HTTP layer maps those
+// to 400); shed requests return *AdmissionError.
+func (s *Service) Submit(spec Spec) (*Run, error) {
+	if err := s.validate(spec); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Lazy reap first: a full table of expired corpses must not shed live
+	// traffic just because the reaper tick has not fired yet.
+	s.reapLocked(s.now())
+	if s.draining {
+		s.shedDrain.Inc()
+		return nil, &AdmissionError{Code: 503, RetryAfter: s.retryAfterLocked(), Reason: "service is draining"}
+	}
+	if len(s.runs) >= s.cfg.MaxRuns {
+		s.shedTable.Inc()
+		return nil, &AdmissionError{Code: 429, RetryAfter: s.retryAfterLocked(), Reason: "run table full"}
+	}
+	if n := s.tenantLiveLocked(spec.Tenant); n >= s.cfg.TenantActive {
+		s.shedQuota.Inc()
+		return nil, &AdmissionError{Code: 429, RetryAfter: s.retryAfterLocked(),
+			Reason: fmt.Sprintf("tenant %q at quota (%d live runs)", spec.Tenant, n)}
+	}
+	s.seq++
+	now := s.now()
+	r := &Run{
+		ID:      fmt.Sprintf("r%d", s.seq),
+		Spec:    spec,
+		seq:     s.seq,
+		state:   StateQueued,
+		created: now,
+		touched: now,
+	}
+	s.runs[r.ID] = r
+	if len(s.runs) > s.tablePeak {
+		s.tablePeak = len(s.runs)
+	}
+	s.accepted.Inc()
+	s.wakeUp()
+	return r, nil
+}
+
+func (s *Service) validate(spec Spec) error {
+	if spec.Tenant == "" || len(spec.Tenant) > 64 {
+		return fmt.Errorf("tenant must be 1-64 characters")
+	}
+	if _, ok := site.ByName(spec.Site); !ok {
+		return fmt.Errorf("unknown site %q", spec.Site)
+	}
+	if spec.Jobs <= 0 || spec.Jobs > s.cfg.MaxJobs {
+		return fmt.Errorf("jobs must be in [1, %d]", s.cfg.MaxJobs)
+	}
+	if spec.Days <= 0 || spec.Days > s.cfg.MaxDays {
+		return fmt.Errorf("days must be in [1, %d]", s.cfg.MaxDays)
+	}
+	return nil
+}
+
+// retryAfterLocked scales the shed hint with the backlog: an idle service
+// says "come back in a second", a saturated one pushes clients out
+// further. Clients add their own jitter (cmd/epastorm does).
+func (s *Service) retryAfterLocked() int {
+	ra := 1 + s.countLocked(StateQueued)/s.cfg.MaxActive
+	if ra > 30 {
+		ra = 30
+	}
+	return ra
+}
+
+func (s *Service) countLocked(st RunState) int {
+	n := 0
+	for _, r := range s.runs {
+		if r.state == st {
+			n++
+		}
+	}
+	return n
+}
+
+// tenantLiveLocked counts a tenant's non-terminal runs.
+func (s *Service) tenantLiveLocked(tenant string) int {
+	n := 0
+	for _, r := range s.runs {
+		if r.Spec.Tenant == tenant && !r.state.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// Get returns a run by ID, updating its idle clock.
+func (s *Service) Get(id string) (*Run, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	if ok {
+		r.touched = s.now()
+	}
+	return r, ok
+}
+
+// Cancel cancels a run: a queued run terminates immediately, a running
+// run stops at its next slice boundary, and a terminal run is deleted
+// from the table (an explicit reap). Returns the state observed and
+// whether the run existed.
+func (s *Service) Cancel(id string) (RunState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	if !ok {
+		return "", false
+	}
+	switch {
+	case r.state == StateQueued:
+		r.state = StateCancelled
+		r.reason = "cancelled before start"
+		r.ended = s.now()
+		r.touched = r.ended
+		s.cancelled.Inc()
+	case r.state == StateRunning:
+		r.cancel.Store(true)
+	default: // terminal: delete now
+		delete(s.runs, id)
+		s.reaped.Inc()
+	}
+	return r.state, true
+}
+
+// simNow maps the wall clock onto the ledger's time axis (seconds since
+// the service started).
+func (s *Service) simNow() simulator.Time {
+	return simulator.Time(s.now().Sub(s.start) / time.Second)
+}
+
+// pickNextLocked chooses the queued run whose tenant has consumed the
+// least decayed service time — the ShareLedger arbitration — breaking
+// ties by admission order.
+func (s *Service) pickNextLocked() *Run {
+	s.ledger.Decay(s.simNow())
+	var best *Run
+	var bestU float64
+	for _, r := range s.runs {
+		if r.state != StateQueued {
+			continue
+		}
+		u := s.ledger.Usage(r.Spec.Tenant)
+		if best == nil || u < bestU || (u == bestU && r.seq < best.seq) {
+			best, bestU = r, u
+		}
+	}
+	return best
+}
+
+func (s *Service) wakeUp() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// dispatch is the slot scheduler: whenever a slot frees or work arrives,
+// it fills every free slot with the fairest queued run.
+func (s *Service) dispatch() {
+	defer s.loopWG.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.wake:
+		}
+		for {
+			s.mu.Lock()
+			if s.draining || s.active >= s.cfg.MaxActive {
+				s.mu.Unlock()
+				break
+			}
+			r := s.pickNextLocked()
+			if r == nil {
+				s.mu.Unlock()
+				break
+			}
+			r.state = StateRunning
+			r.started = s.now()
+			s.active++
+			if s.active > s.runningPeak {
+				s.runningPeak = s.active
+			}
+			s.execWG.Add(1)
+			s.mu.Unlock()
+			go s.execute(r)
+		}
+	}
+}
+
+// execute owns one run from slot grant to terminal state. Panics anywhere
+// in the simulation are converted to a failed state here — one tenant's
+// crash never takes down a neighbor.
+func (s *Service) execute(r *Run) {
+	defer s.execWG.Done()
+	err := s.runSim(r)
+	s.mu.Lock()
+	r.ended = s.now()
+	r.touched = r.ended
+	switch {
+	case err == nil:
+		r.state = StateComplete
+		s.completed.Inc()
+	case errors.Is(err, errCancelled):
+		r.state = StateCancelled
+		r.reason = "cancelled"
+		s.cancelled.Inc()
+	case errors.Is(err, errHardStop):
+		r.state = StateFailed
+		r.reason = errHardStop.Error()
+		s.failed.Inc()
+	default:
+		r.state = StateFailed
+		r.reason = err.Error()
+		s.failed.Inc()
+		var pe panicError
+		if errors.As(err, &pe) {
+			s.panics.Inc()
+		}
+	}
+	// Charge the tenant for the wall time its run held a slot; the floor
+	// keeps even sub-millisecond runs ordering tenants in the ledger.
+	dur := r.ended.Sub(r.started).Seconds()
+	if dur < 1e-3 {
+		dur = 1e-3
+	}
+	s.ledger.Decay(s.simNow())
+	s.ledger.Charge(r.Spec.Tenant, dur)
+	s.active--
+	s.mu.Unlock()
+	s.wakeUp()
+}
+
+// runSim builds and advances one simulation to its horizon in Slice-sized
+// virtual-time steps, each under the run's own ops lock — exactly the
+// runServed loop in cmd/epasim, which is what keeps the hosted report
+// byte-identical to the CLI's.
+func (s *Service) runSim(r *Run) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = panicError{p}
+		}
+	}()
+	if r.cancel.Load() {
+		return errCancelled
+	}
+	m, js, prof, err := s.build(r.Spec)
+	if err != nil {
+		return err
+	}
+	tr := trace.New()
+	m.AttachTracer(tr)
+	srv := ops.NewServer(ops.ManagerSource(m))
+	s.mu.Lock()
+	r.m, r.js, r.prof, r.tr, r.srv = m, js, prof, tr, srv
+	s.mu.Unlock()
+
+	horizon := simulator.Time(r.Spec.Days) * simulator.Day
+	var end simulator.Time
+	for now := s.cfg.Slice; ; now += s.cfg.Slice {
+		if r.cancel.Load() {
+			srv.Shutdown(context.Background()) //nolint:errcheck // handler-only server: releases SSE, never blocks
+			return errCancelled
+		}
+		if s.hardStop.Load() {
+			srv.Shutdown(context.Background()) //nolint:errcheck // handler-only server: releases SSE, never blocks
+			return errHardStop
+		}
+		step := now
+		if step > horizon {
+			step = horizon
+		}
+		srv.Locked(func() { end = m.Eng.RunUntil(step) })
+		if step >= horizon {
+			break
+		}
+	}
+	srv.Locked(func() { m.FinishRun(end) })
+
+	var buf bytes.Buffer
+	runreport.Write(&buf, prof, m, js, end, runreport.Extras{})
+	s.mu.Lock()
+	r.end = end
+	r.report = buf.Bytes()
+	s.mu.Unlock()
+	return nil
+}
+
+// reapLoop deletes idle terminal runs on a timer; Submit also reaps
+// inline so admission never sheds against a table of expired runs.
+func (s *Service) reapLoop() {
+	defer s.loopWG.Done()
+	period := s.cfg.IdleTTL / 4
+	if period < 100*time.Millisecond {
+		period = 100 * time.Millisecond
+	}
+	if period > 30*time.Second {
+		period = 30 * time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			s.reapLocked(s.now())
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *Service) reapLocked(now time.Time) {
+	for id, r := range s.runs {
+		if r.state.Terminal() && now.Sub(r.touched) > s.cfg.IdleTTL {
+			delete(s.runs, id)
+			s.reaped.Inc()
+		}
+	}
+}
+
+// Shutdown drains the service: admission flips to 503, queued runs are
+// cancelled, every run's SSE streams are released, and in-flight runs
+// finish normally until ctx expires — after which they are hard-stopped
+// at their next slice boundary and marked failed. Idempotent; returns
+// ctx's error when the deadline cut the drain short.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	var srvs []*ops.Server
+	for _, r := range s.runs {
+		if r.state == StateQueued {
+			r.state = StateCancelled
+			r.reason = "service shutting down"
+			r.ended = s.now()
+			r.touched = r.ended
+			s.cancelled.Inc()
+		}
+		if r.srv != nil {
+			srvs = append(srvs, r.srv)
+		}
+	}
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stop) })
+	for _, srv := range srvs {
+		srv.Shutdown(context.Background()) //nolint:errcheck // handler-only server: releases SSE, never blocks
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.execWG.Wait()
+		close(done)
+	}()
+	var err error
+	if ctx == nil {
+		<-done
+	} else {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			s.hardStop.Store(true)
+			<-done // executors abandon at the next slice boundary
+			err = ctx.Err()
+		}
+	}
+	s.loopWG.Wait()
+	return err
+}
+
+// Stats is a point-in-time service census (also the /healthz payload).
+type Stats struct {
+	Status  string `json:"status"` // "ok" or "draining"
+	Runs    int    `json:"runs"`
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+	Tenants int    `json:"tenants"`
+}
+
+// Snapshot returns the service census.
+func (s *Service) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Status: "ok", Runs: len(s.runs), Running: s.active}
+	if s.draining {
+		st.Status = "draining"
+	}
+	st.Queued = s.countLocked(StateQueued)
+	tenants := map[string]bool{}
+	for _, r := range s.runs {
+		tenants[r.Spec.Tenant] = true
+	}
+	st.Tenants = len(tenants)
+	return st
+}
+
+// Peaks reports the high-water marks: table occupancy and concurrently
+// executing runs. The stampede test asserts the table bound held and the
+// slot pool saturated.
+func (s *Service) Peaks() (table, running int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tablePeak, s.runningPeak
+}

@@ -1,0 +1,185 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"epajsrm/internal/simulator"
+)
+
+// TestStampede is the survival criterion: ≥1000 concurrent clients (250 in
+// -short) against 16 execution slots and a 64-entry run table, in-process
+// so it runs under -race. The service must never lose accepted work, every
+// shed must be a 429/503 carrying Retry-After, the table bound must hold,
+// the slot pool must actually saturate, and a graceful shutdown afterwards
+// must drain cleanly.
+func TestStampede(t *testing.T) {
+	clients := 1000
+	if testing.Short() {
+		clients = 250
+	}
+	cfg := Default()
+	cfg.Slice = simulator.Hour
+	cfg.MaxRuns = 64
+	cfg.MaxActive = 16
+	cfg.TenantActive = 4
+	// Clients free their runs with DELETE, so the TTL reaper is not needed
+	// for table turnover here — and it must not fire early: a poller
+	// goroutine descheduled past the TTL under full load would find its
+	// run legitimately reaped and misreport it as lost.
+	cfg.IdleTTL = time.Minute
+	s := New(cfg)
+	h := s.Handler()
+
+	var (
+		accepted, completed, failed, cancelled int64
+		lost, sheds, shedNoRetry, badShedCode  int64
+		reportMissing, gaveUp                  int64
+	)
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant-%02d", c%24)
+			body := fmt.Sprintf(`{"tenant":%q,"site":"cineca","seed":%d,"jobs":5,"days":1}`, tenant, c)
+
+			// Submit with shed-aware retries. Real clients sleep out the
+			// server's Retry-After seconds; in-process we only verify the
+			// hint is present and back off in milliseconds.
+			var id string
+			for try := 0; try < 200; try++ {
+				req := httptest.NewRequest("POST", "/runs", strings.NewReader(body))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code == http.StatusAccepted {
+					var info RunInfo
+					if json.Unmarshal(rec.Body.Bytes(), &info) == nil && info.ID != "" {
+						id = info.ID
+					}
+					break
+				}
+				atomic.AddInt64(&sheds, 1)
+				if rec.Code != http.StatusTooManyRequests && rec.Code != http.StatusServiceUnavailable {
+					atomic.AddInt64(&badShedCode, 1)
+					return
+				}
+				if rec.Header().Get("Retry-After") == "" {
+					atomic.AddInt64(&shedNoRetry, 1)
+				}
+				time.Sleep(time.Duration(5+c%20) * time.Millisecond)
+			}
+			if id == "" {
+				atomic.AddInt64(&gaveUp, 1)
+				return
+			}
+			atomic.AddInt64(&accepted, 1)
+
+			// Poll to a terminal state. A 404 here is accepted-then-lost:
+			// the reaper only deletes idle terminal runs, and we are
+			// actively polling this one.
+			deadline := time.Now().Add(2 * time.Minute)
+			for {
+				if time.Now().After(deadline) {
+					atomic.AddInt64(&lost, 1)
+					return
+				}
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("GET", "/runs/"+id, nil))
+				if rec.Code == http.StatusNotFound {
+					atomic.AddInt64(&lost, 1)
+					return
+				}
+				var info RunInfo
+				if rec.Code == 200 && json.Unmarshal(rec.Body.Bytes(), &info) == nil {
+					if st := RunState(info.State); st.Terminal() {
+						switch st {
+						case StateComplete:
+							atomic.AddInt64(&completed, 1)
+							// A report fetch can itself be shed with a 503
+							// under full load (request deadline); that is
+							// retryable, not a missing report.
+							got := false
+							for try := 0; try < 40 && !got; try++ {
+								rep := httptest.NewRecorder()
+								h.ServeHTTP(rep, httptest.NewRequest("GET", "/runs/"+id+"/report", nil))
+								got = rep.Code == 200 && rep.Body.Len() > 0
+								if !got {
+									time.Sleep(50 * time.Millisecond)
+								}
+							}
+							if !got {
+								atomic.AddInt64(&reportMissing, 1)
+							}
+						case StateFailed:
+							atomic.AddInt64(&failed, 1)
+						case StateCancelled:
+							atomic.AddInt64(&cancelled, 1)
+						}
+						// Free the table slot so later clients get in.
+						del := httptest.NewRecorder()
+						h.ServeHTTP(del, httptest.NewRequest("DELETE", "/runs/"+id, nil))
+						return
+					}
+				}
+				time.Sleep(25 * time.Millisecond)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	table, running := s.Peaks()
+	t.Logf("stampede: clients=%d accepted=%d completed=%d sheds=%d gaveUp=%d tablePeak=%d runningPeak=%d leftover=%+v",
+		clients, accepted, completed, sheds, gaveUp, table, running, s.Snapshot())
+
+	if lost != 0 {
+		t.Errorf("accepted-then-lost runs = %d, want 0", lost)
+	}
+	if shedNoRetry != 0 {
+		t.Errorf("sheds without Retry-After = %d, want 0", shedNoRetry)
+	}
+	if badShedCode != 0 {
+		t.Errorf("sheds with a non-429/503 code = %d, want 0", badShedCode)
+	}
+	if failed != 0 || cancelled != 0 {
+		t.Errorf("failed=%d cancelled=%d, want 0/0 (nothing in this stampede cancels)", failed, cancelled)
+	}
+	if completed != accepted {
+		t.Errorf("completed %d != accepted %d with zero failures — terminal accounting leak", completed, accepted)
+	}
+	if reportMissing != 0 {
+		t.Errorf("completed runs without a report = %d, want 0", reportMissing)
+	}
+	if accepted == 0 {
+		t.Error("no run was ever accepted")
+	}
+	if sheds == 0 {
+		t.Errorf("%d clients against a %d-entry table produced zero sheds — admission control never engaged", clients, cfg.MaxRuns)
+	}
+	if table > cfg.MaxRuns {
+		t.Errorf("table peak %d exceeded MaxRuns %d", table, cfg.MaxRuns)
+	}
+	if running < cfg.MaxActive {
+		t.Errorf("running peak %d never saturated the %d slots", running, cfg.MaxActive)
+	}
+	if running > cfg.MaxActive {
+		t.Errorf("running peak %d exceeded MaxActive %d", running, cfg.MaxActive)
+	}
+
+	// The survivors' epilogue: a graceful shutdown drains inside its
+	// deadline even right after the storm.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("post-stampede Shutdown: %v", err)
+	}
+}
