@@ -19,6 +19,16 @@
 // every request, and -drain bounds the graceful shutdown on
 // SIGINT/SIGTERM (in-flight runs finish inside the window; past it they
 // are hard-stopped at their next slice).
+//
+// Durability: -journal <dir> writes every run-table transition to a
+// write-ahead log (accepted specs fsynced before the client's 202,
+// terminal states with their reports before the table moves on) and
+// replays it at startup. After a crash — SIGKILL included — terminal
+// runs reload as metadata with fetchable reports, interrupted runs
+// re-execute deterministically from their journaled specs (same seed,
+// byte-identical report), and queued runs re-enter fair-share
+// arbitration: zero accepted-then-lost. -wal-max bounds the journal
+// size via compacting snapshot rotation.
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 	"time"
 
 	"epajsrm/internal/service"
+	"epajsrm/internal/simulator"
 )
 
 func main() {
@@ -54,6 +65,9 @@ func run(args []string, stderr io.Writer, ready chan<- string) int {
 	streamTimeout := fs.Duration("stream-timeout", def.StreamTimeout, "deadline on /events SSE streams")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain window on SIGINT/SIGTERM")
 	halfLife := fs.Duration("halflife", def.HalfLife, "fair-share ledger decay half-life")
+	journalDir := fs.String("journal", "", "write-ahead journal directory; empty disables durability")
+	walMax := fs.Int64("wal-max", 0, "journal segment bytes before a compacting rotation (0: journal default)")
+	slice := fs.Duration("slice", time.Duration(def.Slice)*time.Second, "virtual-time quantum a run advances per lock acquisition")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -66,7 +80,25 @@ func run(args []string, stderr io.Writer, ready chan<- string) int {
 	cfg.RequestTimeout = *reqTimeout
 	cfg.StreamTimeout = *streamTimeout
 	cfg.HalfLife = *halfLife
-	svc := service.New(cfg)
+	cfg.JournalDir = *journalDir
+	cfg.JournalMaxBytes = *walMax
+	if *slice > 0 {
+		cfg.Slice = simulator.Time(*slice / time.Second)
+	}
+	svc, err := service.New(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "epaserved: %v\n", err)
+		return 1
+	}
+	if *journalDir != "" {
+		rec := svc.Recovery()
+		fmt.Fprintf(stderr, "epaserved: journal %s — replayed %d records: %d terminal reloaded, %d interrupted re-admitted, %d queued re-entered",
+			*journalDir, rec.Replayed, rec.Terminal, rec.Interrupted, rec.Requeued)
+		if rec.TornTail {
+			fmt.Fprint(stderr, " (torn tail truncated)")
+		}
+		fmt.Fprintln(stderr)
+	}
 
 	bound, closeHTTP, err := svc.Serve(*addr)
 	if err != nil {

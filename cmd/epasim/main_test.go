@@ -208,7 +208,10 @@ func TestServiceReportByteIdentical(t *testing.T) {
 	plain, _ := runCLI(t, "-site", "cineca", "-jobs", "50", "-days", "2", "-seed", "9")
 
 	cfg := service.Default()
-	s := service.New(cfg)
+	s, err := service.New(cfg)
+	if err != nil {
+		t.Fatalf("service.New: %v", err)
+	}
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()

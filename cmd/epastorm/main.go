@@ -13,6 +13,20 @@
 // terminal state (zero accepted-then-lost work) and every shed response
 // carried Retry-After; 1 otherwise. The summary table reports submission
 // outcomes, shed counts, and submit-to-complete latency quantiles.
+//
+// -seed makes a storm reproducible: it drives both the backoff jitter
+// RNGs and the per-run simulation seeds, with no wall-clock input.
+//
+// Crash checking, against an epaserved running with -journal: a storm
+// run with -ledger <file> appends every accepted run (its ID and exact
+// spec) to a client-side ledger as it is acknowledged. After the server
+// is killed — SIGKILL included — and restarted, `epastorm -crash-check
+// -ledger <file>` replays the ledger instead of storming: every
+// previously accepted run must still exist and reach a terminal state,
+// and every completed run's report must be fetchable. A 404, a run stuck
+// non-terminal, a crash-induced failure, or a missing report is an
+// accepted-then-lost verdict (exit 1) — the journal's zero-loss contract,
+// checked from the client's side of the wire.
 package main
 
 import (
@@ -66,12 +80,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 	attempts := fs.Int("attempts", 8, "max submit attempts per run before giving up")
 	backoff := fs.Duration("backoff", 200*time.Millisecond, "base backoff; doubles per retry with ±50% jitter, floored at the server's Retry-After")
 	timeout := fs.Duration("timeout", 2*time.Minute, "per-run completion deadline")
-	seed := fs.Int64("rngseed", 1, "client-side jitter seed")
+	seed := fs.Int64("seed", 1, "reproducibility seed: drives backoff jitter and the per-run simulation seeds (time-free)")
+	ledgerPath := fs.String("ledger", "", "client ledger file: every accepted run's ID+spec is appended as JSONL")
+	crashCheck := fs.Bool("crash-check", false, "verify the -ledger against the server instead of storming: every previously accepted run must reach a terminal state with a fetchable report")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
+	if *crashCheck {
+		if *ledgerPath == "" {
+			fmt.Fprintln(stderr, "epastorm: -crash-check requires -ledger")
+			return 2
+		}
+		return runCrashCheck(client, *addr, *ledgerPath, *timeout, stdout, stderr)
+	}
+
+	var led *ledger
+	if *ledgerPath != "" {
+		var err error
+		led, err = openLedger(*ledgerPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "epastorm: %v\n", err)
+			return 2
+		}
+		defer led.close()
+	}
+
 	v := &verdict{}
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -82,8 +117,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			rng := rand.New(rand.NewSource(*seed + int64(c)))
 			tenant := fmt.Sprintf("tenant-%02d", c%*tenants)
 			for n := 0; n < *perClient; n++ {
-				storm(client, v, rng, *addr, tenant, *siteName,
-					uint64(c**perClient+n), *jobsN, *days, *attempts, *backoff, *timeout)
+				storm(client, v, led, rng, *addr, tenant, *siteName,
+					uint64(*seed)+uint64(c**perClient+n), *jobsN, *days, *attempts, *backoff, *timeout)
 			}
 		}(c)
 	}
@@ -131,8 +166,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // storm submits one run with shed-aware retries, polls it to a terminal
-// state, and scrapes its ops endpoints once along the way.
-func storm(client *http.Client, v *verdict, rng *rand.Rand, addr, tenant, siteName string,
+// state, and scrapes its ops endpoints once along the way. Accepted runs
+// are appended to the ledger (when one is open) the moment the 202
+// lands, so a later -crash-check knows exactly what the server owes us.
+func storm(client *http.Client, v *verdict, led *ledger, rng *rand.Rand, addr, tenant, siteName string,
 	seed uint64, jobsN, days, attempts int, base, timeout time.Duration) {
 	spec := map[string]any{"tenant": tenant, "site": siteName, "seed": seed, "jobs": jobsN, "days": days}
 	body, _ := json.Marshal(spec)
@@ -184,6 +221,11 @@ func storm(client *http.Client, v *verdict, rng *rand.Rand, addr, tenant, siteNa
 		return // every attempt shed; that is the protocol working
 	}
 	v.count(func(v *verdict) { v.accepted++ })
+	if led != nil {
+		if err := led.record(entry{ID: id, Tenant: tenant, Site: siteName, Seed: seed, Jobs: jobsN, Days: days}); err != nil {
+			v.count(func(v *verdict) { v.netErrs++ })
+		}
+	}
 
 	// Scrape the run's ops surface once — stampedes hammer the read path
 	// as hard as the write path.
@@ -263,4 +305,173 @@ func jitter(rng *rand.Rand, base time.Duration, try int, retryAfter time.Duratio
 		d = retryAfter + time.Duration(rng.Int63n(int64(base)+1))
 	}
 	return d
+}
+
+// entry is one accepted run in the client ledger: the server's run ID
+// and the exact spec the acceptance covered.
+type entry struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	Site   string `json:"site"`
+	Seed   uint64 `json:"seed"`
+	Jobs   int    `json:"jobs"`
+	Days   int    `json:"days"`
+}
+
+// ledger is the client-side durable record of what the server
+// acknowledged: one JSON line per accepted run, appended (and synced)
+// the moment the 202 lands. It is the other half of the server's
+// write-ahead journal — crash-check diffs the two.
+type ledger struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func openLedger(path string) (*ledger, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	return &ledger{f: f}, nil
+}
+
+func (l *ledger) record(e entry) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+func (l *ledger) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.f.Close() //nolint:errcheck // append-and-synced per record
+}
+
+// readLedger loads the ledger, tolerating a torn final line (the storm
+// itself may have been killed mid-append) and deduplicating IDs.
+func readLedger(path string) ([]entry, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	seen := map[string]bool{}
+	var es []entry
+	for _, line := range bytes.Split(b, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var e entry
+		if json.Unmarshal(line, &e) != nil || e.ID == "" || seen[e.ID] {
+			continue
+		}
+		seen[e.ID] = true
+		es = append(es, e)
+	}
+	return es, nil
+}
+
+// runCrashCheck replays the client ledger against a (restarted) server:
+// every run the server ever acknowledged must still be there and reach a
+// terminal state, and every completed run's report must be fetchable.
+// Exit 0 only with zero lost runs, zero crash-induced failures, and zero
+// missing reports — cancelled runs are reported but tolerated (a client
+// may legitimately have cancelled them before the crash).
+func runCrashCheck(client *http.Client, addr, path string, timeout time.Duration, stdout, stderr io.Writer) int {
+	entries, err := readLedger(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "epastorm: %v\n", err)
+		return 2
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(stderr, "epastorm: ledger is empty; nothing to check")
+		return 2
+	}
+
+	var complete, failed, cancelled, recovered, lost, reportMissing int
+	start := time.Now()
+	for _, e := range entries {
+		st, wasRecovered := pollTerminal(client, addr, e.ID, timeout)
+		if wasRecovered {
+			recovered++
+		}
+		switch st {
+		case "complete":
+			complete++
+			resp, err := client.Get(addr + "/runs/" + e.ID + "/report")
+			if err != nil {
+				reportMissing++
+				continue
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || len(b) == 0 {
+				reportMissing++
+			}
+		case "failed":
+			failed++
+		case "cancelled":
+			cancelled++
+		default: // 404, network-dead server, or stuck non-terminal
+			lost++
+		}
+	}
+
+	tbl := report.Table{
+		Title:  fmt.Sprintf("crash-check: %d ledgered runs vs %s (%.1fs)", len(entries), addr, time.Since(start).Seconds()),
+		Header: []string{"outcome", "count"},
+		Rows: [][]string{
+			{"ledgered (accepted pre-crash)", fmt.Sprint(len(entries))},
+			{"complete with report", fmt.Sprint(complete - reportMissing)},
+			{"recovered (re-executed after crash)", fmt.Sprint(recovered)},
+			{"cancelled (tolerated)", fmt.Sprint(cancelled)},
+			{"failed (BUG)", fmt.Sprint(failed)},
+			{"report missing (BUG)", fmt.Sprint(reportMissing)},
+			{"accepted-then-lost (BUG)", fmt.Sprint(lost)},
+		},
+	}
+	fmt.Fprintln(stdout, tbl.Render())
+	if lost > 0 || failed > 0 || reportMissing > 0 {
+		fmt.Fprintln(stderr, "epastorm: CRASH-CHECK FAILED — the server lost or broke acknowledged work")
+		return 1
+	}
+	return 0
+}
+
+// pollTerminal polls one run to a terminal state, riding out transient
+// network errors (the server may still be coming back up).
+func pollTerminal(client *http.Client, addr, id string, timeout time.Duration) (state string, recovered bool) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(addr + "/runs/" + id)
+		if err != nil {
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		var info struct {
+			State     string `json:"state"`
+			Recovered bool   `json:"recovered"`
+		}
+		decErr := json.NewDecoder(resp.Body).Decode(&info)
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusNotFound {
+			return "", recovered
+		}
+		if decErr == nil {
+			recovered = recovered || info.Recovered
+			switch info.State {
+			case "complete", "failed", "cancelled":
+				return info.State, recovered
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return "", recovered
 }

@@ -1,0 +1,418 @@
+// Package journal is an append-only, crash-safe write-ahead log of run
+// lifecycle records for the simulation service. It exists so that a
+// process that accepted work can be SIGKILLed at any instant and the
+// work is still there after restart: a record acknowledged to a client
+// is on disk before the acknowledgement leaves the process.
+//
+// Durability model, in one paragraph: the journal is a single active
+// segment file of CRC-framed JSON records. Appends whose type is a
+// *commit point* (an accepted spec, a terminal state) are fsynced
+// before Append returns; intermediate records (started, watermark,
+// deleted) may ride on the next commit's fsync — losing one re-does
+// work on recovery but never loses acknowledged state. A crash can
+// therefore leave at most a torn tail: a partially written final
+// record. Recovery reads the segment up to the first frame whose
+// length, checksum, or JSON fails, truncates the file there, and
+// resumes appending — the torn tail is tolerated, never fatal.
+//
+// Size is bounded by rotation-as-compaction: when the active segment
+// outgrows MaxBytes the owner hands Rotate a snapshot of its live
+// state, re-encoded as ordinary records. The snapshot is written to
+// wal-<gen+1>.log.tmp, fsynced, renamed into place (the rename is the
+// commit point; the directory is fsynced after it), and only then are
+// older segments deleted. Recovery always loads the newest complete
+// segment, so a crash anywhere inside rotation leaves either the old
+// generation or the new one, both valid.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Type names a lifecycle record. Accepted and Terminal are commit
+// points (fsynced); the rest are allowed to be lost to a crash, which
+// at worst repeats work on recovery.
+type Type string
+
+const (
+	TypeAccepted  Type = "accepted"  // a run's spec was admitted; durable before the client's 202
+	TypeStarted   Type = "started"   // the run won an execution slot
+	TypeWatermark Type = "watermark" // virtual-time progress marker (informational)
+	TypeTerminal  Type = "terminal"  // complete/failed/cancelled, with the report for complete
+	TypeDeleted   Type = "deleted"   // the run left the table (reap or client DELETE)
+)
+
+// commit reports whether an append of this type must be fsynced before
+// it is acknowledged.
+func (t Type) commit() bool { return t == TypeAccepted || t == TypeTerminal }
+
+// Record is one framed journal entry. The journal does not interpret
+// Spec — it is the owner's serialized admission request, replayed
+// verbatim on recovery so an interrupted run re-executes from exactly
+// the bytes the client was acknowledged for.
+type Record struct {
+	Type   Type            `json:"t"`
+	ID     string          `json:"id"`
+	Seq    int64           `json:"seq,omitempty"`
+	Spec   json.RawMessage `json:"spec,omitempty"`
+	VT     int64           `json:"vt,omitempty"` // virtual-time seconds (watermark / sim end)
+	State  string          `json:"state,omitempty"`
+	Reason string          `json:"reason,omitempty"`
+	Report []byte          `json:"report,omitempty"` // base64 under encoding/json
+	UnixMS int64           `json:"unix_ms,omitempty"`
+}
+
+// Framing: 4-byte little-endian payload length, 4-byte CRC-32C of the
+// payload, payload bytes. maxFrame guards the reader against a torn
+// length field decoding as garbage gigabytes.
+const (
+	frameHeader = 8
+	maxFrame    = 16 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options tune a journal. The zero value is usable.
+type Options struct {
+	// MaxBytes is the rotation threshold for the active segment;
+	// <= 0 means 4 MiB. Rotation itself is the owner's call (it owns
+	// the snapshot); NeedsRotate reports when it is due.
+	MaxBytes int64
+	// NoSync skips every fsync. Test-only: it trades the durability
+	// guarantee for speed.
+	NoSync bool
+}
+
+// Stats is a point-in-time census of journal activity.
+type Stats struct {
+	Appends   int64
+	Syncs     int64
+	Rotations int64
+	Gen       uint64
+	Size      int64
+	Replayed  int  // records recovered by Open
+	TornTail  bool // Open truncated a partially written final record
+}
+
+// Journal is a single-writer write-ahead log. All methods are safe for
+// concurrent use.
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu    sync.Mutex
+	f     *os.File
+	gen   uint64
+	size  int64
+	stats Stats
+}
+
+// Open creates dir if needed, recovers the newest complete segment
+// (tolerating a torn tail, which is truncated in place), deletes stale
+// older segments and leftover rotation temporaries, and returns the
+// journal positioned for appending plus the recovered records in
+// append order.
+func Open(dir string, opts Options) (*Journal, []Record, error) {
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = 4 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	gens, tmps, err := scan(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Leftover .tmp files are aborted rotations: the rename never
+	// happened, so they were never the truth.
+	for _, tmp := range tmps {
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup
+	}
+	j := &Journal{dir: dir, opts: opts, gen: 1}
+	var recs []Record
+	if len(gens) > 0 {
+		j.gen = gens[len(gens)-1]
+		var torn bool
+		var valid int64
+		recs, valid, torn, err = readSegment(j.path(j.gen))
+		if err != nil {
+			return nil, nil, err
+		}
+		j.stats.TornTail = torn
+		j.stats.Replayed = len(recs)
+		if torn {
+			if err := os.Truncate(j.path(j.gen), valid); err != nil {
+				return nil, nil, fmt.Errorf("journal: truncate torn tail: %w", err)
+			}
+		}
+		// Older generations are superseded by the newest complete one.
+		for _, g := range gens[:len(gens)-1] {
+			os.Remove(j.path(g)) //nolint:errcheck // best-effort cleanup
+		}
+	}
+	f, err := os.OpenFile(j.path(j.gen), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	j.f, j.size = f, st.Size()
+	j.stats.Gen, j.stats.Size = j.gen, j.size
+	return j, recs, nil
+}
+
+// ReadDir recovers the records of the newest complete segment without
+// opening the journal for writing (and without truncating a torn
+// tail). It is the offline inspection path: tests and tools use it to
+// audit a journal another process owns or owned.
+func ReadDir(dir string) ([]Record, bool, error) {
+	gens, _, err := scan(dir)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(gens) == 0 {
+		return nil, false, nil
+	}
+	recs, _, torn, err := readSegment(filepath.Join(dir, segName(gens[len(gens)-1])))
+	return recs, torn, err
+}
+
+func (j *Journal) path(gen uint64) string { return filepath.Join(j.dir, segName(gen)) }
+
+func segName(gen uint64) string { return fmt.Sprintf("wal-%06d.log", gen) }
+
+// scan lists segment generations (ascending) and leftover .tmp paths.
+func scan(dir string) (gens []uint64, tmps []string, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil, nil
+		}
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			tmps = append(tmps, filepath.Join(dir, name))
+			continue
+		}
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		g, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 10, 64)
+		if err != nil {
+			continue
+		}
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, k int) bool { return gens[i] < gens[k] })
+	return gens, tmps, nil
+}
+
+// readSegment decodes records until EOF or the first bad frame. A bad
+// frame — short header, absurd length, short payload, CRC mismatch, or
+// JSON that does not parse — marks the torn tail: everything before it
+// is returned, valid is the offset it starts at, and torn is true.
+func readSegment(path string) (recs []Record, valid int64, torn bool, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("journal: %w", err)
+	}
+	off := int64(0)
+	for int64(len(b))-off >= frameHeader {
+		n := int64(binary.LittleEndian.Uint32(b[off:]))
+		sum := binary.LittleEndian.Uint32(b[off+4:])
+		if n == 0 || n > maxFrame || off+frameHeader+n > int64(len(b)) {
+			return recs, off, true, nil
+		}
+		payload := b[off+frameHeader : off+frameHeader+n]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return recs, off, true, nil
+		}
+		var rec Record
+		if json.Unmarshal(payload, &rec) != nil {
+			return recs, off, true, nil
+		}
+		recs = append(recs, rec)
+		off += frameHeader + n
+	}
+	return recs, off, off != int64(len(b)), nil
+}
+
+// frame encodes one record as length+CRC+payload.
+func frame(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("journal: marshal: %w", err)
+	}
+	if len(payload) > maxFrame {
+		return nil, fmt.Errorf("journal: record %s/%s exceeds %d bytes", rec.Type, rec.ID, maxFrame)
+	}
+	buf := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, castagnoli))
+	copy(buf[frameHeader:], payload)
+	return buf, nil
+}
+
+// Append frames and writes one record. Commit-point records (accepted,
+// terminal) are fsynced before Append returns; the rest are durable no
+// later than the next commit's fsync.
+func (j *Journal) Append(rec Record) error {
+	buf, err := frame(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("journal: closed")
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	j.size += int64(len(buf))
+	j.stats.Appends++
+	if rec.Type.commit() && !j.opts.NoSync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: fsync: %w", err)
+		}
+		j.stats.Syncs++
+	}
+	return nil
+}
+
+// NeedsRotate reports whether the active segment has outgrown MaxBytes
+// and the owner should call Rotate with a snapshot of its live state.
+func (j *Journal) NeedsRotate() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size >= j.opts.MaxBytes
+}
+
+// Rotate compacts the journal: the snapshot — the owner's live state
+// re-encoded as ordinary records — becomes the sole content of a new
+// segment, and older segments are deleted once it is durably in place.
+// On any error the old segment remains the active truth.
+func (j *Journal) Rotate(snapshot []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("journal: closed")
+	}
+	gen := j.gen + 1
+	tmp := j.path(gen) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: rotate: %w", err)
+	}
+	var size int64
+	for _, rec := range snapshot {
+		buf, err := frame(rec)
+		if err == nil {
+			_, err = f.Write(buf)
+		}
+		if err != nil {
+			f.Close()
+			os.Remove(tmp) //nolint:errcheck // best-effort cleanup
+			return err
+		}
+		size += int64(len(buf))
+	}
+	if !j.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp) //nolint:errcheck // best-effort cleanup
+			return fmt.Errorf("journal: rotate fsync: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		return fmt.Errorf("journal: rotate close: %w", err)
+	}
+	// The rename is the commit point of the rotation.
+	if err := os.Rename(tmp, j.path(gen)); err != nil {
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		return fmt.Errorf("journal: rotate rename: %w", err)
+	}
+	if !j.opts.NoSync {
+		syncDir(j.dir)
+	}
+	old, oldGen := j.f, j.gen
+	nf, err := os.OpenFile(j.path(gen), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// The new segment is already the durable truth; losing the
+		// append handle is unrecoverable for this process.
+		return fmt.Errorf("journal: rotate reopen: %w", err)
+	}
+	j.f, j.gen, j.size = nf, gen, size
+	j.stats.Rotations++
+	j.stats.Gen = gen
+	old.Close()               //nolint:errcheck // superseded segment
+	os.Remove(j.path(oldGen)) //nolint:errcheck // best-effort; stale segments are also reaped at next Open
+	return nil
+}
+
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync() //nolint:errcheck // directory fsync is advisory on some filesystems
+	d.Close()
+}
+
+// Stats returns the journal census (size, generation, append/sync/
+// rotation counters, recovery flags).
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.stats
+	st.Size = j.size
+	return st
+}
+
+// Sync forces an fsync of the active segment.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil || j.opts.NoSync {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.stats.Syncs++
+	return nil
+}
+
+// Close fsyncs and closes the active segment. Further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	var err error
+	if !j.opts.NoSync {
+		err = j.f.Sync()
+	}
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}

@@ -1,0 +1,292 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func rec(t Type, id string, seq int64) Record {
+	return Record{Type: t, ID: id, Seq: seq, Spec: json.RawMessage(`{"site":"cineca"}`)}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Journal, []Record) {
+	t.Helper()
+	j, recs, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return j, recs
+}
+
+// TestAppendReplayRoundTrip: every field of every record survives a
+// close/reopen cycle in append order.
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, recs := mustOpen(t, dir, Options{})
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	want := []Record{
+		{Type: TypeAccepted, ID: "r1", Seq: 1, Spec: json.RawMessage(`{"tenant":"a","jobs":5}`), UnixMS: 1234},
+		{Type: TypeStarted, ID: "r1", UnixMS: 1240},
+		{Type: TypeWatermark, ID: "r1", VT: 3600},
+		{Type: TypeTerminal, ID: "r1", State: "complete", VT: 86400, Report: []byte("the report\nbytes\n")},
+		{Type: TypeDeleted, ID: "r1"},
+	}
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("Append(%s): %v", r.Type, err)
+		}
+	}
+	st := j.Stats()
+	if st.Appends != int64(len(want)) || st.Syncs < 2 {
+		t.Fatalf("stats after appends = %+v, want %d appends and >= 2 commit syncs", st, len(want))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, got := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Type != w.Type || g.ID != w.ID || g.Seq != w.Seq || g.VT != w.VT ||
+			g.State != w.State || g.UnixMS != w.UnixMS ||
+			!bytes.Equal(g.Report, w.Report) || string(g.Spec) != string(w.Spec) {
+			t.Fatalf("record %d = %+v, want %+v", i, g, w)
+		}
+	}
+	if st := j2.Stats(); st.TornTail || st.Replayed != len(want) {
+		t.Fatalf("clean reopen stats = %+v", st)
+	}
+}
+
+// TestTornTailTruncated: a crash mid-append leaves a partial frame; the
+// next Open returns the valid prefix, truncates the tail, and appends
+// land after the last good record.
+func TestTornTailTruncated(t *testing.T) {
+	for _, cut := range []int{1, 5, 9} { // inside header, inside header+, inside payload
+		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			j, _ := mustOpen(t, dir, Options{})
+			if err := j.Append(rec(TypeAccepted, "r1", 1)); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Append(rec(TypeAccepted, "r2", 2)); err != nil {
+				t.Fatal(err)
+			}
+			j.Close()
+
+			path := filepath.Join(dir, "wal-000001.log")
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := frame(rec(TypeStarted, "r2", 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Simulate the crash: only the first `cut` bytes of the third
+			// record reached disk.
+			if err := os.WriteFile(path, append(b, full[:cut]...), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			j2, recs := mustOpen(t, dir, Options{})
+			if len(recs) != 2 || recs[1].ID != "r2" {
+				t.Fatalf("torn-tail replay = %d records %+v, want the 2 complete ones", len(recs), recs)
+			}
+			if st := j2.Stats(); !st.TornTail {
+				t.Fatalf("stats = %+v, want TornTail", st)
+			}
+			if err := j2.Append(rec(TypeTerminal, "r2", 0)); err != nil {
+				t.Fatal(err)
+			}
+			j2.Close()
+
+			j3, recs := mustOpen(t, dir, Options{})
+			defer j3.Close()
+			if len(recs) != 3 || recs[2].Type != TypeTerminal {
+				t.Fatalf("post-truncate replay = %+v, want 3 records ending in terminal", recs)
+			}
+			if st := j3.Stats(); st.TornTail {
+				t.Fatal("second recovery still sees a torn tail — truncate did not persist")
+			}
+		})
+	}
+}
+
+// TestCorruptFrameStopsReplay: a CRC mismatch (bit rot, not just a torn
+// tail) ends the replay at the last good record rather than decoding
+// garbage.
+func TestCorruptFrameStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{})
+	for i := 1; i <= 3; i++ {
+		if err := j.Append(rec(TypeAccepted, fmt.Sprintf("r%d", i), int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	path := filepath.Join(dir, "wal-000001.log")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the second record.
+	n1 := int64(binary.LittleEndian.Uint32(b))
+	second := frameHeader + n1 + frameHeader
+	b[second] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, torn, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != "r1" || !torn {
+		t.Fatalf("corrupt replay = %d records torn=%v, want 1 record with torn tail", len(recs), torn)
+	}
+}
+
+// TestAbsurdLengthGuard: a frame whose length field decodes huge is
+// treated as a torn tail, not a giant allocation.
+func TestAbsurdLengthGuard(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{})
+	if err := j.Append(rec(TypeAccepted, "r1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	path := filepath.Join(dir, "wal-000001.log")
+	bad := make([]byte, frameHeader)
+	binary.LittleEndian.PutUint32(bad, uint32(maxFrame+1))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(bad) //nolint:errcheck
+	f.Close()
+
+	j2, recs := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if len(recs) != 1 || !j2.Stats().TornTail {
+		t.Fatalf("absurd-length replay = %d records, stats %+v", len(recs), j2.Stats())
+	}
+}
+
+// TestRotationCompacts: Rotate writes the snapshot as the new
+// generation, deletes the old, and recovery reads only the snapshot.
+func TestRotationCompacts(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{MaxBytes: 1})
+	for i := 1; i <= 10; i++ {
+		if err := j.Append(rec(TypeAccepted, fmt.Sprintf("r%d", i), int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !j.NeedsRotate() {
+		t.Fatal("NeedsRotate = false past MaxBytes")
+	}
+	snap := []Record{rec(TypeAccepted, "r9", 9), rec(TypeAccepted, "r10", 10)}
+	if err := j.Rotate(snap); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if err := j.Append(rec(TypeStarted, "r10", 0)); err != nil {
+		t.Fatalf("append after rotate: %v", err)
+	}
+	if st := j.Stats(); st.Rotations != 1 || st.Gen != 2 {
+		t.Fatalf("post-rotate stats = %+v", st)
+	}
+	j.Close()
+
+	if _, err := os.Stat(filepath.Join(dir, "wal-000001.log")); !os.IsNotExist(err) {
+		t.Fatalf("old segment survived rotation: %v", err)
+	}
+	j2, recs := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if len(recs) != 3 || recs[0].ID != "r9" || recs[2].Type != TypeStarted {
+		t.Fatalf("rotated replay = %+v, want snapshot + post-rotate append", recs)
+	}
+	if j2.Stats().Gen != 2 {
+		t.Fatalf("recovered generation = %d, want 2", j2.Stats().Gen)
+	}
+}
+
+// TestRotationCrashWindows: a crash before the rename leaves the old
+// generation authoritative (tmp ignored and cleaned); a crash after the
+// rename but before the old segment is deleted leaves the new one
+// authoritative.
+func TestRotationCrashWindows(t *testing.T) {
+	// Before the rename: wal-2.log.tmp exists, wal-1.log is the truth.
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{})
+	if err := j.Append(rec(TypeAccepted, "old", 1)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	tmp := filepath.Join(dir, "wal-000002.log.tmp")
+	buf, _ := frame(rec(TypeAccepted, "half-rotated", 2))
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, recs := mustOpen(t, dir, Options{})
+	if len(recs) != 1 || recs[0].ID != "old" {
+		t.Fatalf("pre-rename crash replay = %+v, want the old generation", recs)
+	}
+	j2.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("aborted rotation tmp survived Open")
+	}
+
+	// After the rename: both generations exist, the newest wins and the
+	// stale one is reaped.
+	dir2 := t.TempDir()
+	w1, _ := frame(rec(TypeAccepted, "stale", 1))
+	w2, _ := frame(rec(TypeAccepted, "fresh", 2))
+	if err := os.WriteFile(filepath.Join(dir2, "wal-000001.log"), w1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir2, "wal-000002.log"), w2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j3, recs := mustOpen(t, dir2, Options{})
+	defer j3.Close()
+	if len(recs) != 1 || recs[0].ID != "fresh" {
+		t.Fatalf("post-rename crash replay = %+v, want the new generation", recs)
+	}
+	if _, err := os.Stat(filepath.Join(dir2, "wal-000001.log")); !os.IsNotExist(err) {
+		t.Fatal("stale generation survived Open")
+	}
+}
+
+// TestAppendAfterClose fails loudly instead of writing nowhere.
+func TestAppendAfterClose(t *testing.T) {
+	j, _ := mustOpen(t, t.TempDir(), Options{})
+	j.Close()
+	if err := j.Append(rec(TypeAccepted, "r1", 1)); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+// TestReadDirEmpty: an empty or absent directory is zero records, not
+// an error.
+func TestReadDirEmpty(t *testing.T) {
+	recs, torn, err := ReadDir(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || torn || len(recs) != 0 {
+		t.Fatalf("ReadDir(absent) = %v %v %v", recs, torn, err)
+	}
+}

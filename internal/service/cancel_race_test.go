@@ -1,0 +1,231 @@
+package service
+
+// Cancel races against the journal: every interleaving of DELETE /runs/{id}
+// with queueing, execution, and terminal reaping must leave the write-ahead
+// log coherent — exactly one terminal record per run, deletion records for
+// reaped runs, and a fold that matches the live table. Run under -race.
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"epajsrm/internal/journal"
+	"epajsrm/internal/ops"
+)
+
+// readFold reads a (closed) journal directory and folds it the way
+// recovery would.
+func readFold(t *testing.T, dir string) ([]journal.Record, map[string]*replayState) {
+	t.Helper()
+	recs, _, err := journal.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	states, _ := foldRecords(recs)
+	return recs, states
+}
+
+func countRecords(recs []journal.Record, id string, typ journal.Type) int {
+	n := 0
+	for _, rec := range recs {
+		if rec.ID == id && rec.Type == typ {
+			n++
+		}
+	}
+	return n
+}
+
+// cancelStorm fires n concurrent Cancels at one run and waits for all.
+func cancelStorm(s *Service, id string, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Cancel(id)
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCancelRaceWhileQueued: a storm of cancels hits a run that never got
+// a slot. Whatever interleaving wins, the journal must show exactly one
+// terminal record (cancelled), and the table must agree with the fold —
+// either the run is terminal in both, or a follow-up cancel reaped it and
+// both say deleted.
+func TestCancelRaceWhileQueued(t *testing.T) {
+	dir := t.TempDir()
+	cfg := journalConfig(dir)
+	cfg.JournalNoSync = true
+	cfg.MaxActive = 1
+	s := mustNew(t, cfg)
+	gate := make(chan struct{})
+	setBuild(s, gatedBuild(gate))
+
+	filler, err := s.Submit(spec("a", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := s.Submit(spec("a", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, filler.ID, StateRunning)
+
+	cancelStorm(s, victim.ID, 8)
+	_, inTable := s.Get(victim.ID)
+	close(gate)
+	waitState(t, s, filler.ID, StateComplete)
+	shutdownOK(t, s)
+
+	recs, states := readFold(t, dir)
+	if n := countRecords(recs, victim.ID, journal.TypeTerminal); n != 1 {
+		t.Fatalf("victim has %d terminal records, want exactly 1", n)
+	}
+	st := states[victim.ID]
+	if st == nil || !st.terminal || st.state != StateCancelled {
+		t.Fatalf("journal fold for victim = %+v, want terminal cancelled", st)
+	}
+	// The first cancel terminates; any later one reaps. Table and journal
+	// must tell the same story.
+	if deleted := countRecords(recs, victim.ID, journal.TypeDeleted) > 0; deleted != st.deleted || deleted == inTable {
+		t.Fatalf("incoherent: %d deletion records, fold deleted=%v, still in table=%v",
+			countRecords(recs, victim.ID, journal.TypeDeleted), st.deleted, inTable)
+	}
+	if n := countRecords(recs, victim.ID, journal.TypeStarted); n != 0 {
+		t.Fatalf("queued-cancelled run has %d started records, want 0", n)
+	}
+}
+
+// TestCancelRaceMidSlice: the test takes the run's own ops lock — the one
+// the executor needs for its next virtual-time slice — wedging the run
+// mid-execution, then storms Cancel. The flag must be honored at the next
+// slice boundary, the journal must carry exactly one terminal record, and
+// a reap-then-restart must not resurrect the run.
+func TestCancelRaceMidSlice(t *testing.T) {
+	dir := t.TempDir()
+	cfg := journalConfig(dir)
+	cfg.JournalNoSync = true
+	s := mustNew(t, cfg)
+
+	// One-second slices: 86400 lock acquisitions for a one-day horizon,
+	// so the run cannot outrun the wedge below.
+	sp := spec("a", 3)
+	sp.SliceS = 1
+	r, err := s.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the executor to publish the run's ops server, then hold
+	// its lock; the executor blocks at its next slice.
+	deadline := time.Now().Add(10 * time.Second)
+	var srv *ops.Server
+	for srv == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("run never published its ops server")
+		}
+		runtime.Gosched()
+		s.mu.Lock()
+		srv = r.srv
+		s.mu.Unlock()
+	}
+	hold := make(chan struct{})
+	wedged := make(chan struct{})
+	go srv.Locked(func() {
+		close(wedged)
+		<-hold
+	})
+	<-wedged
+
+	cancelStorm(s, r.ID, 4)
+	close(hold)
+
+	// The storm races the executor's own terminal transition: a straggler
+	// cancel that lands after the run turns cancelled legally reaps it.
+	// Either ending is fine; the run must finish cancelled (never
+	// complete/failed) and end up reaped.
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		s.mu.Lock()
+		_, present := s.runs[r.ID]
+		st := r.state
+		s.mu.Unlock()
+		if !present {
+			break // a straggler already reaped the cancelled run
+		}
+		if st == StateCancelled {
+			if got, ok := s.Cancel(r.ID); !ok || got != StateCancelled {
+				t.Fatalf("cancel terminal = (%s, %v), want (cancelled, true)", got, ok)
+			}
+			break
+		}
+		if st == StateComplete || st == StateFailed {
+			t.Fatalf("stormed running run ended %s, want cancelled", st)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run stuck in %s after cancel storm", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, ok := s.Get(r.ID); ok {
+		t.Fatal("run survived terminal cancel")
+	}
+	if _, ok := s.Cancel(r.ID); ok {
+		t.Fatal("cancel of deleted run reported found")
+	}
+	shutdownOK(t, s)
+
+	recs, states := readFold(t, dir)
+	if n := countRecords(recs, r.ID, journal.TypeTerminal); n != 1 {
+		t.Fatalf("run has %d terminal records, want exactly 1", n)
+	}
+	if st := states[r.ID]; st == nil || !st.deleted {
+		t.Fatalf("journal fold = %+v, want deleted", st)
+	}
+
+	// Recovery must honor the deletion: no resurrection.
+	s2 := mustNew(t, cfg)
+	defer shutdownOK(t, s2)
+	if _, ok := s2.Get(r.ID); ok {
+		t.Fatal("deleted run resurrected on restart")
+	}
+}
+
+// TestCancelRaceOnTerminal: a storm of cancels against a completed run —
+// exactly one wins the reap, exactly one deletion record lands, and the
+// report was journaled in its terminal record before any of that.
+func TestCancelRaceOnTerminal(t *testing.T) {
+	dir := t.TempDir()
+	cfg := journalConfig(dir)
+	cfg.JournalNoSync = true
+	s := mustNew(t, cfg)
+
+	r, err := s.Submit(spec("a", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitState(t, s, r.ID, StateComplete); st != StateComplete {
+		t.Fatalf("run ended %s, want complete", st)
+	}
+
+	cancelStorm(s, r.ID, 8)
+	if _, ok := s.Get(r.ID); ok {
+		t.Fatal("run survived a cancel storm on its terminal state")
+	}
+	shutdownOK(t, s)
+
+	recs, states := readFold(t, dir)
+	if n := countRecords(recs, r.ID, journal.TypeTerminal); n != 1 {
+		t.Fatalf("run has %d terminal records, want exactly 1", n)
+	}
+	if n := countRecords(recs, r.ID, journal.TypeDeleted); n != 1 {
+		t.Fatalf("run has %d deletion records, want exactly 1 (one reap wins)", n)
+	}
+	st := states[r.ID]
+	if st == nil || !st.deleted || st.state != StateComplete || len(st.report) == 0 {
+		t.Fatalf("journal fold = %+v, want deleted complete run whose terminal record carried the report", st)
+	}
+}

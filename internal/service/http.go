@@ -15,18 +15,22 @@ import (
 
 // RunInfo is the JSON view of a hosted run.
 type RunInfo struct {
-	ID      string `json:"id"`
-	Tenant  string `json:"tenant"`
-	Site    string `json:"site"`
-	Seed    uint64 `json:"seed"`
-	Jobs    int    `json:"jobs"`
-	Days    int    `json:"days"`
-	State   string `json:"state"`
-	Reason  string `json:"reason,omitempty"`
-	Created int64  `json:"created_unix_ms"`
-	Started int64  `json:"started_unix_ms,omitempty"`
-	Ended   int64  `json:"ended_unix_ms,omitempty"`
-	SimEndS int64  `json:"sim_end_s,omitempty"`
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	Site   string `json:"site"`
+	Seed   uint64 `json:"seed"`
+	Jobs   int    `json:"jobs"`
+	Days   int    `json:"days"`
+	State  string `json:"state"`
+	Reason string `json:"reason,omitempty"`
+	// Recovered marks a run the journal re-admitted after a crash (it
+	// re-entered the queue and, if it had started, re-executes
+	// deterministically from its journaled spec).
+	Recovered bool  `json:"recovered,omitempty"`
+	Created   int64 `json:"created_unix_ms"`
+	Started   int64 `json:"started_unix_ms,omitempty"`
+	Ended     int64 `json:"ended_unix_ms,omitempty"`
+	SimEndS   int64 `json:"sim_end_s,omitempty"`
 }
 
 // infoLocked renders a run's JSON view; the service mutex must be held.
@@ -35,7 +39,8 @@ func infoLocked(r *Run) RunInfo {
 		ID: r.ID, Tenant: r.Spec.Tenant, Site: r.Spec.Site,
 		Seed: r.Spec.Seed, Jobs: r.Spec.Jobs, Days: r.Spec.Days,
 		State: string(r.state), Reason: r.reason,
-		Created: r.created.UnixMilli(),
+		Recovered: r.recovered,
+		Created:   r.created.UnixMilli(),
 	}
 	if !r.started.IsZero() {
 		info.Started = r.started.UnixMilli()

@@ -30,7 +30,7 @@ func do(t *testing.T, h http.Handler, method, path, body string) *httptest.Respo
 func TestHTTPLifecycle(t *testing.T) {
 	cfg := testConfig()
 	cfg.StreamTimeout = 200 * time.Millisecond
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	defer shutdownOK(t, s)
 	h := s.Handler()
 
@@ -176,7 +176,7 @@ func TestHTTPLifecycle(t *testing.T) {
 func TestHTTPPendingAndGone(t *testing.T) {
 	cfg := testConfig()
 	cfg.MaxActive = 1
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	gate := make(chan struct{})
 	setBuild(s, gatedBuild(gate))
 	defer func() {
@@ -225,7 +225,7 @@ func TestHTTPShedCarriesRetryAfter(t *testing.T) {
 	cfg := testConfig()
 	cfg.MaxActive = 1
 	cfg.TenantActive = 1
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	gate := make(chan struct{})
 	setBuild(s, gatedBuild(gate))
 	h := s.Handler()

@@ -1,0 +1,236 @@
+package service
+
+// The durability layer: every run-table state transition is recorded in
+// an internal/journal write-ahead log before (for commit points) or
+// alongside (for progress markers) the in-memory transition, and New
+// replays the journal so a crashed service restarts with every
+// acknowledged run intact. The recovery contract, per run:
+//
+//   - terminal before the crash  → reloaded as metadata; a complete
+//     run's report (journaled in its terminal record) stays fetchable.
+//   - started but not terminal   → interrupted: re-admitted to the
+//     queue and deterministically re-executed from its journaled spec.
+//     Same seed, same spec → byte-identical report, so the crash is
+//     observationally a long pause.
+//   - accepted but never started → re-enters fair-share arbitration at
+//     its original admission sequence.
+//   - deleted (reaped or client DELETE) → stays deleted.
+
+import (
+	"encoding/json"
+	"sort"
+	"time"
+
+	"epajsrm/internal/journal"
+	"epajsrm/internal/simulator"
+)
+
+// RecoverySummary is what New found in the journal, for startup
+// logging and tests.
+type RecoverySummary struct {
+	Replayed    int  // records replayed from the newest segment
+	Terminal    int  // runs reloaded as terminal metadata
+	Requeued    int  // accepted-but-unstarted runs re-entering the queue
+	Interrupted int  // mid-execution runs re-admitted for re-execution
+	TornTail    bool // the crash tore the journal's final record (tolerated)
+}
+
+// Recovery returns the startup replay summary (zero-valued when the
+// service runs without a journal).
+func (s *Service) Recovery() RecoverySummary { return s.recov }
+
+// journalAppend writes one record, counting rather than propagating
+// failures: past the commit points handled inline in Submit, a journal
+// error must degrade durability, not availability.
+func (s *Service) journalAppend(rec journal.Record) {
+	if s.j == nil {
+		return
+	}
+	if err := s.j.Append(rec); err != nil {
+		s.jErrs.Add(1)
+	}
+}
+
+// acceptedRecord serializes the admission commit point. The spec is
+// journaled verbatim so recovery re-executes exactly what the client
+// was acknowledged for.
+func acceptedRecord(r *Run) journal.Record {
+	spec, _ := json.Marshal(r.Spec) //nolint:errcheck // plain struct, cannot fail
+	return journal.Record{
+		Type: journal.TypeAccepted, ID: r.ID, Seq: r.seq,
+		Spec: spec, UnixMS: r.created.UnixMilli(),
+	}
+}
+
+// terminalRecordLocked serializes a terminal transition; the service
+// mutex must be held. Only a complete run carries its report — that is
+// what keeps reports fetchable across a restart.
+func terminalRecordLocked(r *Run) journal.Record {
+	rec := journal.Record{
+		Type: journal.TypeTerminal, ID: r.ID,
+		State: string(r.state), Reason: r.reason,
+		VT: int64(r.end), UnixMS: r.ended.UnixMilli(),
+	}
+	if r.state == StateComplete {
+		rec.Report = r.report
+	}
+	return rec
+}
+
+// snapshotLocked re-encodes the live run table as journal records, in
+// admission order — the compaction payload for rotation. Runs no
+// longer in the table simply do not appear, which is how the journal
+// forgets reaped corpses.
+func (s *Service) snapshotLocked() []journal.Record {
+	runs := make([]*Run, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
+	}
+	sort.Slice(runs, func(i, k int) bool { return runs[i].seq < runs[k].seq })
+	var recs []journal.Record
+	for _, r := range runs {
+		recs = append(recs, acceptedRecord(r))
+		if !r.started.IsZero() {
+			recs = append(recs, journal.Record{
+				Type: journal.TypeStarted, ID: r.ID, UnixMS: r.started.UnixMilli(),
+			})
+		}
+		if wm := r.wm.Load(); wm > 0 {
+			recs = append(recs, journal.Record{Type: journal.TypeWatermark, ID: r.ID, VT: wm})
+		}
+		if r.state.Terminal() {
+			recs = append(recs, terminalRecordLocked(r))
+		}
+	}
+	return recs
+}
+
+// maybeRotateLocked compacts the journal once the active segment
+// outgrows its bound; the service mutex must be held (the snapshot
+// reads the run table).
+func (s *Service) maybeRotateLocked() {
+	if s.j == nil || !s.j.NeedsRotate() {
+		return
+	}
+	if err := s.j.Rotate(s.snapshotLocked()); err != nil {
+		s.jErrs.Add(1)
+	}
+}
+
+// replayState is one run's folded journal history.
+type replayState struct {
+	seq        int64
+	spec       json.RawMessage
+	acceptedMS int64
+	started    bool
+	startedMS  int64
+	wm         int64
+	terminal   bool
+	state      RunState
+	reason     string
+	report     []byte
+	end        int64
+	endMS      int64
+	deleted    bool
+}
+
+// foldRecords reduces a replayed record stream to per-run final
+// states, plus the highest admission sequence seen (so new IDs never
+// collide with recovered ones).
+func foldRecords(recs []journal.Record) (map[string]*replayState, int64) {
+	states := make(map[string]*replayState)
+	var maxSeq int64
+	get := func(id string) *replayState {
+		st, ok := states[id]
+		if !ok {
+			st = &replayState{}
+			states[id] = st
+		}
+		return st
+	}
+	for _, rec := range recs {
+		st := get(rec.ID)
+		switch rec.Type {
+		case journal.TypeAccepted:
+			st.seq, st.spec, st.acceptedMS = rec.Seq, rec.Spec, rec.UnixMS
+			if rec.Seq > maxSeq {
+				maxSeq = rec.Seq
+			}
+		case journal.TypeStarted:
+			st.started, st.startedMS = true, rec.UnixMS
+		case journal.TypeWatermark:
+			if rec.VT > st.wm {
+				st.wm = rec.VT
+			}
+		case journal.TypeTerminal:
+			st.terminal = true
+			st.state, st.reason = RunState(rec.State), rec.Reason
+			st.report, st.end, st.endMS = rec.Report, rec.VT, rec.UnixMS
+		case journal.TypeDeleted:
+			st.deleted = true
+		}
+	}
+	return states, maxSeq
+}
+
+// recoverLocked rebuilds the run table from the folded journal and
+// returns the replay summary. Called from New before the daemons
+// start; recovered queued/interrupted runs are dispatched as soon as
+// the dispatcher wakes.
+func (s *Service) recoverLocked(recs []journal.Record) RecoverySummary {
+	sum := RecoverySummary{Replayed: len(recs)}
+	states, maxSeq := foldRecords(recs)
+	if maxSeq > s.seq {
+		s.seq = maxSeq
+	}
+	ids := make([]string, 0, len(states))
+	for id := range states {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, k int) bool { return states[ids[i]].seq < states[ids[k]].seq })
+	now := s.now()
+	for _, id := range ids {
+		st := states[id]
+		if st.deleted || st.spec == nil {
+			continue // gone, or its accepted record was lost to the torn tail
+		}
+		var spec Spec
+		if err := json.Unmarshal(st.spec, &spec); err != nil {
+			continue // unreadable spec cannot be re-executed
+		}
+		r := &Run{
+			ID: id, Spec: spec, seq: st.seq,
+			created: time.UnixMilli(st.acceptedMS),
+			touched: now, // a fresh IdleTTL lease: recovered state stays scrapeable
+		}
+		switch {
+		case st.terminal:
+			r.state = st.state
+			r.reason = st.reason
+			r.report = st.report
+			r.end = simulator.Time(st.end)
+			r.ended = time.UnixMilli(st.endMS)
+			if st.started {
+				r.started = time.UnixMilli(st.startedMS)
+			}
+			sum.Terminal++
+		case st.started:
+			// Interrupted mid-execution: back to the queue for a
+			// deterministic re-run from the journaled spec.
+			r.state = StateQueued
+			r.recovered = true
+			r.wm.Store(st.wm)
+			s.recoveries.Inc()
+			sum.Interrupted++
+		default:
+			r.state = StateQueued
+			r.recovered = true
+			sum.Requeued++
+		}
+		s.runs[id] = r
+	}
+	if len(s.runs) > s.tablePeak {
+		s.tablePeak = len(s.runs)
+	}
+	return sum
+}

@@ -1,0 +1,303 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"epajsrm/internal/journal"
+)
+
+// journalConfig is testConfig plus a journal in dir. Fsyncs stay on in
+// the golden test (the commit path must be exercised); bulk tests turn
+// them off for speed via cfg.JournalNoSync.
+func journalConfig(dir string) Config {
+	cfg := testConfig()
+	cfg.JournalDir = dir
+	return cfg
+}
+
+// seedJournal writes records into dir as a crashed service would have
+// left them.
+func seedJournal(t *testing.T, dir string, recs ...journal.Record) {
+	t.Helper()
+	j, _, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatalf("seed journal: %v", err)
+	}
+	for _, rec := range recs {
+		if err := j.Append(rec); err != nil {
+			t.Fatalf("seed append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("seed close: %v", err)
+	}
+}
+
+func mustSpecJSON(t *testing.T, sp Spec) json.RawMessage {
+	t.Helper()
+	b, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestRecoveryReexecutionByteIdentical is the determinism half of the
+// durability contract: a run interrupted mid-execution (journal shows
+// accepted + started, no terminal) is re-admitted and re-executed from
+// its journaled spec, and the recovered report is byte-identical to the
+// same spec run on a service that never crashed.
+func TestRecoveryReexecutionByteIdentical(t *testing.T) {
+	// The uninterrupted golden.
+	plain := mustNew(t, testConfig())
+	r, err := plain.Submit(spec("a", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, plain, r.ID, StateComplete)
+	plain.mu.Lock()
+	golden := append([]byte(nil), r.report...)
+	plain.mu.Unlock()
+	shutdownOK(t, plain)
+	if len(golden) == 0 {
+		t.Fatal("golden report empty")
+	}
+
+	// A journal as a crash mid-execution leaves it: the spec was
+	// acknowledged, the run had a slot and a watermark, no terminal.
+	dir := t.TempDir()
+	seedJournal(t, dir,
+		journal.Record{Type: journal.TypeAccepted, ID: "r1", Seq: 1,
+			Spec: mustSpecJSON(t, spec("a", 7)), UnixMS: 1000},
+		journal.Record{Type: journal.TypeStarted, ID: "r1", UnixMS: 1100},
+		journal.Record{Type: journal.TypeWatermark, ID: "r1", VT: 7200},
+	)
+
+	s := mustNew(t, journalConfig(dir))
+	defer shutdownOK(t, s)
+	if rec := s.Recovery(); rec.Interrupted != 1 || rec.Replayed != 3 {
+		t.Fatalf("recovery summary = %+v, want 1 interrupted from 3 records", rec)
+	}
+	if st := waitState(t, s, "r1", StateComplete); st != StateComplete {
+		t.Fatalf("recovered run ended %s, want complete", st)
+	}
+	s.mu.Lock()
+	got := append([]byte(nil), s.runs["r1"].report...)
+	recovered := s.runs["r1"].recovered
+	panicsVal := s.reg.Value("service.recoveries")
+	s.mu.Unlock()
+	if !bytes.Equal(got, golden) {
+		t.Fatalf("recovered report differs from uninterrupted run:\n--- recovered ---\n%s\n--- golden ---\n%s", got, golden)
+	}
+	if !recovered {
+		t.Fatal("re-executed run not marked recovered")
+	}
+	if panicsVal != 1 {
+		t.Fatalf("service.recoveries = %g, want 1", panicsVal)
+	}
+}
+
+// TestRecoveryFoldsAllStates: terminal runs reload as metadata (reports
+// intact, never re-executed), queued runs re-enter the queue, deleted
+// runs stay gone, and the admission sequence continues past the
+// recovered maximum.
+func TestRecoveryFoldsAllStates(t *testing.T) {
+	dir := t.TempDir()
+	fakeReport := []byte("journaled report bytes — must survive verbatim\n")
+	seedJournal(t, dir,
+		// rA: completed before the crash; its report lives in the journal.
+		journal.Record{Type: journal.TypeAccepted, ID: "r1", Seq: 1, Spec: mustSpecJSON(t, spec("a", 1)), UnixMS: 1000},
+		journal.Record{Type: journal.TypeStarted, ID: "r1", UnixMS: 1001},
+		journal.Record{Type: journal.TypeTerminal, ID: "r1", State: "complete", VT: 86400, Report: fakeReport, UnixMS: 2000},
+		// rB: accepted, never started.
+		journal.Record{Type: journal.TypeAccepted, ID: "r2", Seq: 2, Spec: mustSpecJSON(t, spec("b", 2)), UnixMS: 1002},
+		// rC: interrupted mid-run.
+		journal.Record{Type: journal.TypeAccepted, ID: "r3", Seq: 3, Spec: mustSpecJSON(t, spec("c", 3)), UnixMS: 1003},
+		journal.Record{Type: journal.TypeStarted, ID: "r3", UnixMS: 1004},
+		// rD: terminal then deleted — must not resurrect.
+		journal.Record{Type: journal.TypeAccepted, ID: "r4", Seq: 4, Spec: mustSpecJSON(t, spec("d", 4)), UnixMS: 1005},
+		journal.Record{Type: journal.TypeTerminal, ID: "r4", State: "cancelled", Reason: "client cancel", UnixMS: 1500},
+		journal.Record{Type: journal.TypeDeleted, ID: "r4"},
+		// rE: cancelled, kept as metadata.
+		journal.Record{Type: journal.TypeAccepted, ID: "r5", Seq: 5, Spec: mustSpecJSON(t, spec("e", 5)), UnixMS: 1006},
+		journal.Record{Type: journal.TypeTerminal, ID: "r5", State: "cancelled", Reason: "cancelled before start", UnixMS: 1600},
+	)
+
+	cfg := journalConfig(dir)
+	cfg.JournalNoSync = true
+	s := mustNew(t, cfg)
+	defer shutdownOK(t, s)
+
+	rec := s.Recovery()
+	if rec.Terminal != 2 || rec.Requeued != 1 || rec.Interrupted != 1 {
+		t.Fatalf("recovery summary = %+v, want 2 terminal / 1 requeued / 1 interrupted", rec)
+	}
+	if _, ok := s.Get("r4"); ok {
+		t.Fatal("deleted run resurrected by recovery")
+	}
+
+	// The pre-crash report is served verbatim, not re-rendered: r1 keeps
+	// the journal's bytes even though a real cineca run would differ.
+	s.mu.Lock()
+	r1, r5 := s.runs["r1"], s.runs["r5"]
+	gotReport := append([]byte(nil), r1.report...)
+	st1, st5, reason5 := r1.state, r5.state, r5.reason
+	s.mu.Unlock()
+	if st1 != StateComplete || !bytes.Equal(gotReport, fakeReport) {
+		t.Fatalf("r1 = %s report %q, want complete with the journaled bytes", st1, gotReport)
+	}
+	if st5 != StateCancelled || !strings.Contains(reason5, "cancelled") {
+		t.Fatalf("r5 = %s (%q), want cancelled metadata", st5, reason5)
+	}
+
+	// rB and rC re-enter arbitration and complete for real.
+	for _, id := range []string{"r2", "r3"} {
+		if st := waitState(t, s, id, StateComplete); st != StateComplete {
+			t.Fatalf("recovered run %s ended %s, want complete", id, st)
+		}
+	}
+
+	// Fresh admissions continue past the recovered sequence.
+	nr, err := s.Submit(spec("f", 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr.ID != "r6" {
+		t.Fatalf("post-recovery admission got ID %s, want r6 (sequence must continue)", nr.ID)
+	}
+}
+
+// TestRecoveryAcrossRestart drives the real write path: a service with a
+// journal completes runs, shuts down, and a second service on the same
+// directory serves the same terminal states and identical report bytes.
+func TestRecoveryAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := journalConfig(dir)
+	s1 := mustNew(t, cfg)
+	a, err := s1.Submit(spec("a", 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s1.Submit(spec("b", 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s1, a.ID, StateComplete)
+	waitState(t, s1, b.ID, StateComplete)
+	s1.mu.Lock()
+	reportA := append([]byte(nil), s1.runs[a.ID].report...)
+	s1.mu.Unlock()
+	shutdownOK(t, s1)
+
+	s2 := mustNew(t, cfg)
+	defer shutdownOK(t, s2)
+	rec := s2.Recovery()
+	if rec.Terminal != 2 || rec.Interrupted != 0 {
+		t.Fatalf("restart recovery = %+v, want 2 terminal", rec)
+	}
+	s2.mu.Lock()
+	ra := s2.runs[a.ID]
+	gotA := append([]byte(nil), ra.report...)
+	stA := ra.state
+	s2.mu.Unlock()
+	if stA != StateComplete || !bytes.Equal(gotA, reportA) {
+		t.Fatalf("restarted service serves %s with %d report bytes, want complete with the original %d bytes",
+			stA, len(gotA), len(reportA))
+	}
+}
+
+// TestJournalRotationUnderService: a tiny segment bound forces
+// compacting rotations during live traffic, and recovery from the
+// rotated journal still reconstructs the table — minus reaped runs,
+// which compaction forgets.
+func TestJournalRotationUnderService(t *testing.T) {
+	dir := t.TempDir()
+	cfg := journalConfig(dir)
+	cfg.JournalNoSync = true
+	cfg.JournalMaxBytes = 2048 // a report is bigger than this; every completion rotates
+	s := mustNew(t, cfg)
+
+	var keep, drop string
+	for i := 0; i < 4; i++ {
+		r, err := s.Submit(spec("a", uint64(20+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, s, r.ID, StateComplete)
+		if i == 0 {
+			drop = r.ID
+		} else {
+			keep = r.ID
+		}
+	}
+	if _, ok := s.Cancel(drop); !ok { // DELETE on terminal: reap now
+		t.Fatal("cancel terminal run: not found")
+	}
+	if st := s.j.Stats(); st.Rotations == 0 {
+		t.Fatalf("journal stats %+v: no rotation despite a %d-byte bound", st, cfg.JournalMaxBytes)
+	}
+	shutdownOK(t, s)
+
+	s2 := mustNew(t, cfg)
+	defer shutdownOK(t, s2)
+	if _, ok := s2.Get(drop); ok {
+		t.Fatalf("reaped run %s survived rotation + restart", drop)
+	}
+	if _, ok := s2.Get(keep); !ok {
+		t.Fatalf("live run %s lost across rotation + restart", keep)
+	}
+	if rec := s2.Recovery(); rec.Terminal != 3 {
+		t.Fatalf("recovery after rotation = %+v, want the 3 kept terminal runs", rec)
+	}
+}
+
+// TestSubmitFailsClosedWithoutJournal: when the journal cannot commit,
+// admission sheds (503 + Retry-After) instead of acknowledging work that
+// would be silently lost.
+func TestSubmitFailsClosedWithoutJournal(t *testing.T) {
+	dir := t.TempDir()
+	cfg := journalConfig(dir)
+	s := mustNew(t, cfg)
+	defer shutdownOK(t, s)
+	// Sever the journal out from under the service.
+	if err := s.j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Submit(spec("a", 1))
+	var shed *AdmissionError
+	if !errors.As(err, &shed) || shed.Code != 503 || shed.RetryAfter < 1 {
+		t.Fatalf("submit with dead journal = %v, want 503 AdmissionError with Retry-After", err)
+	}
+	if !strings.Contains(shed.Reason, "durability") {
+		t.Fatalf("shed reason %q does not name durability", shed.Reason)
+	}
+	if s.jErrs.Load() == 0 {
+		t.Fatal("journal error not counted")
+	}
+	if _, ok := s.Get("r1"); ok {
+		t.Fatal("run entered the table despite the failed commit")
+	}
+}
+
+// TestRecoveryHonorsJournaledSpecs: a spec journaled under wider limits than
+// the restarted service's is still honored — it was acknowledged.
+func TestRecoveryHonorsJournaledSpecs(t *testing.T) {
+	dir := t.TempDir()
+	wide := spec("a", 9)
+	wide.Jobs = 40 // wider than the shrunken MaxJobs below
+	seedJournal(t, dir,
+		journal.Record{Type: journal.TypeAccepted, ID: "r1", Seq: 1, Spec: mustSpecJSON(t, wide), UnixMS: 1000},
+	)
+	cfg := journalConfig(dir)
+	cfg.JournalNoSync = true
+	cfg.MaxJobs = 20
+	s := mustNew(t, cfg)
+	defer shutdownOK(t, s)
+	if st := waitState(t, s, "r1", StateComplete); st != StateComplete {
+		t.Fatalf("acknowledged wide spec ended %s after restart, want complete", st)
+	}
+}

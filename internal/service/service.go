@@ -32,6 +32,14 @@
 //     finished run's /metrics and /report stay on the wire) until nobody
 //     has touched them for IdleTTL, then deleted so the table cannot fill
 //     with corpses.
+//   - Durability (JournalDir): every run-table transition is written to
+//     an internal/journal write-ahead log — the accepted spec is fsynced
+//     before the client's 202, terminal states (with the report) before
+//     the table moves on — and New replays it, so a SIGKILL is
+//     observationally a long pause: terminal runs come back as metadata,
+//     interrupted runs re-execute deterministically from their journaled
+//     spec, queued runs re-enter fair-share arbitration. See journal.go
+//     for the recovery contract.
 package service
 
 import (
@@ -45,6 +53,7 @@ import (
 
 	"epajsrm/internal/core"
 	"epajsrm/internal/jobs"
+	"epajsrm/internal/journal"
 	"epajsrm/internal/metrics"
 	"epajsrm/internal/ops"
 	"epajsrm/internal/policy"
@@ -78,6 +87,13 @@ type Spec struct {
 	Seed   uint64 `json:"seed"`
 	Jobs   int    `json:"jobs"`
 	Days   int    `json:"days"`
+	// SliceS optionally overrides the virtual-time slice for this run,
+	// in simulated seconds per lock acquisition. 0 means the service
+	// default; anything else must land in [1, 86400] or admission
+	// rejects the spec with 400 — a non-positive or absurd slice would
+	// burn a fair-share slot spinning (or never yielding the run lock)
+	// before failing.
+	SliceS int64 `json:"slice_s,omitempty"`
 }
 
 // Config bounds the service. The zero value is unusable; call Default
@@ -107,6 +123,23 @@ type Config struct {
 	Slice simulator.Time
 	// HalfLife is the fair-share ledger's decay half-life (wall clock).
 	HalfLife time.Duration
+	// JournalDir, when non-empty, makes accepted runs durable: every
+	// run-table transition is logged to an internal/journal WAL in this
+	// directory and replayed by New after a crash.
+	JournalDir string
+	// JournalMaxBytes rotates the journal through a compacting snapshot
+	// once the active segment outgrows it (<= 0: the journal's 4 MiB
+	// default).
+	JournalMaxBytes int64
+	// JournalNoSync drops every fsync. Test-only: it keeps the record
+	// stream (so recovery logic is exercised) but forfeits the
+	// power-loss guarantee.
+	JournalNoSync bool
+	// WatermarkEvery journals a virtual-time progress watermark every N
+	// slices of a running run (<= 0: 64). Watermarks are informational
+	// — recovery re-executes from the spec, not the watermark — but
+	// they bound how stale the journal's view of a long run can get.
+	WatermarkEvery int
 }
 
 // Default returns the production-shaped configuration the epaserved CLI
@@ -123,6 +156,7 @@ func Default() Config {
 		StreamTimeout:  time.Minute,
 		Slice:          simulator.Minute,
 		HalfLife:       time.Hour,
+		WatermarkEvery: 64,
 	}
 }
 
@@ -144,6 +178,12 @@ type Run struct {
 
 	// cancel is set by DELETE and checked by the executor between slices.
 	cancel atomic.Bool
+
+	// recovered marks a run the journal re-admitted after a crash.
+	recovered bool
+	// wm is the last journaled virtual-time watermark (seconds), written
+	// by the executor without the service mutex.
+	wm atomic.Int64
 
 	m    *core.Manager
 	js   []*jobs.Job
@@ -193,16 +233,25 @@ type Service struct {
 	// rigged managers (e.g. one that panics mid-run).
 	build func(Spec) (*core.Manager, []*jobs.Job, site.Profile, error)
 
-	reg       *metrics.Registry
-	accepted  *metrics.Counter
-	shedTable *metrics.Counter
-	shedQuota *metrics.Counter
-	shedDrain *metrics.Counter
-	completed *metrics.Counter
-	failed    *metrics.Counter
-	cancelled *metrics.Counter
-	panics    *metrics.Counter
-	reaped    *metrics.Counter
+	// j is the write-ahead journal (nil without JournalDir). It has its
+	// own mutex; the lock order is s.mu → j's, never the reverse. jErrs
+	// counts failed appends/rotations (atomic: watermark appends happen
+	// off the service mutex) and recov is New's replay summary.
+	j     *journal.Journal
+	jErrs atomic.Int64
+	recov RecoverySummary
+
+	reg        *metrics.Registry
+	accepted   *metrics.Counter
+	shedTable  *metrics.Counter
+	shedQuota  *metrics.Counter
+	shedDrain  *metrics.Counter
+	completed  *metrics.Counter
+	failed     *metrics.Counter
+	cancelled  *metrics.Counter
+	panics     *metrics.Counter
+	reaped     *metrics.Counter
+	recoveries *metrics.Counter
 
 	wake     chan struct{}
 	stop     chan struct{}
@@ -214,7 +263,11 @@ type Service struct {
 
 // New builds a service and starts its dispatcher and reaper daemons.
 // Callers own its lifecycle: Shutdown must be called to stop the daemons.
-func New(cfg Config) *Service {
+// With JournalDir set, New opens (or recovers) the write-ahead journal
+// before accepting work: terminal runs reload as metadata, interrupted
+// and queued runs re-enter the queue. The only error paths are journal
+// I/O; config misuse still panics.
+func New(cfg Config) (*Service, error) {
 	if cfg.MaxRuns <= 0 || cfg.MaxActive <= 0 || cfg.Slice <= 0 {
 		panic("service: config must come from Default()")
 	}
@@ -238,15 +291,36 @@ func New(cfg Config) *Service {
 	s.cancelled = s.reg.Counter("service.cancelled")
 	s.panics = s.reg.Counter("service.run_panics")
 	s.reaped = s.reg.Counter("service.reaped")
+	s.recoveries = s.reg.Counter("service.recoveries")
 	// Gauge closures run inside Snapshot, which every caller invokes with
 	// s.mu already held — they must read fields directly, not re-lock.
 	s.reg.GaugeFunc("service.runs", func() float64 { return float64(len(s.runs)) })
 	s.reg.GaugeFunc("service.running", func() float64 { return float64(s.active) })
 	s.reg.GaugeFunc("service.queued", func() float64 { return float64(s.countLocked(StateQueued)) })
+	if cfg.JournalDir != "" {
+		j, recs, err := journal.Open(cfg.JournalDir, journal.Options{
+			MaxBytes: cfg.JournalMaxBytes, NoSync: cfg.JournalNoSync,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.j = j
+		s.recov = s.recoverLocked(recs)
+		s.recov.TornTail = j.Stats().TornTail
+		// The journal has its own mutex, so these closures are safe under
+		// s.mu (lock order s.mu → journal; the journal never locks back).
+		s.reg.GaugeFunc("journal.appends", func() float64 { return float64(s.j.Stats().Appends) })
+		s.reg.GaugeFunc("journal.fsyncs", func() float64 { return float64(s.j.Stats().Syncs) })
+		s.reg.GaugeFunc("journal.rotations", func() float64 { return float64(s.j.Stats().Rotations) })
+		s.reg.GaugeFunc("journal.segment_bytes", func() float64 { return float64(s.j.Stats().Size) })
+		s.reg.GaugeFunc("journal.generation", func() float64 { return float64(s.j.Stats().Gen) })
+		s.reg.GaugeFunc("journal.errors", func() float64 { return float64(s.jErrs.Load()) })
+	}
 	s.loopWG.Add(2)
 	go s.dispatch()
 	go s.reapLoop()
-	return s
+	s.wakeUp() // recovered queued runs dispatch immediately
+	return s, nil
 }
 
 // defaultBuild resolves the spec against the surveyed site profiles.
@@ -304,10 +378,23 @@ func (s *Service) Submit(spec Spec) (*Run, error) {
 		created: now,
 		touched: now,
 	}
+	// The WAL commit point: the accepted spec is durable (fsynced) before
+	// the run enters the table and the client sees its 202. A journal
+	// that cannot commit makes this a durability outage, shed like any
+	// other overload — accepting work we could silently forget is the
+	// exact failure mode the journal exists to rule out.
+	if s.j != nil {
+		if err := s.j.Append(acceptedRecord(r)); err != nil {
+			s.jErrs.Add(1)
+			return nil, &AdmissionError{Code: 503, RetryAfter: 5,
+				Reason: "durability unavailable: " + err.Error()}
+		}
+	}
 	s.runs[r.ID] = r
 	if len(s.runs) > s.tablePeak {
 		s.tablePeak = len(s.runs)
 	}
+	s.maybeRotateLocked()
 	s.accepted.Inc()
 	s.wakeUp()
 	return r, nil
@@ -325,6 +412,9 @@ func (s *Service) validate(spec Spec) error {
 	}
 	if spec.Days <= 0 || spec.Days > s.cfg.MaxDays {
 		return fmt.Errorf("days must be in [1, %d]", s.cfg.MaxDays)
+	}
+	if spec.SliceS != 0 && (spec.SliceS < 1 || spec.SliceS > int64(simulator.Day)) {
+		return fmt.Errorf("slice_s must be in [1, %d] simulated seconds when set", int64(simulator.Day))
 	}
 	return nil
 }
@@ -389,11 +479,14 @@ func (s *Service) Cancel(id string) (RunState, bool) {
 		r.reason = "cancelled before start"
 		r.ended = s.now()
 		r.touched = r.ended
+		s.journalAppend(terminalRecordLocked(r))
+		s.maybeRotateLocked()
 		s.cancelled.Inc()
 	case r.state == StateRunning:
 		r.cancel.Store(true)
 	default: // terminal: delete now
 		delete(s.runs, id)
+		s.journalAppend(journal.Record{Type: journal.TypeDeleted, ID: id})
 		s.reaped.Inc()
 	}
 	return r.state, true
@@ -454,6 +547,9 @@ func (s *Service) dispatch() {
 			}
 			r.state = StateRunning
 			r.started = s.now()
+			s.journalAppend(journal.Record{
+				Type: journal.TypeStarted, ID: r.ID, UnixMS: r.started.UnixMilli(),
+			})
 			s.active++
 			if s.active > s.runningPeak {
 				s.runningPeak = s.active
@@ -495,6 +591,11 @@ func (s *Service) execute(r *Run) {
 			s.panics.Inc()
 		}
 	}
+	// The terminal commit point: the outcome (and, for a complete run,
+	// its report) is fsynced so a restart serves it as metadata instead
+	// of re-executing — or worse, forgetting — a finished run.
+	s.journalAppend(terminalRecordLocked(r))
+	s.maybeRotateLocked()
 	// Charge the tenant for the wall time its run held a slot; the floor
 	// keeps even sub-millisecond runs ordering tenants in the ledger.
 	dur := r.ended.Sub(r.started).Seconds()
@@ -532,9 +633,22 @@ func (s *Service) runSim(r *Run) (err error) {
 	r.m, r.js, r.prof, r.tr, r.srv = m, js, prof, tr, srv
 	s.mu.Unlock()
 
+	// The slice is the run's lock quantum; a spec may override the
+	// service default (validated into [1s, 1 day] at admission). The
+	// report is slice-invariant — the engine is event-driven — so this
+	// only tunes lock granularity, never results.
+	slice := s.cfg.Slice
+	if r.Spec.SliceS > 0 {
+		slice = simulator.Time(r.Spec.SliceS)
+	}
+	wmEvery := s.cfg.WatermarkEvery
+	if wmEvery <= 0 {
+		wmEvery = 64
+	}
 	horizon := simulator.Time(r.Spec.Days) * simulator.Day
 	var end simulator.Time
-	for now := s.cfg.Slice; ; now += s.cfg.Slice {
+	slices := 0
+	for now := slice; ; now += slice {
 		if r.cancel.Load() {
 			srv.Shutdown(context.Background()) //nolint:errcheck // handler-only server: releases SSE, never blocks
 			return errCancelled
@@ -548,6 +662,13 @@ func (s *Service) runSim(r *Run) (err error) {
 			step = horizon
 		}
 		srv.Locked(func() { end = m.Eng.RunUntil(step) })
+		if slices++; s.j != nil && slices%wmEvery == 0 {
+			// Progress watermark: best-effort (no fsync, no service
+			// mutex — the journal has its own); recovery re-executes
+			// from the spec either way.
+			r.wm.Store(int64(end))
+			s.journalAppend(journal.Record{Type: journal.TypeWatermark, ID: r.ID, VT: int64(end)})
+		}
 		if step >= horizon {
 			break
 		}
@@ -592,6 +713,10 @@ func (s *Service) reapLocked(now time.Time) {
 	for id, r := range s.runs {
 		if r.state.Terminal() && now.Sub(r.touched) > s.cfg.IdleTTL {
 			delete(s.runs, id)
+			// A reaped run must stay gone after a restart: the deleted
+			// record stops recovery from resurrecting it, and the next
+			// compaction forgets it entirely.
+			s.journalAppend(journal.Record{Type: journal.TypeDeleted, ID: id})
 			s.reaped.Inc()
 		}
 	}
@@ -612,6 +737,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 			r.reason = "service shutting down"
 			r.ended = s.now()
 			r.touched = r.ended
+			s.journalAppend(terminalRecordLocked(r))
 			s.cancelled.Inc()
 		}
 		if r.srv != nil {
@@ -642,6 +768,13 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		}
 	}
 	s.loopWG.Wait()
+	// Every writer (executors, dispatcher, reaper) is stopped; seal the
+	// journal. Close is idempotent, matching Shutdown.
+	if s.j != nil {
+		if cerr := s.j.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 

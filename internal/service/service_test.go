@@ -22,6 +22,17 @@ func testConfig() Config {
 	return cfg
 }
 
+// mustNew builds a service or fails the test (New only errors on
+// journal I/O).
+func mustNew(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
 // fakeClock is an injectable wall clock for reaper and fairness tests.
 type fakeClock struct {
 	mu sync.Mutex
@@ -109,7 +120,7 @@ func shutdownOK(t *testing.T, s *Service) {
 }
 
 func TestValidateRejectsBadSpecs(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(t, testConfig())
 	defer shutdownOK(t, s)
 	bad := []Spec{
 		{},
@@ -119,6 +130,8 @@ func TestValidateRejectsBadSpecs(t *testing.T) {
 		{Tenant: "t", Site: "cineca", Jobs: 1, Days: 0},
 		{Tenant: "t", Site: "cineca", Jobs: 1, Days: 10_000},
 		{Tenant: strings.Repeat("x", 65), Site: "cineca", Jobs: 1, Days: 1},
+		{Tenant: "t", Site: "cineca", Jobs: 1, Days: 1, SliceS: -1},
+		{Tenant: "t", Site: "cineca", Jobs: 1, Days: 1, SliceS: int64(simulator.Day) + 1},
 	}
 	for _, sp := range bad {
 		_, err := s.Submit(sp)
@@ -138,7 +151,7 @@ func TestAdmissionTenantQuota(t *testing.T) {
 	cfg := testConfig()
 	cfg.MaxActive = 1
 	cfg.TenantActive = 2
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	gate := make(chan struct{})
 	setBuild(s, gatedBuild(gate))
 	defer func() {
@@ -174,7 +187,7 @@ func TestAdmissionTableFull(t *testing.T) {
 	cfg := testConfig()
 	cfg.MaxRuns = 3
 	cfg.MaxActive = 1
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	gate := make(chan struct{})
 	setBuild(s, gatedBuild(gate))
 	defer func() {
@@ -203,7 +216,7 @@ func TestAdmissionTableFull(t *testing.T) {
 
 // TestDrainingSheds503: after Shutdown begins, admission refuses with 503.
 func TestDrainingSheds503(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(t, testConfig())
 	shutdownOK(t, s)
 	_, err := s.Submit(spec("a", 1))
 	var shed *AdmissionError
@@ -218,7 +231,7 @@ func TestDrainingSheds503(t *testing.T) {
 // TestRunToCompletion: the ordinary lifecycle — queued, running, complete,
 // report rendered, tenant charged in the ledger.
 func TestRunToCompletion(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(t, testConfig())
 	defer shutdownOK(t, s)
 	r, err := s.Submit(spec("a", 7))
 	if err != nil {
@@ -250,7 +263,7 @@ func TestRunToCompletion(t *testing.T) {
 func TestCancelQueuedAndRunning(t *testing.T) {
 	cfg := testConfig()
 	cfg.MaxActive = 1
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	gate := make(chan struct{})
 	setBuild(s, gatedBuild(gate))
 	defer shutdownOK(t, s)
@@ -290,7 +303,7 @@ func TestCancelQueuedAndRunning(t *testing.T) {
 // the panic recorded, the panic counter increments, and a neighbor run in
 // the same process completes untouched.
 func TestPanicIsolation(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(t, testConfig())
 	defer shutdownOK(t, s)
 	setBuild(s, func(sp Spec) (*core.Manager, []*jobs.Job, site.Profile, error) {
 		m, js, p, err := defaultBuild(sp)
@@ -337,7 +350,7 @@ func TestIdleReaper(t *testing.T) {
 	cfg := testConfig()
 	cfg.IdleTTL = time.Minute
 	cfg.MaxActive = 1
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	clk := newFakeClock()
 	setClock(s, clk)
 	defer shutdownOK(t, s)
@@ -379,7 +392,7 @@ func TestIdleReaper(t *testing.T) {
 // TestFairShareDispatch: the next free slot goes to the tenant with the
 // least decayed usage, not to the longest-waiting run.
 func TestFairShareDispatch(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(t, testConfig())
 	defer shutdownOK(t, s)
 
 	s.mu.Lock()
@@ -410,7 +423,7 @@ func TestFairShareDispatch(t *testing.T) {
 func TestGracefulShutdownDrains(t *testing.T) {
 	cfg := testConfig()
 	cfg.MaxActive = 1
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	r1, err := s.Submit(spec("a", 1))
 	if err != nil {
 		t.Fatal(err)
@@ -445,7 +458,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 // deadline is hard-stopped at its next slice boundary and marked failed —
 // the service never hangs on a wedged run.
 func TestShutdownDeadlineHardStops(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(t, testConfig())
 	gate := make(chan struct{})
 	setBuild(s, func(sp Spec) (*core.Manager, []*jobs.Job, site.Profile, error) {
 		m, js, p, err := defaultBuild(sp)
@@ -486,7 +499,7 @@ func TestShutdownDeadlineHardStops(t *testing.T) {
 func TestSnapshotCensus(t *testing.T) {
 	cfg := testConfig()
 	cfg.MaxActive = 1
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	gate := make(chan struct{})
 	setBuild(s, gatedBuild(gate))
 	defer func() {

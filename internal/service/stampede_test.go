@@ -36,7 +36,7 @@ func TestStampede(t *testing.T) {
 	// goroutine descheduled past the TTL under full load would find its
 	// run legitimately reaped and misreport it as lost.
 	cfg.IdleTTL = time.Minute
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	h := s.Handler()
 
 	var (
