@@ -8,6 +8,7 @@ package epajsrm_test
 // EXPERIMENTS.md.
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -19,6 +20,7 @@ import (
 	"epajsrm/internal/power"
 	"epajsrm/internal/predict"
 	"epajsrm/internal/runner"
+	"epajsrm/internal/scale"
 	"epajsrm/internal/sched"
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/stats"
@@ -445,10 +447,67 @@ func BenchmarkAblationHistoryDepth(b *testing.B) {
 	}
 }
 
+// -- hollow-site scale curve --------------------------------------------------
+
+// BenchmarkScale runs the internal/scale harness at 1k/10k/100k hollow
+// nodes (10 jobs per node over a simulated week, full control loop:
+// scheduling, power caps, faults, checkpoints) and reports the nodes x jobs
+// vs wall-time/RSS curve. In -short mode the 100k point is skipped; the
+// full curve lands in BENCH_<date>.json via `make bench`.
+func BenchmarkScale(b *testing.B) {
+	for _, nodes := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			if testing.Short() && nodes > 10000 {
+				b.Skip("100k point skipped in -short mode")
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := scale.Run(scale.DefaultConfig(nodes, uint64(i+1)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if done := res.Completed + res.Killed; done != res.Jobs {
+					b.Fatalf("run did not drain: %d of %d jobs terminal", done, res.Jobs)
+				}
+				if i == 0 {
+					b.ReportMetric(res.WallSec, "wall-s")
+					b.ReportMetric(res.PeakRSSMB, "rss-MB")
+					b.ReportMetric(float64(res.Events), "events")
+					b.ReportMetric(float64(res.Jobs), "jobs")
+					b.ReportMetric(res.UtilPct, "util-%")
+				}
+			}
+		})
+	}
+}
+
 // -- micro-benchmarks on the hot paths ---------------------------------------
 
 func BenchmarkEngineEventThroughput(b *testing.B) {
 	eng := simulator.NewEngine()
+	n := 0
+	var fn func(now simulator.Time)
+	fn = func(now simulator.Time) {
+		n++
+		if n < b.N {
+			eng.After(1, "tick", fn)
+		}
+	}
+	b.ResetTimer()
+	eng.After(1, "tick", fn)
+	eng.Run()
+}
+
+// BenchmarkEngineDeepQueue measures event push/pop with a million-entry
+// backlog resident in the queue — the regime the calendar queue exists
+// for. A deep daemon backlog parks far in the future while a
+// fire-one-schedule-one tick stream runs through the near term, so every
+// measured operation pays the at-depth insert and extract cost.
+func BenchmarkEngineDeepQueue(b *testing.B) {
+	eng := simulator.NewEngine()
+	const depth = 1 << 20
+	for i := 0; i < depth; i++ {
+		eng.AtDaemon(simulator.Time(1<<30+i), "backlog", func(simulator.Time) {})
+	}
 	n := 0
 	var fn func(now simulator.Time)
 	fn = func(now simulator.Time) {

@@ -11,6 +11,14 @@
 // Usage:
 //
 //	go test -bench=. -benchmem -count=1 -run '^$' . | benchjson -out BENCH_<date>.json
+//
+// With -diff, benchjson instead compares two records it previously wrote
+// and reports per-benchmark deltas on ns/op, B/op and allocs/op. A
+// regression beyond -threshold percent on any compared metric makes the
+// exit status non-zero, which is how CI gates hot-path benchmarks against
+// the last committed baseline:
+//
+//	benchjson -diff -threshold 10 -bench BenchmarkEngineEventThroughput,BenchmarkSchedulerPickEASY old.json new.json
 package main
 
 import (
@@ -41,8 +49,36 @@ type Record struct {
 }
 
 func main() {
-	out := flag.String("out", "", "path to write the JSON record (required)")
+	out := flag.String("out", "", "path to write the JSON record (required unless -diff)")
+	diff := flag.Bool("diff", false, "compare two JSON records: benchjson -diff [flags] old.json new.json")
+	threshold := flag.Float64("threshold", 10, "with -diff: fail on regressions beyond this percent")
+	benchFilter := flag.String("bench", "", "with -diff: comma-separated benchmark names to compare (default: all common)")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two record files (old.json new.json)")
+			os.Exit(2)
+		}
+		oldRec, err := loadRecord(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		newRec, err := loadRecord(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		report, breaches := diffRecords(oldRec, newRec, *threshold, splitFilter(*benchFilter))
+		fmt.Print(report)
+		if breaches > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) beyond %.1f%%\n", breaches, *threshold)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
 		os.Exit(2)
@@ -89,6 +125,120 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rec.Benchmarks), *out)
+}
+
+// loadRecord reads a JSON record written by a previous benchjson run.
+func loadRecord(path string) (Record, error) {
+	var rec Record
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return rec, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}
+
+// normalizeName strips the trailing "-<GOMAXPROCS>" suffix go test appends
+// when it runs with more than one CPU, so records taken on different
+// machines (or with different -cpu settings) still line up by name.
+func normalizeName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func splitFilter(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// diffMetrics are the units compared, in report order; for all of them
+// larger is worse, so a regression is new > old * (1 + threshold/100).
+var diffMetrics = []string{"ns/op", "B/op", "allocs/op"}
+
+// diffRecords compares the benchmarks common to both records (or the ones
+// named in filter) and returns a human-readable report plus the number of
+// metrics that regressed beyond threshold percent. Benchmarks named in the
+// filter but missing from either record count as breaches — a CI gate must
+// not pass because the benchmark it guards silently disappeared.
+func diffRecords(oldRec, newRec Record, threshold float64, filter []string) (string, int) {
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldRec.Benchmarks {
+		oldBy[normalizeName(b.Name)] = b
+	}
+	newBy := map[string]Benchmark{}
+	var order []string
+	for _, b := range newRec.Benchmarks {
+		n := normalizeName(b.Name)
+		if _, dup := newBy[n]; !dup {
+			order = append(order, n)
+		}
+		newBy[n] = b
+	}
+
+	var sb strings.Builder
+	breaches := 0
+	names := order
+	if len(filter) > 0 {
+		names = filter
+	}
+	fmt.Fprintf(&sb, "%-50s %-10s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+	for _, name := range names {
+		nb, okNew := newBy[name]
+		ob, okOld := oldBy[name]
+		if !okNew || !okOld {
+			if len(filter) > 0 {
+				fmt.Fprintf(&sb, "%-50s %-10s missing from %s record: BREACH\n",
+					name, "-", missingSide(okOld, okNew))
+				breaches++
+			}
+			continue
+		}
+		for _, metric := range diffMetrics {
+			ov, okO := ob.Metrics[metric]
+			nv, okN := nb.Metrics[metric]
+			if !okO || !okN {
+				continue
+			}
+			deltaPct := 0.0
+			if ov != 0 {
+				deltaPct = 100 * (nv - ov) / ov
+			} else if nv != 0 {
+				deltaPct = 100
+			}
+			mark := ""
+			if deltaPct > threshold {
+				mark = "  REGRESSION"
+				breaches++
+			}
+			fmt.Fprintf(&sb, "%-50s %-10s %14.2f %14.2f %+8.1f%%%s\n", name, metric, ov, nv, deltaPct, mark)
+		}
+	}
+	return sb.String(), breaches
+}
+
+func missingSide(okOld, okNew bool) string {
+	switch {
+	case !okOld && !okNew:
+		return "both"
+	case !okOld:
+		return "old"
+	default:
+		return "new"
+	}
 }
 
 // parseLine parses "BenchmarkName-8  10  123 ns/op  45 B/op  6 allocs/op".

@@ -1,0 +1,99 @@
+// Command epascale runs the hollow-site scale harness (internal/scale):
+// hollow clusters at 1k-100k nodes pushing a week of mixed workload through
+// the full control loop — EASY scheduling, a system power cap, node
+// crash/repair faults, periodic checkpoints and sampled telemetry — and
+// reports a nodes x jobs vs wall-time/RSS curve.
+//
+//	epascale -nodes 1000,10000,100000 -jobs-per-node 10 -days 7
+//
+// With -max-rss-mb the process asserts its peak resident set stayed under
+// the bound and exits non-zero otherwise, which is how CI smoke-tests the
+// scale path without a human watching the numbers:
+//
+//	epascale -nodes 10000 -max-rss-mb 1024
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"epajsrm/internal/scale"
+	"epajsrm/internal/simulator"
+)
+
+func main() {
+	nodesFlag := flag.String("nodes", "1000,10000,100000", "comma-separated hollow node counts")
+	jobsPerNode := flag.Int("jobs-per-node", 10, "jobs submitted per node over the arrival window")
+	days := flag.Int("days", 7, "arrival window in simulated days (the run drains past it)")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	util := flag.Float64("util", 0.85, "target offered load the workload is shaped to")
+	schedDefer := flag.Int("sched-defer", 60, "scheduling-pass grid in seconds (0 = harness default)")
+	telemetry := flag.Int("telemetry", 600, "telemetry sampling period in seconds (0 = harness default)")
+	eager := flag.Bool("eager-power", false, "disable lazy energy integration (A/B timing)")
+	noFaults := flag.Bool("no-faults", false, "disable node crash/repair injection")
+	noCkpt := flag.Bool("no-ckpt", false, "disable periodic checkpoints")
+	maxRSS := flag.Float64("max-rss-mb", 0, "fail if peak RSS exceeds this many MB (0 = no bound)")
+	jsonOut := flag.String("json", "", "write the curve as JSON to this file ('-' = stdout)")
+	flag.Parse()
+
+	var points []int
+	for _, f := range strings.Split(*nodesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "epascale: bad node count %q\n", f)
+			os.Exit(2)
+		}
+		points = append(points, n)
+	}
+
+	var curve []scale.Result
+	for _, nodes := range points {
+		c := scale.Config{
+			Nodes:         nodes,
+			Jobs:          *jobsPerNode * nodes,
+			Horizon:       simulator.Time(*days) * simulator.Day,
+			Seed:          *seed,
+			TargetUtil:    *util,
+			SchedDefer:    simulator.Time(*schedDefer) * simulator.Second,
+			Telemetry:     simulator.Time(*telemetry) * simulator.Second,
+			EagerPower:    *eager,
+			NoFaults:      *noFaults,
+			NoCheckpoints: *noCkpt,
+		}
+		res, err := scale.Run(c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "epascale: nodes=%d: %v\n", nodes, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+		curve = append(curve, res)
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(curve, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "epascale:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "epascale:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *maxRSS > 0 {
+		if rss := scale.PeakRSSMB(); rss > *maxRSS {
+			fmt.Fprintf(os.Stderr, "epascale: peak RSS %.0f MB exceeds bound %.0f MB\n", rss, *maxRSS)
+			os.Exit(1)
+		} else {
+			fmt.Fprintf(os.Stderr, "epascale: peak RSS %.0f MB within bound %.0f MB\n", rss, *maxRSS)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"testing"
+
+	"epajsrm/internal/simulator"
+)
+
+// checkMirrors asserts the maintained bitset and counters agree with a
+// brute-force scan of the node slab — the oracle the O(1) paths replace.
+func checkMirrors(t *testing.T, c *Cluster) {
+	t.Helper()
+	wantAvail, wantElig := 0, 0
+	for _, n := range c.Nodes {
+		a := n.State == StateIdle && !n.Maintenance && !c.InfraMaintenance(n)
+		if a {
+			wantAvail++
+		}
+		if n.State != StateDown && !n.Maintenance && !c.InfraMaintenance(n) {
+			wantElig++
+		}
+		bit := c.availBits[n.ID>>6]>>(uint(n.ID)&63)&1 == 1
+		if bit != a {
+			t.Fatalf("node %d: avail bit=%v, scan says %v (state=%v maint=%v)", n.ID, bit, a, n.State, n.Maintenance)
+		}
+	}
+	if c.availCnt != wantAvail {
+		t.Fatalf("availCnt=%d, scan says %d", c.availCnt, wantAvail)
+	}
+	if c.eligibleCnt != wantElig {
+		t.Fatalf("eligibleCnt=%d, scan says %d", c.eligibleCnt, wantElig)
+	}
+	if got := c.AvailableCount(nil); got != wantAvail {
+		t.Fatalf("AvailableCount(nil)=%d, scan says %d", got, wantAvail)
+	}
+	if got := len(c.AvailableNodes(nil)); got != wantAvail {
+		t.Fatalf("len(AvailableNodes(nil))=%d, scan says %d", got, wantAvail)
+	}
+}
+
+// TestMirrorsTrackRandomTransitions storms the cluster with every mutation
+// the package exposes — allocation, release, boots, shutdowns, failures,
+// repairs, node and infrastructure maintenance — and re-validates the
+// mirrors against the oracle after each step.
+func TestMirrorsTrackRandomTransitions(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 130 // deliberately not a multiple of 64
+	cfg.NodesPerRack = 8
+	c := New(cfg)
+	rng := simulator.NewRNG(99)
+	now := simulator.Time(0)
+	var jobIDs []int64
+	nextJob := int64(1)
+
+	checkMirrors(t, c)
+	for step := 0; step < 3000; step++ {
+		now++
+		n := c.Nodes[rng.Intn(len(c.Nodes))]
+		switch rng.Intn(10) {
+		case 0:
+			if got := c.AllocateWith(nextJob, 1+rng.Intn(8), now, nil, Strategy(rng.Intn(3))); got != nil {
+				jobIDs = append(jobIDs, nextJob)
+				nextJob++
+			}
+		case 1:
+			if len(jobIDs) > 0 {
+				k := rng.Intn(len(jobIDs))
+				c.Release(jobIDs[k], now)
+				jobIDs = append(jobIDs[:k], jobIDs[k+1:]...)
+			}
+		case 2:
+			c.BeginShutdown(n, now)
+		case 3:
+			c.FinishShutdown(n, now)
+		case 4:
+			c.BeginBoot(n, now)
+		case 5:
+			c.FinishBoot(n, now)
+		case 6:
+			if n.State == StateDown {
+				c.Repair(n, now)
+			} else {
+				c.SetDown(n, now)
+			}
+		case 7:
+			c.SetMaintenance(n, !n.Maintenance)
+		case 8:
+			c.SetPDUMaintenance(rng.Intn(c.PDUs), rng.Float64() < 0.5)
+		case 9:
+			c.SetChillerMaintenance(rng.Intn(c.Chillers), rng.Float64() < 0.5)
+		}
+		checkMirrors(t, c)
+	}
+}
+
+// TestAvailableNodesIDOrder pins the bit-walk iteration order contract the
+// placement strategies rely on.
+func TestAvailableNodesIDOrder(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 100
+	c := New(cfg)
+	c.AllocateWith(1, 37, 0, nil, PlaceScatter)
+	prev := -1
+	for _, n := range c.AvailableNodes(nil) {
+		if n.ID <= prev {
+			t.Fatalf("AvailableNodes out of ID order: %d after %d", n.ID, prev)
+		}
+		prev = n.ID
+	}
+}
+
+// TestSlabBacking asserts the boxed views point into the contiguous slab.
+func TestSlabBacking(t *testing.T) {
+	c := New(DefaultConfig())
+	for i, n := range c.Nodes {
+		if n != &c.nodes[i] {
+			t.Fatalf("Nodes[%d] does not point into the slab", i)
+		}
+	}
+}

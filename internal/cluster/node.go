@@ -73,6 +73,8 @@ type Node struct {
 
 	// Maintenance flag used by layout-aware scheduling (CEA): set when the
 	// node itself is under maintenance, independent of PDU/chiller state.
+	// Change it only via Cluster.SetMaintenance — the cluster mirrors
+	// availability into a bitset and counters that must stay consistent.
 	Maintenance bool
 
 	// VMHost marks a node that carries virtual machines. Tokyo Tech's

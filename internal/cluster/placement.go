@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"math/bits"
 	"sort"
 
 	"epajsrm/internal/simulator"
@@ -33,59 +34,145 @@ func (s Strategy) String() string {
 	return "Strategy(?)"
 }
 
-// orderForStrategy sorts avail in the strategy's preference order.
-func orderForStrategy(avail []*Node, s Strategy) {
+// orderForStrategy permutes avail into the strategy's preference order.
+// Both topology strategies are bucket passes, not comparison sorts: avail
+// arrives in ID order from AvailableNodes, and rack and PDU assignment is
+// positional (rack = ID/NodesPerRack, PDU above that), so rack and PDU are
+// monotone in ID — bucketing nodes in input order lands each bucket's
+// members already in (PDU, ID) order. The result is exactly the
+// permutation the old comparator sorts produced (compact: per-rack count
+// desc, rack asc, ID asc; scatter: per-PDU ordinal asc, PDU asc, ID asc),
+// in O(A + racks log racks) instead of O(A log A) comparator calls — the
+// placement sort was the top profile entry of a hollow-site run.
+func (c *Cluster) orderForStrategy(avail []*Node, s Strategy) {
 	switch s {
 	case PlaceCompact:
-		perRack := map[int]int{}
+		// Count per rack, collecting the non-empty racks; avail's ID order
+		// means the collected rack list is already ascending.
+		perRack := c.rackScratch
+		for i := range perRack {
+			perRack[i] = 0
+		}
+		racks := c.rackOrder[:0]
 		for _, n := range avail {
+			if perRack[n.Rack] == 0 {
+				racks = append(racks, int32(n.Rack))
+			}
 			perRack[n.Rack]++
 		}
-		sort.Slice(avail, func(i, j int) bool {
-			a, b := avail[i], avail[j]
-			if perRack[a.Rack] != perRack[b.Rack] {
-				return perRack[a.Rack] > perRack[b.Rack]
-			}
-			if a.Rack != b.Rack {
-				return a.Rack < b.Rack
-			}
-			return a.ID < b.ID
+		// Emit racks fullest-first (ties by rack number, i.e. stable over
+		// the already-ascending list).
+		sort.SliceStable(racks, func(i, j int) bool {
+			return perRack[racks[i]] > perRack[racks[j]]
 		})
-	case PlaceScatter:
-		// Round-robin over PDUs: sort by (index within PDU, PDU, ID) so the
-		// prefix takes one node from each PDU before doubling up.
-		idxInPDU := map[int]int{}
-		order := make(map[*Node]int, len(avail))
-		sort.Slice(avail, func(i, j int) bool { return avail[i].ID < avail[j].ID })
-		for _, n := range avail {
-			order[n] = idxInPDU[n.PDU]
-			idxInPDU[n.PDU]++
+		c.rackOrder = racks
+		// Turn counts into emit offsets, then scatter nodes into place.
+		pos := int32(0)
+		for _, r := range racks {
+			n := perRack[r]
+			perRack[r] = pos
+			pos += n
 		}
-		sort.Slice(avail, func(i, j int) bool {
-			a, b := avail[i], avail[j]
-			if order[a] != order[b] {
-				return order[a] < order[b]
+		out := c.placeBuf(len(avail))
+		for _, n := range avail {
+			out[perRack[n.Rack]] = n
+			perRack[n.Rack]++
+		}
+		copy(avail, out)
+	case PlaceScatter:
+		// Round-robin over PDUs: order by (index within PDU, PDU, ID) so the
+		// prefix takes one node from each PDU before doubling up. A counting
+		// sort on the ordinal suffices: within an ordinal, input order is
+		// already (PDU, ID) order.
+		idxInPDU := c.pduScratch
+		for i := range idxInPDU {
+			idxInPDU[i] = 0
+		}
+		order := c.nodeScratch
+		maxOrd := int32(-1)
+		for _, n := range avail {
+			o := idxInPDU[n.PDU]
+			order[n.ID] = o
+			idxInPDU[n.PDU]++
+			if o > maxOrd {
+				maxOrd = o
 			}
-			if a.PDU != b.PDU {
-				return a.PDU < b.PDU
-			}
-			return a.ID < b.ID
-		})
+		}
+		cnt := c.ordBuf(int(maxOrd) + 1)
+		for i := range cnt {
+			cnt[i] = 0
+		}
+		for _, n := range avail {
+			cnt[order[n.ID]]++
+		}
+		pos := int32(0)
+		for i, v := range cnt {
+			cnt[i] = pos
+			pos += v
+		}
+		out := c.placeBuf(len(avail))
+		for _, n := range avail {
+			out[cnt[order[n.ID]]] = n
+			cnt[order[n.ID]]++
+		}
+		copy(avail, out)
 	case PlaceFirstFit:
-		sort.Slice(avail, func(i, j int) bool { return avail[i].ID < avail[j].ID })
+		// AvailableNodes already yields ID order — nothing to do.
 	}
 }
 
-// AllocateWith is Allocate with an explicit placement strategy.
+// placeBuf / ordBuf return reusable scratch of at least the given length.
+func (c *Cluster) placeBuf(n int) []*Node {
+	if cap(c.placeScratch) < n {
+		c.placeScratch = make([]*Node, n)
+	}
+	return c.placeScratch[:n]
+}
+
+func (c *Cluster) ordBuf(n int) []int32 {
+	if cap(c.ordScratch) < n {
+		c.ordScratch = make([]int32, n)
+	}
+	return c.ordScratch[:n]
+}
+
+// AllocateWith is Allocate with an explicit placement strategy. With no
+// eligibility filter the shortage check is an O(1) counter read, so a
+// too-wide job is rejected before any scan; a first-fit placement then
+// takes the first count set bits directly instead of materializing the
+// whole availability list — at 100k hollow nodes every job start would
+// otherwise build and discard a list of every free node in the machine.
 func (c *Cluster) AllocateWith(jobID int64, count int, now simulator.Time, eligible func(*Node) bool, s Strategy) []*Node {
+	if eligible == nil && c.availCnt < count {
+		return nil
+	}
+	if eligible == nil && s == PlaceFirstFit {
+		chosen := make([]*Node, 0, count)
+	scan:
+		for wi, w := range c.availBits {
+			for w != 0 {
+				chosen = append(chosen, c.Nodes[wi<<6+bits.TrailingZeros64(w)])
+				if len(chosen) == count {
+					break scan
+				}
+				w &= w - 1
+			}
+		}
+		for _, n := range chosen {
+			c.setNodeState(n, StateBusy, now)
+			n.JobID = jobID
+		}
+		c.byJob[jobID] = chosen
+		return chosen
+	}
 	avail := c.AvailableNodes(eligible)
 	if len(avail) < count {
 		return nil
 	}
-	orderForStrategy(avail, s)
+	c.orderForStrategy(avail, s)
 	chosen := avail[:count]
 	for _, n := range chosen {
-		n.setState(StateBusy, now)
+		c.setNodeState(n, StateBusy, now)
 		n.JobID = jobID
 	}
 	cp := make([]*Node, count)

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/simulator"
+)
+
+// TestSchedDeferCoalescesPasses submits a burst of arrivals inside one grid
+// step and asserts they all start at the next grid instant via a single
+// coalesced pass, not one pass per arrival.
+func TestSchedDeferCoalescesPasses(t *testing.T) {
+	m := newTestManager(t)
+	m.SchedDefer = 60
+	js := make([]*jobs.Job, 5)
+	for i := range js {
+		js[i] = mkJob(int64(i+1), 2, 10*simulator.Minute)
+		if err := m.Submit(js[i], simulator.Time(3+i*7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Run(-1)
+	if got := m.Metrics.Completed; got != 5 {
+		t.Fatalf("completed %d of 5 jobs", got)
+	}
+	// All five arrivals land inside (0,60); the single coalesced pass at the
+	// grid instant 60 starts all of them together.
+	for _, j := range js {
+		if j.Start != 60 {
+			t.Errorf("job %d started at %v, want the grid instant 60", j.ID, j.Start)
+		}
+	}
+	if m.LastSchedPass%60 != 0 {
+		t.Errorf("last pass at %v, not on the 60 s grid", m.LastSchedPass)
+	}
+}
+
+// TestSchedDeferZeroMatchesInline pins the default: with SchedDefer unset
+// every arrival triggers an immediate pass, so an empty machine starts the
+// job at its submit instant.
+func TestSchedDeferZeroMatchesInline(t *testing.T) {
+	m := newTestManager(t)
+	j := mkJob(1, 2, 10*simulator.Minute)
+	if err := m.Submit(j, 5); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(-1)
+	if j.Start != 5 {
+		t.Fatalf("inline mode start=%v, want 5", j.Start)
+	}
+}

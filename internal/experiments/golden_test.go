@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"epajsrm/internal/runner"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files from the current tree")
+
+// goldenCases pins two representative experiments (the resilience and
+// checkpoint sweeps, which exercise faults, requeues, checkpoint I/O and
+// the power meters together) to committed renders. The parallel-vs-
+// sequential test asserts procs-invariance of whatever the current tree
+// produces; this test additionally asserts the render is byte-identical to
+// the output captured before the compact-layout/calendar-queue rework, so
+// a data-structure change that shifts event order or float accumulation
+// order fails loudly rather than silently re-baselining.
+var goldenCases = []struct {
+	file string
+	mk   func(uint64) Result
+}{
+	{"e21_seed2.golden", E21Resilience},
+	{"e22_seed2.golden", E22CheckpointSweep},
+}
+
+func TestGoldenReportsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweeps in short mode")
+	}
+	for _, procs := range []int{1, 4} {
+		prev := runner.SetProcs(procs)
+		for _, tc := range goldenCases {
+			got := tc.mk(2).Render()
+			path := filepath.Join("testdata", tc.file)
+			if *updateGolden && procs == 1 {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden %s (regenerate with -update): %v", path, err)
+			}
+			if got != string(want) {
+				t.Errorf("%s render at procs=%d differs from committed golden %s:\n--- got ---\n%s\n--- want ---\n%s",
+					tc.file, procs, path, got, string(want))
+			}
+		}
+		runner.SetProcs(prev)
+	}
+}

@@ -1,0 +1,44 @@
+package jobs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestArenaAllocatesStableZeroedSlots(t *testing.T) {
+	a := NewArena(4)
+	var ptrs []*Job
+	for i := 0; i < 11; i++ {
+		j := a.New()
+		if !reflect.DeepEqual(*j, Job{}) {
+			t.Fatalf("slot %d not zeroed: %+v", i, *j)
+		}
+		j.ID = int64(i + 1)
+		ptrs = append(ptrs, j)
+	}
+	if a.Len() != 11 {
+		t.Fatalf("Len=%d, want 11", a.Len())
+	}
+	// Later allocations must not move earlier jobs.
+	for i, j := range ptrs {
+		if j.ID != int64(i+1) {
+			t.Fatalf("job %d clobbered: ID=%d", i, j.ID)
+		}
+	}
+	// Distinct slots.
+	seen := map[*Job]bool{}
+	for _, j := range ptrs {
+		if seen[j] {
+			t.Fatal("arena handed out the same slot twice")
+		}
+		seen[j] = true
+	}
+}
+
+func TestArenaDefaultChunk(t *testing.T) {
+	a := NewArena(0)
+	a.New()
+	if a.size != DefaultArenaChunk {
+		t.Fatalf("size=%d, want %d", a.size, DefaultArenaChunk)
+	}
+}

@@ -78,12 +78,12 @@ type Job struct {
 	Mold []MoldConfig
 
 	// Lifecycle bookkeeping, written by the manager.
-	State      State
-	Submit     simulator.Time
-	Start      simulator.Time
-	End        simulator.Time
-	FreqFrac   float64 // frequency assigned at start (1 = nominal)
-	EnergyJ    float64 // metered energy, filled at end (post-job reports)
+	State    State
+	Submit   simulator.Time
+	Start    simulator.Time
+	End      simulator.Time
+	FreqFrac float64 // frequency assigned at start (1 = nominal)
+	EnergyJ  float64 // metered energy, filled at end (post-job reports)
 	// AvgPowerW and PeakPowerW are the job-level power account filled at
 	// end alongside EnergyJ: mean aggregate draw over the job's RunSeconds
 	// and the highest instantaneous aggregate draw across its nodes —

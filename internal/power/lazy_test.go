@@ -1,0 +1,109 @@
+package power
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/simulator"
+)
+
+// TestLazyEnergyMatchesEager drives two systems — one eager, one lazy —
+// through an identical randomized script of job starts/ends, DVFS moves,
+// aux draw flips and node caps, and asserts every energy account agrees to
+// float tolerance. Lazy mode reorders float additions, so equality is
+// relative-epsilon, not bitwise; the scale harness accepts that trade,
+// default runs never enable it.
+func TestLazyEnergyMatchesEager(t *testing.T) {
+	mk := func() (*cluster.Cluster, *System) {
+		cl := cluster.New(cluster.DefaultConfig())
+		sys := NewSystem(cl, DefaultNodeModel(), DefaultPStates(), 0.05, simulator.NewRNG(11))
+		return cl, sys
+	}
+	clA, eager := mk()
+	clB, lazy := mk()
+	lazy.EnableLazyEnergy()
+
+	rng := simulator.NewRNG(77)
+	now := simulator.Time(0)
+	type run struct {
+		id    int64
+		nodes int
+	}
+	var active []run
+	nextID := int64(1)
+
+	for step := 0; step < 2000; step++ {
+		now += simulator.Time(1 + rng.Intn(600))
+		switch rng.Intn(5) {
+		case 0, 1:
+			w := 1 + rng.Intn(8)
+			nomW := 200 + rng.Float64()*200
+			memf := rng.Float64() * 0.6
+			nA := clA.Allocate(nextID, w, now, nil)
+			nB := clB.Allocate(nextID, w, now, nil)
+			if (nA == nil) != (nB == nil) {
+				t.Fatalf("allocation divergence at job %d", nextID)
+			}
+			if nA != nil {
+				eager.StartJob(now, nextID, nA, nomW, memf, 1)
+				lazy.StartJob(now, nextID, nB, nomW, memf, 1)
+				active = append(active, run{nextID, w})
+				nextID++
+			}
+		case 2:
+			if len(active) > 0 {
+				k := rng.Intn(len(active))
+				id := active[k].id
+				eager.EndJob(now, id, clA.JobNodes(id))
+				lazy.EndJob(now, id, clB.JobNodes(id))
+				clA.Release(id, now)
+				clB.Release(id, now)
+				active = append(active[:k], active[k+1:]...)
+			}
+		case 3:
+			if len(active) > 0 {
+				id := active[rng.Intn(len(active))].id
+				f := 0.5 + rng.Float64()*0.5
+				eager.SetJobFreq(now, id, f)
+				lazy.SetJobFreq(now, id, f)
+			}
+		case 4:
+			if len(active) > 0 {
+				id := active[rng.Intn(len(active))].id
+				aux := rng.Float64() * 40
+				eager.SetJobAux(now, id, aux)
+				lazy.SetJobAux(now, id, aux)
+			}
+		}
+		if rng.Float64() < 0.2 {
+			n := clA.Nodes[rng.Intn(clA.Size())]
+			capW := 0.0
+			if rng.Float64() < 0.7 {
+				capW = 150 + rng.Float64()*250
+			}
+			eager.SetNodeCap(now, n, capW)
+			lazy.SetNodeCap(now, clB.Nodes[n.ID], capW)
+		}
+	}
+	now += simulator.Hour
+	eager.Advance(now)
+	lazy.Advance(now)
+
+	close := func(name string, a, b float64) {
+		t.Helper()
+		if diff := math.Abs(a - b); diff > 1e-6*(1+math.Abs(a)) {
+			t.Errorf("%s diverged: eager=%v lazy=%v", name, a, b)
+		}
+	}
+	close("TotalEnergy", eager.TotalEnergy(), lazy.TotalEnergy())
+	close("AttributedEnergy", eager.AttributedEnergy(), lazy.AttributedEnergy())
+	close("TotalPower", eager.TotalPower(), lazy.TotalPower())
+	for id := int64(1); id < nextID; id++ {
+		close(fmt.Sprintf("JobEnergy(%d)", id), eager.JobEnergy(id), lazy.JobEnergy(id))
+	}
+	pA, _ := eager.PeakPower()
+	pB, _ := lazy.PeakPower()
+	close("PeakPower", pA, pB)
+}

@@ -2,6 +2,7 @@ package power
 
 import (
 	"fmt"
+	"sort"
 
 	"epajsrm/internal/cluster"
 	"epajsrm/internal/simulator"
@@ -77,6 +78,33 @@ type System struct {
 	attribJ float64
 	peakW   float64
 	peakT   simulator.Time
+
+	// jobNodes indexes the node IDs each active job occupies, ascending, so
+	// per-job actuation (DVFS, aux draw, frac queries) touches only the
+	// job's nodes instead of scanning every load slot. Ascending order
+	// matters: setNodeP folds deltas into totalW, and applying them in the
+	// same node order as the old full scans keeps float accumulation — and
+	// therefore rendered reports — bit-identical. Entries are dropped at
+	// EndJob; a requeued job is re-indexed by its next StartJob.
+	jobNodes map[int64][]int32
+	idScr    []int32 // scratch for building a sorted ID list
+
+	// meterChunks slab-allocates JobMeters (see jobs.Arena for the
+	// rationale: a million retired meters should be a few hundred blocks,
+	// not a million GC-tracked objects). Meters live for the whole run.
+	meterChunks [][]JobMeter
+	meterUsed   int
+
+	// lazy, when enabled, defers per-node energy integration from every
+	// Advance (O(nodes) on every event that touches power — the single
+	// biggest cost at 100k nodes) to per-node settlement at the instants a
+	// node's draw actually changes, tracked in nodeT. Integration is still
+	// exact — power is piecewise constant either way — but per-node float
+	// additions happen in a different order, so totals can differ from the
+	// eager mode in the last bits. Scale runs opt in; default runs keep the
+	// eager order and stay byte-identical with historical reports.
+	lazy  bool
+	nodeT []simulator.Time
 }
 
 // NewSystem wires a power system over cl. varSigma is the relative stddev
@@ -91,14 +119,15 @@ func NewSystem(cl *cluster.Cluster, model NodeModel, pstates PStateTable, varSig
 		panic(err)
 	}
 	s := &System{
-		Cl:      cl,
-		Model:   model,
-		PStates: pstates,
-		vf:      make([]float64, cl.Size()),
-		loads:   make([]*Load, cl.Size()),
-		nodeP:   make([]float64, cl.Size()),
-		nodeE:   make([]float64, cl.Size()),
-		jobE:    make(map[int64]*JobMeter),
+		Cl:       cl,
+		Model:    model,
+		PStates:  pstates,
+		vf:       make([]float64, cl.Size()),
+		loads:    make([]*Load, cl.Size()),
+		nodeP:    make([]float64, cl.Size()),
+		nodeE:    make([]float64, cl.Size()),
+		jobE:     make(map[int64]*JobMeter),
+		jobNodes: make(map[int64][]int32),
 	}
 	for i := range s.vf {
 		f := 1.0
@@ -120,9 +149,76 @@ func NewSystem(cl *cluster.Cluster, model NodeModel, pstates PStateTable, varSig
 	return s
 }
 
+// sortInt32 sorts ascending; placements are usually narrow, so insertion
+// sort wins below a comparison-sort threshold.
+func sortInt32(a []int32) {
+	if len(a) > 32 {
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		return
+	}
+	for i := 1; i < len(a); i++ {
+		for k := i; k > 0 && a[k] < a[k-1]; k-- {
+			a[k], a[k-1] = a[k-1], a[k]
+		}
+	}
+}
+
+// EnableLazyEnergy switches the system to per-node lazy energy settlement
+// (see the lazy field). Call once, immediately after NewSystem, before any
+// simulation activity. Not for runs whose reports must be byte-comparable
+// with eager-mode output.
+func (s *System) EnableLazyEnergy() {
+	s.lazy = true
+	s.nodeT = make([]simulator.Time, len(s.nodeP))
+	for i := range s.nodeT {
+		s.nodeT[i] = s.lastT
+	}
+}
+
+// settle integrates node id's energy up to the last Advance instant. Eager
+// mode integrates in Advance itself, so this is lazy-mode only.
+func (s *System) settle(id int) {
+	if !s.lazy {
+		return
+	}
+	if dt := float64(s.lastT - s.nodeT[id]); dt > 0 {
+		e := s.nodeP[id] * dt
+		s.nodeE[id] += e
+		if ld := s.loads[id]; ld != nil {
+			ld.meter.EnergyJ += e
+			s.attribJ += e
+		}
+	}
+	s.nodeT[id] = s.lastT
+}
+
+// settleAll brings every node's integration current — the lazy-mode entry
+// fee for whole-system energy reads (report time, not the hot path).
+func (s *System) settleAll() {
+	if !s.lazy {
+		return
+	}
+	for i := range s.nodeP {
+		s.settle(i)
+	}
+}
+
+// newMeter slab-allocates a JobMeter.
+func (s *System) newMeter() *JobMeter {
+	const chunk = 4096
+	if len(s.meterChunks) == 0 || s.meterUsed == chunk {
+		s.meterChunks = append(s.meterChunks, make([]JobMeter, chunk))
+		s.meterUsed = 0
+	}
+	m := &s.meterChunks[len(s.meterChunks)-1][s.meterUsed]
+	s.meterUsed++
+	return m
+}
+
 // setNodeP updates one node's draw and keeps the running total — and, when
 // a job occupies the node, that job's power meter — in sync.
 func (s *System) setNodeP(id int, p float64) {
+	s.settle(id)
 	delta := p - s.nodeP[id]
 	s.totalW += delta
 	if ld := s.loads[id]; ld != nil {
@@ -183,6 +279,12 @@ func (s *System) Advance(now simulator.Time) {
 	if dt == 0 {
 		return
 	}
+	if s.lazy {
+		// Per-node integration happens at settle points; Advance only moves
+		// the clock.
+		s.lastT = now
+		return
+	}
 	for i, p := range s.nodeP {
 		s.nodeE[i] += p * dt
 		if ld := s.loads[i]; ld != nil {
@@ -206,6 +308,7 @@ func (s *System) RefreshNode(now simulator.Time, n *cluster.Node) {
 // Job meters are adjusted by delta here — this path bypasses setNodeP.
 func (s *System) RefreshAll(now simulator.Time) {
 	s.Advance(now)
+	s.settleAll()
 	t := 0.0
 	for i, n := range s.Cl.Nodes {
 		p := s.computeNodePower(n)
@@ -232,11 +335,16 @@ func (s *System) StartJob(now simulator.Time, jobID int64, nodes []*cluster.Node
 	s.Advance(now)
 	meter := s.jobE[jobID]
 	if meter == nil {
-		meter = new(JobMeter)
+		meter = s.newMeter()
 		s.jobE[jobID] = meter
 	}
+	ids := s.idScr[:0]
 	slab := make([]Load, len(nodes))
 	for i, n := range nodes {
+		// Settle the pre-job interval against no load before the meter
+		// attaches — lazy mode would otherwise bill the job for idle time
+		// it never occupied.
+		s.settle(n.ID)
 		// Charge the node's pre-job draw to the meter before attaching the
 		// load: setNodeP adjusts by delta, so without the baseline the job
 		// would be billed only the increment above idle, not the whole node.
@@ -244,7 +352,11 @@ func (s *System) StartJob(now simulator.Time, jobID int64, nodes []*cluster.Node
 		slab[i] = Load{JobID: jobID, NominalW: nominalW, MemFrac: memFrac, FreqFrac: freqFrac, meter: meter}
 		s.loads[n.ID] = &slab[i]
 		s.setNodeP(n.ID, s.computeNodePower(n))
+		ids = append(ids, int32(n.ID))
 	}
+	s.idScr = ids[:0]
+	sortInt32(ids)
+	s.jobNodes[jobID] = append([]int32(nil), ids...)
 	s.trackPeak(now)
 }
 
@@ -254,6 +366,9 @@ func (s *System) EndJob(now simulator.Time, jobID int64, nodes []*cluster.Node) 
 	s.Advance(now)
 	for _, n := range nodes {
 		if ld := s.loads[n.ID]; ld != nil && ld.JobID == jobID {
+			// Settle the job's final interval while its load is still
+			// attached, so lazy mode bills it to the right meter.
+			s.settle(n.ID)
 			// Mirror of the StartJob baseline charge: release the node's
 			// current draw from the meter before detaching, after which
 			// setNodeP no longer adjusts it.
@@ -262,6 +377,7 @@ func (s *System) EndJob(now simulator.Time, jobID int64, nodes []*cluster.Node) 
 		}
 		s.setNodeP(n.ID, s.computeNodePower(n))
 	}
+	delete(s.jobNodes, jobID)
 	s.trackPeak(now)
 }
 
@@ -281,10 +397,10 @@ func (s *System) SetNodeCap(now simulator.Time, n *cluster.Node, capW float64) {
 // otherwise. The term is additive and unthrottled (see Load.AuxW).
 func (s *System) SetJobAux(now simulator.Time, jobID int64, auxW float64) {
 	s.Advance(now)
-	for id, ld := range s.loads {
-		if ld != nil && ld.JobID == jobID {
+	for _, id := range s.jobNodes[jobID] {
+		if ld := s.loads[id]; ld != nil && ld.JobID == jobID {
 			ld.AuxW = auxW
-			s.setNodeP(id, s.computeNodePower(s.Cl.Nodes[id]))
+			s.setNodeP(int(id), s.computeNodePower(s.Cl.Nodes[id]))
 		}
 	}
 	s.trackPeak(now)
@@ -294,10 +410,10 @@ func (s *System) SetJobAux(now simulator.Time, jobID int64, auxW float64) {
 // running job (DVFS actuation).
 func (s *System) SetJobFreq(now simulator.Time, jobID int64, freqFrac float64) {
 	s.Advance(now)
-	for id, ld := range s.loads {
-		if ld != nil && ld.JobID == jobID {
+	for _, id := range s.jobNodes[jobID] {
+		if ld := s.loads[id]; ld != nil && ld.JobID == jobID {
 			ld.FreqFrac = freqFrac
-			s.setNodeP(id, s.computeNodePower(s.Cl.Nodes[id]))
+			s.setNodeP(int(id), s.computeNodePower(s.Cl.Nodes[id]))
 		}
 	}
 	s.trackPeak(now)
@@ -309,7 +425,8 @@ func (s *System) SetJobFreq(now simulator.Time, jobID int64, freqFrac float64) {
 func (s *System) JobFrac(jobID int64) float64 {
 	frac := 1.0
 	found := false
-	for id, ld := range s.loads {
+	for _, id := range s.jobNodes[jobID] {
+		ld := s.loads[id]
 		if ld == nil || ld.JobID != jobID {
 			continue
 		}
@@ -329,9 +446,9 @@ func (s *System) JobFrac(jobID int64) float64 {
 // keyed by node ID (used by the GEOPM-style runtime-balance policy).
 func (s *System) NodeFracs(jobID int64) map[int]float64 {
 	out := map[int]float64{}
-	for id, ld := range s.loads {
-		if ld != nil && ld.JobID == jobID {
-			out[id] = s.effectiveFrac(s.Cl.Nodes[id], ld)
+	for _, id := range s.jobNodes[jobID] {
+		if ld := s.loads[id]; ld != nil && ld.JobID == jobID {
+			out[int(id)] = s.effectiveFrac(s.Cl.Nodes[id], ld)
 		}
 	}
 	return out
@@ -355,6 +472,7 @@ func (s *System) PowerOfNodes(nodes []*cluster.Node) float64 {
 // TotalEnergy returns cluster IT energy in joules accumulated up to the
 // last Advance.
 func (s *System) TotalEnergy() float64 {
+	s.settleAll()
 	t := 0.0
 	for _, e := range s.nodeE {
 		t += e
@@ -366,6 +484,11 @@ func (s *System) TotalEnergy() float64 {
 // the post-job energy reports Tokyo Tech and JCAHPC deliver to users.
 func (s *System) JobEnergy(jobID int64) float64 {
 	if m := s.jobE[jobID]; m != nil {
+		// An active job's meter may lag in lazy mode; finished jobs were
+		// settled by EndJob.
+		for _, id := range s.jobNodes[jobID] {
+			s.settle(int(id))
+		}
 		return m.EnergyJ
 	}
 	return 0
@@ -387,7 +510,10 @@ func (s *System) JobMeterFor(jobID int64) *JobMeter { return s.jobE[jobID] }
 // Advance. TotalEnergy minus this is the unattributed residue: idle, off,
 // boot, and drain draw on nodes no job occupied — the conservation check
 // per-job accounting is validated against.
-func (s *System) AttributedEnergy() float64 { return s.attribJ }
+func (s *System) AttributedEnergy() float64 {
+	s.settleAll()
+	return s.attribJ
+}
 
 // PeakPower returns the highest instantaneous IT draw observed and when.
 func (s *System) PeakPower() (float64, simulator.Time) { return s.peakW, s.peakT }

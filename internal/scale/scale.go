@@ -1,0 +1,312 @@
+// Package scale is the hollow-site harness: it builds a system at node
+// counts far beyond the nine surveyed profiles (1k/10k/100k "hollow" nodes
+// — real control loop, synthetic workload, no per-node detail beyond what
+// the manager already models) and pushes a week of mixed load through the
+// full stack: EASY scheduling, a system power cap, node crash/repair
+// faults, periodic checkpoints, and sampled telemetry. cmd/epascale and
+// BenchmarkScale both drive this package, so the CLI curve and the
+// benchmark numbers come from the same code path.
+//
+// Scale mode trades two exactness properties for throughput, both opt-in
+// knobs that default runs never touch: lazy power-energy integration
+// (power.System.EnableLazyEnergy — float sums reorder, equal to eager
+// within 1e-6 relative) and grid-coalesced scheduling passes
+// (core.Manager.SchedDefer — starts shift up to one grid step later).
+package scale
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"epajsrm/internal/checkpoint"
+	"epajsrm/internal/cluster"
+	"epajsrm/internal/core"
+	"epajsrm/internal/fault"
+	"epajsrm/internal/jobs"
+	"epajsrm/internal/power"
+	"epajsrm/internal/sched"
+	"epajsrm/internal/simulator"
+	"epajsrm/internal/workload"
+)
+
+// Config describes one hollow-site run.
+type Config struct {
+	Nodes   int            // cluster size
+	Jobs    int            // total jobs pumped through the run
+	Horizon simulator.Time // arrival window; the run drains past it
+	Seed    uint64
+
+	// TargetUtil is the offered load the workload is shaped to (fraction of
+	// node-seconds); the capability-job mix is solved to hit it. Keeping it
+	// under 1 keeps the queue bounded, which keeps scheduling passes cheap.
+	TargetUtil float64
+
+	// SchedDefer is the scheduling-pass grid (core.Manager.SchedDefer);
+	// Telemetry the sampling period. Zero values take scale defaults
+	// (60 s grid, 10 min sampling), not the manager's event-exact defaults
+	// — this harness exists to run big, not byte-exact.
+	SchedDefer simulator.Time
+	Telemetry  simulator.Time
+
+	// EagerPower disables lazy energy integration (for A/B timing).
+	EagerPower bool
+	// NoFaults / NoCheckpoints switch those subsystems off.
+	NoFaults      bool
+	NoCheckpoints bool
+}
+
+// DefaultConfig returns the standard curve point for a node count: jobs
+// scale 10 per node over one simulated week at 85 % offered load.
+func DefaultConfig(nodes int, seed uint64) Config {
+	return Config{
+		Nodes:      nodes,
+		Jobs:       10 * nodes,
+		Horizon:    7 * simulator.Day,
+		Seed:       seed,
+		TargetUtil: 0.85,
+	}
+}
+
+// Result is one curve point, JSON-ready for BENCH files and CI smoke logs.
+type Result struct {
+	Nodes     int     `json:"nodes"`
+	Jobs      int     `json:"jobs"`
+	Submitted int     `json:"submitted"`
+	Completed int     `json:"completed"`
+	Killed    int     `json:"killed"`
+	Requeues  int     `json:"requeues"`
+	Ckpts     int     `json:"checkpoints_written"`
+	UtilPct   float64 `json:"utilization_pct"`
+	SimDays   float64 `json:"sim_days"`
+	Events    int64   `json:"events_fired"`
+	WallSec   float64 `json:"wall_sec"`
+	HeapMB    float64 `json:"heap_mb"`     // live heap after the run
+	PeakRSSMB float64 `json:"peak_rss_mb"` // VmHWM; 0 where /proc is absent
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("nodes=%d jobs=%d completed=%d util=%.1f%% sim=%.1fd events=%d wall=%.2fs heap=%.0fMB rss=%.0fMB",
+		r.Nodes, r.Jobs, r.Completed, r.UtilPct, r.SimDays, r.Events, r.WallSec, r.HeapMB, r.PeakRSSMB)
+}
+
+// SpecFor shapes the workload for a curve point: the arrival mean spreads
+// c.Jobs over c.Horizon, and the capability fraction is solved so mean
+// width x mean runtime x arrival rate hits TargetUtil of the machine.
+func SpecFor(c Config) workload.Spec {
+	arrival := float64(c.Horizon) / float64(c.Jobs)
+	maxN := c.Nodes / 4
+	if maxN > 256 {
+		maxN = 256
+	}
+	if maxN < 2 {
+		maxN = 2
+	}
+	const (
+		runtimeMedian = 3600.0
+		runtimeSigma  = 1.0
+	)
+	// Power-of-two widths 1..maxN, matching the generator's size list.
+	var sizes []int
+	for n := 1; n <= maxN; n *= 2 {
+		sizes = append(sizes, n)
+	}
+	if sizes[len(sizes)-1] != maxN {
+		sizes = append(sizes, maxN)
+	}
+	// Capacity jobs draw widths with inverse-width weights; capability jobs
+	// uniformly from the top quarter of the list.
+	var invSum float64
+	for _, n := range sizes {
+		invSum += 1 / float64(n)
+	}
+	avgCapacity := float64(len(sizes)) / invSum
+	lo := len(sizes) * 3 / 4
+	if lo >= len(sizes) {
+		lo = len(sizes) - 1
+	}
+	var capSum float64
+	for _, n := range sizes[lo:] {
+		capSum += float64(n)
+	}
+	avgCapability := capSum / float64(len(sizes)-lo)
+
+	meanRuntime := runtimeMedian * math.Exp(runtimeSigma*runtimeSigma/2)
+	needWidth := c.TargetUtil * float64(c.Nodes) * arrival / meanRuntime
+	frac := 0.0
+	if avgCapability > avgCapacity {
+		frac = (needWidth - avgCapacity) / (avgCapability - avgCapacity)
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 0.5 {
+		frac = 0.5
+	}
+	return workload.Spec{
+		ArrivalMeanSec:    arrival,
+		MinNodes:          1,
+		MaxNodes:          maxN,
+		CapabilityFrac:    frac,
+		RuntimeMedianSec:  runtimeMedian,
+		RuntimeSigma:      runtimeSigma,
+		WalltimeFactorMax: 2,
+		Users:             200,
+	}
+}
+
+// Build assembles the hollow-site manager: flat 32-node racks, a system
+// power cap at ~85 % of the fleet's max draw, crash/repair faults at a
+// one-year per-node MTBF, hourly checkpoints, and the scale-mode knobs.
+func Build(c Config) (*core.Manager, error) {
+	if c.TargetUtil <= 0 {
+		c.TargetUtil = 0.85
+	}
+	if c.SchedDefer == 0 {
+		c.SchedDefer = 60 * simulator.Second
+	}
+	if c.Telemetry == 0 {
+		c.Telemetry = 10 * simulator.Minute
+	}
+	ckpt := checkpoint.Config{}
+	if !c.NoCheckpoints {
+		ckpt = checkpoint.Config{
+			Interval:  simulator.Hour,
+			BWGBps:    20 * float64(c.Nodes) / 1000, // burst buffer scales with the machine
+			StateFrac: 0.05,
+			IOPowerW:  30,
+		}
+	}
+	m := core.NewManager(core.Options{
+		Cluster: cluster.Config{
+			Name: "hollow", Nodes: c.Nodes, NodesPerRack: 32, RacksPerPDU: 4, PDUsPerChiller: 4,
+			Sockets: 2, CoresPerSocket: 16, MemGB: 96, Arch: "hollow",
+			BootDelay: 3 * simulator.Minute, ShutdownDelay: 1 * simulator.Minute,
+		},
+		NodeModel:  power.NodeModel{OffW: 15, BootW: 120, IdleW: 100, MaxW: 350, Alpha: 3, MinFrac: 0.5},
+		PStates:    power.DefaultPStates(),
+		VarSigma:   0.05,
+		Seed:       c.Seed,
+		Scheduler:  sched.EASY{},
+		Telemetry:  c.Telemetry,
+		Checkpoint: ckpt,
+	})
+	if !c.EagerPower {
+		m.Pw.EnableLazyEnergy()
+	}
+	m.SchedDefer = c.SchedDefer
+	// First-fit placement: with no eligibility filter the allocator takes
+	// the first set bits of the availability bitset without materializing
+	// the free list — the compact strategy's per-start topology pass is the
+	// dominant cost at 100k nodes.
+	m.OnPlacement(func(*core.Manager, *jobs.Job) (cluster.Strategy, bool) {
+		return cluster.PlaceFirstFit, true
+	})
+	// System cap below the fleet's max draw so the capping path stays hot.
+	if err := m.Ctrl.SetSystemCap(0.85 * 350 * float64(c.Nodes)); err != nil {
+		return nil, err
+	}
+	if !c.NoFaults {
+		fault.New(m, fault.Profile{
+			NodeMTBF: 365 * simulator.Day,
+			NodeMTTR: 2 * simulator.Hour,
+		}, c.Seed^0xfa17).Start()
+	}
+	return m, nil
+}
+
+// pumpBatch bounds how many arrival events are in flight: the pump submits
+// a batch, then reschedules itself at the last batch arrival, so memory
+// holds ~one batch of pending arrivals instead of a million.
+const pumpBatch = 1024
+
+// Pump streams c.Jobs arena-backed jobs into m in arrival order. It must
+// be called before the run starts.
+func Pump(m *core.Manager, c Config) *jobs.Arena {
+	gen := workload.NewGenerator(SpecFor(c), c.Seed^0x5eed)
+	arena := jobs.NewArena(jobs.DefaultArenaChunk)
+	gen.UseArena(arena)
+	count := 0
+	var feed func(now simulator.Time)
+	feed = func(simulator.Time) {
+		var last simulator.Time
+		for b := 0; b < pumpBatch && count < c.Jobs; b++ {
+			j := gen.Next()
+			if err := m.Submit(j, j.Submit); err != nil {
+				panic(fmt.Sprintf("scale: pump submit: %v", err))
+			}
+			last = j.Submit
+			count++
+		}
+		if count < c.Jobs {
+			// Same-timestamp ordering: this pump event was scheduled after
+			// the batch's last arrival, so it fires after that arrival and
+			// the next batch's submits never go into the past.
+			if _, err := m.Eng.At(last, "job-pump", feed); err != nil {
+				panic(fmt.Sprintf("scale: pump reschedule: %v", err))
+			}
+		}
+	}
+	feed(0)
+	return arena
+}
+
+// Run executes one curve point end to end and measures it.
+func Run(c Config) (Result, error) {
+	if c.TargetUtil <= 0 {
+		c.TargetUtil = 0.85
+	}
+	m, err := Build(c)
+	if err != nil {
+		return Result{}, err
+	}
+	arena := Pump(m, c)
+	start := time.Now()
+	end := m.Run(-1)
+	wall := time.Since(start).Seconds()
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	res := Result{
+		Nodes:     c.Nodes,
+		Jobs:      arena.Len(),
+		Submitted: m.Metrics.Submitted,
+		Completed: m.Metrics.Completed,
+		Killed:    m.Metrics.Killed,
+		Requeues:  m.Metrics.Requeues,
+		Ckpts:     m.Metrics.CheckpointsWritten,
+		UtilPct:   100 * m.Metrics.Utilization(m.Cl.Size()),
+		SimDays:   float64(end) / float64(simulator.Day),
+		Events:    m.Eng.Fired(),
+		WallSec:   wall,
+		HeapMB:    float64(ms.HeapAlloc) / (1 << 20),
+		PeakRSSMB: PeakRSSMB(),
+	}
+	return res, nil
+}
+
+// PeakRSSMB reads the process's high-water resident set from
+// /proc/self/status (VmHWM). Returns 0 on platforms without procfs.
+func PeakRSSMB() float64 {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) >= 2 {
+			kb, err := strconv.ParseFloat(f[1], 64)
+			if err == nil {
+				return kb / 1024
+			}
+		}
+	}
+	return 0
+}

@@ -6,6 +6,7 @@
 package sched
 
 import (
+	"sort"
 	"sync"
 
 	"epajsrm/internal/jobs"
@@ -190,18 +191,25 @@ func reservation(now simulator.Time, free, need int, running []RunningJob) (shad
 	if free >= need {
 		return now, free - need
 	}
-	// Sort a pooled copy by expected end — insertion sort, queues are short
-	// at decision points.
+	// Sort a pooled copy by expected end. Small running sets use insertion
+	// sort; past a threshold (hollow-site scale runs carry thousands of
+	// running jobs into every blocked-head pass) switch to an O(R log R)
+	// stable sort. Both are stable on ExpectedEnd, so the shadow-time walk
+	// sees the identical sequence either way.
 	ep := runningScratch.Get().(*[]RunningJob)
 	ends := append((*ep)[:0], running...)
 	defer func() {
 		*ep = ends[:0]
 		runningScratch.Put(ep)
 	}()
-	for i := 1; i < len(ends); i++ {
-		for k := i; k > 0 && ends[k].ExpectedEnd < ends[k-1].ExpectedEnd; k-- {
-			ends[k], ends[k-1] = ends[k-1], ends[k]
+	if len(ends) <= 64 {
+		for i := 1; i < len(ends); i++ {
+			for k := i; k > 0 && ends[k].ExpectedEnd < ends[k-1].ExpectedEnd; k-- {
+				ends[k], ends[k-1] = ends[k-1], ends[k]
+			}
 		}
+	} else {
+		sort.SliceStable(ends, func(i, j int) bool { return ends[i].ExpectedEnd < ends[j].ExpectedEnd })
 	}
 	avail := free
 	for _, r := range ends {

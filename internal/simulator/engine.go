@@ -5,7 +5,6 @@
 package simulator
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -43,7 +42,6 @@ type Event struct {
 	Fn   func(now Time)
 
 	seq    int64
-	index  int
 	gen    uint64
 	dead   bool
 	daemon bool
@@ -68,8 +66,11 @@ func (h Handle) Cancel() {
 		return
 	}
 	e.dead = true
-	if !e.daemon && e.eng != nil {
-		e.eng.live--
+	if e.eng != nil {
+		if !e.daemon {
+			e.eng.live--
+		}
+		e.eng.pending--
 	}
 }
 
@@ -78,39 +79,11 @@ func (h Handle) Pending() bool {
 	return h.e != nil && h.e.gen == h.gen && !h.e.dead
 }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
 // Engine is a discrete-event simulation loop. The zero value is not usable;
 // call NewEngine.
 type Engine struct {
 	now     Time
-	queue   eventHeap
+	queue   calQueue
 	seq     int64
 	stopped bool
 	horizon Time
@@ -119,6 +92,11 @@ type Engine struct {
 	// control loops, telemetry samplers) never keep an unbounded run alive:
 	// Run() ends when only daemons remain.
 	live int
+	// pending counts queued events that have not fired and have not been
+	// cancelled — daemons included. Cancelled events stay in the queue until
+	// their timestamp comes up, so this is maintained as a counter rather
+	// than read off the queue length.
+	pending int
 	// free is the recycle list for fired/discarded Event structs; see Event.
 	free []*Event
 }
@@ -134,9 +112,11 @@ func (e *Engine) Now() Time { return e.now }
 // Fired reports how many events have executed so far.
 func (e *Engine) Fired() int64 { return e.fired }
 
-// Pending reports how many events are queued (including cancelled ones not
-// yet discarded).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending reports how many scheduled events are still due to fire. A
+// cancelled event leaves the count immediately even though its struct stays
+// queued until its timestamp comes up, so ops surfaces and tests see the
+// true backlog.
+func (e *Engine) Pending() int { return e.pending }
 
 // ErrPastEvent is returned by At when an event is scheduled before Now.
 var ErrPastEvent = errors.New("simulator: event scheduled in the past")
@@ -165,7 +145,8 @@ func (e *Engine) at(at Time, name string, fn func(now Time), daemon bool) (Handl
 	if !daemon {
 		e.live++
 	}
-	heap.Push(&e.queue, ev)
+	e.pending++
+	e.queue.push(ev)
 	return Handle{e: ev, gen: ev.gen}, nil
 }
 
@@ -252,16 +233,16 @@ func (e *Engine) RunUntil(horizon Time) Time {
 	e.stopped = false
 	const budget = int64(1e9)
 	start := e.fired
-	for len(e.queue) > 0 && !e.stopped {
+	for e.queue.len() > 0 && !e.stopped {
 		if horizon < 0 && e.live == 0 {
 			break // only daemons remain; an unbounded run is done
 		}
-		next := e.queue[0]
+		next := e.queue.peek()
 		if horizon >= 0 && next.At > horizon {
 			e.now = horizon
 			return e.now
 		}
-		heap.Pop(&e.queue)
+		e.queue.pop()
 		if next.dead {
 			e.recycle(next)
 			continue
@@ -270,6 +251,7 @@ func (e *Engine) RunUntil(horizon Time) Time {
 		if !next.daemon {
 			e.live--
 		}
+		e.pending--
 		e.now = next.At
 		e.fired++
 		fn := next.Fn

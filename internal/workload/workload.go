@@ -118,6 +118,35 @@ type Generator struct {
 	next int64
 	now  float64
 	apps []App
+
+	// arena, when set, backs Job records with slab chunks instead of
+	// individual heap objects — see jobs.Arena. Field values are identical
+	// either way.
+	arena *jobs.Arena
+
+	// userNames / projNames intern the formatted identity strings: a
+	// million-job run would otherwise Sprintf two million tiny strings that
+	// all repeat from a pool of a few dozen.
+	userNames []string
+	projNames []string
+}
+
+// UseArena backs subsequent Next calls with the given arena (nil reverts to
+// per-job heap allocation).
+func (g *Generator) UseArena(a *jobs.Arena) { g.arena = a }
+
+func (g *Generator) userName(i int) string {
+	for len(g.userNames) <= i {
+		g.userNames = append(g.userNames, fmt.Sprintf("u%02d", len(g.userNames)))
+	}
+	return g.userNames[i]
+}
+
+func (g *Generator) projName(i int) string {
+	for len(g.projNames) <= i {
+		g.projNames = append(g.projNames, fmt.Sprintf("proj%d", len(g.projNames)))
+	}
+	return g.projNames[i]
 }
 
 // NewGenerator returns a generator; it panics on an invalid spec so that
@@ -216,10 +245,14 @@ func (g *Generator) Next() *jobs.Job {
 		prio = g.rng.Intn(s.PriorityLevels)
 	}
 
-	j := &jobs.Job{
+	j := &jobs.Job{}
+	if g.arena != nil {
+		j = g.arena.New()
+	}
+	*j = jobs.Job{
 		ID:            g.next,
-		User:          fmt.Sprintf("u%02d", g.rng.Intn(users)),
-		Project:       fmt.Sprintf("proj%d", g.rng.Intn(8)),
+		User:          g.userName(g.rng.Intn(users)),
+		Project:       g.projName(g.rng.Intn(8)),
 		Tag:           app.Tag,
 		Nodes:         width,
 		Walltime:      wall,
