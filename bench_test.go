@@ -9,6 +9,7 @@ package epajsrm_test
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"testing"
 
@@ -19,6 +20,7 @@ import (
 	"epajsrm/internal/policy"
 	"epajsrm/internal/power"
 	"epajsrm/internal/predict"
+	"epajsrm/internal/prof"
 	"epajsrm/internal/runner"
 	"epajsrm/internal/scale"
 	"epajsrm/internal/sched"
@@ -26,6 +28,18 @@ import (
 	"epajsrm/internal/stats"
 	"epajsrm/internal/workload"
 )
+
+// profIfEnv attaches a live phase profiler to the hot-path benchmarks
+// when EPA_PROF=1, so CI gates the profiler's *enabled* overhead
+// against the same baselines it gates the nil fast path with. The
+// default (nil) measures the phases-off cost every instrumented call
+// site pays: one pointer nil-check.
+func profIfEnv() *prof.Profiler {
+	if os.Getenv("EPA_PROF") == "1" {
+		return prof.New()
+	}
+	return nil
+}
 
 // -- Full suite through the parallel runner -----------------------------------
 
@@ -484,6 +498,7 @@ func BenchmarkScale(b *testing.B) {
 
 func BenchmarkEngineEventThroughput(b *testing.B) {
 	eng := simulator.NewEngine()
+	eng.Prof = profIfEnv()
 	n := 0
 	var fn func(now simulator.Time)
 	fn = func(now simulator.Time) {
@@ -537,7 +552,7 @@ func BenchmarkSchedulerPickEASY(b *testing.B) {
 			ExpectedEnd: simulator.Time(500 + i*200),
 		})
 	}
-	v := sched.View{Now: 0, Free: 24, TotalNodes: 64, Queue: queue, Running: running}
+	v := sched.View{Now: 0, Free: 24, TotalNodes: 64, Queue: queue, Running: running, Prof: profIfEnv()}
 	s := sched.EASY{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -549,6 +564,7 @@ func BenchmarkPowerSystemRefresh(b *testing.B) {
 	cl := cluster.New(cluster.DefaultConfig())
 	sys := power.NewSystem(cl, power.DefaultNodeModel(), power.DefaultPStates(), 0.05, simulator.NewRNG(1))
 	cl.Allocate(1, 32, 0, nil)
+	sys.Prof = profIfEnv()
 	sys.StartJob(0, 1, cl.JobNodes(1), 300, 0.3, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -38,6 +38,8 @@ func main() {
 	noCkpt := flag.Bool("no-ckpt", false, "disable periodic checkpoints")
 	maxRSS := flag.Float64("max-rss-mb", 0, "fail if peak RSS exceeds this many MB (0 = no bound)")
 	jsonOut := flag.String("json", "", "write the curve as JSON to this file ('-' = stdout)")
+	phases := flag.Bool("phases", true, "print the per-phase wall-time breakdown after each point")
+	minCov := flag.Float64("min-phase-cov", 0, "fail if phase coverage falls below this percent of wall clock (0 = no bound)")
 	flag.Parse()
 
 	var points []int
@@ -70,6 +72,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(res.String())
+		if *phases {
+			fmt.Printf("phase coverage %.1f%% of wall:\n", res.PhaseCovPct)
+			for _, ph := range res.Phases {
+				if ph.Calls == 0 && ph.Seconds == 0 {
+					continue
+				}
+				fmt.Printf("  %-18s %9.3fs  %5.1f%%  %d calls\n", ph.Name, ph.Seconds, 100*ph.Share, ph.Calls)
+			}
+		}
+		if *minCov > 0 && res.PhaseCovPct < *minCov {
+			fmt.Fprintf(os.Stderr, "epascale: phase coverage %.1f%% below bound %.1f%%\n", res.PhaseCovPct, *minCov)
+			os.Exit(1)
+		}
 		curve = append(curve, res)
 	}
 

@@ -29,6 +29,17 @@
 // byte-identical report), and queued runs re-enter fair-share
 // arbitration: zero accepted-then-lost. -wal-max bounds the journal
 // size via compacting snapshot rotation.
+//
+// Observability: -access-log <file> ('-' for stderr) writes one
+// structured JSONL line per request — request ID, verb, endpoint,
+// status, latency, and whatever the handler learned (run, tenant,
+// shed reason, control-loop phase). -blackbox <file> arms an
+// in-memory flight recorder (-flight-cap bounds its ring) that dumps
+// recent service events plus in-flight request IDs to the file on
+// SIGQUIT, a run panic, or the journal failing closed; SIGQUIT is a
+// dump trigger only — the server keeps serving. Per-endpoint latency
+// histograms, in-flight gauges, and journal fsync timings ride the
+// existing /metrics exposition.
 package main
 
 import (
@@ -41,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"epajsrm/internal/flight"
 	"epajsrm/internal/service"
 	"epajsrm/internal/simulator"
 )
@@ -68,6 +80,9 @@ func run(args []string, stderr io.Writer, ready chan<- string) int {
 	journalDir := fs.String("journal", "", "write-ahead journal directory; empty disables durability")
 	walMax := fs.Int64("wal-max", 0, "journal segment bytes before a compacting rotation (0: journal default)")
 	slice := fs.Duration("slice", time.Duration(def.Slice)*time.Second, "virtual-time quantum a run advances per lock acquisition")
+	accessLog := fs.String("access-log", "", "structured JSONL access log file ('-' = stderr); empty disables")
+	blackBox := fs.String("blackbox", "", "flight-recorder dump file, written on SIGQUIT, run panic, or journal fail-closed; empty disables the recorder")
+	flightCap := fs.Int("flight-cap", 0, "flight-recorder ring capacity (0: default)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -84,6 +99,25 @@ func run(args []string, stderr io.Writer, ready chan<- string) int {
 	cfg.JournalMaxBytes = *walMax
 	if *slice > 0 {
 		cfg.Slice = simulator.Time(*slice / time.Second)
+	}
+	switch *accessLog {
+	case "":
+	case "-":
+		cfg.AccessLog = stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(stderr, "epaserved: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		cfg.AccessLog = f
+	}
+	var rec *flight.Recorder
+	if *blackBox != "" {
+		rec = flight.New(*flightCap)
+		cfg.Flight = rec
+		cfg.BlackBox = *blackBox
 	}
 	svc, err := service.New(cfg)
 	if err != nil {
@@ -111,9 +145,26 @@ func run(args []string, stderr io.Writer, ready chan<- string) int {
 		ready <- bound
 	}
 
+	// SIGQUIT is the black-box trigger, not a shutdown: dump the flight
+	// recorder and keep serving, so an operator can snapshot a live
+	// incident without taking the service down.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	got := <-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGQUIT)
+	var got os.Signal
+	for got = range sig {
+		if got != syscall.SIGQUIT {
+			break
+		}
+		if rec == nil {
+			fmt.Fprintln(stderr, "epaserved: SIGQUIT ignored (no -blackbox)")
+			continue
+		}
+		if err := rec.Dump(*blackBox, "SIGQUIT"); err != nil {
+			fmt.Fprintf(stderr, "epaserved: black box: %v\n", err)
+		} else {
+			fmt.Fprintf(stderr, "epaserved: SIGQUIT — black box dumped to %s\n", *blackBox)
+		}
+	}
 	fmt.Fprintf(stderr, "epaserved: %s — draining (window %s)\n", got, *drain)
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)

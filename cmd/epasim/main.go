@@ -45,6 +45,7 @@ import (
 	"epajsrm/internal/core"
 	"epajsrm/internal/fault"
 	"epajsrm/internal/ops"
+	ctlprof "epajsrm/internal/prof"
 	"epajsrm/internal/report"
 	"epajsrm/internal/runner"
 	"epajsrm/internal/runreport"
@@ -88,6 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	chromeOut := fs.String("trace", "", "write the run's control-loop trace in Chrome trace_event format to this file")
 	jsonlOut := fs.String("trace-jsonl", "", "write the run's control-loop trace as JSONL to this file")
 	metricsOut := fs.String("metrics", "", "write the run's metric-registry snapshot as JSON to this file")
+	phasesOut := fs.String("phases", "", "write the control-loop phase profile as JSON to this file ('-' = stderr)")
 	stateOut := fs.String("state", "", "write the final queue/node/power state snapshot as JSON to this file")
 	httpAddr := fs.String("http", "", "serve live ops endpoints (/metrics, /healthz, /state, /events) on this address during the run (e.g. :8080)")
 	httpLinger := fs.Duration("http-linger", 0, "keep serving the ops endpoints this long after the run completes (requires -http)")
@@ -178,8 +180,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "-reps cannot be combined with -readtrace/-writetrace")
 			return 2
 		}
-		if *chromeOut != "" || *jsonlOut != "" || *metricsOut != "" {
-			fmt.Fprintln(stderr, "-reps cannot be combined with -trace/-trace-jsonl/-metrics (one trace per run)")
+		if *chromeOut != "" || *jsonlOut != "" || *metricsOut != "" || *phasesOut != "" {
+			fmt.Fprintln(stderr, "-reps cannot be combined with -trace/-trace-jsonl/-metrics/-phases (one trace per run)")
 			return 2
 		}
 		if *httpAddr != "" || *stateOut != "" {
@@ -205,6 +207,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// -http implies a tracer so /events has a stream to serve.
 		tr = trace.New()
 		m.AttachTracer(tr)
+	}
+	if *phasesOut != "" || *httpAddr != "" {
+		// -http implies a profiler so /metrics carries the prof.* gauges.
+		m.AttachProfiler(ctlprof.New())
 	}
 	if *traceIn != "" {
 		f, err := os.Open(*traceIn)
@@ -293,6 +299,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *metricsOut != "" {
 		if err := writeFile(*metricsOut, m.Reg.WriteJSON); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	if *phasesOut != "" {
+		// '-' lands on stderr, never stdout: the report stream stays
+		// byte-identical with profiling on.
+		if *phasesOut == "-" {
+			if err := m.Prof.WriteJSON(stderr); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+		} else if err := writeFile(*phasesOut, m.Prof.WriteJSON); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}

@@ -65,6 +65,29 @@ type verdict struct {
 	latencies     []time.Duration
 	scrapeErrs    int
 	reportMissing int
+
+	// reqLat is the client-observed wire latency of every HTTP request,
+	// keyed by kind (submit/poll/scrape/report) — the server's own
+	// histograms seen from the other end of the connection.
+	reqLat map[string][]time.Duration
+}
+
+// observe records one request's wire latency under its kind.
+func (v *verdict) observe(kind string, d time.Duration) {
+	v.mu.Lock()
+	if v.reqLat == nil {
+		v.reqLat = make(map[string][]time.Duration)
+	}
+	v.reqLat[kind] = append(v.reqLat[kind], d)
+	v.mu.Unlock()
+}
+
+// quantile reads the p-th quantile from a sorted latency slice.
+func quantile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(p*float64(len(sorted)-1))]
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -158,6 +181,57 @@ func run(args []string, stdout, stderr io.Writer) int {
 		)
 	}
 	fmt.Fprintln(stdout, tbl.Render())
+
+	// The wire view: per-request latency quantiles by request kind, and
+	// the shed rate — the client-side mirror of the server's
+	// http.latency_ms histograms and shed counters.
+	shedRate := 0.0
+	if v.submitted > 0 {
+		shedRate = float64(v.shed429+v.shed503) / float64(v.submitted)
+	}
+	lat := report.Table{
+		Title:  fmt.Sprintf("request latency (client-observed; shed rate %.1f%% of %d submits)", 100*shedRate, v.submitted),
+		Header: []string{"request", "count", "p50", "p95", "p99"},
+	}
+	type latRow struct {
+		kind    string
+		samples []time.Duration
+	}
+	var rows []latRow
+	for _, kind := range []string{"submit", "poll", "scrape", "report"} {
+		if samples := v.reqLat[kind]; len(samples) > 0 {
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			rows = append(rows, latRow{kind, samples})
+		}
+	}
+	summary := map[string]any{"summary": "request-latency", "shed_rate": shedRate, "submits": v.submitted}
+	for _, row := range rows {
+		lat.Rows = append(lat.Rows, []string{
+			row.kind, fmt.Sprint(len(row.samples)),
+			quantile(row.samples, 0.50).Round(time.Millisecond).String(),
+			quantile(row.samples, 0.95).Round(time.Millisecond).String(),
+			quantile(row.samples, 0.99).Round(time.Millisecond).String(),
+		})
+		summary[row.kind] = map[string]any{
+			"count":  len(row.samples),
+			"p50_ms": quantile(row.samples, 0.50).Milliseconds(),
+			"p95_ms": quantile(row.samples, 0.95).Milliseconds(),
+			"p99_ms": quantile(row.samples, 0.99).Milliseconds(),
+		}
+	}
+	if len(rows) > 0 {
+		fmt.Fprintln(stdout, lat.Render())
+	}
+	// The summary also lands in the ledger as one JSON line; it carries
+	// no "id" field, so readLedger (and -crash-check) skips it.
+	if led != nil {
+		if b, err := json.Marshal(summary); err == nil {
+			led.mu.Lock()
+			led.f.Write(append(b, '\n')) //nolint:errcheck // best-effort telemetry line
+			led.mu.Unlock()
+		}
+	}
+
 	if v.lost > 0 || v.shedNoRetry > 0 || v.reportMissing > 0 {
 		fmt.Fprintln(stderr, "epastorm: FAILED — accepted work was lost or the shed protocol was violated")
 		return 1
@@ -180,7 +254,9 @@ func storm(client *http.Client, v *verdict, led *ledger, rng *rand.Rand, addr, t
 		v.mu.Lock()
 		v.submitted++
 		v.mu.Unlock()
+		t0 := time.Now()
 		resp, err := client.Post(addr+"/runs", "application/json", bytes.NewReader(body))
+		v.observe("submit", time.Since(t0))
 		if err != nil {
 			v.count(func(v *verdict) { v.netErrs++ })
 			time.Sleep(jitter(rng, base, try, 0))
@@ -229,21 +305,25 @@ func storm(client *http.Client, v *verdict, led *ledger, rng *rand.Rand, addr, t
 
 	// Scrape the run's ops surface once — stampedes hammer the read path
 	// as hard as the write path.
+	t0 := time.Now()
 	if resp, err := client.Get(addr + "/runs/" + id + "/state"); err == nil {
 		io.Copy(io.Discard, resp.Body) //nolint:errcheck
 		resp.Body.Close()
+		v.observe("scrape", time.Since(t0))
 	} else {
 		v.count(func(v *verdict) { v.scrapeErrs++ })
 	}
 
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
+		t0 := time.Now()
 		resp, err := client.Get(addr + "/runs/" + id)
 		if err != nil {
 			v.count(func(v *verdict) { v.netErrs++ })
 			time.Sleep(base)
 			continue
 		}
+		v.observe("poll", time.Since(t0))
 		var info struct {
 			State string `json:"state"`
 		}
@@ -262,9 +342,11 @@ func storm(client *http.Client, v *verdict, led *ledger, rng *rand.Rand, addr, t
 			case "complete":
 				lat := time.Since(submitted)
 				v.count(func(v *verdict) { v.completed++; v.latencies = append(v.latencies, lat) })
+				t0 := time.Now()
 				if resp, err := client.Get(addr + "/runs/" + id + "/report"); err == nil {
 					b, _ := io.ReadAll(resp.Body)
 					resp.Body.Close()
+					v.observe("report", time.Since(t0))
 					if resp.StatusCode != http.StatusOK || len(b) == 0 {
 						v.count(func(v *verdict) { v.reportMissing++ })
 					}

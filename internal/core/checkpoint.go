@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"epajsrm/internal/prof"
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/trace"
 )
@@ -53,6 +54,10 @@ func (m *Manager) beginCheckpoint(r *running, now simulator.Time) {
 	if m.runningJobs[r.job.ID] != r || r.phase != phaseComputing {
 		return
 	}
+	if m.Prof != nil {
+		m.Prof.Enter(prof.Checkpoint)
+		defer m.Prof.Exit()
+	}
 	m.syncProgress(r, now)
 	r.finish.Cancel()
 	r.finish = simulator.Handle{}
@@ -70,6 +75,10 @@ func (m *Manager) beginCheckpoint(r *running, now simulator.Time) {
 // converted the write into a drain, the job releases its nodes now;
 // otherwise compute resumes and the next periodic checkpoint is armed.
 func (m *Manager) commitCheckpoint(r *running, now simulator.Time, stall float64) {
+	if m.Prof != nil {
+		m.Prof.Enter(prof.Checkpoint)
+		defer m.Prof.Exit()
+	}
 	r.ioDone = simulator.Handle{}
 	r.ioActive = false
 	m.Ckpt.EndIO()
@@ -104,6 +113,10 @@ func (m *Manager) commitCheckpoint(r *running, now simulator.Time, stall float64
 // Called from startJob after the placement and power registration, before
 // any finish event exists.
 func (m *Manager) beginRestore(r *running, now simulator.Time) {
+	if m.Prof != nil {
+		m.Prof.Enter(prof.Checkpoint)
+		defer m.Prof.Exit()
+	}
 	r.phase = phaseRestore
 	r.ioActive = true
 	dur := m.Ckpt.BeginRead(len(r.nodes), m.Cl.Cfg.MemGB)
@@ -117,6 +130,10 @@ func (m *Manager) beginRestore(r *running, now simulator.Time) {
 // restored WorkDone. Restores interrupted by a crash or preemption never
 // reach here and are not counted — only completed reads are.
 func (m *Manager) finishRestore(r *running, now simulator.Time, stall float64) {
+	if m.Prof != nil {
+		m.Prof.Enter(prof.Checkpoint)
+		defer m.Prof.Exit()
+	}
 	r.ioDone = simulator.Handle{}
 	r.ioActive = false
 	m.Ckpt.EndIO()
@@ -140,6 +157,10 @@ func (m *Manager) finishRestore(r *running, now simulator.Time, stall float64) {
 // preemptWithCheckpoint implements PreemptJob under an active substrate:
 // the job drains through a demand-checkpoint write before vacating.
 func (m *Manager) preemptWithCheckpoint(r *running, now simulator.Time) bool {
+	if m.Prof != nil {
+		m.Prof.Enter(prof.Checkpoint)
+		defer m.Prof.Exit()
+	}
 	switch r.phase {
 	case phaseRestore:
 		// Nothing new has been computed and the durable image is intact:

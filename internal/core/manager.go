@@ -17,6 +17,7 @@ import (
 	"epajsrm/internal/jobs"
 	"epajsrm/internal/metrics"
 	"epajsrm/internal/power"
+	"epajsrm/internal/prof"
 	"epajsrm/internal/sched"
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/trace"
@@ -104,6 +105,14 @@ type Manager struct {
 	// Metrics, and the wait/energy histograms, all exportable as one
 	// deterministic snapshot.
 	Reg *metrics.Registry
+
+	// Prof is the control loop's phase profiler. Nil (the default)
+	// disables phase attribution; every site is guarded by a single
+	// nil-check — the same zero-cost-when-off contract as Tr. Attach
+	// with AttachProfiler, never by writing the field: the engine's
+	// dispatch loop, the power system, and the telemetry sampler must
+	// be wired to the same instance.
+	Prof *prof.Profiler
 
 	policies []Policy
 	hooks    hooks
@@ -234,6 +243,25 @@ func (m *Manager) AttachTracer(tr *trace.Tracer) {
 	}
 }
 
+// AttachProfiler enables (or, with nil, disables) phase-attribution
+// profiling across the control loop: the engine's dispatch loop, the
+// manager's scheduling/job/checkpoint phases, power integration, and
+// telemetry sampling all charge the same per-run profiler. When both
+// p and m.Reg are non-nil the per-phase wall-time and call-count
+// gauges are exported on the registry (once — re-attaching a second
+// live profiler to the same registry panics on the duplicate names).
+// Call before the run starts, never mid-event: an event body between
+// Enter and Exit would charge a torn segment.
+func (m *Manager) AttachProfiler(p *prof.Profiler) {
+	m.Prof = p
+	m.Eng.Prof = p
+	m.Pw.Prof = p
+	m.Tel.Prof = p
+	if p != nil {
+		p.Register(m.Reg)
+	}
+}
+
 // Use attaches a policy. Policies must be attached before the run starts.
 func (m *Manager) Use(p Policy) *Manager {
 	m.policies = append(m.policies, p)
@@ -329,6 +357,10 @@ func (m *Manager) schedNow(now simulator.Time) {
 
 func (m *Manager) schedulePass(now simulator.Time) int {
 	m.LastSchedPass = now
+	if m.Prof != nil {
+		m.Prof.Enter(prof.SchedPass)
+		defer m.Prof.Exit()
+	}
 	// Read-only scan of the live queue slice; candidates are collected into
 	// scratch before anything below can mutate the queue.
 	all := m.Queue.All()
@@ -357,6 +389,7 @@ func (m *Manager) schedulePass(now simulator.Time) int {
 		Now:        now,
 		TotalNodes: m.eligibleCapacity(),
 		Queue:      cands,
+		Prof:       m.Prof,
 	}
 	// Free nodes is job-independent only if no per-job node filters exist;
 	// we expose the unfiltered pool size and re-validate per job at start.
@@ -442,6 +475,10 @@ func (m *Manager) startJob(j *jobs.Job, now simulator.Time) bool {
 	// consumed the power headroom the gate was measuring.
 	if !m.gateOpen(j) {
 		return false
+	}
+	if m.Prof != nil {
+		m.Prof.Enter(prof.Jobs)
+		defer m.Prof.Exit()
 	}
 	// Moldable reshaping — but never for a resumed (checkpointed) job:
 	// its WorkDone is measured against the shape it started with, and a
@@ -628,6 +665,10 @@ func (m *Manager) finishJob(id int64, now simulator.Time) {
 	if r == nil {
 		return
 	}
+	if m.Prof != nil {
+		m.Prof.Enter(prof.Jobs)
+		defer m.Prof.Exit()
+	}
 	m.syncProgress(r, now)
 	m.cancelIO(r)
 	delete(m.runningJobs, id)
@@ -657,6 +698,10 @@ func (m *Manager) KillJob(id int64, reason string, now simulator.Time) bool {
 	r := m.runningJobs[id]
 	if r == nil {
 		return false
+	}
+	if m.Prof != nil {
+		m.Prof.Enter(prof.Jobs)
+		defer m.Prof.Exit()
 	}
 	m.syncProgress(r, now)
 	r.finish.Cancel()
@@ -806,6 +851,10 @@ func (m *Manager) failJob(id int64, failed *cluster.Node, now simulator.Time) {
 	r := m.runningJobs[id]
 	if r == nil {
 		return
+	}
+	if m.Prof != nil {
+		m.Prof.Enter(prof.Jobs)
+		defer m.Prof.Exit()
 	}
 	m.syncProgress(r, now)
 	r.finish.Cancel()

@@ -1,0 +1,216 @@
+// Package flight is the service tier's black-box recorder: a bounded
+// in-memory ring of recent service and run events (admissions, sheds,
+// dispatches, terminals, HTTP request starts/ends, journal trouble)
+// that costs a mutex and a ring slot per event while everything is
+// healthy, and is dumped to a JSONL file when something is not —
+// panic, SIGQUIT, or the journal failing closed. Post-mortems of
+// kill-restart and stampede incidents read the dump instead of
+// reproducing the incident.
+//
+// All methods are safe on a nil *Recorder (no-ops), so callers thread
+// an optional recorder the same way they thread an optional tracer.
+// Unlike the simulation-side observability, flight events carry wall
+// timestamps and arrive from many goroutines — the recorder is fully
+// synchronized and deliberately lives outside the deterministic
+// report path.
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one ring entry. Fields are fixed and flat so a dump line
+// greps cleanly: kind is a short stable verb ("http-start", "shed",
+// "run-terminal", ...), Run and Req tie the event to a hosted run and
+// the edge request that caused it, and Detail is free text.
+type Event struct {
+	Seq    int64  `json:"seq"`
+	UnixMS int64  `json:"unix_ms"`
+	Kind   string `json:"kind"`
+	Run    string `json:"run,omitempty"`
+	Req    string `json:"req,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Recorder is the bounded ring. Create with New; the zero value is
+// not usable (a disabled recorder is a nil pointer).
+type Recorder struct {
+	mu   sync.Mutex
+	buf  []Event // ring storage, len == cap once full
+	next int     // ring write index
+	full bool
+	seq  int64
+	now  func() time.Time
+
+	// inflight tracks requests that have started but not finished, so
+	// a dump names exactly the requests that were on the wire at the
+	// instant of the incident.
+	inflight map[string]string // req ID -> "VERB /path"
+}
+
+// DefaultCap bounds the ring when New is given a non-positive size.
+const DefaultCap = 4096
+
+// New returns a recorder holding the last cap events (DefaultCap if
+// cap <= 0).
+func New(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCap
+	}
+	return &Recorder{
+		buf:      make([]Event, 0, capacity),
+		now:      time.Now,
+		inflight: make(map[string]string),
+	}
+}
+
+// SetClock overrides the wall clock, for tests.
+func (r *Recorder) SetClock(now func() time.Time) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.now = now
+	r.mu.Unlock()
+}
+
+// Note appends one event to the ring, evicting the oldest when full.
+func (r *Recorder) Note(kind, run, req, detail string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.noteLocked(kind, run, req, detail)
+	r.mu.Unlock()
+}
+
+func (r *Recorder) noteLocked(kind, run, req, detail string) {
+	r.seq++
+	ev := Event{Seq: r.seq, UnixMS: r.now().UnixMilli(), Kind: kind, Run: run, Req: req, Detail: detail}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % len(r.buf)
+	r.full = true
+}
+
+// RequestStart records an edge request entering the service and marks
+// it in flight until RequestEnd.
+func (r *Recorder) RequestStart(req, what string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.inflight[req] = what
+	r.noteLocked("http-start", "", req, what)
+	r.mu.Unlock()
+}
+
+// RequestEnd closes an in-flight request.
+func (r *Recorder) RequestEnd(req, detail string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	delete(r.inflight, req)
+	r.noteLocked("http-end", "", req, detail)
+	r.mu.Unlock()
+}
+
+// Events returns the ring contents oldest-first, plus one synthetic
+// "inflight" event per request currently on the wire (sorted by
+// request ID so dumps of the same state render identically).
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf)+len(r.inflight))
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	reqs := make([]string, 0, len(r.inflight))
+	for id := range r.inflight {
+		reqs = append(reqs, id)
+	}
+	sort.Strings(reqs)
+	nowMS := r.now().UnixMilli()
+	for _, id := range reqs {
+		out = append(out, Event{UnixMS: nowMS, Kind: "inflight", Req: id, Detail: r.inflight[id]})
+	}
+	return out
+}
+
+// WriteTo streams the dump as JSONL: a header line with the reason
+// and counts, then one line per event.
+func (r *Recorder) WriteTo(w io.Writer, reason string) error {
+	if r == nil {
+		return nil
+	}
+	evs := r.Events()
+	inflight := 0
+	for _, ev := range evs {
+		if ev.Kind == "inflight" {
+			inflight++
+		}
+	}
+	hdr := struct {
+		BlackBox string `json:"black_box"`
+		UnixMS   int64  `json:"unix_ms"`
+		Events   int    `json:"events"`
+		Inflight int    `json:"inflight"`
+	}{reason, time.Now().UnixMilli(), len(evs), inflight}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(hdr); err != nil {
+		return err
+	}
+	for _, ev := range evs {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Dump writes the black box to path (atomically: tmp + rename, so a
+// crash mid-dump never leaves a half-readable box where a good one
+// could go). Dumping is idempotent — the ring is not cleared — and
+// best-effort by design: callers are usually already handling a worse
+// problem, so the error is returned for logging, never escalated.
+func (r *Recorder) Dump(path, reason string) error {
+	if r == nil || path == "" {
+		return nil
+	}
+	tmp := fmt.Sprintf("%s.tmp.%d", path, os.Getpid())
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteTo(f, reason); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

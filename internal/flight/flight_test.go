@@ -1,0 +1,157 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Note("k", "", "", "")
+	r.RequestStart("q1", "GET /")
+	r.RequestEnd("q1", "200")
+	r.SetClock(time.Now)
+	if r.Events() != nil {
+		t.Fatal("nil Events() should be nil")
+	}
+	if err := r.WriteTo(&bytes.Buffer{}, "x"); err != nil {
+		t.Fatalf("nil WriteTo: %v", err)
+	}
+	if err := r.Dump("/nonexistent/should-not-be-written", "x"); err != nil {
+		t.Fatalf("nil Dump: %v", err)
+	}
+}
+
+func TestRingBoundsAndEvictsOldestFirst(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10; i++ {
+		r.Note("tick", "", "", "")
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(7 + i); ev.Seq != want {
+			t.Fatalf("evs[%d].Seq = %d, want %d (oldest-first, newest retained)", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestInflightRequestsAppearSorted(t *testing.T) {
+	r := New(16)
+	r.RequestStart("q2", "GET /runs")
+	r.RequestStart("q1", "POST /runs")
+	r.RequestEnd("q2", "200 runs")
+	evs := r.Events()
+	// Ring: http-start, http-start, http-end; then one synthetic
+	// inflight for the still-open q1.
+	var inflight []Event
+	for _, ev := range evs {
+		if ev.Kind == "inflight" {
+			inflight = append(inflight, ev)
+		}
+	}
+	if len(inflight) != 1 || inflight[0].Req != "q1" || inflight[0].Detail != "POST /runs" {
+		t.Fatalf("inflight = %+v, want exactly q1 POST /runs", inflight)
+	}
+}
+
+func TestWriteToEmitsParseableJSONL(t *testing.T) {
+	r := New(8)
+	r.SetClock(func() time.Time { return time.UnixMilli(1234) })
+	r.Note("accepted", "r1", "q1", "acme cineca")
+	r.RequestStart("q2", "GET /runs/r1")
+	var buf bytes.Buffer
+	if err := r.WriteTo(&buf, "test-dump"); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	var hdr struct {
+		BlackBox string `json:"black_box"`
+		Events   int    `json:"events"`
+		Inflight int    `json:"inflight"`
+	}
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		t.Fatalf("header does not parse: %v\n%s", err, lines[0])
+	}
+	if hdr.BlackBox != "test-dump" || hdr.Inflight != 1 {
+		t.Fatalf("header = %+v, want reason test-dump, 1 inflight", hdr)
+	}
+	if len(lines)-1 != hdr.Events {
+		t.Fatalf("header claims %d events, file has %d lines after it", hdr.Events, len(lines)-1)
+	}
+	for i, line := range lines[1:] {
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("event line %d does not parse: %v\n%s", i, err, line)
+		}
+	}
+}
+
+func TestDumpIsAtomicAndIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blackbox.jsonl")
+	r := New(8)
+	r.Note("accepted", "r1", "q1", "")
+	if err := r.Dump(path, "first"); err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	// The ring is not cleared: a second dump still carries the event.
+	if err := r.Dump(path, "second"); err != nil {
+		t.Fatalf("second Dump: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read dump: %v", err)
+	}
+	if !bytes.Contains(b, []byte(`"second"`)) || !bytes.Contains(b, []byte(`"accepted"`)) {
+		t.Fatalf("dump missing reason or event:\n%s", b)
+	}
+	// No tmp litter.
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("dump dir has %d entries, want 1 (tmp file left behind?)", len(ents))
+	}
+	// Empty path is a disabled black box, not an error.
+	if err := r.Dump("", "ignored"); err != nil {
+		t.Fatalf("Dump with empty path: %v", err)
+	}
+}
+
+// TestConcurrentUse exercises the recorder from many goroutines; run
+// with -race this is the synchronization check.
+func TestConcurrentUse(t *testing.T) {
+	r := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := string(rune('a'+g)) + "-req"
+				r.RequestStart(id, "GET /")
+				r.Note("tick", "", id, "")
+				r.RequestEnd(id, "200")
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 50; i++ {
+			r.Events()
+			r.WriteTo(&bytes.Buffer{}, "race") //nolint:errcheck
+		}
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+	if evs := r.Events(); len(evs) != 64 {
+		t.Fatalf("ring holds %d events, want full 64", len(evs))
+	}
+}

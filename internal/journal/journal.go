@@ -37,6 +37,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Type names a lifecycle record. Accepted and Terminal are commit
@@ -70,6 +71,11 @@ type Record struct {
 	Reason string          `json:"reason,omitempty"`
 	Report []byte          `json:"report,omitempty"` // base64 under encoding/json
 	UnixMS int64           `json:"unix_ms,omitempty"`
+	// Req is the edge request ID that caused this transition (the
+	// submit behind an accepted record, the DELETE behind a deleted
+	// one). Purely diagnostic — recovery folds state without it — but
+	// it ties a journal line back to the access log and black box.
+	Req string `json:"req,omitempty"`
 }
 
 // Framing: 4-byte little-endian payload length, 4-byte CRC-32C of the
@@ -91,6 +97,12 @@ type Options struct {
 	// NoSync skips every fsync. Test-only: it trades the durability
 	// guarantee for speed.
 	NoSync bool
+	// OnFsync, when non-nil, observes the wall duration of every
+	// fsync the journal issues on its commit path (Append commits,
+	// Rotate, Sync, Close) — the service feeds a latency histogram
+	// with it. Called with the journal's lock held: the observer must
+	// be fast and must never call back into the journal.
+	OnFsync func(d time.Duration)
 }
 
 // Stats is a point-in-time census of journal activity.
@@ -287,12 +299,25 @@ func (j *Journal) Append(rec Record) error {
 	j.size += int64(len(buf))
 	j.stats.Appends++
 	if rec.Type.commit() && !j.opts.NoSync {
-		if err := j.f.Sync(); err != nil {
+		if err := j.fsyncTimed(j.f); err != nil {
 			return fmt.Errorf("journal: fsync: %w", err)
 		}
 		j.stats.Syncs++
 	}
 	return nil
+}
+
+// fsyncTimed syncs f, timing the call for the OnFsync observer. The
+// journal's lock is held at every call site, which is what serializes
+// observer invocations.
+func (j *Journal) fsyncTimed(f *os.File) error {
+	if j.opts.OnFsync == nil {
+		return f.Sync()
+	}
+	t0 := time.Now()
+	err := f.Sync()
+	j.opts.OnFsync(time.Since(t0))
+	return err
 }
 
 // NeedsRotate reports whether the active segment has outgrown MaxBytes
@@ -333,7 +358,7 @@ func (j *Journal) Rotate(snapshot []Record) error {
 		size += int64(len(buf))
 	}
 	if !j.opts.NoSync {
-		if err := f.Sync(); err != nil {
+		if err := j.fsyncTimed(f); err != nil {
 			f.Close()
 			os.Remove(tmp) //nolint:errcheck // best-effort cleanup
 			return fmt.Errorf("journal: rotate fsync: %w", err)
@@ -392,7 +417,7 @@ func (j *Journal) Sync() error {
 	if j.f == nil || j.opts.NoSync {
 		return nil
 	}
-	if err := j.f.Sync(); err != nil {
+	if err := j.fsyncTimed(j.f); err != nil {
 		return fmt.Errorf("journal: fsync: %w", err)
 	}
 	j.stats.Syncs++
@@ -408,7 +433,7 @@ func (j *Journal) Close() error {
 	}
 	var err error
 	if !j.opts.NoSync {
-		err = j.f.Sync()
+		err = j.fsyncTimed(j.f)
 	}
 	if cerr := j.f.Close(); err == nil {
 		err = cerr

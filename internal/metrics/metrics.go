@@ -154,6 +154,47 @@ func (h *Histogram) Cumulative() []int64 {
 	return out
 }
 
+// SyncHistogram is a histogram safe for concurrent observers — the
+// exception to the package's unsynchronized-values rule, for the one
+// place that genuinely needs it: the service tier's HTTP handlers,
+// which observe request latencies from many goroutines at once.
+// Snapshot deep-copies its buckets under the same mutex, so exports
+// see a consistent point-in-time distribution.
+type SyncHistogram struct {
+	mu sync.Mutex
+	h  *Histogram
+}
+
+// NewSyncHistogram returns a standalone synchronized histogram.
+func NewSyncHistogram(bounds ...float64) *SyncHistogram {
+	return &SyncHistogram{h: NewHistogram(bounds...)}
+}
+
+// Observe records one sample; safe from any goroutine.
+func (s *SyncHistogram) Observe(v float64) {
+	s.mu.Lock()
+	s.h.Observe(v)
+	s.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (s *SyncHistogram) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Count()
+}
+
+// snap copies the histogram's state into a Point under the lock.
+func (s *SyncHistogram) snap(p *Point) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p.Value = s.h.Mean()
+	bounds, counts := s.h.Buckets()
+	p.Bounds = append([]float64(nil), bounds...)
+	p.Counts = append([]int64(nil), counts...)
+	p.Sum, p.Count = s.h.Sum(), s.h.Count()
+}
+
 // Point is one metric in a snapshot.
 type Point struct {
 	Name  string
@@ -172,6 +213,7 @@ type entry struct {
 	g    *Gauge
 	f    func() float64
 	h    *Histogram
+	sh   *SyncHistogram
 }
 
 // Registry is a named collection of metrics. Create with New.
@@ -213,6 +255,15 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	return h
 }
 
+// SyncHistogram creates and registers a concurrency-safe histogram
+// under name. It exports exactly like Histogram; only its write path
+// differs.
+func (r *Registry) SyncHistogram(name string, bounds ...float64) *SyncHistogram {
+	h := NewSyncHistogram(bounds...)
+	r.put(name, entry{kind: KindHistogram, sh: h})
+	return h
+}
+
 // GaugeFunc registers a derived gauge evaluated at snapshot time — the
 // adoption path for values a subsystem already maintains (an integral, a
 // struct field) that the registry should export without duplicating.
@@ -244,6 +295,11 @@ func (r *Registry) Value(name string) float64 {
 	case KindFunc:
 		return e.f()
 	case KindHistogram:
+		if e.sh != nil {
+			e.sh.mu.Lock()
+			defer e.sh.mu.Unlock()
+			return e.sh.h.Mean()
+		}
 		return e.h.Mean()
 	}
 	return 0
@@ -275,6 +331,10 @@ func (r *Registry) Snapshot() []Point {
 		case KindFunc:
 			p.Value = e.f()
 		case KindHistogram:
+			if e.sh != nil {
+				e.sh.snap(&p)
+				break
+			}
 			p.Value = e.h.Mean()
 			p.Bounds, p.Counts = e.h.Buckets()
 			p.Sum, p.Count = e.h.Sum(), e.h.Count()

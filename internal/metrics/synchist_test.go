@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSyncHistogramConcurrentObserve(t *testing.T) {
+	reg := New()
+	h := reg.SyncHistogram("http.latency_ms.get.runs", 1, 10, 100)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				h.Observe(float64(g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != 2000 {
+		t.Fatalf("Count = %d, want 2000", got)
+	}
+	// Mean of 250 each of 0..7 is 3.5, reachable through Value too.
+	if got := reg.Value("http.latency_ms.get.runs"); got != 3.5 {
+		t.Fatalf("Value = %v, want 3.5", got)
+	}
+}
+
+func TestSyncHistogramSnapshotIsDeepCopy(t *testing.T) {
+	reg := New()
+	h := reg.SyncHistogram("lat", 1, 10)
+	h.Observe(5)
+	pts := reg.Snapshot()
+	if len(pts) != 1 || pts[0].Count != 1 {
+		t.Fatalf("snapshot = %+v, want one point with one observation", pts)
+	}
+	// Mutating the snapshot must not reach the live histogram.
+	pts[0].Counts[0] = 99
+	if pts2 := reg.Snapshot(); pts2[0].Counts[0] == 99 {
+		t.Fatal("snapshot shares bucket storage with the live histogram")
+	}
+}
+
+// TestWritePrometheusSanitizesEndpointNames covers the service's
+// verb × endpoint histogram names: dots become underscores and the
+// full histogram series appears.
+func TestWritePrometheusSanitizesEndpointNames(t *testing.T) {
+	reg := New()
+	h := reg.SyncHistogram("http.latency_ms.post.runs", 1, 10, 100)
+	h.Observe(3)
+	h.Observe(42)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE http_latency_ms_post_runs histogram",
+		`http_latency_ms_post_runs_bucket{le="10"} 1`,
+		`http_latency_ms_post_runs_bucket{le="+Inf"} 2`,
+		"http_latency_ms_post_runs_sum 45",
+		"http_latency_ms_post_runs_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "latency_ms.") {
+		t.Fatalf("unsanitized dot survived:\n%s", out)
+	}
+}
+
+// TestZeroObservationHistogramRoundTrip pins the contract the phase
+// profiler relies on: a registered-but-never-observed histogram (or a
+// zero-valued prof gauge) still appears in the exposition and survives
+// the parse round trip with explicit zeros.
+func TestZeroObservationHistogramRoundTrip(t *testing.T) {
+	reg := New()
+	reg.SyncHistogram("journal.fsync_ms", 1, 10)
+	reg.GaugeFunc("prof.pump.seconds", func() float64 { return 0 })
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	samples, err := ParsePrometheusText(&buf)
+	if err != nil {
+		t.Fatalf("ParsePrometheusText: %v", err)
+	}
+	for _, key := range []string{
+		`journal_fsync_ms_bucket{le="1"}`,
+		`journal_fsync_ms_bucket{le="+Inf"}`,
+		"journal_fsync_ms_sum",
+		"journal_fsync_ms_count",
+		"prof_pump_seconds",
+	} {
+		v, ok := samples[key]
+		if !ok {
+			t.Fatalf("round trip lost %q; samples: %v", key, SampleNames(samples))
+		}
+		if v != 0 {
+			t.Fatalf("%s = %v, want explicit 0", key, v)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"epajsrm/internal/cluster"
+	"epajsrm/internal/prof"
 	"epajsrm/internal/simulator"
 )
 
@@ -105,6 +106,14 @@ type System struct {
 	// eager order and stay byte-identical with historical reports.
 	lazy  bool
 	nodeT []simulator.Time
+
+	// Prof, when non-nil, charges energy integration and draw refreshes
+	// to the prof.Power phase. Sites enter the phase only after their
+	// early-outs (an Advance with dt == 0 costs one nil-check and
+	// nothing else), and Enter/Exit pairs avoid defer on the straight-
+	// line paths — Advance is the hottest instrumented function in the
+	// repo. Wired by core.Manager.AttachProfiler.
+	Prof *prof.Profiler
 }
 
 // NewSystem wires a power system over cl. varSigma is the relative stddev
@@ -285,6 +294,9 @@ func (s *System) Advance(now simulator.Time) {
 		s.lastT = now
 		return
 	}
+	if s.Prof != nil {
+		s.Prof.Enter(prof.Power)
+	}
 	for i, p := range s.nodeP {
 		s.nodeE[i] += p * dt
 		if ld := s.loads[i]; ld != nil {
@@ -294,6 +306,9 @@ func (s *System) Advance(now simulator.Time) {
 		}
 	}
 	s.lastT = now
+	if s.Prof != nil {
+		s.Prof.Exit()
+	}
 }
 
 // RefreshNode re-derives one node's draw after its state/cap/frequency
@@ -308,6 +323,8 @@ func (s *System) RefreshNode(now simulator.Time, n *cluster.Node) {
 // Job meters are adjusted by delta here — this path bypasses setNodeP.
 func (s *System) RefreshAll(now simulator.Time) {
 	s.Advance(now)
+	s.Prof.Enter(prof.Power)
+	defer s.Prof.Exit()
 	s.settleAll()
 	t := 0.0
 	for i, n := range s.Cl.Nodes {
@@ -333,6 +350,10 @@ func (s *System) trackPeak(now simulator.Time) {
 // StartJob registers the workload on its nodes and recomputes their draw.
 func (s *System) StartJob(now simulator.Time, jobID int64, nodes []*cluster.Node, nominalW, memFrac, freqFrac float64) {
 	s.Advance(now)
+	if s.Prof != nil {
+		s.Prof.Enter(prof.Power)
+		defer s.Prof.Exit()
+	}
 	meter := s.jobE[jobID]
 	if meter == nil {
 		meter = s.newMeter()
@@ -364,6 +385,10 @@ func (s *System) StartJob(now simulator.Time, jobID int64, nodes []*cluster.Node
 // transitioned the nodes in the cluster.
 func (s *System) EndJob(now simulator.Time, jobID int64, nodes []*cluster.Node) {
 	s.Advance(now)
+	if s.Prof != nil {
+		s.Prof.Enter(prof.Power)
+		defer s.Prof.Exit()
+	}
 	for _, n := range nodes {
 		if ld := s.loads[n.ID]; ld != nil && ld.JobID == jobID {
 			// Settle the job's final interval while its load is still

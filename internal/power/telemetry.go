@@ -2,6 +2,7 @@ package power
 
 import (
 	"epajsrm/internal/metrics"
+	"epajsrm/internal/prof"
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/stats"
 	"epajsrm/internal/trace"
@@ -43,6 +44,10 @@ type Telemetry struct {
 	// Tr, when non-nil, receives one power-track counter sample per
 	// genuine reading plus dropped/stuck instants.
 	Tr *trace.Tracer
+
+	// Prof, when non-nil, charges sampling to the prof.Telemetry phase.
+	// Wired by core.Manager.AttachProfiler.
+	Prof *prof.Profiler
 
 	outage   bool
 	stuck    bool
@@ -117,6 +122,10 @@ func (t *Telemetry) Stale(now, threshold simulator.Time) bool {
 // ignore staleness see exactly the wrong number a stuck sensor reports.
 func (t *Telemetry) SampleNow(now simulator.Time) Reading {
 	t.Sys.Advance(now)
+	if t.Prof != nil {
+		t.Prof.Enter(prof.Telemetry)
+		defer t.Prof.Exit()
+	}
 	if t.outage {
 		t.Dropped.Inc()
 		if t.stuck && t.haveGood {

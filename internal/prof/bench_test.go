@@ -1,0 +1,40 @@
+package prof
+
+import "testing"
+
+// BenchmarkEnterExit prices one full phase transition pair on a live
+// profiler: two monotonic clock reads plus the stack bookkeeping. This
+// is the marginal cost each instrumented region pays with phases on.
+func BenchmarkEnterExit(b *testing.B) {
+	p := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Enter(SchedPass)
+		p.Exit()
+	}
+}
+
+// BenchmarkEnterExitNested prices the nested case the scheduler hits
+// per pass: a pass phase with a reservation phase inside it.
+func BenchmarkEnterExitNested(b *testing.B) {
+	p := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Enter(SchedPass)
+		p.Enter(SchedReservation)
+		p.Exit()
+		p.Exit()
+	}
+}
+
+// BenchmarkEnterExitNil is the phases-off fast path: every call site
+// in the control loop pays this (a nil-receiver branch) when no
+// profiler is attached. It must stay indistinguishable from free.
+func BenchmarkEnterExitNil(b *testing.B) {
+	var p *Profiler
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Enter(SchedPass)
+		p.Exit()
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"epajsrm/internal/fault"
 	"epajsrm/internal/jobs"
 	"epajsrm/internal/power"
+	"epajsrm/internal/prof"
 	"epajsrm/internal/sched"
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/workload"
@@ -87,6 +88,13 @@ type Result struct {
 	WallSec   float64 `json:"wall_sec"`
 	HeapMB    float64 `json:"heap_mb"`     // live heap after the run
 	PeakRSSMB float64 `json:"peak_rss_mb"` // VmHWM; 0 where /proc is absent
+
+	// Phase profile: where the run's wall clock went (prof taxonomy,
+	// exclusive attribution) and the fraction of WallSec the phases
+	// account for. Coverage can exceed 100% by a hair — the pump's
+	// first batch runs before the wall timer starts.
+	Phases      []prof.PhaseStat `json:"phases"`
+	PhaseCovPct float64          `json:"phase_coverage_pct"`
 }
 
 func (r Result) String() string {
@@ -233,6 +241,10 @@ func Pump(m *core.Manager, c Config) *jobs.Arena {
 	count := 0
 	var feed func(now simulator.Time)
 	feed = func(simulator.Time) {
+		if m.Prof != nil {
+			m.Prof.Enter(prof.Pump)
+			defer m.Prof.Exit()
+		}
 		var last simulator.Time
 		for b := 0; b < pumpBatch && count < c.Jobs; b++ {
 			j := gen.Next()
@@ -264,6 +276,10 @@ func Run(c Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	// Every curve point carries its phase profile: the breakdown is the
+	// harness's whole point ("profile first"), and the enabled cost is a
+	// clock read per phase transition — noise against a 62 s run.
+	m.AttachProfiler(prof.New())
 	arena := Pump(m, c)
 	start := time.Now()
 	end := m.Run(-1)
@@ -285,6 +301,10 @@ func Run(c Config) (Result, error) {
 		WallSec:   wall,
 		HeapMB:    float64(ms.HeapAlloc) / (1 << 20),
 		PeakRSSMB: PeakRSSMB(),
+		Phases:    m.Prof.Snapshot(),
+	}
+	if wall > 0 {
+		res.PhaseCovPct = 100 * m.Prof.TotalSeconds() / wall
 	}
 	return res, nil
 }

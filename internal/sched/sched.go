@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"epajsrm/internal/jobs"
+	"epajsrm/internal/prof"
 	"epajsrm/internal/simulator"
 )
 
@@ -38,6 +39,13 @@ type View struct {
 	TotalNodes int // eligible node capacity (excludes down/maintenance)
 	Queue      []*jobs.Job
 	Running    []RunningJob
+
+	// Prof, when non-nil, attributes the pass's reservation computation
+	// and backfill walk to their own phases (the split the parallelization
+	// work needs — at hollow-site scale the reservation sort dominates).
+	// Schedulers are stateless shared values, so the profiler rides on the
+	// per-pass view rather than on the scheduler. Nil costs one branch.
+	Prof *prof.Profiler
 }
 
 // Scheduler decides which waiting jobs to start now. Implementations must
@@ -147,12 +155,16 @@ func (EASY) PickExplain(v View, rec func(Decision)) []*jobs.Job {
 
 	// Head job blocked: compute its shadow time and the extra nodes.
 	head := queue[0]
+	v.Prof.Enter(prof.SchedReservation)
 	shadow, extra := reservation(v.Now, free, head.Nodes, running)
+	v.Prof.Exit()
 	if rec != nil {
 		rec(Decision{Job: head, Reason: "head-blocked-awaits-reservation"})
 	}
 
 	// Backfill the remainder.
+	v.Prof.Enter(prof.SchedBackfill)
+	defer v.Prof.Exit()
 	for _, j := range queue[1:] {
 		if j.Nodes > free {
 			if rec != nil {
@@ -238,6 +250,10 @@ func (c Conservative) Pick(v View) []*jobs.Job { return c.PickExplain(v, nil) }
 // PickExplain implements Explainer. Every queued job gets a reservation in
 // order; "reservation-begins-now" starts, "reserved-for-later" waits.
 func (Conservative) PickExplain(v View, rec func(Decision)) []*jobs.Job {
+	// The whole pass is reservation work — every queued job is placed on
+	// the availability profile — so it attributes to one phase.
+	v.Prof.Enter(prof.SchedReservation)
+	defer v.Prof.Exit()
 	p := profileScratch.Get().(*Profile)
 	p.Reset(v.Now, v.TotalNodes)
 	defer profileScratch.Put(p)

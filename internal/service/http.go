@@ -85,7 +85,10 @@ func infoLocked(r *Run) RunInfo {
 func (s *Service) Handler() http.Handler {
 	inner := http.HandlerFunc(s.route)
 	unary := http.TimeoutHandler(inner, s.cfg.RequestTimeout, "request deadline exceeded\n")
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	// The telemetry middleware wraps everything — timeout handler
+	// included — so a deadline 503 is logged and measured with the wall
+	// time the client actually experienced.
+	return s.telemetry(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if strings.HasSuffix(r.URL.Path, "/events") {
 			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.StreamTimeout)
 			defer cancel()
@@ -96,7 +99,7 @@ func (s *Service) Handler() http.Handler {
 			w.Header().Set("Retry-After", "1")
 		}
 		unary.ServeHTTP(w, r)
-	})
+	}))
 }
 
 // route is the manual dispatcher: the path shapes are too entangled with
@@ -172,10 +175,13 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad spec: "+err.Error())
 		return
 	}
-	run, err := s.Submit(spec)
+	ri := reqFrom(r.Context())
+	ri.annotate(func(ri *reqInfo) { ri.tenant = spec.Tenant })
+	run, err := s.SubmitReq(spec, reqID(r.Context()))
 	if err != nil {
 		var shed *AdmissionError
 		if errors.As(err, &shed) {
+			ri.annotate(func(ri *reqInfo) { ri.shed = shed.Reason })
 			w.Header().Set("Retry-After", strconv.Itoa(shed.RetryAfter))
 			httpError(w, shed.Code, shed.Reason)
 			return
@@ -183,6 +189,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	ri.annotate(func(ri *reqInfo) { ri.run = run.ID })
 	s.mu.Lock()
 	info := infoLocked(run)
 	s.mu.Unlock()
@@ -222,6 +229,13 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request, rest string)
 		httpError(w, http.StatusNotFound, "no such run")
 		return
 	}
+	ri := reqFrom(r.Context())
+	s.mu.Lock()
+	tenant, recovered := run.Spec.Tenant, run.recovered
+	s.mu.Unlock()
+	ri.annotate(func(ri *reqInfo) {
+		ri.run, ri.tenant, ri.recovered = id, tenant, recovered
+	})
 	if sub == "" {
 		switch r.Method {
 		case http.MethodGet:
@@ -231,7 +245,7 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request, rest string)
 			w.Header().Set("Content-Type", "application/json")
 			writeJSON(w, info)
 		case http.MethodDelete:
-			state, _ := s.Cancel(id)
+			state, _ := s.CancelReq(id, reqID(r.Context()))
 			w.Header().Set("Content-Type", "application/json")
 			writeJSON(w, map[string]string{"id": id, "state": string(state)})
 		default:
@@ -252,12 +266,19 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request, rest string)
 	// scrape of one tenant's run cannot stall another's.
 	s.mu.Lock()
 	srv := run.srv
+	m := run.m
 	state := run.state
 	s.mu.Unlock()
 	if srv == nil {
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusConflict, "run not started (state "+string(state)+")")
 		return
+	}
+	if ri != nil && m != nil {
+		// The profiler belongs to the executor's control loop; reading
+		// its current phase takes the same per-run lock the delegated
+		// handler is about to take anyway.
+		srv.Locked(func() { ri.annotate(func(ri *reqInfo) { ri.phase = m.Prof.Current() }) })
 	}
 	r2 := r.Clone(r.Context())
 	r2.URL.Path = "/" + sub

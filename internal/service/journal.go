@@ -48,6 +48,7 @@ func (s *Service) journalAppend(rec journal.Record) {
 	}
 	if err := s.j.Append(rec); err != nil {
 		s.jErrs.Add(1)
+		s.fr.Note("journal-error", rec.ID, "", err.Error())
 	}
 }
 
@@ -58,7 +59,7 @@ func acceptedRecord(r *Run) journal.Record {
 	spec, _ := json.Marshal(r.Spec) //nolint:errcheck // plain struct, cannot fail
 	return journal.Record{
 		Type: journal.TypeAccepted, ID: r.ID, Seq: r.seq,
-		Spec: spec, UnixMS: r.created.UnixMilli(),
+		Spec: spec, UnixMS: r.created.UnixMilli(), Req: r.reqID,
 	}
 }
 
@@ -121,6 +122,7 @@ func (s *Service) maybeRotateLocked() {
 type replayState struct {
 	seq        int64
 	spec       json.RawMessage
+	req        string
 	acceptedMS int64
 	started    bool
 	startedMS  int64
@@ -153,6 +155,7 @@ func foldRecords(recs []journal.Record) (map[string]*replayState, int64) {
 		switch rec.Type {
 		case journal.TypeAccepted:
 			st.seq, st.spec, st.acceptedMS = rec.Seq, rec.Spec, rec.UnixMS
+			st.req = rec.Req
 			if rec.Seq > maxSeq {
 				maxSeq = rec.Seq
 			}
@@ -200,6 +203,7 @@ func (s *Service) recoverLocked(recs []journal.Record) RecoverySummary {
 		}
 		r := &Run{
 			ID: id, Spec: spec, seq: st.seq,
+			reqID:   st.req, // the original edge request survives compaction
 			created: time.UnixMilli(st.acceptedMS),
 			touched: now, // a fresh IdleTTL lease: recovered state stays scrapeable
 		}

@@ -47,16 +47,20 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"epajsrm/internal/core"
+	"epajsrm/internal/flight"
 	"epajsrm/internal/jobs"
 	"epajsrm/internal/journal"
 	"epajsrm/internal/metrics"
 	"epajsrm/internal/ops"
 	"epajsrm/internal/policy"
+	ctlprof "epajsrm/internal/prof"
 	"epajsrm/internal/runreport"
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/site"
@@ -140,6 +144,19 @@ type Config struct {
 	// — recovery re-executes from the spec, not the watermark — but
 	// they bound how stale the journal's view of a long run can get.
 	WatermarkEvery int
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// HTTP request (log/slog JSONL): request ID, verb, endpoint, status,
+	// latency, plus whatever the handler learned (run, tenant, shed
+	// reason, the run's recovered flag and control-loop phase).
+	AccessLog io.Writer
+	// Flight, when non-nil, is the black-box recorder the service feeds
+	// with admission, shed, dispatch, terminal, cancel, reap, journal
+	// and recovery events. The caller keeps its own reference for
+	// on-demand dumps (epaserved dumps it on SIGQUIT).
+	Flight *flight.Recorder
+	// BlackBox is the file the flight recorder is dumped to when the
+	// journal fails closed or a run panics (empty: no automatic dump).
+	BlackBox string
 }
 
 // Default returns the production-shaped configuration the epaserved CLI
@@ -178,6 +195,11 @@ type Run struct {
 
 	// cancel is set by DELETE and checked by the executor between slices.
 	cancel atomic.Bool
+
+	// reqID is the edge request ID that carried the submission; it is
+	// journaled in the accepted record so a post-mortem can join the
+	// client's X-Request-Id to the WAL. Set once at admission.
+	reqID string
 
 	// recovered marks a run the journal re-admitted after a crash.
 	recovered bool
@@ -253,6 +275,17 @@ type Service struct {
 	reaped     *metrics.Counter
 	recoveries *metrics.Counter
 
+	// The request-telemetry edge (telemetry.go). httpHists is guarded by
+	// httpMu (lock order s.mu → httpMu); the histograms themselves are
+	// internally synchronized, so the hot path never takes s.mu.
+	access    *slog.Logger
+	fr        *flight.Recorder
+	reqSeq    atomic.Int64
+	inFlight  atomic.Int64
+	httpMu    sync.Mutex
+	httpHists map[string]*metrics.SyncHistogram
+	fsyncHist *metrics.SyncHistogram
+
 	wake     chan struct{}
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -281,6 +314,12 @@ func New(cfg Config) (*Service, error) {
 		reg:    metrics.New(),
 		wake:   make(chan struct{}, 1),
 		stop:   make(chan struct{}),
+
+		fr:        cfg.Flight,
+		httpHists: make(map[string]*metrics.SyncHistogram),
+	}
+	if cfg.AccessLog != nil {
+		s.access = slog.New(slog.NewJSONHandler(cfg.AccessLog, nil))
 	}
 	s.accepted = s.reg.Counter("service.accepted")
 	s.shedTable = s.reg.Counter("service.shed_table_full")
@@ -297,9 +336,18 @@ func New(cfg Config) (*Service, error) {
 	s.reg.GaugeFunc("service.runs", func() float64 { return float64(len(s.runs)) })
 	s.reg.GaugeFunc("service.running", func() float64 { return float64(s.active) })
 	s.reg.GaugeFunc("service.queued", func() float64 { return float64(s.countLocked(StateQueued)) })
+	s.reg.GaugeFunc("http.in_flight", func() float64 { return float64(s.inFlight.Load()) })
 	if cfg.JournalDir != "" {
+		// The fsync histogram is fed from under the journal's own mutex
+		// (Options.OnFsync), so it must be the synchronized kind; it
+		// exists before Open because recovery itself fsyncs.
+		s.fsyncHist = s.reg.SyncHistogram("journal.fsync_ms",
+			0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100)
 		j, recs, err := journal.Open(cfg.JournalDir, journal.Options{
 			MaxBytes: cfg.JournalMaxBytes, NoSync: cfg.JournalNoSync,
+			OnFsync: func(d time.Duration) {
+				s.fsyncHist.Observe(float64(d) / float64(time.Millisecond))
+			},
 		})
 		if err != nil {
 			return nil, err
@@ -309,12 +357,24 @@ func New(cfg Config) (*Service, error) {
 		s.recov.TornTail = j.Stats().TornTail
 		// The journal has its own mutex, so these closures are safe under
 		// s.mu (lock order s.mu → journal; the journal never locks back).
+		// Each closure takes one lock-consistent Stats() snapshot — never
+		// a torn read of the journal's counters.
 		s.reg.GaugeFunc("journal.appends", func() float64 { return float64(s.j.Stats().Appends) })
 		s.reg.GaugeFunc("journal.fsyncs", func() float64 { return float64(s.j.Stats().Syncs) })
 		s.reg.GaugeFunc("journal.rotations", func() float64 { return float64(s.j.Stats().Rotations) })
 		s.reg.GaugeFunc("journal.segment_bytes", func() float64 { return float64(s.j.Stats().Size) })
 		s.reg.GaugeFunc("journal.generation", func() float64 { return float64(s.j.Stats().Gen) })
 		s.reg.GaugeFunc("journal.errors", func() float64 { return float64(s.jErrs.Load()) })
+		s.reg.GaugeFunc("journal.replayed", func() float64 { return float64(s.recov.Replayed) })
+		s.reg.GaugeFunc("journal.torn_tail", func() float64 {
+			if s.recov.TornTail {
+				return 1
+			}
+			return 0
+		})
+		s.fr.Note("recovery", "", "", fmt.Sprintf(
+			"replayed=%d terminal=%d interrupted=%d requeued=%d torn_tail=%v",
+			s.recov.Replayed, s.recov.Terminal, s.recov.Interrupted, s.recov.Requeued, s.recov.TornTail))
 	}
 	s.loopWG.Add(2)
 	go s.dispatch()
@@ -346,7 +406,13 @@ func (e *AdmissionError) Error() string { return e.Reason }
 // Submit runs admission control and either enqueues a run or sheds the
 // request. Invalid specs return a plain error (the HTTP layer maps those
 // to 400); shed requests return *AdmissionError.
-func (s *Service) Submit(spec Spec) (*Run, error) {
+func (s *Service) Submit(spec Spec) (*Run, error) { return s.SubmitReq(spec, "") }
+
+// SubmitReq is Submit carrying the edge request ID: the ID is journaled
+// in the accepted record and threaded through the flight recorder, so
+// every admission decision — accepted or shed — is attributable to the
+// request that caused it.
+func (s *Service) SubmitReq(spec Spec, req string) (*Run, error) {
 	if err := s.validate(spec); err != nil {
 		return nil, err
 	}
@@ -357,14 +423,17 @@ func (s *Service) Submit(spec Spec) (*Run, error) {
 	s.reapLocked(s.now())
 	if s.draining {
 		s.shedDrain.Inc()
+		s.fr.Note("shed", "", req, "draining")
 		return nil, &AdmissionError{Code: 503, RetryAfter: s.retryAfterLocked(), Reason: "service is draining"}
 	}
 	if len(s.runs) >= s.cfg.MaxRuns {
 		s.shedTable.Inc()
+		s.fr.Note("shed", "", req, "table full")
 		return nil, &AdmissionError{Code: 429, RetryAfter: s.retryAfterLocked(), Reason: "run table full"}
 	}
 	if n := s.tenantLiveLocked(spec.Tenant); n >= s.cfg.TenantActive {
 		s.shedQuota.Inc()
+		s.fr.Note("shed", "", req, "tenant quota: "+spec.Tenant)
 		return nil, &AdmissionError{Code: 429, RetryAfter: s.retryAfterLocked(),
 			Reason: fmt.Sprintf("tenant %q at quota (%d live runs)", spec.Tenant, n)}
 	}
@@ -377,19 +446,25 @@ func (s *Service) Submit(spec Spec) (*Run, error) {
 		state:   StateQueued,
 		created: now,
 		touched: now,
+		reqID:   req,
 	}
 	// The WAL commit point: the accepted spec is durable (fsynced) before
 	// the run enters the table and the client sees its 202. A journal
 	// that cannot commit makes this a durability outage, shed like any
 	// other overload — accepting work we could silently forget is the
-	// exact failure mode the journal exists to rule out.
+	// exact failure mode the journal exists to rule out. It is also a
+	// black-box moment: the flight recorder is dumped so the post-mortem
+	// starts from the requests that were on the wire when durability died.
 	if s.j != nil {
 		if err := s.j.Append(acceptedRecord(r)); err != nil {
 			s.jErrs.Add(1)
+			s.fr.Note("journal-fail", r.ID, req, err.Error())
+			s.dumpBlackBox("journal fail-closed: " + err.Error())
 			return nil, &AdmissionError{Code: 503, RetryAfter: 5,
 				Reason: "durability unavailable: " + err.Error()}
 		}
 	}
+	s.fr.Note("accepted", r.ID, req, spec.Tenant+" "+spec.Site)
 	s.runs[r.ID] = r
 	if len(s.runs) > s.tablePeak {
 		s.tablePeak = len(s.runs)
@@ -466,7 +541,11 @@ func (s *Service) Get(id string) (*Run, bool) {
 // run stops at its next slice boundary, and a terminal run is deleted
 // from the table (an explicit reap). Returns the state observed and
 // whether the run existed.
-func (s *Service) Cancel(id string) (RunState, bool) {
+func (s *Service) Cancel(id string) (RunState, bool) { return s.CancelReq(id, "") }
+
+// CancelReq is Cancel carrying the edge request ID, which the deleted
+// record and the flight recorder attribute the action to.
+func (s *Service) CancelReq(id, req string) (RunState, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	r, ok := s.runs[id]
@@ -479,17 +558,29 @@ func (s *Service) Cancel(id string) (RunState, bool) {
 		r.reason = "cancelled before start"
 		r.ended = s.now()
 		r.touched = r.ended
+		s.fr.Note("cancel", id, req, "cancelled before start")
 		s.journalAppend(terminalRecordLocked(r))
 		s.maybeRotateLocked()
 		s.cancelled.Inc()
 	case r.state == StateRunning:
 		r.cancel.Store(true)
+		s.fr.Note("cancel", id, req, "running run flagged; stops at next slice")
 	default: // terminal: delete now
 		delete(s.runs, id)
-		s.journalAppend(journal.Record{Type: journal.TypeDeleted, ID: id})
+		s.fr.Note("delete", id, req, "terminal run deleted")
+		s.journalAppend(journal.Record{Type: journal.TypeDeleted, ID: id, Req: req})
 		s.reaped.Inc()
 	}
 	return r.state, true
+}
+
+// dumpBlackBox best-effort writes the flight recorder to the configured
+// black-box path; no-op without a recorder or a path.
+func (s *Service) dumpBlackBox(reason string) {
+	if err := s.fr.Dump(s.cfg.BlackBox, reason); err != nil && s.access != nil {
+		s.access.LogAttrs(context.Background(), slog.LevelError, "blackbox",
+			slog.String("error", err.Error()))
+	}
 }
 
 // simNow maps the wall clock onto the ledger's time axis (seconds since
@@ -550,6 +641,7 @@ func (s *Service) dispatch() {
 			s.journalAppend(journal.Record{
 				Type: journal.TypeStarted, ID: r.ID, UnixMS: r.started.UnixMilli(),
 			})
+			s.fr.Note("dispatch", r.ID, r.reqID, r.Spec.Tenant)
 			s.active++
 			if s.active > s.runningPeak {
 				s.runningPeak = s.active
@@ -589,8 +681,13 @@ func (s *Service) execute(r *Run) {
 		var pe panicError
 		if errors.As(err, &pe) {
 			s.panics.Inc()
+			// A panicking run is exactly what the black box exists for:
+			// dump before the terminal record overwrites the scene.
+			s.fr.Note("run-panic", r.ID, r.reqID, r.reason)
+			s.dumpBlackBox("run panic: " + r.ID)
 		}
 	}
+	s.fr.Note("run-terminal", r.ID, r.reqID, string(r.state)+" "+r.reason)
 	// The terminal commit point: the outcome (and, for a complete run,
 	// its report) is fsynced so a restart serves it as metadata instead
 	// of re-executing — or worse, forgetting — a finished run.
@@ -628,7 +725,23 @@ func (s *Service) runSim(r *Run) (err error) {
 	}
 	tr := trace.New()
 	m.AttachTracer(tr)
-	srv := ops.NewServer(ops.ManagerSource(m))
+	// Every hosted run carries a phase profiler: its gauges ride the
+	// run's /metrics plane and its current phase the run's /healthz.
+	// The profiler only observes — runreport never reads the registry —
+	// so the report stays byte-identical to standalone epasim.
+	m.AttachProfiler(ctlprof.New())
+	src := ops.ManagerSource(m)
+	// recovered is set during New's replay, before any executor starts,
+	// and never mutated after — safe to read without s.mu here.
+	if r.recovered {
+		base := src.Health
+		src.Health = func() ops.Health {
+			h := base()
+			h.Recovered = true
+			return h
+		}
+	}
+	srv := ops.NewServer(src)
 	s.mu.Lock()
 	r.m, r.js, r.prof, r.tr, r.srv = m, js, prof, tr, srv
 	s.mu.Unlock()
@@ -713,6 +826,7 @@ func (s *Service) reapLocked(now time.Time) {
 	for id, r := range s.runs {
 		if r.state.Terminal() && now.Sub(r.touched) > s.cfg.IdleTTL {
 			delete(s.runs, id)
+			s.fr.Note("reap", id, "", "idle terminal run deleted")
 			// A reaped run must stay gone after a restart: the deleted
 			// record stops recovery from resurrecting it, and the next
 			// compaction forgets it entirely.

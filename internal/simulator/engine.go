@@ -7,6 +7,8 @@ package simulator
 import (
 	"errors"
 	"fmt"
+
+	"epajsrm/internal/prof"
 )
 
 // Time is a virtual timestamp in seconds since the start of the simulation.
@@ -99,6 +101,13 @@ type Engine struct {
 	pending int
 	// free is the recycle list for fired/discarded Event structs; see Event.
 	free []*Event
+
+	// Prof, when non-nil, charges the dispatch loop to the prof.Events
+	// phase — entered once per RunUntil call, not per event, so the
+	// enabled cost is two clock reads per RunUntil. Subsystem phases
+	// opened by event bodies nest inside it and attribute exclusively,
+	// leaving the events row as "dispatch + unclaimed event bodies".
+	Prof *prof.Profiler
 }
 
 // NewEngine returns an engine positioned at time zero with an empty queue.
@@ -233,6 +242,10 @@ func (e *Engine) RunUntil(horizon Time) Time {
 	e.stopped = false
 	const budget = int64(1e9)
 	start := e.fired
+	if e.Prof != nil {
+		e.Prof.Enter(prof.Events)
+		defer e.Prof.Exit()
+	}
 	for e.queue.len() > 0 && !e.stopped {
 		if horizon < 0 && e.live == 0 {
 			break // only daemons remain; an unbounded run is done
