@@ -332,6 +332,17 @@ func BenchmarkE22Checkpoint(b *testing.B) {
 	}
 }
 
+func BenchmarkE24SLOWatchdog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E24SLOWatchdog(uint64(i + 1))
+		if i == 0 {
+			b.ReportMetric(r.Values["first_fire_burn_s"]/3600, "burn-first-fire-h")
+			b.ReportMetric(r.Values["first_fire_threshold_s"]/3600, "threshold-first-fire-h")
+			b.ReportMetric(r.Values["lead_s"]/3600, "burn-lead-h")
+		}
+	}
+}
+
 // -- Ablations (DESIGN.md "design choices called out for ablation") ----------
 
 // BenchmarkAblationWindow sweeps the boot-window enforcement length around

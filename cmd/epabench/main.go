@@ -1,5 +1,5 @@
 // Command epabench runs the reproduction experiments (T1/T2/F1/F2 exhibits
-// and validation experiments E1–E22 from DESIGN.md) and prints each
+// and validation experiments E1–E22 and E24 from DESIGN.md) and prints each
 // result table. Independent experiments execute across a worker pool; the
 // report stream on stdout is byte-identical at any parallelism, and a
 // per-experiment wall-time table goes to stderr so slow exhibits are
@@ -143,6 +143,7 @@ func main() {
 		{"E20", experiments.E20FairShare},
 		{"E21", experiments.E21Resilience},
 		{"E22", experiments.E22CheckpointSweep},
+		{"E24", experiments.E24SLOWatchdog},
 	}
 	var chosen []maker
 	for _, mk := range makers {

@@ -83,6 +83,7 @@ func run(args []string, stderr io.Writer, ready chan<- string) int {
 	accessLog := fs.String("access-log", "", "structured JSONL access log file ('-' = stderr); empty disables")
 	blackBox := fs.String("blackbox", "", "flight-recorder dump file, written on SIGQUIT, run panic, or journal fail-closed; empty disables the recorder")
 	flightCap := fs.Int("flight-cap", 0, "flight-recorder ring capacity (0: default)")
+	historyStep := fs.Duration("history-step", 0, "metric-history sampling cadence in virtual time for /runs/{id}/query (0: 1 virtual minute)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -99,6 +100,9 @@ func run(args []string, stderr io.Writer, ready chan<- string) int {
 	cfg.JournalMaxBytes = *walMax
 	if *slice > 0 {
 		cfg.Slice = simulator.Time(*slice / time.Second)
+	}
+	if *historyStep > 0 {
+		cfg.HistoryStep = simulator.Time(*historyStep / time.Second)
 	}
 	switch *accessLog {
 	case "":

@@ -22,12 +22,22 @@
 // the stdout report stays byte-identical with and without them.
 //
 // -http serves the live operations plane while the run executes: /metrics
-// (Prometheus), /metrics.json, /healthz, /state, and /events (SSE trace
-// stream). The simulation advances in time slices under the server's
-// state lock, so scrapes see consistent between-event snapshots and the
-// report stays byte-identical to a run without -http. The listen address
-// goes to stderr. Profiling flags -cpuprofile, -memprofile and
-// -pproftrace capture stdlib runtime profiles of the simulation itself.
+// (Prometheus), /metrics.json, /healthz, /state, /events (SSE trace
+// stream), and /query (range queries over the sampled metric history).
+// The simulation advances in time slices under the server's state lock,
+// so scrapes see consistent between-event snapshots and the report stays
+// byte-identical to a run without -http. The listen address goes to
+// stderr. Profiling flags -cpuprofile, -memprofile and -pproftrace
+// capture stdlib runtime profiles of the simulation itself.
+//
+// -slo <rules.json> arms the SLO watchdog: every registry metric is
+// sampled into a virtual-time history and the rules (threshold,
+// for-duration, multi-window burn-rate, budget — see internal/alert) are
+// evaluated each virtual minute. Firings land on the trace's alerts
+// track, as alert.firing.* gauges on /metrics, and in the alert log
+// (-slo-log file, '-' = stderr; byte-identical across same-seed runs).
+// -slo-report appends the SLO summary table to the report; without it
+// stdout stays byte-identical with and without -slo.
 package main
 
 import (
@@ -41,6 +51,7 @@ import (
 	rtrace "runtime/trace"
 	"time"
 
+	"epajsrm/internal/alert"
 	"epajsrm/internal/checkpoint"
 	"epajsrm/internal/core"
 	"epajsrm/internal/fault"
@@ -53,6 +64,7 @@ import (
 	"epajsrm/internal/site"
 	"epajsrm/internal/stats"
 	"epajsrm/internal/trace"
+	"epajsrm/internal/tsdb"
 	"epajsrm/internal/workload"
 )
 
@@ -91,12 +103,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	metricsOut := fs.String("metrics", "", "write the run's metric-registry snapshot as JSON to this file")
 	phasesOut := fs.String("phases", "", "write the control-loop phase profile as JSON to this file ('-' = stderr)")
 	stateOut := fs.String("state", "", "write the final queue/node/power state snapshot as JSON to this file")
-	httpAddr := fs.String("http", "", "serve live ops endpoints (/metrics, /healthz, /state, /events) on this address during the run (e.g. :8080)")
+	sysCapW := fs.Float64("syscap", 0, "administrative system-wide power cap in watts, applied at start through the out-of-band controller (0: site default)")
+	sloRules := fs.String("slo", "", "evaluate SLO watchdog rules from this JSON file during the run (see internal/alert)")
+	sloLog := fs.String("slo-log", "", "write the deterministic alert event log to this file ('-' = stderr; requires -slo)")
+	sloReport := fs.Bool("slo-report", false, "append the SLO watchdog summary to the report (requires -slo)")
+	httpAddr := fs.String("http", "", "serve live ops endpoints (/metrics, /healthz, /state, /events, /query) on this address during the run (e.g. :8080)")
 	httpLinger := fs.Duration("http-linger", 0, "keep serving the ops endpoints this long after the run completes (requires -http)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	pprofTrace := fs.String("pproftrace", "", "write a Go runtime execution trace to this file (go tool trace)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *sloRules == "" && (*sloLog != "" || *sloReport) {
+		fmt.Fprintln(stderr, "-slo-log/-slo-report require -slo (no rules, no watchdog)")
 		return 2
 	}
 
@@ -188,6 +208,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "-reps cannot be combined with -http/-state (one manager per ops plane)")
 			return 2
 		}
+		if *sloRules != "" {
+			fmt.Fprintln(stderr, "-reps cannot be combined with -slo (one watchdog per run)")
+			return 2
+		}
 		runner.SetProcs(*procs)
 		replicate(stdout, stderr, p, prof, *seed, *reps, *jobs, horizon)
 		return 0
@@ -208,9 +232,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tr = trace.New()
 		m.AttachTracer(tr)
 	}
+	if *sysCapW > 0 {
+		// After the tracer attach, so the actuation's capmc audit events
+		// land in the trace (traceanalyze -alerts correlates against them).
+		if err := m.Ctrl.SetSystemCap(*sysCapW); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
 	if *phasesOut != "" || *httpAddr != "" {
 		// -http implies a profiler so /metrics carries the prof.* gauges.
 		m.AttachProfiler(ctlprof.New())
+	}
+	if *sloRules != "" || *httpAddr != "" {
+		// -http implies a metric history so /query has series to serve;
+		// -slo needs one for the watchdog to evaluate over.
+		m.AttachHistory(tsdb.New(m.Reg, tsdb.Config{}))
+	}
+	var watch *alert.Watchdog
+	if *sloRules != "" {
+		rules, err := alert.LoadRules(*sloRules)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		watch, err = alert.New(m.Hist, m.Reg, rules, horizon)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		m.AttachWatchdog(watch)
 	}
 	if *traceIn != "" {
 		f, err := os.Open(*traceIn)
@@ -282,6 +333,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Inj:           inj,
 		Checkpointing: *ckptIntervalMin > 0,
 	})
+	if *sloReport {
+		// The summary is an explicit opt-in appendix: without -slo-report
+		// the report bytes are identical with and without the watchdog.
+		fmt.Fprintln(stdout, watch.Summary().Render())
+	}
 
 	// Observability artifacts go to their own files, never to the report
 	// stream: stdout is byte-identical with and without them.
@@ -312,6 +368,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 1
 			}
 		} else if err := writeFile(*phasesOut, m.Prof.WriteJSON); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	if *sloLog != "" {
+		// '-' lands on stderr, never stdout, like -phases.
+		if *sloLog == "-" {
+			if err := watch.WriteLog(stderr); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+		} else if err := writeFile(*sloLog, watch.WriteLog); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}

@@ -256,3 +256,120 @@ func TestServiceReportByteIdentical(t *testing.T) {
 			rec.Body.String(), plain)
 	}
 }
+
+// writeSLORules drops a small watchdog rules file into dir: a threshold
+// rule that must fire on any live run (total power above zero) and a
+// burn-rate rule over cumulative energy consumption.
+func writeSLORules(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "slo.json")
+	rules := `{
+  "rules": [
+    {"name": "power-above-zero", "kind": "threshold", "metric": "power.total_w",
+     "severity": "page", "agg": "last", "op": ">", "value": 0, "for_s": 600},
+    {"name": "energy-burn", "kind": "burn_rate", "metric": "power.total_w",
+     "severity": "warn", "consume": "integral_min", "budget": 1e12,
+     "fast_window_s": 300, "slow_window_s": 1800, "burn": 6}
+  ]
+}
+`
+	if err := os.WriteFile(path, []byte(rules), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSLOFlagsDoNotTouchStdout is the watchdog's observes-never-steers
+// contract: arming -slo (with the alert log routed to a side file) must
+// leave the stdout report byte-identical to a plain run, while the log
+// itself carries parseable FIRING lines.
+func TestSLOFlagsDoNotTouchStdout(t *testing.T) {
+	dir := t.TempDir()
+	rules := writeSLORules(t, dir)
+	log := filepath.Join(dir, "alerts.log")
+	base := []string{"-site", "cineca", "-jobs", "50", "-days", "2", "-seed", "9"}
+
+	plain, _ := runCLI(t, base...)
+	guarded, _ := runCLI(t, append(base, "-slo", rules, "-slo-log", log)...)
+	if plain != guarded {
+		t.Fatal("stdout differs when -slo is armed")
+	}
+
+	raw, err := os.ReadFile(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	for _, line := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "t=") {
+			t.Fatalf("alert log line does not parse: %q", line)
+		}
+		if strings.Contains(line, "FIRING rule=power-above-zero") {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatalf("power-above-zero never fired; log:\n%s", raw)
+	}
+}
+
+// TestSLOLogByteDeterministic: two same-seed runs must emit byte-identical
+// alert logs — the watchdog evaluates in virtual time only.
+func TestSLOLogByteDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	rules := writeSLORules(t, dir)
+	a := filepath.Join(dir, "a.log")
+	b := filepath.Join(dir, "b.log")
+	args := []string{"-site", "cineca", "-jobs", "50", "-days", "2", "-seed", "4", "-slo", rules}
+	runCLI(t, append(args, "-slo-log", a)...)
+	runCLI(t, append(args, "-slo-log", b)...)
+	ab, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab) == 0 {
+		t.Fatal("empty alert log")
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("same-seed alert logs differ byte-for-byte")
+	}
+}
+
+// TestSLOReportAppendsSummary: -slo-report appends the watchdog summary
+// after the unchanged base report.
+func TestSLOReportAppendsSummary(t *testing.T) {
+	dir := t.TempDir()
+	rules := writeSLORules(t, dir)
+	base := []string{"-site", "cineca", "-jobs", "50", "-days", "2", "-seed", "9"}
+	plain, _ := runCLI(t, base...)
+	withSum, _ := runCLI(t, append(base, "-slo", rules, "-slo-report")...)
+	if !strings.HasPrefix(withSum, plain) {
+		t.Fatal("-slo-report does not leave the base report as an unchanged prefix")
+	}
+	tail := withSum[len(plain):]
+	if !strings.Contains(tail, "SLO watchdog") || !strings.Contains(tail, "power-above-zero") {
+		t.Fatalf("summary section missing from appendix:\n%s", tail)
+	}
+}
+
+// TestSLOFlagValidation pins the CLI contract: -slo-report/-slo-log need
+// -slo, and -reps excludes -slo.
+func TestSLOFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-site", "cineca", "-slo-report"},
+		{"-site", "cineca", "-slo-log", "x.log"},
+		{"-site", "cineca", "-reps", "2", "-slo", "rules.json"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Fatalf("epasim %v exit = %d, want 2; stderr %q", args, code, errb.String())
+		}
+	}
+}

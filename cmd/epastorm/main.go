@@ -67,9 +67,35 @@ type verdict struct {
 	reportMissing int
 
 	// reqLat is the client-observed wire latency of every HTTP request,
-	// keyed by kind (submit/poll/scrape/report) — the server's own
+	// keyed by kind (submit/poll/scrape/report/query) — the server's own
 	// histograms seen from the other end of the connection.
 	reqLat map[string][]time.Duration
+
+	// energy aggregates each completed run's final power.total_energy_j
+	// sample — read off the run's /query metric history — under its
+	// tenant, so the storm ends with a per-tenant energy bill.
+	energy map[string]*tenantEnergy
+}
+
+type tenantEnergy struct {
+	runs   int
+	joules float64
+}
+
+// addEnergy books one completed run's total energy under its tenant.
+func (v *verdict) addEnergy(tenant string, joules float64) {
+	v.mu.Lock()
+	if v.energy == nil {
+		v.energy = make(map[string]*tenantEnergy)
+	}
+	te := v.energy[tenant]
+	if te == nil {
+		te = &tenantEnergy{}
+		v.energy[tenant] = te
+	}
+	te.runs++
+	te.joules += joules
+	v.mu.Unlock()
 }
 
 // observe records one request's wire latency under its kind.
@@ -198,7 +224,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		samples []time.Duration
 	}
 	var rows []latRow
-	for _, kind := range []string{"submit", "poll", "scrape", "report"} {
+	for _, kind := range []string{"submit", "poll", "scrape", "report", "query"} {
 		if samples := v.reqLat[kind]; len(samples) > 0 {
 			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
 			rows = append(rows, latRow{kind, samples})
@@ -221,6 +247,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if len(rows) > 0 {
 		fmt.Fprintln(stdout, lat.Render())
+	}
+
+	// The energy bill: each tenant's completed runs and their summed site
+	// energy, read off the per-run /query metric histories.
+	if len(v.energy) > 0 {
+		var names []string
+		for tenant := range v.energy {
+			names = append(names, tenant)
+		}
+		sort.Strings(names)
+		etbl := report.Table{
+			Title:  "per-tenant energy (final power.total_energy_j via /query)",
+			Header: []string{"tenant", "runs", "energy MJ", "energy kWh"},
+		}
+		var totRuns int
+		var totJ float64
+		for _, tenant := range names {
+			te := v.energy[tenant]
+			totRuns += te.runs
+			totJ += te.joules
+			etbl.Rows = append(etbl.Rows, []string{
+				tenant, fmt.Sprint(te.runs),
+				fmt.Sprintf("%.1f", te.joules/1e6),
+				fmt.Sprintf("%.1f", te.joules/3.6e6),
+			})
+		}
+		etbl.Rows = append(etbl.Rows, []string{
+			"TOTAL", fmt.Sprint(totRuns),
+			fmt.Sprintf("%.1f", totJ/1e6),
+			fmt.Sprintf("%.1f", totJ/3.6e6),
+		})
+		fmt.Fprintln(stdout, etbl.Render())
 	}
 	// The summary also lands in the ledger as one JSON line; it carries
 	// no "id" field, so readLedger (and -crash-check) skips it.
@@ -353,6 +411,7 @@ func storm(client *http.Client, v *verdict, led *ledger, rng *rand.Rand, addr, t
 				} else {
 					v.count(func(v *verdict) { v.reportMissing++ })
 				}
+				queryEnergy(client, v, addr, id, tenant)
 				return
 			case "failed":
 				v.count(func(v *verdict) { v.failed++ })
@@ -365,6 +424,33 @@ func storm(client *http.Client, v *verdict, led *ledger, rng *rand.Rand, addr, t
 		time.Sleep(50 * time.Millisecond)
 	}
 	v.count(func(v *verdict) { v.lost++ }) // never reached terminal inside the deadline
+}
+
+// queryEnergy reads the completed run's energy series off the per-run
+// metric history (/runs/{id}/query) and books its final sample — the
+// cumulative site energy in joules — under the run's tenant.
+func queryEnergy(client *http.Client, v *verdict, addr, id, tenant string) {
+	t0 := time.Now()
+	resp, err := client.Get(addr + "/runs/" + id + "/query?metric=power.total_energy_j")
+	if err != nil {
+		v.count(func(v *verdict) { v.scrapeErrs++ })
+		return
+	}
+	var qr struct {
+		Samples []struct {
+			T int64   `json:"t"`
+			V float64 `json:"v"`
+		} `json:"samples"`
+	}
+	decErr := json.NewDecoder(resp.Body).Decode(&qr)
+	code := resp.StatusCode
+	resp.Body.Close()
+	v.observe("query", time.Since(t0))
+	if code != http.StatusOK || decErr != nil || len(qr.Samples) == 0 {
+		v.count(func(v *verdict) { v.scrapeErrs++ })
+		return
+	}
+	v.addEnergy(tenant, qr.Samples[len(qr.Samples)-1].V)
 }
 
 func (v *verdict) count(fn func(*verdict)) {

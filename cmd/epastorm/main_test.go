@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"epajsrm/internal/service"
+)
+
+// TestStormPrintsPerTenantEnergy drives a small storm against a real
+// in-process epaserved service and holds the satellite contract: every
+// completed run's energy series is read off /runs/{id}/query and the
+// storm ends with a per-tenant energy table.
+func TestStormPrintsPerTenantEnergy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a live service")
+	}
+	svc, err := service.New(service.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, closeHTTP, err := svc.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		svc.Shutdown(ctx) //nolint:errcheck
+		closeHTTP(ctx)    //nolint:errcheck
+	}()
+
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-addr", "http://" + bound,
+		"-clients", "4", "-tenants", "2", "-per-client", "1",
+		"-site", "cineca", "-jobs", "10", "-days", "1", "-seed", "7",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("storm exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "per-tenant energy") {
+		t.Fatalf("per-tenant energy table missing from storm output:\n%s", got)
+	}
+	for _, tenant := range []string{"tenant-00", "tenant-01", "TOTAL"} {
+		if !strings.Contains(got, tenant) {
+			t.Fatalf("energy table missing row %q:\n%s", tenant, got)
+		}
+	}
+	// Four completed runs of the same spec: the TOTAL row must book them
+	// all, and the table must carry a non-zero energy figure.
+	if strings.Contains(got, "TOTAL") && strings.Contains(got, "| 0.0") {
+		lines := strings.Split(got, "\n")
+		for _, ln := range lines {
+			if strings.Contains(ln, "TOTAL") && strings.Contains(ln, " 0.0 ") {
+				t.Fatalf("TOTAL energy row is zero:\n%s", got)
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@
 //
 //	traceanalyze run.json              # full report
 //	traceanalyze -job 17 run.json      # plus job 17's critical path
+//	traceanalyze -alerts run.json      # plus the SLO alert timeline
 //	traceanalyze -diff a.json b.json   # compare two runs' event profiles
 //
 // Output is byte-deterministic for a given input: two runs of the tool on
@@ -40,6 +41,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("traceanalyze", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jobID := fs.Int("job", 0, "also print the critical path of this job id")
+	alerts := fs.Bool("alerts", false, "also print the SLO alert timeline with power-plane context")
 	diff := fs.Bool("diff", false, "compare two traces' event profiles (takes two files)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -65,6 +67,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	writeSpanPercentiles(stdout, evs)
 	writeSchedTally(stdout, evs)
 	writePowerReport(stdout, evs)
+	if *alerts {
+		writeAlertReport(stdout, evs)
+	}
 	if *jobID != 0 {
 		writeJobPath(stdout, evs, meta, *jobID)
 	}
@@ -90,6 +95,8 @@ func trackName(pid int) string {
 		return "power"
 	case trace.PidFault:
 		return "faults"
+	case trace.PidAlerts:
+		return "alerts"
 	}
 	return fmt.Sprintf("pid%d", pid)
 }
@@ -349,6 +356,89 @@ func writePowerReport(w io.Writer, evs []trace.Event) {
 	}
 	tbl.Rows = append(tbl.Rows, []string{"staleness degrades", row})
 	fmt.Fprintln(w, tbl.Render())
+}
+
+// writeAlertReport prints the SLO watchdog's view of the run: the
+// firing/resolution timeline off the alerts track, and each alert episode
+// annotated with power-plane context — how many telemetry samples sat
+// above the administrative cap and the peak draw while the alert was
+// firing — so an episode can be read against what the power books said.
+func writeAlertReport(w io.Writer, evs []trace.Event) {
+	var instants, spans []*trace.Event
+	var power []*trace.Event
+	for i := range evs {
+		e := &evs[i]
+		switch {
+		case e.Pid == trace.PidAlerts && e.Ph == "i":
+			instants = append(instants, e)
+		case e.Pid == trace.PidAlerts && e.Ph == "X":
+			spans = append(spans, e)
+		case e.Pid == trace.PidPower:
+			power = append(power, e)
+		}
+	}
+	if len(instants) == 0 && len(spans) == 0 {
+		fmt.Fprintln(w, "no alert events in trace (run with epasim -slo)")
+		fmt.Fprintln(w)
+		return
+	}
+	sort.SliceStable(instants, func(i, j int) bool { return instants[i].Ts < instants[j].Ts })
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Ts < spans[j].Ts })
+	sort.SliceStable(power, func(i, j int) bool { return power[i].Ts < power[j].Ts })
+
+	tl := report.Table{
+		Title:  "Alert timeline",
+		Header: []string{"t", "event", "detail"},
+	}
+	for _, e := range instants {
+		tl.Rows = append(tl.Rows, []string{e.Ts.String(), e.Name, argString(e)})
+	}
+	fmt.Fprintln(w, tl.Render())
+
+	// The administrative cap moves over the run; replay the power track
+	// once per episode to count in-window samples above the then-current
+	// cap and the peak draw.
+	ep := report.Table{
+		Title:  "Alert episodes vs power plane",
+		Header: []string{"rule", "severity", "start", "duration", "samples>cap", "peak W", "note"},
+	}
+	for _, s := range spans {
+		rule := strings.TrimPrefix(s.Name, "alert:")
+		sev, _ := s.ArgString("severity")
+		var capW, peakW float64
+		var above int
+		for _, p := range power {
+			switch p.Name {
+			case "capmc.set_system_cap":
+				if v, ok := p.ArgFloat("value"); ok {
+					capW = v
+				}
+			case "it_power_w":
+				if p.Ts < s.Ts || p.Ts > s.Ts+s.Dur {
+					continue
+				}
+				if v, ok := p.ArgFloat("value"); ok {
+					if v > peakW {
+						peakW = v
+					}
+					if capW > 0 && v > capW {
+						above++
+					}
+				}
+			}
+		}
+		note := ""
+		if open, ok := s.ArgBool("open_at_end"); ok && open {
+			note = "open at end"
+		}
+		ep.Rows = append(ep.Rows, []string{
+			rule, sev, s.Ts.String(), s.Dur.String(),
+			fmt.Sprint(above), fmt.Sprintf("%.0f", peakW), note,
+		})
+	}
+	if len(ep.Rows) > 0 {
+		fmt.Fprintln(w, ep.Render())
+	}
 }
 
 // writeJobPath prints job id's event timeline and a critical-path summary:

@@ -7,12 +7,14 @@ import (
 	"strings"
 	"testing"
 
+	"epajsrm/internal/alert"
 	"epajsrm/internal/cluster"
 	"epajsrm/internal/core"
 	"epajsrm/internal/jobs"
 	"epajsrm/internal/sched"
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/trace"
+	"epajsrm/internal/tsdb"
 )
 
 // simTrace runs a small deterministic simulation at the given seed and
@@ -166,5 +168,90 @@ func TestUsageErrors(t *testing.T) {
 	}
 	if code, _, errb := analyze(t, "/nonexistent/trace.json"); code != 1 || errb == "" {
 		t.Error("missing file should exit 1 with an error")
+	}
+}
+
+// alertTrace runs a watchdog-armed simulation whose rule must fire and
+// writes its trace, returning the Chrome-form path.
+func alertTrace(t *testing.T) string {
+	t.Helper()
+	m := core.NewManager(core.Options{
+		Cluster:   cluster.DefaultConfig(),
+		Scheduler: sched.EASY{},
+		Seed:      3,
+	})
+	tr := trace.New()
+	m.AttachTracer(tr)
+	m.AttachHistory(tsdb.New(m.Reg, tsdb.Config{}))
+	w, err := alert.New(m.Hist, m.Reg, alert.Rules{Rules: []alert.Rule{{
+		Name: "power-above-zero", Kind: "threshold", Metric: "power.total_w",
+		Severity: "page", Agg: "last", Op: ">", Value: 0, ForS: 600,
+	}}}, simulator.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AttachWatchdog(w)
+	for i := 0; i < 8; i++ {
+		j := &jobs.Job{
+			ID: int64(i + 1), User: "ta", Tag: "app", Nodes: 8,
+			Walltime: 2 * simulator.Hour, TrueRuntime: simulator.Hour,
+			PowerPerNodeW: 280, MemFrac: 0.25,
+		}
+		if err := m.Submit(j, simulator.Time(i)*10*simulator.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Run(simulator.Day)
+
+	path := filepath.Join(t.TempDir(), "alerts.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestAlertsView checks -alerts: the timeline names the firing rule, the
+// episode table carries power context, and the view is deterministic.
+func TestAlertsView(t *testing.T) {
+	path := alertTrace(t)
+	code, out, errb := analyze(t, "-alerts", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	for _, want := range []string{
+		"Alert timeline", "alert_firing", "power-above-zero",
+		"Alert episodes vs power plane", "page",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("alerts view missing %q:\n%s", want, out)
+		}
+	}
+	// The alerts track also shows up in the per-track tally.
+	if !strings.Contains(out, "alerts") {
+		t.Errorf("track counts missing the alerts track:\n%s", out)
+	}
+	_, out2, _ := analyze(t, "-alerts", path)
+	if out != out2 {
+		t.Fatal("alerts view not byte-deterministic")
+	}
+}
+
+// TestAlertsViewWithoutAlertTrack degrades gracefully on a watchdog-less
+// trace.
+func TestAlertsViewWithoutAlertTrack(t *testing.T) {
+	chrome, _ := simTrace(t, 7)
+	code, out, errb := analyze(t, "-alerts", chrome)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if !strings.Contains(out, "no alert events in trace") {
+		t.Fatalf("missing graceful no-alerts note:\n%s", out)
 	}
 }

@@ -1,0 +1,497 @@
+// Package alert is a declarative SLO watchdog over the tsdb metric
+// history. Rules are loaded from JSON and evaluated in virtual time on
+// the store's sampling cadence; three rule kinds cover the survey's
+// operating conditions:
+//
+//   - threshold: aggregate one series over a trailing window, compare
+//     against a limit, and require the breach to hold for a for-duration
+//     before firing (the classic "p99 wait > 1 h for 10 min" shape).
+//   - burn_rate: Google-SRE-style multi-window budget burn. The rule
+//     tracks cumulative consumption of a budget (cap-violation
+//     watt·minutes, energy joules) and fires when both a fast and a slow
+//     trailing window are consuming faster than `burn` times the budget's
+//     steady allotment rate. The fast window catches step changes early;
+//     the slow window suppresses blips.
+//   - budget: cumulative consumption since t=0 compared against the
+//     allotted budget curve — the "tenant has already overspent" alarm.
+//
+// Budget allotment is price-weighted when the rules file carries a
+// tariff: the curve B(t) = Budget·∫₀ᵗ price/∫₀ᴴ price allots more budget
+// to cheap hours, mirroring the ESP contracts surveyed in the paper
+// (flat tariff ⇒ the familiar linear B·t/H).
+//
+// Determinism contract: evaluation reads only the tsdb store and virtual
+// time — no wall clock, no randomness, no map iteration in evaluation
+// order — so same-seed runs emit byte-identical alert logs, and a
+// watchdog observes without steering (attaching one never changes the
+// simulation report).
+package alert
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"epajsrm/internal/esp"
+	"epajsrm/internal/metrics"
+	"epajsrm/internal/report"
+	"epajsrm/internal/simulator"
+	"epajsrm/internal/trace"
+	"epajsrm/internal/tsdb"
+)
+
+// Rule is one declarative SLO rule.
+type Rule struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind"`               // threshold | burn_rate | budget
+	Metric   string `json:"metric"`             // tsdb series name
+	Severity string `json:"severity,omitempty"` // free-form label (page, ticket, …)
+
+	// threshold fields.
+	Agg     string  `json:"agg,omitempty"` // last | mean | max | sum | integral_min
+	WindowS int64   `json:"window_s,omitempty"`
+	Op      string  `json:"op,omitempty"` // > | >= | < | <=
+	Value   float64 `json:"value,omitempty"`
+	ForS    int64   `json:"for_s,omitempty"`
+
+	// burn_rate / budget fields.
+	Budget      float64 `json:"budget,omitempty"`  // total allotment over the horizon
+	Consume     string  `json:"consume,omitempty"` // sum | integral_min (default sum)
+	FastWindowS int64   `json:"fast_window_s,omitempty"`
+	SlowWindowS int64   `json:"slow_window_s,omitempty"`
+	Burn        float64 `json:"burn,omitempty"` // firing factor over the steady rate
+}
+
+// Band mirrors esp.TariffBand in the rules file.
+type Band struct {
+	StartHour   int     `json:"start_hour"`
+	PricePerKWh float64 `json:"price_per_kwh"`
+}
+
+// Rules is the top-level rules file.
+type Rules struct {
+	// HorizonS is the budget horizon in virtual seconds; 0 defers to the
+	// horizon the caller passes to New (the run length).
+	HorizonS int64  `json:"horizon_s,omitempty"`
+	Tariff   []Band `json:"tariff,omitempty"`
+	Rules    []Rule `json:"rules"`
+}
+
+// LoadRules reads and validates a rules file.
+func LoadRules(path string) (Rules, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Rules{}, err
+	}
+	var rs Rules
+	if err := json.Unmarshal(b, &rs); err != nil {
+		return Rules{}, fmt.Errorf("alert: parse %s: %w", path, err)
+	}
+	if err := rs.Validate(); err != nil {
+		return Rules{}, fmt.Errorf("alert: %s: %w", path, err)
+	}
+	return rs, nil
+}
+
+// Validate checks structural sanity so misconfigurations surface at load
+// time, not as silently-never-firing rules.
+func (rs Rules) Validate() error {
+	if len(rs.Rules) == 0 {
+		return fmt.Errorf("no rules")
+	}
+	seen := map[string]bool{}
+	for i, r := range rs.Rules {
+		if r.Name == "" {
+			return fmt.Errorf("rule %d: missing name", i)
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("rule %q: duplicate name", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Metric == "" {
+			return fmt.Errorf("rule %q: missing metric", r.Name)
+		}
+		switch r.Kind {
+		case "threshold":
+			switch r.Agg {
+			case "", "last", "mean", "max", "sum", "integral_min":
+			default:
+				return fmt.Errorf("rule %q: unknown agg %q", r.Name, r.Agg)
+			}
+			switch r.Op {
+			case ">", ">=", "<", "<=":
+			default:
+				return fmt.Errorf("rule %q: unknown op %q", r.Name, r.Op)
+			}
+		case "burn_rate":
+			if r.Budget <= 0 {
+				return fmt.Errorf("rule %q: burn_rate needs budget > 0", r.Name)
+			}
+			if r.Burn <= 0 {
+				return fmt.Errorf("rule %q: burn_rate needs burn > 0", r.Name)
+			}
+			if r.FastWindowS <= 0 || r.SlowWindowS <= r.FastWindowS {
+				return fmt.Errorf("rule %q: need 0 < fast_window_s < slow_window_s", r.Name)
+			}
+		case "budget":
+			if r.Budget <= 0 {
+				return fmt.Errorf("rule %q: budget kind needs budget > 0", r.Name)
+			}
+		default:
+			return fmt.Errorf("rule %q: unknown kind %q", r.Name, r.Kind)
+		}
+		switch r.Consume {
+		case "", "sum", "integral_min":
+		default:
+			return fmt.Errorf("rule %q: unknown consume %q", r.Name, r.Consume)
+		}
+	}
+	if len(rs.Tariff) > 0 {
+		bands := make([]esp.TariffBand, len(rs.Tariff))
+		for i, b := range rs.Tariff {
+			bands[i] = esp.TariffBand{StartHour: b.StartHour, PricePerKWh: b.PricePerKWh}
+		}
+		if _, err := esp.NewTariff(bands...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ruleState is the per-rule evaluation state machine.
+type ruleState struct {
+	pending      bool
+	pendingSince simulator.Time
+	firing       bool
+	firingSince  simulator.Time
+	fires        int
+	everFired    bool
+	firstFire    simulator.Time
+	totalFiring  simulator.Time
+	gauge        *metrics.Gauge
+}
+
+// Watchdog evaluates a rule set against a tsdb store in virtual time.
+// Evaluation runs under the simulation lock (driven by the same engine
+// event that samples the store), so it needs no internal mutex; the
+// read-side accessors are only meaningful between evaluations or after
+// the run under the ops lock.
+type Watchdog struct {
+	Tr *trace.Tracer // optional; set by core.Manager.AttachTracer
+
+	hist    *tsdb.Store
+	rules   []Rule
+	horizon simulator.Time
+	tariff  *esp.Tariff // nil ⇒ flat allotment
+	st      []ruleState
+	log     []byte
+	fired   *metrics.Counter
+	resolvd *metrics.Counter
+}
+
+// New builds a watchdog over hist, registering its alerting metrics in
+// reg (ALERTS-style per-rule firing gauges plus fired/resolved
+// counters). horizon is the run length used for budget allotment when
+// the rules file does not pin HorizonS.
+func New(hist *tsdb.Store, reg *metrics.Registry, rs Rules, horizon simulator.Time) (*Watchdog, error) {
+	if err := rs.Validate(); err != nil {
+		return nil, err
+	}
+	w := &Watchdog{hist: hist, rules: rs.Rules, horizon: horizon}
+	if rs.HorizonS > 0 {
+		w.horizon = simulator.Time(rs.HorizonS)
+	}
+	if w.horizon <= 0 {
+		return nil, fmt.Errorf("alert: no budget horizon (set horizon_s or pass the run length)")
+	}
+	if len(rs.Tariff) > 0 {
+		bands := make([]esp.TariffBand, len(rs.Tariff))
+		for i, b := range rs.Tariff {
+			bands[i] = esp.TariffBand{StartHour: b.StartHour, PricePerKWh: b.PricePerKWh}
+		}
+		t, err := esp.NewTariff(bands...)
+		if err != nil {
+			return nil, err
+		}
+		w.tariff = t
+	}
+	w.st = make([]ruleState, len(w.rules))
+	if reg != nil {
+		w.fired = reg.Counter("alerts.fired")
+		w.resolvd = reg.Counter("alerts.resolved")
+		for i, r := range w.rules {
+			w.st[i].gauge = reg.Gauge("alert.firing." + r.Name)
+		}
+	}
+	return w, nil
+}
+
+// priceIntegral is ∫₀ᵗ price(s) ds under the watchdog's tariff (price 1
+// when flat), integrated over whole virtual hours plus the partial hour.
+func (w *Watchdog) priceIntegral(t simulator.Time) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if w.tariff == nil {
+		return float64(t)
+	}
+	var sum float64
+	hours := t / simulator.Hour
+	for h := simulator.Time(0); h < hours; h++ {
+		sum += w.tariff.PriceAt(h*simulator.Hour) * float64(simulator.Hour)
+	}
+	if rem := t % simulator.Hour; rem > 0 {
+		sum += w.tariff.PriceAt(hours*simulator.Hour) * float64(rem)
+	}
+	return sum
+}
+
+// allotment is the budget share granted to the window (from, to] by the
+// price-weighted curve B(t) = Budget·PI(t)/PI(H).
+func (w *Watchdog) allotment(r *Rule, from, to simulator.Time) float64 {
+	if from < 0 {
+		from = 0
+	}
+	total := w.priceIntegral(w.horizon)
+	if total <= 0 {
+		return 0
+	}
+	return r.Budget * (w.priceIntegral(to) - w.priceIntegral(from)) / total
+}
+
+// consumed aggregates a rule's consumption series over (from, to].
+func (w *Watchdog) consumed(r *Rule, from, to simulator.Time) float64 {
+	switch r.Consume {
+	case "integral_min":
+		v, _, _ := w.hist.Reduce(r.Metric, from, to, tsdb.OpIntegral)
+		return v / 60 // unit·seconds → unit·minutes
+	default: // sum of counter deltas
+		v, _, _ := w.hist.Reduce(r.Metric, from, to, tsdb.OpSum)
+		return v
+	}
+}
+
+// eval computes one rule's condition at now and a detail string for the
+// log line when it contributes to a transition.
+func (w *Watchdog) eval(r *Rule, now simulator.Time) (bool, string) {
+	switch r.Kind {
+	case "threshold":
+		win := simulator.Time(r.WindowS)
+		if win <= 0 {
+			win = w.hist.Step()
+		}
+		var v float64
+		switch r.Agg {
+		case "", "last":
+			s, ok := w.hist.Last(r.Metric)
+			if !ok {
+				return false, ""
+			}
+			v = s.V
+		case "mean":
+			v, _, _ = w.hist.Reduce(r.Metric, now-win, now, tsdb.OpMean)
+		case "max":
+			v, _, _ = w.hist.Reduce(r.Metric, now-win, now, tsdb.OpMax)
+		case "sum":
+			v, _, _ = w.hist.Reduce(r.Metric, now-win, now, tsdb.OpSum)
+		case "integral_min":
+			v, _, _ = w.hist.Reduce(r.Metric, now-win, now, tsdb.OpIntegral)
+			v /= 60
+		}
+		var cond bool
+		switch r.Op {
+		case ">":
+			cond = v > r.Value
+		case ">=":
+			cond = v >= r.Value
+		case "<":
+			cond = v < r.Value
+		case "<=":
+			cond = v <= r.Value
+		}
+		return cond, "value=" + g(v) + " " + r.Op + " " + g(r.Value)
+	case "burn_rate":
+		fast, slow := simulator.Time(r.FastWindowS), simulator.Time(r.SlowWindowS)
+		burnF := w.burn(r, now-fast, now)
+		burnS := w.burn(r, now-slow, now)
+		cond := burnF >= r.Burn && burnS >= r.Burn
+		return cond, "burn_fast=" + g(burnF) + " burn_slow=" + g(burnS) + " threshold=" + g(r.Burn)
+	case "budget":
+		used := w.consumed(r, 0, now)
+		allowed := w.allotment(r, 0, now)
+		return used > allowed, "consumed=" + g(used) + " allotted=" + g(allowed)
+	}
+	return false, ""
+}
+
+// burn is the consumption rate over (from, to] relative to the budget's
+// allotment for that window: 1.0 means exactly on budget.
+func (w *Watchdog) burn(r *Rule, from, to simulator.Time) float64 {
+	allowed := w.allotment(r, from, to)
+	if allowed <= 0 {
+		return 0
+	}
+	return w.consumed(r, from, to) / allowed
+}
+
+// g formats a float the way every deterministic renderer in this repo
+// does: strconv 'g', shortest round-trip.
+func g(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Eval runs every rule's state machine at virtual time now. It is driven
+// by the manager's sampling event immediately after the store samples,
+// so rules always see series that include `now`.
+func (w *Watchdog) Eval(now simulator.Time) {
+	for i := range w.rules {
+		r := &w.rules[i]
+		st := &w.st[i]
+		cond, detail := w.eval(r, now)
+		switch {
+		case cond && st.firing:
+			// still firing; nothing to log
+		case cond && !st.firing:
+			if !st.pending {
+				st.pending, st.pendingSince = true, now
+			}
+			if now-st.pendingSince >= simulator.Time(r.ForS) {
+				st.pending = false
+				st.firing, st.firingSince = true, now
+				st.fires++
+				if !st.everFired {
+					st.everFired, st.firstFire = true, now
+				}
+				if st.gauge != nil {
+					st.gauge.Set(1)
+				}
+				if w.fired != nil {
+					w.fired.Inc()
+				}
+				w.logf(now, "FIRING rule=%s kind=%s severity=%s %s", r.Name, r.Kind, sev(r), detail)
+				if w.Tr != nil {
+					w.Tr.Instant(trace.PidAlerts, i+1, "alert_firing", now,
+						trace.Arg{Key: "rule", Val: r.Name},
+						trace.Arg{Key: "kind", Val: r.Kind},
+						trace.Arg{Key: "severity", Val: sev(r)},
+						trace.Arg{Key: "detail", Val: detail})
+				}
+			}
+		case !cond && st.firing:
+			st.firing = false
+			st.totalFiring += now - st.firingSince
+			if st.gauge != nil {
+				st.gauge.Set(0)
+			}
+			if w.resolvd != nil {
+				w.resolvd.Inc()
+			}
+			w.logf(now, "RESOLVED rule=%s after_s=%d", r.Name, int64(now-st.firingSince))
+			if w.Tr != nil {
+				w.Tr.Instant(trace.PidAlerts, i+1, "alert_resolved", now,
+					trace.Arg{Key: "rule", Val: r.Name})
+				w.Tr.Span(trace.PidAlerts, i+1, "alert:"+r.Name, st.firingSince, now,
+					trace.Arg{Key: "severity", Val: sev(r)})
+			}
+		case !cond && st.pending:
+			st.pending = false
+		}
+	}
+}
+
+func sev(r *Rule) string {
+	if r.Severity == "" {
+		return "warn"
+	}
+	return r.Severity
+}
+
+// Finish closes open firing episodes at end of run: tail durations are
+// folded into the totals and open episodes get their trace span, but the
+// rules stay marked firing (the run ended degraded and the summary says
+// so).
+func (w *Watchdog) Finish(end simulator.Time) {
+	for i := range w.rules {
+		st := &w.st[i]
+		if !st.firing {
+			continue
+		}
+		st.totalFiring += end - st.firingSince
+		if w.Tr != nil {
+			w.Tr.Span(trace.PidAlerts, i+1, "alert:"+w.rules[i].Name, st.firingSince, end,
+				trace.Arg{Key: "severity", Val: sev(&w.rules[i])},
+				trace.Arg{Key: "open_at_end", Val: true})
+		}
+		st.firingSince = end // totals already folded; avoid double count
+	}
+}
+
+func (w *Watchdog) logf(now simulator.Time, format string, args ...any) {
+	w.log = append(w.log, fmt.Sprintf("t=%d %s\n", int64(now), fmt.Sprintf(format, args...))...)
+}
+
+// WriteLog writes the chronological alert event log: one line per
+// firing/resolution, byte-identical across same-seed runs.
+func (w *Watchdog) WriteLog(out io.Writer) error {
+	_, err := out.Write(w.log)
+	return err
+}
+
+// MostRecentFiring returns the name of the most recently fired rule
+// still firing, or "".
+func (w *Watchdog) MostRecentFiring() string {
+	name, best := "", simulator.Time(-1)
+	for i := range w.rules {
+		st := &w.st[i]
+		if st.firing && st.firingSince > best {
+			name, best = w.rules[i].Name, st.firingSince
+		}
+	}
+	return name
+}
+
+// FiringCount reports how many rules are currently firing.
+func (w *Watchdog) FiringCount() int {
+	n := 0
+	for i := range w.st {
+		if w.st[i].firing {
+			n++
+		}
+	}
+	return n
+}
+
+// FirstFire returns when a rule first fired; ok is false if it never
+// did. Experiments use this to compare detection latency across rule
+// kinds.
+func (w *Watchdog) FirstFire(name string) (simulator.Time, bool) {
+	for i := range w.rules {
+		if w.rules[i].Name == name {
+			return w.st[i].firstFire, w.st[i].everFired
+		}
+	}
+	return 0, false
+}
+
+// Summary renders the per-rule SLO outcome table for -slo-report.
+func (w *Watchdog) Summary() report.Table {
+	t := report.Table{
+		Title:  "SLO watchdog",
+		Header: []string{"rule", "kind", "severity", "fires", "first fire", "total firing", "state"},
+	}
+	for i := range w.rules {
+		r, st := &w.rules[i], &w.st[i]
+		first, state := "-", "ok"
+		if st.everFired {
+			first = st.firstFire.String()
+		}
+		if st.firing {
+			state = "FIRING"
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Name, r.Kind, sev(r),
+			strconv.Itoa(st.fires), first, st.totalFiring.String(), state,
+		})
+	}
+	return t
+}

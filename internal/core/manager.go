@@ -12,6 +12,7 @@ import (
 	"slices"
 	"sort"
 
+	"epajsrm/internal/alert"
 	"epajsrm/internal/checkpoint"
 	"epajsrm/internal/cluster"
 	"epajsrm/internal/jobs"
@@ -21,6 +22,7 @@ import (
 	"epajsrm/internal/sched"
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/trace"
+	"epajsrm/internal/tsdb"
 )
 
 // running tracks one executing job.
@@ -116,6 +118,17 @@ type Manager struct {
 
 	policies []Policy
 	hooks    hooks
+
+	// Hist is the virtual-time metric history. Nil (the default) disables
+	// it; attach with AttachHistory, which installs the periodic sampling
+	// daemon on the engine. Like Tr and Prof it observes, never steers —
+	// a run with a history attached is byte-identical to one without.
+	Hist *tsdb.Store
+
+	// Watch is the SLO watchdog evaluated on the history's sampling
+	// cadence. Nil disables it; attach with AttachWatchdog after
+	// AttachHistory (the watchdog reads series the sampler writes).
+	Watch *alert.Watchdog
 
 	runningJobs map[int64]*running
 	nextID      int64
@@ -224,6 +237,22 @@ func NewManager(opt Options) *Manager {
 	m.Reg.GaugeFunc("power.total_energy_j", pw.TotalEnergy)
 	m.Reg.GaugeFunc("power.attributed_energy_j", pw.AttributedEnergy)
 	m.Reg.GaugeFunc("power.peak_w", func() float64 { p, _ := pw.PeakPower(); return p })
+	// Live SLI gauges for the metric history and SLO watchdog:
+	// instantaneous site power, the administrative cap, how far above the
+	// cap the site sits right now, and telemetry staleness. All pure
+	// reads — scrape- and sample-safe.
+	m.Reg.GaugeFunc("power.total_w", pw.TotalPower)
+	m.Reg.GaugeFunc("power.system_cap_w", func() float64 { return m.Ctrl.SystemCapW })
+	m.Reg.GaugeFunc("power.cap_violation_w", func() float64 {
+		if m.Ctrl.SystemCapW <= 0 {
+			return 0
+		}
+		if over := pw.TotalPower() - m.Ctrl.SystemCapW; over > 0 {
+			return over
+		}
+		return 0
+	})
+	m.Reg.GaugeFunc("telemetry.staleness_s", func() float64 { return m.Tel.Staleness(m.Eng.Now()) })
 	m.Metrics.register(m.Reg)
 	return m
 }
@@ -238,8 +267,41 @@ func (m *Manager) AttachTracer(tr *trace.Tracer) {
 	m.Tr = tr
 	m.Ctrl.Tr = tr
 	m.Tel.Tr = tr
+	if m.Watch != nil {
+		m.Watch.Tr = tr
+	}
 	if tr != nil && m.trQueued == nil {
 		m.trQueued = make(map[int64]simulator.Time)
+	}
+}
+
+// AttachHistory enables the virtual-time metric history: a daemon engine
+// event samples every registry metric into h on h.Step() cadence (and
+// runs the watchdog, if one is attached, against the fresh samples).
+// Daemon events never keep an unbounded run alive and the sampler only
+// reads, so attaching a history cannot perturb the simulation. Call
+// before the run starts.
+func (m *Manager) AttachHistory(h *tsdb.Store) {
+	m.Hist = h
+	if h == nil {
+		return
+	}
+	m.Eng.Every(h.Step(), "tsdb-sample", func(now simulator.Time) {
+		h.Sample(now)
+		if m.Watch != nil {
+			m.Watch.Eval(now)
+		}
+	})
+}
+
+// AttachWatchdog enables SLO rule evaluation over the attached history.
+// Call after AttachHistory (the watchdog reads the store the sampler
+// writes) and before the run starts. The watchdog inherits the
+// manager's tracer for its alerts track.
+func (m *Manager) AttachWatchdog(w *alert.Watchdog) {
+	m.Watch = w
+	if w != nil {
+		w.Tr = m.Tr
 	}
 }
 
@@ -1008,6 +1070,18 @@ func (m *Manager) Run(horizon simulator.Time) simulator.Time {
 func (m *Manager) FinishRun(end simulator.Time) {
 	m.Pw.Advance(end)
 	m.Metrics.close(end, m.Cl.Size())
+	// One final history sample/evaluation at the exact end instant (a
+	// no-op when the last periodic sample already landed there), then
+	// close open alert episodes so summaries account the tail.
+	if m.Hist != nil {
+		m.Hist.Sample(end)
+		if m.Watch != nil {
+			m.Watch.Eval(end)
+		}
+	}
+	if m.Watch != nil {
+		m.Watch.Finish(end)
+	}
 	m.Tel.Stop()
 	m.RunEnded = true
 }

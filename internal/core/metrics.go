@@ -78,6 +78,15 @@ func (mt *Metrics) register(reg *metrics.Registry) {
 	reg.GaugeFunc("ckpt.restores", func() float64 { return float64(mt.CheckpointRestores) })
 	reg.GaugeFunc("ckpt.write_seconds", func() float64 { return mt.CheckpointWriteSeconds })
 	reg.GaugeFunc("ckpt.restart_read_seconds", func() float64 { return mt.RestartReadSeconds })
+	// ckpt.io_share: aggregate job-seconds stalled in checkpoint I/O per
+	// virtual second of run so far — the watchdog's checkpoint-overhead
+	// SLI (exceeds 1 when many jobs checkpoint concurrently).
+	reg.GaugeFunc("ckpt.io_share", func() float64 {
+		if mt.lastT <= 0 {
+			return 0
+		}
+		return (mt.CheckpointWriteSeconds + mt.RestartReadSeconds) / float64(mt.lastT)
+	})
 	reg.GaugeFunc("work.lost_node_seconds", func() float64 { return mt.LostWorkSeconds })
 	reg.GaugeFunc("work.done_node_seconds", func() float64 { return mt.NodeSecondsDone })
 	// Wait buckets span seconds to a day; energy buckets span small jobs

@@ -1,6 +1,6 @@
 // Package experiments implements the reproduction harness: one function
 // per exhibit of the paper (Tables I/II, Figures 1/2) and one per
-// validation experiment (E1–E20) from DESIGN.md's experiment index. Each
+// validation experiment (E1–E22, E24) from DESIGN.md's experiment index. Each
 // returns a Result whose table holds the rows a paper would print;
 // bench_test.go at the repository root wraps each in a testing.B target,
 // and cmd/epabench prints them all.
@@ -157,6 +157,7 @@ func Makers() []func(seed uint64) Result {
 		E20FairShare,
 		E21Resilience,
 		E22CheckpointSweep,
+		E24SLOWatchdog,
 	}
 }
 

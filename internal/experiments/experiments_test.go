@@ -211,8 +211,8 @@ func TestAllRunsEveryExperiment(t *testing.T) {
 		t.Skip("full suite in short mode")
 	}
 	rs := All(1)
-	if len(rs) != 26 {
-		t.Fatalf("results = %d, want 26", len(rs))
+	if len(rs) != 27 {
+		t.Fatalf("results = %d, want 27", len(rs))
 	}
 	ids := map[string]bool{}
 	for _, r := range rs {

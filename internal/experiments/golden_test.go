@@ -25,6 +25,7 @@ var goldenCases = []struct {
 }{
 	{"e21_seed2.golden", E21Resilience},
 	{"e22_seed2.golden", E22CheckpointSweep},
+	{"e24_seed2.golden", E24SLOWatchdog},
 }
 
 func TestGoldenReportsByteIdentical(t *testing.T) {

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"testing"
+
+	"epajsrm/internal/simulator"
+)
+
+// TestE24BurnFiresEarlierThanThreshold is the watchdog's acceptance
+// criterion on the fault-storm scenario: the multi-window burn-rate rule
+// must fire demonstrably earlier than the plain cumulative-threshold rule
+// on the same cap-violation budget.
+func TestE24BurnFiresEarlierThanThreshold(t *testing.T) {
+	r := E24SLOWatchdog(3)
+	if r.Values["total_wattmin"] <= 0 {
+		t.Fatal("curtailment scenario produced no cap-violation consumption")
+	}
+	burn, thr := r.Values["first_fire_burn_s"], r.Values["first_fire_threshold_s"]
+	if burn < 0 {
+		t.Fatal("burn-rate rule never fired")
+	}
+	if thr < 0 {
+		t.Fatal("threshold rule never fired")
+	}
+	if burn >= thr {
+		t.Fatalf("burn-rate fired at %.0fs, not earlier than threshold at %.0fs", burn, thr)
+	}
+	if lead := thr - burn; lead < float64(simulator.Hour) {
+		t.Fatalf("lead %.0fs is under an hour — not a demonstrable early warning", lead)
+	}
+	if r.Values["burn_factor"] <= 1 {
+		t.Fatalf("calibrated burn factor %.2f is trivial (≤ 1 fires on the steady rate)", r.Values["burn_factor"])
+	}
+}
+
+// TestE24Deterministic: same seed, same report; a different seed moves the
+// fault-modulated numbers.
+func TestE24Deterministic(t *testing.T) {
+	a := E24SLOWatchdog(9)
+	b := E24SLOWatchdog(9)
+	if a.Render() != b.Render() {
+		t.Fatalf("same-seed renders differ:\n%s\nvs\n%s", a.Render(), b.Render())
+	}
+	c := E24SLOWatchdog(10)
+	if a.Render() == c.Render() {
+		t.Fatal("different seeds produced identical reports")
+	}
+}

@@ -141,6 +141,64 @@ func (h *Histogram) Mean() float64 {
 // Buckets returns (bounds, counts) — counts has one extra overflow slot.
 func (h *Histogram) Buckets() ([]float64, []int64) { return h.bounds, h.counts }
 
+// Quantile estimates the q-th quantile (clamped to [0, 1]) of the observed
+// distribution by linear interpolation within the cumulative bucket that
+// contains rank q·Count, following the Prometheus histogram_quantile
+// conventions: an empty histogram yields 0, a rank landing in the overflow
+// (+Inf) bucket yields the highest finite bound, and the first bucket
+// interpolates down to zero when its bound is positive (the bound itself
+// otherwise — there is no lower anchor to interpolate toward).
+func (h *Histogram) Quantile(q float64) float64 {
+	return bucketQuantile(h.bounds, h.counts, h.n, q)
+}
+
+// bucketQuantile is the shared estimator behind Histogram.Quantile and
+// Point.Quantile.
+func bucketQuantile(bounds []float64, counts []int64, n int64, q float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	cum := 0.0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i == len(bounds) {
+			// Overflow bucket: no finite upper edge to interpolate within.
+			if len(bounds) == 0 {
+				return 0
+			}
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		switch {
+		case i > 0:
+			lo = bounds[i-1]
+		case bounds[i] <= 0:
+			lo = bounds[i]
+		}
+		return lo + (bounds[i]-lo)*(rank-prev)/float64(c)
+	}
+	// Unreachable with consistent counts (cum == n >= rank); keep the
+	// overflow convention for defensiveness.
+	if len(bounds) == 0 {
+		return 0
+	}
+	return bounds[len(bounds)-1]
+}
+
 // Cumulative returns the running bucket counts: out[i] is the number of
 // observations <= bounds[i], and the final slot equals Count(). This is
 // the form Prometheus exposition requires for _bucket series.
@@ -205,6 +263,17 @@ type Point struct {
 	Counts []int64
 	Sum    float64
 	Count  int64
+}
+
+// Quantile estimates the q-th quantile from a histogram point's buckets
+// (see Histogram.Quantile); scalar kinds yield 0. It lets snapshot
+// consumers (the tsdb sampler, offline tooling) derive p50/p95/p99 series
+// without reaching back into the live histogram.
+func (p Point) Quantile(q float64) float64 {
+	if p.Kind != KindHistogram {
+		return 0
+	}
+	return bucketQuantile(p.Bounds, p.Counts, p.Count, q)
 }
 
 type entry struct {

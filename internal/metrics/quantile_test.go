@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestQuantileEmpty: an empty histogram has no distribution to estimate.
+func TestQuantileEmpty(t *testing.T) {
+	h := NewHistogram(10, 100)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("Quantile(%g) on empty histogram = %g, want 0", q, got)
+		}
+	}
+}
+
+// TestQuantileSingleBucket: all mass in one finite bucket interpolates
+// linearly between the bucket's edges (zero for the first bucket).
+func TestQuantileSingleBucket(t *testing.T) {
+	h := NewHistogram(10)
+	for i := 0; i < 4; i++ {
+		h.Observe(5) // bucket (−∞, 10], rendered as [0, 10]
+	}
+	if got := h.Quantile(0.5); !near(got, 5) {
+		t.Fatalf("Quantile(0.5) = %g, want 5 (midpoint of [0,10])", got)
+	}
+	if got := h.Quantile(1); !near(got, 10) {
+		t.Fatalf("Quantile(1) = %g, want the bucket bound 10", got)
+	}
+	if got := h.Quantile(0); !near(got, 0) {
+		t.Fatalf("Quantile(0) = %g, want the bucket floor 0", got)
+	}
+}
+
+// TestQuantileOverflowBucket: ranks landing in the +Inf overflow bucket
+// clamp to the highest finite bound — the Prometheus convention.
+func TestQuantileOverflowBucket(t *testing.T) {
+	h := NewHistogram(10, 100)
+	h.Observe(5)    // first bucket
+	h.Observe(5000) // overflow
+	h.Observe(6000) // overflow
+	if got := h.Quantile(0.99); !near(got, 100) {
+		t.Fatalf("Quantile(0.99) = %g, want highest finite bound 100", got)
+	}
+	// A histogram with *no* finite bounds has nothing to clamp to.
+	inf := NewHistogram()
+	inf.Observe(1)
+	if got := inf.Quantile(0.5); got != 0 {
+		t.Fatalf("Quantile on bounds-less histogram = %g, want 0", got)
+	}
+}
+
+// TestQuantileInterpolation: ranks interpolate linearly within the
+// cumulative bucket they land in, across several buckets.
+func TestQuantileInterpolation(t *testing.T) {
+	h := NewHistogram(10, 20, 40)
+	for i := 0; i < 10; i++ {
+		h.Observe(5) // 10 in (0, 10]
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(15) // 10 in (10, 20]
+	}
+	// p50: rank 10 of 20 → exactly the top of the first bucket.
+	if got := h.Quantile(0.5); !near(got, 10) {
+		t.Fatalf("Quantile(0.5) = %g, want 10", got)
+	}
+	// p75: rank 15 → halfway through the second bucket: 10 + 10·(5/10) = 15.
+	if got := h.Quantile(0.75); !near(got, 15) {
+		t.Fatalf("Quantile(0.75) = %g, want 15", got)
+	}
+	// Clamping outside [0, 1].
+	if got := h.Quantile(2); !near(got, 20) {
+		t.Fatalf("Quantile(2) = %g, want clamp to Quantile(1) = 20", got)
+	}
+}
+
+// TestQuantileNegativeBounds: a first bucket with a non-positive bound has
+// no zero floor to interpolate toward — it returns its own bound.
+func TestQuantileNegativeBounds(t *testing.T) {
+	h := NewHistogram(-5, 5)
+	h.Observe(-10)
+	if got := h.Quantile(0.5); !near(got, -5) {
+		t.Fatalf("Quantile(0.5) = %g, want -5", got)
+	}
+}
+
+// TestPointQuantile: the snapshot form agrees with the live histogram, and
+// scalar points yield 0.
+func TestPointQuantile(t *testing.T) {
+	r := New()
+	h := r.Histogram("wait", 10, 100, 1000)
+	for _, v := range []float64{3, 30, 300, 3000} {
+		h.Observe(v)
+	}
+	for _, p := range r.Snapshot() {
+		switch p.Name {
+		case "wait":
+			for _, q := range []float64{0.25, 0.5, 0.95} {
+				if got, want := p.Quantile(q), h.Quantile(q); !near(got, want) {
+					t.Fatalf("Point.Quantile(%g) = %g, histogram says %g", q, got, want)
+				}
+			}
+		}
+	}
+	g := Point{Name: "x", Kind: KindGauge, Value: 7}
+	if got := g.Quantile(0.5); got != 0 {
+		t.Fatalf("gauge Point.Quantile = %g, want 0", got)
+	}
+}

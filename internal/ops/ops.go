@@ -15,6 +15,9 @@
 //	               per-node power and caps, and fault status
 //	/events        trace events streamed as server-sent events via a
 //	               bounded non-blocking tracer subscription
+//	/query         range queries over the virtual-time metric history
+//	               (?metric=…&from=…&to=…&step=…, virtual seconds); with
+//	               no metric parameter, the list of queryable series
 //
 // Determinism contract: the server never mutates simulation state, and the
 // simulation never waits on a client. Handlers read under the same lock
@@ -34,7 +37,9 @@ import (
 	"sync"
 
 	"epajsrm/internal/metrics"
+	"epajsrm/internal/simulator"
 	"epajsrm/internal/trace"
+	"epajsrm/internal/tsdb"
 )
 
 // Source wires a Server to one run's observability surface. Registry is
@@ -49,6 +54,9 @@ type Source struct {
 	// State produces the /state payload. Called under the state lock; nil
 	// disables the endpoint (404).
 	State func() State
+	// History, when non-nil, backs /query range queries over the sampled
+	// metric history.
+	History *tsdb.Store
 }
 
 // Server serves the ops endpoints for one Source. Create with NewServer,
@@ -103,6 +111,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/state", s.handleState)
 	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/query", s.handleQuery)
 	return mux
 }
 
@@ -195,6 +204,68 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	WriteState(w, st) //nolint:errcheck // client gone mid-write
+}
+
+// handleQuery serves range queries over the metric history:
+// /query?metric=NAME&from=S&to=S&step=S (all times in virtual seconds).
+// Omitted bounds default to the full retained range; step is a resolution
+// hint selecting a rollup tier (the response reports the tier cadence
+// actually served). With no metric parameter the handler lists the
+// queryable series. Responses are deterministic: same history, same
+// query, same bytes.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	h := s.src.History
+	if h == nil {
+		http.Error(w, "no metric history attached; run with history enabled", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	name := q.Get("metric")
+	w.Header().Set("Content-Type", "application/json")
+	if name == "" {
+		s.mu.Lock()
+		names := h.Names()
+		s.mu.Unlock()
+		writeJSON(w, struct {
+			Metrics []string `json:"metrics"`
+		}{Metrics: names})
+		return
+	}
+	parse := func(key string, def simulator.Time) (simulator.Time, bool) {
+		v := q.Get(key)
+		if v == "" {
+			return def, true
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			http.Error(w, fmt.Sprintf("bad %s: %q", key, v), http.StatusBadRequest)
+			return 0, false
+		}
+		return simulator.Time(n), true
+	}
+	s.mu.Lock()
+	last, _ := h.Now()
+	s.mu.Unlock()
+	from, ok := parse("from", 0)
+	if !ok {
+		return
+	}
+	to, ok := parse("to", last)
+	if !ok {
+		return
+	}
+	step, ok := parse("step", 0)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	samples, tierStep, found := h.Query(name, from, to, step)
+	s.mu.Unlock()
+	if !found {
+		http.Error(w, fmt.Sprintf("unknown metric %q (GET /query for the list)", name), http.StatusNotFound)
+		return
+	}
+	tsdb.WriteQueryJSON(w, name, tierStep, from, to, samples) //nolint:errcheck // client gone mid-write
 }
 
 // handleEvents streams trace events as server-sent events: each event is

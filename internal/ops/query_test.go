@@ -1,0 +1,165 @@
+package ops_test
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"epajsrm/internal/alert"
+	"epajsrm/internal/ops"
+	"epajsrm/internal/simulator"
+	"epajsrm/internal/tsdb"
+)
+
+// newHistorySim is newSim plus an attached metric history; the source is
+// built after AttachHistory because Source copies the History pointer.
+func newHistorySim(t *testing.T) (*ops.Server, func(simulator.Time)) {
+	t.Helper()
+	m, _ := newSim(t)
+	m.AttachHistory(tsdb.New(m.Reg, tsdb.Config{}))
+	srv := ops.NewServer(ops.Source{
+		Registry: m.Reg,
+		Health:   func() ops.Health { return ops.ManagerHealth(m) },
+		State:    func() ops.State { return ops.ManagerState(m) },
+		History:  m.Hist,
+	})
+	return srv, func(h simulator.Time) { m.Run(h) }
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv, run := newHistorySim(t)
+	run(6 * simulator.Hour)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// No metric parameter: deterministic series listing.
+	code, body := get(t, ts.URL+"/query")
+	if code != 200 {
+		t.Fatalf("listing: %d %s", code, body)
+	}
+	var listing struct {
+		Metrics []string `json:"metrics"`
+	}
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, n := range []string{"power.total_w", "jobs.completed", "jobs.wait_seconds.p99", "telemetry.staleness_s"} {
+		want[n] = false
+	}
+	for _, n := range listing.Metrics {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Fatalf("listing missing %q: %v", n, listing.Metrics)
+		}
+	}
+
+	// A range query returns samples in the window at the raw cadence.
+	code, body = get(t, ts.URL+"/query?metric=power.total_w&from=0&to=7200")
+	if code != 200 {
+		t.Fatalf("range query: %d %s", code, body)
+	}
+	var qr struct {
+		Metric  string `json:"metric"`
+		Step    int64  `json:"step"`
+		Samples []struct {
+			T int64   `json:"t"`
+			V float64 `json:"v"`
+		} `json:"samples"`
+	}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatalf("parse %s: %v", body, err)
+	}
+	if qr.Metric != "power.total_w" || qr.Step != int64(simulator.Minute) {
+		t.Fatalf("metric=%q step=%d, want power.total_w at 60", qr.Metric, qr.Step)
+	}
+	if len(qr.Samples) == 0 {
+		t.Fatal("no samples in a 2-hour window of a 6-hour run")
+	}
+	for _, s := range qr.Samples {
+		if s.T < 0 || s.T > 7200 {
+			t.Fatalf("sample at %d outside [0, 7200]", s.T)
+		}
+	}
+
+	// A step hint selects a rollup tier.
+	code, body = get(t, ts.URL+"/query?metric=power.total_w&step=900")
+	if code != 200 {
+		t.Fatalf("rollup query: %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Step != 900 {
+		t.Fatalf("step hint 900 served tier step %d", qr.Step)
+	}
+
+	// Unknown metric → 404; bad bounds → 400.
+	if code, _ = get(t, ts.URL+"/query?metric=nope"); code != 404 {
+		t.Fatalf("unknown metric: %d, want 404", code)
+	}
+	if code, _ = get(t, ts.URL+"/query?metric=power.total_w&from=x"); code != 400 {
+		t.Fatalf("bad from: %d, want 400", code)
+	}
+}
+
+func TestQueryWithoutHistoryIs404(t *testing.T) {
+	_, srv := newSim(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if code, _ := get(t, ts.URL+"/query"); code != 404 {
+		t.Fatalf("/query without history: %d, want 404", code)
+	}
+}
+
+func TestQueryResponseByteIdentical(t *testing.T) {
+	srv, run := newHistorySim(t)
+	run(4 * simulator.Hour)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	_, a := get(t, ts.URL+"/query?metric=jobs.completed&from=0&to=14400")
+	_, b := get(t, ts.URL+"/query?metric=jobs.completed&from=0&to=14400")
+	if string(a) != string(b) {
+		t.Fatalf("query responses differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestHealthzReportsFiringAlert is the satellite-2 contract: a scrape of
+// a degraded run names the firing rule in the health detail.
+func TestHealthzReportsFiringAlert(t *testing.T) {
+	m, _ := newSim(t)
+	m.AttachHistory(tsdb.New(m.Reg, tsdb.Config{}))
+	// A rule that must fire: total power above zero watts, immediately.
+	w, err := alert.New(m.Hist, m.Reg, alert.Rules{Rules: []alert.Rule{{
+		Name: "power-above-zero", Kind: "threshold", Metric: "power.total_w",
+		Agg: "last", Op: ">", Value: 0,
+	}}}, simulator.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AttachWatchdog(w)
+	// newSim's own server already registered ops.events_dropped, so this
+	// one omits the tracer to avoid the duplicate registration.
+	srv := ops.NewServer(ops.Source{
+		Registry: m.Reg,
+		Health:   func() ops.Health { return ops.ManagerHealth(m) },
+		History:  m.Hist,
+	})
+	m.Run(2 * simulator.Hour)
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	_, body := get(t, ts.URL+"/healthz")
+	var h ops.Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(h.Detail, "firing: power-above-zero") {
+		t.Fatalf("healthz detail %q does not name the firing alert", h.Detail)
+	}
+}

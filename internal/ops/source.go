@@ -117,6 +117,7 @@ func ManagerSource(m *core.Manager) Source {
 		Tracer:   m.Tr,
 		Health:   func() Health { return ManagerHealth(m) },
 		State:    func() State { return ManagerState(m) },
+		History:  m.Hist,
 	}
 }
 
@@ -147,6 +148,13 @@ func ManagerHealth(m *core.Manager) Health {
 	}
 	if m.RunEnded {
 		h.Status = "complete"
+	}
+	// Surface the most recent firing SLO alert so a scrape shows *why*
+	// the run is degraded, not just that it is.
+	if m.Watch != nil {
+		if name := m.Watch.MostRecentFiring(); name != "" {
+			h.Detail = "firing: " + name
+		}
 	}
 	return h
 }

@@ -116,6 +116,17 @@ func (t *Telemetry) Stale(now, threshold simulator.Time) bool {
 	return now-t.lastGood.At > threshold
 }
 
+// Staleness returns the age in virtual seconds of the most recent genuine
+// reading at time now, or -1 before any reading exists. It is the SLI
+// behind the watchdog's telemetry-staleness rules: Stale gives policies a
+// boolean posture, Staleness gives observers the continuous series.
+func (t *Telemetry) Staleness(now simulator.Time) float64 {
+	if !t.haveGood {
+		return -1
+	}
+	return float64(now - t.lastGood.At)
+}
+
 // SampleNow takes one sample immediately. During an outage the physics
 // still advances but no genuine reading is produced; a stuck sensor
 // appends a repeat of the last good value so downstream consumers that

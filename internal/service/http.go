@@ -69,6 +69,7 @@ func infoLocked(r *Run) RunInfo {
 //	       .../healthz           serves for a single run
 //	       .../state
 //	       .../events            SSE trace stream (StreamTimeout deadline)
+//	       .../query             range queries over the run's metric history
 //
 // Every unary endpoint runs under http.TimeoutHandler with RequestTimeout
 // (a request that blows the deadline gets 503); /events streams instead
@@ -141,7 +142,7 @@ GET    /runs[?tenant=t]     list runs
 GET    /runs/{id}           status
 DELETE /runs/{id}           cancel or delete
 GET    /runs/{id}/report    finished run report (byte-identical to epasim)
-GET    /runs/{id}/{metrics,metrics.json,healthz,state,events}
+GET    /runs/{id}/{metrics,metrics.json,healthz,state,events,query}
 GET    /healthz /metrics /metrics.json
 `)
 }

@@ -65,6 +65,7 @@ import (
 	"epajsrm/internal/simulator"
 	"epajsrm/internal/site"
 	"epajsrm/internal/trace"
+	"epajsrm/internal/tsdb"
 )
 
 // RunState is a hosted run's lifecycle position.
@@ -157,6 +158,10 @@ type Config struct {
 	// BlackBox is the file the flight recorder is dumped to when the
 	// journal fails closed or a run panics (empty: no automatic dump).
 	BlackBox string
+	// HistoryStep is the sampling cadence of each hosted run's
+	// virtual-time metric history (/runs/{id}/query); <= 0 selects the
+	// tsdb default of one virtual minute.
+	HistoryStep simulator.Time
 }
 
 // Default returns the production-shaped configuration the epaserved CLI
@@ -730,6 +735,12 @@ func (s *Service) runSim(r *Run) (err error) {
 	// The profiler only observes — runreport never reads the registry —
 	// so the report stays byte-identical to standalone epasim.
 	m.AttachProfiler(ctlprof.New())
+	// Every hosted run also carries a metric history, so tenants can
+	// range-query their run's series (/runs/{id}/query). The sampler is
+	// a read-only daemon event: the report stays byte-identical to
+	// standalone epasim. Attach before ManagerSource — Source copies the
+	// History pointer by value.
+	m.AttachHistory(tsdb.New(m.Reg, tsdb.Config{Step: s.cfg.HistoryStep}))
 	src := ops.ManagerSource(m)
 	// recovered is set during New's replay, before any executor starts,
 	// and never mutated after — safe to read without s.mu here.

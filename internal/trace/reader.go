@@ -186,6 +186,18 @@ func (e *Event) ArgString(key string) (string, bool) {
 	return "", false
 }
 
+// ArgBool returns the named arg as a bool and whether it was present with
+// that type.
+func (e *Event) ArgBool(key string) (bool, bool) {
+	for _, a := range e.Args {
+		if a.Key == key {
+			b, ok := a.Val.(bool)
+			return b, ok
+		}
+	}
+	return false, false
+}
+
 // decodeEvent consumes one event object from dec (which must use
 // UseNumber) and returns it with arg order preserved.
 func decodeEvent(dec *json.Decoder) (Event, error) {

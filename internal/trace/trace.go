@@ -32,10 +32,11 @@ import (
 // Well-known track (Chrome "process") IDs. Fixed small integers keep the
 // Perfetto layout stable across runs and sites.
 const (
-	PidJobs  = 1 // job lifecycle spans, one thread per job
-	PidSched = 2 // scheduler decision instants
-	PidPower = 3 // telemetry counters, cap actuation, staleness guard
-	PidFault = 4 // fault injection instants
+	PidJobs   = 1 // job lifecycle spans, one thread per job
+	PidSched  = 2 // scheduler decision instants
+	PidPower  = 3 // telemetry counters, cap actuation, staleness guard
+	PidFault  = 4 // fault injection instants
+	PidAlerts = 5 // SLO watchdog firings/resolutions, one thread per rule
 )
 
 // Arg is one ordered key/value pair attached to an event. A slice of Args
@@ -96,6 +97,7 @@ func New() *Tracer {
 	t.SetProcessName(PidSched, "scheduler")
 	t.SetProcessName(PidPower, "power")
 	t.SetProcessName(PidFault, "faults")
+	t.SetProcessName(PidAlerts, "alerts")
 	return t
 }
 

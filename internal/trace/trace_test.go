@@ -32,9 +32,9 @@ func TestChromeExportParsesAndIsOrdered(t *testing.T) {
 	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
 		t.Fatalf("chrome export is not valid JSON: %v\n%s", err, b.String())
 	}
-	// 4 process_name + 1 thread_name metadata records, then 5 events.
-	if len(doc.TraceEvents) != 10 {
-		t.Fatalf("got %d records, want 10:\n%s", len(doc.TraceEvents), b.String())
+	// 5 process_name + 1 thread_name metadata records, then 5 events.
+	if len(doc.TraceEvents) != 11 {
+		t.Fatalf("got %d records, want 11:\n%s", len(doc.TraceEvents), b.String())
 	}
 	var lastTs float64 = -1
 	sawSpan, sawCounter := false, false

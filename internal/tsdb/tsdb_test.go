@@ -1,0 +1,307 @@
+package tsdb
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"epajsrm/internal/metrics"
+	"epajsrm/internal/simulator"
+)
+
+func TestCounterDeltasAndGauges(t *testing.T) {
+	reg := metrics.New()
+	c := reg.Counter("jobs.done")
+	g := reg.Gauge("power.w")
+	st := New(reg, Config{})
+	for i := 1; i <= 3; i++ {
+		c.Add(int64(i * 10)) // cumulative 10, 30, 60
+		g.Set(float64(i * 100))
+		st.Sample(simulator.Time(i) * simulator.Minute)
+	}
+	raw, ok := st.Samples("jobs.done", TierRaw)
+	if !ok || len(raw) != 3 {
+		t.Fatalf("raw = %v ok=%v, want 3 samples", raw, ok)
+	}
+	for i, want := range []float64{10, 20, 30} {
+		if raw[i].V != want {
+			t.Fatalf("delta[%d] = %g, want %g", i, raw[i].V, want)
+		}
+	}
+	graw, _ := st.Samples("power.w", TierRaw)
+	if graw[2].V != 300 {
+		t.Fatalf("gauge sample = %g, want 300", graw[2].V)
+	}
+}
+
+func TestHistogramExpandsToQuantileSeries(t *testing.T) {
+	reg := metrics.New()
+	h := reg.Histogram("wait", 10, 100, 1000)
+	st := New(reg, Config{})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i))
+	}
+	st.Sample(simulator.Minute)
+	names := st.Names()
+	for _, want := range []string{"wait.p50", "wait.p95", "wait.p99", "wait.count"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing derived series %q in %v", want, names)
+		}
+	}
+	p50, _ := st.Last("wait.p50")
+	if p50.V <= 0 || p50.V > 100 {
+		t.Fatalf("p50 = %g, want within (0, 100]", p50.V)
+	}
+	cnt, _ := st.Last("wait.count")
+	if cnt.V != 100 {
+		t.Fatalf("count delta = %g, want 100", cnt.V)
+	}
+}
+
+func TestSampleDedupesRepeatedTimestamp(t *testing.T) {
+	reg := metrics.New()
+	c := reg.Counter("x")
+	st := New(reg, Config{})
+	c.Inc()
+	st.Sample(simulator.Minute)
+	c.Inc()
+	st.Sample(simulator.Minute) // same stamp: ignored
+	raw, _ := st.Samples("x", TierRaw)
+	if len(raw) != 1 || raw[0].V != 1 {
+		t.Fatalf("raw = %v, want single sample of 1", raw)
+	}
+}
+
+func TestQueryTierSelection(t *testing.T) {
+	reg := metrics.New()
+	g := reg.Gauge("v")
+	st := New(reg, Config{})
+	for i := 1; i <= longFactor; i++ {
+		g.Set(float64(i))
+		st.Sample(simulator.Time(i) * simulator.Minute)
+	}
+	// step hint at mid cadence serves the mid tier.
+	mid, step, ok := st.Query("v", 0, simulator.Day, 15*simulator.Minute)
+	if !ok || step != 15*simulator.Minute {
+		t.Fatalf("mid query step = %v ok=%v, want 15m", step, ok)
+	}
+	if len(mid) != longFactor/midFactor {
+		t.Fatalf("mid samples = %d, want %d", len(mid), longFactor/midFactor)
+	}
+	// Rollup timestamps are the last contributing raw stamp.
+	if mid[0].T != 15*simulator.Minute {
+		t.Fatalf("first mid stamp = %v, want 15m", mid[0].T)
+	}
+	long, step, _ := st.Query("v", 0, simulator.Day, 2*simulator.Hour)
+	if step != 2*simulator.Hour || len(long) != 1 {
+		t.Fatalf("long query = %d samples step %v, want 1 at 2h", len(long), step)
+	}
+	// Raw query bounded to a window.
+	raw, _, _ := st.Query("v", 5*simulator.Minute, 10*simulator.Minute, 0)
+	if len(raw) != 6 {
+		t.Fatalf("raw window = %d samples, want 6 (inclusive bounds)", len(raw))
+	}
+}
+
+func TestQueryEscalatesWhenRawEvicted(t *testing.T) {
+	reg := metrics.New()
+	g := reg.Gauge("v")
+	// Tiny raw ring: only the last 10 raw minutes survive.
+	st := New(reg, Config{RawCap: 10})
+	for i := 1; i <= 60; i++ {
+		g.Set(1)
+		st.Sample(simulator.Time(i) * simulator.Minute)
+	}
+	_, step, ok := st.Query("v", 0, simulator.Hour, 0)
+	if !ok || step != 15*simulator.Minute {
+		t.Fatalf("query from evicted range served tier step %v, want escalation to 15m", step)
+	}
+}
+
+func TestReduceOps(t *testing.T) {
+	reg := metrics.New()
+	c := reg.Counter("n")
+	g := reg.Gauge("w")
+	st := New(reg, Config{})
+	for i := 1; i <= 10; i++ {
+		c.Add(2)
+		g.Set(float64(10 * i))
+		st.Sample(simulator.Time(i) * simulator.Minute)
+	}
+	if v, n, _ := st.Reduce("n", 0, 10*simulator.Minute, OpSum); v != 20 || n != 10 {
+		t.Fatalf("OpSum = %g over %d, want 20 over 10", v, n)
+	}
+	if v, _, _ := st.Reduce("w", 0, 10*simulator.Minute, OpMean); v != 55 {
+		t.Fatalf("OpMean = %g, want 55", v)
+	}
+	if v, _, _ := st.Reduce("w", 0, 10*simulator.Minute, OpMax); v != 100 {
+		t.Fatalf("OpMax = %g, want 100", v)
+	}
+	if v, _, _ := st.Reduce("w", 0, 10*simulator.Minute, OpLast); v != 100 {
+		t.Fatalf("OpLast = %g, want 100", v)
+	}
+	// Integral: Σ v·60s = 60·(10+…+100) = 33000 unit·seconds.
+	if v, _, _ := st.Reduce("w", 0, 10*simulator.Minute, OpIntegral); v != 33000 {
+		t.Fatalf("OpIntegral = %g, want 33000", v)
+	}
+	// Half-open window: the sample at exactly `from` is excluded.
+	if v, n, _ := st.Reduce("n", 5*simulator.Minute, 10*simulator.Minute, OpSum); v != 10 || n != 5 {
+		t.Fatalf("half-open OpSum = %g over %d, want 10 over 5", v, n)
+	}
+}
+
+func TestWriteQueryJSONDeterministic(t *testing.T) {
+	samples := []Sample{{T: 60, V: 1.5}, {T: 120, V: 2}}
+	var a, b strings.Builder
+	if err := WriteQueryJSON(&a, "m", 60, 0, 120, samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteQueryJSON(&b, "m", 60, 0, 120, samples); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("render not deterministic")
+	}
+	want := "{\n  \"metric\": \"m\",\n  \"step\": 60,\n  \"from\": 0,\n  \"to\": 120,\n  \"samples\": [\n    {\"t\": 60, \"v\": 1.5},\n    {\"t\": 120, \"v\": 2}\n  ]\n}\n"
+	if a.String() != want {
+		t.Fatalf("render mismatch:\n%s\nwant:\n%s", a.String(), want)
+	}
+}
+
+// TestRollupProperties is the downsampling property test: across random
+// counter/gauge traffic, with a concurrent scraper hammering the read API
+// (meaningful under -race), every rollup tier (a) conserves counter sums
+// over the windows it covers, (b) never invents a sample whose timestamp
+// lies outside the source window it was rolled up from, and (c) gauge
+// rollups stay within the [min, max] envelope of their source window.
+func TestRollupProperties(t *testing.T) {
+	reg := metrics.New()
+	c := reg.Counter("jobs.done")
+	g := reg.Gauge("power.w")
+	st := New(reg, Config{})
+	rng := rand.New(rand.NewSource(42))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // concurrent scraper: exercises every read path
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st.Names()
+			st.Query("jobs.done", 0, simulator.Day, 0)
+			st.Reduce("jobs.done", 0, simulator.Day, OpSum)
+			st.Samples("power.w", TierMid)
+			st.Last("power.w")
+		}
+	}()
+
+	const steps = 3 * longFactor // three full long windows
+	gaugeVals := make([]float64, 0, steps)
+	var totalAdded int64
+	for i := 1; i <= steps; i++ {
+		add := int64(rng.Intn(50))
+		c.Add(add)
+		totalAdded += add
+		gv := rng.Float64() * 1000
+		g.Set(gv)
+		gaugeVals = append(gaugeVals, gv)
+		st.Sample(simulator.Time(i) * simulator.Minute)
+	}
+	close(stop)
+	wg.Wait()
+
+	raw, _ := st.Samples("jobs.done", TierRaw)
+	var rawSum float64
+	for _, s := range raw {
+		rawSum += s.V
+	}
+	if rawSum != float64(totalAdded) {
+		t.Fatalf("raw deltas sum to %g, counter accumulated %d", rawSum, totalAdded)
+	}
+
+	for _, tier := range []Tier{TierMid, TierLong} {
+		factor := midFactor
+		if tier == TierLong {
+			factor = longFactor
+		}
+		rolls, _ := st.Samples("jobs.done", tier)
+		if len(rolls) != steps/factor {
+			t.Fatalf("tier %d: %d rollups, want %d", tier, len(rolls), steps/factor)
+		}
+		var rollSum float64
+		for k, r := range rolls {
+			rollSum += r.V
+			// (b) the rollup's timestamp is exactly the last raw stamp
+			// of its source window — never outside it.
+			wantT := simulator.Time((k+1)*factor) * simulator.Minute
+			if r.T != wantT {
+				t.Fatalf("tier %d rollup %d stamped %v, want %v", tier, k, r.T, wantT)
+			}
+			// (a) per-window conservation against the raw deltas.
+			var winSum float64
+			for _, rs := range raw[k*factor : (k+1)*factor] {
+				winSum += rs.V
+			}
+			if math.Abs(r.V-winSum) > 1e-9 {
+				t.Fatalf("tier %d window %d sum %g, raw window sum %g", tier, k, r.V, winSum)
+			}
+		}
+		if math.Abs(rollSum-float64(totalAdded)) > 1e-9 {
+			t.Fatalf("tier %d conserves %g, counter accumulated %d", tier, rollSum, totalAdded)
+		}
+
+		// (c) gauge rollups are means bounded by their window envelope.
+		grolls, _ := st.Samples("power.w", tier)
+		for k, r := range grolls {
+			win := gaugeVals[k*factor : (k+1)*factor]
+			lo, hi := win[0], win[0]
+			for _, v := range win {
+				lo, hi = math.Min(lo, v), math.Max(hi, v)
+			}
+			if r.V < lo-1e-9 || r.V > hi+1e-9 {
+				t.Fatalf("tier %d gauge rollup %d = %g outside window envelope [%g, %g]", tier, k, r.V, lo, hi)
+			}
+		}
+	}
+}
+
+// TestLateSeriesNeverInventsSamples: a series first observed mid-run has
+// no samples stamped before its first observation at any tier.
+func TestLateSeriesNeverInventsSamples(t *testing.T) {
+	reg := metrics.New()
+	g := reg.Gauge("early")
+	st := New(reg, Config{})
+	for i := 1; i <= 20; i++ {
+		g.Set(1)
+		st.Sample(simulator.Time(i) * simulator.Minute)
+	}
+	late := reg.Gauge("late")
+	for i := 21; i <= 20+midFactor; i++ {
+		late.Set(2)
+		st.Sample(simulator.Time(i) * simulator.Minute)
+	}
+	for tier := TierRaw; tier < numTiers; tier++ {
+		ss, _ := st.Samples("late", tier)
+		for _, s := range ss {
+			if s.T < 21*simulator.Minute {
+				t.Fatalf("tier %d invented sample at %v before the series existed", tier, s.T)
+			}
+		}
+	}
+	if mid, _ := st.Samples("late", TierMid); len(mid) != 1 {
+		t.Fatalf("late series mid rollups = %d, want 1 full window", len(mid))
+	}
+}
